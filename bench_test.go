@@ -1,0 +1,286 @@
+package replayopt
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus the DESIGN.md §6 ablations. Each benchmark runs the
+// corresponding experiment and prints the regenerated table, so
+//
+//	go test -bench=. -benchtime=1x .
+//
+// reproduces the whole evaluation. Benchmarks default to the quick scale
+// (same pipeline, smaller GA population and sample counts; shapes hold);
+// set REPLAYOPT_FULL=1 for the paper's exact §4 budgets, or run
+// cmd/experiments -scale full.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"replayopt/internal/exp"
+)
+
+func benchScale(b *testing.B) exp.Scale {
+	b.Helper()
+	if os.Getenv("REPLAYOPT_FULL") == "1" {
+		return exp.Full()
+	}
+	return exp.Quick()
+}
+
+const benchSeed = 1
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table1()
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, t, err := exp.Figure1(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+		b.ReportMetric(res.CorrectFraction()*100, "%correct")
+		b.ReportMetric(res.RuntimeFailFraction()*100, "%runtime-fail")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, t, err := exp.Figure2(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+		slower := 0
+		for _, s := range res.Speedups {
+			if s < 1 {
+				slower++
+			}
+		}
+		b.ReportMetric(float64(slower)/float64(len(res.Speedups))*100, "%slower-than-Android")
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, t, err := exp.Figure3(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+		b.ReportMetric(float64(res.OnlineStableEvals), "online-evals-to-10%")
+		b.ReportMetric(float64(res.OfflineDecideEvals), "offline-evals-to-decide")
+	}
+}
+
+// figure7 runs the full pipeline over all 21 apps and caches the result for
+// Figure 9's derivation within the same benchmark run.
+func BenchmarkFigure7(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		res, t, err := exp.Figure7(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+		b.ReportMetric(res.AvgGA, "avg-GA-speedup")
+		b.ReportMetric(res.AvgO3, "avg-O3-speedup")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	scale := benchScale(b)
+	// Figure 9 is derived from Figure 7's search traces; a smaller app
+	// subset keeps the standalone benchmark affordable.
+	scale.Apps = []string{"FFT", "BubbleSort", "MaterialLife", "DroidFish"}
+	for i := 0; i < b.N; i++ {
+		res, _, err := exp.Figure7(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, t9 := exp.Figure9(res)
+		if i == 0 {
+			fmt.Println(t9.String())
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Figure8(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		rows, t, err := exp.Figure10(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.Stats.TotalMs()
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg-capture-ms")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		rows, t, err := exp.Figure11(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.ProgramMB
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg-program-MB")
+	}
+}
+
+func BenchmarkAblationCoW(b *testing.B) {
+	scale := benchScale(b)
+	scale.Apps = []string{"FFT", "BubbleSort", "MaterialLife"}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationCoW(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkAblationFullSnapshot(b *testing.B) {
+	scale := benchScale(b)
+	scale.Apps = []string{"FFT", "Poker Odds (Vitosha)", "4inaRow"}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationFullSnapshot(scale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkAblationRandomSearch(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationRandomSearch(scale, benchSeed, "FFT")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkAblationNoVerify(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationNoVerify(scale, benchSeed, "FFT")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkAblationGCCheckElim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationGCCheckElim(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkAblationDevirt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationDevirt(benchSeed, "DroidFish")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkAblationCrossValidate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationCrossValidate(benchScale(b), benchSeed, "MaterialLife")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkAblationTTestFitness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationTTestFitness(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func BenchmarkScheduleTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.ScheduleTable(nil, benchScale(b), benchSeed, "FFT")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command dexdump inspects the toolchain: it compiles an evaluation app (or
+// a minic source file) to dex bytecode and disassembles it, optionally
+// showing the baseline compiler's machine code or running the program in
+// each tier.
+//
+// Usage:
+//
+//	dexdump -app FFT [-method kernel] [-machine] [-run]
+//	dexdump -file prog.mc [-run]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/apps"
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/machine"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+func main() {
+	appName := flag.String("app", "", "evaluation app to inspect")
+	file := flag.String("file", "", "minic source file to compile instead")
+	method := flag.String("method", "", "only show this method")
+	showMachine := flag.Bool("machine", false, "also show the baseline compiler's machine code")
+	run := flag.Bool("run", false, "execute main interpreted and compiled, compare results")
+	flag.Parse()
+
+	var prog *dex.Program
+	switch {
+	case *appName != "":
+		spec, ok := apps.ByName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+			os.Exit(2)
+		}
+		p, err := minic.CompileSource(spec.Name, spec.Source)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog = p
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p, err := minic.CompileSource(*file, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog = p
+	default:
+		fmt.Fprintln(os.Stderr, "need -app or -file")
+		os.Exit(2)
+	}
+
+	if *method != "" {
+		id, ok := prog.MethodByName(*method)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no method %q\n", *method)
+			os.Exit(2)
+		}
+		fmt.Print(prog.Disassemble(prog.Method(id)))
+		if *showMachine {
+			fn, err := aot.CompileMethod(prog, id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n.machine %s (regs=%d spills=%d size=%dB)\n", *method, fn.NumRegs, fn.NumSpills, fn.Size())
+			for pc, in := range fn.Code {
+				fmt.Printf("  %4d: %s\n", pc, in)
+			}
+		}
+	} else {
+		fmt.Print(prog.DisassembleAll())
+	}
+
+	if *run {
+		proc := rt.NewProcess(prog, rt.Config{HeapLimit: 128 << 20})
+		env := interp.NewEnv(proc)
+		env.MaxCycles = 20_000_000_000
+		iret, err := env.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "interpreted run failed: %v\n", err)
+			os.Exit(1)
+		}
+		code, err := aot.Compile(prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		proc2 := rt.NewProcess(prog, rt.Config{HeapLimit: 128 << 20})
+		x := machine.NewExec(proc2, code)
+		x.MaxCycles = 20_000_000_000
+		cret, err := x.Call(prog.Entry, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compiled run failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ninterpreted: ret=%d (%d cycles)\ncompiled:    ret=%d (%d cycles, %.2fx)\n",
+			int64(iret), env.Cycles, int64(cret), x.Cycles, float64(env.Cycles)/float64(x.Cycles))
+		if iret != cret {
+			fmt.Fprintln(os.Stderr, "TIER MISMATCH")
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command experiments regenerates the paper's tables and figures (§5).
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-fig all|table1|1|2|3|7|8|9|10|11|schedule|ablations] [-seed N] [-apps a,b,c]
+//
+// The full scale mirrors §4 exactly (11 generations x 50 genomes, 100 random
+// sequences, 10^4 online evaluations) and takes several minutes for the
+// Figure 7/9 suite; quick shrinks budgets while preserving shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"replayopt/internal/exp"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment budget: quick or full")
+	fig := flag.String("fig", "all", "which result to regenerate: all, table1, 1, 2, 3, 7, 8, 9, 10, 11, schedule, ablations")
+	seed := flag.Int64("seed", 1, "seed for every stochastic component")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 21)")
+	flag.Parse()
+
+	var scale exp.Scale
+	switch *scaleName {
+	case "quick":
+		scale = exp.Quick()
+	case "full":
+		scale = exp.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *appsFlag != "" {
+		scale.Apps = strings.Split(*appsFlag, ",")
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	emit := func(t *exp.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+	}
+
+	start := time.Now()
+	if want("table1") {
+		fmt.Println(exp.Table1().String())
+	}
+	if want("1") {
+		_, t, err := exp.Figure1(scale, *seed)
+		emit(t, err)
+	}
+	if want("2") {
+		_, t, err := exp.Figure2(scale, *seed)
+		emit(t, err)
+	}
+	if want("3") {
+		_, t, err := exp.Figure3(scale, *seed)
+		emit(t, err)
+	}
+	if want("7") || want("9") || want("schedule") {
+		res, t, err := exp.Figure7(scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if want("7") {
+			fmt.Println(t.String())
+		}
+		if want("9") {
+			_, t9 := exp.Figure9(res)
+			fmt.Println(t9.String())
+		}
+		if want("schedule") {
+			emit(exp.ScheduleTable(res, scale, *seed))
+		}
+	}
+	if want("8") {
+		_, t, err := exp.Figure8(scale, *seed)
+		emit(t, err)
+	}
+	if want("10") {
+		_, t, err := exp.Figure10(scale, *seed)
+		emit(t, err)
+	}
+	if want("11") {
+		_, t, err := exp.Figure11(scale, *seed)
+		emit(t, err)
+	}
+	if want("ablations") {
+		emit(exp.AblationCoW(scale, *seed))
+		emit(exp.AblationFullSnapshot(scale, *seed))
+		emit(exp.AblationGCCheckElim(*seed))
+		emit(exp.AblationDevirt(*seed, "DroidFish"))
+		emit(exp.AblationRandomSearch(scale, *seed, "FFT"))
+		emit(exp.AblationNoVerify(scale, *seed, "FFT"))
+		emit(exp.AblationCrossValidate(scale, *seed))
+		emit(exp.AblationTTestFitness(*seed))
+	}
+	fmt.Printf("done in %.1fs (scale=%s)\n", time.Since(start).Seconds(), scale.Name)
+}

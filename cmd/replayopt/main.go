@@ -1,0 +1,93 @@
+// Command replayopt runs the full developer- and user-transparent
+// optimization pipeline (Fig. 6) on one of the evaluation applications:
+// profile online, detect the hot region, capture its input state, build the
+// verification map by interpreted replay, search the optimization space with
+// the GA, and report the installed winner's speedups.
+//
+// Usage:
+//
+//	replayopt -app FFT [-seed 1] [-pop 50] [-gens 11] [-crossvalidate 3]
+//	replayopt -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"replayopt/internal/apps"
+	"replayopt/internal/core"
+	"replayopt/internal/profile"
+)
+
+func main() {
+	appName := flag.String("app", "", "application to optimize (see -list)")
+	list := flag.Bool("list", false, "list the 21 evaluation applications")
+	seed := flag.Int64("seed", 1, "seed for all stochastic components")
+	pop := flag.Int("pop", 50, "GA population size")
+	gens := flag.Int("gens", 11, "GA generations")
+	crossval := flag.Int("crossvalidate", 0,
+		"also cross-validate the winner on N held-out captured inputs (DESIGN.md §7)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range apps.All() {
+			fmt.Printf("%-14s %-22s %s\n", s.Type, s.Name, s.Desc)
+		}
+		return
+	}
+	spec, ok := apps.ByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q (use -list)\n", *appName)
+		os.Exit(2)
+	}
+	app, err := apps.Build(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	opts.GA.Population = *pop
+	opts.GA.Generations = *gens
+	opt := core.New(opts)
+
+	fmt.Printf("optimizing %s (%s: %s)\n", spec.Name, spec.Type, spec.Desc)
+	var rep *core.Report
+	var cv *core.CrossValidation
+	if *crossval > 0 {
+		rep, cv, err = opt.OptimizeMulti(app, *crossval)
+	} else {
+		rep, err = opt.Optimize(app)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prog := app.Prog
+	fmt.Printf("\nhot region: %s (%d methods, %d profile samples)\n",
+		prog.Methods[rep.Region.Root].Name, len(rep.Region.Methods), rep.Region.EstimatedSamples)
+	fmt.Printf("code breakdown: compiled %.0f%%, cold %.0f%%, JNI %.0f%%, unreplayable %.0f%%, uncompilable %.0f%%\n",
+		rep.Breakdown[profile.CatCompiled]*100, rep.Breakdown[profile.CatCold]*100,
+		rep.Breakdown[profile.CatJNI]*100, rep.Breakdown[profile.CatUnreplayable]*100,
+		rep.Breakdown[profile.CatUncompilable]*100)
+	fmt.Printf("capture: %.1f ms online (fork %.1f + prep %.1f + faults/CoW %.1f); %.2f MB program-specific, %.1f MB boot-common\n",
+		rep.Capture.TotalMs(), rep.Capture.ForkMs, rep.Capture.PrepMs, rep.Capture.FaultCoWMs,
+		float64(rep.Capture.ProgramBytes())/(1<<20), float64(rep.Capture.CommonBytes())/(1<<20))
+	fmt.Printf("verification map: %d locations\n", rep.VerifyMapSize)
+	fmt.Printf("\nsearch: %d genomes evaluated, halt: %s\n", len(rep.Search.Trace), rep.Search.Halt)
+	fmt.Printf("best genome: %s\n", rep.Search.Best)
+	fmt.Printf("\nregion replay means: Android %.4f ms | -O3 %.4f ms | GA %.4f ms (%.2fx over Android)\n",
+		rep.AndroidRegionMs, rep.O3RegionMs, rep.GARegionMs, rep.RegionSpeedupGA)
+	fmt.Printf("whole-program speedup (online, outside replay): -O3 %.2fx | GA %.2fx\n",
+		rep.SpeedupO3, rep.SpeedupGA)
+	if cv != nil && cv.Checked > 0 {
+		fmt.Printf("cross-validation: %d/%d held-out inputs verified, worst speedup %.2fx\n",
+			cv.Passed, cv.Checked, cv.MinSpeedup())
+	}
+	if rep.KeptBaseline {
+		fmt.Println("note: the baseline binary was kept (the search winner did not qualify)")
+	}
+}

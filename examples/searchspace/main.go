@@ -1,0 +1,88 @@
+// Searchspace: why the optimization search must happen offline (§2) and
+// what the GA finds there (§3.6).
+//
+// It samples random LLVM-analogue optimization sequences on FFT's captured
+// hot region and classifies the outcomes (Fig. 1's compiler errors, runtime
+// crashes, and wrong outputs), shows that the correct ones are almost all
+// slower than the Android baseline (Fig. 2), then runs the genetic search
+// over the same space and prints what it discovered.
+//
+//	go run ./examples/searchspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"replayopt/internal/apps"
+	"replayopt/internal/core"
+	"replayopt/internal/ga"
+)
+
+func main() {
+	spec, _ := apps.ByName("FFT")
+	app, err := apps.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.New(core.DefaultOptions())
+	p, err := opt.Prepare(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	androidMs := p.AndroidEval.MeanMs
+	fmt.Printf("FFT hot region: Android %.4f ms, LLVM -O3 %.4f ms\n\n", androidMs, p.O3Eval.MeanMs)
+
+	// Random sampling (Figs. 1 and 2).
+	rng := rand.New(rand.NewSource(7))
+	gaOpts := ga.DefaultOptions()
+	outcomes := map[ga.Outcome]int{}
+	var speedups []float64
+	const n = 80
+	for i := 0; i < n; i++ {
+		g := ga.RandomGenome(rng, gaOpts)
+		ev := p.Evaluate(g.Decode())
+		outcomes[ev.Outcome]++
+		if ev.Outcome == ga.OutcomeCorrect {
+			speedups = append(speedups, androidMs/ev.MeanMs)
+		}
+	}
+	fmt.Printf("%d random optimization sequences:\n", n)
+	for o := ga.OutcomeCorrect; o <= ga.OutcomeWrongOutput; o++ {
+		if c := outcomes[o]; c > 0 {
+			fmt.Printf("  %-16s %3d (%d%%)\n", o, c, c*100/n)
+		}
+	}
+	slower := 0
+	best := 0.0
+	for _, s := range speedups {
+		if s < 1 {
+			slower++
+		}
+		if s > best {
+			best = s
+		}
+	}
+	fmt.Printf("of the %d correct binaries, %d are slower than Android (best random: %.2fx)\n",
+		len(speedups), slower, best)
+	fmt.Println("evaluating any of these online would have hurt the user — or corrupted state.")
+
+	// The genetic search over the same space.
+	gaOpts.Population = 20
+	gaOpts.Generations = 7
+	gaOpts.BaselineAndroidMs = androidMs
+	gaOpts.BaselineO3Ms = p.O3Eval.MeanMs
+	res := ga.Search(rand.New(rand.NewSource(7)), p, gaOpts)
+	fmt.Printf("\ngenetic search (%d evaluations, halt: %s):\n", len(res.Trace), res.Halt)
+	fmt.Printf("  best genome: %s\n", res.Best)
+	fmt.Printf("  region speedup: %.2fx over Android, %.2fx over -O3\n",
+		androidMs/res.BestEval.MeanMs, p.O3Eval.MeanMs/res.BestEval.MeanMs)
+	failed := 0
+	for _, r := range res.Trace {
+		if r.Eval.Outcome.Failed() {
+			failed++
+		}
+	}
+	fmt.Printf("  %d/%d genomes were broken and silently discarded offline\n", failed, len(res.Trace))
+}

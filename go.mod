@@ -1,0 +1,3 @@
+module replayopt
+
+go 1.22

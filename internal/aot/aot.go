@@ -1,0 +1,78 @@
+// Package aot is the baseline "Android compiler": a safety-first ahead-of-
+// time compiler from dex bytecode to machine code. It mirrors the character
+// the paper ascribes to the Android toolchain (§2, §3.5): a small set of
+// guaranteed-safe optimizations, conservative code generation (every bounds
+// check kept, one GC check per loop), and pathological method shapes it
+// refuses to compile.
+//
+// The optimization pipeline (the "18 distinct optimizations" of the
+// Android 10 compiler) comprises, in order: loop/dominator analysis,
+// constant folding, instruction simplification, local value numbering,
+// copy propagation, a second folding round, global-liveness dead code
+// elimination, integer intrinsic recognition, safepoint placement, implicit
+// null checks, indexed-addressing selection, and linear-scan register
+// allocation.
+package aot
+
+import (
+	"fmt"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/hgraph"
+	"replayopt/internal/machine"
+)
+
+// ErrUncompilable marks methods the baseline compiler rejects; they stay
+// interpreted (the Fig. 8 "Uncompilable" category).
+type ErrUncompilable struct{ Method string }
+
+func (e *ErrUncompilable) Error() string {
+	return fmt.Sprintf("aot: method %s is not compilable", e.Method)
+}
+
+// CompileMethod compiles one method with the baseline pipeline.
+func CompileMethod(prog *dex.Program, id dex.MethodID) (*machine.Fn, error) {
+	m := prog.Methods[id]
+	if m.Uncompilable {
+		return nil, &ErrUncompilable{Method: m.Name}
+	}
+	g, err := hgraph.Build(prog, m)
+	if err != nil {
+		return nil, err
+	}
+	constantFold(g)
+	localCSE(g)
+	copyProp(g)
+	deadCode(g) // clear dead copies so the second CSE round sees reuse
+	localCSE(g)
+	copyProp(g)
+	constantFold(g)
+	deadCode(g)
+	fn := lower(g, lowerOpts{fusedAddressing: true, intIntrinsics: true})
+	fn.Method = id
+	// ART's backend encodes immediates, selects multiply-accumulate forms,
+	// and schedules for the big cores; the baseline gets the same machine
+	// passes (it is conservative about *transformations*, not codegen).
+	mopts := machine.LowerOpts{FuseLiterals: true, FuseMaddInt: true, Schedule: true, NumRegs: 26}
+	if err := machine.Finalize(fn, m.NumArgs, mopts); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+// Compile compiles every compilable method of prog. Uncompilable methods are
+// skipped (they fall back to the interpreter at run time).
+func Compile(prog *dex.Program) (*machine.Program, error) {
+	out := machine.NewProgram()
+	for i := range prog.Methods {
+		fn, err := CompileMethod(prog, dex.MethodID(i))
+		if err != nil {
+			if _, ok := err.(*ErrUncompilable); ok {
+				continue
+			}
+			return nil, fmt.Errorf("aot: compiling %s: %w", prog.Methods[i].Name, err)
+		}
+		out.Fns[dex.MethodID(i)] = fn
+	}
+	return out, nil
+}

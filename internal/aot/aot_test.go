@@ -1,0 +1,294 @@
+package aot
+
+import (
+	"testing"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/hgraph"
+	"replayopt/internal/interp"
+	"replayopt/internal/machine"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+// differential harness: every program must produce identical results (and
+// identical observable heap effects) interpreted and compiled.
+var diffPrograms = []struct {
+	name string
+	src  string
+}{
+	{"arith", `func main() int { return (2+3*4-5)/2 % 7; }`},
+	{"floats", `func main() int {
+		float acc = 0.0;
+		for (int i = 1; i < 50; i = i + 1) { acc = acc + 1.0 / itof(i); }
+		return ftoi(acc * 1000.0);
+	}`},
+	{"loops", `func main() int {
+		int s = 0;
+		for (int i = 0; i < 37; i = i + 1) {
+			for (int j = i; j < 37; j = j + 1) {
+				if ((i ^ j) % 3 == 0) { s = s + i*j; } else { s = s - j; }
+			}
+		}
+		return s;
+	}`},
+	{"arrays", `func main() int {
+		int[] a = new int[64];
+		for (int i = 0; i < 64; i = i + 1) { a[i] = i * 3 % 17; }
+		int best = 0;
+		for (int i = 1; i < 64; i = i + 1) { if (a[i] > a[best]) { best = i; } }
+		return best * 100 + a[best];
+	}`},
+	{"calls", `
+	func square(int x) int { return x * x; }
+	func sumsq(int n) int {
+		int s = 0;
+		for (int i = 0; i < n; i = i + 1) { s = s + square(i); }
+		return s;
+	}
+	func main() int { return sumsq(40); }`},
+	{"recursion", `
+	func fib(int n) int { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+	func main() int { return fib(17); }`},
+	{"virtual", `
+	class Animal { int legs; func noise() int { return 1; } }
+	class Dog extends Animal { func noise() int { return 2 + this.legs; } }
+	class Cat extends Animal { func noise() int { return 30; } }
+	func main() int {
+		Animal[] zoo = new Animal[3];
+		zoo[0] = new Dog(); zoo[1] = new Cat(); zoo[2] = new Animal();
+		Animal d = zoo[0]; d.legs = 4;
+		int s = 0;
+		for (int i = 0; i < 3; i = i + 1) { Animal a = zoo[i]; s = s * 100 + a.noise(); }
+		return s;
+	}`},
+	{"globals", `
+	global int acc;
+	global float[] buf;
+	func push(float v) { int n = ftoi(buf[0]); buf[n+1] = v; buf[0] = itof(n+1); }
+	func main() int {
+		buf = new float[16];
+		push(1.5); push(2.5); push(3.0);
+		float s = 0.0;
+		for (int i = 1; i <= ftoi(buf[0]); i = i + 1) { s = s + buf[i]; }
+		acc = ftoi(s * 2.0);
+		return acc;
+	}`},
+	{"natives", `func main() int {
+		float s = 0.0;
+		for (int i = 1; i < 20; i = i + 1) { s = s + sqrt(itof(i)) + sin(itof(i)); }
+		return ftoi(s * 1000.0) + absi(-5) + maxi(3, mini(10, 7));
+	}`},
+	{"gc_pressure", `func main() int {
+		int total = 0;
+		for (int i = 0; i < 300; i = i + 1) {
+			int[] tmp = new int[1024];
+			tmp[i % 1024] = i;
+			total = total + tmp[i % 1024];
+		}
+		return total;
+	}`},
+}
+
+func interpret(t *testing.T, prog *dex.Program) (uint64, uint64, *rt.Process) {
+	t.Helper()
+	proc := rt.NewProcess(prog, rt.Config{})
+	e := interp.NewEnv(proc)
+	e.MaxCycles = 500_000_000
+	v, err := e.Run()
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	return v, e.Cycles, proc
+}
+
+func execCompiled(t *testing.T, prog *dex.Program, code *machine.Program) (uint64, uint64, *rt.Process) {
+	t.Helper()
+	proc := rt.NewProcess(prog, rt.Config{})
+	x := machine.NewExec(proc, code)
+	x.MaxCycles = 500_000_000
+	v, err := x.Call(prog.Entry, nil)
+	if err != nil {
+		t.Fatalf("compiled run: %v", err)
+	}
+	return v, x.Cycles, proc
+}
+
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	for _, tc := range diffPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := minic.CompileSource(tc.name, tc.src)
+			if err != nil {
+				t.Fatalf("minic: %v", err)
+			}
+			want, icycles, iproc := interpret(t, prog)
+			code, err := Compile(prog)
+			if err != nil {
+				t.Fatalf("aot: %v", err)
+			}
+			got, ccycles, cproc := execCompiled(t, prog, code)
+			if got != want {
+				t.Fatalf("compiled result %d != interpreted %d", int64(got), int64(want))
+			}
+			if ccycles >= icycles {
+				t.Errorf("compiled code not faster: %d >= %d cycles", ccycles, icycles)
+			}
+			// Observable heap state must match (same allocation order, same
+			// final statics).
+			if iproc.HeapUsed() != cproc.HeapUsed() {
+				t.Errorf("heap divergence: interp %d vs compiled %d bytes",
+					iproc.HeapUsed(), cproc.HeapUsed())
+			}
+			for slot := range prog.Globals {
+				iv, _ := iproc.GlobalGet(int64(slot))
+				cv, _ := cproc.GlobalGet(int64(slot))
+				if iv != cv {
+					t.Errorf("global %s diverged: %#x vs %#x", prog.Globals[slot].Name, iv, cv)
+				}
+			}
+		})
+	}
+}
+
+func TestCompiledSpeedupIsSubstantial(t *testing.T) {
+	// The compiled tier should beat the interpreter by a wide margin on a
+	// hot numeric loop (ballpark 2-6x in this cost model).
+	prog, err := minic.CompileSource("hot", `
+func main() int {
+	int s = 0;
+	for (int i = 0; i < 5000; i = i + 1) { s = s + i*i % 31; }
+	return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, icycles, _ := interpret(t, prog)
+	code, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ccycles, _ := execCompiled(t, prog, code)
+	ratio := float64(icycles) / float64(ccycles)
+	if ratio < 1.8 {
+		t.Errorf("compiled speedup only %.2fx over interpreter", ratio)
+	}
+}
+
+func TestUncompilableMethodsSkipped(t *testing.T) {
+	prog, err := minic.CompileSource("u", `
+@uncompilable
+func weird(int x) int { return x + 1; }
+func main() int { return weird(41); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weirdID, _ := prog.MethodByName("weird")
+	if _, ok := code.Fns[weirdID]; ok {
+		t.Error("uncompilable method was compiled")
+	}
+	// Mixed-mode execution still works via the interpreter bridge.
+	got, _, _ := execCompiled(t, prog, code)
+	if got != 42 {
+		t.Errorf("mixed-mode result = %d, want 42", int64(got))
+	}
+}
+
+func TestThrowCompiles(t *testing.T) {
+	prog, err := minic.CompileSource("th", `
+func f(int x) int { if (x > 10) { throw 99; } return x; }
+func main() int { return f(20); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	x := machine.NewExec(proc, code)
+	_, err = x.Call(prog.Entry, nil)
+	if err == nil {
+		t.Fatal("throw did not surface")
+	}
+}
+
+func TestOptimizationsShrinkCode(t *testing.T) {
+	prog, err := minic.CompileSource("opt", `
+func main() int {
+	int a = 3 * 4;          // folds to 12
+	int b = a + 0;          // identity
+	int c = 5 * 0;          // zero
+	int unused = 1 + 2 + 3; // dead
+	return a + b + c;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := prog.Entry
+	fn, err := CompileMethod(prog, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count surviving ALU instructions; folding + DCE should leave almost
+	// none (only the final add chain at most).
+	alu := 0
+	for _, in := range fn.Code {
+		switch in.Op {
+		case machine.Add, machine.Sub, machine.Mul:
+			alu++
+		}
+	}
+	if alu > 2 {
+		t.Errorf("%d ALU ops survived constant folding + DCE", alu)
+	}
+}
+
+func TestRegisterPressureSpills(t *testing.T) {
+	// A method with many simultaneously-live values must spill but stay
+	// correct with few registers.
+	src := `
+func wide(int x) int {
+	int a = x + 1; int b = x + 2; int c = x + 3; int d = x + 4;
+	int e = x + 5; int f = x + 6; int g = x + 7; int h = x + 8;
+	int i = x + 9; int j = x + 10; int k = x + 11; int l = x + 12;
+	int m = x + 13; int n = x + 14; int o = x + 15; int p = x + 16;
+	return a+b+c+d+e+f+g+h+i+j+k+l+m+n+o+p;
+}
+func main() int { return wide(100); }`
+	prog, err := minic.CompileSource("wide", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := interpret(t, prog)
+
+	// Compile with very few registers to force spilling.
+	id := prog.Entry
+	wideID, _ := prog.MethodByName("wide")
+	g, err := hgraph.Build(prog, prog.Method(wideID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := lower(g, lowerOpts{fusedAddressing: true})
+	fn.Method = wideID
+	if err := machine.Finalize(fn, 1, machine.LowerOpts{NumRegs: 8}); err != nil {
+		t.Fatalf("finalize with 8 regs: %v", err)
+	}
+	if fn.NumSpills == 0 {
+		t.Error("expected spills with 8 registers")
+	}
+	mainFn, err := CompileMethod(prog, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := machine.NewProgram()
+	code.Fns[wideID] = fn
+	code.Fns[id] = mainFn
+	got, _, _ := execCompiled(t, prog, code)
+	if got != want {
+		t.Errorf("spilled code computes %d, want %d", int64(got), int64(want))
+	}
+}

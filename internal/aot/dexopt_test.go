@@ -1,0 +1,114 @@
+package aot
+
+import (
+	"testing"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/hgraph"
+	"replayopt/internal/minic"
+)
+
+func graphOf(t *testing.T, src, fn string) (*dex.Program, *hgraph.Graph) {
+	t.Helper()
+	prog, err := minic.CompileSource("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := prog.MethodByName(fn)
+	if !ok {
+		t.Fatalf("no %s", fn)
+	}
+	g, err := hgraph.Build(prog, prog.Method(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, g
+}
+
+func countOps(g *hgraph.Graph, ops ...dex.Op) int {
+	want := map[dex.Op]bool{}
+	for _, o := range ops {
+		want[o] = true
+	}
+	n := 0
+	for _, b := range g.Blocks {
+		for _, in := range b.Insns {
+			if want[in.Op] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestConstantFoldCollapsesArithmetic(t *testing.T) {
+	_, g := graphOf(t, `
+func f() int {
+	int a = 3 * 4 + 2;
+	int b = a - 0;
+	return b;
+}
+func main() int { return f(); }`, "f")
+	constantFold(g)
+	localCSE(g)
+	copyProp(g)
+	constantFold(g)
+	deadCode(g)
+	if n := countOps(g, dex.OpMulInt, dex.OpAddInt, dex.OpSubInt); n != 0 {
+		t.Errorf("%d arithmetic ops survived folding", n)
+	}
+}
+
+func TestLocalCSEDedupesPureOps(t *testing.T) {
+	_, g := graphOf(t, `
+func f(int x) int {
+	int a = x * 17;
+	int b = x * 17;
+	return a + b;
+}
+func main() int { return f(2); }`, "f")
+	localCSE(g)
+	copyProp(g)
+	deadCode(g)
+	localCSE(g)
+	copyProp(g)
+	deadCode(g)
+	if n := countOps(g, dex.OpMulInt); n != 1 {
+		t.Errorf("%d multiplies survived CSE, want 1", n)
+	}
+}
+
+func TestDeadCodeKeepsSideEffects(t *testing.T) {
+	_, g := graphOf(t, `
+global int[] a;
+func f(int i) int {
+	int dead = i * 99;
+	a[i] = 5;
+	return i;
+}
+func main() int { a = new int[8]; return f(1); }`, "f")
+	constantFold(g)
+	deadCode(g)
+	if n := countOps(g, dex.OpMulInt); n != 0 {
+		t.Error("dead multiply survived")
+	}
+	if n := countOps(g, dex.OpAStoreInt); n != 1 {
+		t.Error("side-effecting store removed")
+	}
+}
+
+func TestCopyPropRewritesUses(t *testing.T) {
+	_, g := graphOf(t, `
+func f(int x) int {
+	int a = x;
+	int b = a;
+	return b + b;
+}
+func main() int { return f(21); }`, "f")
+	copyProp(g)
+	deadCode(g)
+	// After copy prop + DCE the move chain should be mostly gone.
+	if n := countOps(g, dex.OpMove); n > 1 {
+		t.Errorf("%d moves survived", n)
+	}
+}

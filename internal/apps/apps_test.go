@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"testing"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/interp"
+	"replayopt/internal/machine"
+	"replayopt/internal/profile"
+	"replayopt/internal/rt"
+)
+
+func TestAllSpecsPresent(t *testing.T) {
+	specs := All()
+	if len(specs) != 21 {
+		t.Fatalf("%d apps, want 21 (Table 1)", len(specs))
+	}
+	counts := map[Type]int{}
+	names := map[string]bool{}
+	for _, s := range specs {
+		counts[s.Type]++
+		if names[s.Name] {
+			t.Errorf("duplicate app %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if counts[Scimark] != 5 || counts[Art] != 7 || counts[Interactive] != 9 {
+		t.Errorf("category counts %v, want Scimark=5 Art=7 Interactive=9", counts)
+	}
+}
+
+// Every app must compile, run online (interpreted and compiled with
+// identical results), and terminate within budget.
+func TestAllAppsRunBothTiers(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			app, err := Build(s)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			// Interpreted.
+			proc := rt.NewProcess(app.Prog, app.RTConfig)
+			env := interp.NewEnv(proc)
+			ns := interp.NewNativeState(app.NativeSeed)
+			ns.Inputs = append([]int64(nil), app.Inputs...)
+			env.Natives = interp.BindNatives(app.Prog, ns)
+			env.MaxCycles = 5_000_000_000
+			iret, err := env.Run()
+			if err != nil {
+				t.Fatalf("interp run: %v", err)
+			}
+			// Compiled.
+			code, err := aot.Compile(app.Prog)
+			if err != nil {
+				t.Fatalf("aot: %v", err)
+			}
+			_, x := app.NewProcessAndExec(code)
+			x.MaxCycles = 5_000_000_000
+			cret, err := x.Call(app.Prog.Entry, nil)
+			if err != nil {
+				t.Fatalf("compiled run: %v", err)
+			}
+			if iret != cret {
+				t.Fatalf("tiers disagree: interp %d vs compiled %d", int64(iret), int64(cret))
+			}
+			if x.Cycles > 40_000_000 {
+				t.Errorf("online run costs %d cycles — too slow for the experiment harness", x.Cycles)
+			}
+		})
+	}
+}
+
+// Every app must yield a replayable hot region whose root is the kernel.
+func TestAllAppsHaveHotKernelRegion(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			app, err := Build(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, err := aot.Compile(app.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof := profile.NewProfile()
+			_, x := app.NewProcessAndExec(code)
+			x.SamplePeriod = profile.SamplePeriodCycles / 10
+			x.Sampler = prof
+			x.MaxCycles = 5_000_000_000
+			if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+				t.Fatal(err)
+			}
+			analysis := profile.Analyze(app.Prog)
+			region, ok := profile.HotRegion(app.Prog, analysis, prof)
+			if !ok {
+				t.Fatal("no hot region")
+			}
+			root := app.Prog.Methods[region.Root].Name
+			if root != "kernel" {
+				t.Errorf("hot region root = %s, want kernel", root)
+			}
+			bd := profile.Classify(app.Prog, analysis, prof, region)
+			if bd[profile.CatCompiled] < 0.10 {
+				t.Errorf("compiled fraction %.2f too small", bd[profile.CatCompiled])
+			}
+			if s.Type == Interactive && bd[profile.CatJNI] < 0.02 {
+				t.Errorf("interactive app with %.2f JNI fraction", bd[profile.CatJNI])
+			}
+		})
+	}
+}
+
+// The hot region must be replay-affordable: one invocation under the
+// baseline stays below the per-replay budget.
+func TestKernelInvocationCostBounded(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			app, err := Build(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, err := aot.Compile(app.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kid, ok := app.Prog.MethodByName("kernel")
+			if !ok {
+				t.Fatal("no kernel method")
+			}
+			var cycles uint64
+			_, x := app.NewProcessAndExec(code)
+			x.MaxCycles = 5_000_000_000
+			x.Hook = &machine.CaptureHook{
+				Method: kid,
+				Wrap: func(args []uint64, call func() (uint64, error)) (uint64, error) {
+					before := x.Cycles
+					ret, err := call()
+					cycles = x.Cycles - before
+					return ret, err
+				},
+			}
+			if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+				t.Fatal(err)
+			}
+			if cycles == 0 {
+				t.Fatal("kernel never ran")
+			}
+			if cycles > 3_000_000 {
+				t.Errorf("one kernel invocation costs %d cycles — replays will crawl", cycles)
+			}
+		})
+	}
+}

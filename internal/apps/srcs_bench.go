@@ -1,0 +1,641 @@
+package apps
+
+// The benchmark applications: the Scimark suite and the Art set. Kernels
+// are faithful ports of the originals, sized so that one hot-region
+// invocation is replay-friendly. Big working sets are page-strided via
+// sweep() so capture footprints match Fig. 11 without inflating replay
+// cost.
+
+func scimarkSpecs() []Spec {
+	return []Spec{
+		{Name: "FFT", Type: Scimark, Desc: "Fast Fourier Transform", HeapMB: 24, Seed: 101, Source: fftSrc},
+		{Name: "SOR", Type: Scimark, Desc: "Jacobi Successive Over-relaxation", HeapMB: 24, Seed: 102, Source: sorSrc},
+		{Name: "MonteCarlo", Type: Scimark, Desc: "Estimates pi value", HeapMB: 16, Seed: 103, Source: monteCarloSrc},
+		{Name: "Sparse matmult", Type: Scimark, Desc: "Indirection and addressing", HeapMB: 24, Seed: 104, Source: sparseSrc},
+		{Name: "LU", Type: Scimark, Desc: "Linear algebra kernels", HeapMB: 24, Seed: 105, Source: luSrc},
+	}
+}
+
+func artSpecs() []Spec {
+	return []Spec{
+		{Name: "Sieve", Type: Art, Desc: "Lists prime numbers", HeapMB: 16, Seed: 201, Source: sieveSrc},
+		{Name: "BubbleSort", Type: Art, Desc: "Simple sorting algorithm", HeapMB: 16, Seed: 202, Source: bubbleSrc},
+		{Name: "SelectionSort", Type: Art, Desc: "Simple sorting algorithm", HeapMB: 16, Seed: 203, Source: selectionSrc},
+		{Name: "Linpack", Type: Art, Desc: "Numerical linear algebra", HeapMB: 24, Seed: 204, Source: linpackSrc},
+		{Name: "Fibonacci.iter", Type: Art, Desc: "Fibonacci sequence iterative", HeapMB: 8, Seed: 205, Source: fibIterSrc},
+		{Name: "Fibonacci.recv", Type: Art, Desc: "Fibonacci sequence recursive", HeapMB: 8, Seed: 206, Source: fibRecSrc},
+		{Name: "Dhrystone", Type: Art, Desc: "Representative general CPU performance", HeapMB: 16, Seed: 207, Source: dhrystoneSrc},
+	}
+}
+
+const fftSrc = `
+// SciMark FFT: radix-2 complex transform over 256 points, plus the
+// surrounding working buffers (page-strided).
+global float[] re;
+global float[] im;
+global float[] workset;
+
+func bitreverse(float[] xr, float[] xi) {
+	int n = len(xr);
+	int j = 0;
+	for (int i = 0; i < n - 1; i = i + 1) {
+		if (i < j) {
+			float tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+			float ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+		}
+		int k = n / 2;
+		while (k <= j) { j = j - k; k = k / 2; }
+		j = j + k;
+	}
+}
+
+func transform(float[] xr, float[] xi, float dir) {
+	int n = len(xr);
+	bitreverse(xr, xi);
+	int dual = 1;
+	while (dual < n) {
+		float theta = dir * 3.141592653589793 / itof(dual);
+		float wr = cos(theta);
+		float wi = sin(theta);
+		// First pass: w = 1.
+		for (int b = 0; b < n; b = b + 2 * dual) {
+			int i = b;
+			int j = b + dual;
+			float t_r = xr[j]; float t_i = xi[j];
+			xr[j] = xr[i] - t_r;
+			xi[j] = xi[i] - t_i;
+			xr[i] = xr[i] + t_r;
+			xi[i] = xi[i] + t_i;
+		}
+		float cwr = wr; float cwi = wi;
+		for (int a = 1; a < dual; a = a + 1) {
+			for (int b = 0; b < n; b = b + 2 * dual) {
+				int i = b + a;
+				int j = b + a + dual;
+				float zr = xr[j]; float zi = xi[j];
+				float t_r = cwr * zr - cwi * zi;
+				float t_i = cwr * zi + cwi * zr;
+				xr[j] = xr[i] - t_r;
+				xi[j] = xi[i] - t_i;
+				xr[i] = xr[i] + t_r;
+				xi[i] = xi[i] + t_i;
+			}
+			float nwr = cwr * wr - cwi * wi;
+			cwi = cwr * wi + cwi * wr;
+			cwr = nwr;
+		}
+		dual = dual * 2;
+	}
+}
+
+func kernel(int rounds) int {
+	float acc = 0.0;
+	for (int r = 0; r < rounds; r = r + 1) {
+		transform(re, im, 0.0 - 1.0);
+		transform(re, im, 1.0);
+		acc = acc + re[1] + im[1];
+	}
+	acc = acc + sweep(workset);
+	return ftoi(acc * 1024.0);
+}
+
+func setup() {
+	re = new float[256];
+	im = new float[256];
+	for (int i = 0; i < len(re); i = i + 1) {
+		re[i] = itof(i % 17) * 0.25;
+		im[i] = itof(i % 13) * 0.125;
+	}
+	workset = new float[350000]; // ~2.7 MB page-strided working set
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(1); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const sorSrc = `
+// SciMark SOR: Jacobi successive over-relaxation on a 96x96 grid.
+global float[][] grid;
+global float[] workset;
+
+func relax(float[][] g, float omega, int iters) float {
+	int m = len(g);
+	float sum = 0.0;
+	for (int p = 0; p < iters; p = p + 1) {
+		for (int i = 1; i < m - 1; i = i + 1) {
+			float[] gi = g[i];
+			float[] gim = g[i - 1];
+			float[] gip = g[i + 1];
+			for (int j = 1; j < len(gi) - 1; j = j + 1) {
+				gi[j] = omega * 0.25 * (gim[j] + gip[j] + gi[j-1] + gi[j+1])
+					+ (1.0 - omega) * gi[j];
+			}
+		}
+		sum = sum + g[m/2][m/2];
+	}
+	return sum;
+}
+
+func kernel(int iters) int {
+	float s = relax(grid, 1.25, iters) + sweep(workset);
+	return ftoi(s * 1000.0);
+}
+
+func setup() {
+	grid = new float[96][];
+	for (int i = 0; i < 96; i = i + 1) {
+		grid[i] = new float[96];
+		for (int j = 0; j < 96; j = j + 1) { grid[i][j] = itof((i * 96 + j) % 31) * 0.1; }
+	}
+	workset = new float[380000]; // ~3 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(3); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const monteCarloSrc = `
+// SciMark MonteCarlo: pi estimation with SciMark's own managed LCG (the
+// native PRNG is blocklisted; the benchmark ships its own, as the original
+// Java does).
+global float[] workset;
+
+func pi(int samples) float {
+	int under = 0;
+	for (int c = 0; c < samples; c = c + 1) {
+		float x = lcgFloat();
+		float y = lcgFloat();
+		if (x * x + y * y <= 1.0) { under = under + 1; }
+	}
+	return 4.0 * itof(under) / itof(samples);
+}
+
+func kernel(int samples) int {
+	float est = pi(samples);
+	return ftoi(est * 1000000.0) + ftoi(sweep(workset));
+}
+
+func setup() {
+	lcgState = 20260706;
+	workset = new float[70000]; // ~0.55 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(3000); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet + lcgSnippet
+
+const sparseSrc = `
+// SciMark sparse matmult: y += A*x in compressed-row storage; the pattern
+// exercises indirection and addressing.
+global float[] vals;
+global int[] col;
+global int[] rowp;
+global float[] x;
+global float[] y;
+global float[] workset;
+
+func multiply(int passes) float {
+	int rows = len(rowp) - 1;
+	for (int p = 0; p < passes; p = p + 1) {
+		for (int r = 0; r < rows; r = r + 1) {
+			float s = 0.0;
+			int start = rowp[r];
+			int stop = rowp[r + 1];
+			for (int k = start; k < stop; k = k + 1) {
+				s = s + vals[k] * x[col[k]];
+			}
+			y[r] = y[r] + s;
+		}
+	}
+	return y[rows / 2];
+}
+
+func kernel(int passes) int {
+	return ftoi(multiply(passes) * 100.0) + ftoi(sweep(workset));
+}
+
+func setup() {
+	int n = 600;
+	int nz = 7;
+	vals = new float[n * nz];
+	col = new int[n * nz];
+	rowp = new int[n + 1];
+	x = new float[n];
+	y = new float[n];
+	for (int i = 0; i < n; i = i + 1) { x[i] = itof(i % 23) * 0.05; }
+	int k = 0;
+	for (int r = 0; r < n; r = r + 1) {
+		rowp[r] = k;
+		for (int j = 0; j < nz; j = j + 1) {
+			vals[k] = itof((r + j) % 19) * 0.01;
+			col[k] = (r * 7 + j * 131) % n;
+			k = k + 1;
+		}
+	}
+	rowp[n] = k;
+	workset = new float[250000]; // ~2 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(6); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const luSrc = `
+// SciMark LU: in-place factorization with partial pivoting of a 48x48
+// matrix, restored each round from a pristine copy.
+global float[][] a;
+global float[][] orig;
+global int[] piv;
+global float[] workset;
+
+func factor(float[][] m, int[] pivot) float {
+	int n = len(m);
+	for (int j = 0; j < n; j = j + 1) {
+		int jp = j;
+		float maxabs = absf(m[j][j]);
+		for (int i = j + 1; i < n; i = i + 1) {
+			float v = absf(m[i][j]);
+			if (v > maxabs) { maxabs = v; jp = i; }
+		}
+		pivot[j] = jp;
+		if (jp != j) {
+			float[] tmp = m[jp]; m[jp] = m[j]; m[j] = tmp;
+		}
+		if (m[j][j] != 0.0) {
+			float recp = 1.0 / m[j][j];
+			for (int k = j + 1; k < n; k = k + 1) { m[k][j] = m[k][j] * recp; }
+		}
+		if (j < n - 1) {
+			for (int ii = j + 1; ii < n; ii = ii + 1) {
+				float[] mi = m[ii];
+				float mult = mi[j];
+				float[] mj = m[j];
+				for (int jj = j + 1; jj < n; jj = jj + 1) {
+					mi[jj] = mi[jj] - mult * mj[jj];
+				}
+			}
+		}
+	}
+	return m[n-1][n-1];
+}
+
+func restore() {
+	for (int i = 0; i < len(a); i = i + 1) {
+		for (int j = 0; j < len(a); j = j + 1) { a[i][j] = orig[i][j]; }
+	}
+}
+
+func kernel(int rounds) int {
+	float s = 0.0;
+	for (int r = 0; r < rounds; r = r + 1) {
+		restore();
+		s = s + factor(a, piv);
+	}
+	return ftoi(s * 1000.0) + ftoi(sweep(workset));
+}
+
+func setup() {
+	int n = 48;
+	a = new float[n][];
+	orig = new float[n][];
+	piv = new int[n];
+	for (int i = 0; i < n; i = i + 1) {
+		a[i] = new float[n];
+		orig[i] = new float[n];
+		for (int j = 0; j < n; j = j + 1) {
+			orig[i][j] = itof(((i * 53 + j * 17) % 97) + 1) * 0.013;
+		}
+	}
+	workset = new float[420000]; // ~3.3 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(1); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const sieveSrc = `
+// Sieve of Eratosthenes up to 8192 (NIH benchmark).
+global int[] flags;
+global float[] workset;
+
+func sieve(int limit) int {
+	for (int i = 0; i < limit; i = i + 1) { flags[i] = 1; }
+	int count = 0;
+	for (int p = 2; p < limit; p = p + 1) {
+		if (flags[p] == 1) {
+			count = count + 1;
+			for (int k = p + p; k < limit; k = k + p) { flags[k] = 0; }
+		}
+	}
+	return count;
+}
+
+func kernel(int limit) int { return sieve(limit) + ftoi(sweep(workset)); }
+
+func setup() {
+	flags = new int[8192];
+	workset = new float[130000]; // ~1 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(8192); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const bubbleSrc = `
+// BubbleSort (TheAlgorithms): sorts a pseudo-random array in place each
+// round. The region modifies many pages, giving captures the paper's
+// highest Copy-on-Write overhead (Fig. 10).
+global int[] data;
+global float[] scratch;
+
+func fill(int[] a) {
+	int v = 12345;
+	for (int i = 0; i < len(a); i = i + 1) {
+		v = (v * 1103515245 + 12345) % 1048576;
+		if (v < 0) { v = 0 - v; }
+		a[i] = v;
+	}
+}
+
+func bubble(int[] a) int {
+	int n = len(a);
+	int swaps = 0;
+	for (int i = 0; i < n - 1; i = i + 1) {
+		for (int j = 0; j < n - 1 - i; j = j + 1) {
+			if (a[j] > a[j + 1]) {
+				int t = a[j]; a[j] = a[j + 1]; a[j + 1] = t;
+				swaps = swaps + 1;
+			}
+		}
+	}
+	return swaps;
+}
+
+func dirty(float[] s) {
+	// Touch-and-write one slot per page: heavy CoW during capture.
+	for (int i = 0; i < len(s); i = i + 512) { s[i] = s[i] + 1.0; }
+}
+
+func kernel(int n) int {
+	fill(data);
+	int swaps = bubble(data);
+	dirty(scratch);
+	return swaps + data[n / 2];
+}
+
+func setup() {
+	data = new int[280];
+	scratch = new float[160000]; // ~1.25 MB, all written
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(280); }
+	print_int(chk);
+	return chk;
+}
+`
+
+const selectionSrc = `
+// SelectionSort (TheAlgorithms).
+global int[] data;
+global float[] workset;
+
+func fill(int[] a) {
+	int v = 99991;
+	for (int i = 0; i < len(a); i = i + 1) {
+		v = (v * 1103515245 + 12345) % 1048576;
+		if (v < 0) { v = 0 - v; }
+		a[i] = v;
+	}
+}
+
+func selectionSort(int[] a) int {
+	int n = len(a);
+	int moves = 0;
+	for (int i = 0; i < n - 1; i = i + 1) {
+		int best = i;
+		for (int j = i + 1; j < n; j = j + 1) {
+			if (a[j] < a[best]) { best = j; }
+		}
+		if (best != i) {
+			int t = a[i]; a[i] = a[best]; a[best] = t;
+			moves = moves + 1;
+		}
+	}
+	return moves;
+}
+
+func kernel(int n) int {
+	fill(data);
+	int moves = selectionSort(data);
+	return moves * 1000 + a_mid() + ftoi(sweep(workset));
+}
+
+func a_mid() int { return data[len(data) / 2]; }
+
+func setup() {
+	data = new int[300];
+	workset = new float[150000]; // ~1.2 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(300); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const linpackSrc = `
+// Linpack-style daxpy/dgefa inner loops.
+global float[][] mat;
+global float[] vec;
+global float[] workset;
+
+func daxpy(float[] dy, float[] dx, float da, int n) {
+	for (int i = 0; i < n; i = i + 1) { dy[i] = dy[i] + da * dx[i]; }
+}
+
+func gauss(int passes) float {
+	int n = len(mat);
+	float pivotSum = 0.0;
+	for (int p = 0; p < passes; p = p + 1) {
+		for (int k = 0; k < n - 1; k = k + 1) {
+			float[] rowk = mat[k];
+			float pivot = rowk[k];
+			if (pivot == 0.0) { pivot = 1.0; }
+			for (int i = k + 1; i < n; i = i + 1) {
+				float m = mat[i][k] / pivot;
+				daxpy(mat[i], rowk, 0.0 - m * 0.001, n);
+			}
+			pivotSum = pivotSum + pivot;
+		}
+	}
+	return pivotSum;
+}
+
+func kernel(int passes) int {
+	return ftoi(gauss(passes) * 100.0) + ftoi(sweep(workset));
+}
+
+func setup() {
+	int n = 40;
+	mat = new float[n][];
+	vec = new float[n];
+	for (int i = 0; i < n; i = i + 1) {
+		mat[i] = new float[n];
+		for (int j = 0; j < n; j = j + 1) {
+			mat[i][j] = itof(((i + 2) * (j + 3)) % 89 + 1) * 0.02;
+		}
+	}
+	workset = new float[300000]; // ~2.3 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(1); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const fibIterSrc = `
+// Iterative Fibonacci, repeated to form a measurable region.
+global float[] workset;
+
+func fib(int n) int {
+	int a = 0;
+	int b = 1;
+	for (int i = 0; i < n; i = i + 1) {
+		int t = a + b;
+		a = b;
+		b = t % 1000000007;
+	}
+	return a;
+}
+
+func kernel(int reps) int {
+	int s = 0;
+	for (int r = 0; r < reps; r = r + 1) { s = (s + fib(700)) % 1000000007; }
+	return s + ftoi(sweep(workset));
+}
+
+func setup() { workset = new float[55000]; } // ~0.43 MB
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(20); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const fibRecSrc = `
+// Recursive Fibonacci: call-overhead bound, the paper's weakest speedup.
+global float[] workset;
+
+func fib(int n) int {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+
+func kernel(int n) int { return fib(n) + ftoi(sweep(workset)); }
+
+func setup() { workset = new float[50000]; } // ~0.4 MB
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(17); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet
+
+const dhrystoneSrc = `
+// Dhrystone-flavored mix: record copies, string-ish array compares, integer
+// arithmetic, and branchy procedure calls.
+global int[] recA;
+global int[] recB;
+global float[] workset;
+
+func proc1(int[] src, int[] dst) {
+	for (int i = 0; i < len(src); i = i + 1) { dst[i] = src[i]; }
+}
+
+func proc2(int x) int {
+	if (x % 2 == 0) { return x + 7; }
+	return x - 3;
+}
+
+func cmparr(int[] a, int[] b) int {
+	int n = mini(len(a), len(b));
+	for (int i = 0; i < n; i = i + 1) {
+		if (a[i] != b[i]) { return i; }
+	}
+	return n;
+}
+
+func loopBody(int runs) int {
+	int chk = 0;
+	for (int r = 0; r < runs; r = r + 1) {
+		proc1(recA, recB);
+		recB[r % len(recB)] = proc2(r);
+		chk = chk + cmparr(recA, recB) + proc2(chk % 97);
+		chk = chk % 1000003;
+	}
+	return chk;
+}
+
+func kernel(int runs) int { return loopBody(runs) + ftoi(sweep(workset)); }
+
+func setup() {
+	recA = new int[64];
+	recB = new int[64];
+	for (int i = 0; i < 64; i = i + 1) { recA[i] = i * 3 + 1; }
+	workset = new float[110000]; // ~0.9 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int it = 0; it < 4; it = it + 1) { chk = kernel(150); }
+	print_int(chk);
+	return chk;
+}
+` + sweepSnippet

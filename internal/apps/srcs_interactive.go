@@ -1,0 +1,650 @@
+package apps
+
+// The nine interactive applications. Each simulates the paper's workload
+// shape: a frame/round loop driven by scripted inputs, JNI-analogue
+// rendering/sound/network, small unreplayable orchestration code, cold
+// setup, an occasional uncompilable method, and a replayable hot kernel
+// with virtual dispatch for the devirtualization profile to exploit.
+
+func interactiveSpecs() []Spec {
+	return []Spec{
+		{Name: "MaterialLife", Type: Interactive, Desc: "Game of life", HeapMB: 24, Seed: 301,
+			Inputs: []int64{1, 2, 0, 3, 1, 0, 2, 1}, Source: lifeSrc},
+		{Name: "4inaRow", Type: Interactive, Desc: "Puzzle Game", HeapMB: 96, Seed: 302,
+			Inputs: []int64{3, 2, 4, 1, 5, 0, 6, 3}, Source: fourRowSrc},
+		{Name: "DroidFish", Type: Interactive, Desc: "Chess Game", HeapMB: 32, Seed: 303,
+			Inputs: []int64{12, 28, 35, 19, 44, 51}, Source: chessSrc},
+		{Name: "ColorOverflow", Type: Interactive, Desc: "Strategic Game", HeapMB: 24, Seed: 304,
+			Inputs: []int64{2, 5, 1, 7, 3, 0}, Source: colorSrc},
+		{Name: "Brainstonz", Type: Interactive, Desc: "Board Game", HeapMB: 16, Seed: 305,
+			Inputs: []int64{4, 9, 2, 11, 7, 5}, Source: brainSrc},
+		{Name: "Blokish", Type: Interactive, Desc: "Board Game", HeapMB: 32, Seed: 306,
+			Inputs: []int64{6, 3, 8, 1, 10, 4}, Source: blokishSrc},
+		{Name: "Svarka Calculator", Type: Interactive, Desc: "Generates odds for a card game", HeapMB: 16, Seed: 307,
+			Inputs: []int64{1, 2, 3}, Source: svarkaSrc},
+		{Name: "Reversi Android", Type: Interactive, Desc: "Board Game", HeapMB: 24, Seed: 308,
+			Inputs: []int64{19, 26, 44, 37, 20, 29}, Source: reversiSrc},
+		{Name: "Poker Odds (Vitosha)", Type: Interactive, Desc: "Statistical analysis for poker cards", HeapMB: 8, Seed: 309,
+			Inputs: []int64{7, 3}, Source: pokerSrc},
+	}
+}
+
+// frameScaffold: shared interactive machinery. render draws per strip
+// (JNI-heavy); tick is the unreplayable clock/orchestration path;
+// debug_overlay is the pathological method the baseline compiler rejects.
+const frameScaffold = `
+global int frameNo;
+global int lastTick;
+
+func render(int strips) {
+	for (int s = 0; s < strips; s = s + 1) { draw_frame(frameNo * 100 + s); }
+}
+
+func tick() int {
+	int now = ftoi(itof(clock_ms() % 1000000));
+	int dt = now - lastTick;
+	lastTick = now;
+	return dt;
+}
+
+@uncompilable
+func debug_overlay(int v) int {
+	int acc = v;
+	for (int i = 0; i < 8; i = i + 1) { acc = acc * 31 + i; }
+	return acc;
+}
+`
+
+const lifeSrc = `
+// MaterialLife: Conway's Game of Life on a 72x56 grid; the hot kernel steps
+// generations, the frame loop renders and reacts to touch input.
+global int[] cells;
+global int[] next;
+global int cols;
+global int rows;
+global float[] workset;
+
+class Neighborhood { func weight(int alive) int { return alive; } }
+class FancyRules extends Neighborhood { func weight(int alive) int { return alive * 2 - 1; } }
+
+func idx(int x, int y) int { return y * cols + x; }
+
+func step(int gens) int {
+	Neighborhood rules = new FancyRules();
+	int births = 0;
+	for (int g = 0; g < gens; g = g + 1) {
+		for (int y = 1; y < rows - 1; y = y + 1) {
+			for (int x = 1; x < cols - 1; x = x + 1) {
+				int n = cells[idx(x-1,y-1)] + cells[idx(x,y-1)] + cells[idx(x+1,y-1)]
+					+ cells[idx(x-1,y)] + cells[idx(x+1,y)]
+					+ cells[idx(x-1,y+1)] + cells[idx(x,y+1)] + cells[idx(x+1,y+1)];
+				int alive = cells[idx(x,y)];
+				int nv = 0;
+				if (alive == 1 && (n == 2 || n == 3)) { nv = 1; }
+				if (alive == 0 && n == 3) { nv = 1; births = births + rules.weight(1); }
+				next[idx(x,y)] = nv;
+			}
+		}
+		int[] t = cells; cells = next; next = t;
+	}
+	return births;
+}
+
+func kernel(int gens) int { return step(gens) + ftoi(sweep(workset)); }
+
+func poke(int where) {
+	int x = 2 + where % (cols - 4);
+	int y = 2 + where % (rows - 4);
+	cells[idx(x, y)] = 1;
+	cells[idx(x + 1, y)] = 1;
+	cells[idx(x, y + 1)] = 1;
+}
+
+func setup() {
+	cols = 48; rows = 36;
+	cells = new int[cols * rows];
+	next = new int[cols * rows];
+	for (int i = 0; i < len(cells); i = i + 31) { cells[i] = 1; }
+	workset = new float[330000]; // ~2.6 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int f = 0; f < 6; f = f + 1) {
+		frameNo = f;
+		int in = read_input();
+		if (in >= 0) { poke(in * 7 + f); }
+		chk = chk + kernel(2);
+		render(30);
+		tick();
+		if (f % 3 == 0) { play_sound(chk % 8); }
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet
+
+const fourRowSrc = `
+// 4inaRow: connect-four with a lookahead scorer. Its undo/replay history
+// buffers give the paper's largest capture (~41 MB, Fig. 11).
+global int[] board; // 7 columns x 6 rows
+global float[] history; // move-history and animation caches
+global float[] history2;
+
+class Scorer { func line(int a, int b, int c, int d) int { return a + b + c + d; } }
+class AggroScorer extends Scorer {
+	func line(int a, int b, int c, int d) int {
+		int s = a + b + c + d;
+		if (s == 3) { return 50; }
+		return s * s;
+	}
+}
+
+func at(int cc, int r) int { return board[r * 7 + cc]; }
+
+func scorePosition(Scorer sc) int {
+	int total = 0;
+	for (int r = 0; r < 6; r = r + 1) {
+		for (int cc = 0; cc < 4; cc = cc + 1) {
+			total = total + sc.line(at(cc,r), at(cc+1,r), at(cc+2,r), at(cc+3,r));
+		}
+	}
+	for (int cc = 0; cc < 7; cc = cc + 1) {
+		for (int r = 0; r < 3; r = r + 1) {
+			total = total + sc.line(at(cc,r), at(cc,r+1), at(cc,r+2), at(cc,r+3));
+		}
+	}
+	return total;
+}
+
+func bestMove(int depth) int {
+	Scorer sc = new AggroScorer();
+	int best = 0 - 1000000;
+	int bestCol = 0;
+	for (int cc = 0; cc < 7; cc = cc + 1) {
+		int r = 0;
+		while (r < 6 && at(cc, r) != 0) { r = r + 1; }
+		if (r == 6) { continue; }
+		board[r * 7 + cc] = 1;
+		int s = 0;
+		for (int d = 0; d < depth; d = d + 1) { s = s + scorePosition(sc); }
+		board[r * 7 + cc] = 0;
+		if (s > best) { best = s; bestCol = cc; }
+	}
+	return bestCol * 1000 + best;
+}
+
+func kernel(int depth) int {
+	return bestMove(depth) + ftoi(sweep(history)) + ftoi(sweep(history2));
+}
+
+func drop(int cc, int player) {
+	int r = 0;
+	while (r < 6 && at(cc, r) != 0) { r = r + 1; }
+	if (r < 6) { board[r * 7 + cc] = player; }
+}
+
+func setup() {
+	board = new int[42];
+	history = new float[2700000];  // ~21 MB
+	history2 = new float[2600000]; // ~20 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int round = 0; round < 5; round = round + 1) {
+		frameNo = round;
+		int in = read_input();
+		if (in >= 0) { drop(in % 7, 2); }
+		int mv = kernel(5);
+		drop((mv / 1000) % 7, 1);
+		chk = chk + mv;
+		render(20);
+		tick();
+		net_send(chk % 256);
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet
+
+const chessSrc = `
+// DroidFish: chess position evaluation. Rendering and the "engine bridge"
+// dominate (the paper's most JNI-heavy app); only the managed evaluator is
+// optimizable, so whole-program gains stay modest.
+global int[] squares; // 64: piece codes, + for white, - for black
+global float[] transposition;
+
+class PieceValue { func of(int p) int { return p * 10; } }
+class TunedValue extends PieceValue {
+	func of(int p) int {
+		if (p == 1) { return 100; }
+		if (p == 2) { return 320; }
+		if (p == 3) { return 330; }
+		if (p == 4) { return 500; }
+		if (p == 5) { return 900; }
+		if (p == 6) { return 20000; }
+		return 0;
+	}
+}
+
+func evalBoard(int passes) int {
+	PieceValue pv = new TunedValue();
+	int score = 0;
+	for (int p = 0; p < passes; p = p + 1) {
+		for (int sq = 0; sq < 64; sq = sq + 1) {
+			int piece = squares[sq];
+			int rank = sq / 8;
+			int file = sq % 8;
+			int center = 3 - absi(file - 3) + (3 - absi(rank - 3));
+			if (piece > 0) { score = score + pv.of(piece) + center * 5; }
+			if (piece < 0) { score = score - pv.of(0 - piece) - center * 5; }
+		}
+		score = score % 1000000;
+	}
+	return score;
+}
+
+func kernel(int passes) int { return evalBoard(passes) + ftoi(sweep(transposition)); }
+
+func applyInput(int mv) {
+	int from = mv % 64;
+	int to = (mv * 7) % 64;
+	squares[to] = squares[from];
+	squares[from] = 0;
+}
+
+func setup() {
+	squares = new int[64];
+	for (int i = 0; i < 16; i = i + 1) { squares[i] = (i % 6) + 1; }
+	for (int i = 48; i < 64; i = i + 1) { squares[i] = 0 - ((i % 6) + 1); }
+	transposition = new float[700000]; // ~5.5 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int mvn = 0; mvn < 6; mvn = mvn + 1) {
+		frameNo = mvn;
+		int in = read_input();
+		if (in >= 0) { applyInput(in); }
+		chk = chk + kernel(40);
+		// The native engine ponders and the full board re-renders: heavy JNI.
+		render(64);
+		play_sound(mvn);
+		tick();
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet
+
+const colorSrc = `
+// ColorOverflow: territory-capture scoring over a hex-ish 48x48 grid.
+global int[] owner;
+global int[] power;
+global float[] workset;
+
+class Spread { func gain(int p, int n) int { return p + n; } }
+class ChainSpread extends Spread { func gain(int p, int n) int { return p * 2 + n * n; } }
+
+func simulate(int rounds) int {
+	Spread sp = new ChainSpread();
+	int total = 0;
+	int side = 48;
+	for (int r = 0; r < rounds; r = r + 1) {
+		for (int y = 1; y < side - 1; y = y + 1) {
+			for (int x = 1; x < side - 1; x = x + 1) {
+				int i = y * side + x;
+				int neigh = power[i - 1] + power[i + 1] + power[i - side] + power[i + side];
+				if (owner[i] == 1) { total = total + sp.gain(power[i], neigh % 5); }
+				else { total = total - neigh % 3; }
+			}
+		}
+		total = total % 10000019;
+	}
+	return total;
+}
+
+func kernel(int rounds) int { return simulate(rounds) + ftoi(sweep(workset)); }
+
+func place(int pos) {
+	int side = 48;
+	int i = (pos * 97) % (side * side);
+	owner[i] = 1;
+	power[i] = power[i] + 1;
+}
+
+func setup() {
+	owner = new int[48 * 48];
+	power = new int[48 * 48];
+	for (int i = 0; i < len(owner); i = i + 7) { owner[i] = 1; power[i] = i % 4; }
+	workset = new float[210000]; // ~1.6 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int round = 0; round < 6; round = round + 1) {
+		frameNo = round;
+		int in = read_input();
+		if (in >= 0) { place(in + round); }
+		chk = chk + kernel(3);
+		render(22);
+		tick();
+		if (round % 2 == 1) { net_send(chk % 128); }
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet
+
+const brainSrc = `
+// Brainstonz: 4x4 stone-placement board game with capture rules.
+global int[] cells4;
+global float[] workset;
+
+class Judge { func value(int mine, int theirs) int { return mine - theirs; } }
+class SharpJudge extends Judge {
+	func value(int mine, int theirs) int {
+		if (mine == 2 && theirs == 0) { return 25; }
+		return mine * 3 - theirs * 2;
+	}
+}
+
+func evaluate(int passes) int {
+	Judge j = new SharpJudge();
+	int score = 0;
+	for (int p = 0; p < passes; p = p + 1) {
+		for (int i = 0; i < 16; i = i + 1) {
+			for (int k = 0; k < 16; k = k + 1) {
+				int mine = 0;
+				int theirs = 0;
+				if (cells4[i] == 1) { mine = mine + 1; }
+				if (cells4[k] == 2) { theirs = theirs + 1; }
+				score = score + j.value(mine, theirs);
+			}
+		}
+		score = score % 999983;
+	}
+	return score;
+}
+
+func kernel(int passes) int { return evaluate(passes) + ftoi(sweep(workset)); }
+
+func setup() {
+	cells4 = new int[16];
+	for (int i = 0; i < 16; i = i + 3) { cells4[i] = 1 + i % 2; }
+	workset = new float[190000]; // ~1.5 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int round = 0; round < 6; round = round + 1) {
+		frameNo = round;
+		int in = read_input();
+		if (in >= 0) { cells4[in % 16] = 1 + round % 2; }
+		chk = chk + kernel(40);
+		render(26);
+		tick();
+		play_sound(round % 4);
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet
+
+const blokishSrc = `
+// Blokish: polyomino placement scoring on a 20x20 board.
+global int[] board20;
+global int[] pieceShapes; // 21 pieces x 8 cells (dx,dy pairs)
+global float[] workset;
+
+class Fit { func bonus(int touching) int { return touching; } }
+class CornerFit extends Fit {
+	func bonus(int touching) int {
+		if (touching == 0) { return 12; }
+		return 0 - touching * 4;
+	}
+}
+
+func tryPlace(int piece, int px, int py, Fit fit) int {
+	int score = 0;
+	int blocked = 0;
+	for (int c = 0; c < 4; c = c + 1) {
+		int dx = pieceShapes[piece * 8 + c * 2];
+		int dy = pieceShapes[piece * 8 + c * 2 + 1];
+		int x = px + dx;
+		int y = py + dy;
+		if (x < 0 || x >= 20 || y < 0 || y >= 20) { blocked = 1; continue; }
+		if (board20[y * 20 + x] != 0) { blocked = 1; continue; }
+		int touching = 0;
+		if (x > 0 && board20[y * 20 + x - 1] == 1) { touching = touching + 1; }
+		if (x < 19 && board20[y * 20 + x + 1] == 1) { touching = touching + 1; }
+		score = score + fit.bonus(touching);
+	}
+	if (blocked == 1) { return 0 - 1; }
+	return score;
+}
+
+func searchPlacements(int pieces) int {
+	Fit fit = new CornerFit();
+	int best = 0 - 1000000;
+	for (int p = 0; p < pieces; p = p + 1) {
+		for (int y = 0; y < 20; y = y + 2) {
+			for (int x = 0; x < 20; x = x + 2) {
+				int s = tryPlace(p % 21, x, y, fit);
+				if (s > best) { best = s; }
+			}
+		}
+	}
+	return best;
+}
+
+func kernel(int pieces) int { return searchPlacements(pieces) + ftoi(sweep(workset)); }
+
+func setup() {
+	board20 = new int[400];
+	pieceShapes = new int[21 * 8];
+	for (int p = 0; p < 21; p = p + 1) {
+		for (int c = 0; c < 4; c = c + 1) {
+			pieceShapes[p * 8 + c * 2] = (p + c) % 3;
+			pieceShapes[p * 8 + c * 2 + 1] = c % 2 + p % 2;
+		}
+	}
+	for (int i = 0; i < 400; i = i + 11) { board20[i] = 1 + i % 2; }
+	workset = new float[500000]; // ~3.9 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int round = 0; round < 5; round = round + 1) {
+		frameNo = round;
+		int in = read_input();
+		if (in >= 0) { board20[(in * 13 + round) % 400] = 2; }
+		chk = chk + kernel(12);
+		render(18);
+		tick();
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet
+
+const svarkaSrc = `
+// Svarka Calculator: odds for a 3-card game by managed-LCG simulation.
+global int[] deck;
+global float[] workset;
+
+func cardScore(int a, int b, int c) int {
+	int ra = a % 13; int rb = b % 13; int rc = c % 13;
+	int sa = a / 13; int sb = b / 13; int sc = c / 13;
+	int best = 0;
+	if (sa == sb) { best = ra + rb + 20; }
+	if (sa == sc && ra + rc + 20 > best) { best = ra + rc + 20; }
+	if (sb == sc && rb + rc + 20 > best) { best = rb + rc + 20; }
+	if (ra == rb && rb == rc) { best = 34; }
+	if (best == 0) { best = maxi(ra, maxi(rb, rc)); }
+	return best;
+}
+
+func simulate(int hands) int {
+	int wins = 0;
+	for (int h = 0; h < hands; h = h + 1) {
+		int a = lcgNext() % 52;
+		int b = lcgNext() % 52;
+		int c = lcgNext() % 52;
+		int d = lcgNext() % 52;
+		int e = lcgNext() % 52;
+		int f = lcgNext() % 52;
+		if (cardScore(a, b, c) >= cardScore(d, e, f)) { wins = wins + 1; }
+	}
+	return wins;
+}
+
+func kernel(int hands) int { return simulate(hands) + ftoi(sweep(workset)); }
+
+func setup() {
+	lcgState = 777;
+	deck = new int[52];
+	for (int i = 0; i < 52; i = i + 1) { deck[i] = i; }
+	workset = new float[110000]; // ~0.86 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int round = 0; round < 5; round = round + 1) {
+		frameNo = round;
+		int in = read_input();
+		chk = chk + kernel(700) + in;
+		render(16);
+		tick();
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet + lcgSnippet
+
+const reversiSrc = `
+// Reversi: move evaluation with directional flip counting.
+global int[] board8;
+global float[] workset;
+
+class Weights { func corner(int v) int { return v; } }
+class EdgeWeights extends Weights { func corner(int v) int { return v * 8; } }
+
+func flips(int pos, int player, int dir) int {
+	int count = 0;
+	int p = pos + dir;
+	while (p >= 0 && p < 64 && board8[p] == 3 - player) {
+		count = count + 1;
+		p = p + dir;
+	}
+	if (p >= 0 && p < 64 && board8[p] == player) { return count; }
+	return 0;
+}
+
+func evalMoves(int passes) int {
+	Weights w = new EdgeWeights();
+	int best = 0;
+	for (int pss = 0; pss < passes; pss = pss + 1) {
+		for (int pos = 0; pos < 64; pos = pos + 1) {
+			if (board8[pos] != 0) { continue; }
+			int gain = flips(pos, 1, 1) + flips(pos, 1, 0 - 1)
+				+ flips(pos, 1, 8) + flips(pos, 1, 0 - 8)
+				+ flips(pos, 1, 9) + flips(pos, 1, 0 - 9)
+				+ flips(pos, 1, 7) + flips(pos, 1, 0 - 7);
+			if (pos == 0 || pos == 7 || pos == 56 || pos == 63) {
+				gain = w.corner(gain + 1);
+			}
+			if (gain > best) { best = gain; }
+		}
+	}
+	return best;
+}
+
+func kernel(int passes) int { return evalMoves(passes) + ftoi(sweep(workset)); }
+
+func setup() {
+	board8 = new int[64];
+	board8[27] = 1; board8[28] = 2; board8[35] = 2; board8[36] = 1;
+	for (int i = 2; i < 64; i = i + 9) { board8[i] = 1 + i % 2; }
+	workset = new float[230000]; // ~1.8 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int round = 0; round < 6; round = round + 1) {
+		frameNo = round;
+		int in = read_input();
+		if (in >= 0 && in < 64 && board8[in] == 0) { board8[in] = 2; }
+		chk = chk + kernel(30);
+		render(18);
+		tick();
+		if (round == 3) { net_send(chk % 512); }
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet
+
+const pokerSrc = `
+// Poker Odds (Vitosha): hand-strength sampling with a tiny working set —
+// the paper's smallest capture (Fig. 11).
+global int[] hand;
+global float[] workset;
+
+func rank5(int a, int b, int c, int d, int e) int {
+	int pairs = 0;
+	int high = 0;
+	if (a % 13 == b % 13) { pairs = pairs + 1; }
+	if (a % 13 == c % 13) { pairs = pairs + 1; }
+	if (b % 13 == c % 13) { pairs = pairs + 1; }
+	if (c % 13 == d % 13) { pairs = pairs + 1; }
+	if (d % 13 == e % 13) { pairs = pairs + 1; }
+	high = maxi(a % 13, maxi(b % 13, maxi(c % 13, maxi(d % 13, e % 13))));
+	return pairs * 100 + high;
+}
+
+func simulate(int rounds) int {
+	int wins = 0;
+	for (int r = 0; r < rounds; r = r + 1) {
+		int c1 = lcgNext() % 52;
+		int c2 = lcgNext() % 52;
+		int c3 = lcgNext() % 52;
+		int mine = rank5(hand[0], hand[1], c1, c2, c3);
+		int theirs = rank5(lcgNext() % 52, lcgNext() % 52, c1, c2, c3);
+		if (mine >= theirs) { wins = wins + 1; }
+	}
+	return wins;
+}
+
+func kernel(int rounds) int { return simulate(rounds) + ftoi(sweep(workset)); }
+
+func setup() {
+	lcgState = 4242;
+	hand = new int[2];
+	hand[0] = 25; hand[1] = 38;
+	workset = new float[44000]; // ~0.35 MB
+}
+
+func main() int {
+	setup();
+	int chk = 0;
+	for (int round = 0; round < 5; round = round + 1) {
+		frameNo = round;
+		int in = read_input();
+		chk = chk + kernel(900) + in;
+		render(20);
+		tick();
+	}
+	print_int(chk);
+	return chk;
+}
+` + frameScaffold + sweepSnippet + lcgSnippet

@@ -1,0 +1,280 @@
+// Package capture implements the paper's lightweight online capture (§3.2,
+// Fig. 4): fork a child so Copy-on-Write preserves the original page
+// contents, read-protect the parent's pages, record the pages the hot
+// region touches through a fault handler, and spool exactly those pages —
+// plus the always-stored runtime-auxiliary pages — to the snapshot store.
+//
+// Boot-common pages are captured once per boot; file-backed regions are
+// logged by name and never stored (Fig. 11's storage story).
+package capture
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"replayopt/internal/device"
+	"replayopt/internal/dex"
+	"replayopt/internal/mem"
+	"replayopt/internal/rt"
+)
+
+// ErrGCPostponed is returned when a capture is postponed because a garbage
+// collection is imminent (§3.2 step 1).
+var ErrGCPostponed = errors.New("capture: postponed, GC imminent")
+
+// Stats records one capture's overheads and sizes — the raw data of
+// Figs. 10 and 11.
+type Stats struct {
+	ForkMs     float64
+	PrepMs     float64
+	FaultCoWMs float64
+
+	MapEntries     int
+	ProtectedPages int
+	ReadFaults     int
+	WriteFaults    int
+	CoWCopies      int
+
+	// Storage (bytes).
+	PagesStored   int // program-specific pages in this snapshot
+	CommonPages   int // boot-common pages (stored once per boot)
+	AlwaysStored  int // runtime-aux pages stored unconditionally
+	FileMapsCount int
+}
+
+// TotalMs is the capture's total online overhead.
+func (s Stats) TotalMs() float64 { return s.ForkMs + s.PrepMs + s.FaultCoWMs }
+
+// ProgramBytes is the program-specific storage of this capture.
+func (s Stats) ProgramBytes() uint64 {
+	return uint64(s.PagesStored+s.AlwaysStored) * mem.PageSize
+}
+
+// CommonBytes is the boot-common storage (shared by all captures this boot).
+func (s Stats) CommonBytes() uint64 { return uint64(s.CommonPages) * mem.PageSize }
+
+// Snapshot is one captured hot-region input.
+type Snapshot struct {
+	App    string
+	Root   dex.MethodID
+	Args   []uint64 // architectural state at region entry
+	Seed   uint64   // native-state seed active at capture time
+	Layout []mem.Region
+
+	// Pages holds the original contents of program-specific pages the
+	// region accessed (page-aligned address -> PageSize bytes).
+	Pages map[mem.Addr][]byte
+	// CommonPages refers to boot-common pages by address; contents live in
+	// the Store, captured once per boot.
+	CommonPages []mem.Addr
+	// FileMaps are the file-backed mappings to re-map at replay (§3.2:
+	// "we log the relevant file paths and offsets").
+	FileMaps []mem.Region
+
+	Stats Stats
+
+	frames map[mem.Addr]*mem.Frame // lazy zero-copy view of Pages
+}
+
+// Frames returns a shared-frame view of the captured pages; replays map
+// these without copying (writers Copy-on-Write them).
+func (s *Snapshot) Frames() map[mem.Addr]*mem.Frame {
+	if s.frames == nil {
+		s.frames = make(map[mem.Addr]*mem.Frame, len(s.Pages))
+		for pa, data := range s.Pages {
+			s.frames[pa] = mem.NewFrame(data)
+		}
+	}
+	return s.frames
+}
+
+// Store holds snapshots plus the once-per-boot common page contents.
+type Store struct {
+	BootPages map[mem.Addr][]byte
+	Snapshots []*Snapshot
+
+	bootFrames map[mem.Addr]*mem.Frame
+}
+
+// NewStore returns an empty snapshot store.
+func NewStore() *Store { return &Store{BootPages: map[mem.Addr][]byte{}} }
+
+// BootFrames returns the shared-frame view of the boot-common pages.
+func (s *Store) BootFrames() map[mem.Addr]*mem.Frame {
+	if s.bootFrames == nil || len(s.bootFrames) != len(s.BootPages) {
+		s.bootFrames = make(map[mem.Addr]*mem.Frame, len(s.BootPages))
+		for pa, data := range s.BootPages {
+			s.bootFrames[pa] = mem.NewFrame(data)
+		}
+	}
+	return s.bootFrames
+}
+
+// TotalProgramBytes sums program-specific storage across snapshots.
+func (s *Store) TotalProgramBytes() uint64 {
+	var n uint64
+	for _, sn := range s.Snapshots {
+		n += sn.Stats.ProgramBytes()
+	}
+	return n
+}
+
+// RunRegion executes the hot region online (whatever tier the app currently
+// runs) and returns an error only if the region itself failed.
+type RunRegion func() error
+
+// Capture snapshots the state the hot region at root reads, while running
+// it via run. The process keeps executing normally afterwards.
+func Capture(proc *rt.Process, dev *device.Device, store *Store,
+	root dex.MethodID, args []uint64, seed uint64, run RunRegion) (*Snapshot, error) {
+
+	if proc.GCImminent() {
+		return nil, ErrGCPostponed
+	}
+	space := proc.Space
+	snap := &Snapshot{
+		App:   proc.Prog.Name,
+		Root:  root,
+		Args:  append([]uint64(nil), args...),
+		Seed:  seed,
+		Pages: map[mem.Addr][]byte{},
+	}
+
+	// 2) Fork the child: CoW keeps a pristine copy of every page.
+	child := space.Fork()
+	snap.Stats.ForkMs = dev.ForkMillis(space.PageCount())
+
+	// 3) Parse the page map and read-protect eligible pages.
+	layout := space.Regions()
+	snap.Layout = layout
+	snap.Stats.MapEntries = len(layout)
+	savedProt := map[mem.Addr]mem.Prot{}
+	var alwaysStore []mem.Region
+	for _, r := range layout {
+		switch {
+		case r.FileBacked:
+			snap.FileMaps = append(snap.FileMaps, r)
+		case r.RuntimeAux:
+			// Cannot be protected without crashing the runtime: always
+			// stored (§3.2).
+			alwaysStore = append(alwaysStore, r)
+		case r.BootCommon:
+			// Immutable within a boot: captured once per boot, below.
+		default:
+			for pa := r.Start; pa < r.End; pa += mem.PageSize {
+				if p, ok := space.ProtOf(pa); ok {
+					savedProt[pa] = p
+					_ = space.Protect(pa, mem.ProtNone)
+				}
+			}
+		}
+	}
+	snap.Stats.ProtectedPages = len(savedProt)
+	snap.Stats.PrepMs = dev.PrepMillis(len(layout), len(savedProt))
+
+	// Fault handler: record the page, restore access, retry.
+	accessed := map[mem.Addr]bool{}
+	space.ResetCounters()
+	space.SetFaultHandler(func(sp *mem.AddressSpace, a mem.Addr, _ mem.FaultKind) bool {
+		pa := a.PageBase()
+		orig, tracked := savedProt[pa]
+		if !tracked {
+			return false
+		}
+		accessed[pa] = true
+		return sp.Protect(pa, orig) == nil
+	})
+
+	// 4) Execute the hot region online.
+	runErr := run()
+
+	// 5) Region done: uninstall the handler, restore protections.
+	space.SetFaultHandler(nil)
+	for pa, p := range savedProt {
+		_ = space.Protect(pa, p)
+	}
+	ctr := space.Counters()
+	snap.Stats.ReadFaults = int(ctr.ReadFaults)
+	snap.Stats.WriteFaults = int(ctr.WriteFaults)
+	snap.Stats.CoWCopies = int(ctr.CoWCopies)
+	snap.Stats.FaultCoWMs = dev.FaultCoWMillis(
+		int(ctr.ReadFaults+ctr.WriteFaults), int(ctr.CoWCopies))
+	if runErr != nil {
+		return nil, fmt.Errorf("capture: hot region failed online: %w", runErr)
+	}
+
+	// 6) The child spools the *original* contents of accessed pages (its
+	// CoW copies) at low priority.
+	pages := make([]mem.Addr, 0, len(accessed))
+	for pa := range accessed {
+		pages = append(pages, pa)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pa := range pages {
+		data, ok := child.PageData(pa)
+		if !ok {
+			return nil, fmt.Errorf("capture: accessed page %#x missing in child", uint64(pa))
+		}
+		snap.Pages[pa] = data
+	}
+	snap.Stats.PagesStored = len(snap.Pages)
+	// Runtime-aux regions: stored unconditionally from the child.
+	for _, r := range alwaysStore {
+		for pa := r.Start; pa < r.End; pa += mem.PageSize {
+			if _, dup := snap.Pages[pa]; dup {
+				continue
+			}
+			if data, ok := child.PageData(pa); ok {
+				snap.Pages[pa] = data
+				snap.Stats.AlwaysStored++
+			}
+		}
+	}
+	// Boot-common pages: record contents once per boot in the store.
+	for _, r := range layout {
+		if !r.BootCommon {
+			continue
+		}
+		for pa := r.Start; pa < r.End; pa += mem.PageSize {
+			snap.CommonPages = append(snap.CommonPages, pa)
+			if _, done := store.BootPages[pa]; !done {
+				if data, ok := child.PageData(pa); ok {
+					store.BootPages[pa] = data
+				}
+			}
+		}
+	}
+	snap.Stats.CommonPages = len(snap.CommonPages)
+	snap.Stats.FileMapsCount = len(snap.FileMaps)
+
+	store.Snapshots = append(store.Snapshots, snap)
+	return snap, nil
+}
+
+// Discard drops a snapshot from the store, releasing its pages back to the
+// user (§5.4: the storage overhead is transient — once the application is
+// optimized the captured data is deleted).
+func (s *Store) Discard(snap *Snapshot) {
+	for i, sn := range s.Snapshots {
+		if sn == snap {
+			s.Snapshots = append(s.Snapshots[:i], s.Snapshots[i+1:]...)
+			return
+		}
+	}
+}
+
+// DiscardApp drops every snapshot belonging to the named application.
+func (s *Store) DiscardApp(app string) int {
+	kept := s.Snapshots[:0]
+	n := 0
+	for _, sn := range s.Snapshots {
+		if sn.App == app {
+			n++
+			continue
+		}
+		kept = append(kept, sn)
+	}
+	s.Snapshots = kept
+	return n
+}

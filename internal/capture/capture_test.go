@@ -1,0 +1,317 @@
+package capture
+
+import (
+	"testing"
+
+	"replayopt/internal/device"
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/mem"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+// TestSnapshotHoldsPreRunContents is the heart of the CoW capture story:
+// the region overwrites data[0], yet the snapshot must hold data[0]'s value
+// from *before* the run — the child's CoW copy, not the parent's final state.
+func TestSnapshotHoldsPreRunContents(t *testing.T) {
+	prog, err := minic.CompileSource("p", `
+global int[] data;
+func setup() { data = new int[1024]; data[0] = 777; }
+func hot() int { int old = data[0]; data[0] = 42; return old; }
+func main() int { setup(); return hot(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 1_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Locate data[0]'s address before capturing.
+	slot := -1
+	for i, g := range prog.Globals {
+		if g.Name == "data" {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		t.Fatal("no global 'data'")
+	}
+	ref, err := proc.GlobalGet(int64(slot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elemAddr, err := proc.ArrayElemAddr(mem.Addr(ref), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := NewStore()
+	snap, err := Capture(proc, device.New(1), store, hotID, nil, 0, func() error {
+		_, err := env.Call(hotID, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent memory now holds 42...
+	if got, _ := proc.Space.ReadU64(elemAddr); got != 42 {
+		t.Fatalf("parent data[0] = %d after run, want 42", got)
+	}
+	// ...but the snapshot page must hold the pre-run 777.
+	page, ok := snap.Pages[elemAddr.PageBase()]
+	if !ok {
+		t.Fatal("page containing data[0] not captured despite being accessed")
+	}
+	off := int(elemAddr - elemAddr.PageBase())
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(page[off+i]) << (8 * i)
+	}
+	if v != 777 {
+		t.Fatalf("snapshot holds %d at data[0], want pre-run 777", v)
+	}
+}
+
+// TestUntouchedPagesNotStored verifies the capture is access-driven: pages
+// the region never touches must not be spooled (this is what keeps Fig. 11's
+// sizes far below the full heap).
+func TestUntouchedPagesNotStored(t *testing.T) {
+	prog, err := minic.CompileSource("p", `
+global int[] big;
+global int[] small;
+func setup() {
+	big = new int[262144];
+	for (int i = 0; i < len(big); i = i + 1) { big[i] = i; }
+	small = new int[8];
+}
+func hot() int { small[0] = 1; return small[0]; }
+func main() int { setup(); return hot(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 2_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, nil); err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	snap, err := Capture(proc, device.New(1), store, hotID, nil, 0, func() error {
+		_, err := env.Call(hotID, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// big is 2 MiB = 512 pages; a capture of the tiny region must store far
+	// fewer program-specific pages than that.
+	if snap.Stats.PagesStored > 64 {
+		t.Errorf("capture stored %d accessed pages; expected a small access-driven set", snap.Stats.PagesStored)
+	}
+	heapPages := proc.Space.PageCount()
+	if snap.Stats.PagesStored >= heapPages/4 {
+		t.Errorf("stored %d of %d total pages; capture is not access-driven", snap.Stats.PagesStored, heapPages)
+	}
+}
+
+// TestBootCommonStoredOncePerBoot: two captures on the same boot must share
+// the store's boot pages rather than duplicating them per snapshot.
+func TestBootCommonStoredOncePerBoot(t *testing.T) {
+	store, snapA, prog := captureOne(t)
+	bootAfterFirst := len(store.BootPages)
+	if bootAfterFirst == 0 {
+		t.Fatal("no boot-common pages recorded")
+	}
+	// Second capture of the same program, same boot.
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 1_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, nil); err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := Capture(proc, device.New(1), store, hotID, []uint64{300}, 0, func() error {
+		_, err := env.Call(hotID, []uint64{300})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(store.BootPages) != bootAfterFirst {
+		t.Errorf("boot pages grew from %d to %d on second capture; must be stored once per boot",
+			bootAfterFirst, len(store.BootPages))
+	}
+	if len(snapA.CommonPages) == 0 || len(snapB.CommonPages) == 0 {
+		t.Error("snapshots do not reference the boot-common pages")
+	}
+	for _, sn := range []*Snapshot{snapA, snapB} {
+		for _, pa := range sn.CommonPages {
+			if _, ok := sn.Pages[pa]; ok {
+				t.Fatalf("boot-common page %#x duplicated into snapshot", uint64(pa))
+			}
+		}
+	}
+}
+
+// TestGCImminentPostponesCapture: §3.2 step 1 — captures scheduled right
+// before a collection are postponed, never taken.
+func TestGCImminentPostponesCapture(t *testing.T) {
+	prog, err := minic.CompileSource("p", `
+func hot() int { return 1; }
+func main() int { return hot(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	// Drive the allocation clock past 3/4 of the GC threshold so the next
+	// safepoint would collect.
+	for !proc.GCImminent() {
+		if _, err := proc.NewArray(dex.KindInt, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hotID, _ := prog.MethodByName("hot")
+	store := NewStore()
+	ran := false
+	_, err = Capture(proc, device.New(1), store, hotID, nil, 0, func() error {
+		ran = true
+		return nil
+	})
+	if err != ErrGCPostponed {
+		t.Fatalf("err = %v, want ErrGCPostponed", err)
+	}
+	if ran {
+		t.Error("hot region ran under a postponed capture")
+	}
+	if len(store.Snapshots) != 0 {
+		t.Error("postponed capture still stored a snapshot")
+	}
+}
+
+// TestProtectionsRestoredAfterCapture: after a capture the process must keep
+// executing normally — every page readable and writable again, no handler.
+func TestProtectionsRestoredAfterCapture(t *testing.T) {
+	store, _, prog := captureOne(t)
+	_ = store
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 1_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Capture(proc, device.New(1), NewStore(), hotID, []uint64{100}, 0, func() error {
+		_, err := env.Call(hotID, []uint64{100})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-capture execution must be undisturbed. (Counters still hold the
+	// capture-time faults; clear them so only new faults count.)
+	proc.Space.ResetCounters()
+	want, err := env.Call(hotID, []uint64{100})
+	if err != nil {
+		t.Fatalf("post-capture run failed: %v", err)
+	}
+	got, err := env.Call(hotID, []uint64{100})
+	if err != nil {
+		t.Fatalf("second post-capture run failed: %v", err)
+	}
+	// hot() accumulates into data[0], so back-to-back runs differ in a
+	// deterministic way; the key assertion is that both complete without
+	// faulting on leftover protections.
+	_ = want
+	_ = got
+	if ctr := proc.Space.Counters(); ctr.ReadFaults+ctr.WriteFaults != 0 {
+		t.Errorf("post-capture runs faulted %d times; protections not restored",
+			ctr.ReadFaults+ctr.WriteFaults)
+	}
+}
+
+// TestFramesAreSharedAcrossCalls: Frames() must build its view once; replays
+// rely on frame identity for zero-copy mapping.
+func TestFramesAreSharedAcrossCalls(t *testing.T) {
+	_, snap, _ := captureOne(t)
+	a := snap.Frames()
+	b := snap.Frames()
+	if len(a) != len(snap.Pages) {
+		t.Fatalf("frames %d != pages %d", len(a), len(snap.Pages))
+	}
+	for pa, fr := range a {
+		if b[pa] != fr {
+			t.Fatalf("frame for %#x rebuilt between calls", uint64(pa))
+		}
+	}
+}
+
+// TestStatsConsistency ties the Stats fields to the snapshot's actual
+// content so Figs. 10/11 report what was really stored.
+func TestStatsConsistency(t *testing.T) {
+	_, snap, _ := captureOne(t)
+	st := snap.Stats
+	if st.PagesStored+st.AlwaysStored != len(snap.Pages) {
+		t.Errorf("PagesStored(%d)+AlwaysStored(%d) != len(Pages)=%d",
+			st.PagesStored, st.AlwaysStored, len(snap.Pages))
+	}
+	if st.CommonPages != len(snap.CommonPages) {
+		t.Errorf("CommonPages stat %d != %d", st.CommonPages, len(snap.CommonPages))
+	}
+	if st.ProgramBytes() != uint64(len(snap.Pages))*mem.PageSize {
+		t.Errorf("ProgramBytes %d != pages*%d", st.ProgramBytes(), mem.PageSize)
+	}
+	if st.TotalMs() <= 0 {
+		t.Error("capture reported zero online overhead")
+	}
+	if st.ReadFaults == 0 && st.WriteFaults == 0 {
+		t.Error("capture recorded no faults despite touching protected pages")
+	}
+	if st.ProtectedPages == 0 {
+		t.Error("no pages were protected")
+	}
+}
+
+// BenchmarkCaptureRegion measures one full capture (fork, protect, run,
+// spool) of the standard fixture region.
+func BenchmarkCaptureRegion(b *testing.B) {
+	prog, err := minic.CompileSource("p", `
+global int[] data;
+func setup() { data = new int[2048]; for (int i = 0; i < len(data); i = i + 1) { data[i] = i * 3; } }
+func hot(int n) int {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + data[i % len(data)]; }
+	data[0] = s;
+	return s;
+}
+func main() int { setup(); return hot(100); }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 1_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, nil); err != nil {
+		b.Fatal(err)
+	}
+	dev := device.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := NewStore()
+		if _, err := Capture(proc, dev, store, hotID, []uint64{500}, 0, func() error {
+			_, err := env.Call(hotID, []uint64{500})
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package capture
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"replayopt/internal/mem"
+)
+
+// Persistence: snapshots are spooled to the device's storage (§3.2 step 6)
+// and reloaded for offline replay sessions. The format is gob with gzip —
+// page contents compress well because captures are dominated by sparse
+// heap pages.
+
+// storeOnDisk is the serialized form (gob encodes exported fields; the lazy
+// frame caches are rebuilt on demand after load).
+type storeOnDisk struct {
+	BootPages map[mem.Addr][]byte
+	Snapshots []*Snapshot
+}
+
+// Save writes the store to path.
+func (s *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("capture: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	disk := storeOnDisk{BootPages: s.BootPages, Snapshots: s.Snapshots}
+	if err := gob.NewEncoder(zw).Encode(&disk); err != nil {
+		return fmt.Errorf("capture: save: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("capture: save: %w", err)
+	}
+	return f.Sync()
+}
+
+// Load reads a store written by Save.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("capture: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("capture: load: %w", err)
+	}
+	defer zr.Close()
+	var disk storeOnDisk
+	if err := gob.NewDecoder(zr).Decode(&disk); err != nil {
+		return nil, fmt.Errorf("capture: load: %w", err)
+	}
+	out := NewStore()
+	if disk.BootPages != nil {
+		out.BootPages = disk.BootPages
+	}
+	out.Snapshots = disk.Snapshots
+	return out, nil
+}
+
+// DiskSize reports the compressed size of a saved store.
+func DiskSize(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,125 @@
+package capture
+
+import (
+	"path/filepath"
+	"testing"
+
+	"replayopt/internal/device"
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+func captureOne(t *testing.T) (*Store, *Snapshot, *dex.Program) {
+	t.Helper()
+	prog, err := minic.CompileSource("p", `
+global int[] data;
+func setup() { data = new int[2048]; for (int i = 0; i < len(data); i = i + 1) { data[i] = i * 3; } }
+func hot(int n) int {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + data[i % len(data)]; }
+	data[0] = s;
+	return s;
+}
+func main() int { setup(); return hot(100); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 1_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, nil); err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	snap, err := Capture(proc, device.New(1), store, hotID, []uint64{500}, 0, func() error {
+		_, err := env.Call(hotID, []uint64{500})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, snap, prog
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	store, snap, _ := captureOne(t)
+	path := filepath.Join(t.TempDir(), "captures.gob.gz")
+	if err := store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := DiskSize(path)
+	if err != nil || sz == 0 {
+		t.Fatalf("DiskSize = %d, %v", sz, err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Snapshots) != 1 {
+		t.Fatalf("%d snapshots after load", len(loaded.Snapshots))
+	}
+	got := loaded.Snapshots[0]
+	if got.Root != snap.Root || len(got.Pages) != len(snap.Pages) || len(got.Args) != len(snap.Args) {
+		t.Errorf("snapshot fields diverged: %d pages vs %d", len(got.Pages), len(snap.Pages))
+	}
+	for pa, data := range snap.Pages {
+		ld, ok := got.Pages[pa]
+		if !ok {
+			t.Fatalf("page %#x missing after load", uint64(pa))
+		}
+		for i := range data {
+			if data[i] != ld[i] {
+				t.Fatalf("page %#x content diverged at byte %d", uint64(pa), i)
+			}
+		}
+	}
+	if len(loaded.BootPages) != len(store.BootPages) {
+		t.Errorf("boot pages: %d vs %d", len(loaded.BootPages), len(store.BootPages))
+	}
+	// The frame cache must rebuild lazily on the loaded store.
+	if len(got.Frames()) != len(snap.Pages) {
+		t.Error("frames not rebuilt after load")
+	}
+}
+
+func TestCompressionIsEffective(t *testing.T) {
+	store, snap, _ := captureOne(t)
+	path := filepath.Join(t.TempDir(), "c.gob.gz")
+	if err := store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := DiskSize(path)
+	raw := int64(snap.Stats.ProgramBytes() + snap.Stats.CommonBytes())
+	if sz >= raw {
+		t.Errorf("compressed store (%d B) not smaller than raw pages (%d B)", sz, raw)
+	}
+}
+
+func TestDiscardReleasesStorage(t *testing.T) {
+	store, snap, _ := captureOne(t)
+	before := store.TotalProgramBytes()
+	if before == 0 {
+		t.Fatal("no storage used")
+	}
+	store.Discard(snap)
+	if got := store.TotalProgramBytes(); got != 0 {
+		t.Errorf("storage after discard: %d bytes", got)
+	}
+	if len(store.Snapshots) != 0 {
+		t.Error("snapshot still listed")
+	}
+}
+
+func TestDiscardApp(t *testing.T) {
+	store, _, prog := captureOne(t)
+	if n := store.DiscardApp(prog.Name); n != 1 {
+		t.Errorf("discarded %d snapshots", n)
+	}
+	if n := store.DiscardApp("nonexistent"); n != 0 {
+		t.Errorf("discarded %d snapshots of a missing app", n)
+	}
+}

@@ -1,0 +1,528 @@
+// Package core is the system's public pipeline — the paper's Fig. 6 loop.
+// Given an application, it:
+//
+//  1. runs it online under the baseline compiler with the sampling profiler,
+//  2. detects the hot region (Algorithm 1) and the Fig. 8 code breakdown,
+//  3. captures the region's input state during a later online run (§3.2),
+//  4. builds the verification map and type profile by interpreted replay (§3.4),
+//  5. searches the LLVM-analogue optimization space with the GA, evaluating
+//     every genome by replay and discarding wrong binaries (§3.6, §3.7),
+//  6. installs the winner and measures whole-program speedups outside the
+//     replay environment (§5.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/capture"
+	"replayopt/internal/device"
+	"replayopt/internal/dex"
+	"replayopt/internal/ga"
+	"replayopt/internal/interp"
+	"replayopt/internal/lir"
+	"replayopt/internal/machine"
+	"replayopt/internal/mem"
+	"replayopt/internal/profile"
+	"replayopt/internal/replay"
+	"replayopt/internal/rt"
+	"replayopt/internal/stats"
+	"replayopt/internal/verify"
+)
+
+// App is one application under optimization.
+type App struct {
+	Name string
+	Prog *dex.Program
+	// Proc config: heap sizing etc. (apps differ widely, Fig. 11).
+	RTConfig rt.Config
+	// Inputs is the scripted user-input stream for IO.readInput.
+	Inputs []int64
+	// NativeSeed seeds the app's PRNG/clock state.
+	NativeSeed uint64
+}
+
+// NewProcessAndExec builds a fresh online process running app under code.
+func (a *App) NewProcessAndExec(code *machine.Program) (*rt.Process, *machine.Exec) {
+	proc := rt.NewProcess(a.Prog, a.RTConfig)
+	x := machine.NewExec(proc, code)
+	ns := interp.NewNativeState(a.NativeSeed)
+	ns.Inputs = append([]int64(nil), a.Inputs...)
+	x.Fallback.Natives = interp.BindNatives(a.Prog, ns)
+	return proc, x
+}
+
+// Options configure a pipeline run.
+type Options struct {
+	GA ga.Options
+	// Replays per measurement (§4: 10).
+	Replays int
+	// OnlineRuns for final reported speedups (§4: 10, no outlier removal).
+	OnlineRuns int
+	// Seed drives every stochastic component.
+	Seed int64
+	// MaxReplayCycles guards candidate binaries; 0 = derived from baseline.
+	MaxReplayCycles uint64
+}
+
+// DefaultOptions mirrors §4.
+func DefaultOptions() Options {
+	return Options{GA: ga.DefaultOptions(), Replays: 10, OnlineRuns: 10, Seed: 1}
+}
+
+// Report is the pipeline outcome for one app.
+type Report struct {
+	App    string
+	Region profile.Region
+
+	Breakdown profile.Breakdown
+	Capture   capture.Stats
+
+	VerifyMapSize int
+
+	// Region-level replay means (ms).
+	AndroidRegionMs float64
+	O3RegionMs      float64
+	GARegionMs      float64
+
+	// Whole-program online cycle counts (mean of OnlineRuns).
+	AndroidOnlineCycles float64
+	O3OnlineCycles      float64
+	GAOnlineCycles      float64
+
+	// Headline speedups over the Android baseline (Fig. 7).
+	SpeedupO3 float64
+	SpeedupGA float64
+	// Hot-region-only speedup (Fig. 9's scale).
+	RegionSpeedupGA float64
+	// KeptBaseline reports that the search never beat the out-of-the-box
+	// binary, so nothing was installed (rare; small search budgets).
+	KeptBaseline bool
+
+	Search *ga.Result
+	Best   lir.Config
+
+	// installed is the code image actually installed (the winner, or the
+	// baseline when KeptBaseline); OptimizeMulti cross-validates it.
+	installed *machine.Program
+}
+
+// Optimizer runs the pipeline.
+type Optimizer struct {
+	Dev   *device.Device
+	Store *capture.Store
+	Opts  Options
+}
+
+// New returns an optimizer with a seeded device.
+func New(opts Options) *Optimizer {
+	return &Optimizer{Dev: device.New(opts.Seed), Store: capture.NewStore(), Opts: opts}
+}
+
+// Prepared bundles the pipeline state after profiling, capture, and
+// verification (steps 1-4): everything needed to evaluate optimization
+// decisions by replay. The experiment harness uses it directly.
+type Prepared struct {
+	App      *App
+	Region   profile.Region
+	Analysis *profile.Analysis
+	Profile  *profile.Profile
+
+	Breakdown profile.Breakdown
+	Snapshot  *capture.Snapshot
+	VMap      *verify.Map
+	TypeProf  *lir.Profile
+
+	Android *machine.Program
+
+	// Baseline region replays.
+	AndroidEval   ga.Evaluation
+	AndroidCycles uint64
+	O3Eval        ga.Evaluation
+	O3Cycles      uint64
+
+	ev *replayEvaluator
+}
+
+// Evaluate measures one configuration by replay (ga.Evaluator).
+func (p *Prepared) Evaluate(cfg lir.Config) ga.Evaluation { return p.ev.Evaluate(cfg) }
+
+// EvaluateImage measures a complete code image by replay.
+func (p *Prepared) EvaluateImage(code *machine.Program) (ga.Evaluation, uint64) {
+	ie := p.ev.evaluateImage(code)
+	return ie.Evaluation, ie.cycles
+}
+
+// CompileRegion compiles the hot region under cfg (with the type profile)
+// and overlays it onto the baseline image.
+func (p *Prepared) CompileRegion(cfg lir.Config) (*machine.Program, error) {
+	code, err := lir.Compile(p.App.Prog, p.Region.Methods, cfg, p.TypeProf)
+	if err != nil {
+		return nil, err
+	}
+	return overlay(p.Android, code), nil
+}
+
+// Prepare runs pipeline steps 1-5: profile, detect, capture, verify, and
+// measure the two baselines.
+func (o *Optimizer) Prepare(app *App) (*Prepared, error) {
+	p := &Prepared{App: app}
+
+	android, err := aot.Compile(app.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline compile: %w", err)
+	}
+	p.Android = android
+
+	// 1) Online profiling run.
+	prof := profile.NewProfile()
+	_, x := app.NewProcessAndExec(android)
+	x.SamplePeriod = profile.SamplePeriodCycles
+	x.Sampler = prof
+	x.MaxCycles = 50_000_000_000
+	if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+		return nil, fmt.Errorf("core: online profiling run: %w", err)
+	}
+	p.Profile = prof
+
+	// 2) Hot region + breakdown.
+	p.Analysis = profile.Analyze(app.Prog)
+	region, ok := profile.HotRegion(app.Prog, p.Analysis, prof)
+	if !ok {
+		return nil, fmt.Errorf("core: %s has no replayable hot region", app.Name)
+	}
+	p.Region = region
+	p.Breakdown = profile.Classify(app.Prog, p.Analysis, prof, region)
+
+	// 3) Capture during a later online run.
+	snap, err := o.captureOnline(app, android, region.Root)
+	if err != nil {
+		return nil, err
+	}
+	p.Snapshot = snap
+
+	// 4) Interpreted replay: verification map + type profile.
+	vmap, typeProf, err := verify.Build(o.Dev, o.Store, snap, app.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: verification build: %w", err)
+	}
+	p.VMap = vmap
+	p.TypeProf = typeProf
+
+	// 5) Baselines at region level.
+	p.ev = &replayEvaluator{
+		o: o, app: app, snap: snap, vmap: vmap, prof: typeProf,
+		region: region, android: android,
+	}
+	andEval := p.ev.evaluateImage(android)
+	if andEval.Outcome.Failed() {
+		return nil, fmt.Errorf("core: baseline failed its own replay: %s", andEval.Outcome)
+	}
+	p.ev.maxCycles = andEval.cycles * 12 // runtime-timeout budget
+	p.AndroidEval = andEval.Evaluation
+	p.AndroidCycles = andEval.cycles
+
+	o3Code, err := p.CompileRegion(lir.O3())
+	if err != nil {
+		return nil, fmt.Errorf("core: -O3 compile: %w", err)
+	}
+	o3Eval := p.ev.evaluateImage(o3Code)
+	if o3Eval.Outcome.Failed() {
+		return nil, fmt.Errorf("core: -O3 failed verification: %s", o3Eval.Outcome)
+	}
+	p.O3Eval = o3Eval.Evaluation
+	p.O3Cycles = o3Eval.cycles
+	return p, nil
+}
+
+// Optimize runs the full pipeline for app.
+func (o *Optimizer) Optimize(app *App) (*Report, error) {
+	p, err := o.Prepare(app)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{App: app.Name}
+	rep.Region = p.Region
+	rep.Breakdown = p.Breakdown
+	rep.Capture = p.Snapshot.Stats
+	rep.VerifyMapSize = p.VMap.Size()
+	rep.AndroidRegionMs = p.AndroidEval.MeanMs
+	rep.O3RegionMs = p.O3Eval.MeanMs
+
+	// 6) GA search.
+	gaOpts := o.Opts.GA
+	gaOpts.BaselineAndroidMs = rep.AndroidRegionMs
+	gaOpts.BaselineO3Ms = rep.O3RegionMs
+	rng := rand.New(rand.NewSource(o.Opts.Seed*7919 + int64(len(app.Name))))
+	rep.Search = ga.Search(rng, p, gaOpts)
+	rep.Best = rep.Search.Best.Decode()
+	rep.GARegionMs = rep.Search.BestEval.MeanMs
+	if rep.GARegionMs > 0 {
+		rep.RegionSpeedupGA = rep.AndroidRegionMs / rep.GARegionMs
+	}
+
+	// 7) Install the winner — unless it lost to the out-of-the-box binary,
+	// in which case the system keeps the baseline (§1: the search must have
+	// "no negative impact on the user experience"). Then measure whole-
+	// program speedups outside the replay environment.
+	bestCode, err := p.CompileRegion(rep.Best)
+	if err != nil {
+		return nil, fmt.Errorf("core: best genome stopped compiling: %w", err)
+	}
+	if rep.GARegionMs > rep.AndroidRegionMs {
+		bestCode = p.Android
+		rep.GARegionMs = rep.AndroidRegionMs
+		rep.RegionSpeedupGA = 1.0
+		rep.KeptBaseline = true
+	}
+	o3Code, err := p.CompileRegion(lir.O3())
+	if err != nil {
+		return nil, err
+	}
+	rep.installed = bestCode
+	rep.AndroidOnlineCycles = o.onlineCycles(app, p.Android)
+	rep.O3OnlineCycles = o.onlineCycles(app, o3Code)
+	rep.GAOnlineCycles = o.onlineCycles(app, bestCode)
+	if rep.GAOnlineCycles > 0 {
+		rep.SpeedupGA = rep.AndroidOnlineCycles / rep.GAOnlineCycles
+	}
+	if rep.O3OnlineCycles > 0 {
+		rep.SpeedupO3 = rep.AndroidOnlineCycles / rep.O3OnlineCycles
+	}
+	return rep, nil
+}
+
+// captureOnline runs the app online and snapshots the hot region's state at
+// its first armed entry.
+func (o *Optimizer) captureOnline(app *App, code *machine.Program, root dex.MethodID) (*capture.Snapshot, error) {
+	var snap *capture.Snapshot
+	var capErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		_, x := app.NewProcessAndExec(code)
+		x.MaxCycles = 50_000_000_000
+		force := attempt == 2 // last resort: capture right after a collection
+		hook := &machine.CaptureHook{Method: root}
+		hook.Wrap = func(args []uint64, call func() (uint64, error)) (uint64, error) {
+			if force && x.Proc.GCImminent() {
+				// An app whose allocation clock permanently hovers below
+				// the automatic threshold would postpone forever; the
+				// scheduler requests an explicit collection and captures
+				// the next entry.
+				x.Proc.ForceGC()
+			}
+			var ret uint64
+			var runErr error
+			snap, capErr = capture.Capture(x.Proc, o.Dev, o.Store, root, args,
+				app.NativeSeed, func() error {
+					ret, runErr = call()
+					return runErr
+				})
+			if capErr == capture.ErrGCPostponed {
+				// Run the region normally and try again at its next entry.
+				hook.Rearm()
+				return call()
+			}
+			return ret, runErr
+		}
+		x.Hook = hook
+		if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+			return nil, fmt.Errorf("core: online capture run: %w", err)
+		}
+		if snap != nil {
+			return snap, nil
+		}
+		if capErr != nil && capErr != capture.ErrGCPostponed {
+			return nil, capErr
+		}
+	}
+	return nil, fmt.Errorf("core: capture kept being postponed for %s", app.Name)
+}
+
+// onlineCycles measures the whole program under code (§4: interactive runs
+// with fixed inputs, averaged without outlier removal).
+func (o *Optimizer) onlineCycles(app *App, code *machine.Program) float64 {
+	var xs []float64
+	for i := 0; i < o.Opts.OnlineRuns; i++ {
+		_, x := app.NewProcessAndExec(code)
+		x.MaxCycles = 50_000_000_000
+		if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+			return 0
+		}
+		xs = append(xs, float64(x.Cycles))
+	}
+	return stats.Mean(xs)
+}
+
+// overlay returns base with the region methods replaced by repl's versions.
+func overlay(base, repl *machine.Program) *machine.Program {
+	out := machine.NewProgram()
+	for id, fn := range base.Fns {
+		out.Fns[id] = fn
+	}
+	for id, fn := range repl.Fns {
+		out.Fns[id] = fn
+	}
+	return out
+}
+
+// replayEvaluator measures genomes by replaying the captured region (Fig. 6
+// main loop).
+type replayEvaluator struct {
+	o         *Optimizer
+	app       *App
+	snap      *capture.Snapshot
+	vmap      *verify.Map
+	prof      *lir.Profile
+	region    profile.Region
+	android   *machine.Program
+	maxCycles uint64
+	seq       int64
+}
+
+type imageEval struct {
+	ga.Evaluation
+	cycles uint64
+}
+
+// Evaluate implements ga.Evaluator: compile the region under cfg, replay the
+// capture, verify, and time it.
+func (ev *replayEvaluator) Evaluate(cfg lir.Config) ga.Evaluation {
+	code, err := lir.Compile(ev.app.Prog, ev.region.Methods, cfg, ev.prof)
+	if err != nil {
+		return ga.Evaluation{Outcome: classifyCompileError(err)}
+	}
+	return ev.evaluateImage(overlay(ev.android, code)).Evaluation
+}
+
+// evaluateImage replays a full code image: two real replays under different
+// ASLR layouts (whose deterministic cycle counts must agree), a verification
+// check, and Replays noisy clock readings for the statistics (§4).
+func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
+	ev.seq++
+	run := func(seed int64) (*replay.Result, error) {
+		return replay.Run(ev.o.Dev, ev.o.Store, replay.Request{
+			Snapshot:  ev.snap,
+			Prog:      ev.app.Prog,
+			Tier:      replay.TierCompiled,
+			Code:      code,
+			MaxCycles: ev.maxCycles,
+			ASLRSeed:  ev.seq*131 + seed,
+		})
+	}
+	res, err := run(1)
+	if err != nil {
+		return imageEval{Evaluation: ga.Evaluation{Outcome: classifyRuntimeError(err)}}
+	}
+	if err := ev.vmap.Check(res); err != nil {
+		return imageEval{Evaluation: ga.Evaluation{Outcome: ga.OutcomeWrongOutput}}
+	}
+	// Replays under a second ASLR layout must agree cycle-for-cycle;
+	// clearly losing binaries skip the cross-check (they are never
+	// installed, and re-running a near-timeout binary doubles its cost).
+	if ev.maxCycles == 0 || res.Cycles*4 <= ev.maxCycles {
+		res2, err := run(2)
+		if err != nil || res2.Cycles != res.Cycles {
+			// Nondeterministic candidate: treat as wrong output.
+			return imageEval{Evaluation: ga.Evaluation{Outcome: ga.OutcomeWrongOutput}}
+		}
+	}
+	n := ev.o.Opts.Replays
+	if n <= 0 {
+		n = 10
+	}
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = ev.o.Dev.ReplayMillis(res.Cycles)
+	}
+	clean := stats.RemoveOutliersMAD(times, 3)
+	return imageEval{
+		Evaluation: ga.Evaluation{
+			Outcome:    ga.OutcomeCorrect,
+			TimesMs:    times,
+			MeanMs:     stats.Mean(clean),
+			SizeBytes:  code.Size(),
+			BinaryHash: hashImage(code),
+		},
+		cycles: res.Cycles,
+	}
+}
+
+func classifyCompileError(err error) ga.Outcome {
+	var crash *lir.CrashError
+	var timeout *lir.TimeoutError
+	var mcerr *machine.CompileError
+	switch {
+	case errors.As(err, &timeout):
+		return ga.OutcomeCompilerTimeout
+	case errors.As(err, &crash), errors.As(err, &mcerr):
+		return ga.OutcomeCompilerError
+	default:
+		return ga.OutcomeCompilerError
+	}
+}
+
+func classifyRuntimeError(err error) ga.Outcome {
+	var trap *rt.Trap
+	var access *mem.AccessError
+	var thrown *interp.ThrownError
+	switch {
+	case errors.Is(err, machine.ErrTimeout), errors.Is(err, interp.ErrTimeout):
+		return ga.OutcomeRuntimeTimeout
+	case errors.As(err, &trap), errors.As(err, &access), errors.As(err, &thrown),
+		errors.Is(err, machine.ErrStackOverflow), errors.Is(err, interp.ErrStackOverflow):
+		return ga.OutcomeRuntimeCrash
+	default:
+		return ga.OutcomeRuntimeCrash
+	}
+}
+
+// hashImage fingerprints generated code for the identical-binaries halt.
+func hashImage(code *machine.Program) uint64 {
+	h := fnv.New64a()
+	ids := make([]int, 0, len(code.Fns))
+	for id := range code.Fns {
+		ids = append(ids, int(id))
+	}
+	sortInts(ids)
+	var buf [8]byte
+	w := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, id := range ids {
+		fn := code.Fns[dex.MethodID(id)]
+		w(int64(id))
+		for i := range fn.Code {
+			in := &fn.Code[i]
+			w(int64(in.Op))
+			w(int64(in.A))
+			w(int64(in.B))
+			w(int64(in.C))
+			w(int64(in.D))
+			w(in.Imm)
+			w(int64(math.Float64bits(in.F)))
+			w(int64(in.Sym))
+			w(in.Disp)
+			w(int64(in.Cond))
+			w(int64(in.Hint))
+			for _, a := range in.Args {
+				w(int64(a))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"replayopt/internal/ga"
+	"replayopt/internal/lir"
+	"replayopt/internal/machine"
+	"replayopt/internal/minic"
+	"replayopt/internal/profile"
+	"replayopt/internal/rt"
+)
+
+// A miniature interactive app with a clear hot kernel, I/O scaffolding, and
+// a virtual call in the hot path.
+const appSrc = `
+global float[] board;
+global int ticks;
+
+class Rule { func weight(int i) int { return i % 7; } }
+class Fancy extends Rule { func weight(int i) int { return (i * 3) % 11; } }
+
+func setup(int n) {
+	board = new float[n];
+	for (int i = 0; i < n; i = i + 1) { board[i] = itof(i % 13) * 0.5; }
+}
+
+func simulate(int rounds) int {
+	Rule r = new Fancy();
+	float acc = 0.0;
+	for (int k = 0; k < rounds; k = k + 1) {
+		for (int i = 0; i < len(board); i = i + 1) {
+			acc = acc + board[i] * itof(r.weight(i));
+		}
+	}
+	ticks = ticks + 1;
+	return ftoi(acc);
+}
+
+func main() int {
+	setup(400);
+	int total = 0;
+	for (int f = 0; f < 5; f = f + 1) {
+		total = total + simulate(3);
+		draw_frame(f);
+	}
+	print_int(total);
+	return total;
+}
+`
+
+func smallOptions() Options {
+	opts := DefaultOptions()
+	opts.GA.Population = 8
+	opts.GA.Generations = 3
+	opts.GA.HillClimbBudget = 6
+	opts.OnlineRuns = 3
+	return opts
+}
+
+func runPipeline(t *testing.T, seed int64) *Report {
+	t.Helper()
+	prog, err := minic.CompileSource("miniapp", appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOptions()
+	opts.Seed = seed
+	opt := New(opts)
+	rep, err := opt.Optimize(&App{Name: "miniapp", Prog: prog})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return rep
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	rep := runPipeline(t, 1)
+
+	// The hot region must be the simulate kernel.
+	if got := rep.Region.Root; rep.App != "miniapp" || got < 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.Breakdown[profile.CatCompiled] <= 0 {
+		t.Error("no compiled fraction in the breakdown")
+	}
+	if rep.Capture.TotalMs() <= 0 || rep.Capture.PagesStored == 0 {
+		t.Error("capture stats empty")
+	}
+	if rep.VerifyMapSize == 0 {
+		t.Error("empty verification map")
+	}
+	if rep.AndroidRegionMs <= 0 || rep.O3RegionMs <= 0 || rep.GARegionMs <= 0 {
+		t.Fatalf("missing region timings: %+v", rep)
+	}
+	// The GA must never lose to the baselines it was seeded against.
+	if rep.GARegionMs > rep.AndroidRegionMs*1.001 {
+		t.Errorf("GA (%.4f ms) worse than Android (%.4f ms) on the region",
+			rep.GARegionMs, rep.AndroidRegionMs)
+	}
+	// Whole-program speedup must be positive and >= 1 within noise.
+	if rep.SpeedupGA < 0.99 {
+		t.Errorf("whole-program GA speedup %.3f < 1", rep.SpeedupGA)
+	}
+	if rep.Search == nil || len(rep.Search.Trace) == 0 {
+		t.Error("no search trace")
+	}
+}
+
+func TestPipelineGAFindsRegionSpeedup(t *testing.T) {
+	rep := runPipeline(t, 2)
+	if rep.RegionSpeedupGA < 1.05 {
+		t.Errorf("region speedup only %.3fx — search found nothing", rep.RegionSpeedupGA)
+	}
+}
+
+func TestPipelineRejectsBrokenGenomes(t *testing.T) {
+	rep := runPipeline(t, 3)
+	if rep.Search.BestEval.Outcome.Failed() {
+		t.Fatal("a failed genome won the search")
+	}
+	// With the catalog's unsafe share, some evaluations must have failed
+	// and been discarded rather than selected.
+	failed := 0
+	for _, r := range rep.Search.Trace {
+		if r.Eval.Outcome.Failed() {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Log("note: no failed genomes in this small search (acceptable at this scale)")
+	}
+}
+
+func TestPipelineDeterministicWithSeed(t *testing.T) {
+	a := runPipeline(t, 9)
+	b := runPipeline(t, 9)
+	if a.Search.Best.String() != b.Search.Best.String() {
+		t.Errorf("same seed, different winners:\n%s\n%s", a.Search.Best, b.Search.Best)
+	}
+	if a.AndroidOnlineCycles != b.AndroidOnlineCycles {
+		t.Errorf("online cycles differ: %v vs %v", a.AndroidOnlineCycles, b.AndroidOnlineCycles)
+	}
+}
+
+func TestEvaluatorOutcomeClassification(t *testing.T) {
+	prog, err := minic.CompileSource("miniapp", appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOptions()
+	opt := New(opts)
+	app := &App{Name: "miniapp", Prog: prog}
+
+	// Build the pieces manually up to the evaluator.
+	rep, err := opt.Optimize(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+	// Classification coverage is exercised via the ga package; here we only
+	// check the classifier functions directly.
+	if classifyCompileError(errTest{}) != ga.OutcomeCompilerError {
+		t.Error("unknown compile errors must classify as compiler error")
+	}
+	if classifyRuntimeError(errTest{}) != ga.OutcomeRuntimeCrash {
+		t.Error("unknown runtime errors must classify as crash")
+	}
+}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "x" }
+
+// TestHashImageDistinguishesBinaries: the identical-binary halt rests on
+// hashImage fingerprinting code exactly — identical code hashes equal,
+// any field change hashes different.
+func TestHashImageDistinguishesBinaries(t *testing.T) {
+	mk := func() *machine.Program {
+		p := machine.NewProgram()
+		p.Fns[1] = &machine.Fn{Code: []machine.Insn{
+			{Op: machine.Add, A: 1, B: 2, C: -1, Imm: 40},
+			{Op: machine.Ret, A: 1},
+		}}
+		return p
+	}
+	a, b := mk(), mk()
+	if hashImage(a) != hashImage(b) {
+		t.Fatal("identical programs hash differently")
+	}
+	b.Fns[1].Code[0].Imm = 41
+	if hashImage(a) == hashImage(b) {
+		t.Fatal("changed immediate not reflected in hash")
+	}
+	c := mk()
+	c.Fns[2] = c.Fns[1] // extra function
+	if hashImage(a) == hashImage(c) {
+		t.Fatal("extra function not reflected in hash")
+	}
+}
+
+// TestOverlayPrefersReplacement: region functions must shadow the base
+// binary's, everything else passing through.
+func TestOverlayPrefersReplacement(t *testing.T) {
+	base := machine.NewProgram()
+	base.Fns[1] = &machine.Fn{Code: []machine.Insn{{Op: machine.Ret}}}
+	base.Fns[2] = &machine.Fn{Code: []machine.Insn{{Op: machine.Ret}}}
+	repl := machine.NewProgram()
+	repl.Fns[2] = &machine.Fn{Code: []machine.Insn{{Op: machine.Nop}, {Op: machine.Ret}}}
+	out := overlay(base, repl)
+	if out.Fns[1] != base.Fns[1] {
+		t.Error("untouched function not passed through")
+	}
+	if out.Fns[2] != repl.Fns[2] {
+		t.Error("region function not replaced")
+	}
+	if len(out.Fns) != 2 {
+		t.Errorf("overlay has %d functions, want 2", len(out.Fns))
+	}
+	// The inputs must not be mutated.
+	if base.Fns[2].Code[0].Op != machine.Ret {
+		t.Error("overlay mutated the base program")
+	}
+}
+
+// TestClassifyErrors maps each substrate failure to the Fig. 1 outcome the
+// paper's taxonomy assigns it.
+func TestClassifyErrors(t *testing.T) {
+	if got := classifyCompileError(&lir.TimeoutError{}); got != ga.OutcomeCompilerTimeout {
+		t.Errorf("compile timeout -> %v", got)
+	}
+	if got := classifyCompileError(&lir.CrashError{}); got != ga.OutcomeCompilerError {
+		t.Errorf("compiler crash -> %v", got)
+	}
+	if got := classifyRuntimeError(machine.ErrTimeout); got != ga.OutcomeRuntimeTimeout {
+		t.Errorf("runtime timeout -> %v", got)
+	}
+	if got := classifyRuntimeError(&rt.Trap{Kind: rt.TrapBounds}); got != ga.OutcomeRuntimeCrash {
+		t.Errorf("bounds trap -> %v", got)
+	}
+	if got := classifyRuntimeError(machine.ErrStackOverflow); got != ga.OutcomeRuntimeCrash {
+		t.Errorf("stack overflow -> %v", got)
+	}
+}

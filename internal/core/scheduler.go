@@ -1,0 +1,96 @@
+// The §3.7 replay scheduler: candidate evaluation runs only while the
+// device is idle and charging (overnight, in practice), so the search costs
+// the user nothing. This file quantifies that policy — given a finished
+// search's actual evaluation workload, how much idle-charging time did it
+// need, and how many nights does that span?
+
+package core
+
+import (
+	"math/rand"
+
+	"replayopt/internal/device"
+	"replayopt/internal/ga"
+)
+
+// ScheduleOptions parameterizes the §3.7 idle-charging simulation.
+type ScheduleOptions struct {
+	// CompileMsPerEval is the offline compile cost charged per evaluated
+	// genome (mobile-class compile of a hot region).
+	CompileMsPerEval float64
+	// NightlyWindowMinutes draws each night's usable idle-charging window.
+	NightlyWindowMinutes func(rng *rand.Rand) float64
+	// Seed drives window variation.
+	Seed int64
+}
+
+// DefaultScheduleOptions: 250 ms compiles, nights of 5.5-8.5 usable hours.
+func DefaultScheduleOptions() ScheduleOptions {
+	return ScheduleOptions{
+		CompileMsPerEval: 250,
+		NightlyWindowMinutes: func(rng *rand.Rand) float64 {
+			return 330 + rng.Float64()*180
+		},
+		Seed: 1,
+	}
+}
+
+// ScheduleReport summarizes a search's offline cost under the §3.7 policy.
+type ScheduleReport struct {
+	Evaluations   int
+	ReplayMinutes float64 // pure replay time across all evaluations
+	TotalMinutes  float64 // replays + compiles + verification compares
+	Nights        int     // idle-charging sessions consumed
+	// FirstNightFraction is TotalMinutes / the first window, when Nights
+	// is 1 — how much of one night the whole search actually used.
+	FirstNightFraction float64
+}
+
+// ScheduleSearch replays a finished search's workload through the
+// idle-charging windows and reports how it schedules. The device must be
+// charged and idle for work to proceed (§3.7); window boundaries model the
+// user picking the phone up in the morning.
+func ScheduleSearch(dev *device.Device, res *ga.Result, opts ScheduleOptions) ScheduleReport {
+	rep := ScheduleReport{Evaluations: len(res.Trace)}
+	var totalMs, replayMs float64
+	for _, rec := range res.Trace {
+		totalMs += opts.CompileMsPerEval
+		if rec.Eval.Outcome == ga.OutcomeCorrect || rec.Eval.Outcome == ga.OutcomeWrongOutput {
+			// The binary ran: every recorded replay plus the verification
+			// compare (charged at one extra replay's cost).
+			for _, t := range rec.Eval.TimesMs {
+				totalMs += t
+				replayMs += t
+			}
+			totalMs += rec.Eval.MeanMs
+		}
+	}
+	rep.ReplayMinutes = replayMs / 60000
+	rep.TotalMinutes = totalMs / 60000
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	remaining := rep.TotalMinutes
+	first := 0.0
+	for remaining > 0 {
+		if !dev.CanReplay() {
+			// The policy gate: a device in use or unplugged schedules
+			// nothing. (The simulation flips it back each night.)
+			dev.Charged, dev.Idle = true, true
+		}
+		w := opts.NightlyWindowMinutes(rng)
+		if rep.Nights == 0 {
+			first = w
+		}
+		rep.Nights++
+		if remaining <= w {
+			break
+		}
+		remaining -= w
+		// Morning: user picks the phone up.
+		dev.Charged, dev.Idle = false, false
+	}
+	if rep.Nights == 1 && first > 0 {
+		rep.FirstNightFraction = rep.TotalMinutes / first
+	}
+	return rep
+}

@@ -1,0 +1,122 @@
+// Package device models the evaluation hardware of §4 — a Pixel-4-class
+// phone with eight cores whose frequencies the OS governs online and the
+// framework pins during replay — plus the millisecond-level costs of the
+// kernel operations the capture mechanism performs (Fig. 10).
+//
+// Everything is driven by a seeded RNG: the same seed reproduces the same
+// "measurement noise", which is what makes the experiments repeatable.
+package device
+
+import "math/rand"
+
+// MaxFreqGHz is the big-core maximum frequency (Snapdragon 855 prime core).
+const MaxFreqGHz = 2.84
+
+// cyclesPerMs at pinned maximum frequency.
+const cyclesPerMs = MaxFreqGHz * 1e6
+
+// Device is one simulated phone.
+type Device struct {
+	rng *rand.Rand
+
+	// Online DVFS state: the governor's current relative frequency,
+	// evolving as a bounded random walk.
+	freqFactor float64
+
+	// Charging/idle state for the §3.7 replay scheduler.
+	Charged bool
+	Idle    bool
+}
+
+// New returns a device with a seeded noise source, charged and idle (the
+// state in which replays are allowed to run).
+func New(seed int64) *Device {
+	return &Device{rng: rand.New(rand.NewSource(seed)), freqFactor: 0.85, Charged: true, Idle: true}
+}
+
+// CanReplay reports whether the §3.7 policy allows replays now: device idle
+// and fully charged.
+func (d *Device) CanReplay() bool { return d.Charged && d.Idle }
+
+// ReplayMillis converts a cycle count to wall-clock milliseconds under
+// replay conditions: all cores pinned to maximum frequency, an otherwise
+// idle system, residual noise well under a percent (§4).
+func (d *Device) ReplayMillis(cycles uint64) float64 {
+	noise := 1 + d.rng.NormFloat64()*0.004
+	if noise < 0.99 {
+		noise = 0.99
+	}
+	return float64(cycles) / cyclesPerMs * noise
+}
+
+// OnlineMillis converts a cycle count to milliseconds under interactive
+// conditions: governor-controlled frequency (a random walk between 45% and
+// 100% of max), occasional background contention, and scheduling jitter.
+// This is the noise that makes online optimization evaluation so slow to
+// converge (Fig. 3).
+func (d *Device) OnlineMillis(cycles uint64) float64 {
+	// Governor random walk.
+	d.freqFactor += d.rng.NormFloat64() * 0.06
+	if d.freqFactor < 0.45 {
+		d.freqFactor = 0.45
+	}
+	if d.freqFactor > 1.0 {
+		d.freqFactor = 1.0
+	}
+	t := float64(cycles) / (cyclesPerMs * d.freqFactor)
+	// Background contention: occasionally another task steals the core.
+	if d.rng.Float64() < 0.12 {
+		t *= 1 + d.rng.ExpFloat64()*0.5
+	}
+	// Scheduling jitter.
+	t *= 1 + d.rng.NormFloat64()*0.03
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// Capture overhead model (Fig. 10). Constants are calibrated so that
+// typical captures land in the paper's ranges: fork 1-6 ms, preparation
+// 4-11 ms, faults+CoW usually small but up to ~16 ms for write-heavy
+// regions; total average ~15 ms.
+const (
+	forkBaseMs    = 0.9
+	forkPerPageMs = 0.00055 // page-table duplication per mapped page
+
+	prepBaseMs     = 1.8     // parsing /proc/self/maps
+	prepPerEntryMs = 0.15    // per map entry processed
+	prepPerPageMs  = 0.00095 // read-protecting each page
+
+	faultMs = 0.011 // user-space fault handler round trip
+	cowMs   = 0.009 // kernel Copy-on-Write duplication
+)
+
+// ForkMillis models fork(2) for a space with the given number of mapped
+// pages, with ±10% noise.
+func (d *Device) ForkMillis(mappedPages int) float64 {
+	t := forkBaseMs + forkPerPageMs*float64(mappedPages)
+	return t * (1 + d.rng.NormFloat64()*0.1)
+}
+
+// PrepMillis models parsing the page map and read-protecting pages.
+func (d *Device) PrepMillis(mapEntries, protectedPages int) float64 {
+	t := prepBaseMs + prepPerEntryMs*float64(mapEntries) + prepPerPageMs*float64(protectedPages)
+	return t * (1 + d.rng.NormFloat64()*0.1)
+}
+
+// FaultCoWMillis models the in-region overhead: read faults taken plus
+// Copy-on-Write page duplications.
+func (d *Device) FaultCoWMillis(faults, cows int) float64 {
+	t := faultMs*float64(faults) + cowMs*float64(cows)
+	return t * (1 + d.rng.NormFloat64()*0.1)
+}
+
+// EagerCopyMillis models the CERE-style alternative (§6): copying every
+// faulted page to a user-space buffer at first touch, whether or not it is
+// ever modified. Used by the CoW ablation benchmark.
+func (d *Device) EagerCopyMillis(faults int) float64 {
+	const eagerPerPageMs = 0.031 // fault + user-space copy + bookkeeping
+	t := eagerPerPageMs * float64(faults)
+	return t * (1 + d.rng.NormFloat64()*0.1)
+}

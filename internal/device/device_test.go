@@ -1,0 +1,98 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"replayopt/internal/stats"
+)
+
+func TestReplayTimeIsNearlyDeterministic(t *testing.T) {
+	d := New(1)
+	var times []float64
+	for i := 0; i < 100; i++ {
+		times = append(times, d.ReplayMillis(1_000_000))
+	}
+	m := stats.Mean(times)
+	sd := math.Sqrt(stats.Variance(times))
+	if sd/m > 0.01 {
+		t.Errorf("replay noise %.3f%% exceeds 1%%", 100*sd/m)
+	}
+	// Pinned frequency: ~1e6 cycles at 2.84 GHz ≈ 0.35 ms.
+	if m < 0.3 || m > 0.4 {
+		t.Errorf("replay time %v ms implausible for 1M cycles", m)
+	}
+}
+
+func TestOnlineTimeIsMuchNoisier(t *testing.T) {
+	d := New(2)
+	var online, replay []float64
+	for i := 0; i < 300; i++ {
+		online = append(online, d.OnlineMillis(1_000_000))
+		replay = append(replay, d.ReplayMillis(1_000_000))
+	}
+	cvOn := math.Sqrt(stats.Variance(online)) / stats.Mean(online)
+	cvRe := math.Sqrt(stats.Variance(replay)) / stats.Mean(replay)
+	if cvOn < 10*cvRe {
+		t.Errorf("online CV %.3f not ≫ replay CV %.4f", cvOn, cvRe)
+	}
+	// Online is never faster than the pinned-max-frequency ideal.
+	ideal := 1_000_000.0 / cyclesPerMs
+	for _, x := range online {
+		if x < ideal*0.9 {
+			t.Fatalf("online time %v beats pinned hardware %v", x, ideal)
+		}
+	}
+}
+
+func TestSameSeedSameNoise(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 50; i++ {
+		if a.OnlineMillis(12345) != b.OnlineMillis(12345) {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+}
+
+func TestCaptureOverheadsInPaperRanges(t *testing.T) {
+	d := New(3)
+	// A typical process: boot image ~3100 pages + a few thousand app pages.
+	fork := d.ForkMillis(5000)
+	if fork < 1 || fork > 8 {
+		t.Errorf("fork %v ms outside the 1-6 ms ballpark", fork)
+	}
+	prep := d.PrepMillis(12, 4500)
+	if prep < 3 || prep > 12 {
+		t.Errorf("prep %v ms outside the 4-11 ms ballpark", prep)
+	}
+	fc := d.FaultCoWMillis(300, 200)
+	if fc < 2 || fc > 10 {
+		t.Errorf("faults+CoW %v ms implausible", fc)
+	}
+	// A write-heavy region (BubbleSort-like): ~1500 CoWs.
+	heavy := d.FaultCoWMillis(200, 1500)
+	if heavy < 10 || heavy > 25 {
+		t.Errorf("write-heavy faults+CoW %v ms, want ~16", heavy)
+	}
+}
+
+func TestEagerCopyCostsMoreThanCoW(t *testing.T) {
+	d := New(4)
+	faults, cows := 800, 150 // mostly-read region
+	cow := d.FaultCoWMillis(faults, cows)
+	eager := d.EagerCopyMillis(faults)
+	if eager <= cow {
+		t.Errorf("CERE-style eager copy (%v ms) not slower than CoW (%v ms)", eager, cow)
+	}
+}
+
+func TestReplayPolicy(t *testing.T) {
+	d := New(5)
+	if !d.CanReplay() {
+		t.Error("fresh device should allow replays")
+	}
+	d.Charged = false
+	if d.CanReplay() {
+		t.Error("discharged device must not replay")
+	}
+}

@@ -1,0 +1,203 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+)
+
+// testProgram builds a tiny valid program:
+//
+//	int add(int a, int b) { return a + b; }
+//	main: returns add(1,2)
+func testProgram() *Program {
+	p := &Program{Name: "t"}
+	add := &Method{
+		Name: "add", Class: NoClass, NumRegs: 3, NumArgs: 2,
+		Params: []Kind{KindInt, KindInt}, Ret: KindInt,
+		Code: []Insn{
+			{Op: OpAddInt, A: 2, B: 0, C: 1},
+			{Op: OpReturn, A: 2},
+		},
+	}
+	main := &Method{
+		Name: "main", Class: NoClass, NumRegs: 3, NumArgs: 0, Ret: KindInt,
+		Code: []Insn{
+			{Op: OpConstInt, A: 0, Imm: 1},
+			{Op: OpConstInt, A: 1, Imm: 2},
+			{Op: OpInvokeStatic, A: 2, Sym: 0, Args: []int{0, 1}},
+			{Op: OpReturn, A: 2},
+		},
+	}
+	p.Methods = []*Method{add, main}
+	p.Entry = 1
+	p.BuildIndex()
+	return p
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := testProgram().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadRegister(t *testing.T) {
+	p := testProgram()
+	p.Methods[0].Code[0].C = 99
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted out-of-range register")
+	}
+}
+
+func TestValidateRejectsBadBranchTarget(t *testing.T) {
+	p := testProgram()
+	p.Methods[1].Code = append([]Insn{{Op: OpGoto, Imm: 100}}, p.Methods[1].Code...)
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted out-of-range branch target")
+	}
+}
+
+func TestValidateRejectsFallOffEnd(t *testing.T) {
+	p := testProgram()
+	p.Methods[0].Code = p.Methods[0].Code[:1] // drop the return
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted method falling off the end")
+	}
+}
+
+func TestValidateRejectsArityMismatch(t *testing.T) {
+	p := testProgram()
+	p.Methods[1].Code[2].Args = []int{0} // add takes 2
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted call with wrong arg count")
+	}
+}
+
+func TestValidateRejectsUnknownCallee(t *testing.T) {
+	p := testProgram()
+	p.Methods[1].Code[2].Sym = 42
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted call to unknown method")
+	}
+}
+
+func TestLookupsAndResolve(t *testing.T) {
+	p := testProgram()
+	id, ok := p.MethodByName("add")
+	if !ok || p.Method(id).Name != "add" {
+		t.Fatalf("MethodByName(add) = %v,%v", id, ok)
+	}
+	if _, ok := p.MethodByName("nope"); ok {
+		t.Error("found nonexistent method")
+	}
+	// Non-virtual resolve is identity.
+	if got := p.Resolve(id, 0); got != id {
+		t.Errorf("Resolve static = %d, want %d", got, id)
+	}
+}
+
+func TestVirtualResolveUsesVTable(t *testing.T) {
+	p := &Program{Name: "v"}
+	base := &Method{Name: "Base.f", Class: 0, Virtual: true, VSlot: 0,
+		NumRegs: 1, NumArgs: 1, Params: []Kind{KindRef}, Ret: KindInt,
+		Code: []Insn{{Op: OpConstInt, A: 0, Imm: 1}, {Op: OpReturn, A: 0}}}
+	derived := &Method{Name: "Derived.f", Class: 1, Virtual: true, VSlot: 0,
+		NumRegs: 1, NumArgs: 1, Params: []Kind{KindRef}, Ret: KindInt,
+		Code: []Insn{{Op: OpConstInt, A: 0, Imm: 2}, {Op: OpReturn, A: 0}}}
+	main := &Method{Name: "main", Class: NoClass, NumRegs: 1, Ret: KindVoid,
+		Code: []Insn{{Op: OpReturnVoid}}}
+	p.Methods = []*Method{base, derived, main}
+	p.Classes = []*Class{
+		{Name: "Base", Super: NoClass, VTable: []MethodID{0}, Methods: []MethodID{0}},
+		{Name: "Derived", Super: 0, VTable: []MethodID{1}, Methods: []MethodID{1}},
+	}
+	p.Entry = 2
+	p.BuildIndex()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Resolve(0, 1); got != 1 {
+		t.Errorf("Resolve(Base.f, Derived) = %d, want Derived.f", got)
+	}
+	if got := p.Resolve(0, 0); got != 0 {
+		t.Errorf("Resolve(Base.f, Base) = %d, want Base.f", got)
+	}
+}
+
+func TestCalleesIncludesOverrides(t *testing.T) {
+	p := &Program{Name: "v"}
+	base := &Method{Name: "Base.f", Class: 0, Virtual: true, VSlot: 0,
+		NumRegs: 1, NumArgs: 1, Params: []Kind{KindRef}, Ret: KindVoid,
+		Code: []Insn{{Op: OpReturnVoid}}}
+	derived := &Method{Name: "Derived.f", Class: 1, Virtual: true, VSlot: 0,
+		NumRegs: 1, NumArgs: 1, Params: []Kind{KindRef}, Ret: KindVoid,
+		Code: []Insn{{Op: OpReturnVoid}}}
+	caller := &Method{Name: "main", Class: NoClass, NumRegs: 1, Ret: KindVoid,
+		Code: []Insn{
+			{Op: OpInvokeVirtual, A: 0, Sym: 0, Args: []int{0}},
+			{Op: OpReturnVoid},
+		}}
+	p.Methods = []*Method{base, derived, caller}
+	p.Classes = []*Class{
+		{Name: "Base", Super: NoClass, VTable: []MethodID{0}},
+		{Name: "Derived", Super: 0, VTable: []MethodID{1}},
+	}
+	p.Entry = 2
+	p.BuildIndex()
+	callees := p.Callees(caller)
+	if len(callees) != 2 {
+		t.Fatalf("Callees = %v, want both Base.f and Derived.f", callees)
+	}
+}
+
+func TestDisassembleMentionsSymbols(t *testing.T) {
+	p := testProgram()
+	text := p.Disassemble(p.Methods[1])
+	for _, want := range []string{"main", "invoke-static", "add", "const-int"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	cases := []struct {
+		op         Op
+		branch     bool
+		terminator bool
+		invoke     bool
+	}{
+		{OpIfLt, true, true, false},
+		{OpGoto, false, true, false},
+		{OpReturn, false, true, false},
+		{OpThrow, false, true, false},
+		{OpAddInt, false, false, false},
+		{OpInvokeStatic, false, false, true},
+		{OpInvokeVirtual, false, false, true},
+		{OpInvokeNative, false, false, true},
+	}
+	for _, c := range cases {
+		if c.op.IsBranch() != c.branch {
+			t.Errorf("%s IsBranch = %v", c.op, !c.branch)
+		}
+		if c.op.IsTerminator() != c.terminator {
+			t.Errorf("%s IsTerminator = %v", c.op, !c.terminator)
+		}
+		if c.op.IsInvoke() != c.invoke {
+			t.Errorf("%s IsInvoke = %v", c.op, !c.invoke)
+		}
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for o := OpNop; o < opCount; o++ {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", o)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("opcodes %d and %d share name %q", prev, o, s)
+		}
+		seen[s] = o
+	}
+}

@@ -1,0 +1,75 @@
+package dex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders m as readable text, resolving symbol indices through p.
+func (p *Program) Disassemble(m *Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".method %s (regs=%d args=%d ret=%s)\n", m.Name, m.NumRegs, m.NumArgs, m.Ret)
+	for pc, in := range m.Code {
+		fmt.Fprintf(&b, "  %4d: %s\n", pc, p.insnString(in))
+	}
+	return b.String()
+}
+
+// DisassembleAll renders every method of p.
+func (p *Program) DisassembleAll() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".program %s (classes=%d methods=%d natives=%d globals=%d)\n\n",
+		p.Name, len(p.Classes), len(p.Methods), len(p.Natives), len(p.Globals))
+	for _, m := range p.Methods {
+		b.WriteString(p.Disassemble(m))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (p *Program) insnString(in Insn) string {
+	regs := func(ids []int) string {
+		parts := make([]string, len(ids))
+		for i, r := range ids {
+			parts[i] = fmt.Sprintf("v%d", r)
+		}
+		return strings.Join(parts, ", ")
+	}
+	switch in.Op {
+	case OpInvokeStatic, OpInvokeVirtual:
+		name := fmt.Sprintf("m%d", in.Sym)
+		if in.Sym >= 0 && in.Sym < len(p.Methods) {
+			name = p.Methods[in.Sym].Name
+		}
+		return fmt.Sprintf("%s v%d, %s(%s)", in.Op, in.A, name, regs(in.Args))
+	case OpInvokeNative:
+		name := fmt.Sprintf("n%d", in.Sym)
+		if in.Sym >= 0 && in.Sym < len(p.Natives) {
+			name = p.Natives[in.Sym].Name
+		}
+		return fmt.Sprintf("%s v%d, %s(%s)", in.Op, in.A, name, regs(in.Args))
+	case OpNewInstance:
+		name := fmt.Sprintf("c%d", in.Sym)
+		if in.Sym >= 0 && in.Sym < len(p.Classes) {
+			name = p.Classes[in.Sym].Name
+		}
+		return fmt.Sprintf("%s v%d, %s", in.Op, in.A, name)
+	case OpSLoadInt, OpSLoadFloat, OpSLoadRef:
+		return fmt.Sprintf("%s v%d, %s", in.Op, in.A, p.globalName(int(in.Imm)))
+	case OpSStoreInt, OpSStoreFloat, OpSStoreRef:
+		return fmt.Sprintf("%s %s, v%d", in.Op, p.globalName(int(in.Imm)), in.A)
+	case OpFLoadInt, OpFLoadFloat, OpFLoadRef:
+		return fmt.Sprintf("%s v%d, v%d.[%d]", in.Op, in.A, in.B, in.Imm)
+	case OpFStoreInt, OpFStoreFloat, OpFStoreRef:
+		return fmt.Sprintf("%s v%d.[%d], v%d", in.Op, in.B, in.Imm, in.A)
+	default:
+		return in.String()
+	}
+}
+
+func (p *Program) globalName(slot int) string {
+	if slot >= 0 && slot < len(p.Globals) {
+		return "$" + p.Globals[slot].Name
+	}
+	return fmt.Sprintf("$g%d", slot)
+}

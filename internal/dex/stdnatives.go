@@ -1,0 +1,52 @@
+package dex
+
+// StdNatives returns the standard native (JNI-analogue) library every
+// program links against. The frontend resolves builtin calls against this
+// table; the interpreter and machine executor bind implementations to it.
+//
+// IO and NonDet flags drive the §3.1 replayability blocklist. Natives with a
+// non-None Intrinsic are the ones the LLVM-analogue backend can replace with
+// IR implementations (§3.5), which also makes them replayable when compiled.
+func StdNatives() []*Native {
+	i := func(name string, k IntrinsicKind, params ...Kind) *Native {
+		return &Native{Name: name, Params: params, Ret: KindFloat, Intrinsic: k}
+	}
+	f := KindFloat
+	n := KindInt
+	return []*Native{
+		// Math: pure, deterministic, intrinsic-replaceable.
+		i("Math.sqrt", IntrinsicSqrt, f),
+		i("Math.sin", IntrinsicSin, f),
+		i("Math.cos", IntrinsicCos, f),
+		i("Math.log", IntrinsicLog, f),
+		i("Math.exp", IntrinsicExp, f),
+		i("Math.pow", IntrinsicPow, f, f),
+		i("Math.floor", IntrinsicFloor, f),
+		i("Math.absF", IntrinsicAbsFloat, f),
+		{Name: "Math.absI", Params: []Kind{n}, Ret: n, Intrinsic: IntrinsicAbsInt},
+		{Name: "Math.minI", Params: []Kind{n, n}, Ret: n, Intrinsic: IntrinsicMinInt},
+		{Name: "Math.maxI", Params: []Kind{n, n}, Ret: n, Intrinsic: IntrinsicMaxInt},
+
+		// Non-determinism sources: blocklisted from hot regions.
+		{Name: "System.clockMillis", Params: nil, Ret: n, NonDet: true},
+		{Name: "Random.nextInt", Params: []Kind{n}, Ret: n, NonDet: true},
+		{Name: "Random.nextFloat", Params: nil, Ret: f, NonDet: true},
+
+		// I/O: blocklisted from hot regions.
+		{Name: "IO.printInt", Params: []Kind{n}, Ret: KindVoid, IO: true},
+		{Name: "IO.printFloat", Params: []Kind{f}, Ret: KindVoid, IO: true},
+		{Name: "IO.drawFrame", Params: []Kind{n}, Ret: KindVoid, IO: true},
+		{Name: "IO.playSound", Params: []Kind{n}, Ret: KindVoid, IO: true},
+		{Name: "IO.readInput", Params: nil, Ret: n, IO: true, NonDet: true},
+		{Name: "Net.send", Params: []Kind{n}, Ret: KindVoid, IO: true},
+	}
+}
+
+// StdNativeIndex returns name -> index for StdNatives.
+func StdNativeIndex() map[string]NativeID {
+	idx := make(map[string]NativeID)
+	for i, nt := range StdNatives() {
+		idx[nt.Name] = NativeID(i)
+	}
+	return idx
+}

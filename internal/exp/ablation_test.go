@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAblationCoWAndFullSnapshot(t *testing.T) {
+	s := tiny()
+	s.Apps = []string{"FFT", "BubbleSort"}
+	cow, err := AblationCoW(s, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cow.Rows) != 2 {
+		t.Fatalf("rows: %v", cow.Rows)
+	}
+	full, err := AblationFullSnapshot(s, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range full.Rows {
+		// The full snapshot must be strictly larger than the selective one.
+		if r[3] <= "1.0" && r[3][0] == '0' {
+			t.Errorf("full snapshot not larger for %s: ratio %s", r[0], r[3])
+		}
+	}
+}
+
+func TestAblationGCCheckElimHelps(t *testing.T) {
+	tab, err := AblationGCCheckElim(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[1][2] <= tab.Rows[0][2] {
+		t.Errorf("gccheckelim did not improve FFT: %v", tab.Rows)
+	}
+}
+
+func TestAblationDevirtHelps(t *testing.T) {
+	tab, err := AblationDevirt(13, "DroidFish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[1][2] < tab.Rows[0][2] {
+		t.Errorf("devirt hurt: %v", tab.Rows)
+	}
+}
+
+func TestAblationNoVerifyFindsRisk(t *testing.T) {
+	s := tiny()
+	tab, err := AblationNoVerify(s, 14, "FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatal("bad table")
+	}
+}
+
+func TestAblationRandomVsGA(t *testing.T) {
+	s := tiny()
+	tab, err := AblationRandomSearch(s, 15, "Sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatal("bad table")
+	}
+}
+
+func TestAblationCrossValidate(t *testing.T) {
+	tab, err := AblationCrossValidate(tiny(), 1, "MaterialLife")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	if row[0] != "MaterialLife" {
+		t.Errorf("app column = %q", row[0])
+	}
+	checked, passed := row[1], row[2]
+	if checked == "0" {
+		t.Error("no held-out snapshots checked")
+	}
+	// Either the winner generalized (passed == checked, kept false) or it
+	// was discarded (kept true); both are valid, inconsistent mixes aren't.
+	kept := row[5]
+	if kept == "false" && passed != checked {
+		t.Errorf("installed a winner that failed cross-validation: %s/%s", passed, checked)
+	}
+}
+
+func TestAblationTTestFitness(t *testing.T) {
+	tab, err := AblationTTestFitness(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	pctVal := func(s string) int {
+		var v int
+		fmt.Sscanf(s, "%d%%", &v)
+		return v
+	}
+	for _, row := range tab.Rows {
+		replayT, onlineMean := pctVal(row[2]), pctVal(row[3])
+		// Replay t-test must dominate online mean-only at every diff.
+		if replayT < onlineMean {
+			t.Errorf("diff %s: replay t-test %d%% < online mean %d%%", row[0], replayT, onlineMean)
+		}
+	}
+	// At a 5% true difference, replay measurement must be essentially
+	// always right while online mean-only still errs.
+	row5 := tab.Rows[3]
+	if pctVal(row5[2]) < 95 {
+		t.Errorf("5%% diff: replay t-test only %s correct", row5[2])
+	}
+	if pctVal(row5[3]) > 95 {
+		t.Errorf("5%% diff: online mean-only suspiciously good (%s) — noise model too weak", row5[3])
+	}
+}

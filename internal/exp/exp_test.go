@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"replayopt/internal/profile"
+)
+
+// tiny returns a scale small enough for unit tests.
+func tiny() Scale {
+	s := Quick()
+	s.Name = "tiny"
+	s.GA.Population = 8
+	s.GA.Generations = 3
+	s.GA.HillClimbBudget = 6
+	s.RandomSeqs = 40
+	s.OnlineEvals = 1500
+	s.BootstrapSeqs = 25
+	s.Apps = []string{"FFT", "Sieve", "Reversi Android"}
+	return s
+}
+
+func TestTable1Lists21Apps(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 21 {
+		t.Fatalf("%d rows, want 21", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "DroidFish") {
+		t.Error("missing app in rendering")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	res, tab, err := Figure1(tiny(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 40 {
+		t.Fatalf("N = %d", res.N)
+	}
+	// The paper's core claim: a large minority of random sequences break,
+	// and a substantial share of failures only shows up at run time.
+	cf := res.CorrectFraction()
+	if cf < 0.25 || cf > 0.95 {
+		t.Errorf("correct fraction %.2f outside plausible band", cf)
+	}
+	if res.RuntimeFailFraction() == 0 {
+		t.Error("no runtime-visible failures — online search would look safe")
+	}
+	if !strings.Contains(tab.String(), "wrong-output") {
+		t.Error("table missing outcome rows")
+	}
+}
+
+func TestFigure2RandomBinariesMostlySlower(t *testing.T) {
+	res, _, err := Figure2(tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speedups) < 10 {
+		t.Fatalf("only %d correct binaries found", len(res.Speedups))
+	}
+	slower := 0
+	for _, s := range res.Speedups {
+		if s < 1 {
+			slower++
+		}
+	}
+	// The paper finds all 50 below 1.0; we require a strong majority.
+	if float64(slower) < 0.8*float64(len(res.Speedups)) {
+		t.Errorf("only %d/%d random correct binaries slower than Android", slower, len(res.Speedups))
+	}
+}
+
+func TestFigure3OnlineConvergesSlowly(t *testing.T) {
+	res, tab, err := Figure3(tiny(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueSpeedup < 1.2 {
+		t.Fatalf("-O1 vs -O0 true speedup %.2f too small to study", res.TrueSpeedup)
+	}
+	if res.OfflineDecideEvals > 3 {
+		t.Errorf("offline estimation needed %d evals to decide", res.OfflineDecideEvals)
+	}
+	if res.OnlineStableEvals < 10*res.OfflineDecideEvals {
+		t.Errorf("online stabilized after %d evals — not meaningfully slower than offline (%d)",
+			res.OnlineStableEvals, res.OfflineDecideEvals)
+	}
+	// Bands must narrow with more evaluations.
+	first, last := res.Points[2], res.Points[len(res.Points)-1]
+	if (last.On95Hi - last.On95Lo) >= (first.On95Hi - first.On95Lo) {
+		t.Errorf("95%% band did not narrow: [%f] -> [%f]",
+			first.On95Hi-first.On95Lo, last.On95Hi-last.On95Lo)
+	}
+	if len(tab.Rows) < 5 {
+		t.Error("too few checkpoints")
+	}
+}
+
+func TestFigure7And9OnSubset(t *testing.T) {
+	res, tab, err := Figure7(tiny(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SpeedupGA < 0.98 {
+			t.Errorf("%s: GA whole-program speedup %.2f below 1", r.App, r.SpeedupGA)
+		}
+		if r.RegionSpeedupGA < 1.0 {
+			t.Errorf("%s: GA region speedup %.2f below 1", r.App, r.RegionSpeedupGA)
+		}
+		// GA must not lose to O3 (it was seeded against it).
+		if r.Report.GARegionMs > r.Report.O3RegionMs*1.001 {
+			t.Errorf("%s: GA region %.4fms worse than O3 %.4fms", r.App,
+				r.Report.GARegionMs, r.Report.O3RegionMs)
+		}
+	}
+	if !strings.Contains(tab.String(), "AVERAGE") {
+		t.Error("missing average row")
+	}
+
+	series, tab9 := Figure9(res)
+	if len(series) != 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Generations) < 2 {
+			t.Errorf("%s: only %d generations traced", s.App, len(s.Generations))
+		}
+		lastGen := s.Generations[len(s.Generations)-1]
+		firstGen := s.Generations[0]
+		if lastGen.BestSoFar < firstGen.Best {
+			t.Errorf("%s: search got worse over time", s.App)
+		}
+	}
+	if len(tab9.Rows) == 0 {
+		t.Error("empty Figure 9 table")
+	}
+}
+
+func TestFigure8Breakdowns(t *testing.T) {
+	rows, tab, err := Figure8(tiny(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		sum := 0.0
+		for _, f := range r.Breakdown {
+			sum += f
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: breakdown sums to %.3f", r.App, sum)
+		}
+		if r.Breakdown[profile.CatCompiled] <= 0 {
+			t.Errorf("%s: zero compiled fraction", r.App)
+		}
+	}
+	// Reversi (interactive) must show JNI time; FFT (benchmark) near none.
+	var fft, reversi profile.Breakdown
+	for _, r := range rows {
+		if r.App == "FFT" {
+			fft = r.Breakdown
+		}
+		if r.App == "Reversi Android" {
+			reversi = r.Breakdown
+		}
+	}
+	if reversi[profile.CatJNI] <= fft[profile.CatJNI] {
+		t.Errorf("interactive JNI %.2f not above benchmark %.2f",
+			reversi[profile.CatJNI], fft[profile.CatJNI])
+	}
+	_ = tab
+}
+
+func TestFigure10OverheadsInRange(t *testing.T) {
+	rows, _, err := Figure10(tiny(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		total := r.Stats.TotalMs()
+		if total < 1 || total > 60 {
+			t.Errorf("%s: capture overhead %.1f ms outside the paper's ms regime", r.App, total)
+		}
+		if r.Stats.ForkMs <= 0 || r.Stats.PrepMs <= 0 {
+			t.Errorf("%s: missing overhead components: %+v", r.App, r.Stats)
+		}
+	}
+}
+
+func TestFigure11StorageShape(t *testing.T) {
+	rows, _, err := Figure11(tiny(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ProgramMB <= 0 {
+			t.Errorf("%s: no program-specific storage", r.App)
+		}
+		if r.CommonMB < 10 || r.CommonMB > 16 {
+			t.Errorf("%s: boot-common %.1f MB, want ~12.6", r.App, r.CommonMB)
+		}
+		if r.ProgramMB > r.HeapMB+0.5 {
+			t.Errorf("%s: captured more than the heap itself (%.1f > %.1f MB)",
+				r.App, r.ProgramMB, r.HeapMB)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"replayopt/internal/ga"
+)
+
+// Figure 1: compilation outcome of randomly generated optimization
+// sequences applied to FFT (§2). The paper reports ~15% compiler
+// crash/timeout, ~25% runtime crash/timeout/wrong output, ~60% correct.
+
+// Fig1Result holds the outcome histogram.
+type Fig1Result struct {
+	N      int
+	Counts map[ga.Outcome]int
+}
+
+// CorrectFraction returns the share of correct binaries.
+func (r *Fig1Result) CorrectFraction() float64 {
+	return float64(r.Counts[ga.OutcomeCorrect]) / float64(r.N)
+}
+
+// CompilerFailFraction returns the compiler crash+timeout share.
+func (r *Fig1Result) CompilerFailFraction() float64 {
+	return float64(r.Counts[ga.OutcomeCompilerError]+r.Counts[ga.OutcomeCompilerTimeout]) / float64(r.N)
+}
+
+// RuntimeFailFraction returns the runtime crash/timeout/wrong-output share —
+// the errors only discovered at run time that make online search unsafe.
+func (r *Fig1Result) RuntimeFailFraction() float64 {
+	return float64(r.Counts[ga.OutcomeRuntimeCrash]+r.Counts[ga.OutcomeRuntimeTimeout]+
+		r.Counts[ga.OutcomeWrongOutput]) / float64(r.N)
+}
+
+// Figure1 evaluates random optimization sequences on FFT's hot region.
+func Figure1(scale Scale, seed int64) (*Fig1Result, *Table, error) {
+	p, _, err := prepareApp("FFT", seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &Fig1Result{N: scale.RandomSeqs, Counts: map[ga.Outcome]int{}}
+	for i := 0; i < scale.RandomSeqs; i++ {
+		g := ga.RandomGenome(rng, scale.GA)
+		ev := p.Evaluate(g.Decode())
+		res.Counts[ev.Outcome]++
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 1: outcome of %d random optimization sequences on FFT", res.N),
+		Header: []string{"outcome", "count", "share"},
+	}
+	order := []ga.Outcome{ga.OutcomeCorrect, ga.OutcomeWrongOutput, ga.OutcomeRuntimeCrash,
+		ga.OutcomeRuntimeTimeout, ga.OutcomeCompilerError, ga.OutcomeCompilerTimeout}
+	for _, o := range order {
+		t.Rows = append(t.Rows, []string{o.String(),
+			fmt.Sprintf("%d", res.Counts[o]), pct(float64(res.Counts[o]) / float64(res.N))})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("correct %s, compiler failures %s, runtime-visible failures %s (paper: ~60%% / ~15%% / ~25%%)",
+			pct(res.CorrectFraction()), pct(res.CompilerFailFraction()), pct(res.RuntimeFailFraction())))
+	return res, t, nil
+}
+
+// Figure 2: speedup over the Android compiler for random *correct* LLVM
+// sequences on FFT — the paper finds every one slower (0.12x-0.87x).
+
+// Fig2Result holds per-binary speedups.
+type Fig2Result struct {
+	Speedups  []float64 // one per correct random binary, in generation order
+	O3Speedup float64
+	Sampled   int // total random sequences drawn to find the correct ones
+}
+
+// Figure2 generates random correct binaries and reports their speedups.
+func Figure2(scale Scale, seed int64) (*Fig2Result, *Table, error) {
+	p, _, err := prepareApp("FFT", seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	want := scale.RandomSeqs / 2
+	res := &Fig2Result{}
+	androidMs := p.AndroidEval.MeanMs
+	res.O3Speedup = androidMs / p.O3Eval.MeanMs
+	for len(res.Speedups) < want && res.Sampled < want*12 {
+		g := ga.RandomGenome(rng, scale.GA)
+		res.Sampled++
+		ev := p.Evaluate(g.Decode())
+		if ev.Outcome == ga.OutcomeCorrect {
+			res.Speedups = append(res.Speedups, androidMs/ev.MeanMs)
+		}
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 2: speedup over Android for %d random correct sequences on FFT", len(res.Speedups)),
+		Header: []string{"binary", "speedup"},
+	}
+	sorted := append([]float64(nil), res.Speedups...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	for i, s := range sorted {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", i), f2(s)})
+	}
+	slower := 0
+	var min, max float64 = 1e9, 0
+	for _, s := range res.Speedups {
+		if s < 1 {
+			slower++
+		}
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("Android = 1.00, LLVM -O3 = %s", f2(res.O3Speedup)))
+	t.Notes = append(t.Notes, fmt.Sprintf("%d/%d random binaries slower than Android; range %s-%s (paper: all slower, down to ~0.12x)",
+		slower, len(res.Speedups), f2(min), f2(max)))
+	return res, t, nil
+}

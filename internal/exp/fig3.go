@@ -1,0 +1,284 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"replayopt/internal/device"
+	"replayopt/internal/lir"
+	"replayopt/internal/machine"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+// Figure 3: estimating the speedup of LLVM -O1 over -O0 for FFT, offline
+// (fixed largest input, pinned frequency) versus online (input drawn
+// uniformly between FFT_SIZE and FFT_SIZE_LARGE, noisy device). The paper
+// needs ~22 evaluations online just to decide -O1 is better and >1000 to
+// reach 10% uncertainty; offline stabilizes almost immediately.
+
+// fftSizes spans FFT_SIZE..FFT_SIZE_LARGE.
+var fftSizes = []int{256, 1024, 4096, 16384, 65536}
+
+// fig3Src builds an FFT program over n points.
+func fig3Src(n int) string {
+	return fmt.Sprintf(`
+global float[] re;
+global float[] im;
+func bitreverse(float[] xr, float[] xi) {
+	int n = len(xr);
+	int j = 0;
+	for (int i = 0; i < n - 1; i = i + 1) {
+		if (i < j) {
+			float tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+			float ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+		}
+		int k = n / 2;
+		while (k <= j) { j = j - k; k = k / 2; }
+		j = j + k;
+	}
+}
+func transform(float[] xr, float[] xi, float dir) {
+	int n = len(xr);
+	bitreverse(xr, xi);
+	int dual = 1;
+	while (dual < n) {
+		float theta = dir * 3.141592653589793 / itof(dual);
+		float wr = cos(theta);
+		float wi = sin(theta);
+		for (int b = 0; b < n; b = b + 2 * dual) {
+			int i = b;
+			int j = b + dual;
+			float t_r = xr[j]; float t_i = xi[j];
+			xr[j] = xr[i] - t_r; xi[j] = xi[i] - t_i;
+			xr[i] = xr[i] + t_r; xi[i] = xi[i] + t_i;
+		}
+		float cwr = wr; float cwi = wi;
+		for (int a = 1; a < dual; a = a + 1) {
+			for (int b = 0; b < n; b = b + 2 * dual) {
+				int i = b + a;
+				int j = b + a + dual;
+				float zr = xr[j]; float zi = xi[j];
+				float t_r = cwr * zr - cwi * zi;
+				float t_i = cwr * zi + cwi * zr;
+				xr[j] = xr[i] - t_r; xi[j] = xi[i] - t_i;
+				xr[i] = xr[i] + t_r; xi[i] = xi[i] + t_i;
+			}
+			float nwr = cwr * wr - cwi * wi;
+			cwi = cwr * wi + cwi * wr;
+			cwr = nwr;
+		}
+		dual = dual * 2;
+	}
+}
+func main() int {
+	re = new float[%d];
+	im = new float[%d];
+	for (int i = 0; i < len(re); i = i + 1) {
+		re[i] = itof(i %% 17) * 0.25;
+		im[i] = itof(i %% 13) * 0.125;
+	}
+	transform(re, im, 0.0 - 1.0);
+	transform(re, im, 1.0);
+	return ftoi(re[1] * 1000.0);
+}`, n, n)
+}
+
+// fig3Cycles measures whole-program cycles per input size for -O0 and -O1.
+func fig3Cycles() (o0, o1 map[int]uint64, err error) {
+	o0 = map[int]uint64{}
+	o1 = map[int]uint64{}
+	for _, n := range fftSizes {
+		prog, err := minic.CompileSource(fmt.Sprintf("fft%d", n), fig3Src(n))
+		if err != nil {
+			return nil, nil, err
+		}
+		for cfgName, cfg := range map[string]lir.Config{"O0": lir.O0(), "O1": lir.O1()} {
+			code, err := lir.Compile(prog, nil, cfg, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			proc := rt.NewProcess(prog, rt.Config{HeapLimit: 128 << 20})
+			x := machine.NewExec(proc, code)
+			x.MaxCycles = 10_000_000_000
+			if _, err := x.Call(prog.Entry, nil); err != nil {
+				return nil, nil, err
+			}
+			if cfgName == "O0" {
+				o0[n] = x.Cycles
+			} else {
+				o1[n] = x.Cycles
+			}
+		}
+	}
+	return o0, o1, nil
+}
+
+// Fig3Point is one checkpoint of the estimation study.
+type Fig3Point struct {
+	Evals   int
+	Offline float64
+	Online  float64 // a single representative sequence
+	On75Lo  float64 // bootstrapped confidence bands over sequences
+	On75Hi  float64
+	On95Lo  float64
+	On95Hi  float64
+}
+
+// Fig3Result is the whole study.
+type Fig3Result struct {
+	TrueSpeedup float64 // cycle ratio at the largest input
+	Points      []Fig3Point
+	// OnlineDecideEvals: evaluations until the representative online
+	// sequence keeps estimating -O1 faster for good.
+	OnlineDecideEvals  int
+	OfflineDecideEvals int
+	// OnlineStableEvals: evaluations until the online estimate stays within
+	// 10% of the true speedup.
+	OnlineStableEvals int
+}
+
+// Figure3 runs the estimation study.
+func Figure3(scale Scale, seed int64) (*Fig3Result, *Table, error) {
+	o0, o1, err := fig3Cycles()
+	if err != nil {
+		return nil, nil, err
+	}
+	large := fftSizes[len(fftSizes)-1]
+	res := &Fig3Result{TrueSpeedup: float64(o0[large]) / float64(o1[large])}
+	n := scale.OnlineEvals
+
+	// One estimation sequence: cumulative mean(O0 times)/mean(O1 times).
+	runSeq := func(seed int64, online bool) []float64 {
+		dev := device.New(seed)
+		rng := rand.New(rand.NewSource(seed * 31))
+		est := make([]float64, n)
+		var sum0, sum1 float64
+		for i := 0; i < n; i++ {
+			var t0, t1 float64
+			if online {
+				s0 := fftSizes[rng.Intn(len(fftSizes))]
+				s1 := fftSizes[rng.Intn(len(fftSizes))]
+				t0 = dev.OnlineMillis(o0[s0])
+				t1 = dev.OnlineMillis(o1[s1])
+			} else {
+				t0 = dev.ReplayMillis(o0[large])
+				t1 = dev.ReplayMillis(o1[large])
+			}
+			sum0 += t0
+			sum1 += t1
+			est[i] = sum0 / sum1
+		}
+		return est
+	}
+
+	offline := runSeq(seed, false)
+	online := runSeq(seed, true)
+	// Bootstrap band: many independent online sequences.
+	bands := make([][]float64, scale.BootstrapSeqs)
+	for b := range bands {
+		bands[b] = runSeq(seed+int64(b)*977+1, true)
+	}
+
+	checkpoints := logCheckpoints(n)
+	for _, c := range checkpoints {
+		at := make([]float64, len(bands))
+		for b := range bands {
+			at[b] = bands[b][c-1]
+		}
+		pt := Fig3Point{
+			Evals:   c,
+			Offline: offline[c-1],
+			Online:  online[c-1],
+		}
+		pt.On75Lo, pt.On75Hi = percentiles(at, 0.125, 0.875)
+		pt.On95Lo, pt.On95Hi = percentiles(at, 0.025, 0.975)
+		res.Points = append(res.Points, pt)
+	}
+	res.OnlineDecideEvals = decideEvals(online)
+	res.OfflineDecideEvals = decideEvals(offline)
+	res.OnlineStableEvals = stableEvals(online, res.TrueSpeedup, 0.10)
+
+	t := &Table{
+		Title:  "Figure 3: estimated speedup of LLVM -O1 over -O0 for FFT vs #evaluations",
+		Header: []string{"#evals", "offline", "online", "75% band", "95% band"},
+	}
+	for _, p := range res.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Evals), f2(p.Offline), f2(p.Online),
+			fmt.Sprintf("[%s, %s]", f2(p.On75Lo), f2(p.On75Hi)),
+			fmt.Sprintf("[%s, %s]", f2(p.On95Lo), f2(p.On95Hi)),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("true speedup (largest input, cycle ratio): %s", f2(res.TrueSpeedup)))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"decision point (-O1 declared faster for good): offline after %d evals, online after %d; online within 10%% of truth after %d evals",
+		res.OfflineDecideEvals, res.OnlineDecideEvals, res.OnlineStableEvals))
+	return res, t, nil
+}
+
+func logCheckpoints(n int) []int {
+	var out []int
+	for _, base := range []int{1, 2, 5} {
+		for m := 1; m <= n; m *= 10 {
+			c := base * m
+			if c <= n {
+				out = append(out, c)
+			}
+		}
+	}
+	// insertion sort (short list)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+func percentiles(xs []float64, lo, hi float64) (float64, float64) {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	li := int(lo * float64(len(s)))
+	hj := int(hi * float64(len(s)))
+	if hj >= len(s) {
+		hj = len(s) - 1
+	}
+	return s[li], s[hj]
+}
+
+// decideEvals returns the first index after which the estimate stays > 1.
+func decideEvals(est []float64) int {
+	last := 0
+	for i, e := range est {
+		if e <= 1 {
+			last = i + 1
+		}
+	}
+	if last >= len(est) {
+		return len(est)
+	}
+	return last + 1
+}
+
+// stableEvals returns the first index after which the estimate stays within
+// tol of truth.
+func stableEvals(est []float64, truth, tol float64) int {
+	last := 0
+	for i, e := range est {
+		if e < truth*(1-tol) || e > truth*(1+tol) {
+			last = i + 1
+		}
+	}
+	if last >= len(est) {
+		return len(est)
+	}
+	return last + 1
+}

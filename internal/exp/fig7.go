@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"replayopt/internal/apps"
+	"replayopt/internal/core"
+	"replayopt/internal/ga"
+)
+
+// Figure 7 (and the data behind Figs. 8-11): the full pipeline per app.
+// LLVM -O3 should land near the Android baseline (sometimes below it);
+// the GA-selected binaries must beat both on every app.
+
+// Fig7Row is one app's headline numbers.
+type Fig7Row struct {
+	App             string
+	Type            apps.Type
+	SpeedupO3       float64
+	SpeedupGA       float64
+	RegionSpeedupGA float64
+	Report          *core.Report
+}
+
+// Fig7Result is the whole-suite outcome.
+type Fig7Result struct {
+	Rows     []Fig7Row
+	AvgO3    float64
+	AvgGA    float64
+	BenchAvg float64 // GA average over benchmark apps
+	InterAvg float64 // GA average over interactive apps
+}
+
+// Figure7 runs the complete system on every selected app.
+func Figure7(scale Scale, seed int64) (*Fig7Result, *Table, error) {
+	res := &Fig7Result{}
+	rows := make([]Fig7Row, len(selectedApps(scale)))
+	err := forEachApp(scale, func(i int, spec apps.Spec) error {
+		app, err := apps.Build(spec)
+		if err != nil {
+			return err
+		}
+		opts := core.DefaultOptions()
+		opts.Seed = seed
+		opts.GA = scale.GA
+		opt := core.New(opts)
+		rep, err := opt.Optimize(app)
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", spec.Name, err)
+		}
+		rows[i] = Fig7Row{App: spec.Name, Type: spec.Type,
+			SpeedupO3: rep.SpeedupO3, SpeedupGA: rep.SpeedupGA,
+			RegionSpeedupGA: rep.RegionSpeedupGA, Report: rep}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Rows = rows
+	var sumO3, sumGA, sumBench, sumInter float64
+	var nBench, nInter int
+	for _, row := range rows {
+		sumO3 += row.SpeedupO3
+		sumGA += row.SpeedupGA
+		if row.Type == apps.Interactive {
+			sumInter += row.SpeedupGA
+			nInter++
+		} else {
+			sumBench += row.SpeedupGA
+			nBench++
+		}
+	}
+	n := float64(len(res.Rows))
+	res.AvgO3 = sumO3 / n
+	res.AvgGA = sumGA / n
+	if nBench > 0 {
+		res.BenchAvg = sumBench / float64(nBench)
+	}
+	if nInter > 0 {
+		res.InterAvg = sumInter / float64(nInter)
+	}
+
+	t := &Table{
+		Title:  "Figure 7: whole-program speedup over the Android compiler",
+		Header: []string{"app", "type", "LLVM -O3", "LLVM GA", "GA (hot region)"},
+	}
+	for _, r := range res.Rows {
+		t.Rows = append(t.Rows, []string{r.App, string(r.Type),
+			f2(r.SpeedupO3), f2(r.SpeedupGA), f2(r.RegionSpeedupGA)})
+	}
+	t.Rows = append(t.Rows, []string{"AVERAGE", "", f2(res.AvgO3), f2(res.AvgGA), ""})
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("paper: -O3 ranges 0.89-1.66x (avg ~1.07); GA ranges 1.10-2.56x (avg ~1.44); scale=%s", scale.Name))
+	return res, t, nil
+}
+
+// Figure 9: evolution of the best and worst genomes over the search, per
+// app, derived from the Fig. 7 search traces.
+
+// Fig9Series is one app's per-generation best/worst region speedups.
+type Fig9Series struct {
+	App string
+	// Per generation: the best and worst *valid* genome speedups observed,
+	// plus how many genomes failed outright.
+	Generations []Fig9Gen
+	FinalBest   float64
+}
+
+// Fig9Gen is one generation's summary.
+type Fig9Gen struct {
+	Gen       int
+	Best      float64
+	Worst     float64
+	Evaluated int
+	Failed    int
+	BestSoFar float64
+}
+
+// Figure9 summarizes search dynamics from a Fig. 7 run.
+func Figure9(f7 *Fig7Result) ([]Fig9Series, *Table) {
+	var out []Fig9Series
+	t := &Table{
+		Title:  "Figure 9: best/worst genome speedup (over Android, hot region) per generation",
+		Header: []string{"app", "gen", "best", "worst", "best-so-far", "failed/evals"},
+	}
+	for _, row := range f7.Rows {
+		rep := row.Report
+		android := rep.AndroidRegionMs
+		byGen := map[int][]ga.EvalRecord{}
+		maxGen := 0
+		for _, r := range rep.Search.Trace {
+			byGen[r.Generation] = append(byGen[r.Generation], r)
+			if r.Generation > maxGen {
+				maxGen = r.Generation
+			}
+		}
+		series := Fig9Series{App: row.App, FinalBest: row.RegionSpeedupGA}
+		bestSoFar := 0.0
+		gens := make([]int, 0, len(byGen))
+		for g := range byGen {
+			gens = append(gens, g)
+		}
+		sort.Ints(gens)
+		for _, g := range gens {
+			gen := Fig9Gen{Gen: g, Best: 0, Worst: 1e18}
+			for _, r := range byGen[g] {
+				gen.Evaluated++
+				if r.Eval.Outcome.Failed() {
+					gen.Failed++
+					continue
+				}
+				sp := android / r.Eval.MeanMs
+				if sp > gen.Best {
+					gen.Best = sp
+				}
+				if sp < gen.Worst {
+					gen.Worst = sp
+				}
+			}
+			if gen.Worst > 1e17 {
+				gen.Worst = 0
+			}
+			if gen.Best > bestSoFar {
+				bestSoFar = gen.Best
+			}
+			gen.BestSoFar = bestSoFar
+			series.Generations = append(series.Generations, gen)
+			t.Rows = append(t.Rows, []string{row.App, fmt.Sprintf("%d", g),
+				f2(gen.Best), f2(gen.Worst), f2(gen.BestSoFar),
+				fmt.Sprintf("%d/%d", gen.Failed, gen.Evaluated)})
+		}
+		out = append(out, series)
+	}
+	t.Notes = append(t.Notes,
+		"paper: all programs improve over generations; genomes far below 1.0x keep appearing even in late generations")
+	return out, t
+}

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"fmt"
+
+	"replayopt/internal/apps"
+	"replayopt/internal/capture"
+	"replayopt/internal/profile"
+)
+
+// Figures 8, 10, and 11 need the prepared pipeline (profile, hot region,
+// capture) but not the GA search.
+
+// Fig8Row is one app's runtime code breakdown.
+type Fig8Row struct {
+	App       string
+	Breakdown profile.Breakdown
+}
+
+// Figure8 collects the Fig. 8 online code breakdowns.
+func Figure8(scale Scale, seed int64) ([]Fig8Row, *Table, error) {
+	var rows []Fig8Row
+	var avg profile.Breakdown
+	t := &Table{
+		Title:  "Figure 8: runtime code breakdown (sample-based, online)",
+		Header: []string{"app", "Compiled", "Cold", "JNI", "Unreplayable", "Uncompilable"},
+	}
+	specs := selectedApps(scale)
+	rows = make([]Fig8Row, len(specs))
+	if err := forEachApp(scale, func(i int, spec apps.Spec) error {
+		p, _, err := prepareApp(spec.Name, seed)
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig8Row{App: spec.Name, Breakdown: p.Breakdown}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, r := range rows {
+		for i := range avg {
+			avg[i] += r.Breakdown[i]
+		}
+		t.Rows = append(t.Rows, []string{r.App,
+			pct(r.Breakdown[profile.CatCompiled]), pct(r.Breakdown[profile.CatCold]),
+			pct(r.Breakdown[profile.CatJNI]), pct(r.Breakdown[profile.CatUnreplayable]),
+			pct(r.Breakdown[profile.CatUncompilable])})
+	}
+	for i := range avg {
+		avg[i] /= float64(len(specs))
+	}
+	t.Rows = append(t.Rows, []string{"AVERAGE",
+		pct(avg[profile.CatCompiled]), pct(avg[profile.CatCold]), pct(avg[profile.CatJNI]),
+		pct(avg[profile.CatUnreplayable]), pct(avg[profile.CatUncompilable])})
+	t.Notes = append(t.Notes, "paper: Compiled ~57% avg (14-81%); JNI up to ~62% on interactive apps; Unreplayable ~4%")
+	return rows, t, nil
+}
+
+// Fig10Row is one app's capture overhead breakdown.
+type Fig10Row struct {
+	App   string
+	Stats capture.Stats
+}
+
+// Figure10 measures online capture overheads per app.
+func Figure10(scale Scale, seed int64) ([]Fig10Row, *Table, error) {
+	var rows []Fig10Row
+	t := &Table{
+		Title:  "Figure 10: capture overhead breakdown (ms)",
+		Header: []string{"app", "fork", "preparation", "faults+CoW", "total"},
+	}
+	var sum float64
+	var maxTotal float64
+	specs := selectedApps(scale)
+	rows = make([]Fig10Row, len(specs))
+	if err := forEachApp(scale, func(i int, spec apps.Spec) error {
+		p, _, err := prepareApp(spec.Name, seed)
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig10Row{App: spec.Name, Stats: p.Snapshot.Stats}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, r := range rows {
+		st := r.Stats
+		sum += st.TotalMs()
+		if st.TotalMs() > maxTotal {
+			maxTotal = st.TotalMs()
+		}
+		t.Rows = append(t.Rows, []string{r.App,
+			f1(st.ForkMs), f1(st.PrepMs), f1(st.FaultCoWMs), f1(st.TotalMs())})
+	}
+	avg := sum / float64(len(specs))
+	t.Rows = append(t.Rows, []string{"AVERAGE", "", "", "", f1(avg)})
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"average %.1f ms, maximum %.1f ms (paper: average 14.5 ms, max ~30 ms, minimum 5.7 ms)", avg, maxTotal))
+	return rows, t, nil
+}
+
+// Fig11Row is one app's capture storage cost.
+type Fig11Row struct {
+	App         string
+	ProgramMB   float64
+	CommonMB    float64
+	HeapMB      float64
+	HeapPercent float64
+}
+
+// Figure11 measures capture storage per app.
+func Figure11(scale Scale, seed int64) ([]Fig11Row, *Table, error) {
+	var rows []Fig11Row
+	t := &Table{
+		Title:  "Figure 11: capture storage overhead",
+		Header: []string{"app", "program-specific MB", "boot-common MB", "heap MB", "% of heap"},
+	}
+	var sumProg, sumCommon float64
+	specs := selectedApps(scale)
+	rows = make([]Fig11Row, len(specs))
+	if err := forEachApp(scale, func(i int, spec apps.Spec) error {
+		p, _, err := prepareApp(spec.Name, seed)
+		if err != nil {
+			return err
+		}
+		st := p.Snapshot.Stats
+		heapMB := float64(heapBytesOf(p.Snapshot)) / (1 << 20)
+		row := Fig11Row{
+			App:       spec.Name,
+			ProgramMB: float64(st.ProgramBytes()) / (1 << 20),
+			CommonMB:  float64(st.CommonBytes()) / (1 << 20),
+			HeapMB:    heapMB,
+		}
+		if heapMB > 0 {
+			row.HeapPercent = row.ProgramMB / heapMB * 100
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		sumProg += row.ProgramMB
+		sumCommon += row.CommonMB
+		t.Rows = append(t.Rows, []string{row.App, f2(row.ProgramMB), f1(row.CommonMB),
+			f1(row.HeapMB), f1(row.HeapPercent)})
+	}
+	n := float64(len(specs))
+	t.Rows = append(t.Rows, []string{"AVERAGE", f2(sumProg / n), f1(sumCommon / n), "", ""})
+	t.Notes = append(t.Notes,
+		"paper: program-specific avg 5.06 MB (0.36-41 MB), boot-common ~12.6 MB stored once per boot; ~6% of heap on average")
+	return rows, t, nil
+}
+
+// heapBytesOf estimates the app's live heap at capture time from the
+// snapshot layout.
+func heapBytesOf(s *capture.Snapshot) uint64 {
+	var n uint64
+	for _, r := range s.Layout {
+		if r.Name == "[heap]" {
+			n += uint64(r.Size())
+		}
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{"a", "1"}, {"long-name", "22"}},
+		Notes:  []string{"a note"},
+	}
+	s := tab.String()
+	for _, want := range []string{"== T ==", "long-name", "note: a note", "-----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: both data rows have the value column at the same
+	// offset.
+	lines := strings.Split(s, "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "a ") || strings.HasPrefix(l, "long-name") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 || strings.Index(dataLines[0], "1") != strings.Index(dataLines[1], "22") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestLogCheckpoints(t *testing.T) {
+	cps := logCheckpoints(1000)
+	if cps[0] != 1 || cps[len(cps)-1] != 1000 {
+		t.Errorf("checkpoints %v", cps)
+	}
+	for i := 1; i < len(cps); i++ {
+		if cps[i] <= cps[i-1] {
+			t.Fatalf("not increasing: %v", cps)
+		}
+	}
+	cps = logCheckpoints(777)
+	if cps[len(cps)-1] != 777 {
+		t.Errorf("last checkpoint %d, want 777", cps[len(cps)-1])
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	lo, hi := percentiles(xs, 0.0, 1.0)
+	if lo != 1 || hi != 5 {
+		t.Errorf("full range = [%v, %v]", lo, hi)
+	}
+	lo, hi = percentiles(xs, 0.25, 0.75)
+	if lo != 2 || hi != 4 {
+		t.Errorf("IQR = [%v, %v]", lo, hi)
+	}
+}
+
+func TestDecideAndStableEvals(t *testing.T) {
+	est := []float64{0.5, 0.9, 1.2, 0.8, 1.5, 1.6, 1.7}
+	if d := decideEvals(est); d != 5 {
+		t.Errorf("decideEvals = %d, want 5", d)
+	}
+	if s := stableEvals(est, 1.6, 0.10); s != 5 {
+		t.Errorf("stableEvals = %d, want 5", s)
+	}
+	all := []float64{2, 2, 2}
+	if d := decideEvals(all); d != 1 {
+		t.Errorf("always-above decides at %d", d)
+	}
+}

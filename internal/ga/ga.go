@@ -1,0 +1,623 @@
+// Package ga implements the genetic search over the compiler's optimization
+// space (§3.6) with the paper's §4 hyperparameters: 11 generations of 50
+// genomes, first generation random with up-to-3 replacement of genomes worse
+// than both baselines, elites/fittest/tournament mate selection (tournament
+// of 7 at 90%), single-point crossover with a minimum length, 5% genome and
+// per-gene mutation probabilities, a 100-identical-binaries stall halt, and
+// a final hill-climbing step. Fitness is replay time; binary size breaks
+// near-ties.
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"replayopt/internal/lir"
+	"replayopt/internal/stats"
+)
+
+// GeneKind discriminates genome genes.
+type GeneKind uint8
+
+// Gene kinds.
+const (
+	GenePass GeneKind = iota // an opt pass application
+	GeneLlc                  // an llc option setting
+)
+
+// Gene is one genome element.
+type Gene struct {
+	Kind     GeneKind
+	Pass     lir.PassSpec // GenePass
+	LlcName  string       // GeneLlc
+	LlcValue int
+}
+
+func (g Gene) String() string {
+	if g.Kind == GeneLlc {
+		return fmt.Sprintf("-%s=%d", g.LlcName, g.LlcValue)
+	}
+	if len(g.Pass.Params) == 0 {
+		return g.Pass.Name
+	}
+	parts := make([]string, 0, len(g.Pass.Params))
+	for k, v := range g.Pass.Params {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(parts)
+	return g.Pass.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Genome is an optimization decision: a sequence of passes and flags.
+type Genome struct {
+	Genes []Gene
+}
+
+// String renders the genome compactly.
+func (g *Genome) String() string {
+	parts := make([]string, len(g.Genes))
+	for i, gn := range g.Genes {
+		parts[i] = gn.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Decode lowers the genome to a compiler configuration. Pass genes apply in
+// order; llc genes accumulate with later settings overriding earlier ones.
+func (g *Genome) Decode() lir.Config {
+	llc := map[string]int{}
+	var passes []lir.PassSpec
+	for _, gn := range g.Genes {
+		switch gn.Kind {
+		case GenePass:
+			passes = append(passes, gn.Pass)
+		case GeneLlc:
+			llc[gn.LlcName] = gn.LlcValue
+		}
+	}
+	return lir.Config{Passes: passes, Lower: lir.ApplyLlc(llc)}
+}
+
+// Clone deep-copies the genome.
+func (g *Genome) Clone() *Genome {
+	out := &Genome{Genes: make([]Gene, len(g.Genes))}
+	copy(out.Genes, g.Genes)
+	for i := range out.Genes {
+		if out.Genes[i].Pass.Params != nil {
+			p := make(map[string]int, len(out.Genes[i].Pass.Params))
+			for k, v := range out.Genes[i].Pass.Params {
+				p[k] = v
+			}
+			out.Genes[i].Pass.Params = p
+		}
+	}
+	return out
+}
+
+// Outcome classifies one evaluation (the Fig. 1 categories).
+type Outcome uint8
+
+// Evaluation outcomes.
+const (
+	OutcomeCorrect Outcome = iota
+	OutcomeCompilerError
+	OutcomeCompilerTimeout
+	OutcomeRuntimeCrash
+	OutcomeRuntimeTimeout
+	OutcomeWrongOutput
+)
+
+func (o Outcome) String() string {
+	return [...]string{"correct", "compiler-error", "compiler-timeout",
+		"runtime-crash", "runtime-timeout", "wrong-output"}[o]
+}
+
+// Failed reports whether the genome must be discarded.
+func (o Outcome) Failed() bool { return o != OutcomeCorrect }
+
+// Evaluation is the fitness measurement of one genome.
+type Evaluation struct {
+	Outcome Outcome
+	// TimesMs are raw replay timings (10 per §4). MeanMs is their mean
+	// after MAD outlier removal.
+	TimesMs []float64
+	MeanMs  float64
+	// SizeBytes is the binary size (the near-tie tiebreak).
+	SizeBytes int
+	// BinaryHash identifies identical binaries for the stall-halt rule.
+	BinaryHash uint64
+}
+
+// Evaluator measures genomes; the replay-based implementation lives in
+// internal/core.
+type Evaluator interface {
+	Evaluate(cfg lir.Config) Evaluation
+}
+
+// Options are the §4 search hyperparameters (defaults mirror the paper).
+type Options struct {
+	Generations      int     // 11 total, first random
+	Population       int     // 50
+	Replays          int     // 10 evaluations per genome (evaluator-side)
+	MinGenomeLen     int     // crossover minimum
+	MaxGenomeLen     int     // random-genome cap
+	MutateGenomeProb float64 // 0.05
+	MutateGeneProb   float64 // 0.05
+	TournamentSize   int     // 7
+	TournamentProb   float64 // 0.9
+	MaxIdentical     int     // 100 identical binaries halt the search
+	StallGenerations int     // generations without improvement before halting
+	Gen1Retries      int     // up-to-3 replacement of bad first-gen genomes
+	HillClimbBudget  int     // extra evaluations for the final hill climb
+	// BaselineMs are the Android-compiler and LLVM -O3 replay means the
+	// first generation is biased against (§4).
+	BaselineAndroidMs float64
+	BaselineO3Ms      float64
+	// SeedPresets injects the -O1/-O2/-O3 genomes into the first
+	// generation, guaranteeing the search never ends below the presets.
+	SeedPresets bool
+}
+
+// DefaultOptions returns the paper's settings.
+func DefaultOptions() Options {
+	return Options{
+		SeedPresets:      true,
+		Generations:      11,
+		Population:       50,
+		Replays:          10,
+		MinGenomeLen:     2,
+		MaxGenomeLen:     24,
+		MutateGenomeProb: 0.05,
+		MutateGeneProb:   0.05,
+		TournamentSize:   7,
+		TournamentProb:   0.9,
+		MaxIdentical:     100,
+		StallGenerations: 4,
+		Gen1Retries:      3,
+		HillClimbBudget:  30,
+	}
+}
+
+// EvalRecord is one evaluated genome, in evaluation order (Fig. 9's x-axis).
+type EvalRecord struct {
+	Index      int
+	Generation int
+	Genome     *Genome
+	Eval       Evaluation
+}
+
+// Result is the search outcome.
+type Result struct {
+	Best     *Genome
+	BestEval Evaluation
+	Trace    []EvalRecord
+	// Halt describes why the search stopped.
+	Halt string
+}
+
+// GenomeFromConfig encodes a compiler configuration as a genome (used to
+// seed searches with the -O presets).
+func GenomeFromConfig(cfg lir.Config) *Genome {
+	g := &Genome{}
+	for _, p := range cfg.Passes {
+		spec := lir.PassSpec{Name: p.Name}
+		if len(p.Params) > 0 {
+			spec.Params = map[string]int{}
+			for k, v := range p.Params {
+				spec.Params[k] = v
+			}
+		}
+		g.Genes = append(g.Genes, Gene{Kind: GenePass, Pass: spec})
+	}
+	flag := func(name string, on bool) {
+		if on {
+			g.Genes = append(g.Genes, Gene{Kind: GeneLlc, LlcName: name, LlcValue: 1})
+		}
+	}
+	flag("fused-addressing", cfg.Lower.FusedAddressing)
+	flag("fuse-literals", cfg.Lower.Machine.FuseLiterals)
+	flag("fuse-madd-int", cfg.Lower.Machine.FuseMaddInt)
+	flag("list-schedule", cfg.Lower.Machine.Schedule)
+	return g
+}
+
+// RandomGenome draws one genome from the same distribution the GA's first
+// generation uses (Figs. 1 and 2 sample the space this way).
+func RandomGenome(rng *rand.Rand, opts Options) *Genome {
+	s := &searcher{rng: rng, opts: opts, pool: lir.OptCatalog(), llcPool: realLlcOptions()}
+	g := s.randomGenome()
+	dedupeAdjacent(g)
+	return g
+}
+
+// Search runs the GA. The rng seeds all stochastic decisions, so a fixed
+// seed reproduces the full search.
+func Search(rng *rand.Rand, eval Evaluator, opts Options) *Result {
+	s := &searcher{
+		rng:     rng,
+		eval:    eval,
+		opts:    opts,
+		pool:    lir.OptCatalog(),
+		llcPool: realLlcOptions(),
+		seen:    map[uint64]int{},
+	}
+	return s.run()
+}
+
+type searcher struct {
+	rng     *rand.Rand
+	eval    Evaluator
+	opts    Options
+	pool    []lir.CatalogEntry
+	llcPool []lir.LlcOption
+	trace   []EvalRecord
+	seen    map[uint64]int // binary hash -> occurrences
+	gen     int
+
+	identicalRun int
+}
+
+type scored struct {
+	genome *Genome
+	eval   Evaluation
+}
+
+// realLlcOptions filters the llc catalog to the options that actually steer
+// code generation; the synthetic long tail would only pad genomes.
+func realLlcOptions() []lir.LlcOption {
+	var out []lir.LlcOption
+	for _, o := range lir.LlcCatalog() {
+		switch o.Name {
+		case "fuse-literals", "fuse-madd-int", "fuse-madd-float",
+			"fused-addressing", "list-schedule", "num-regs", "block-align":
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func (s *searcher) measure(g *Genome) Evaluation {
+	ev := s.eval.Evaluate(g.Decode())
+	s.trace = append(s.trace, EvalRecord{
+		Index: len(s.trace), Generation: s.gen, Genome: g.Clone(), Eval: ev,
+	})
+	if ev.Outcome == OutcomeCorrect {
+		s.seen[ev.BinaryHash]++
+		if s.seen[ev.BinaryHash] > 1 {
+			s.identicalRun++
+		} else {
+			s.identicalRun = 0
+		}
+	}
+	return ev
+}
+
+// better implements the fitness order: correct beats failed; among correct
+// genomes, significantly faster wins, near-ties go to the smaller binary.
+func better(a, b Evaluation) bool {
+	if a.Outcome.Failed() != b.Outcome.Failed() {
+		return !a.Outcome.Failed()
+	}
+	if a.Outcome.Failed() {
+		return false
+	}
+	if stats.SignificantlyFaster(a.TimesMs, b.TimesMs, 0.05) {
+		return true
+	}
+	if stats.SignificantlyFaster(b.TimesMs, a.TimesMs, 0.05) {
+		return false
+	}
+	if a.SizeBytes != b.SizeBytes {
+		return a.SizeBytes < b.SizeBytes
+	}
+	return a.MeanMs < b.MeanMs
+}
+
+func (s *searcher) run() *Result {
+	pop := s.firstGeneration()
+	best := s.bestOf(pop)
+	stall := 0
+	halt := "generation budget"
+
+	for s.gen = 1; s.gen < s.opts.Generations; s.gen++ {
+		if s.identicalRun >= s.opts.MaxIdentical {
+			halt = "identical-binaries limit"
+			break
+		}
+		pop = s.nextGeneration(pop)
+		genBest := s.bestOf(pop)
+		if better(genBest.eval, best.eval) {
+			best = genBest
+			stall = 0
+		} else {
+			stall++
+			if stall >= s.opts.StallGenerations {
+				halt = "no improvement"
+				break
+			}
+		}
+	}
+
+	// Final hill climb (§3.6).
+	best = s.hillClimb(best)
+	return &Result{Best: best.genome, BestEval: best.eval, Trace: s.trace, Halt: halt}
+}
+
+func (s *searcher) bestOf(pop []scored) scored {
+	b := pop[0]
+	for _, p := range pop[1:] {
+		if better(p.eval, b.eval) {
+			b = p
+		}
+	}
+	return b
+}
+
+// firstGeneration is random, with redundant-pass removal and up-to-N
+// replacement of genomes worse than both baselines (§4).
+func (s *searcher) firstGeneration() []scored {
+	s.gen = 0
+	pop := make([]scored, 0, s.opts.Population)
+	if s.opts.SeedPresets {
+		for _, preset := range []string{"O1", "O2", "O3"} {
+			if len(pop) >= s.opts.Population-1 {
+				break
+			}
+			cfg, _ := lir.Preset(preset)
+			g := GenomeFromConfig(cfg)
+			pop = append(pop, scored{g, s.measure(g)})
+		}
+	}
+	for i := len(pop); i < s.opts.Population; i++ {
+		g := s.randomGenome()
+		dedupeAdjacent(g)
+		ev := s.measure(g)
+		for try := 0; try < s.opts.Gen1Retries && s.worseThanBaselines(ev); try++ {
+			g = s.randomGenome()
+			dedupeAdjacent(g)
+			ev = s.measure(g)
+		}
+		pop = append(pop, scored{g, ev})
+	}
+	return pop
+}
+
+func (s *searcher) worseThanBaselines(ev Evaluation) bool {
+	if ev.Outcome.Failed() {
+		return true
+	}
+	if s.opts.BaselineAndroidMs == 0 && s.opts.BaselineO3Ms == 0 {
+		return false
+	}
+	return ev.MeanMs > s.opts.BaselineAndroidMs && ev.MeanMs > s.opts.BaselineO3Ms
+}
+
+func (s *searcher) randomGenome() *Genome {
+	n := s.opts.MinGenomeLen + s.rng.Intn(s.opts.MaxGenomeLen-s.opts.MinGenomeLen+1)
+	g := &Genome{}
+	for i := 0; i < n; i++ {
+		g.Genes = append(g.Genes, s.randomGene())
+	}
+	return g
+}
+
+func (s *searcher) randomGene() Gene {
+	if s.rng.Float64() < 0.2 {
+		o := s.llcPool[s.rng.Intn(len(s.llcPool))]
+		v := o.Min + s.rng.Intn(o.Max-o.Min+1)
+		return Gene{Kind: GeneLlc, LlcName: o.Name, LlcValue: v}
+	}
+	e := s.pool[s.rng.Intn(len(s.pool))]
+	spec := lir.PassSpec{Name: e.Spec.Name}
+	if len(e.Spec.Params) > 0 {
+		spec.Params = map[string]int{}
+		for k, v := range e.Spec.Params {
+			spec.Params[k] = v
+		}
+	}
+	return Gene{Kind: GenePass, Pass: spec}
+}
+
+// dedupeAdjacent removes immediately repeated genes (the §4 gen-1
+// redundant-pass removal).
+func dedupeAdjacent(g *Genome) {
+	if len(g.Genes) < 2 {
+		return
+	}
+	out := g.Genes[:1]
+	for _, gn := range g.Genes[1:] {
+		if gn.String() != out[len(out)-1].String() {
+			out = append(out, gn)
+		}
+	}
+	g.Genes = out
+}
+
+// nextGeneration selects mates through the three pipelines, crosses them
+// over, and mutates the offspring.
+func (s *searcher) nextGeneration(pop []scored) []scored {
+	sorted := append([]scored(nil), pop...)
+	sort.SliceStable(sorted, func(i, j int) bool { return better(sorted[i].eval, sorted[j].eval) })
+	elite := sorted[:maxInt(1, len(sorted)/10)]
+
+	next := make([]scored, 0, s.opts.Population)
+	// Elitism: the best genomes survive unchanged (no re-evaluation).
+	for _, e := range elite {
+		if len(next) >= s.opts.Population {
+			break
+		}
+		next = append(next, e)
+	}
+	for len(next) < s.opts.Population {
+		var a, b *Genome
+		switch s.rng.Intn(3) { // the three mate-selection pipelines
+		case 0: // elites only
+			a = elite[s.rng.Intn(len(elite))].genome
+			b = elite[s.rng.Intn(len(elite))].genome
+		case 1: // fittest only (top half)
+			half := sorted[:maxInt(2, len(sorted)/2)]
+			a = half[s.rng.Intn(len(half))].genome
+			b = half[s.rng.Intn(len(half))].genome
+		default: // tournament selection (7 candidates, p = 0.9)
+			a = s.tournament(sorted)
+			b = s.tournament(sorted)
+		}
+		child := s.crossover(a, b)
+		if s.rng.Float64() < s.opts.MutateGenomeProb {
+			s.mutate(child)
+		}
+		dedupeAdjacent(child)
+		ev := s.measure(child)
+		next = append(next, scored{child, ev})
+		if s.identicalRun >= s.opts.MaxIdentical {
+			break
+		}
+	}
+	return next
+}
+
+func (s *searcher) tournament(sorted []scored) *Genome {
+	k := minInt(s.opts.TournamentSize, len(sorted))
+	picks := make([]int, k)
+	for i := range picks {
+		picks[i] = s.rng.Intn(len(sorted))
+	}
+	sort.Ints(picks) // sorted[] is fitness-ordered: lower index = fitter
+	for _, p := range picks {
+		if s.rng.Float64() < s.opts.TournamentProb {
+			return sorted[p].genome
+		}
+	}
+	return sorted[picks[len(picks)-1]].genome
+}
+
+// crossover is single-point with the resulting length clamped to the
+// minimum (§3.6).
+func (s *searcher) crossover(a, b *Genome) *Genome {
+	if len(a.Genes) == 0 {
+		return b.Clone()
+	}
+	if len(b.Genes) == 0 {
+		return a.Clone()
+	}
+	for try := 0; try < 8; try++ {
+		ca := s.rng.Intn(len(a.Genes) + 1)
+		cb := s.rng.Intn(len(b.Genes) + 1)
+		n := ca + (len(b.Genes) - cb)
+		if n < s.opts.MinGenomeLen {
+			continue
+		}
+		child := &Genome{}
+		child.Genes = append(child.Genes, a.Clone().Genes[:ca]...)
+		child.Genes = append(child.Genes, b.Clone().Genes[cb:]...)
+		if len(child.Genes) > s.opts.MaxGenomeLen*2 {
+			child.Genes = child.Genes[:s.opts.MaxGenomeLen*2]
+		}
+		return child
+	}
+	return a.Clone()
+}
+
+// mutate applies the per-gene operators: drop a gene, tweak a parameter, or
+// insert a new pass (§3.6's three mutation operators).
+func (s *searcher) mutate(g *Genome) {
+	var out []Gene
+	for _, gn := range g.Genes {
+		if s.rng.Float64() >= s.opts.MutateGeneProb {
+			out = append(out, gn)
+			continue
+		}
+		switch s.rng.Intn(3) {
+		case 0: // disable: drop the gene
+			if len(g.Genes) > s.opts.MinGenomeLen {
+				continue
+			}
+			out = append(out, gn)
+		case 1: // modify a parameter
+			out = append(out, s.tweak(gn))
+		default: // introduce a new pass after this one
+			out = append(out, gn, s.randomGene())
+		}
+	}
+	if len(out) < s.opts.MinGenomeLen {
+		for len(out) < s.opts.MinGenomeLen {
+			out = append(out, s.randomGene())
+		}
+	}
+	g.Genes = out
+}
+
+func (s *searcher) tweak(gn Gene) Gene {
+	if gn.Kind == GeneLlc {
+		for _, o := range s.llcPool {
+			if o.Name == gn.LlcName {
+				gn.LlcValue = o.Min + s.rng.Intn(o.Max-o.Min+1)
+				return gn
+			}
+		}
+		return gn
+	}
+	info, ok := lir.PassByName(gn.Pass.Name)
+	if !ok || len(info.Params) == 0 {
+		return gn
+	}
+	ps := info.Params[s.rng.Intn(len(info.Params))]
+	if gn.Pass.Params == nil {
+		gn.Pass.Params = map[string]int{}
+	}
+	gn.Pass.Params[ps.Name] = ps.Min + s.rng.Intn(ps.Max-ps.Min+1)
+	return gn
+}
+
+// hillClimb explores the best genome's single-gene neighborhood until the
+// budget runs out or no neighbor improves (§3.6's final step).
+func (s *searcher) hillClimb(best scored) scored {
+	budget := s.opts.HillClimbBudget
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+		for i := 0; i < len(best.genome.Genes) && budget > 0; i++ {
+			// Neighbor 1: drop gene i.
+			if len(best.genome.Genes) > s.opts.MinGenomeLen {
+				n := best.genome.Clone()
+				n.Genes = append(n.Genes[:i], n.Genes[i+1:]...)
+				ev := s.measure(n)
+				budget--
+				if better(ev, best.eval) {
+					best = scored{n, ev}
+					improved = true
+					continue
+				}
+			}
+			if budget <= 0 {
+				break
+			}
+			// Neighbor 2: tweak gene i's parameters.
+			n := best.genome.Clone()
+			n.Genes[i] = s.tweak(n.Genes[i])
+			ev := s.measure(n)
+			budget--
+			if better(ev, best.eval) {
+				best = scored{n, ev}
+				improved = true
+			}
+		}
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package hgraph
+
+import (
+	"testing"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+func compile(t *testing.T, src string) *dex.Program {
+	t.Helper()
+	p, err := minic.CompileSource("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func graphFor(t *testing.T, p *dex.Program, name string) *Graph {
+	t.Helper()
+	id, ok := p.MethodByName(name)
+	if !ok {
+		t.Fatalf("no method %s", name)
+	}
+	g, err := Build(p, p.Method(id))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+const loopSrc = `
+func work(int n) int {
+	int sum = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		for (int j = 0; j < i; j = j + 1) {
+			sum = sum + j;
+		}
+	}
+	return sum;
+}
+func main() int { return work(10); }
+`
+
+func TestBuildBasicStructure(t *testing.T) {
+	p := compile(t, loopSrc)
+	g := graphFor(t, p, "work")
+	if len(g.Blocks) < 5 {
+		t.Fatalf("only %d blocks for a double loop", len(g.Blocks))
+	}
+	if g.Blocks[0].ID != 0 || len(g.Blocks[0].Preds) != 0 {
+		t.Error("entry block malformed")
+	}
+	// Every edge must be symmetric.
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, pr := range s.Preds {
+				if pr == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d not in preds", b.ID, s.ID)
+			}
+		}
+	}
+}
+
+func TestDominatorsOfDiamond(t *testing.T) {
+	p := compile(t, `
+func pick(int x) int {
+	int r = 0;
+	if (x > 0) { r = 1; } else { r = 2; }
+	return r;
+}
+func main() int { return pick(1); }
+`)
+	g := graphFor(t, p, "pick")
+	entry := g.Blocks[0]
+	for _, b := range g.Blocks[1:] {
+		if !g.Dominates(entry, b) {
+			t.Errorf("entry does not dominate block %d", b.ID)
+		}
+	}
+	// The join block has two predecessors; neither arm dominates it.
+	for _, b := range g.Blocks {
+		if len(b.Preds) == 2 {
+			for _, p := range b.Preds {
+				if g.Dominates(p, b) && len(p.Succs) == 1 {
+					t.Errorf("arm %d dominates join %d", p.ID, b.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestLoopDetectionAndNesting(t *testing.T) {
+	p := compile(t, loopSrc)
+	g := graphFor(t, p, "work")
+	if len(g.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(g.Loops))
+	}
+	var inner, outer *Loop
+	for _, l := range g.Loops {
+		if l.Depth == 2 {
+			inner = l
+		} else if l.Depth == 1 {
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatalf("loop depths wrong: %+v", g.Loops)
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop not nested in outer")
+	}
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		t.Error("outer loop not larger than inner")
+	}
+}
+
+func TestBackEdges(t *testing.T) {
+	p := compile(t, loopSrc)
+	g := graphFor(t, p, "work")
+	for _, l := range g.Loops {
+		be := g.BackEdges(l.Head)
+		if len(be) == 0 {
+			t.Errorf("loop at block %d has no back edges", l.Head.ID)
+		}
+		for _, tail := range be {
+			if !l.Blocks[tail] {
+				t.Errorf("back-edge tail %d outside loop", tail.ID)
+			}
+		}
+	}
+}
+
+// Round trip: building a graph and linearizing it back must preserve
+// semantics exactly.
+func TestLinearizeRoundTripPreservesSemantics(t *testing.T) {
+	srcs := []string{
+		loopSrc,
+		`func main() int {
+			int x = 0;
+			for (int i = 0; i < 50; i = i + 1) {
+				if (i % 3 == 0) { x = x + i; }
+				else if (i % 3 == 1) { x = x - 1; }
+				else { continue; }
+				if (x > 100) { break; }
+			}
+			return x;
+		}`,
+		`func f(int n) int {
+			if (n < 2) { return n; }
+			return f(n-1) + f(n-2);
+		}
+		func main() int { return f(12); }`,
+	}
+	for i, src := range srcs {
+		p := compile(t, src)
+		want := runProgram(t, p)
+		// Rebuild every method through hgraph.
+		for _, m := range p.Methods {
+			g, err := Build(p, m)
+			if err != nil {
+				t.Fatalf("src %d: %v", i, err)
+			}
+			m.Code = g.Linearize()
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("src %d: relinearized program invalid: %v", i, err)
+		}
+		got := runProgram(t, p)
+		if got != want {
+			t.Errorf("src %d: round trip changed result: %d -> %d", i, want, got)
+		}
+	}
+}
+
+func runProgram(t *testing.T, p *dex.Program) int64 {
+	t.Helper()
+	e := interp.NewEnv(rt.NewProcess(p, rt.Config{}))
+	e.MaxCycles = 100_000_000
+	v, err := e.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return int64(v)
+}
+
+// Regression: blocks must never share Args backing arrays with the original
+// method — passes mutate block instructions in place, and aliasing silently
+// corrupted programs for every later consumer of the same dex.Program.
+func TestBuildDeepCopiesCallArgs(t *testing.T) {
+	p := compile(t, `
+func callee(int a, int b) int { return a + b; }
+func main() int { return callee(1, 2); }`)
+	id, _ := p.MethodByName("main")
+	m := p.Method(id)
+	g, err := Build(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range g.Blocks {
+		for i := range b.Insns {
+			in := &b.Insns[i]
+			if in.Args == nil {
+				continue
+			}
+			// Mutate the block's copy; the original must not change.
+			orig := make([]int, len(in.Args))
+			var src *dex.Insn
+			for j := range m.Code {
+				if m.Code[j].Op == in.Op && m.Code[j].Sym == in.Sym && m.Code[j].Args != nil {
+					src = &m.Code[j]
+				}
+			}
+			if src == nil {
+				continue
+			}
+			copy(orig, src.Args)
+			for j := range in.Args {
+				in.Args[j] = 99
+			}
+			for j := range src.Args {
+				if src.Args[j] != orig[j] {
+					t.Fatal("block instruction aliases the method's Args array")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package hgraph
+
+import "replayopt/internal/dex"
+
+// RegSet is a set of dex register indices.
+type RegSet map[int]bool
+
+// Clone returns a copy of the set.
+func (s RegSet) Clone() RegSet {
+	out := make(RegSet, len(s))
+	for r := range s {
+		out[r] = true
+	}
+	return out
+}
+
+// InsnUses appends the registers read by in.
+func InsnUses(in *dex.Insn, buf []int) []int {
+	buf = buf[:0]
+	switch in.Op {
+	case dex.OpNop, dex.OpConstInt, dex.OpConstFloat, dex.OpGoto, dex.OpReturnVoid,
+		dex.OpNewInstance, dex.OpSLoadInt, dex.OpSLoadFloat, dex.OpSLoadRef:
+	case dex.OpMove, dex.OpNegInt, dex.OpNegFloat, dex.OpIntToFloat, dex.OpFloatToInt,
+		dex.OpArrayLen, dex.OpNewArrayInt, dex.OpNewArrayFloat, dex.OpNewArrayRef:
+		buf = append(buf, in.B)
+	case dex.OpReturn, dex.OpThrow, dex.OpSStoreInt, dex.OpSStoreFloat, dex.OpSStoreRef:
+		buf = append(buf, in.A)
+	case dex.OpFLoadInt, dex.OpFLoadFloat, dex.OpFLoadRef:
+		buf = append(buf, in.B)
+	case dex.OpFStoreInt, dex.OpFStoreFloat, dex.OpFStoreRef:
+		buf = append(buf, in.A, in.B)
+	case dex.OpAStoreInt, dex.OpAStoreFloat, dex.OpAStoreRef:
+		buf = append(buf, in.A, in.B, in.C)
+	case dex.OpInvokeStatic, dex.OpInvokeVirtual, dex.OpInvokeNative:
+		buf = append(buf, in.Args...)
+	default:
+		// Three-address ops and branches read B and C.
+		buf = append(buf, in.B, in.C)
+	}
+	return buf
+}
+
+// InsnDef returns the register written by in, or -1.
+func InsnDef(p *dex.Program, in *dex.Insn) int {
+	switch in.Op {
+	case dex.OpNop, dex.OpGoto, dex.OpReturn, dex.OpReturnVoid, dex.OpThrow,
+		dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfLe, dex.OpIfGt, dex.OpIfGe,
+		dex.OpAStoreInt, dex.OpAStoreFloat, dex.OpAStoreRef,
+		dex.OpFStoreInt, dex.OpFStoreFloat, dex.OpFStoreRef,
+		dex.OpSStoreInt, dex.OpSStoreFloat, dex.OpSStoreRef:
+		return -1
+	case dex.OpInvokeStatic, dex.OpInvokeVirtual:
+		if p.Methods[in.Sym].Ret == dex.KindVoid {
+			return -1
+		}
+		return in.A
+	case dex.OpInvokeNative:
+		if p.Natives[in.Sym].Ret == dex.KindVoid {
+			return -1
+		}
+		return in.A
+	default:
+		return in.A
+	}
+}
+
+// InsnHasSideEffects reports whether removing in could change behavior even
+// when its result is unused.
+func InsnHasSideEffects(in *dex.Insn) bool {
+	switch in.Op {
+	case dex.OpDivInt, dex.OpRemInt, // may trap
+		dex.OpALoadInt, dex.OpALoadFloat, dex.OpALoadRef, // may trap
+		dex.OpAStoreInt, dex.OpAStoreFloat, dex.OpAStoreRef,
+		dex.OpFLoadInt, dex.OpFLoadFloat, dex.OpFLoadRef,
+		dex.OpFStoreInt, dex.OpFStoreFloat, dex.OpFStoreRef,
+		dex.OpSStoreInt, dex.OpSStoreFloat, dex.OpSStoreRef,
+		dex.OpArrayLen, dex.OpNewArrayInt, dex.OpNewArrayFloat, dex.OpNewArrayRef,
+		dex.OpNewInstance,
+		dex.OpInvokeStatic, dex.OpInvokeVirtual, dex.OpInvokeNative,
+		dex.OpGoto, dex.OpReturn, dex.OpReturnVoid, dex.OpThrow,
+		dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfLe, dex.OpIfGt, dex.OpIfGe:
+		return true
+	}
+	return false
+}
+
+// Liveness computes live-out register sets per block via backward dataflow.
+func (g *Graph) Liveness() map[*Block]RegSet {
+	use := map[*Block]RegSet{}
+	def := map[*Block]RegSet{}
+	var buf [8]int
+	for _, b := range g.Blocks {
+		u, d := RegSet{}, RegSet{}
+		for i := range b.Insns {
+			in := &b.Insns[i]
+			for _, r := range InsnUses(in, buf[:]) {
+				if !d[r] {
+					u[r] = true
+				}
+			}
+			if w := InsnDef(g.Prog, in); w >= 0 {
+				d[w] = true
+			}
+		}
+		use[b], def[b] = u, d
+	}
+	liveIn := map[*Block]RegSet{}
+	liveOut := map[*Block]RegSet{}
+	for _, b := range g.Blocks {
+		liveIn[b] = RegSet{}
+		liveOut[b] = RegSet{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(g.Blocks) - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			out := RegSet{}
+			for _, s := range b.Succs {
+				for r := range liveIn[s] {
+					out[r] = true
+				}
+			}
+			in := out.Clone()
+			for r := range def[b] {
+				delete(in, r)
+			}
+			for r := range use[b] {
+				in[r] = true
+			}
+			if len(out) != len(liveOut[b]) || len(in) != len(liveIn[b]) {
+				changed = true
+			}
+			liveOut[b] = out
+			liveIn[b] = in
+		}
+	}
+	return liveOut
+}

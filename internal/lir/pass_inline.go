@@ -1,0 +1,365 @@
+package lir
+
+// Interprocedural passes: inlining, profile-guided speculative
+// devirtualization (§3.4's novel profile source), and the paper's custom
+// JNI-math-to-intrinsic replacement (§3.5).
+
+import "replayopt/internal/dex"
+
+func init() { registerInlinePasses() }
+
+func registerInlinePasses() {
+	register(&PassInfo{
+		Name: "inline",
+		Doc:  "inline small static callees",
+		Params: []ParamSpec{
+			// Maximum callee size in IR values.
+			{Name: "threshold", Default: 40, Min: 1, Max: 4000},
+			// Rounds of re-inlining newly exposed calls.
+			{Name: "rounds", Default: 1, Min: 1, Max: 6},
+		},
+		Run: runInline,
+	})
+	register(&PassInfo{
+		Name: "devirt",
+		Doc:  "speculative devirtualization driven by the interpreted-replay type profile",
+		Params: []ParamSpec{
+			// Minimum share (percent) of the dominant receiver class.
+			{Name: "min-share", Default: 90, Min: 50, Max: 100},
+			// nofallback=1 drops the class guard: the direct call is taken
+			// unconditionally, which is wrong whenever an unprofiled
+			// receiver type shows up.
+			{Name: "nofallback", Default: 0, Min: 0, Max: 1, Unsafe: true},
+		},
+		Run: runDevirt,
+	})
+	register(&PassInfo{
+		Name: "intrinsics",
+		Doc:  "custom pass (§3.5): replace JNI math natives with IR intrinsics",
+		Run: func(f *Function, _ *PassContext, _ map[string]int) error {
+			runIntrinsics(f)
+			return nil
+		},
+	})
+}
+
+func runIntrinsics(f *Function) {
+	for _, b := range f.Blocks {
+		for _, v := range b.Insns {
+			if v.Op != OpCallNative {
+				continue
+			}
+			nt := f.Prog.Natives[v.Sym]
+			if nt.Intrinsic == dex.IntrinsicNone {
+				continue
+			}
+			v.Op = OpIntrinsic
+			v.Sym = int(nt.Intrinsic)
+		}
+	}
+}
+
+func runInline(f *Function, ctx *PassContext, params map[string]int) error {
+	threshold := params["threshold"]
+	if threshold < 1 {
+		threshold = 40
+	}
+	rounds := params["rounds"]
+	if rounds < 1 {
+		rounds = 1
+	}
+	budget := 60 // call sites per invocation; a compile-time guard
+	for r := 0; r < rounds; r++ {
+		inlinedAny := false
+		// Snapshot call sites: splicing mutates the block list.
+		type site struct {
+			b *Block
+			v *Value
+		}
+		var sites []site
+		for _, b := range f.Blocks {
+			for _, v := range b.Insns {
+				if v.Op == OpCallStatic {
+					sites = append(sites, site{b, v})
+				}
+			}
+		}
+		for _, s := range sites {
+			if budget <= 0 {
+				break
+			}
+			target := dex.MethodID(s.v.Sym)
+			if target == f.Method {
+				continue // direct recursion
+			}
+			callee := f.Prog.Methods[target]
+			if callee.Uncompilable || len(callee.Code) > threshold {
+				continue
+			}
+			if !stillPresent(f, s.b, s.v) {
+				continue
+			}
+			if err := inlineCall(f, s.b, s.v, target); err != nil {
+				return err
+			}
+			budget--
+			inlinedAny = true
+			if err := ctx.checkGrowth(f, "inline"); err != nil {
+				return err
+			}
+		}
+		if !inlinedAny {
+			break
+		}
+	}
+	f.Recompute()
+	return nil
+}
+
+func stillPresent(f *Function, b *Block, v *Value) bool {
+	for _, x := range b.Insns {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// inlineCall splices callee's SSA body in place of the call.
+func inlineCall(f *Function, callBlock *Block, call *Value, target dex.MethodID) error {
+	calleeF, err := BuildSSA(f.Prog, target)
+	if err != nil {
+		return err
+	}
+	// Renumber the callee's values and blocks into the caller's ID space:
+	// value IDs must stay unique within a function (GVN and friends key on
+	// them).
+	vbase, bbase := f.nextValueID, f.nextBlockID
+	for _, b := range calleeF.Blocks {
+		b.ID += bbase
+		for _, v := range b.Phis {
+			v.ID += vbase
+		}
+		for _, v := range b.Insns {
+			v.ID += vbase
+		}
+	}
+	f.nextValueID += calleeF.nextValueID
+	f.nextBlockID += calleeF.nextBlockID
+
+	// Split the call block: callBlock keeps everything before the call;
+	// cont gets the rest.
+	cont := f.NewBlock()
+	idx := -1
+	for i, v := range callBlock.Insns {
+		if v == call {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	cont.Insns = append(cont.Insns, callBlock.Insns[idx+1:]...)
+	for _, v := range cont.Insns {
+		v.Block = cont
+	}
+	callBlock.Insns = callBlock.Insns[:idx]
+	// Move successors to cont.
+	cont.Succs = callBlock.Succs
+	callBlock.Succs = nil
+	for _, s := range cont.Succs {
+		for i, p := range s.Preds {
+			if p == callBlock {
+				s.Preds[i] = cont
+			}
+		}
+	}
+
+	// Substitute parameters with call arguments.
+	entry := calleeF.Blocks[0]
+	var paramVals []*Value
+	for _, v := range entry.Insns {
+		if v.Op == OpParam {
+			paramVals = append(paramVals, v)
+		}
+	}
+	for _, p := range paramVals {
+		calleeF.ReplaceUses(p, call.Args[p.Slot])
+	}
+	// Drop the params from the entry block.
+	kept := entry.Insns[:0]
+	for _, v := range entry.Insns {
+		if v.Op != OpParam {
+			kept = append(kept, v)
+		}
+	}
+	entry.Insns = kept
+
+	// Rewrite callee returns into jumps to cont; collect return values.
+	var retVals []*Value
+	var retBlocks []*Block
+	for _, b := range calleeF.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != OpReturn {
+			continue
+		}
+		if len(t.Args) > 0 {
+			retVals = append(retVals, t.Args[0])
+		}
+		t.Op = OpJump
+		t.Args = nil
+		AddEdge(b, cont)
+		retBlocks = append(retBlocks, b)
+	}
+	_ = retBlocks
+	// Wire the call block into the callee entry.
+	jmp := f.NewValue(OpJump, TVoid)
+	callBlock.AppendRaw(jmp)
+	AddEdge(callBlock, entry)
+
+	// Adopt callee blocks.
+	f.Blocks = append(f.Blocks, calleeF.Blocks...)
+	f.Blocks = append(f.Blocks, cont)
+
+	// Replace the call's value.
+	if call.Type != TVoid {
+		switch len(retVals) {
+		case 0:
+			z := f.NewValue(OpConstInt, call.Type)
+			cont.Insns = append([]*Value{z}, cont.Insns...)
+			z.Block = cont
+			f.ReplaceUses(call, z)
+		case 1:
+			f.ReplaceUses(call, retVals[0])
+		default:
+			phi := f.NewValue(OpPhi, call.Type)
+			phi.Block = cont
+			phi.Args = retVals
+			cont.Phis = append(cont.Phis, phi)
+			f.ReplaceUses(call, phi)
+		}
+	}
+	f.Recompute()
+	return nil
+}
+
+func runDevirt(f *Function, ctx *PassContext, params map[string]int) error {
+	if ctx.Profile == nil {
+		return nil
+	}
+	minShare := float64(params["min-share"])
+	if minShare == 0 {
+		minShare = 90
+	}
+	minShare /= 100
+	nofallback := params["nofallback"] == 1
+
+	type site struct {
+		b *Block
+		v *Value
+	}
+	var sites []site
+	for _, b := range f.Blocks {
+		for _, v := range b.Insns {
+			if v.Op == OpCallVirtual {
+				sites = append(sites, site{b, v})
+			}
+		}
+	}
+	for _, s := range sites {
+		key := SiteKey{Method: dex.MethodID(s.v.Slot), PC: int(s.v.Imm)}
+		cls, share, ok := ctx.Profile.Dominant(key)
+		if !ok || share < minShare {
+			continue
+		}
+		resolved := f.Prog.Resolve(dex.MethodID(s.v.Sym), cls)
+		if !stillPresent(f, s.b, s.v) {
+			continue
+		}
+		if nofallback {
+			// UNSAFE: unconditional direct call; wrong for any receiver of
+			// a different class.
+			s.v.Op = OpCallStatic
+			s.v.Sym = int(resolved)
+			continue
+		}
+		devirtGuard(f, s.b, s.v, cls, resolved)
+	}
+	f.Recompute()
+	return nil
+}
+
+// devirtGuard rewrites  r = callvirt m(recv, ...)  into:
+//
+//	c = classof recv
+//	branch(c == cls) [likely] -> fast: r1 = call resolved(...)
+//	                          -> slow: r2 = callvirt m(...)
+//	merge: r = phi(r1, r2)
+func devirtGuard(f *Function, b *Block, call *Value, cls dex.ClassID, resolved dex.MethodID) {
+	// Split b after the call; the call itself is replaced by the diamond.
+	idx := -1
+	for i, v := range b.Insns {
+		if v == call {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	merge := f.NewBlock()
+	merge.Insns = append(merge.Insns, b.Insns[idx+1:]...)
+	for _, v := range merge.Insns {
+		v.Block = merge
+	}
+	b.Insns = b.Insns[:idx]
+	merge.Succs = b.Succs
+	b.Succs = nil
+	for _, s := range merge.Succs {
+		for i, p := range s.Preds {
+			if p == b {
+				s.Preds[i] = merge
+			}
+		}
+	}
+
+	recv := call.Args[0]
+	classOf := f.NewValue(OpClassOf, TInt, recv)
+	b.AppendRaw(classOf)
+	clsConst := f.NewValue(OpConstInt, TInt)
+	clsConst.Imm = int64(cls)
+	b.AppendRaw(clsConst)
+	guard := f.NewValue(OpBranch, TVoid, classOf, clsConst)
+	guard.Cond = CondEq
+	// The replay type profile says this class dominates: predict taken.
+	guard.Hint = HintTaken
+	b.AppendRaw(guard)
+
+	fast := f.NewBlock()
+	slow := f.NewBlock()
+	AddEdge(b, fast)
+	AddEdge(b, slow)
+
+	direct := f.NewValue(OpCallStatic, call.Type, call.Args...)
+	direct.Sym = int(resolved)
+	fast.AppendRaw(direct)
+	fast.AppendRaw(f.NewValue(OpJump, TVoid))
+	AddEdge(fast, merge)
+
+	virt := f.NewValue(OpCallVirtual, call.Type, call.Args...)
+	virt.Sym = call.Sym
+	virt.Imm = call.Imm
+	slow.AppendRaw(virt)
+	slow.AppendRaw(f.NewValue(OpJump, TVoid))
+	AddEdge(slow, merge)
+
+	f.Blocks = append(f.Blocks, fast, slow, merge)
+	if call.Type != TVoid {
+		phi := f.NewValue(OpPhi, call.Type)
+		phi.Block = merge
+		phi.Args = []*Value{direct, virt}
+		merge.Phis = append(merge.Phis, phi)
+		f.ReplaceUses(call, phi)
+	}
+}

@@ -1,0 +1,546 @@
+package lir
+
+// Loop restructuring passes: unrolling (with and without the remainder
+// loop), peeling, and a "vectorizer" that widens call-free counted loops and
+// crashes on anything else — the compile-time failure source of Fig. 1.
+
+func init() { registerLoopPasses() }
+
+func registerLoopPasses() {
+	register(&PassInfo{
+		Name: "unroll",
+		Doc:  "unroll canonical counted loops with a scalar remainder loop",
+		Params: []ParamSpec{
+			{Name: "factor", Default: 4, Min: 2, Max: 16},
+			// Innermost-only by default; 0 unrolls every canonical loop.
+			{Name: "innermost-only", Default: 1, Min: 0, Max: 1},
+			// const-trip-only=1 reproduces the conservative -O3 heuristic:
+			// only loops whose trip count is a compile-time constant.
+			{Name: "const-trip-only", Default: 0, Min: 0, Max: 1},
+			// no-remainder=1 drops the scalar remainder loop: silently wrong
+			// whenever the trip count is not a multiple of the factor.
+			{Name: "no-remainder", Default: 0, Min: 0, Max: 1, Unsafe: true},
+		},
+		Run: runUnroll,
+	})
+	register(&PassInfo{
+		Name: "peel",
+		Doc:  "peel the first iteration(s) of canonical counted loops",
+		Params: []ParamSpec{
+			{Name: "count", Default: 1, Min: 1, Max: 4},
+		},
+		Run: runPeel,
+	})
+	register(&PassInfo{
+		Name: "vectorize",
+		Doc:  "widen call-free counted loops by 4; crashes on loops with calls",
+		Run:  runVectorize,
+	})
+}
+
+// countedLoop is the canonical shape the loop passes handle:
+//
+//	ph -> head{phis; ...; branch(iv < limit) -> bodyEntry | exit}
+//	bodyEntry ... latch -> head
+type countedLoop struct {
+	loop      *Loop
+	head      *Block
+	latch     *Block
+	bodyEntry *Block
+	exit      *Block
+	ph        *Block
+	initIdx   int // head pred index of the preheader
+	latchIdx  int // head pred index of the latch
+	iv        *Value
+	limit     *Value
+	step      int64
+}
+
+// analyzeCounted matches l against the canonical shape.
+func analyzeCounted(f *Function, l *Loop) (*countedLoop, bool) {
+	head := l.Head
+	if len(head.Preds) != 2 || len(head.Succs) != 2 {
+		return nil, false
+	}
+	t := head.Term()
+	if t == nil || t.Op != OpBranch || t.Cond != CondLt {
+		return nil, false
+	}
+	// Succs[0] must stay in the loop; Succs[1] exits. Self-loops (the head
+	// is its own body) are excluded: cloning them with the check dropped
+	// would produce an unconditional cycle.
+	if !l.Blocks[head.Succs[0]] || l.Blocks[head.Succs[1]] || head.Succs[0] == head {
+		return nil, false
+	}
+	// The head must own the only loop exit.
+	for b := range l.Blocks {
+		if b == head {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !l.Blocks[s] {
+				return nil, false
+			}
+		}
+	}
+	cl := &countedLoop{
+		loop: l, head: head,
+		bodyEntry: head.Succs[0], exit: head.Succs[1],
+	}
+	cl.ph = ensurePreheader(f, l)
+	if cl.ph == nil {
+		return nil, false
+	}
+	cl.initIdx = head.PredIndex(cl.ph)
+	for _, p := range head.Preds {
+		if l.Blocks[p] {
+			cl.latch = p
+		}
+	}
+	if cl.latch == nil || cl.initIdx < 0 {
+		return nil, false
+	}
+	cl.latchIdx = head.PredIndex(cl.latch)
+	iv := t.Args[0]
+	if iv.Op != OpPhi || iv.Block != head {
+		return nil, false
+	}
+	cl.iv = iv
+	cl.limit = t.Args[1]
+	inLoop := cl.limit.Block != nil && l.Blocks[cl.limit.Block]
+	if inLoop && cl.limit.Op != OpConstInt {
+		return nil, false // limit not available at the preheader
+	}
+	// iv's latch input must be iv + positive constant.
+	next := iv.Args[cl.latchIdx]
+	if next.Op != OpAdd {
+		return nil, false
+	}
+	var stepV *Value
+	switch {
+	case next.Args[0] == iv:
+		stepV = next.Args[1]
+	case next.Args[1] == iv:
+		stepV = next.Args[0]
+	default:
+		return nil, false
+	}
+	s, ok := isConstInt(stepV)
+	if !ok || s <= 0 {
+		return nil, false
+	}
+	cl.step = s
+	return cl, true
+}
+
+// limitAtPreheader returns a value equal to the loop limit that dominates
+// the preheader, materializing in-loop constants there.
+func (cl *countedLoop) limitAtPreheader(f *Function) *Value {
+	if cl.limit.Block == nil || !cl.loop.Blocks[cl.limit.Block] {
+		return cl.limit
+	}
+	c := f.NewValue(OpConstInt, TInt)
+	c.Imm = cl.limit.Imm
+	cl.ph.Append(c)
+	return c
+}
+
+// loopBlocksRPO returns the loop's blocks in the function's RPO.
+func loopBlocksRPO(f *Function, l *Loop) []*Block {
+	var out []*Block
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// stage is one cloned copy of the loop produced by cloneStage.
+type stage struct {
+	head  *Block            // clone of the head (no phis; ends in a Jump)
+	latch *Block            // clone of the latch; backedge slot is nil
+	out   map[*Value]*Value // head phi -> its value after this stage
+}
+
+// connectBackedge points the stage's dangling backedge at target, appending
+// target.Preds (the caller appends matching phi args if target has phis).
+func (st *stage) connectBackedge(target *Block) {
+	for i, s := range st.latch.Succs {
+		if s == nil {
+			st.latch.Succs[i] = target
+			target.Preds = append(target.Preds, st.latch)
+			return
+		}
+	}
+	panic("lir: stage has no dangling backedge")
+}
+
+// cloneStage clones every loop block. M pre-maps the head's phis to the
+// stage's incoming values and is extended with all cloned values. The cloned
+// head drops the check (terminator becomes a Jump to the cloned body entry);
+// the latch's backedge successor is left nil for connectBackedge.
+func cloneStage(f *Function, cl *countedLoop, M map[*Value]*Value) *stage {
+	blocks := loopBlocksRPO(f, cl.loop)
+	bm := map[*Block]*Block{}
+	for _, b := range blocks {
+		bm[b] = f.NewBlock()
+	}
+	// Phi shells for non-head blocks (inner loop headers, join points).
+	for _, b := range blocks {
+		if b == cl.head {
+			continue
+		}
+		for _, phi := range b.Phis {
+			c := f.NewValue(OpPhi, phi.Type)
+			c.Block = bm[b]
+			c.Args = make([]*Value, len(phi.Args))
+			bm[b].Phis = append(bm[b].Phis, c)
+			M[phi] = c
+		}
+	}
+	mapped := func(a *Value) *Value {
+		if m, ok := M[a]; ok {
+			return m
+		}
+		return a
+	}
+	// Clone instructions in RPO (defs precede uses except through phis).
+	for _, b := range blocks {
+		nb := bm[b]
+		for _, v := range b.Insns {
+			if b == cl.head && v == cl.head.Term() {
+				continue // the per-stage check is dropped
+			}
+			c := f.NewValue(v.Op, v.Type)
+			c.Imm, c.F, c.Sym, c.Slot, c.Cond, c.Hint = v.Imm, v.F, v.Sym, v.Slot, v.Cond, v.Hint
+			c.Args = make([]*Value, len(v.Args))
+			for i, a := range v.Args {
+				c.Args[i] = mapped(a)
+			}
+			nb.AppendRaw(c)
+			M[v] = c
+		}
+	}
+	// The head clone jumps straight into the body clone.
+	hc := bm[cl.head]
+	hc.AppendRaw(f.NewValue(OpJump, TVoid))
+	AddEdge(hc, bm[cl.bodyEntry])
+	// Wire intra-loop edges, preserving successor positions. Edges back to
+	// the head become nil placeholders.
+	for _, b := range blocks {
+		if b == cl.head {
+			continue
+		}
+		nb := bm[b]
+		for _, s := range b.Succs {
+			if s == cl.head {
+				nb.Succs = append(nb.Succs, nil)
+				continue
+			}
+			nb.Succs = append(nb.Succs, bm[s])
+		}
+	}
+	// Predecessor lists must mirror the ORIGINAL order: phi arguments are
+	// copied by index, so a permuted pred list silently rewires phis (e.g.
+	// an inner loop counter reading its init on the backedge — an infinite
+	// loop). Every pred of a non-head loop block is itself in the loop.
+	for _, b := range blocks {
+		if b == cl.head {
+			continue
+		}
+		nb := bm[b]
+		nb.Preds = nb.Preds[:0]
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, bm[p])
+		}
+	}
+	// Fill non-head phi args (pred positions now match the original).
+	for _, b := range blocks {
+		if b == cl.head {
+			continue
+		}
+		for pi, phi := range b.Phis {
+			c := bm[b].Phis[pi]
+			for i, a := range phi.Args {
+				c.Args[i] = mapped(a)
+			}
+		}
+	}
+	for _, b := range blocks {
+		f.Blocks = append(f.Blocks, bm[b])
+	}
+	out := map[*Value]*Value{}
+	for _, phi := range cl.head.Phis {
+		out[phi] = mapped(phi.Args[cl.latchIdx])
+	}
+	return &stage{head: bm[cl.head], latch: bm[cl.latch], out: out}
+}
+
+func runUnroll(f *Function, ctx *PassContext, params map[string]int) error {
+	factor := params["factor"]
+	if factor < 2 {
+		factor = 2
+	}
+	innerOnly := params["innermost-only"] != 0
+	constOnly := params["const-trip-only"] == 1
+	noRemainder := params["no-remainder"] == 1
+
+	processed := map[*Block]bool{}
+	for {
+		f.Recompute()
+		loops := f.Loops()
+		var target *countedLoop
+		for _, l := range loops {
+			if processed[l.Head] {
+				continue
+			}
+			if innerOnly && !isInnermost(l, loops) {
+				continue
+			}
+			cl, ok := analyzeCounted(f, l)
+			if !ok {
+				processed[l.Head] = true
+				continue
+			}
+			if constOnly {
+				if _, isC := isConstInt(cl.limit); !isC {
+					processed[l.Head] = true
+					continue
+				}
+			}
+			target = cl
+			break
+		}
+		if target == nil {
+			return nil
+		}
+		mainHead := unrollOne(f, target, factor, noRemainder)
+		// Neither the new main loop nor the remainder loop is unrolled
+		// again by this invocation.
+		processed[mainHead] = true
+		processed[target.head] = true
+		if err := ctx.checkGrowth(f, "unroll"); err != nil {
+			return err
+		}
+	}
+}
+
+func isInnermost(l *Loop, all []*Loop) bool {
+	for _, o := range all {
+		if o != l && l.Blocks[o.Head] {
+			return false
+		}
+	}
+	return true
+}
+
+// unrollOne rewrites one canonical loop and returns the new main-loop head.
+func unrollOne(f *Function, cl *countedLoop, factor int, noRemainder bool) *Block {
+	// New main header with fresh phis: args[0] = preheader, args[1] = last
+	// stage's backedge.
+	H := f.NewBlock()
+	f.Blocks = append(f.Blocks, H)
+	newPhi := map[*Value]*Value{}
+	for _, p := range cl.head.Phis {
+		np := f.NewValue(OpPhi, p.Type)
+		np.Block = H
+		np.Args = make([]*Value, 2)
+		np.Args[0] = p.Args[cl.initIdx]
+		H.Phis = append(H.Phis, np)
+		newPhi[p] = np
+	}
+	// uLimit = limit - (factor-1)*step, computed in the preheader.
+	limitPH := cl.limitAtPreheader(f)
+	adj := f.NewValue(OpConstInt, TInt)
+	adj.Imm = int64(factor-1) * cl.step
+	cl.ph.Append(adj)
+	uLimit := f.NewValue(OpSub, TInt, limitPH, adj)
+	cl.ph.Append(uLimit)
+
+	// Stages.
+	var stages []*stage
+	M := map[*Value]*Value{}
+	for _, p := range cl.head.Phis {
+		M[p] = newPhi[p]
+	}
+	for k := 0; k < factor; k++ {
+		st := cloneStage(f, cl, M)
+		stages = append(stages, st)
+		M = map[*Value]*Value{}
+		for _, p := range cl.head.Phis {
+			M[p] = st.out[p]
+		}
+	}
+	// H: branch(iv' < uLimit) -> stage0.head | (remainder | exit).
+	br := f.NewValue(OpBranch, TVoid, newPhi[cl.iv], uLimit)
+	br.Cond = CondLt
+	H.AppendRaw(br)
+	H.Succs = append(H.Succs, stages[0].head)
+	stages[0].head.Preds = append(stages[0].head.Preds, H)
+	for k := 0; k+1 < len(stages); k++ {
+		stages[k].connectBackedge(stages[k+1].head)
+	}
+	stages[len(stages)-1].connectBackedge(H)
+	for _, p := range cl.head.Phis {
+		newPhi[p].Args[1] = stages[len(stages)-1].out[p]
+	}
+	// H.Preds: [preheader, lastLatch] to match phi arg order.
+	H.Preds = append([]*Block{cl.ph}, H.Preds...)
+	for i, s := range cl.ph.Succs {
+		if s == cl.head {
+			cl.ph.Succs[i] = H
+		}
+	}
+
+	if noRemainder {
+		// UNSAFE: up to factor-1 trailing iterations are dropped. Correct
+		// only when the trip count is a multiple of the factor.
+		exitIdx := cl.exit.PredIndex(cl.head)
+		H.Succs = append(H.Succs, cl.exit)
+		cl.exit.Preds = append(cl.exit.Preds, H)
+		for _, phi := range cl.exit.Phis {
+			phi.Args = append(phi.Args, phi.Args[exitIdx])
+		}
+		for _, p := range cl.head.Phis {
+			f.ReplaceUses(p, newPhi[p])
+		}
+		// Detach the original loop; it becomes unreachable.
+		removeLastPred(cl.head, cl.ph)
+	} else {
+		// Remainder = the original loop, entered with the main loop's
+		// final values through the preheader slot.
+		H.Succs = append(H.Succs, cl.head)
+		cl.head.Preds[cl.initIdx] = H
+		for _, p := range cl.head.Phis {
+			p.Args[cl.initIdx] = newPhi[p]
+		}
+	}
+	f.Recompute()
+	return H
+}
+
+// removeLastPred removes the last occurrence of p from b.Preds along with
+// the matching phi argument.
+func removeLastPred(b, p *Block) {
+	for i := len(b.Preds) - 1; i >= 0; i-- {
+		if b.Preds[i] == p {
+			b.Preds = append(b.Preds[:i], b.Preds[i+1:]...)
+			for _, phi := range b.Phis {
+				if i < len(phi.Args) {
+					phi.Args = append(phi.Args[:i], phi.Args[i+1:]...)
+				}
+			}
+			return
+		}
+	}
+}
+
+func runPeel(f *Function, ctx *PassContext, params map[string]int) error {
+	count := params["count"]
+	if count < 1 {
+		count = 1
+	}
+	for n := 0; n < count; n++ {
+		f.Recompute()
+		peeled := false
+		for _, l := range f.Loops() {
+			cl, ok := analyzeCounted(f, l)
+			if !ok {
+				continue
+			}
+			peelOne(f, cl)
+			if err := ctx.checkGrowth(f, "peel"); err != nil {
+				return err
+			}
+			peeled = true
+			break
+		}
+		if !peeled {
+			break
+		}
+	}
+	return nil
+}
+
+// peelOne executes the first iteration under its own guard:
+//
+//	ph -> G{branch(init < limit)} -> bodyClone ... latchClone -> head
+//	            \---------------------------------------------> head
+//
+// Both edges reach the original head, which re-checks; the head keeps its
+// phi structure with one extra predecessor.
+func peelOne(f *Function, cl *countedLoop) {
+	limitPH := cl.limitAtPreheader(f)
+	M := map[*Value]*Value{}
+	inits := map[*Value]*Value{}
+	for _, p := range cl.head.Phis {
+		M[p] = p.Args[cl.initIdx]
+		inits[p] = p.Args[cl.initIdx]
+	}
+	st := cloneStage(f, cl, M)
+	G := st.head
+	// Restore the guard check in place of the stage's Jump.
+	br := f.NewValue(OpBranch, TVoid, inits[cl.iv], limitPH)
+	br.Cond = CondLt
+	br.Block = G
+	G.Insns[len(G.Insns)-1] = br
+	// G.Succs: [bodyClone (taken), head (skip)].
+	G.Succs = append(G.Succs, cl.head)
+	// Rewire: preheader -> G; head's preheader slot becomes G (same args).
+	for i, s := range cl.ph.Succs {
+		if s == cl.head {
+			cl.ph.Succs[i] = G
+		}
+	}
+	G.Preds = append(G.Preds, cl.ph)
+	cl.head.Preds[cl.initIdx] = G
+	// The peeled latch rejoins the head with post-iteration values.
+	st.connectBackedge(cl.head)
+	for _, p := range cl.head.Phis {
+		p.Args = append(p.Args, st.out[p])
+	}
+	f.Recompute()
+}
+
+// runVectorize "vectorizes" call-free canonical loops by widening them 4x
+// (modeled as unrolling with a scalar remainder). Loops containing calls
+// make it crash — the not-implemented path every real vectorizer has, and
+// Fig. 1's compiler-error class.
+func runVectorize(f *Function, ctx *PassContext, _ map[string]int) error {
+	processed := map[*Block]bool{}
+	for {
+		f.Recompute()
+		loops := f.Loops()
+		var target *countedLoop
+		for _, l := range loops {
+			if processed[l.Head] || !isInnermost(l, loops) {
+				continue
+			}
+			cl, ok := analyzeCounted(f, l)
+			if !ok {
+				processed[l.Head] = true
+				continue
+			}
+			for b := range l.Blocks {
+				for _, v := range b.Insns {
+					if isCall(v) {
+						return &CrashError{Pass: "vectorize",
+							Msg: "cannot widen loop containing call in " + f.Name}
+					}
+				}
+			}
+			target = cl
+			break
+		}
+		if target == nil {
+			return nil
+		}
+		mainHead := unrollOne(f, target, 4, false)
+		processed[mainHead] = true
+		processed[target.head] = true
+		if err := ctx.checkGrowth(f, "vectorize"); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,499 @@
+package lir
+
+import "sort"
+
+// Memory optimization passes: store-to-load forwarding, dead store
+// elimination (safe local and alias-blind "global" variants), loop-invariant
+// code motion, bounds-check elimination, and the paper's custom post-loop
+// GC-check elimination (§3.5).
+
+func init() { registerMemPasses() }
+
+func registerMemPasses() {
+	register(&PassInfo{
+		Name: "storeforward",
+		Doc:  "forward stored values to later loads of the same location (per block)",
+		Run: func(f *Function, _ *PassContext, _ map[string]int) error {
+			runStoreForward(f)
+			runDCE(f)
+			return nil
+		},
+	})
+	register(&PassInfo{
+		Name: "dse",
+		Doc:  "remove stores overwritten before any possible read",
+		Params: []ParamSpec{
+			// alias-blind=1 matches stores by slot/shape only, ignoring
+			// whether the base objects alias — removes stores other code
+			// still reads (a deliberate Fig. 1 wrong-output source).
+			{Name: "alias-blind", Default: 0, Min: 0, Max: 1, Unsafe: true},
+		},
+		Run: runDSE,
+	})
+	register(&PassInfo{
+		Name: "licm",
+		Doc:  "hoist loop-invariant computation to the preheader",
+		Params: []ParamSpec{
+			// loads=1 also hoists memory loads when the loop contains no
+			// stores or calls (aggressive: may introduce a trap for
+			// zero-trip loops).
+			{Name: "loads", Default: 0, Min: 0, Max: 1},
+			// unsafe=1 hoists loads ignoring stores and calls in the loop,
+			// reading stale values.
+			{Name: "unsafe", Default: 0, Min: 0, Max: 1, Unsafe: true},
+		},
+		Run: runLICM,
+	})
+	register(&PassInfo{
+		Name: "bce",
+		Doc:  "remove provably redundant bounds checks",
+		Params: []ParamSpec{
+			// aggressive=1 removes every bounds check, trusting the
+			// program to be in-bounds (silent corruption if it is not).
+			{Name: "aggressive", Default: 0, Min: 0, Max: 1, Unsafe: true},
+		},
+		Run: runBCE,
+	})
+	register(&PassInfo{
+		Name: "gccheckelim",
+		Doc:  "custom pass (§3.5): deduplicate GC safepoint checks within each loop",
+		Run: func(f *Function, _ *PassContext, _ map[string]int) error {
+			runGCCheckElim(f)
+			return nil
+		},
+	})
+}
+
+// locKey identifies an abstract memory location.
+type locKey struct {
+	kind Op // OpArrStore/OpFieldStore/OpStaticStore family marker
+	base *Value
+	idx  *Value
+	slot int64
+}
+
+func loadKey(v *Value) (locKey, bool) {
+	switch v.Op {
+	case OpArrLoad:
+		return locKey{kind: OpArrStore, base: v.Args[0], idx: v.Args[1]}, true
+	case OpFieldLoad:
+		return locKey{kind: OpFieldStore, base: v.Args[0], slot: v.Slot}, true
+	case OpStaticLoad:
+		return locKey{kind: OpStaticStore, slot: v.Slot}, true
+	}
+	return locKey{}, false
+}
+
+func storeKey(v *Value) (locKey, *Value, bool) {
+	switch v.Op {
+	case OpArrStore:
+		return locKey{kind: OpArrStore, base: v.Args[0], idx: v.Args[1]}, v.Args[2], true
+	case OpFieldStore:
+		return locKey{kind: OpFieldStore, base: v.Args[0], slot: v.Slot}, v.Args[1], true
+	case OpStaticStore:
+		return locKey{kind: OpStaticStore, slot: v.Slot}, v.Args[0], true
+	}
+	return locKey{}, nil, false
+}
+
+func isCall(v *Value) bool {
+	switch v.Op {
+	case OpCallStatic, OpCallVirtual, OpCallNative:
+		return true
+	}
+	return false
+}
+
+// runStoreForward forwards stored (or previously loaded) values to later
+// loads of the same location within a block, conservatively invalidating on
+// calls and on stores to potentially-aliasing locations.
+func runStoreForward(f *Function) {
+	for _, b := range f.Blocks {
+		avail := map[locKey]*Value{}
+		dead := map[*Value]bool{}
+		for _, v := range b.Insns {
+			if isCall(v) {
+				avail = map[locKey]*Value{} // a callee may write anything
+				continue
+			}
+			if k, val, ok := storeKey(v); ok {
+				// Any store may alias same-kind locations with a different
+				// base or index; keep only the exact location.
+				for ek := range avail {
+					if ek.kind == k.kind && ek != k {
+						delete(avail, ek)
+					}
+				}
+				avail[k] = val
+				continue
+			}
+			if k, ok := loadKey(v); ok {
+				if prev, hit := avail[k]; hit && prev.Type == v.Type {
+					f.ReplaceUses(v, prev)
+					dead[v] = true
+				} else {
+					avail[k] = v // later identical loads reuse this one
+				}
+			}
+		}
+		removeValues(f, dead)
+	}
+}
+
+// runDSE removes a store when a later store in the same block definitely
+// overwrites it with no intervening read. The alias-blind variant matches by
+// shape only (ignoring base identity) and skips the read check for loads
+// whose index differs syntactically — both unsound.
+func runDSE(f *Function, _ *PassContext, params map[string]int) error {
+	aliasBlind := params["alias-blind"] == 1
+	for _, b := range f.Blocks {
+		dead := map[*Value]bool{}
+		insns := b.Insns
+		for i := 0; i < len(insns); i++ {
+			k, _, ok := storeKey(insns[i])
+			if !ok {
+				continue
+			}
+		scan:
+			for j := i + 1; j < len(insns); j++ {
+				w := insns[j]
+				if isCall(w) {
+					break // callee may read the location
+				}
+				if lk, isLoad := loadKey(w); isLoad {
+					if aliasBlind {
+						// BUG: only exact syntactic matches count as reads.
+						if lk == k {
+							break scan
+						}
+						continue
+					}
+					// Safe: any same-kind load may read it.
+					if lk.kind == k.kind {
+						break scan
+					}
+					continue
+				}
+				if wk, _, isStore := storeKey(w); isStore {
+					if wk == k {
+						dead[insns[i]] = true // exactly overwritten
+						break scan
+					}
+					if aliasBlind && wk.kind == k.kind && wk.slot == k.slot {
+						// BUG: "overwritten" by a store to a different base.
+						dead[insns[i]] = true
+						break scan
+					}
+					continue
+				}
+				if w.IsTerminator() {
+					break scan
+				}
+			}
+		}
+		removeValues(f, dead)
+	}
+	return nil
+}
+
+// ensurePreheader returns the unique block through which the loop is
+// entered, creating one on the entering edge if needed. Returns nil when the
+// loop has multiple entering edges (we skip such loops).
+func ensurePreheader(f *Function, l *Loop) *Block {
+	var enters []*Block
+	for _, p := range l.Head.Preds {
+		if !l.Blocks[p] {
+			enters = append(enters, p)
+		}
+	}
+	if len(enters) != 1 {
+		return nil
+	}
+	p := enters[0]
+	if len(p.Succs) == 1 {
+		return p
+	}
+	// Split the entering edge.
+	ph := f.NewBlock()
+	ph.AppendRaw(f.NewValue(OpJump, TVoid))
+	for i, s := range p.Succs {
+		if s == l.Head {
+			p.Succs[i] = ph
+			break
+		}
+	}
+	ph.Preds = []*Block{p}
+	ph.Succs = []*Block{l.Head}
+	for i, pr := range l.Head.Preds {
+		if pr == p {
+			l.Head.Preds[i] = ph // keep the phi argument index
+			break
+		}
+	}
+	f.Blocks = append(f.Blocks, ph)
+	f.Recompute()
+	return ph
+}
+
+func runLICM(f *Function, _ *PassContext, params map[string]int) error {
+	hoistLoads := params["loads"] == 1
+	unsafe := params["unsafe"] == 1
+	f.Recompute()
+	for _, l := range f.Loops() {
+		ph := ensurePreheader(f, l)
+		if ph == nil {
+			continue
+		}
+		// Loop summary for load hoisting.
+		hasStores, hasCalls := false, false
+		for b := range l.Blocks {
+			for _, v := range b.Insns {
+				if _, _, ok := storeKey(v); ok {
+					hasStores = true
+				}
+				if isCall(v) {
+					hasCalls = true
+				}
+			}
+		}
+		inLoop := func(v *Value) bool {
+			return v.Block != nil && l.Blocks[v.Block]
+		}
+		invariant := func(v *Value) bool {
+			for _, a := range v.Args {
+				if inLoop(a) {
+					return false
+				}
+			}
+			return true
+		}
+		for changed := true; changed; {
+			changed = false
+			// Deterministic block order (map iteration order varies).
+			for _, b := range f.Blocks {
+				if !l.Blocks[b] {
+					continue
+				}
+				var moved []*Value
+				for _, v := range b.Body() {
+					hoistable := v.IsPure() && v.Op != OpPhi && v.Op != OpParam
+					if !hoistable && (hoistLoads || unsafe) {
+						switch v.Op {
+						case OpArrLoad, OpFieldLoad, OpStaticLoad, OpArrLen:
+							hoistable = unsafe || (!hasStores && !hasCalls)
+						}
+					}
+					if hoistable && invariant(v) {
+						moved = append(moved, v)
+					}
+				}
+				if len(moved) > 0 {
+					dead := map[*Value]bool{}
+					for _, v := range moved {
+						dead[v] = true
+					}
+					removeValues(f, dead)
+					for _, v := range moved {
+						ph.Append(v)
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runBCE removes bounds checks that are dominated by an identical check
+// (GVN-style) or guarded by the canonical loop pattern
+// `for i = 0; i < arr.length; i++`; the aggressive variant removes all of
+// them.
+func runBCE(f *Function, _ *PassContext, params map[string]int) error {
+	f.Recompute()
+	if params["aggressive"] == 1 {
+		dead := map[*Value]bool{}
+		for _, b := range f.Blocks {
+			for _, v := range b.Insns {
+				if v.Op == OpBoundsCheck {
+					dead[v] = true
+				}
+			}
+		}
+		removeValues(f, dead)
+		return nil
+	}
+	// Induction pattern.
+	dead := map[*Value]bool{}
+	for _, l := range f.Loops() {
+		head := l.Head
+		t := head.Term()
+		if t == nil || t.Op != OpBranch || t.Cond != CondLt {
+			continue
+		}
+		iv, limit := t.Args[0], t.Args[1]
+		if iv.Op != OpPhi || iv.Block != head {
+			continue
+		}
+		// The branch must exit the loop on false (Succs[1] outside).
+		if l.Blocks[head.Succs[1]] || !l.Blocks[head.Succs[0]] {
+			continue
+		}
+		// iv = phi(c0 >= 0, iv + positive const).
+		okInit, okStep := false, false
+		for _, a := range iv.Args {
+			if c, isC := isConstInt(a); isC && c >= 0 {
+				okInit = true
+				continue
+			}
+			if a.Op == OpAdd && a.Args[0] == iv {
+				if s, isC := isConstInt(a.Args[1]); isC && s > 0 {
+					okStep = true
+					continue
+				}
+			}
+			// Unknown input: not canonical.
+			okInit = false
+			okStep = false
+			break
+		}
+		if !okInit || !okStep {
+			continue
+		}
+		// limit must be len(arr) for an array that cannot change during the
+		// loop (defined outside it, or reloaded from a global the loop never
+		// stores to).
+		if limit.Op != OpArrLen {
+			continue
+		}
+		arr := limit.Args[0]
+		if l.Blocks[arr.Block] && !stableGlobalArray(l, arr) {
+			continue
+		}
+		for b := range l.Blocks {
+			for _, v := range b.Insns {
+				if v.Op == OpBoundsCheck && v.Args[1] == iv && sameArrayIn(l, v.Args[0], arr) {
+					dead[v] = true
+				}
+			}
+		}
+	}
+	removeValues(f, dead)
+	// Constant-index checks against known allocation sizes.
+	dead = map[*Value]bool{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Insns {
+			if v.Op != OpBoundsCheck {
+				continue
+			}
+			arr, idx := v.Args[0], v.Args[1]
+			n, nok := int64(0), false
+			if arr.Op == OpNewArray {
+				n, nok = isConstInt(arr.Args[0])
+			}
+			c, cok := isConstInt(idx)
+			if nok && cok && c >= 0 && c < n {
+				dead[v] = true
+			}
+		}
+	}
+	removeValues(f, dead)
+	return nil
+}
+
+// sameArrayIn reports whether two array values are provably the same object
+// throughout the loop: identical SSA values, or both loads of the same
+// static global that the loop never stores to (globals are reloaded at each
+// use site, so syntactic equality is too strict).
+func sameArrayIn(l *Loop, a, b *Value) bool {
+	if a == b {
+		return true
+	}
+	if a.Op == OpStaticLoad && b.Op == OpStaticLoad && a.Slot == b.Slot {
+		return stableGlobalSlot(l, a.Slot)
+	}
+	return false
+}
+
+// stableGlobalArray reports whether v is a load of a global slot the loop
+// never writes (directly or through calls).
+func stableGlobalArray(l *Loop, v *Value) bool {
+	return v.Op == OpStaticLoad && stableGlobalSlot(l, v.Slot)
+}
+
+func stableGlobalSlot(l *Loop, slot int64) bool {
+	for b := range l.Blocks {
+		for _, v := range b.Insns {
+			if v.Op == OpStaticStore && v.Slot == slot {
+				return false
+			}
+			if isCall(v) {
+				return false // a callee may store the global
+			}
+		}
+	}
+	return true
+}
+
+// runGCCheckElim keeps a single GC check per loop (the paper's custom
+// post-unroll optimization) and removes checks outside any loop.
+func runGCCheckElim(f *Function) {
+	f.Recompute()
+	loops := f.Loops()
+	// Innermost loops claim their checks first so an outer loop never
+	// deletes an inner loop's only safepoint.
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Depth != loops[j].Depth {
+			return loops[i].Depth > loops[j].Depth
+		}
+		return loops[i].Head.rpo < loops[j].Head.rpo
+	})
+	dead := map[*Value]bool{}
+	inAnyLoop := map[*Block]bool{}
+	for _, l := range loops {
+		for b := range l.Blocks {
+			inAnyLoop[b] = true
+		}
+	}
+	// Innermost-first: keep the first check per loop, drop the rest.
+	kept := map[*Value]bool{}
+	for _, l := range loops {
+		var first *Value
+		// Deterministic order: header first, then blocks in f.Blocks order.
+		scan := []*Block{l.Head}
+		for _, b := range f.Blocks {
+			if b != l.Head && l.Blocks[b] {
+				scan = append(scan, b)
+			}
+		}
+		for _, b := range scan {
+			for _, v := range b.Insns {
+				if v.Op != OpGCCheck {
+					continue
+				}
+				if first == nil || kept[v] {
+					if first == nil {
+						first = v
+						kept[v] = true
+					}
+					continue
+				}
+				if !kept[v] {
+					dead[v] = true
+				}
+			}
+		}
+	}
+	// Straight-line checks outside loops are unnecessary (calls already
+	// poll).
+	for _, b := range f.Blocks {
+		if inAnyLoop[b] {
+			continue
+		}
+		for _, v := range b.Insns {
+			if v.Op == OpGCCheck {
+				dead[v] = true
+			}
+		}
+	}
+	removeValues(f, dead)
+}

@@ -1,0 +1,197 @@
+package lir
+
+import (
+	"fmt"
+	"sort"
+
+	"replayopt/internal/dex"
+)
+
+// CrashError is a compiler crash — one of the Fig. 1 "compiler error"
+// outcomes. The GA discards the genome.
+type CrashError struct {
+	Pass string
+	Msg  string
+}
+
+func (e *CrashError) Error() string { return fmt.Sprintf("lir: %s crashed: %s", e.Pass, e.Msg) }
+
+// TimeoutError is a compiler timeout (code-size explosion or a pipeline that
+// stops converging) — the other Fig. 1 compile-time failure.
+type TimeoutError struct {
+	Pass string
+	Msg  string
+}
+
+func (e *TimeoutError) Error() string { return fmt.Sprintf("lir: %s timed out: %s", e.Pass, e.Msg) }
+
+// SiteKey identifies a virtual call site for the type profile (§3.4).
+type SiteKey struct {
+	Method dex.MethodID
+	PC     int
+}
+
+// Profile is the interpreted-replay type profile: per call site, the
+// frequency histogram of receiver classes.
+type Profile struct {
+	Virt map[SiteKey]map[dex.ClassID]uint64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{Virt: map[SiteKey]map[dex.ClassID]uint64{}} }
+
+// Record adds one observed dispatch.
+func (p *Profile) Record(site SiteKey, cls dex.ClassID) {
+	m := p.Virt[site]
+	if m == nil {
+		m = map[dex.ClassID]uint64{}
+		p.Virt[site] = m
+	}
+	m[cls]++
+}
+
+// Dominant returns the most frequent class at site and its share of all
+// dispatches, or ok=false if the site was never observed.
+func (p *Profile) Dominant(site SiteKey) (cls dex.ClassID, share float64, ok bool) {
+	m := p.Virt[site]
+	if len(m) == 0 {
+		return 0, 0, false
+	}
+	var total, best uint64
+	bestCls := dex.ClassID(-1)
+	// Deterministic tie-break: lowest class id wins.
+	ids := make([]int, 0, len(m))
+	for c := range m {
+		ids = append(ids, int(c))
+	}
+	sort.Ints(ids)
+	for _, c := range ids {
+		n := m[dex.ClassID(c)]
+		total += n
+		if n > best {
+			best = n
+			bestCls = dex.ClassID(c)
+		}
+	}
+	return bestCls, float64(best) / float64(total), true
+}
+
+// PassContext carries pass inputs and global limits.
+type PassContext struct {
+	Profile *Profile
+	// MaxValues caps IR growth; exceeding it is a compiler timeout
+	// (runaway unrolling/inlining). 0 means the default of 60000.
+	MaxValues int
+}
+
+func (ctx *PassContext) cap() int {
+	if ctx.MaxValues > 0 {
+		return ctx.MaxValues
+	}
+	return 60000
+}
+
+func (ctx *PassContext) checkGrowth(f *Function, pass string) error {
+	if f.NumValues() > ctx.cap() {
+		return &TimeoutError{Pass: pass, Msg: fmt.Sprintf("IR grew to %d values", f.NumValues())}
+	}
+	return nil
+}
+
+// PassFunc transforms a function in place.
+type PassFunc func(f *Function, ctx *PassContext, params map[string]int) error
+
+// ParamSpec describes one tunable pass parameter for the GA.
+type ParamSpec struct {
+	Name    string
+	Default int
+	Min     int
+	Max     int
+	// Unsafe parameters can produce wrong code when enabled/raised; they
+	// model the fast-math/aggressive-flag corner of the LLVM space.
+	Unsafe bool
+}
+
+// PassInfo is one registry entry.
+type PassInfo struct {
+	Name   string
+	Doc    string
+	Params []ParamSpec
+	Run    PassFunc
+	// Unsafe passes can miscompile even at default parameters.
+	Unsafe bool
+}
+
+// registry of all transformation passes, filled by registerPasses.
+var registry = map[string]*PassInfo{}
+
+func register(p *PassInfo) { registry[p.Name] = p }
+
+// PassByName looks up a pass.
+func PassByName(name string) (*PassInfo, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+// PassNames returns all registered pass names, sorted.
+func PassNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// removeValues deletes the given values from their blocks' instruction (or
+// phi) lists.
+func removeValues(f *Function, dead map[*Value]bool) {
+	if len(dead) == 0 {
+		return
+	}
+	for _, b := range f.Blocks {
+		if len(b.Phis) > 0 {
+			kept := b.Phis[:0]
+			for _, v := range b.Phis {
+				if !dead[v] {
+					kept = append(kept, v)
+				}
+			}
+			b.Phis = kept
+		}
+		kept := b.Insns[:0]
+		for _, v := range b.Insns {
+			if !dead[v] {
+				kept = append(kept, v)
+			}
+		}
+		b.Insns = kept
+	}
+}
+
+// replaceWithConstInt mutates v into an integer constant in place.
+func replaceWithConstInt(v *Value, imm int64) {
+	v.Op = OpConstInt
+	v.Type = TInt
+	v.Args = nil
+	v.Imm = imm
+}
+
+// replaceWithConstFloat mutates v into a float constant in place.
+func replaceWithConstFloat(v *Value, fval float64) {
+	v.Op = OpConstFloat
+	v.Type = TFloat
+	v.Args = nil
+	v.F = fval
+}
+
+// RunPassForTest runs one registered pass at default (or given) parameters —
+// a test hook for verifier and differential harnesses.
+func RunPassForTest(f *Function, name string, params map[string]int) error {
+	info, ok := PassByName(name)
+	if !ok {
+		return fmt.Errorf("lir: unknown pass %q", name)
+	}
+	ctx := &PassContext{}
+	return info.Run(f, ctx, resolveParams(info, params))
+}

@@ -1,0 +1,189 @@
+package lir
+
+import (
+	"fmt"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/machine"
+)
+
+// PassSpec selects one pass application with explicit parameters (defaults
+// fill unspecified ones).
+type PassSpec struct {
+	Name   string
+	Params map[string]int
+}
+
+// Config is one point in the toolchain's optimization space: the opt-style
+// pass sequence plus the llc-style lowering options. GA genomes decode to
+// Configs.
+type Config struct {
+	Passes []PassSpec
+	Lower  LowerOpts
+}
+
+// maxPipelineLength bounds genome-supplied pass sequences; longer pipelines
+// are a compile timeout.
+const maxPipelineLength = 128
+
+// resolveParams merges defaults with explicit settings, clamping to spec
+// ranges.
+func resolveParams(info *PassInfo, explicit map[string]int) map[string]int {
+	out := make(map[string]int, len(info.Params))
+	for _, ps := range info.Params {
+		v := ps.Default
+		if e, ok := explicit[ps.Name]; ok {
+			v = e
+		}
+		if v < ps.Min {
+			v = ps.Min
+		}
+		if v > ps.Max {
+			v = ps.Max
+		}
+		out[ps.Name] = v
+	}
+	return out
+}
+
+// CompileMethod builds, optimizes, and lowers one method under cfg.
+// Compiler crashes (pass panics and explicit CrashErrors) and timeouts are
+// returned as their typed errors; the caller classifies outcomes (Fig. 1).
+func CompileMethod(prog *dex.Program, id dex.MethodID, cfg Config, prof *Profile) (fn *machine.Fn, err error) {
+	m := prog.Methods[id]
+	if m.Uncompilable {
+		return nil, &CrashError{Pass: "frontend", Msg: "method " + m.Name + " is not compilable"}
+	}
+	if len(cfg.Passes) > maxPipelineLength {
+		return nil, &TimeoutError{Pass: "pipeline", Msg: fmt.Sprintf("%d passes exceed the step budget", len(cfg.Passes))}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fn = nil
+			err = &CrashError{Pass: "pipeline", Msg: fmt.Sprint(r)}
+		}
+	}()
+	f, err := BuildSSA(prog, id)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &PassContext{Profile: prof}
+	for _, spec := range cfg.Passes {
+		info, ok := PassByName(spec.Name)
+		if !ok {
+			return nil, &CrashError{Pass: spec.Name, Msg: "unknown pass"}
+		}
+		if err := info.Run(f, ctx, resolveParams(info, spec.Params)); err != nil {
+			return nil, err
+		}
+		if err := ctx.checkGrowth(f, spec.Name); err != nil {
+			return nil, err
+		}
+	}
+	mfn, err := Lower(f, cfg.Lower)
+	if err != nil {
+		return nil, err
+	}
+	mfn.Method = id
+	return mfn, nil
+}
+
+// Compile compiles the given methods under cfg into one code image. Methods
+// is typically the hot region's method set (§3.1); pass nil to compile every
+// compilable method.
+func Compile(prog *dex.Program, methods []dex.MethodID, cfg Config, prof *Profile) (*machine.Program, error) {
+	if methods == nil {
+		for i := range prog.Methods {
+			if !prog.Methods[i].Uncompilable {
+				methods = append(methods, dex.MethodID(i))
+			}
+		}
+	}
+	out := machine.NewProgram()
+	for _, id := range methods {
+		fn, err := CompileMethod(prog, id, cfg, prof)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %s: %w", prog.Methods[id].Name, err)
+		}
+		out.Fns[id] = fn
+	}
+	return out, nil
+}
+
+// Presets. O0 is a straight lowering; O1-O3 grow the pipeline the way the
+// real toolchain's levels do. Note what O3 deliberately lacks: the custom
+// GC-check deduplication (gccheckelim) and profile-guided devirtualization —
+// the headroom the GA search exploits (§5.1).
+
+// O0 disables optimization entirely.
+func O0() Config {
+	return Config{Lower: LowerOpts{Machine: machine.DefaultLowerOpts()}}
+}
+
+// O1 applies cheap canonicalization and local cleanups.
+func O1() Config {
+	return Config{
+		Passes: []PassSpec{
+			{Name: "phisimplify"},
+			{Name: "constfold"},
+			{Name: "instcombine"},
+			{Name: "simplifycfg"},
+			{Name: "gvn"},
+			{Name: "dce"},
+		},
+		Lower: LowerOpts{
+			FusedAddressing: true,
+			Machine:         machine.LowerOpts{FuseLiterals: true, NumRegs: 26},
+		},
+	}
+}
+
+// O2 adds inlining, memory optimization, and loop-invariant code motion.
+func O2() Config {
+	c := O1()
+	c.Passes = append(c.Passes,
+		PassSpec{Name: "inline", Params: map[string]int{"threshold": 40}},
+		PassSpec{Name: "intrinsics"},
+		PassSpec{Name: "storeforward"},
+		PassSpec{Name: "dse"},
+		PassSpec{Name: "licm"},
+		PassSpec{Name: "gvn"},
+		PassSpec{Name: "bce"},
+		PassSpec{Name: "sink"},
+		PassSpec{Name: "simplifycfg"},
+		PassSpec{Name: "dce"},
+	)
+	c.Lower.Machine.FuseMaddInt = true
+	return c
+}
+
+// O3 adds aggressive inlining, reassociation, conservative unrolling (only
+// constant trip counts, like the real heuristics), and scheduling.
+func O3() Config {
+	c := O2()
+	c.Passes = append(c.Passes,
+		PassSpec{Name: "inline", Params: map[string]int{"threshold": 120}},
+		PassSpec{Name: "reassoc"},
+		PassSpec{Name: "unroll", Params: map[string]int{"factor": 4, "const-trip-only": 1}},
+		PassSpec{Name: "gvn"},
+		PassSpec{Name: "simplifycfg"},
+		PassSpec{Name: "dce"},
+	)
+	c.Lower.Machine.Schedule = true
+	return c
+}
+
+// Preset returns the named preset config.
+func Preset(name string) (Config, bool) {
+	switch name {
+	case "O0", "-O0":
+		return O0(), true
+	case "O1", "-O1":
+		return O1(), true
+	case "O2", "-O2":
+		return O2(), true
+	case "O3", "-O3":
+		return O3(), true
+	}
+	return Config{}, false
+}

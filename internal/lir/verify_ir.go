@@ -1,0 +1,126 @@
+package lir
+
+import "fmt"
+
+// VerifyIR checks structural SSA invariants; passes are tested against it
+// and the pipeline can assert it between stages when debugging. Returns the
+// first violation found.
+func VerifyIR(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("lir-verify: %s has no blocks", f.Name)
+	}
+	inFunc := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		if inFunc[b] {
+			return fmt.Errorf("lir-verify: block b%d listed twice", b.ID)
+		}
+		inFunc[b] = true
+	}
+	defined := map[*Value]*Block{}
+	for _, b := range f.Blocks {
+		for _, p := range b.Phis {
+			if p.Op != OpPhi {
+				return fmt.Errorf("lir-verify: non-phi %s in b%d's phi list", p.Op, b.ID)
+			}
+			if len(p.Args) != len(b.Preds) {
+				return fmt.Errorf("lir-verify: phi v%d in b%d has %d args for %d preds",
+					p.ID, b.ID, len(p.Args), len(b.Preds))
+			}
+			if prev, dup := defined[p]; dup {
+				return fmt.Errorf("lir-verify: value v%d defined in b%d and b%d", p.ID, prev.ID, b.ID)
+			}
+			defined[p] = b
+		}
+		for i, v := range b.Insns {
+			if v.Op == OpPhi {
+				return fmt.Errorf("lir-verify: phi v%d in b%d's instruction list", v.ID, b.ID)
+			}
+			if prev, dup := defined[v]; dup {
+				return fmt.Errorf("lir-verify: value v%d defined in b%d and b%d", v.ID, prev.ID, b.ID)
+			}
+			defined[v] = b
+			if v.IsTerminator() && i != len(b.Insns)-1 {
+				return fmt.Errorf("lir-verify: terminator %s mid-block in b%d", v.Op, b.ID)
+			}
+		}
+		t := b.Term()
+		if t == nil {
+			return fmt.Errorf("lir-verify: b%d has no terminator", b.ID)
+		}
+		switch t.Op {
+		case OpBranch:
+			if len(b.Succs) != 2 {
+				return fmt.Errorf("lir-verify: branch block b%d has %d succs", b.ID, len(b.Succs))
+			}
+		case OpJump:
+			if len(b.Succs) != 1 {
+				return fmt.Errorf("lir-verify: jump block b%d has %d succs", b.ID, len(b.Succs))
+			}
+		case OpReturn, OpThrow:
+			if len(b.Succs) != 0 {
+				return fmt.Errorf("lir-verify: exit block b%d has %d succs", b.ID, len(b.Succs))
+			}
+		}
+	}
+	// Edge symmetry and duplicate-free value IDs.
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if !inFunc[s] {
+				return fmt.Errorf("lir-verify: b%d's successor b%d is not in the function", b.ID, s.ID)
+			}
+			found := 0
+			for _, p := range s.Preds {
+				if p == b {
+					found++
+				}
+			}
+			want := 0
+			for _, s2 := range b.Succs {
+				if s2 == s {
+					want++
+				}
+			}
+			if found != want {
+				return fmt.Errorf("lir-verify: edge b%d->b%d: %d pred entries for %d succ entries",
+					b.ID, s.ID, found, want)
+			}
+		}
+		for _, p := range b.Preds {
+			if !inFunc[p] {
+				return fmt.Errorf("lir-verify: b%d's predecessor b%d is not in the function", b.ID, p.ID)
+			}
+		}
+	}
+	// Every argument must be defined somewhere in the function.
+	ids := map[int]*Value{}
+	check := func(v *Value, user string) error {
+		for _, a := range v.Args {
+			if a == nil {
+				return fmt.Errorf("lir-verify: nil argument in %s", user)
+			}
+			if _, ok := defined[a]; !ok {
+				return fmt.Errorf("lir-verify: %s uses v%d (%s) which is not defined in the function",
+					user, a.ID, a.Op)
+			}
+		}
+		if prev, dup := ids[v.ID]; dup && prev != v {
+			return fmt.Errorf("lir-verify: two distinct values share ID v%d (%s and %s)",
+				v.ID, prev.Op, v.Op)
+		}
+		ids[v.ID] = v
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for _, p := range b.Phis {
+			if err := check(p, fmt.Sprintf("phi v%d in b%d", p.ID, b.ID)); err != nil {
+				return err
+			}
+		}
+		for _, v := range b.Insns {
+			if err := check(v, fmt.Sprintf("v%d (%s) in b%d", v.ID, v.Op, b.ID)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

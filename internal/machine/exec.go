@@ -1,0 +1,511 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/mem"
+	"replayopt/internal/rt"
+)
+
+// ErrTimeout is returned when compiled execution exceeds the cycle budget.
+var ErrTimeout = errors.New("machine: cycle budget exhausted")
+
+// ErrStackOverflow is returned on runaway managed recursion.
+var ErrStackOverflow = errors.New("machine: call stack overflow")
+
+const maxDepth = 512
+
+// CaptureHook intercepts the entry of one method (the hot region): the
+// runtime's injected capture check (§3.2 step 1). Wrap is called once with
+// the region's entry arguments and a continuation that executes the region;
+// it decides whether to snapshot around it.
+type CaptureHook struct {
+	Method dex.MethodID
+	Wrap   func(args []uint64, call func() (uint64, error)) (uint64, error)
+	fired  bool
+}
+
+// Rearm allows the hook to fire again at the region's next entry (used when
+// a capture was postponed, e.g. because a GC was imminent).
+func (h *CaptureHook) Rearm() { h.fired = false }
+
+// Exec runs compiled code against a process. Methods missing from Code fall
+// back to the interpreter (sharing the same process and native state), which
+// is how cold and uncompilable code executes in a mixed-mode runtime.
+type Exec struct {
+	Proc *rt.Process
+	Code *Program
+	// Fallback interprets uncompiled callees; it must share Proc.
+	Fallback *interp.Env
+
+	Cycles    uint64
+	MaxCycles uint64
+
+	// SamplePeriod > 0 enables the sampling profiler (same interface as the
+	// interpreter's, so profiles cover compiled execution).
+	SamplePeriod uint64
+	Sampler      interp.Sampler
+	nextSample   uint64
+
+	// Hook, when set, intercepts the first call to Hook.Method.
+	Hook *CaptureHook
+
+	// Trace, when set, observes every executed instruction (debugging).
+	Trace func(m dex.MethodID, pc int)
+
+	stack         []dex.MethodID
+	currentNative dex.NativeID
+
+	depth int
+}
+
+// NewExec wires an executor with an interpreter fallback over the same
+// process and native state.
+func NewExec(proc *rt.Process, code *Program) *Exec {
+	return &Exec{Proc: proc, Code: code, Fallback: interp.NewEnv(proc), currentNative: -1}
+}
+
+func (x *Exec) charge(c uint64) error {
+	x.Cycles += c
+	if x.SamplePeriod > 0 && x.Sampler != nil && x.Cycles >= x.nextSample {
+		x.Sampler.Sample(x.stack, x.currentNative)
+		for x.nextSample <= x.Cycles {
+			x.nextSample += x.SamplePeriod
+		}
+	}
+	if x.MaxCycles > 0 && x.Cycles > x.MaxCycles {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// Call executes method id with args, using compiled code when available.
+func (x *Exec) Call(id dex.MethodID, args []uint64) (uint64, error) {
+	if h := x.Hook; h != nil && h.Method == id && !h.fired {
+		h.fired = true
+		return h.Wrap(args, func() (uint64, error) { return x.callNoHook(id, args) })
+	}
+	return x.callNoHook(id, args)
+}
+
+func (x *Exec) callNoHook(id dex.MethodID, args []uint64) (uint64, error) {
+	fn, ok := x.Code.Fns[id]
+	if !ok {
+		// Interpreter bridge: synchronize cycle clocks across the
+		// transition so mixed-mode time adds up.
+		if err := x.charge(costInterpBridge); err != nil {
+			return 0, err
+		}
+		x.Fallback.ResetClock()
+		x.Fallback.MaxCycles = 0
+		if x.MaxCycles > 0 {
+			x.Fallback.MaxCycles = x.MaxCycles - x.Cycles
+		}
+		x.Fallback.SamplePeriod = x.SamplePeriod
+		x.Fallback.Sampler = x.Sampler
+		ret, err := x.Fallback.Call(id, args)
+		cerr := x.charge(x.Fallback.Cycles)
+		if err != nil {
+			return 0, err
+		}
+		if cerr != nil {
+			return 0, cerr
+		}
+		return ret, nil
+	}
+	return x.run(fn, args)
+}
+
+func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
+	if x.depth >= maxDepth {
+		return 0, ErrStackOverflow
+	}
+	x.depth++
+	x.stack = append(x.stack, fn.Method)
+	defer func() {
+		x.depth--
+		x.stack = x.stack[:len(x.stack)-1]
+	}()
+	if err := x.charge(costFrame); err != nil {
+		return 0, err
+	}
+
+	regs := make([]uint64, fn.NumRegs)
+	copy(regs, args)
+	var spills []uint64
+	if fn.NumSpills > 0 {
+		spills = make([]uint64, fn.NumSpills)
+	}
+	prog := x.Proc.Prog
+	space := x.Proc.Space
+
+	prevDest := -1
+	var prevLatency uint64
+	var readBuf [8]int
+
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(fn.Code) {
+			return 0, fmt.Errorf("machine: pc %d out of range in %s", pc, prog.Methods[fn.Method].Name)
+		}
+		in := &fn.Code[pc]
+		if x.Trace != nil {
+			x.Trace(fn.Method, pc)
+		}
+		cost := opCost[in.Op]
+
+		// Read-after-write stall against the previous instruction.
+		if prevDest >= 0 && prevLatency > 0 {
+			for _, r := range in.reads(readBuf[:]) {
+				if r == prevDest {
+					cost += prevLatency
+					break
+				}
+			}
+		}
+		if err := x.charge(cost); err != nil {
+			return 0, err
+		}
+		prevDest = in.writes()
+		prevLatency = opLatency[in.Op]
+
+		opB := func() int64 { return int64(regs[in.B]) }
+		opC := func() int64 {
+			if in.C < 0 {
+				return in.Disp
+			}
+			return int64(regs[in.C])
+		}
+		fB := func() float64 { return rt.U2F(regs[in.B]) }
+		fC := func() float64 {
+			if in.C < 0 {
+				return in.F
+			}
+			return rt.U2F(regs[in.C])
+		}
+
+		switch in.Op {
+		case Nop:
+		case Ldi:
+			regs[in.A] = uint64(in.Imm)
+		case Ldf:
+			regs[in.A] = rt.F2U(in.F)
+		case Mov:
+			regs[in.A] = regs[in.B]
+
+		case Add:
+			regs[in.A] = uint64(opB() + opC())
+		case Sub:
+			regs[in.A] = uint64(opB() - opC())
+		case Mul:
+			regs[in.A] = uint64(opB() * opC())
+		case Div:
+			c := opC()
+			if c == 0 {
+				return 0, &rt.Trap{Kind: rt.TrapDivZero}
+			}
+			regs[in.A] = uint64(opB() / c)
+		case Rem:
+			c := opC()
+			if c == 0 {
+				return 0, &rt.Trap{Kind: rt.TrapDivZero}
+			}
+			regs[in.A] = uint64(opB() % c)
+		case And:
+			regs[in.A] = uint64(opB() & opC())
+		case Or:
+			regs[in.A] = uint64(opB() | opC())
+		case Xor:
+			regs[in.A] = uint64(opB() ^ opC())
+		case Shl:
+			regs[in.A] = uint64(opB() << (uint64(opC()) & 63))
+		case Shr:
+			regs[in.A] = uint64(opB() >> (uint64(opC()) & 63))
+		case Neg:
+			regs[in.A] = uint64(-opB())
+
+		case FAdd:
+			regs[in.A] = rt.F2U(fB() + fC())
+		case FSub:
+			regs[in.A] = rt.F2U(fB() - fC())
+		case FMul:
+			regs[in.A] = rt.F2U(fB() * fC())
+		case FDiv:
+			regs[in.A] = rt.F2U(fB() / fC())
+		case FNeg:
+			regs[in.A] = rt.F2U(-fB())
+
+		case Madd:
+			regs[in.A] = uint64(int64(regs[in.B])*int64(regs[in.C]) + int64(regs[in.D]))
+		case FMadd:
+			// Fused: single rounding, like a hardware FMA.
+			regs[in.A] = rt.F2U(math.FMA(rt.U2F(regs[in.B]), rt.U2F(regs[in.C]), rt.U2F(regs[in.D])))
+
+		case I2F:
+			regs[in.A] = rt.F2U(float64(opB()))
+		case F2I:
+			regs[in.A] = uint64(int64(fB()))
+		case FCmp:
+			a, b := fB(), fC()
+			switch {
+			case a > b:
+				regs[in.A] = 1
+			case a == b:
+				regs[in.A] = 0
+			default:
+				regs[in.A] = ^uint64(0)
+			}
+
+		case Load:
+			addr := mem.Addr(regs[in.B]) + mem.Addr(in.Disp)
+			if in.C >= 0 {
+				addr += mem.Addr(int64(regs[in.C]) * 8)
+			}
+			v, err := space.ReadU64(addr)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.A] = v
+		case Store:
+			addr := mem.Addr(regs[in.B]) + mem.Addr(in.Disp)
+			if in.C >= 0 {
+				addr += mem.Addr(int64(regs[in.C]) * 8)
+			}
+			if err := space.WriteU64(addr, regs[in.A]); err != nil {
+				return 0, err
+			}
+
+		case ArrLen:
+			n, err := x.Proc.ArrayLen(mem.Addr(regs[in.B]))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.A] = uint64(n)
+		case Bound:
+			n, err := x.Proc.ArrayLen(mem.Addr(regs[in.B]))
+			if err != nil {
+				return 0, err
+			}
+			idx := int64(regs[in.C])
+			if idx < 0 || idx >= n {
+				return 0, &rt.Trap{Kind: rt.TrapBounds, Addr: mem.Addr(regs[in.B])}
+			}
+		case NullChk:
+			if regs[in.B] == 0 {
+				return 0, &rt.Trap{Kind: rt.TrapNull}
+			}
+
+		case NewArr:
+			n := int64(regs[in.B])
+			if err := x.charge(costAllocBase + costAllocPerWord*uint64(maxI64(n, 0))); err != nil {
+				return 0, err
+			}
+			ref, err := x.Proc.NewArray(dex.Kind(in.Sym), n)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.A] = uint64(ref)
+		case NewObj:
+			cls := prog.Classes[in.Sym]
+			if err := x.charge(costAllocBase + costAllocPerWord*uint64(len(cls.Fields))); err != nil {
+				return 0, err
+			}
+			ref, err := x.Proc.NewObject(dex.ClassID(in.Sym))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.A] = uint64(ref)
+
+		case Br:
+			b, c := opB(), opC()
+			var take bool
+			switch in.Cond {
+			case CondEq:
+				take = b == c
+			case CondNe:
+				take = b != c
+			case CondLt:
+				take = b < c
+			case CondLe:
+				take = b <= c
+			case CondGt:
+				take = b > c
+			case CondGe:
+				take = b >= c
+			}
+			// Prediction cost.
+			switch in.Hint {
+			case HintNone:
+				if err := x.charge(costBranchAverage); err != nil {
+					return 0, err
+				}
+			case HintTaken:
+				if !take {
+					if err := x.charge(costBranchMispredict); err != nil {
+						return 0, err
+					}
+				}
+			case HintNotTaken:
+				if take {
+					if err := x.charge(costBranchMispredict); err != nil {
+						return 0, err
+					}
+				}
+			}
+			if take {
+				pc = int(in.Imm)
+				prevDest = -1
+				continue
+			}
+		case Jmp:
+			pc = int(in.Imm)
+			prevDest = -1
+			continue
+
+		case Call, CallV:
+			if err := x.charge(2); err != nil { // safepoint check at calls
+				return 0, err
+			}
+			if x.Proc.Safepoint() {
+				if err := x.charge(CostGCCollection); err != nil {
+					return 0, err
+				}
+			}
+			callArgs := make([]uint64, len(in.Args))
+			for i, r := range in.Args {
+				callArgs[i] = regs[r]
+			}
+			target := dex.MethodID(in.Sym)
+			if in.Op == CallV {
+				if err := x.charge(costVirtualDispatch); err != nil {
+					return 0, err
+				}
+				cls, err := x.Proc.ObjectClass(mem.Addr(callArgs[0]))
+				if err != nil {
+					return 0, err
+				}
+				target = prog.Resolve(target, cls)
+			}
+			ret, err := x.Call(target, callArgs)
+			if err != nil {
+				return 0, err
+			}
+			if in.A >= 0 {
+				regs[in.A] = ret
+			}
+
+		case CallN:
+			if err := x.charge(costNativeBridge); err != nil {
+				return 0, err
+			}
+			callArgs := make([]uint64, len(in.Args))
+			for i, r := range in.Args {
+				callArgs[i] = regs[r]
+			}
+			impl := x.Fallback.Natives[in.Sym]
+			if impl == nil {
+				return 0, fmt.Errorf("machine: native %s not bound", prog.Natives[in.Sym].Name)
+			}
+			ret, ncost, err := impl(x.Fallback, callArgs)
+			if err != nil {
+				return 0, err
+			}
+			x.currentNative = dex.NativeID(in.Sym)
+			cerr := x.charge(ncost)
+			x.currentNative = -1
+			if cerr != nil {
+				return 0, cerr
+			}
+			if in.A >= 0 {
+				regs[in.A] = ret
+			}
+
+		case Intr:
+			v, icost, err := x.intrinsic(dex.IntrinsicKind(in.Sym), in.Args, regs)
+			if err != nil {
+				return 0, err
+			}
+			if err := x.charge(icost); err != nil {
+				return 0, err
+			}
+			regs[in.A] = v
+
+		case GCChk:
+			if x.Proc.Safepoint() {
+				if err := x.charge(CostGCCollection); err != nil {
+					return 0, err
+				}
+			}
+
+		case Ret:
+			return regs[in.A], nil
+		case RetVoid:
+			return 0, nil
+		case Throw:
+			return 0, &interp.ThrownError{Value: regs[in.A], Method: prog.Methods[fn.Method].Name}
+
+		case SpillSt:
+			spills[in.Imm] = regs[in.B]
+		case SpillLd:
+			regs[in.A] = spills[in.Imm]
+
+		default:
+			return 0, fmt.Errorf("machine: unimplemented opcode %s", in.Op)
+		}
+		pc++
+	}
+}
+
+func (x *Exec) intrinsic(kind dex.IntrinsicKind, args []int, regs []uint64) (uint64, uint64, error) {
+	cost := intrinsicCost[int(kind)]
+	a0 := func() float64 { return rt.U2F(regs[args[0]]) }
+	i0 := func() int64 { return int64(regs[args[0]]) }
+	switch kind {
+	case dex.IntrinsicSqrt:
+		return rt.F2U(math.Sqrt(a0())), cost, nil
+	case dex.IntrinsicSin:
+		return rt.F2U(math.Sin(a0())), cost, nil
+	case dex.IntrinsicCos:
+		return rt.F2U(math.Cos(a0())), cost, nil
+	case dex.IntrinsicLog:
+		return rt.F2U(math.Log(a0())), cost, nil
+	case dex.IntrinsicExp:
+		return rt.F2U(math.Exp(a0())), cost, nil
+	case dex.IntrinsicPow:
+		return rt.F2U(math.Pow(a0(), rt.U2F(regs[args[1]]))), cost, nil
+	case dex.IntrinsicAbsFloat:
+		return rt.F2U(math.Abs(a0())), cost, nil
+	case dex.IntrinsicFloor:
+		return rt.F2U(math.Floor(a0())), cost, nil
+	case dex.IntrinsicAbsInt:
+		v := i0()
+		if v < 0 {
+			v = -v
+		}
+		return uint64(v), cost, nil
+	case dex.IntrinsicMinInt:
+		a, b := i0(), int64(regs[args[1]])
+		if a < b {
+			return uint64(a), cost, nil
+		}
+		return uint64(b), cost, nil
+	case dex.IntrinsicMaxInt:
+		a, b := i0(), int64(regs[args[1]])
+		if a > b {
+			return uint64(a), cost, nil
+		}
+		return uint64(b), cost, nil
+	}
+	return 0, 0, fmt.Errorf("machine: unknown intrinsic %d", kind)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,507 @@
+// Package mem implements the simulated virtual-memory subsystem the capture
+// and replay mechanisms are built on: fixed-size pages with independent
+// protection bits, fault handlers, region maps (the /proc/self/maps
+// analogue), and a refcounted Copy-on-Write fork.
+//
+// The interpreter and the machine-code executor perform every heap, static,
+// and runtime access through an AddressSpace, so page protection observes
+// exactly the set of pages a code region touches — the property the paper's
+// online capture (§3.2) exploits.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of a virtual page in bytes. 4 KiB, as on the paper's
+// target hardware.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Addr is a virtual address.
+type Addr uint64
+
+// PageBase returns the page-aligned base of a.
+func (a Addr) PageBase() Addr { return a &^ (PageSize - 1) }
+
+// PageOffset returns the offset of a within its page.
+func (a Addr) PageOffset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// Prot is a page protection bitmask.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+// Common protection combinations.
+const (
+	ProtNone Prot = 0
+	ProtRW        = ProtRead | ProtWrite
+	ProtRX        = ProtRead | ProtExec
+)
+
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// page is a physical page frame. Frames are shared between forked address
+// spaces until a write forces a copy (Copy-on-Write).
+type page struct {
+	data [PageSize]byte
+	refs int // number of address spaces mapping this frame
+}
+
+// mapping is one page-table entry: a frame plus per-space protection.
+type mapping struct {
+	frame *page
+	prot  Prot
+}
+
+// Region describes a contiguous range of the address space, mirroring one
+// line of /proc/self/maps.
+type Region struct {
+	Start Addr   // inclusive, page aligned
+	End   Addr   // exclusive, page aligned
+	Prot  Prot   // protection the region was mapped with
+	Name  string // e.g. "[heap]", "[stack]", "runtime.art", "app.oat"
+	// FileBacked regions hold immutable, system-wide content (mapped
+	// system files); the capture mechanism logs them by name instead of
+	// storing their pages (§3.2).
+	FileBacked bool
+	// RuntimeAux regions cannot be read-protected without crashing the
+	// process (runtime internals, GC auxiliary structures); capture always
+	// stores them (§3.2).
+	RuntimeAux bool
+	// BootCommon regions hold runtime-immutable objects identical across
+	// every process created during the same device boot; capture stores
+	// them once per boot (§3.2, Fig. 11 "Common").
+	BootCommon bool
+}
+
+// Size returns the region length in bytes.
+func (r Region) Size() uint64 { return uint64(r.End - r.Start) }
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Start && a < r.End }
+
+func (r Region) String() string {
+	return fmt.Sprintf("%012x-%012x %s %s", uint64(r.Start), uint64(r.End), r.Prot, r.Name)
+}
+
+// FaultKind distinguishes the access that triggered a fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultRead FaultKind = iota
+	FaultWrite
+	FaultExec
+)
+
+// FaultHandler is invoked when an access violates a page's protection.
+// Returning true means the handler resolved the fault (typically by changing
+// protections) and the access must be retried; returning false turns the
+// fault into an AccessError.
+type FaultHandler func(space *AddressSpace, addr Addr, kind FaultKind) bool
+
+// AccessError reports an unresolved protection violation or an access to an
+// unmapped address.
+type AccessError struct {
+	Addr   Addr
+	Kind   FaultKind
+	Mapped bool
+}
+
+func (e *AccessError) Error() string {
+	what := [...]string{"read", "write", "exec"}[e.Kind]
+	if !e.Mapped {
+		return fmt.Sprintf("mem: %s fault at %#x: address not mapped", what, uint64(e.Addr))
+	}
+	return fmt.Sprintf("mem: %s fault at %#x: protection violation", what, uint64(e.Addr))
+}
+
+// Counters aggregates the events the device overhead model charges for.
+type Counters struct {
+	ReadFaults  uint64 // read-protection faults taken
+	WriteFaults uint64
+	CoWCopies   uint64 // frames duplicated by Copy-on-Write
+	PagesMapped uint64
+}
+
+// AddressSpace is one process's page table plus its region map.
+type AddressSpace struct {
+	pages    map[Addr]*mapping
+	regions  []Region
+	handler  FaultHandler
+	counters Counters
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[Addr]*mapping)}
+}
+
+// SetFaultHandler installs h as the space's fault handler; nil uninstalls.
+func (s *AddressSpace) SetFaultHandler(h FaultHandler) { s.handler = h }
+
+// Counters returns a snapshot of the space's event counters.
+func (s *AddressSpace) Counters() Counters { return s.counters }
+
+// ResetCounters zeroes the event counters.
+func (s *AddressSpace) ResetCounters() { s.counters = Counters{} }
+
+// Map creates a region of n bytes (rounded up to whole pages) at base with
+// the given protection, allocating zeroed frames.
+func (s *AddressSpace) Map(base Addr, n uint64, prot Prot, name string) Region {
+	if base.PageOffset() != 0 {
+		panic(fmt.Sprintf("mem: unaligned Map base %#x", uint64(base)))
+	}
+	npages := (n + PageSize - 1) / PageSize
+	for i := uint64(0); i < npages; i++ {
+		pa := base + Addr(i*PageSize)
+		if _, ok := s.pages[pa]; ok {
+			panic(fmt.Sprintf("mem: Map overlaps existing page at %#x", uint64(pa)))
+		}
+		s.pages[pa] = &mapping{frame: &page{refs: 1}, prot: prot}
+		s.counters.PagesMapped++
+	}
+	r := Region{Start: base, End: base + Addr(npages*PageSize), Prot: prot, Name: name}
+	s.regions = append(s.regions, r)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Start < s.regions[j].Start })
+	return r
+}
+
+// MapRegion is Map with full region metadata control.
+func (s *AddressSpace) MapRegion(r Region) Region {
+	got := s.Map(r.Start, r.Size(), r.Prot, r.Name)
+	for i := range s.regions {
+		if s.regions[i].Start == got.Start {
+			s.regions[i].FileBacked = r.FileBacked
+			s.regions[i].RuntimeAux = r.RuntimeAux
+			s.regions[i].BootCommon = r.BootCommon
+			return s.regions[i]
+		}
+	}
+	return got
+}
+
+// Unmap removes every page of the region starting at base. It is the inverse
+// of Map; unmapping an address that is not a region start panics.
+func (s *AddressSpace) Unmap(base Addr) {
+	idx := -1
+	for i, r := range s.regions {
+		if r.Start == base {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("mem: Unmap of non-region base %#x", uint64(base)))
+	}
+	r := s.regions[idx]
+	for pa := r.Start; pa < r.End; pa += PageSize {
+		if m, ok := s.pages[pa]; ok {
+			m.frame.refs--
+			delete(s.pages, pa)
+		}
+	}
+	s.regions = append(s.regions[:idx], s.regions[idx+1:]...)
+}
+
+// Regions returns the space's region map in address order — the
+// /proc/self/maps analogue the capture mechanism parses (§3.2 step 3).
+func (s *AddressSpace) Regions() []Region {
+	out := make([]Region, len(s.regions))
+	copy(out, s.regions)
+	return out
+}
+
+// RegionFor returns the region containing a, if any.
+func (s *AddressSpace) RegionFor(a Addr) (Region, bool) {
+	for _, r := range s.regions {
+		if r.Contains(a) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Mapped reports whether the page containing a is mapped.
+func (s *AddressSpace) Mapped(a Addr) bool {
+	_, ok := s.pages[a.PageBase()]
+	return ok
+}
+
+// PageCount returns the number of mapped pages.
+func (s *AddressSpace) PageCount() int { return len(s.pages) }
+
+// MappedPages returns the page-aligned addresses of every mapped page,
+// sorted.
+func (s *AddressSpace) MappedPages() []Addr {
+	out := make([]Addr, 0, len(s.pages))
+	for pa := range s.pages {
+		out = append(out, pa)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Protect sets the protection of the page containing a.
+func (s *AddressSpace) Protect(a Addr, prot Prot) error {
+	m, ok := s.pages[a.PageBase()]
+	if !ok {
+		return &AccessError{Addr: a, Kind: FaultRead, Mapped: false}
+	}
+	m.prot = prot
+	return nil
+}
+
+// ProtectRange sets the protection of every page in [start, end).
+func (s *AddressSpace) ProtectRange(start, end Addr, prot Prot) error {
+	for pa := start.PageBase(); pa < end; pa += PageSize {
+		if err := s.Protect(pa, prot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProtOf returns the current protection of the page containing a.
+func (s *AddressSpace) ProtOf(a Addr) (Prot, bool) {
+	m, ok := s.pages[a.PageBase()]
+	if !ok {
+		return 0, false
+	}
+	return m.prot, true
+}
+
+// resolve returns the mapping for an access, running the fault handler as
+// needed. want is the protection bit the access requires.
+func (s *AddressSpace) resolve(a Addr, kind FaultKind, want Prot) (*mapping, error) {
+	for attempt := 0; ; attempt++ {
+		m, ok := s.pages[a.PageBase()]
+		if !ok {
+			return nil, &AccessError{Addr: a, Kind: kind, Mapped: false}
+		}
+		if m.prot&want != 0 {
+			return m, nil
+		}
+		switch kind {
+		case FaultRead:
+			s.counters.ReadFaults++
+		case FaultWrite:
+			s.counters.WriteFaults++
+		}
+		if s.handler == nil || attempt > 0 || !s.handler(s, a, kind) {
+			return nil, &AccessError{Addr: a, Kind: kind, Mapped: true}
+		}
+	}
+}
+
+// writableFrame returns m's frame, duplicating it first if it is shared
+// (Copy-on-Write).
+func (s *AddressSpace) writableFrame(m *mapping) *page {
+	if m.frame.refs > 1 {
+		dup := &page{data: m.frame.data, refs: 1}
+		m.frame.refs--
+		m.frame = dup
+		s.counters.CoWCopies++
+	}
+	return m.frame
+}
+
+// ReadAt copies len(p) bytes starting at a into p, honoring protections. The
+// access may span pages.
+func (s *AddressSpace) ReadAt(p []byte, a Addr) error {
+	for len(p) > 0 {
+		m, err := s.resolve(a, FaultRead, ProtRead)
+		if err != nil {
+			return err
+		}
+		off := a.PageOffset()
+		n := copy(p, m.frame.data[off:])
+		p = p[n:]
+		a += Addr(n)
+	}
+	return nil
+}
+
+// WriteAt copies p into the space starting at a, honoring protections and
+// performing Copy-on-Write duplication of shared frames.
+func (s *AddressSpace) WriteAt(p []byte, a Addr) error {
+	for len(p) > 0 {
+		m, err := s.resolve(a, FaultWrite, ProtWrite)
+		if err != nil {
+			return err
+		}
+		f := s.writableFrame(m)
+		off := a.PageOffset()
+		n := copy(f.data[off:], p)
+		p = p[n:]
+		a += Addr(n)
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit word at a. Words are 8-byte aligned
+// throughout the runtime, so a word never spans pages.
+func (s *AddressSpace) ReadU64(a Addr) (uint64, error) {
+	m, err := s.resolve(a, FaultRead, ProtRead)
+	if err != nil {
+		return 0, err
+	}
+	off := a.PageOffset()
+	if off+8 > PageSize {
+		var buf [8]byte
+		if err := s.ReadAt(buf[:], a); err != nil {
+			return 0, err
+		}
+		return leU64(buf[:]), nil
+	}
+	return leU64(m.frame.data[off : off+8]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit word at a.
+func (s *AddressSpace) WriteU64(a Addr, v uint64) error {
+	m, err := s.resolve(a, FaultWrite, ProtWrite)
+	if err != nil {
+		return err
+	}
+	f := s.writableFrame(m)
+	off := a.PageOffset()
+	if off+8 > PageSize {
+		var buf [8]byte
+		putLeU64(buf[:], v)
+		return s.WriteAt(buf[:], a)
+	}
+	putLeU64(f.data[off:off+8], v)
+	return nil
+}
+
+// PageData returns a copy of the page containing a, bypassing protection
+// (the kernel-side view used when spooling captured pages).
+func (s *AddressSpace) PageData(a Addr) ([]byte, bool) {
+	m, ok := s.pages[a.PageBase()]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, PageSize)
+	copy(out, m.frame.data[:])
+	return out, true
+}
+
+// SetPageData overwrites the page containing a, bypassing protection (loader
+// use only). The page must be mapped.
+func (s *AddressSpace) SetPageData(a Addr, data []byte) error {
+	m, ok := s.pages[a.PageBase()]
+	if !ok {
+		return &AccessError{Addr: a, Kind: FaultWrite, Mapped: false}
+	}
+	f := s.writableFrame(m)
+	copy(f.data[:], data)
+	return nil
+}
+
+// Frame is a sealed page frame that can back mappings in many address
+// spaces at once; writers Copy-on-Write it. Snapshot stores use frames so
+// replays load captured pages without copying them.
+type Frame struct{ p *page }
+
+// NewFrame seals data (up to PageSize bytes) into a shareable frame. The
+// data is copied once, here; every later mapping is zero-copy.
+func NewFrame(data []byte) *Frame {
+	f := &Frame{p: &page{refs: 1}}
+	copy(f.p.data[:], data)
+	return f
+}
+
+// MapFrames maps region r backed by the given frames, one per page; nil
+// entries get fresh zeroed private pages. Writers trigger Copy-on-Write, so
+// the frames themselves are never modified.
+func (s *AddressSpace) MapFrames(r Region, frames []*Frame) Region {
+	if r.Start.PageOffset() != 0 {
+		panic(fmt.Sprintf("mem: unaligned MapFrames base %#x", uint64(r.Start)))
+	}
+	npages := int(r.Size() / PageSize)
+	if len(frames) != npages {
+		panic(fmt.Sprintf("mem: MapFrames: %d frames for %d pages", len(frames), npages))
+	}
+	for i := 0; i < npages; i++ {
+		pa := r.Start + Addr(i*PageSize)
+		if _, ok := s.pages[pa]; ok {
+			panic(fmt.Sprintf("mem: MapFrames overlaps existing page at %#x", uint64(pa)))
+		}
+		if frames[i] == nil {
+			s.pages[pa] = &mapping{frame: &page{refs: 1}, prot: r.Prot}
+		} else {
+			frames[i].p.refs++
+			s.pages[pa] = &mapping{frame: frames[i].p, prot: r.Prot}
+		}
+		s.counters.PagesMapped++
+	}
+	s.regions = append(s.regions, r)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Start < s.regions[j].Start })
+	return r
+}
+
+// Fork returns a new address space sharing every frame with s via
+// Copy-on-Write, duplicating the region map — the §3.2 step-2 fork. The
+// child's pages keep their current protections; the child inherits no fault
+// handler.
+func (s *AddressSpace) Fork() *AddressSpace {
+	child := NewAddressSpace()
+	for pa, m := range s.pages {
+		m.frame.refs++
+		child.pages[pa] = &mapping{frame: m.frame, prot: m.prot}
+	}
+	child.regions = make([]Region, len(s.regions))
+	copy(child.regions, s.regions)
+	return child
+}
+
+// SharedFrames reports how many of s's pages still share a frame with
+// another space (i.e. have not been CoW-duplicated).
+func (s *AddressSpace) SharedFrames() int {
+	n := 0
+	for _, m := range s.pages {
+		if m.frame.refs > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func leU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,372 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageAlignmentHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if got := a.PageBase(); got != 0x12000 {
+		t.Errorf("PageBase(%#x) = %#x, want 0x12000", uint64(a), uint64(got))
+	}
+	if got := a.PageOffset(); got != 0x345 {
+		t.Errorf("PageOffset(%#x) = %#x, want 0x345", uint64(a), got)
+	}
+}
+
+func TestMapReadWriteRoundTrip(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0x10000, 3*PageSize, ProtRW, "[heap]")
+	want := []byte("hello, paged world")
+	if err := s.WriteAt(want, 0x10010); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(want))
+	if err := s.ReadAt(got, 0x10010); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("round trip = %q, want %q", got, want)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0x10000, 2*PageSize, ProtRW, "[heap]")
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	a := Addr(0x10000 + PageSize - 50)
+	if err := s.WriteAt(data, a); err != nil {
+		t.Fatalf("WriteAt spanning pages: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadAt(got, a); err != nil {
+		t.Fatalf("ReadAt spanning pages: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page round trip mismatch")
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0, PageSize, ProtRW, "x")
+	const v = 0xdeadbeefcafef00d
+	if err := s.WriteU64(8, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadU64(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Errorf("ReadU64 = %#x, want %#x", got, uint64(v))
+	}
+}
+
+func TestUnmappedAccessFails(t *testing.T) {
+	s := NewAddressSpace()
+	if _, err := s.ReadU64(0x9000); err == nil {
+		t.Fatal("read of unmapped address succeeded")
+	} else if ae, ok := err.(*AccessError); !ok || ae.Mapped {
+		t.Errorf("error = %v, want unmapped AccessError", err)
+	}
+}
+
+func TestProtectionViolation(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0, PageSize, ProtRead, "ro")
+	if err := s.WriteU64(0, 1); err == nil {
+		t.Fatal("write to read-only page succeeded")
+	}
+	if err := s.Protect(0, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadU64(0); err == nil {
+		t.Fatal("read of no-access page succeeded")
+	}
+}
+
+func TestFaultHandlerResolvesAndCounts(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0, 4*PageSize, ProtRW, "[heap]")
+	if err := s.ProtectRange(0, 4*PageSize, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	var faulted []Addr
+	s.SetFaultHandler(func(sp *AddressSpace, a Addr, k FaultKind) bool {
+		faulted = append(faulted, a.PageBase())
+		return sp.Protect(a, ProtRW) == nil
+	})
+	if _, err := s.ReadU64(PageSize + 16); err != nil {
+		t.Fatalf("handled read fault still failed: %v", err)
+	}
+	// Second access to the same page must not fault again.
+	if _, err := s.ReadU64(PageSize + 24); err != nil {
+		t.Fatal(err)
+	}
+	if len(faulted) != 1 || faulted[0] != PageSize {
+		t.Errorf("faulted pages = %v, want [0x1000]", faulted)
+	}
+	if c := s.Counters(); c.ReadFaults != 1 {
+		t.Errorf("ReadFaults = %d, want 1", c.ReadFaults)
+	}
+}
+
+func TestForkCopyOnWriteIsolation(t *testing.T) {
+	parent := NewAddressSpace()
+	parent.Map(0x1000, 2*PageSize, ProtRW, "[heap]")
+	if err := parent.WriteU64(0x1000, 111); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Fork()
+
+	// Parent write after fork must not be visible to the child.
+	if err := parent.WriteU64(0x1000, 222); err != nil {
+		t.Fatal(err)
+	}
+	got, err := child.ReadU64(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 111 {
+		t.Errorf("child sees %d after parent write, want pristine 111", got)
+	}
+	if c := parent.Counters(); c.CoWCopies != 1 {
+		t.Errorf("parent CoWCopies = %d, want 1", c.CoWCopies)
+	}
+	// The untouched second page is still shared.
+	if n := parent.SharedFrames(); n != 1 {
+		t.Errorf("SharedFrames = %d, want 1", n)
+	}
+}
+
+func TestForkChildWriteDoesNotLeakToParent(t *testing.T) {
+	parent := NewAddressSpace()
+	parent.Map(0, PageSize, ProtRW, "x")
+	child := parent.Fork()
+	if err := child.WriteU64(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parent.ReadU64(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("parent sees child write: %d", got)
+	}
+}
+
+func TestRegionsSortedAndQueryable(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0x30000, PageSize, ProtRW, "b")
+	s.Map(0x10000, PageSize, ProtRX, "a")
+	rs := s.Regions()
+	if len(rs) != 2 || rs[0].Name != "a" || rs[1].Name != "b" {
+		t.Fatalf("Regions = %v, want sorted [a b]", rs)
+	}
+	r, ok := s.RegionFor(0x30010)
+	if !ok || r.Name != "b" {
+		t.Errorf("RegionFor(0x30010) = %v,%v", r, ok)
+	}
+	if _, ok := s.RegionFor(0x20000); ok {
+		t.Error("RegionFor found a region in a hole")
+	}
+}
+
+func TestUnmapRemovesPages(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0x10000, 2*PageSize, ProtRW, "tmp")
+	if !s.Mapped(0x10000) {
+		t.Fatal("page not mapped after Map")
+	}
+	s.Unmap(0x10000)
+	if s.Mapped(0x10000) || s.Mapped(0x11000) {
+		t.Error("pages still mapped after Unmap")
+	}
+	if len(s.Regions()) != 0 {
+		t.Error("region still listed after Unmap")
+	}
+}
+
+func TestPageDataBypassesProtection(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0, PageSize, ProtRW, "x")
+	if err := s.WriteU64(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Protect(0, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := s.PageData(0)
+	if !ok {
+		t.Fatal("PageData of mapped page failed")
+	}
+	if leU64(data[:8]) != 7 {
+		t.Error("PageData content mismatch")
+	}
+}
+
+func TestSetPageDataRestoresSnapshot(t *testing.T) {
+	s := NewAddressSpace()
+	s.Map(0, PageSize, ProtRW, "x")
+	snap := make([]byte, PageSize)
+	for i := range snap {
+		snap[i] = byte(i * 7)
+	}
+	if err := s.SetPageData(0, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.PageData(0)
+	if !bytes.Equal(got, snap) {
+		t.Error("SetPageData round trip mismatch")
+	}
+}
+
+// Property: any sequence of aligned u64 writes then reads behaves like a flat
+// byte array (the paged store is transparent).
+func TestQuickWordStoreMatchesFlatArray(t *testing.T) {
+	const pages = 4
+	f := func(ops []uint16, vals []uint64) bool {
+		s := NewAddressSpace()
+		s.Map(0, pages*PageSize, ProtRW, "x")
+		flat := make([]uint64, pages*PageSize/8)
+		for i, op := range ops {
+			if len(vals) == 0 {
+				break
+			}
+			slot := int(op) % len(flat)
+			v := vals[i%len(vals)]
+			flat[slot] = v
+			if err := s.WriteU64(Addr(slot*8), v); err != nil {
+				return false
+			}
+		}
+		for slot, want := range flat {
+			got, err := s.ReadU64(Addr(slot * 8))
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after a fork, interleaved parent/child writes never leak across
+// the fork boundary.
+func TestQuickForkIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewAddressSpace()
+		p.Map(0, 8*PageSize, ProtRW, "x")
+		for i := 0; i < 32; i++ {
+			_ = p.WriteU64(Addr(rng.Intn(8*PageSize/8)*8), rng.Uint64())
+		}
+		c := p.Fork()
+		type w struct {
+			a Addr
+			v uint64
+		}
+		var pw, cw []w
+		for i := 0; i < 64; i++ {
+			a := Addr(rng.Intn(8*PageSize/8) * 8)
+			v := rng.Uint64()
+			if rng.Intn(2) == 0 {
+				_ = p.WriteU64(a, v)
+				pw = append(pw, w{a, v})
+			} else {
+				_ = c.WriteU64(a, v)
+				cw = append(cw, w{a, v})
+			}
+		}
+		// Replay the writes against flat models and compare.
+		pm := map[Addr]uint64{}
+		cm := map[Addr]uint64{}
+		for _, x := range pw {
+			pm[x.a] = x.v
+		}
+		for _, x := range cw {
+			cm[x.a] = x.v
+		}
+		for a, v := range pm {
+			if got, _ := p.ReadU64(a); got != v {
+				return false
+			}
+		}
+		for a, v := range cm {
+			if got, _ := c.ReadU64(a); got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteU64(b *testing.B) {
+	s := NewAddressSpace()
+	s.Map(0, 64*PageSize, ProtRW, "x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.WriteU64(Addr((i%(64*PageSize/8))*8), uint64(i))
+	}
+}
+
+func BenchmarkForkCoW(b *testing.B) {
+	s := NewAddressSpace()
+	s.Map(0, 256*PageSize, ProtRW, "x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := s.Fork()
+		_ = c.WriteU64(0, uint64(i))
+	}
+}
+
+func TestMapFramesSharingAndCoW(t *testing.T) {
+	data := make([]byte, PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	f := NewFrame(data)
+	// Two spaces share the frame; writes in one must not affect the other
+	// or the frame itself.
+	a := NewAddressSpace()
+	b := NewAddressSpace()
+	a.MapFrames(Region{Start: 0x1000, End: 0x3000, Prot: ProtRW, Name: "x"}, []*Frame{f, nil})
+	b.MapFrames(Region{Start: 0x1000, End: 0x2000, Prot: ProtRW, Name: "x"}, []*Frame{f})
+	if err := a.WriteU64(0x1000, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	vb, err := b.ReadU64(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb == 0xdead {
+		t.Fatal("write leaked through a shared frame")
+	}
+	if vb != leU64(data[:8]) {
+		t.Errorf("b sees %#x, want original frame content", vb)
+	}
+	// The nil entry is a fresh zero page.
+	v2, err := a.ReadU64(0x2000)
+	if err != nil || v2 != 0 {
+		t.Errorf("nil frame page = %#x, %v", v2, err)
+	}
+	// A third mapping still sees pristine content.
+	c := NewAddressSpace()
+	c.MapFrames(Region{Start: 0x9000, End: 0xa000, Prot: ProtRead, Name: "x"}, []*Frame{f})
+	vc, _ := c.ReadU64(0x9000)
+	if vc != leU64(data[:8]) {
+		t.Error("frame content mutated")
+	}
+}

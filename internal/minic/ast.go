@@ -1,0 +1,329 @@
+package minic
+
+// TypeKind discriminates minic types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TInt
+	TFloat
+	TBool
+	TClass
+	TArray
+	TNull // type of the null literal; assignable to any ref
+)
+
+// Type is a minic static type.
+type Type struct {
+	K     TypeKind
+	Class string // K == TClass
+	Elem  *Type  // K == TArray
+}
+
+// Predefined scalar types.
+var (
+	VoidType  = Type{K: TVoid}
+	IntType   = Type{K: TInt}
+	FloatType = Type{K: TFloat}
+	BoolType  = Type{K: TBool}
+	NullType  = Type{K: TNull}
+)
+
+// ArrayOf returns the array type with element type e.
+func ArrayOf(e Type) Type { elem := e; return Type{K: TArray, Elem: &elem} }
+
+// ClassType returns the class type named name.
+func ClassType(name string) Type { return Type{K: TClass, Class: name} }
+
+// IsRef reports whether t is stored as a heap reference.
+func (t Type) IsRef() bool { return t.K == TClass || t.K == TArray || t.K == TNull }
+
+func (t Type) String() string {
+	switch t.K {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TClass:
+		return t.Class
+	case TArray:
+		return t.Elem.String() + "[]"
+	case TNull:
+		return "null"
+	}
+	return "?"
+}
+
+// Equal reports type identity.
+func (t Type) Equal(o Type) bool {
+	if t.K != o.K {
+		return false
+	}
+	switch t.K {
+	case TClass:
+		return t.Class == o.Class
+	case TArray:
+		return t.Elem.Equal(*o.Elem)
+	}
+	return true
+}
+
+// File is one parsed compilation unit.
+type File struct {
+	Name    string
+	Globals []*GlobalDecl
+	Classes []*ClassDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global variable.
+type GlobalDecl struct {
+	Name string
+	Type Type
+	Line int
+}
+
+// FieldDecl declares one instance field.
+type FieldDecl struct {
+	Name string
+	Type Type
+	Line int
+}
+
+// ClassDecl declares a class.
+type ClassDecl struct {
+	Name    string
+	Super   string // "" for roots
+	Fields  []*FieldDecl
+	Methods []*FuncDecl
+	Line    int
+}
+
+// Param is a function/method parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl declares a function or a method (Class != "").
+type FuncDecl struct {
+	Name         string
+	Class        string // owning class, "" for free functions
+	Params       []Param
+	Ret          Type
+	Body         *Block
+	Uncompilable bool // @uncompilable annotation
+	Line         int
+}
+
+// QName returns the fully qualified method name.
+func (f *FuncDecl) QName() string {
+	if f.Class == "" {
+		return f.Name
+	}
+	return f.Class + "." + f.Name
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct{ Stmts []Stmt }
+
+// VarDecl declares a local with an optional initializer.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+	Line int
+}
+
+// Assign stores Rhs into an lvalue (Ident, Index, or Field expression).
+type Assign struct {
+	Lhs  Expr
+	Rhs  Expr
+	Line int
+}
+
+// If is a conditional with optional else.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// While is a pre-test loop.
+type While struct {
+	Cond Expr
+	Body *Block
+}
+
+// For is C-style: Init and Post may be nil.
+type For struct {
+	Init Stmt // VarDecl or Assign
+	Cond Expr
+	Post Stmt // Assign or ExprStmt
+	Body *Block
+}
+
+// Return exits the function; Value is nil for void.
+type Return struct {
+	Value Expr
+	Line  int
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int }
+
+// Continue jumps to the innermost loop's post/condition.
+type Continue struct{ Line int }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct{ X Expr }
+
+// Throw raises a managed exception.
+type Throw struct {
+	Value Expr
+	Line  int
+}
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+func (*Throw) stmtNode()    {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Pos() int
+}
+
+type exprBase struct{ Line int }
+
+func (e exprBase) Pos() int { return e.Line }
+func (exprBase) exprNode()  {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// NullLit is the null reference.
+type NullLit struct{ exprBase }
+
+// This is the receiver inside a method.
+type This struct{ exprBase }
+
+// Ident references a local, parameter, or global.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is x op y; && and || short-circuit.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Call invokes a free function or a builtin.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// MethodCall invokes a virtual method on Recv.
+type MethodCall struct {
+	exprBase
+	Recv Expr
+	Name string
+	Args []Expr
+}
+
+// Field reads Recv.Name.
+type Field struct {
+	exprBase
+	Recv Expr
+	Name string
+}
+
+// Index reads Arr[Idx].
+type Index struct {
+	exprBase
+	Arr Expr
+	Idx Expr
+}
+
+// NewArray is new T[size] with optional nested dimensions via elem type.
+type NewArray struct {
+	exprBase
+	Elem Type
+	Size Expr
+}
+
+// NewObject is new C().
+type NewObject struct {
+	exprBase
+	Class string
+}
+
+// Builtins maps minic builtin function names to their native or intrinsic
+// lowering. Conversions (itof/ftoi) and len are handled specially.
+var Builtins = map[string]string{
+	"sqrt": "Math.sqrt", "sin": "Math.sin", "cos": "Math.cos",
+	"log": "Math.log", "exp": "Math.exp", "pow": "Math.pow",
+	"floor": "Math.floor", "absf": "Math.absF", "absi": "Math.absI",
+	"mini": "Math.minI", "maxi": "Math.maxI",
+	"clock_ms": "System.clockMillis",
+	"rand_int": "Random.nextInt", "rand_float": "Random.nextFloat",
+	"print_int": "IO.printInt", "print_float": "IO.printFloat",
+	"draw_frame": "IO.drawFrame", "play_sound": "IO.playSound",
+	"read_input": "IO.readInput", "net_send": "Net.send",
+}
+
+// isBuiltinName reports whether name is any builtin, including the
+// special-cased ones.
+func isBuiltinName(name string) bool {
+	if _, ok := Builtins[name]; ok {
+		return true
+	}
+	switch name {
+	case "itof", "ftoi", "len":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,332 @@
+package minic
+
+import (
+	"fmt"
+
+	"replayopt/internal/dex"
+)
+
+// Compile typechecks file and lowers it to a validated dex program.
+func Compile(file *File) (*dex.Program, error) {
+	c := &compiler{
+		file:    file,
+		prog:    &dex.Program{Name: file.Name, Natives: dex.StdNatives()},
+		classes: make(map[string]*classInfo),
+		funcs:   make(map[string]*funcInfo),
+		globals: make(map[string]globalInfo),
+		natives: dex.StdNativeIndex(),
+	}
+	if err := c.collect(); err != nil {
+		return nil, err
+	}
+	if err := c.compileBodies(); err != nil {
+		return nil, err
+	}
+	c.prog.BuildIndex()
+	if err := c.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("minic: internal codegen error: %w", err)
+	}
+	return c.prog, nil
+}
+
+// CompileSource parses and compiles src in one step.
+func CompileSource(name, src string) (*dex.Program, error) {
+	f, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	f.Name = name
+	return Compile(f)
+}
+
+type fieldInfo struct {
+	slot int
+	ty   Type
+}
+
+type classInfo struct {
+	id      dex.ClassID
+	decl    *ClassDecl
+	super   *classInfo
+	fields  map[string]fieldInfo
+	methods map[string]*funcInfo // by simple name, including inherited
+}
+
+type funcInfo struct {
+	id    dex.MethodID
+	decl  *FuncDecl
+	class string
+	vslot int
+}
+
+type globalInfo struct {
+	slot int
+	ty   Type
+}
+
+type compiler struct {
+	file    *File
+	prog    *dex.Program
+	classes map[string]*classInfo
+	funcs   map[string]*funcInfo
+	globals map[string]globalInfo
+	natives map[string]dex.NativeID
+}
+
+func (c *compiler) errf(line int, format string, args ...any) error {
+	return &Error{File: c.file.Name, Line: line, Col: 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// checkType verifies user types reference declared classes.
+func (c *compiler) checkType(t Type, line int) error {
+	switch t.K {
+	case TClass:
+		if _, ok := c.classes[t.Class]; !ok {
+			return c.errf(line, "unknown class %s", t.Class)
+		}
+	case TArray:
+		return c.checkType(*t.Elem, line)
+	}
+	return nil
+}
+
+func (c *compiler) collect() error {
+	// Pass 1: class shells, in declaration order with supers resolved
+	// topologically.
+	declared := make(map[string]*ClassDecl)
+	for _, cd := range c.file.Classes {
+		if _, dup := declared[cd.Name]; dup {
+			return c.errf(cd.Line, "duplicate class %s", cd.Name)
+		}
+		declared[cd.Name] = cd
+	}
+	var build func(name string, seen map[string]bool) (*classInfo, error)
+	build = func(name string, seen map[string]bool) (*classInfo, error) {
+		if ci, ok := c.classes[name]; ok {
+			return ci, nil
+		}
+		cd, ok := declared[name]
+		if !ok {
+			return nil, c.errf(1, "unknown class %s", name)
+		}
+		if seen[name] {
+			return nil, c.errf(cd.Line, "inheritance cycle through %s", name)
+		}
+		seen[name] = true
+		ci := &classInfo{decl: cd, fields: make(map[string]fieldInfo), methods: make(map[string]*funcInfo)}
+		cls := &dex.Class{Name: cd.Name, Super: dex.NoClass}
+		if cd.Super != "" {
+			sup, err := build(cd.Super, seen)
+			if err != nil {
+				return nil, err
+			}
+			ci.super = sup
+			cls.Super = sup.id
+			// Inherit field layout and vtable.
+			cls.Fields = append(cls.Fields, c.prog.Classes[sup.id].Fields...)
+			cls.VTable = append(cls.VTable, c.prog.Classes[sup.id].VTable...)
+			for k, v := range sup.fields {
+				ci.fields[k] = v
+			}
+			for k, v := range sup.methods {
+				ci.methods[k] = v
+			}
+		}
+		for _, fd := range cd.Fields {
+			if _, dup := ci.fields[fd.Name]; dup {
+				return nil, c.errf(fd.Line, "duplicate field %s.%s", cd.Name, fd.Name)
+			}
+			ci.fields[fd.Name] = fieldInfo{slot: len(cls.Fields), ty: fd.Type}
+			cls.Fields = append(cls.Fields, dex.Field{Name: fd.Name, Kind: kindOf(fd.Type)})
+		}
+		ci.id = dex.ClassID(len(c.prog.Classes))
+		c.prog.Classes = append(c.prog.Classes, cls)
+		c.classes[cd.Name] = ci
+		return ci, nil
+	}
+	for _, cd := range c.file.Classes {
+		if _, err := build(cd.Name, map[string]bool{}); err != nil {
+			return err
+		}
+	}
+
+	// Pass 2: verify field/param/ret types now that all classes exist.
+	for _, cd := range c.file.Classes {
+		for _, fd := range cd.Fields {
+			if err := c.checkType(fd.Type, fd.Line); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 3: method and function shells. Methods claim vtable slots.
+	addMethodShell := func(fd *FuncDecl, ci *classInfo) error {
+		m := &dex.Method{
+			Name:         fd.QName(),
+			Class:        ci.id,
+			Virtual:      true,
+			NumArgs:      len(fd.Params) + 1,
+			Ret:          kindOf(fd.Ret),
+			Uncompilable: fd.Uncompilable,
+		}
+		m.Params = append(m.Params, dex.KindRef) // this
+		for _, p := range fd.Params {
+			if err := c.checkType(p.Type, fd.Line); err != nil {
+				return err
+			}
+			m.Params = append(m.Params, kindOf(p.Type))
+		}
+		if err := c.checkType(fd.Ret, fd.Line); err != nil {
+			return err
+		}
+		id := dex.MethodID(len(c.prog.Methods))
+		c.prog.Methods = append(c.prog.Methods, m)
+		cls := c.prog.Classes[ci.id]
+
+		if prev, overriding := ci.methods[fd.Name]; overriding {
+			// Signature must match the overridden method.
+			pd := prev.decl
+			if len(pd.Params) != len(fd.Params) || !pd.Ret.Equal(fd.Ret) {
+				return c.errf(fd.Line, "override %s changes signature", fd.QName())
+			}
+			for i := range pd.Params {
+				if !pd.Params[i].Type.Equal(fd.Params[i].Type) {
+					return c.errf(fd.Line, "override %s changes parameter %d type", fd.QName(), i)
+				}
+			}
+			m.VSlot = prev.vslot
+			cls.VTable[prev.vslot] = id
+		} else {
+			m.VSlot = len(cls.VTable)
+			cls.VTable = append(cls.VTable, id)
+		}
+		fi := &funcInfo{id: id, decl: fd, class: ci.decl.Name, vslot: m.VSlot}
+		ci.methods[fd.Name] = fi
+		cls.Methods = append(cls.Methods, id)
+		return nil
+	}
+
+	// Build in the same topological order as pass 1 so supers' vtables are
+	// complete before subclasses copy them. classes were appended in topo
+	// order, so iterate prog.Classes.
+	for _, cls := range c.prog.Classes {
+		ci := c.classes[cls.Name]
+		// Refresh inherited vtable/method views (supers may have appended
+		// methods after the shell copy in pass 1).
+		if ci.super != nil {
+			supCls := c.prog.Classes[ci.super.id]
+			cls.VTable = append([]dex.MethodID(nil), supCls.VTable...)
+			for k, v := range ci.super.methods {
+				ci.methods[k] = v
+			}
+		}
+		seen := map[string]bool{}
+		for _, md := range ci.decl.Methods {
+			if seen[md.Name] {
+				return c.errf(md.Line, "duplicate method %s", md.QName())
+			}
+			seen[md.Name] = true
+			if err := addMethodShell(md, ci); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Free functions.
+	for _, fd := range c.file.Funcs {
+		if _, dup := c.funcs[fd.Name]; dup {
+			return c.errf(fd.Line, "duplicate function %s", fd.Name)
+		}
+		if isBuiltinName(fd.Name) {
+			return c.errf(fd.Line, "function %s shadows a builtin", fd.Name)
+		}
+		m := &dex.Method{
+			Name:         fd.Name,
+			Class:        dex.NoClass,
+			NumArgs:      len(fd.Params),
+			Ret:          kindOf(fd.Ret),
+			Uncompilable: fd.Uncompilable,
+		}
+		for _, p := range fd.Params {
+			if err := c.checkType(p.Type, fd.Line); err != nil {
+				return err
+			}
+			m.Params = append(m.Params, kindOf(p.Type))
+		}
+		if err := c.checkType(fd.Ret, fd.Line); err != nil {
+			return err
+		}
+		id := dex.MethodID(len(c.prog.Methods))
+		c.prog.Methods = append(c.prog.Methods, m)
+		c.funcs[fd.Name] = &funcInfo{id: id, decl: fd}
+	}
+
+	// Globals.
+	for _, g := range c.file.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return c.errf(g.Line, "duplicate global %s", g.Name)
+		}
+		if err := c.checkType(g.Type, g.Line); err != nil {
+			return err
+		}
+		c.globals[g.Name] = globalInfo{slot: len(c.prog.Globals), ty: g.Type}
+		c.prog.Globals = append(c.prog.Globals, dex.Global{Name: g.Name, Kind: kindOf(g.Type)})
+	}
+
+	mainFn, ok := c.funcs["main"]
+	if !ok {
+		return c.errf(1, "program has no main function")
+	}
+	if len(mainFn.decl.Params) != 0 {
+		return c.errf(mainFn.decl.Line, "main must take no parameters")
+	}
+	c.prog.Entry = mainFn.id
+	return nil
+}
+
+func kindOf(t Type) dex.Kind {
+	switch t.K {
+	case TVoid:
+		return dex.KindVoid
+	case TInt, TBool:
+		return dex.KindInt
+	case TFloat:
+		return dex.KindFloat
+	default:
+		return dex.KindRef
+	}
+}
+
+func (c *compiler) compileBodies() error {
+	for _, cd := range c.file.Classes {
+		ci := c.classes[cd.Name]
+		for _, md := range cd.Methods {
+			if err := c.compileFunc(md, c.methodInfoFor(ci, md)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fd := range c.file.Funcs {
+		if err := c.compileFunc(fd, c.funcs[fd.Name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// methodInfoFor finds the funcInfo whose decl is md (overrides share names
+// with inherited entries, so search the class's declared methods).
+func (c *compiler) methodInfoFor(ci *classInfo, md *FuncDecl) *funcInfo {
+	fi := ci.methods[md.Name]
+	if fi != nil && fi.decl == md {
+		return fi
+	}
+	// The map may point at an override in a subclass scenario; scan methods
+	// of the dex class.
+	for _, mid := range c.prog.Classes[ci.id].Methods {
+		if c.prog.Methods[mid].Name == md.QName() {
+			return &funcInfo{id: mid, decl: md, class: ci.decl.Name, vslot: c.prog.Methods[mid].VSlot}
+		}
+	}
+	panic("minic: method shell missing for " + md.QName())
+}

@@ -1,0 +1,510 @@
+package minic
+
+import "replayopt/internal/dex"
+
+// genExpr evaluates e into a register. owned reports whether the register is
+// a temporary the caller must free.
+func (g *fngen) genExpr(e Expr) (reg int, ty Type, owned bool, err error) {
+	switch x := e.(type) {
+	case *IntLit:
+		r := g.alloc()
+		g.emit(dex.Insn{Op: dex.OpConstInt, A: r, Imm: x.Value})
+		return r, IntType, true, nil
+
+	case *FloatLit:
+		r := g.alloc()
+		g.emit(dex.Insn{Op: dex.OpConstFloat, A: r, F: x.Value})
+		return r, FloatType, true, nil
+
+	case *BoolLit:
+		r := g.alloc()
+		v := int64(0)
+		if x.Value {
+			v = 1
+		}
+		g.emit(dex.Insn{Op: dex.OpConstInt, A: r, Imm: v})
+		return r, BoolType, true, nil
+
+	case *NullLit:
+		r := g.alloc()
+		g.emit(dex.Insn{Op: dex.OpConstInt, A: r, Imm: 0})
+		return r, NullType, true, nil
+
+	case *This:
+		if g.decl.Class == "" {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "this outside a method")
+		}
+		return 0, ClassType(g.decl.Class), false, nil
+
+	case *Ident:
+		if lv, ok := g.lookup(x.Name); ok {
+			return lv.reg, lv.ty, false, nil
+		}
+		if gi, ok := g.c.globals[x.Name]; ok {
+			r := g.alloc()
+			g.emit(dex.Insn{Op: loadGlobalOp(gi.ty), A: r, Imm: int64(gi.slot)})
+			return r, gi.ty, true, nil
+		}
+		return 0, Type{}, false, g.c.errf(x.Pos(), "undefined variable %s", x.Name)
+
+	case *Unary:
+		switch x.Op {
+		case "-":
+			vr, vt, vOwned, err := g.genExpr(x.X)
+			if err != nil {
+				return 0, Type{}, false, err
+			}
+			var op dex.Op
+			switch vt.K {
+			case TInt:
+				op = dex.OpNegInt
+			case TFloat:
+				op = dex.OpNegFloat
+			default:
+				return 0, Type{}, false, g.c.errf(x.Pos(), "cannot negate %s", vt)
+			}
+			r := g.alloc()
+			g.emit(dex.Insn{Op: op, A: r, B: vr})
+			if vOwned {
+				g.free(vr)
+			}
+			return r, vt, true, nil
+		case "!":
+			return g.materializeBool(e)
+		}
+		return 0, Type{}, false, g.c.errf(x.Pos(), "unknown unary %s", x.Op)
+
+	case *Binary:
+		switch x.Op {
+		case "&&", "||", "==", "!=", "<", "<=", ">", ">=":
+			return g.materializeBool(e)
+		}
+		lr, lt, lOwned, err := g.genExpr(x.X)
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		rr, rty, rOwned, err := g.genExpr(x.Y)
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		op, resTy, err := arithOp(x.Op, lt, rty, func(format string, args ...any) error {
+			return g.c.errf(x.Pos(), format, args...)
+		})
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		r := g.alloc()
+		g.emit(dex.Insn{Op: op, A: r, B: lr, C: rr})
+		if lOwned {
+			g.free(lr)
+		}
+		if rOwned {
+			g.free(rr)
+		}
+		return r, resTy, true, nil
+
+	case *Call:
+		return g.genCall(x)
+
+	case *MethodCall:
+		return g.genMethodCall(x)
+
+	case *Field:
+		rr, rty, rOwned, err := g.genExpr(x.Recv)
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		if rty.K != TClass {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "field access on non-object %s", rty)
+		}
+		fi, ok := g.c.classes[rty.Class].fields[x.Name]
+		if !ok {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "class %s has no field %s", rty.Class, x.Name)
+		}
+		r := g.alloc()
+		g.emit(dex.Insn{Op: floadOp(fi.ty), A: r, B: rr, Imm: int64(fi.slot)})
+		if rOwned {
+			g.free(rr)
+		}
+		return r, fi.ty, true, nil
+
+	case *Index:
+		ar, at, aOwned, err := g.genExpr(x.Arr)
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		if at.K != TArray {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "indexing non-array %s", at)
+		}
+		ir, it, iOwned, err := g.genExpr(x.Idx)
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		if it.K != TInt {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "array index must be int, got %s", it)
+		}
+		r := g.alloc()
+		g.emit(dex.Insn{Op: aloadOp(*at.Elem), A: r, B: ar, C: ir})
+		if aOwned {
+			g.free(ar)
+		}
+		if iOwned {
+			g.free(ir)
+		}
+		return r, *at.Elem, true, nil
+
+	case *NewArray:
+		if err := g.c.checkType(x.Elem, x.Pos()); err != nil {
+			return 0, Type{}, false, err
+		}
+		sr, sty, sOwned, err := g.genExpr(x.Size)
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		if sty.K != TInt {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "array size must be int, got %s", sty)
+		}
+		var op dex.Op
+		switch kindOf(x.Elem) {
+		case dex.KindFloat:
+			op = dex.OpNewArrayFloat
+		case dex.KindRef:
+			op = dex.OpNewArrayRef
+		default:
+			op = dex.OpNewArrayInt
+		}
+		r := g.alloc()
+		g.emit(dex.Insn{Op: op, A: r, B: sr})
+		if sOwned {
+			g.free(sr)
+		}
+		return r, ArrayOf(x.Elem), true, nil
+
+	case *NewObject:
+		ci, ok := g.c.classes[x.Class]
+		if !ok {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "unknown class %s", x.Class)
+		}
+		r := g.alloc()
+		g.emit(dex.Insn{Op: dex.OpNewInstance, A: r, Sym: int(ci.id)})
+		return r, ClassType(x.Class), true, nil
+	}
+	return 0, Type{}, false, g.c.errf(0, "unhandled expression %T", e)
+}
+
+// arithOp maps a non-comparison binary operator over operand types to an
+// opcode and result type.
+func arithOp(op string, l, r Type, errf func(string, ...any) error) (dex.Op, Type, error) {
+	bothInt := l.K == TInt && r.K == TInt
+	bothFloat := l.K == TFloat && r.K == TFloat
+	switch op {
+	case "+", "-", "*", "/":
+		if bothInt {
+			m := map[string]dex.Op{"+": dex.OpAddInt, "-": dex.OpSubInt, "*": dex.OpMulInt, "/": dex.OpDivInt}
+			return m[op], IntType, nil
+		}
+		if bothFloat {
+			m := map[string]dex.Op{"+": dex.OpAddFloat, "-": dex.OpSubFloat, "*": dex.OpMulFloat, "/": dex.OpDivFloat}
+			return m[op], FloatType, nil
+		}
+		return 0, Type{}, errf("operator %s needs matching numeric operands, got %s and %s (use itof/ftoi)", op, l, r)
+	case "%":
+		if bothInt {
+			return dex.OpRemInt, IntType, nil
+		}
+		return 0, Type{}, errf("%% needs int operands, got %s and %s", l, r)
+	case "&", "|", "^", "<<", ">>":
+		if bothInt {
+			m := map[string]dex.Op{"&": dex.OpAndInt, "|": dex.OpOrInt, "^": dex.OpXorInt, "<<": dex.OpShlInt, ">>": dex.OpShrInt}
+			return m[op], IntType, nil
+		}
+		return 0, Type{}, errf("operator %s needs int operands, got %s and %s", op, l, r)
+	}
+	return 0, Type{}, errf("unknown operator %s", op)
+}
+
+// materializeBool evaluates a boolean expression to a 0/1 register through
+// the branch generator.
+func (g *fngen) materializeBool(e Expr) (int, Type, bool, error) {
+	r := g.alloc()
+	lt, lf, end := g.newLabel(), g.newLabel(), g.newLabel()
+	if err := g.genCond(e, lt, lf); err != nil {
+		return 0, Type{}, false, err
+	}
+	g.bind(lt)
+	g.emit(dex.Insn{Op: dex.OpConstInt, A: r, Imm: 1})
+	g.emitGoto(end)
+	g.bind(lf)
+	g.emit(dex.Insn{Op: dex.OpConstInt, A: r, Imm: 0})
+	g.bind(end)
+	return r, BoolType, true, nil
+}
+
+var cmpOps = map[string]dex.Op{
+	"==": dex.OpIfEq, "!=": dex.OpIfNe, "<": dex.OpIfLt,
+	"<=": dex.OpIfLe, ">": dex.OpIfGt, ">=": dex.OpIfGe,
+}
+
+// genCond compiles e as a branch to lt (true) or lf (false).
+func (g *fngen) genCond(e Expr, ltrue, lfalse *label) error {
+	switch x := e.(type) {
+	case *BoolLit:
+		if x.Value {
+			g.emitGoto(ltrue)
+		} else {
+			g.emitGoto(lfalse)
+		}
+		return nil
+
+	case *Unary:
+		if x.Op == "!" {
+			return g.genCond(x.X, lfalse, ltrue)
+		}
+
+	case *Binary:
+		switch x.Op {
+		case "&&":
+			mid := g.newLabel()
+			if err := g.genCond(x.X, mid, lfalse); err != nil {
+				return err
+			}
+			g.bind(mid)
+			return g.genCond(x.Y, ltrue, lfalse)
+		case "||":
+			mid := g.newLabel()
+			if err := g.genCond(x.X, ltrue, mid); err != nil {
+				return err
+			}
+			g.bind(mid)
+			return g.genCond(x.Y, ltrue, lfalse)
+		case "==", "!=", "<", "<=", ">", ">=":
+			lr, lty, lOwned, err := g.genExpr(x.X)
+			if err != nil {
+				return err
+			}
+			rr, rty, rOwned, err := g.genExpr(x.Y)
+			if err != nil {
+				return err
+			}
+			op := cmpOps[x.Op]
+			switch {
+			case lty.K == TInt && rty.K == TInt, lty.K == TBool && rty.K == TBool:
+				g.emitBranch(op, lr, rr, ltrue)
+			case lty.K == TFloat && rty.K == TFloat:
+				// cmp-float then compare the -1/0/1 cookie with zero.
+				cr := g.alloc()
+				g.emit(dex.Insn{Op: dex.OpCmpFloat, A: cr, B: lr, C: rr})
+				zr := g.alloc()
+				g.emit(dex.Insn{Op: dex.OpConstInt, A: zr, Imm: 0})
+				g.emitBranch(op, cr, zr, ltrue)
+				g.free(cr)
+				g.free(zr)
+			case lty.IsRef() && rty.IsRef() && (x.Op == "==" || x.Op == "!="):
+				g.emitBranch(op, lr, rr, ltrue)
+			default:
+				return g.c.errf(x.Pos(), "cannot compare %s with %s", lty, rty)
+			}
+			g.emitGoto(lfalse)
+			if lOwned {
+				g.free(lr)
+			}
+			if rOwned {
+				g.free(rr)
+			}
+			return nil
+		}
+	}
+
+	// General boolean-valued expression: compare against zero.
+	r, ty, owned, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	if ty.K != TBool {
+		return g.c.errf(e.Pos(), "condition must be bool, got %s", ty)
+	}
+	zr := g.alloc()
+	g.emit(dex.Insn{Op: dex.OpConstInt, A: zr, Imm: 0})
+	g.emitBranch(dex.OpIfNe, r, zr, ltrue)
+	g.emitGoto(lfalse)
+	g.free(zr)
+	if owned {
+		g.free(r)
+	}
+	return nil
+}
+
+// typeForKind maps a native's dex kind back to a minic surface type.
+func typeForKind(k dex.Kind) Type {
+	switch k {
+	case dex.KindFloat:
+		return FloatType
+	case dex.KindVoid:
+		return VoidType
+	default:
+		return IntType
+	}
+}
+
+func (g *fngen) genCall(x *Call) (int, Type, bool, error) {
+	// Conversion and inspection builtins.
+	switch x.Name {
+	case "itof", "ftoi", "len":
+		if len(x.Args) != 1 {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "%s takes one argument", x.Name)
+		}
+		vr, vt, vOwned, err := g.genExpr(x.Args[0])
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		r := g.alloc()
+		switch x.Name {
+		case "itof":
+			if vt.K != TInt {
+				return 0, Type{}, false, g.c.errf(x.Pos(), "itof takes int, got %s", vt)
+			}
+			g.emit(dex.Insn{Op: dex.OpIntToFloat, A: r, B: vr})
+			if vOwned {
+				g.free(vr)
+			}
+			return r, FloatType, true, nil
+		case "ftoi":
+			if vt.K != TFloat {
+				return 0, Type{}, false, g.c.errf(x.Pos(), "ftoi takes float, got %s", vt)
+			}
+			g.emit(dex.Insn{Op: dex.OpFloatToInt, A: r, B: vr})
+			if vOwned {
+				g.free(vr)
+			}
+			return r, IntType, true, nil
+		default: // len
+			if vt.K != TArray {
+				return 0, Type{}, false, g.c.errf(x.Pos(), "len takes an array, got %s", vt)
+			}
+			g.emit(dex.Insn{Op: dex.OpArrayLen, A: r, B: vr})
+			if vOwned {
+				g.free(vr)
+			}
+			return r, IntType, true, nil
+		}
+	}
+
+	// Native builtins.
+	if nname, ok := Builtins[x.Name]; ok {
+		nid := g.c.natives[nname]
+		nt := g.c.prog.Natives[nid]
+		if len(x.Args) != len(nt.Params) {
+			return 0, Type{}, false, g.c.errf(x.Pos(), "%s takes %d arguments, got %d", x.Name, len(nt.Params), len(x.Args))
+		}
+		regs := make([]int, len(x.Args))
+		var frees []int
+		for i, a := range x.Args {
+			ar, at, aOwned, err := g.genExpr(a)
+			if err != nil {
+				return 0, Type{}, false, err
+			}
+			want := typeForKind(nt.Params[i])
+			if !at.Equal(want) && !(want.K == TInt && at.K == TBool) {
+				return 0, Type{}, false, g.c.errf(x.Pos(), "%s argument %d: want %s, got %s", x.Name, i+1, want, at)
+			}
+			regs[i] = ar
+			if aOwned {
+				frees = append(frees, ar)
+			}
+		}
+		r := 0
+		ret := typeForKind(nt.Ret)
+		owned := false
+		if ret.K != TVoid {
+			r = g.alloc()
+			owned = true
+		}
+		g.emit(dex.Insn{Op: dex.OpInvokeNative, A: r, Sym: int(nid), Args: regs})
+		for _, fr := range frees {
+			g.free(fr)
+		}
+		return r, ret, owned, nil
+	}
+
+	// Free functions.
+	fi, ok := g.c.funcs[x.Name]
+	if !ok {
+		return 0, Type{}, false, g.c.errf(x.Pos(), "undefined function %s", x.Name)
+	}
+	if len(x.Args) != len(fi.decl.Params) {
+		return 0, Type{}, false, g.c.errf(x.Pos(), "%s takes %d arguments, got %d", x.Name, len(fi.decl.Params), len(x.Args))
+	}
+	regs := make([]int, len(x.Args))
+	var frees []int
+	for i, a := range x.Args {
+		ar, at, aOwned, err := g.genExpr(a)
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		if err := g.checkAssignable(fi.decl.Params[i].Type, at, x.Pos()); err != nil {
+			return 0, Type{}, false, err
+		}
+		regs[i] = ar
+		if aOwned {
+			frees = append(frees, ar)
+		}
+	}
+	r := 0
+	owned := false
+	if fi.decl.Ret.K != TVoid {
+		r = g.alloc()
+		owned = true
+	}
+	g.emit(dex.Insn{Op: dex.OpInvokeStatic, A: r, Sym: int(fi.id), Args: regs})
+	for _, fr := range frees {
+		g.free(fr)
+	}
+	return r, fi.decl.Ret, owned, nil
+}
+
+func (g *fngen) genMethodCall(x *MethodCall) (int, Type, bool, error) {
+	rr, rty, rOwned, err := g.genExpr(x.Recv)
+	if err != nil {
+		return 0, Type{}, false, err
+	}
+	if rty.K != TClass {
+		return 0, Type{}, false, g.c.errf(x.Pos(), "method call on non-object %s", rty)
+	}
+	fi, ok := g.c.classes[rty.Class].methods[x.Name]
+	if !ok {
+		return 0, Type{}, false, g.c.errf(x.Pos(), "class %s has no method %s", rty.Class, x.Name)
+	}
+	if len(x.Args) != len(fi.decl.Params) {
+		return 0, Type{}, false, g.c.errf(x.Pos(), "%s.%s takes %d arguments, got %d", rty.Class, x.Name, len(fi.decl.Params), len(x.Args))
+	}
+	regs := make([]int, 0, len(x.Args)+1)
+	regs = append(regs, rr)
+	var frees []int
+	if rOwned {
+		frees = append(frees, rr)
+	}
+	for i, a := range x.Args {
+		ar, at, aOwned, err := g.genExpr(a)
+		if err != nil {
+			return 0, Type{}, false, err
+		}
+		if err := g.checkAssignable(fi.decl.Params[i].Type, at, x.Pos()); err != nil {
+			return 0, Type{}, false, err
+		}
+		regs = append(regs, ar)
+		if aOwned {
+			frees = append(frees, ar)
+		}
+	}
+	r := 0
+	owned := false
+	if fi.decl.Ret.K != TVoid {
+		r = g.alloc()
+		owned = true
+	}
+	g.emit(dex.Insn{Op: dex.OpInvokeVirtual, A: r, Sym: int(fi.id), Args: regs})
+	for _, fr := range frees {
+		g.free(fr)
+	}
+	return r, fi.decl.Ret, owned, nil
+}

@@ -1,0 +1,516 @@
+package minic
+
+import (
+	"replayopt/internal/dex"
+)
+
+// fngen compiles one function/method body to bytecode.
+type fngen struct {
+	c      *compiler
+	decl   *FuncDecl
+	method *dex.Method
+
+	code      []dex.Insn
+	nextReg   int
+	freeTemps []int
+	isLocal   map[int]bool // registers pinned to named locals/params
+
+	scopes []map[string]localVar
+	loops  []*loopCtx
+
+	hasThrow bool
+}
+
+type localVar struct {
+	reg int
+	ty  Type
+}
+
+type loopCtx struct {
+	breakL    *label
+	continueL *label
+}
+
+// label supports forward references with backpatching.
+type label struct {
+	pc     int // -1 until bound
+	fixups []int
+}
+
+func (g *fngen) newLabel() *label { return &label{pc: -1} }
+
+func (g *fngen) bind(l *label) {
+	l.pc = len(g.code)
+	for _, at := range l.fixups {
+		g.code[at].Imm = int64(l.pc)
+	}
+	l.fixups = nil
+}
+
+func (g *fngen) emit(in dex.Insn) int {
+	g.code = append(g.code, in)
+	return len(g.code) - 1
+}
+
+func (g *fngen) emitBranch(op dex.Op, b, c int, l *label) {
+	at := g.emit(dex.Insn{Op: op, B: b, C: c, Imm: -1})
+	if l.pc >= 0 {
+		g.code[at].Imm = int64(l.pc)
+	} else {
+		l.fixups = append(l.fixups, at)
+	}
+}
+
+func (g *fngen) emitGoto(l *label) {
+	at := g.emit(dex.Insn{Op: dex.OpGoto, Imm: -1})
+	if l.pc >= 0 {
+		g.code[at].Imm = int64(l.pc)
+	} else {
+		l.fixups = append(l.fixups, at)
+	}
+}
+
+func (g *fngen) alloc() int {
+	if n := len(g.freeTemps); n > 0 {
+		r := g.freeTemps[n-1]
+		g.freeTemps = g.freeTemps[:n-1]
+		return r
+	}
+	r := g.nextReg
+	g.nextReg++
+	return r
+}
+
+// free releases a temporary register; locals are never recycled.
+func (g *fngen) free(r int) {
+	if g.isLocal[r] {
+		return
+	}
+	g.freeTemps = append(g.freeTemps, r)
+}
+
+func (g *fngen) pushScope() { g.scopes = append(g.scopes, map[string]localVar{}) }
+func (g *fngen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *fngen) declare(name string, ty Type, line int) (int, error) {
+	top := g.scopes[len(g.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, g.c.errf(line, "duplicate variable %s", name)
+	}
+	r := g.nextReg
+	g.nextReg++
+	g.isLocal[r] = true
+	top[name] = localVar{reg: r, ty: ty}
+	return r, nil
+}
+
+func (g *fngen) lookup(name string) (localVar, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if v, ok := g.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+// compileFunc generates the body for fi's shell method.
+func (c *compiler) compileFunc(fd *FuncDecl, fi *funcInfo) error {
+	g := &fngen{c: c, decl: fd, method: c.prog.Methods[fi.id], isLocal: map[int]bool{}}
+	g.pushScope()
+	// Parameters occupy the first registers.
+	if fd.Class != "" {
+		g.scopes[0]["this"] = localVar{reg: 0, ty: ClassType(fd.Class)}
+		g.isLocal[0] = true
+		g.nextReg = 1
+	}
+	for _, p := range fd.Params {
+		r := g.nextReg
+		g.nextReg++
+		g.isLocal[r] = true
+		g.scopes[0][p.Name] = localVar{reg: r, ty: p.Type}
+	}
+	if err := g.genBlock(fd.Body); err != nil {
+		return err
+	}
+	// Always append a default return: it terminates fall-off paths and
+	// anchors labels bound at the end of the body. If unreachable, it is
+	// dead code the optimizers remove.
+	if fd.Ret.K == TVoid {
+		g.emit(dex.Insn{Op: dex.OpReturnVoid})
+	} else {
+		r := g.alloc()
+		g.emit(dex.Insn{Op: dex.OpConstInt, A: r, Imm: 0})
+		g.emit(dex.Insn{Op: dex.OpReturn, A: r})
+	}
+	m := g.method
+	m.Code = g.code
+	m.NumRegs = g.nextReg
+	m.HasThrow = g.hasThrow
+	if m.NumRegs < m.NumArgs {
+		m.NumRegs = m.NumArgs
+	}
+	return nil
+}
+
+func (g *fngen) genBlock(b *Block) error {
+	g.pushScope()
+	defer g.popScope()
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *fngen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return g.genBlock(st)
+
+	case *VarDecl:
+		if err := g.c.checkType(st.Type, st.Line); err != nil {
+			return err
+		}
+		r, err := g.declare(st.Name, st.Type, st.Line)
+		if err != nil {
+			return err
+		}
+		if st.Init != nil {
+			vr, vt, owned, err := g.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if err := g.checkAssignable(st.Type, vt, st.Line); err != nil {
+				return err
+			}
+			g.emit(dex.Insn{Op: dex.OpMove, A: r, B: vr})
+			if owned {
+				g.free(vr)
+			}
+		} else {
+			g.emit(dex.Insn{Op: dex.OpConstInt, A: r, Imm: 0})
+		}
+		return nil
+
+	case *Assign:
+		return g.genAssign(st)
+
+	case *If:
+		lt, lf, end := g.newLabel(), g.newLabel(), g.newLabel()
+		if err := g.genCond(st.Cond, lt, lf); err != nil {
+			return err
+		}
+		g.bind(lt)
+		if err := g.genBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			g.emitGoto(end)
+			g.bind(lf)
+			if err := g.genBlock(st.Else); err != nil {
+				return err
+			}
+			g.bind(end)
+		} else {
+			g.bind(lf)
+		}
+		return nil
+
+	case *While:
+		cond, body, end := g.newLabel(), g.newLabel(), g.newLabel()
+		g.bind(cond)
+		if err := g.genCond(st.Cond, body, end); err != nil {
+			return err
+		}
+		g.bind(body)
+		g.loops = append(g.loops, &loopCtx{breakL: end, continueL: cond})
+		err := g.genBlock(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		if err != nil {
+			return err
+		}
+		g.emitGoto(cond)
+		g.bind(end)
+		return nil
+
+	case *For:
+		g.pushScope()
+		defer g.popScope()
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		cond, body, post, end := g.newLabel(), g.newLabel(), g.newLabel(), g.newLabel()
+		g.bind(cond)
+		if st.Cond != nil {
+			if err := g.genCond(st.Cond, body, end); err != nil {
+				return err
+			}
+		}
+		g.bind(body)
+		g.loops = append(g.loops, &loopCtx{breakL: end, continueL: post})
+		err := g.genBlock(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		if err != nil {
+			return err
+		}
+		g.bind(post)
+		if st.Post != nil {
+			if err := g.genStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		g.emitGoto(cond)
+		g.bind(end)
+		return nil
+
+	case *Return:
+		want := g.decl.Ret
+		if st.Value == nil {
+			if want.K != TVoid {
+				return g.c.errf(st.Line, "missing return value (want %s)", want)
+			}
+			g.emit(dex.Insn{Op: dex.OpReturnVoid})
+			return nil
+		}
+		if want.K == TVoid {
+			return g.c.errf(st.Line, "void function returns a value")
+		}
+		r, ty, owned, err := g.genExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if err := g.checkAssignable(want, ty, st.Line); err != nil {
+			return err
+		}
+		g.emit(dex.Insn{Op: dex.OpReturn, A: r})
+		if owned {
+			g.free(r)
+		}
+		return nil
+
+	case *Break:
+		if len(g.loops) == 0 {
+			return g.c.errf(st.Line, "break outside loop")
+		}
+		g.emitGoto(g.loops[len(g.loops)-1].breakL)
+		return nil
+
+	case *Continue:
+		if len(g.loops) == 0 {
+			return g.c.errf(st.Line, "continue outside loop")
+		}
+		g.emitGoto(g.loops[len(g.loops)-1].continueL)
+		return nil
+
+	case *ExprStmt:
+		r, _, owned, err := g.genExpr(st.X)
+		if err != nil {
+			return err
+		}
+		if owned {
+			g.free(r)
+		}
+		return nil
+
+	case *Throw:
+		r, ty, owned, err := g.genExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if ty.K != TInt {
+			return g.c.errf(st.Line, "throw takes an int code, got %s", ty)
+		}
+		g.hasThrow = true
+		g.emit(dex.Insn{Op: dex.OpThrow, A: r})
+		if owned {
+			g.free(r)
+		}
+		return nil
+	}
+	return g.c.errf(0, "unhandled statement %T", s)
+}
+
+func (g *fngen) checkAssignable(dst, src Type, line int) error {
+	if dst.Equal(src) {
+		return nil
+	}
+	if dst.IsRef() && src.K == TNull {
+		return nil
+	}
+	// Upcast: src class derives from dst class.
+	if dst.K == TClass && src.K == TClass {
+		for ci := g.c.classes[src.Class]; ci != nil; ci = ci.super {
+			if ci.decl.Name == dst.Class {
+				return nil
+			}
+		}
+	}
+	return g.c.errf(line, "cannot assign %s to %s", src, dst)
+}
+
+func (g *fngen) genAssign(st *Assign) error {
+	switch lhs := st.Lhs.(type) {
+	case *Ident:
+		if lv, ok := g.lookup(lhs.Name); ok {
+			vr, vt, owned, err := g.genExpr(st.Rhs)
+			if err != nil {
+				return err
+			}
+			if err := g.checkAssignable(lv.ty, vt, st.Line); err != nil {
+				return err
+			}
+			g.emit(dex.Insn{Op: dex.OpMove, A: lv.reg, B: vr})
+			if owned {
+				g.free(vr)
+			}
+			return nil
+		}
+		if gi, ok := g.c.globals[lhs.Name]; ok {
+			vr, vt, owned, err := g.genExpr(st.Rhs)
+			if err != nil {
+				return err
+			}
+			if err := g.checkAssignable(gi.ty, vt, st.Line); err != nil {
+				return err
+			}
+			g.emit(dex.Insn{Op: storeGlobalOp(gi.ty), A: vr, Imm: int64(gi.slot)})
+			if owned {
+				g.free(vr)
+			}
+			return nil
+		}
+		return g.c.errf(st.Line, "undefined variable %s", lhs.Name)
+
+	case *Index:
+		ar, at, aOwned, err := g.genExpr(lhs.Arr)
+		if err != nil {
+			return err
+		}
+		if at.K != TArray {
+			return g.c.errf(st.Line, "indexing non-array %s", at)
+		}
+		ir, it, iOwned, err := g.genExpr(lhs.Idx)
+		if err != nil {
+			return err
+		}
+		if it.K != TInt {
+			return g.c.errf(st.Line, "array index must be int, got %s", it)
+		}
+		vr, vt, vOwned, err := g.genExpr(st.Rhs)
+		if err != nil {
+			return err
+		}
+		if err := g.checkAssignable(*at.Elem, vt, st.Line); err != nil {
+			return err
+		}
+		g.emit(dex.Insn{Op: astoreOp(*at.Elem), A: vr, B: ar, C: ir})
+		if aOwned {
+			g.free(ar)
+		}
+		if iOwned {
+			g.free(ir)
+		}
+		if vOwned {
+			g.free(vr)
+		}
+		return nil
+
+	case *Field:
+		rr, rtY, rOwned, err := g.genExpr(lhs.Recv)
+		if err != nil {
+			return err
+		}
+		if rtY.K != TClass {
+			return g.c.errf(st.Line, "field access on non-object %s", rtY)
+		}
+		fi, ok := g.c.classes[rtY.Class].fields[lhs.Name]
+		if !ok {
+			return g.c.errf(st.Line, "class %s has no field %s", rtY.Class, lhs.Name)
+		}
+		vr, vt, vOwned, err := g.genExpr(st.Rhs)
+		if err != nil {
+			return err
+		}
+		if err := g.checkAssignable(fi.ty, vt, st.Line); err != nil {
+			return err
+		}
+		g.emit(dex.Insn{Op: fstoreOp(fi.ty), A: vr, B: rr, Imm: int64(fi.slot)})
+		if rOwned {
+			g.free(rr)
+		}
+		if vOwned {
+			g.free(vr)
+		}
+		return nil
+	}
+	return g.c.errf(st.Line, "invalid assignment target")
+}
+
+func storeGlobalOp(t Type) dex.Op {
+	switch kindOf(t) {
+	case dex.KindFloat:
+		return dex.OpSStoreFloat
+	case dex.KindRef:
+		return dex.OpSStoreRef
+	default:
+		return dex.OpSStoreInt
+	}
+}
+
+func loadGlobalOp(t Type) dex.Op {
+	switch kindOf(t) {
+	case dex.KindFloat:
+		return dex.OpSLoadFloat
+	case dex.KindRef:
+		return dex.OpSLoadRef
+	default:
+		return dex.OpSLoadInt
+	}
+}
+
+func astoreOp(t Type) dex.Op {
+	switch kindOf(t) {
+	case dex.KindFloat:
+		return dex.OpAStoreFloat
+	case dex.KindRef:
+		return dex.OpAStoreRef
+	default:
+		return dex.OpAStoreInt
+	}
+}
+
+func aloadOp(t Type) dex.Op {
+	switch kindOf(t) {
+	case dex.KindFloat:
+		return dex.OpALoadFloat
+	case dex.KindRef:
+		return dex.OpALoadRef
+	default:
+		return dex.OpALoadInt
+	}
+}
+
+func fstoreOp(t Type) dex.Op {
+	switch kindOf(t) {
+	case dex.KindFloat:
+		return dex.OpFStoreFloat
+	case dex.KindRef:
+		return dex.OpFStoreRef
+	default:
+		return dex.OpFStoreInt
+	}
+}
+
+func floadOp(t Type) dex.Op {
+	switch kindOf(t) {
+	case dex.KindFloat:
+		return dex.OpFLoadFloat
+	case dex.KindRef:
+		return dex.OpFLoadRef
+	default:
+		return dex.OpFLoadInt
+	}
+}

@@ -1,0 +1,471 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"replayopt/internal/interp"
+	"replayopt/internal/rt"
+)
+
+// runInt compiles src and returns main's integer result.
+func runInt(t *testing.T, src string) int64 {
+	t.Helper()
+	prog, err := CompileSource("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	e := interp.NewEnv(proc)
+	e.MaxCycles = 200_000_000
+	v, err := e.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return int64(v)
+}
+
+func runFloat(t *testing.T, src string) float64 {
+	t.Helper()
+	prog, err := CompileSource("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	e := interp.NewEnv(rt.NewProcess(prog, rt.Config{}))
+	e.MaxCycles = 200_000_000
+	v, err := e.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rt.U2F(v)
+}
+
+func compileErr(t *testing.T, src string) string {
+	t.Helper()
+	_, err := CompileSource("test", src)
+	if err == nil {
+		t.Fatal("compile unexpectedly succeeded")
+	}
+	return err.Error()
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	got := runInt(t, `func main() int { return 2 + 3 * 4 - 10 / 2; }`)
+	if got != 9 {
+		t.Errorf("2+3*4-10/2 = %d, want 9", got)
+	}
+}
+
+func TestBitwiseAndShifts(t *testing.T) {
+	got := runInt(t, `func main() int { return ((5 & 3) | (1 << 4)) ^ 2; }`)
+	if got != ((5&3)|(1<<4))^2 {
+		t.Errorf("bitops = %d", got)
+	}
+}
+
+func TestWhileLoopSum(t *testing.T) {
+	got := runInt(t, `
+func main() int {
+	int i = 0;
+	int sum = 0;
+	while (i < 100) { sum = sum + i; i = i + 1; }
+	return sum;
+}`)
+	if got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+}
+
+func TestForLoopWithBreakContinue(t *testing.T) {
+	got := runInt(t, `
+func main() int {
+	int sum = 0;
+	for (int i = 0; i < 100; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		if (i > 50) { break; }
+		sum = sum + i;
+	}
+	return sum;
+}`)
+	want := int64(0)
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		if i > 50 {
+			break
+		}
+		want += int64(i)
+	}
+	if got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// g records whether side-effecting was called; && must skip it.
+	got := runInt(t, `
+global int calls;
+func bump() bool { calls = calls + 1; return true; }
+func main() int {
+	if (false && bump()) { return 100; }
+	if (true || bump()) { return calls; }
+	return 99;
+}`)
+	if got != 0 {
+		t.Errorf("short-circuit leaked %d side calls", got)
+	}
+}
+
+func TestRecursionFibonacci(t *testing.T) {
+	got := runInt(t, `
+func fib(int n) int {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() int { return fib(15); }`)
+	if got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestArraysAndLen(t *testing.T) {
+	got := runInt(t, `
+func main() int {
+	int[] a = new int[10];
+	for (int i = 0; i < len(a); i = i + 1) { a[i] = i * i; }
+	int sum = 0;
+	for (int i = 0; i < len(a); i = i + 1) { sum = sum + a[i]; }
+	return sum;
+}`)
+	if got != 285 {
+		t.Errorf("sum of squares = %d, want 285", got)
+	}
+}
+
+func TestJaggedArrays(t *testing.T) {
+	got := runFloat(t, `
+func main() float {
+	float[][] m = new float[3][];
+	for (int i = 0; i < 3; i = i + 1) {
+		m[i] = new float[4];
+		for (int j = 0; j < 4; j = j + 1) { m[i][j] = itof(i * 4 + j); }
+	}
+	float total = 0.0;
+	for (int i = 0; i < 3; i = i + 1) {
+		for (int j = 0; j < 4; j = j + 1) { total = total + m[i][j]; }
+	}
+	return total;
+}`)
+	if got != 66 {
+		t.Errorf("matrix sum = %v, want 66", got)
+	}
+}
+
+func TestFloatsAndConversions(t *testing.T) {
+	got := runFloat(t, `
+func main() float {
+	float x = 2.5;
+	int n = ftoi(x * 2.0);
+	return itof(n) / 4.0;
+}`)
+	if got != 1.25 {
+		t.Errorf("got %v, want 1.25", got)
+	}
+}
+
+func TestClassesFieldsAndMethods(t *testing.T) {
+	got := runInt(t, `
+class Counter {
+	int n;
+	func bump(int by) { this.n = this.n + by; }
+	func value() int { return this.n; }
+}
+func main() int {
+	Counter c = new Counter();
+	c.bump(3);
+	c.bump(4);
+	return c.value();
+}`)
+	if got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+}
+
+func TestInheritanceAndVirtualDispatch(t *testing.T) {
+	got := runInt(t, `
+class Shape {
+	int side;
+	func area() int { return 0; }
+	func describe() int { return this.area() * 10; }
+}
+class Square extends Shape {
+	func area() int { return this.side * this.side; }
+}
+func main() int {
+	Shape s = new Square();
+	s.side = 5;
+	return s.describe();
+}`)
+	if got != 250 {
+		t.Errorf("virtual dispatch = %d, want 250 (Square.area through Shape)", got)
+	}
+}
+
+func TestInheritedFieldsKeepSlots(t *testing.T) {
+	got := runInt(t, `
+class A { int x; }
+class B extends A { int y; }
+func main() int {
+	B b = new B();
+	b.x = 11;
+	b.y = 31;
+	A a = b;
+	return a.x + b.y;
+}`)
+	if got != 42 {
+		t.Errorf("field slots = %d, want 42", got)
+	}
+}
+
+func TestGlobalsAcrossFunctions(t *testing.T) {
+	got := runInt(t, `
+global int total;
+global float scale;
+func add(int x) { total = total + x; }
+func main() int {
+	scale = 2.0;
+	add(10);
+	add(20);
+	return total * ftoi(scale);
+}`)
+	if got != 60 {
+		t.Errorf("globals = %d, want 60", got)
+	}
+}
+
+func TestBuiltinsMathAndIO(t *testing.T) {
+	got := runFloat(t, `
+func main() float {
+	print_int(42);
+	return sqrt(16.0) + pow(2.0, 3.0) + absf(-1.5) + itof(maxi(2, 7));
+}`)
+	if got != 4+8+1.5+7 {
+		t.Errorf("builtins = %v", got)
+	}
+}
+
+func TestNullComparison(t *testing.T) {
+	got := runInt(t, `
+class Node { Node next; int v; }
+func main() int {
+	Node head = new Node();
+	head.v = 1;
+	head.next = new Node();
+	head.next.v = 2;
+	int sum = 0;
+	Node cur = head;
+	while (cur != null) { sum = sum + cur.v; cur = cur.next; }
+	return sum;
+}`)
+	if got != 3 {
+		t.Errorf("linked list sum = %d, want 3", got)
+	}
+}
+
+func TestBoolValuesAndNot(t *testing.T) {
+	got := runInt(t, `
+func main() int {
+	bool a = 3 < 5;
+	bool b = !a;
+	if (a && !b) { return 1; }
+	return 0;
+}`)
+	if got != 1 {
+		t.Errorf("bool logic = %d, want 1", got)
+	}
+}
+
+func TestThrowMarksMethod(t *testing.T) {
+	prog, err := CompileSource("test", `
+func risky(int x) int {
+	if (x < 0) { throw 7; }
+	return x;
+}
+func main() int { return risky(5); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := prog.MethodByName("risky")
+	if !ok || !prog.Method(id).HasThrow {
+		t.Error("risky not marked HasThrow")
+	}
+}
+
+func TestUncompilableAnnotation(t *testing.T) {
+	prog, err := CompileSource("test", `
+@uncompilable
+func weird() int { return 1; }
+func main() int { return weird(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := prog.MethodByName("weird")
+	if !prog.Method(id).Uncompilable {
+		t.Error("@uncompilable not applied")
+	}
+}
+
+func TestErrorsAreDiagnosed(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"type mismatch", `func main() int { int x = 1.5; return x; }`, "cannot assign"},
+		{"mixed arith", `func main() int { return 1 + 2.0; }`, "matching numeric"},
+		{"undefined var", `func main() int { return y; }`, "undefined variable"},
+		{"undefined func", `func main() int { return nope(); }`, "undefined function"},
+		{"unknown class", `func main() int { Foo f = null; return 0; }`, "unknown class"},
+		{"no main", `func helper() int { return 1; }`, "no main"},
+		{"dup function", `func f() int { return 1; } func f() int { return 2; } func main() int { return 0; }`, "duplicate function"},
+		{"bad condition", `func main() int { if (3) { return 1; } return 0; }`, "must be bool"},
+		{"wrong arity", `func f(int a) int { return a; } func main() int { return f(); }`, "takes 1 arguments"},
+		{"override sig", `class A { func f() int { return 1; } } class B extends A { func f(int x) int { return x; } } func main() int { return 0; }`, "changes signature"},
+		{"builtin shadow", `func sqrt(float x) float { return x; } func main() int { return 0; }`, "shadows a builtin"},
+		{"inherit cycle", `class A extends B { } class B extends A { } func main() int { return 0; }`, "cycle"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			msg := compileErr(t, c.src)
+			if !strings.Contains(msg, c.want) {
+				t.Errorf("error %q does not mention %q", msg, c.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func main() int { return 1 }`,      // missing semicolon
+		`func main() int { return (1; }`,    // unbalanced paren
+		`func main() int { int 3x = 1; }`,   // bad ident
+		`class { }`,                         // missing name
+		`func main() int { /* unterminated`, // comment
+		`func main() int { return 1 $ 2; }`, // bad char
+	}
+	for _, src := range cases {
+		if _, err := CompileSource("test", src); err == nil {
+			t.Errorf("accepted malformed source %q", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := runInt(t, `
+// line comment
+/* block
+   comment */
+func main() int { return 5; /* trailing */ }`)
+	if got != 5 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+func classify(int x) int {
+	if (x < 0) { return 0; }
+	else if (x == 0) { return 1; }
+	else if (x < 10) { return 2; }
+	else { return 3; }
+}
+func main() int { return classify(-5) + classify(0)*10 + classify(5)*100 + classify(50)*1000; }`
+	if got := runInt(t, src); got != 0+10+200+3000 {
+		t.Errorf("else-if chain = %d", got)
+	}
+}
+
+func TestDeepExpressionRegisterRecycling(t *testing.T) {
+	// Deeply nested expression exercises temp alloc/free.
+	got := runInt(t, `
+func main() int {
+	return ((1+2)*(3+4) + (5+6)*(7+8)) * ((1+1)*(2+2) - (3*2));
+}`)
+	want := int64(((1+2)*(3+4) + (5+6)*(7+8)) * ((1+1)*(2+2) - (3 * 2)))
+	if got != want {
+		t.Errorf("nested expr = %d, want %d", got, want)
+	}
+}
+
+func TestForWithoutCondition(t *testing.T) {
+	got := runInt(t, `
+func main() int {
+	int n = 0;
+	for (;;) {
+		n = n + 1;
+		if (n >= 10) { break; }
+	}
+	return n;
+}`)
+	if got != 10 {
+		t.Errorf("infinite-for with break = %d", got)
+	}
+}
+
+func TestNestedBreakContinueTargets(t *testing.T) {
+	got := runInt(t, `
+func main() int {
+	int hits = 0;
+	for (int i = 0; i < 6; i = i + 1) {
+		for (int j = 0; j < 6; j = j + 1) {
+			if (j == 3) { continue; }
+			if (j == 5) { break; }
+			hits = hits + 1;
+		}
+	}
+	return hits;
+}`)
+	if got != 6*4 {
+		t.Errorf("nested loop control = %d, want 24", got)
+	}
+}
+
+func TestMethodCallOnThisImplicitChain(t *testing.T) {
+	got := runInt(t, `
+class A {
+	int v;
+	func bump() int { this.v = this.v + 1; return this.v; }
+	func twice() int { return this.bump() + this.bump(); }
+}
+class B extends A {
+	func bump() int { this.v = this.v + 10; return this.v; }
+}
+func main() int {
+	A b = new B();
+	return b.twice();
+}`)
+	if got != 10+20 {
+		t.Errorf("this-dispatch through override = %d, want 30", got)
+	}
+}
+
+func TestDeepInheritanceChain(t *testing.T) {
+	got := runInt(t, `
+class L0 { func tag() int { return 0; } func id() int { return this.tag() * 10; } }
+class L1 extends L0 { func tag() int { return 1; } }
+class L2 extends L1 { func tag() int { return 2; } }
+class L3 extends L2 { func tag() int { return 3; } }
+func main() int {
+	L0[] xs = new L0[4];
+	xs[0] = new L0(); xs[1] = new L1(); xs[2] = new L2(); xs[3] = new L3();
+	int s = 0;
+	for (int i = 0; i < 4; i = i + 1) { L0 o = xs[i]; s = s * 100 + o.id() + o.tag(); }
+	return s;
+}`)
+	want := int64(0)
+	for _, tag := range []int64{0, 1, 2, 3} {
+		want = want*100 + tag*10 + tag
+	}
+	if got != want {
+		t.Errorf("deep hierarchy = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,652 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+// Parse parses one minic source file.
+func Parse(file, src string) (*File, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	f := &File{Name: file}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "global"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case p.at(tokKeyword, "class"):
+			c, err := p.parseClass()
+			if err != nil {
+				return nil, err
+			}
+			f.Classes = append(f.Classes, c)
+		case p.at(tokKeyword, "func") || p.at(tokPunct, "@"):
+			fn, err := p.parseFunc("")
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errf("expected global, class, or func, got %s", p.peek())
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if !p.at(k, text) {
+		return token{}, p.errf("expected %q, got %s", text, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &Error{File: p.file, Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseType parses int/float/bool/void/ClassName with any number of [].
+func (p *parser) parseType() (Type, error) {
+	var base Type
+	t := p.next()
+	switch {
+	case t.kind == tokKeyword && t.text == "int":
+		base = IntType
+	case t.kind == tokKeyword && t.text == "float":
+		base = FloatType
+	case t.kind == tokKeyword && t.text == "bool":
+		base = BoolType
+	case t.kind == tokKeyword && t.text == "void":
+		base = VoidType
+	case t.kind == tokIdent:
+		base = ClassType(t.text)
+	default:
+		return Type{}, p.errf("expected type, got %s", t)
+	}
+	for p.at(tokPunct, "[") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "]" {
+		p.next()
+		p.next()
+		base = ArrayOf(base)
+	}
+	return base, nil
+}
+
+func (p *parser) parseGlobal() (*GlobalDecl, error) {
+	line := p.peek().line
+	p.next() // global
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, p.errf("expected global name")
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &GlobalDecl{Name: name.text, Type: ty, Line: line}, nil
+}
+
+func (p *parser) parseClass() (*ClassDecl, error) {
+	line := p.peek().line
+	p.next() // class
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, p.errf("expected class name")
+	}
+	c := &ClassDecl{Name: name.text, Line: line}
+	if p.accept(tokKeyword, "extends") {
+		super, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("expected superclass name")
+		}
+		c.Super = super.text
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokKeyword, "func") || p.at(tokPunct, "@") {
+			m, err := p.parseFunc(c.Name)
+			if err != nil {
+				return nil, err
+			}
+			c.Methods = append(c.Methods, m)
+			continue
+		}
+		// Field: type name ;
+		fline := p.peek().line
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("expected field name")
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		c.Fields = append(c.Fields, &FieldDecl{Name: fname.text, Type: ty, Line: fline})
+	}
+	return c, nil
+}
+
+func (p *parser) parseFunc(class string) (*FuncDecl, error) {
+	uncompilable := false
+	for p.accept(tokPunct, "@") {
+		ann, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("expected annotation name after @")
+		}
+		switch ann.text {
+		case "uncompilable":
+			uncompilable = true
+		default:
+			return nil, p.errf("unknown annotation @%s", ann.text)
+		}
+	}
+	line := p.peek().line
+	if _, err := p.expect(tokKeyword, "func"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, p.errf("expected function name")
+	}
+	fn := &FuncDecl{Name: name.text, Class: class, Line: line, Uncompilable: uncompilable, Ret: VoidType}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pname, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("expected parameter name")
+		}
+		fn.Params = append(fn.Params, Param{Name: pname.text, Type: ty})
+	}
+	// Optional return type before the body.
+	if !p.at(tokPunct, "{") {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Ret = ty
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokPunct, "}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// typeAhead reports whether the tokens at pos start a type followed by an
+// identifier (i.e. a variable declaration).
+func (p *parser) typeAhead() bool {
+	t := p.peek()
+	if t.kind == tokKeyword && (t.text == "int" || t.text == "float" || t.text == "bool") {
+		return true
+	}
+	if t.kind != tokIdent {
+		return false
+	}
+	// ClassName ident | ClassName[] ...
+	i := p.pos + 1
+	for i+1 < len(p.toks) && p.toks[i].kind == tokPunct && p.toks[i].text == "[" &&
+		p.toks[i+1].kind == tokPunct && p.toks[i+1].text == "]" {
+		i += 2
+	}
+	return i < len(p.toks) && p.toks[i].kind == tokIdent
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokPunct && t.text == "{":
+		return p.parseBlock()
+
+	case t.kind == tokKeyword && t.text == "if":
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Cond: cond, Then: then}
+		if p.accept(tokKeyword, "else") {
+			if p.at(tokKeyword, "if") {
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = &Block{Stmts: []Stmt{inner}}
+			} else {
+				els, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+		}
+		return st, nil
+
+	case t.kind == tokKeyword && t.text == "while":
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+
+	case t.kind == tokKeyword && t.text == "for":
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		st := &For{}
+		if !p.at(tokPunct, ";") {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ")") {
+			post, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case t.kind == tokKeyword && t.text == "return":
+		p.next()
+		st := &Return{Line: t.line}
+		if !p.at(tokPunct, ";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+
+	case t.kind == tokKeyword && t.text == "throw":
+		p.next()
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Throw{Value: v, Line: t.line}, nil
+
+	case t.kind == tokKeyword && t.text == "break":
+		p.next()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Break{Line: t.line}, nil
+
+	case t.kind == tokKeyword && t.text == "continue":
+		p.next()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Continue{Line: t.line}, nil
+
+	default:
+		st, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+// parseSimpleStmt parses a declaration, assignment, or expression statement
+// (no trailing semicolon).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	if p.typeAhead() {
+		line := p.peek().line
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("expected variable name")
+		}
+		vd := &VarDecl{Name: name.text, Type: ty, Line: line}
+		if p.accept(tokPunct, "=") {
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+		}
+		return vd, nil
+	}
+	line := p.peek().line
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "=") {
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Lhs: lhs, Rhs: rhs, Line: line}, nil
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+// Precedence climbing. Higher binds tighter.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"|": 4, "^": 5, "&": 6,
+	"<<": 7, ">>": 7,
+	"+": 8, "-": 8,
+	"*": 9, "/": 9, "%": 9,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase: exprBase{t.line}, Op: t.text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{t.line}, Op: t.text, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokPunct && t.text == "[":
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{t.line}, Arr: x, Idx: idx}
+		case t.kind == tokPunct && t.text == ".":
+			p.next()
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, p.errf("expected member name after '.'")
+			}
+			if p.at(tokPunct, "(") {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				x = &MethodCall{exprBase: exprBase{t.line}, Recv: x, Name: name.text, Args: args}
+			} else {
+				x = &Field{exprBase: exprBase{t.line}, Recv: x, Name: name.text}
+			}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.accept(tokPunct, ")") {
+		if len(args) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		return &IntLit{exprBase{t.line}, t.ival}, nil
+	case t.kind == tokFloat:
+		p.next()
+		return &FloatLit{exprBase{t.line}, t.fval}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		p.next()
+		return &BoolLit{exprBase{t.line}, true}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		p.next()
+		return &BoolLit{exprBase{t.line}, false}, nil
+	case t.kind == tokKeyword && t.text == "null":
+		p.next()
+		return &NullLit{exprBase{t.line}}, nil
+	case t.kind == tokKeyword && t.text == "this":
+		p.next()
+		return &This{exprBase{t.line}}, nil
+
+	case t.kind == tokKeyword && t.text == "new":
+		p.next()
+		// new C() | new T[expr] ([] suffixes for nested array types)
+		var base Type
+		tt := p.next()
+		switch {
+		case tt.kind == tokKeyword && tt.text == "int":
+			base = IntType
+		case tt.kind == tokKeyword && tt.text == "float":
+			base = FloatType
+		case tt.kind == tokKeyword && tt.text == "bool":
+			base = BoolType
+		case tt.kind == tokIdent:
+			base = ClassType(tt.text)
+		default:
+			return nil, p.errf("expected type after new")
+		}
+		if p.at(tokPunct, "(") {
+			if base.K != TClass {
+				return nil, p.errf("cannot construct %s", base)
+			}
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &NewObject{exprBase{t.line}, base.Class}, nil
+		}
+		if _, err := p.expect(tokPunct, "["); err != nil {
+			return nil, p.errf("expected ( or [ after new %s", base)
+		}
+		size, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		// Trailing [] pairs make the element type an array: new float[n][]
+		// allocates a ref array of n float[] slots.
+		for p.at(tokPunct, "[") && p.toks[p.pos+1].text == "]" {
+			p.next()
+			p.next()
+			base = ArrayOf(base)
+		}
+		return &NewArray{exprBase{t.line}, base, size}, nil
+
+	case t.kind == tokIdent:
+		p.next()
+		if p.at(tokPunct, "(") {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{exprBase{t.line}, t.text, args}, nil
+		}
+		return &Ident{exprBase{t.line}, t.text}, nil
+
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected token %s", t)
+}

@@ -1,0 +1,233 @@
+// Package profile implements §3.1: the sample-based profiler, the static
+// replayability analysis (I/O, non-determinism, JNI, and exception
+// blocklists), Algorithm 1's hot-region detection, and the Fig. 8 runtime
+// code breakdown.
+package profile
+
+import (
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+)
+
+// SamplePeriodCycles approximates the paper's 1 ms sampling period at the
+// pinned clock (≈2.84M cycles); we sample more often so short tests still
+// see enough samples, which only makes the profile finer-grained.
+const SamplePeriodCycles = 20_000
+
+// Profile is a sample-based runtime profile.
+type Profile struct {
+	// Exclusive sample counts per method (innermost frame attribution).
+	Exclusive map[dex.MethodID]uint64
+	// Native sample counts (time spent inside JNI-analogue code).
+	Native map[dex.NativeID]uint64
+	// Total is the total number of samples taken.
+	Total uint64
+}
+
+// NewProfile returns an empty profile; it implements interp.Sampler.
+func NewProfile() *Profile {
+	return &Profile{Exclusive: map[dex.MethodID]uint64{}, Native: map[dex.NativeID]uint64{}}
+}
+
+// Sample implements interp.Sampler.
+func (p *Profile) Sample(stack []dex.MethodID, native dex.NativeID) {
+	p.Total++
+	if native >= 0 {
+		p.Native[native]++
+		return
+	}
+	if len(stack) > 0 {
+		p.Exclusive[stack[len(stack)-1]]++
+	}
+}
+
+// Analysis caches the static replayability/compilability classification of
+// every method in a program.
+type Analysis struct {
+	Prog *dex.Program
+	// ReplayableLocal: the method body itself is free of blocklisted
+	// constructs.
+	ReplayableLocal []bool
+	// ReplayableDeep: the method and everything it can transitively call.
+	ReplayableDeep []bool
+	// Compilable mirrors the Android compiler's pathological-case check.
+	Compilable []bool
+}
+
+// Analyze classifies all methods of prog.
+func Analyze(prog *dex.Program) *Analysis {
+	n := len(prog.Methods)
+	a := &Analysis{
+		Prog:            prog,
+		ReplayableLocal: make([]bool, n),
+		ReplayableDeep:  make([]bool, n),
+		Compilable:      make([]bool, n),
+	}
+	for i, m := range prog.Methods {
+		a.ReplayableLocal[i] = replayableLocal(prog, m)
+		a.Compilable[i] = !m.Uncompilable
+	}
+	// Deep replayability: a method is deep-replayable iff it is locally
+	// replayable and every transitively reachable callee (including
+	// overrides at virtual sites) is too. Computed as a fixpoint over the
+	// negation (unreplayability propagates to callers).
+	for i := range a.ReplayableDeep {
+		a.ReplayableDeep[i] = a.ReplayableLocal[i]
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, m := range prog.Methods {
+			if !a.ReplayableDeep[i] {
+				continue
+			}
+			for _, c := range prog.Callees(m) {
+				if !a.ReplayableDeep[c] {
+					a.ReplayableDeep[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return a
+}
+
+// replayableLocal applies the §3.1 blocklists: no I/O natives, no
+// non-deterministic natives, no JNI beyond the intrinsic-replaceable math
+// calls, and no exception-throwing code (stack-layout hazards).
+func replayableLocal(prog *dex.Program, m *dex.Method) bool {
+	if m.HasThrow {
+		return false
+	}
+	for _, in := range m.Code {
+		if in.Op != dex.OpInvokeNative {
+			continue
+		}
+		nt := prog.Natives[in.Sym]
+		if nt.IO || nt.NonDet || nt.Intrinsic == dex.IntrinsicNone {
+			return false
+		}
+	}
+	return true
+}
+
+// Region is the chosen hot region: a root method plus the compilable
+// methods reachable from it, which the iterative search recompiles.
+type Region struct {
+	Root    dex.MethodID
+	Methods []dex.MethodID // root first, then reachable compilable callees
+	// EstimatedSamples is Algorithm 1's estimateRegionRuntime value.
+	EstimatedSamples uint64
+}
+
+// reachable returns the managed methods reachable from root (including it).
+func reachable(prog *dex.Program, root dex.MethodID) []dex.MethodID {
+	seen := map[dex.MethodID]bool{root: true}
+	order := []dex.MethodID{root}
+	for i := 0; i < len(order); i++ {
+		for _, c := range prog.Callees(prog.Methods[order[i]]) {
+			if !seen[c] {
+				seen[c] = true
+				order = append(order, c)
+			}
+		}
+	}
+	return order
+}
+
+// HotRegion implements Algorithm 1: rank profiled methods by the cumulative
+// exclusive time of their compilable call tree, require the whole tree to be
+// replayable, and return the best region.
+func HotRegion(prog *dex.Program, a *Analysis, p *Profile) (Region, bool) {
+	type cand struct {
+		region Region
+		score  uint64
+	}
+	var best *cand
+	// Every method is a candidate root: a wrapper with no exclusive samples
+	// of its own can still own the hottest compilable call tree.
+	for idi := range prog.Methods {
+		id := dex.MethodID(idi)
+		if !a.ReplayableDeep[id] || !a.Compilable[id] {
+			continue // estimateRegionRuntime = -inf
+		}
+		var methods []dex.MethodID
+		var score uint64
+		for _, m := range reachable(prog, id) {
+			if !a.Compilable[m] {
+				continue
+			}
+			methods = append(methods, m)
+			score += p.Exclusive[m]
+		}
+		// Ties (coarse sampling may miss cheap callees) go to the larger
+		// compilable region: same measured time, more optimizable code.
+		if best == nil || score > best.score ||
+			(score == best.score && len(methods) > len(best.region.Methods)) {
+			best = &cand{region: Region{Root: id, Methods: methods, EstimatedSamples: score}, score: score}
+		}
+	}
+	if best == nil || best.score == 0 {
+		return Region{}, false
+	}
+	return best.region, true
+}
+
+// Category is a Fig. 8 runtime code class.
+type Category uint8
+
+// Fig. 8 categories.
+const (
+	CatCompiled Category = iota
+	CatCold
+	CatJNI
+	CatUnreplayable
+	CatUncompilable
+	numCategories
+)
+
+func (c Category) String() string {
+	return [...]string{"Compiled", "Cold", "JNI", "Unreplayable", "Uncompilable"}[c]
+}
+
+// Breakdown is the Fig. 8 runtime distribution, in fractions of samples.
+type Breakdown [numCategories]float64
+
+// Classify produces the Fig. 8 breakdown of a profile given the chosen hot
+// region.
+func Classify(prog *dex.Program, a *Analysis, p *Profile, region Region) Breakdown {
+	inRegion := map[dex.MethodID]bool{}
+	for _, m := range region.Methods {
+		inRegion[m] = true
+	}
+	var counts [numCategories]uint64
+	for _, n := range p.Native {
+		counts[CatJNI] += n
+	}
+	for id, n := range p.Exclusive {
+		switch {
+		case inRegion[id]:
+			counts[CatCompiled] += n
+		case !a.Compilable[id]:
+			counts[CatUncompilable] += n
+		case !a.ReplayableDeep[id]:
+			counts[CatUnreplayable] += n
+		default:
+			counts[CatCold] += n
+		}
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	var out Breakdown
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+var _ interp.Sampler = (*Profile)(nil)

@@ -1,0 +1,301 @@
+package profile
+
+import (
+	"testing"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+// appSrc: a miniature interactive app: a hot numeric kernel, a cold helper,
+// an I/O path, a random path, and an uncompilable method.
+const appSrc = `
+global int frames;
+
+func hot_kernel(int n) int {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		for (int j = 0; j < 50; j = j + 1) { s = s + i*j % 17; }
+	}
+	return s;
+}
+
+func io_path(int x) {
+	print_int(x);
+	net_send(x);
+}
+
+func random_path() int { return rand_int(100); }
+
+@uncompilable
+func weird(int x) int { return x + 1; }
+
+func cold_setup() int { return weird(1) + 2; }
+
+func main() int {
+	int acc = cold_setup();
+	for (int f = 0; f < 6; f = f + 1) {
+		acc = acc + hot_kernel(40);
+		io_path(acc);
+		acc = acc + random_path() % 3;
+		frames = frames + 1;
+	}
+	return acc;
+}
+`
+
+func buildApp(t *testing.T) (*dex.Program, *Analysis, *Profile) {
+	t.Helper()
+	prog, err := minic.CompileSource("app", appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(prog)
+	proc := rt.NewProcess(prog, rt.Config{})
+	e := interp.NewEnv(proc)
+	p := NewProfile()
+	e.Sampler = p
+	e.SamplePeriod = 2000
+	e.MaxCycles = 1_000_000_000
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return prog, a, p
+}
+
+func mid(t *testing.T, prog *dex.Program, name string) dex.MethodID {
+	t.Helper()
+	id, ok := prog.MethodByName(name)
+	if !ok {
+		t.Fatalf("method %s missing", name)
+	}
+	return id
+}
+
+func TestReplayabilityBlocklists(t *testing.T) {
+	prog, a, _ := buildApp(t)
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"hot_kernel", true},
+		{"io_path", false},     // I/O natives
+		{"random_path", false}, // non-determinism
+		{"weird", true},        // uncompilable but replayable
+		{"main", false},        // calls io_path transitively
+	}
+	for _, c := range cases {
+		id := mid(t, prog, c.name)
+		if got := a.ReplayableDeep[id]; got != c.want {
+			t.Errorf("ReplayableDeep(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if a.Compilable[mid(t, prog, "weird")] {
+		t.Error("weird should be uncompilable")
+	}
+}
+
+func TestThrowBlocklisted(t *testing.T) {
+	prog, err := minic.CompileSource("t", `
+func risky() int { throw 3; }
+func main() int { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(prog)
+	id, _ := prog.MethodByName("risky")
+	if a.ReplayableLocal[id] {
+		t.Error("exception-throwing method marked replayable")
+	}
+}
+
+func TestHotRegionPicksKernel(t *testing.T) {
+	prog, a, p := buildApp(t)
+	region, ok := HotRegion(prog, a, p)
+	if !ok {
+		t.Fatal("no hot region found")
+	}
+	if region.Root != mid(t, prog, "hot_kernel") {
+		t.Errorf("hot region root = %s, want hot_kernel",
+			prog.Methods[region.Root].Name)
+	}
+	if region.EstimatedSamples == 0 {
+		t.Error("zero estimated runtime")
+	}
+	// The region must never include unreplayable or uncompilable methods.
+	for _, m := range region.Methods {
+		if !a.Compilable[m] {
+			t.Errorf("region includes uncompilable %s", prog.Methods[m].Name)
+		}
+	}
+}
+
+func TestBreakdownCoversCategoriesAndSumsToOne(t *testing.T) {
+	prog, a, p := buildApp(t)
+	region, _ := HotRegion(prog, a, p)
+	bd := Classify(prog, a, p, region)
+	sum := 0.0
+	for _, f := range bd {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction out of range: %v", bd)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if bd[CatCompiled] < 0.3 {
+		t.Errorf("hot kernel only %.0f%% of samples", bd[CatCompiled]*100)
+	}
+	if bd[CatJNI] == 0 {
+		t.Error("no JNI time despite print/net calls")
+	}
+	if bd[CatUnreplayable] == 0 {
+		t.Error("no unreplayable time despite main's I/O orchestration")
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	_, _, p1 := buildApp(t)
+	_, _, p2 := buildApp(t)
+	if p1.Total != p2.Total {
+		t.Errorf("sample totals differ: %d vs %d", p1.Total, p2.Total)
+	}
+}
+
+// TestWrapperRootBeatsLeafRoot: a wrapper with zero exclusive samples whose
+// call tree covers two hot leaves must beat either leaf as region root.
+func TestWrapperRootBeatsLeafRoot(t *testing.T) {
+	prog, err := minic.CompileSource("app", `
+func leaf_a(int n) int {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + i*i % 13; }
+	return s;
+}
+func leaf_b(int n) int {
+	int s = 1;
+	for (int i = 0; i < n; i = i + 1) { s = s + (s ^ i) % 11; }
+	return s;
+}
+func wrapper(int n) int { return leaf_a(n) + leaf_b(n); }
+func main() int {
+	int acc = 0;
+	for (int f = 0; f < 5; f = f + 1) { acc = acc + wrapper(4000); }
+	return acc;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(prog)
+	proc := rt.NewProcess(prog, rt.Config{})
+	e := interp.NewEnv(proc)
+	p := NewProfile()
+	e.Sampler = p
+	e.SamplePeriod = 500
+	e.MaxCycles = 1_000_000_000
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	region, ok := HotRegion(prog, a, p)
+	if !ok {
+		t.Fatal("no hot region")
+	}
+	root := prog.Methods[region.Root].Name
+	if root != "wrapper" && root != "main" {
+		t.Errorf("root = %s; a covering caller should beat single leaves", root)
+	}
+	// Both leaves must be inside the region.
+	names := map[string]bool{}
+	for _, m := range region.Methods {
+		names[prog.Methods[m].Name] = true
+	}
+	if !names["leaf_a"] || !names["leaf_b"] {
+		t.Errorf("region %v missing a hot leaf", names)
+	}
+	// Region score must equal the sum of member exclusive samples.
+	var want uint64
+	for _, m := range region.Methods {
+		want += p.Exclusive[m]
+	}
+	if region.EstimatedSamples != want {
+		t.Errorf("EstimatedSamples = %d, want sum %d", region.EstimatedSamples, want)
+	}
+}
+
+// TestHotRegionRejectsUnreplayableTrees: a hot method that transitively
+// reaches I/O can never be a region, even if it dominates the profile.
+func TestHotRegionRejectsUnreplayableTrees(t *testing.T) {
+	prog, err := minic.CompileSource("app", `
+func chatty(int n) int {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + i % 7; }
+	net_send(s);
+	return s;
+}
+func quiet(int n) int {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + i % 5; }
+	return s;
+}
+func main() int {
+	int acc = 0;
+	for (int f = 0; f < 5; f = f + 1) {
+		acc = acc + chatty(9000);
+		acc = acc + quiet(300);
+	}
+	return acc;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(prog)
+	proc := rt.NewProcess(prog, rt.Config{})
+	e := interp.NewEnv(proc)
+	p := NewProfile()
+	e.Sampler = p
+	e.SamplePeriod = 500
+	e.MaxCycles = 1_000_000_000
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// chatty dominates the samples but is unreplayable; main reaches chatty
+	// so it is out too. The only legal region is quiet.
+	if p.Exclusive[mid(t, prog, "chatty")] <= p.Exclusive[mid(t, prog, "quiet")] {
+		t.Skip("sampling did not make chatty dominant; uninformative run")
+	}
+	region, ok := HotRegion(prog, a, p)
+	if !ok {
+		t.Fatal("no region found despite quiet being hot and clean")
+	}
+	if got := prog.Methods[region.Root].Name; got != "quiet" {
+		t.Errorf("root = %s, want quiet (the only replayable hot tree)", got)
+	}
+}
+
+// TestEmptyProfileFindsNoRegion: with no samples there is nothing to pick.
+func TestEmptyProfileFindsNoRegion(t *testing.T) {
+	prog, a, _ := buildApp(t)
+	if _, ok := HotRegion(prog, a, NewProfile()); ok {
+		t.Error("HotRegion found a region in an empty profile")
+	}
+}
+
+// TestNativeSamplesAttributedToJNI: samples landing in native code must be
+// counted in the Native map, not attributed to the managed caller.
+func TestNativeSamplesAttributedToJNI(t *testing.T) {
+	prog, a, p := buildApp(t)
+	region, _ := HotRegion(prog, a, p)
+	bd := Classify(prog, a, p, region)
+	var nativeSamples uint64
+	for _, n := range p.Native {
+		nativeSamples += n
+	}
+	if nativeSamples == 0 {
+		t.Skip("no native samples this run")
+	}
+	if bd[CatJNI] == 0 {
+		t.Error("native samples present but JNI share is zero")
+	}
+}

@@ -1,0 +1,201 @@
+package progen
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/lir"
+	"replayopt/internal/machine"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+// The compiler stack's fuzzer: random programs must compute identical
+// results interpreted, AOT-compiled, and LIR-compiled at every preset and
+// under random safe pipelines — with the IR verifier holding after every
+// pass.
+
+func interpRun(t *testing.T, prog *dex.Program) (uint64, bool) {
+	t.Helper()
+	proc := rt.NewProcess(prog, rt.Config{})
+	e := interp.NewEnv(proc)
+	e.MaxCycles = 2_000_000_000
+	v, err := e.Run()
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return v, true
+}
+
+func runCode(t *testing.T, prog *dex.Program, code *machine.Program, label string) uint64 {
+	t.Helper()
+	proc := rt.NewProcess(prog, rt.Config{})
+	x := machine.NewExec(proc, code)
+	x.MaxCycles = 2_000_000_000
+	v, err := x.Call(prog.Entry, nil)
+	if err != nil {
+		t.Fatalf("%s run: %v", label, err)
+	}
+	return v
+}
+
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		src := Generate(rand.New(rand.NewSource(seed)), Default())
+		if _, err := minic.CompileSource("gen", src); err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestDifferentialAcrossTiers(t *testing.T) {
+	const seeds = 25
+	for seed := int64(0); seed < seeds; seed++ {
+		src := Generate(rand.New(rand.NewSource(seed*131+7)), Default())
+		prog, err := minic.CompileSource("gen", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, _ := interpRun(t, prog)
+
+		android, err := aot.Compile(prog)
+		if err != nil {
+			t.Fatalf("seed %d: aot: %v", seed, err)
+		}
+		if got := runCode(t, prog, android, "aot"); got != want {
+			t.Fatalf("seed %d: aot result %d != %d\n%s", seed, int64(got), int64(want), src)
+		}
+		for _, preset := range []string{"O0", "O1", "O2", "O3"} {
+			cfg, _ := lir.Preset(preset)
+			code, err := lir.Compile(prog, nil, cfg, nil)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, preset, err)
+			}
+			if got := runCode(t, prog, code, preset); got != want {
+				os.WriteFile("/tmp/diff_fail.mc", []byte(src), 0644)
+				t.Fatalf("seed %d: %s result %d != %d (source in /tmp/diff_fail.mc)", seed, preset, int64(got), int64(want))
+			}
+		}
+	}
+}
+
+// Random safe pipelines: any ordering of safe passes must preserve
+// semantics.
+func TestDifferentialRandomSafePipelines(t *testing.T) {
+	safe := lir.SafeOptCatalog()
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed*977 + 3))
+		src := Generate(rng, Default())
+		prog, err := minic.CompileSource("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := interpRun(t, prog)
+		for trial := 0; trial < 4; trial++ {
+			cfg := lir.O0()
+			cfg.Lower.FusedAddressing = rng.Intn(2) == 0
+			cfg.Lower.Machine.FuseLiterals = rng.Intn(2) == 0
+			cfg.Lower.Machine.FuseMaddInt = rng.Intn(2) == 0
+			cfg.Lower.Machine.Schedule = rng.Intn(2) == 0
+			n := rng.Intn(8) + 2
+			for i := 0; i < n; i++ {
+				cfg.Passes = append(cfg.Passes, safe[rng.Intn(len(safe))].Spec)
+			}
+			code, err := lir.Compile(prog, nil, cfg, nil)
+			if err != nil {
+				// Compile-time rejection (e.g. growth cap) is acceptable.
+				continue
+			}
+			if got := runCode(t, prog, code, "random-safe"); got != want {
+				specs := ""
+				for _, p := range cfg.Passes {
+					specs += p.Name + " "
+				}
+				t.Fatalf("seed %d trial %d: pipeline [%s] changed result %d -> %d\n%s",
+					seed, trial, specs, int64(want), int64(got), src)
+			}
+		}
+	}
+}
+
+// The IR verifier must hold after every individual pass on generated
+// programs.
+func TestVerifierHoldsAfterEveryPass(t *testing.T) {
+	passes := lir.PassNames()
+	for seed := int64(0); seed < 8; seed++ {
+		src := Generate(rand.New(rand.NewSource(seed*313+11)), Default())
+		prog, err := minic.CompileSource("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range prog.Methods {
+			for _, name := range passes {
+				f, err := lir.BuildSSA(prog, dex.MethodID(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := lir.VerifyIR(f); err != nil {
+					t.Fatalf("fresh SSA invalid: %v", err)
+				}
+				if err := lir.RunPassForTest(f, name, nil); err != nil {
+					continue // crash-by-design passes may reject
+				}
+				if err := lir.VerifyIR(f); err != nil {
+					t.Fatalf("seed %d, method %s, pass %s broke the IR: %v",
+						seed, prog.Methods[i].Name, name, err)
+				}
+			}
+		}
+	}
+}
+
+// The disassembler must render every generated program without panicking,
+// and validation must accept everything the frontend emits.
+func TestGeneratedProgramsValidateAndDisassemble(t *testing.T) {
+	for seed := int64(50); seed < 70; seed++ {
+		src := Generate(rand.New(rand.NewSource(seed)), Default())
+		prog, err := minic.CompileSource("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if text := prog.DisassembleAll(); len(text) == 0 {
+			t.Fatal("empty disassembly")
+		}
+	}
+}
+
+// AOT must also agree on every generated program when methods are compiled
+// in isolation (mixed-mode with the interpreter).
+func TestDifferentialMixedMode(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		src := Generate(rand.New(rand.NewSource(seed*613+1)), Default())
+		prog, err := minic.CompileSource("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := interpRun(t, prog)
+		full, err := aot.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compile only a subset: odd-indexed methods stay interpreted.
+		partial := machine.NewProgram()
+		i := 0
+		for id, fn := range full.Fns {
+			if i%2 == 0 {
+				partial.Fns[id] = fn
+			}
+			i++
+		}
+		if got := runCode(t, prog, partial, "mixed"); got != want {
+			t.Fatalf("seed %d: mixed-mode result %d != %d", seed, int64(got), int64(want))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+
+	"replayopt/internal/lir"
+	"replayopt/internal/machine"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+func TestStressPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	safe := lir.SafeOptCatalog()
+	for seed := int64(100); seed < 160; seed++ {
+		rng := rand.New(rand.NewSource(seed*31 + 5))
+		src := Generate(rng, Default())
+		prog, err := minic.CompileSource("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p0 := rt.NewProcess(prog, rt.Config{})
+		base, err := lir.Compile(prog, nil, lir.O0(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0 := machine.NewExec(p0, base)
+		x0.MaxCycles = 2_000_000_000
+		want, err := x0.Call(prog.Entry, nil)
+		if err != nil {
+			t.Fatalf("seed %d baseline: %v", seed, err)
+		}
+		for trial := 0; trial < 6; trial++ {
+			cfg := lir.O0()
+			cfg.Lower.FusedAddressing = rng.Intn(2) == 0
+			cfg.Lower.Machine.FuseLiterals = rng.Intn(2) == 0
+			cfg.Lower.Machine.FuseMaddInt = rng.Intn(2) == 0
+			cfg.Lower.Machine.Schedule = rng.Intn(2) == 0
+			cfg.Lower.Machine.NumRegs = 10 + rng.Intn(17)
+			n := rng.Intn(12) + 3
+			for i := 0; i < n; i++ {
+				cfg.Passes = append(cfg.Passes, safe[rng.Intn(len(safe))].Spec)
+			}
+			code, err := lir.Compile(prog, nil, cfg, nil)
+			if err != nil {
+				continue
+			}
+			proc := rt.NewProcess(prog, rt.Config{})
+			x := machine.NewExec(proc, code)
+			x.MaxCycles = 2_000_000_000
+			got, err := x.Call(prog.Entry, nil)
+			if err != nil || got != want {
+				names := ""
+				for _, p := range cfg.Passes {
+					names += p.Name + " "
+				}
+				t.Fatalf("seed %d trial %d: [%s] lower=%+v err=%v got=%d want=%d\n%s",
+					seed, trial, names, cfg.Lower, err, int64(got), int64(want), src)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package replay implements offline replay (§3.3, Fig. 5): a loader
+// restores the captured pages into a fresh address space — staging pages
+// that collide with the loader's own ASLR-randomized mapping, then
+// "breaking free" by relocating itself and moving the staged pages home —
+// restores the architectural state, and executes the hot region under any
+// code version: the baseline compiled binary, the interpreter, or a new
+// LLVM-analogue binary.
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"replayopt/internal/capture"
+	"replayopt/internal/device"
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/machine"
+	"replayopt/internal/mem"
+	"replayopt/internal/rt"
+)
+
+// Tier selects the code version executed during replay (§3.3 step 4).
+type Tier uint8
+
+// Code tiers.
+const (
+	TierCompiled Tier = iota // a machine-code image (baseline or candidate)
+	TierInterp               // the interpreter (verification/profiling runs)
+)
+
+// Request describes one replay.
+type Request struct {
+	Snapshot *capture.Snapshot
+	Prog     *dex.Program
+	Tier     Tier
+	Code     *machine.Program // required for TierCompiled
+	// MaxCycles guards against runaway candidate binaries (runtime
+	// timeout); 0 applies a default of 100x no budget.
+	MaxCycles uint64
+	// Recorder observes the interpreted replay (verification map + type
+	// profile construction, §3.4).
+	Recorder interp.Recorder
+	// ASLRSeed randomizes the loader placement; the same seed reproduces
+	// the same layout.
+	ASLRSeed int64
+}
+
+// Result is one replay's outcome.
+type Result struct {
+	Ret    uint64
+	Cycles uint64
+	Millis float64
+	// Proc exposes the post-replay process for verification-map checks.
+	Proc *rt.Process
+	// Collisions reports how many captured pages the loader had to stage.
+	Collisions int
+}
+
+// loaderPages is the size of the simulated C loader image.
+const loaderPages = 24
+
+// Run performs one replay. The returned error distinguishes runtime crashes
+// (traps, faults) and timeouts of the candidate binary; the caller maps them
+// to Fig. 1 outcome classes.
+func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error) {
+	snap := req.Snapshot
+	rng := rand.New(rand.NewSource(req.ASLRSeed))
+
+	// 1) The loader starts as its own process: its image lands at an
+	// ASLR-randomized base that may collide with captured pages.
+	space := mem.NewAddressSpace()
+	loaderBase := pickLoaderBase(rng, snap)
+	space.Map(loaderBase, loaderPages*mem.PageSize, mem.ProtRW, "loader")
+	loaderEnd := loaderBase + loaderPages*mem.PageSize
+
+	// 2) Load the captured state zero-copy: each region is mapped onto the
+	// snapshot's shared frames (boot-common pages come from the store;
+	// file-backed code is re-mapped; untouched pages are fresh zeroed
+	// pages). Writers Copy-on-Write, so snapshots stay pristine.
+	frames := snap.Frames()
+	boot := store.BootFrames()
+	collisions := 0
+	frameAt := func(pa mem.Addr, r mem.Region) (*mem.Frame, error) {
+		if f, ok := frames[pa]; ok {
+			return f, nil
+		}
+		if r.BootCommon {
+			f, ok := boot[pa]
+			if !ok {
+				return nil, fmt.Errorf("replay: boot-common page %#x missing from store", uint64(pa))
+			}
+			return f, nil
+		}
+		return nil, nil
+	}
+	mapRegion := func(r mem.Region) error {
+		if r.Size() == 0 {
+			return nil
+		}
+		fs := make([]*mem.Frame, r.Size()/mem.PageSize)
+		for i := range fs {
+			f, err := frameAt(r.Start+mem.Addr(i*mem.PageSize), r)
+			if err != nil {
+				return err
+			}
+			fs[i] = f
+		}
+		space.MapFrames(r, fs)
+		return nil
+	}
+	var holes []mem.Region // loader-displaced parts, mapped after break-free
+	for _, r := range snap.Layout {
+		if loaderEnd <= r.Start || loaderBase >= r.End {
+			if err := mapRegion(r); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// The region overlaps the loader: map the parts around it now and
+		// queue the displaced hole for after the loader releases itself.
+		if r.Start < loaderBase {
+			sub := r
+			sub.End = loaderBase
+			if err := mapRegion(sub); err != nil {
+				return nil, err
+			}
+		}
+		if r.End > loaderEnd {
+			sub := r
+			sub.Start = loaderEnd
+			if err := mapRegion(sub); err != nil {
+				return nil, err
+			}
+		}
+		hole := r
+		if hole.Start < loaderBase {
+			hole.Start = loaderBase
+		}
+		if hole.End > loaderEnd {
+			hole.End = loaderEnd
+		}
+		holes = append(holes, hole)
+		for pa := hole.Start; pa < hole.End; pa += mem.PageSize {
+			if _, captured := frames[pa]; captured {
+				collisions++
+			}
+		}
+	}
+
+	// 3) break-free: duplicate the relocation stub to a non-colliding page,
+	// release the loader image, and move the displaced pages home.
+	stub := pickFreePage(space, rng)
+	space.Map(stub, mem.PageSize, mem.ProtRX, "break-free")
+	space.Unmap(loaderBase)
+	for _, h := range holes {
+		if err := mapRegion(h); err != nil {
+			return nil, err
+		}
+	}
+	space.Unmap(stub)
+
+	// 4) Become a partial Android process and execute the chosen version
+	// with the restored architectural state.
+	proc := rt.Attach(req.Prog, space, rt.Config{})
+	res := &Result{Proc: proc, Collisions: collisions}
+
+	maxCycles := req.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	switch req.Tier {
+	case TierInterp:
+		env := interp.NewEnv(proc)
+		env.Natives = interp.BindNatives(req.Prog, interp.NewNativeState(snap.Seed))
+		env.MaxCycles = maxCycles
+		env.Recorder = req.Recorder
+		ret, err := env.Call(snap.Root, snap.Args)
+		res.Cycles = env.Cycles
+		res.Millis = dev.ReplayMillis(env.Cycles)
+		res.Ret = ret
+		if err != nil {
+			return res, err
+		}
+	case TierCompiled:
+		if req.Code == nil {
+			return nil, fmt.Errorf("replay: compiled tier without code image")
+		}
+		x := machine.NewExec(proc, req.Code)
+		x.Fallback.Natives = interp.BindNatives(req.Prog, interp.NewNativeState(snap.Seed))
+		x.MaxCycles = maxCycles
+		ret, err := x.Call(snap.Root, snap.Args)
+		res.Cycles = x.Cycles
+		res.Millis = dev.ReplayMillis(x.Cycles)
+		res.Ret = ret
+		if err != nil {
+			return res, err
+		}
+	default:
+		return nil, fmt.Errorf("replay: unknown tier %d", req.Tier)
+	}
+	return res, nil
+}
+
+// pickLoaderBase picks an ASLR base. With probability ~1/3 it lands inside
+// the captured statics/heap range to exercise collision handling, otherwise
+// in a free area.
+func pickLoaderBase(rng *rand.Rand, snap *capture.Snapshot) mem.Addr {
+	if rng.Intn(3) == 0 && len(snap.Layout) > 0 {
+		r := snap.Layout[rng.Intn(len(snap.Layout))]
+		span := int64(r.Size()) / mem.PageSize
+		if span > 0 {
+			return r.Start + mem.Addr(rng.Int63n(span))*mem.PageSize
+		}
+	}
+	// A high, isolated area.
+	return mem.Addr(0x7f0000000000 + uint64(rng.Intn(1<<16))*mem.PageSize)
+}
+
+// pickFreePage finds a page-aligned address not currently mapped and not
+// part of the captured layout.
+func pickFreePage(space *mem.AddressSpace, rng *rand.Rand) mem.Addr {
+	for {
+		a := mem.Addr(0x7e0000000000 + uint64(rng.Intn(1<<20))*mem.PageSize)
+		if !space.Mapped(a) {
+			return a
+		}
+	}
+}

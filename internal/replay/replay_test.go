@@ -1,0 +1,299 @@
+package replay
+
+import (
+	"testing"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/capture"
+	"replayopt/internal/device"
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/lir"
+	"replayopt/internal/minic"
+	"replayopt/internal/rt"
+)
+
+// The test app: setup builds state in the heap; the hot region consumes it
+// and writes results back (externally visible behavior for verification).
+const appSrc = `
+global float[] data;
+global int[] out;
+global int cursor;
+
+func setup(int n) {
+	data = new float[n];
+	out = new int[8];
+	for (int i = 0; i < n; i = i + 1) { data[i] = itof(i % 91) * 0.25; }
+}
+
+func hot(int rounds) int {
+	float acc = 0.0;
+	for (int r = 0; r < rounds; r = r + 1) {
+		for (int i = 0; i < len(data); i = i + 1) {
+			acc = acc + data[i] * data[i];
+		}
+	}
+	int v = ftoi(acc);
+	out[cursor % 8] = v;
+	cursor = cursor + 1;
+	return v;
+}
+
+func scribble() {
+	for (int i = 0; i < len(data); i = i + 1) { data[i] = 0.0 - 1.0; }
+}
+
+func main() int { setup(600); return hot(2); }
+`
+
+type fixture struct {
+	prog  *dex.Program
+	proc  *rt.Process
+	env   *interp.Env
+	dev   *device.Device
+	store *capture.Store
+	snap  *capture.Snapshot
+	hotID dex.MethodID
+}
+
+func setupFixture(t *testing.T) *fixture {
+	t.Helper()
+	prog, err := minic.CompileSource("app", appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 2_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, []uint64{600}); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	dev := device.New(11)
+	store := capture.NewStore()
+	args := []uint64{3} // rounds
+	snap, err := capture.Capture(proc, dev, store, hotID, args, 0, func() error {
+		_, err := env.Call(hotID, args)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	return &fixture{prog: prog, proc: proc, env: env, dev: dev, store: store, snap: snap, hotID: hotID}
+}
+
+func TestCaptureRecordsOnlyTouchedPages(t *testing.T) {
+	fx := setupFixture(t)
+	st := fx.snap.Stats
+	if st.PagesStored == 0 {
+		t.Fatal("no program pages captured")
+	}
+	// The captured page set must be far smaller than the whole space.
+	if st.PagesStored >= fx.proc.Space.PageCount()/2 {
+		t.Errorf("captured %d of %d pages — not selective", st.PagesStored, fx.proc.Space.PageCount())
+	}
+	if st.ReadFaults == 0 {
+		t.Error("no read faults recorded")
+	}
+	if st.CommonPages == 0 {
+		t.Error("boot-common pages not referenced")
+	}
+	if st.TotalMs() <= 0 {
+		t.Error("no overhead accounted")
+	}
+	if len(fx.snap.FileMaps) == 0 {
+		t.Error("file-backed code mapping not logged")
+	}
+}
+
+func TestCapturePostponedWhenGCImminent(t *testing.T) {
+	fx := setupFixture(t)
+	// Allocate until a GC is imminent, then try to capture.
+	for !fx.proc.GCImminent() {
+		if _, err := fx.proc.NewArray(dex.KindInt, 8192); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := capture.Capture(fx.proc, fx.dev, fx.store, fx.hotID, []uint64{1}, 0,
+		func() error { return nil })
+	if err != capture.ErrGCPostponed {
+		t.Errorf("err = %v, want ErrGCPostponed", err)
+	}
+}
+
+func TestReplayInterpReproducesCapturedExecution(t *testing.T) {
+	fx := setupFixture(t)
+	// Mutate the live state after the capture: the replay must see the
+	// captured state, not the current one.
+	scribbleID, _ := fx.prog.MethodByName("scribble")
+	if _, err := fx.env.Call(scribbleID, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(fx.dev, fx.store, Request{
+		Snapshot: fx.snap, Prog: fx.prog, Tier: TierInterp, ASLRSeed: 42,
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	// The captured run was hot(3) on the post-setup state: recompute the
+	// expected value with a pristine process.
+	want := freshRun(t, fx.prog, fx.hotID, 3)
+	if res.Ret != want {
+		t.Errorf("replayed ret %d, want %d", int64(res.Ret), int64(want))
+	}
+}
+
+// freshRun executes setup+hot(rounds) in a new process.
+func freshRun(t *testing.T, prog *dex.Program, hotID dex.MethodID, rounds uint64) uint64 {
+	t.Helper()
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 2_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	if _, err := env.Call(setupID, []uint64{600}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := env.Call(hotID, []uint64{rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestReplayCompiledTiersAgree(t *testing.T) {
+	fx := setupFixture(t)
+	android, err := aot.Compile(fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llvm, err := lir.Compile(fx.prog, nil, lir.O2(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog, Tier: TierInterp, ASLRSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog, Tier: TierCompiled, Code: android, ASLRSeed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resL, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog, Tier: TierCompiled, Code: llvm, ASLRSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Ret != resI.Ret || resL.Ret != resI.Ret {
+		t.Fatalf("tiers disagree: interp %d, android %d, llvm %d",
+			int64(resI.Ret), int64(resA.Ret), int64(resL.Ret))
+	}
+	if !(resA.Cycles < resI.Cycles) {
+		t.Errorf("compiled replay not faster than interpreted: %d vs %d", resA.Cycles, resI.Cycles)
+	}
+}
+
+func TestReplayDeterministicCycles(t *testing.T) {
+	fx := setupFixture(t)
+	android, err := aot.Compile(fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) uint64 {
+		res, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog,
+			Tier: TierCompiled, Code: android, ASLRSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	// Same input state => same cycle count, regardless of ASLR placement.
+	if a, b := run(1), run(999); a != b {
+		t.Errorf("replay cycles vary with ASLR: %d vs %d", a, b)
+	}
+}
+
+func TestReplayHandlesLoaderCollisions(t *testing.T) {
+	fx := setupFixture(t)
+	sawCollision := false
+	for seed := int64(0); seed < 40; seed++ {
+		res, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog,
+			Tier: TierInterp, ASLRSeed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := freshRun(t, fx.prog, fx.hotID, 3)
+		if res.Ret != want {
+			t.Fatalf("seed %d: collision corrupted replay: %d != %d", seed, int64(res.Ret), int64(want))
+		}
+		if res.Collisions > 0 {
+			sawCollision = true
+		}
+	}
+	if !sawCollision {
+		t.Error("no ASLR seed produced a collision; the break-free path is untested")
+	}
+}
+
+// A store saved to disk and reloaded must replay identically — the offline
+// sessions in §3.7 work from stored captures.
+func TestReplayFromPersistedStore(t *testing.T) {
+	fx := setupFixture(t)
+	path := t.TempDir() + "/store.gob.gz"
+	if err := fx.store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := capture.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Snapshots) != 1 {
+		t.Fatalf("%d snapshots in loaded store", len(loaded.Snapshots))
+	}
+	orig, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog, Tier: TierInterp, ASLRSeed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := Run(fx.dev, loaded, Request{Snapshot: loaded.Snapshots[0], Prog: fx.prog, Tier: TierInterp, ASLRSeed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Ret != rest.Ret || orig.Cycles != rest.Cycles {
+		t.Errorf("persisted replay diverged: ret %d/%d cycles %d/%d",
+			int64(orig.Ret), int64(rest.Ret), orig.Cycles, rest.Cycles)
+	}
+}
+
+func BenchmarkReplayCompiled(b *testing.B) {
+	prog, err := minic.CompileSource("app", appSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 2_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, []uint64{600}); err != nil {
+		b.Fatal(err)
+	}
+	dev := device.New(11)
+	store := capture.NewStore()
+	snap, err := capture.Capture(proc, dev, store, hotID, []uint64{3}, 0, func() error {
+		_, err := env.Call(hotID, []uint64{3})
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, err := aot.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(dev, store, Request{Snapshot: snap, Prog: prog,
+			Tier: TierCompiled, Code: code, ASLRSeed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package rt implements the managed runtime's memory model: heap object and
+// array layout over the paged address space, the statics segment, the boot
+// image, and allocation with GC-safepoint pressure.
+//
+// Everything the managed program can observe lives inside the address space,
+// which is what makes page-granularity capture (§3.2) equivalent to
+// capturing program behavior.
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/mem"
+)
+
+// Segment base addresses. The app's own segments sit well away from each
+// other so they can grow; the replay loader deliberately overlaps some of
+// them to exercise collision handling.
+const (
+	BootBase    mem.Addr = 0x10_0000_0000 // boot image: runtime immutable objects, common across processes
+	CodeBase    mem.Addr = 0x20_0000_0000 // memory-mapped compiled code (file-backed)
+	GCAuxBase   mem.Addr = 0x30_0000_0000 // GC auxiliary structures (cannot be read-protected)
+	StaticsBase mem.Addr = 0x40_0000_0000 // application statics
+	HeapBase    mem.Addr = 0x50_0000_0000 // application heap
+)
+
+// DefaultBootImageBytes is the boot image size: the paper's Fig. 11 reports
+// ~12.6 MB of boot-common pages per capture.
+const DefaultBootImageBytes = 12600 * 1024
+
+// DefaultGCAuxBytes sizes the non-protectable runtime auxiliary region.
+const DefaultGCAuxBytes = 192 * 1024
+
+// heapChunk is the granularity at which heap pages are mapped on demand.
+const heapChunk = 256 * 1024
+
+// GCThreshold is the allocation volume between simulated collections; the
+// capture mechanism postpones captures when a collection is imminent.
+const GCThreshold = 1 << 20
+
+// Object header tags (low byte of the header word).
+const (
+	tagArrayInt   = 1
+	tagArrayFloat = 2
+	tagArrayRef   = 3
+	tagObject     = 4
+)
+
+const headerSize = 8
+
+// TrapKind classifies runtime traps.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapNull TrapKind = iota
+	TrapBounds
+	TrapDivZero
+	TrapBadRef
+	TrapNegSize
+	TrapOOM
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNull:
+		return "null dereference"
+	case TrapBounds:
+		return "array index out of bounds"
+	case TrapDivZero:
+		return "division by zero"
+	case TrapBadRef:
+		return "invalid heap reference"
+	case TrapNegSize:
+		return "negative array size"
+	case TrapOOM:
+		return "out of heap"
+	}
+	return "trap"
+}
+
+// Trap is a runtime exception (NullPointerException and friends).
+type Trap struct {
+	Kind TrapKind
+	Addr mem.Addr
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("rt: %s (addr %#x)", t.Kind, uint64(t.Addr))
+}
+
+// Config sizes a process's segments.
+type Config struct {
+	BootImageBytes uint64
+	GCAuxBytes     uint64
+	HeapLimit      uint64 // maximum heap size; 0 means 64 MiB
+	CodeBytes      uint64 // mapped code size; 0 means 256 KiB
+}
+
+func (c *Config) fill() {
+	if c.BootImageBytes == 0 {
+		c.BootImageBytes = DefaultBootImageBytes
+	}
+	if c.GCAuxBytes == 0 {
+		c.GCAuxBytes = DefaultGCAuxBytes
+	}
+	if c.HeapLimit == 0 {
+		c.HeapLimit = 64 << 20
+	}
+	if c.CodeBytes == 0 {
+		c.CodeBytes = 256 << 10
+	}
+}
+
+// Allocator-state slots inside the GC-aux region. Keeping mutable runtime
+// state *in memory* means a capture automatically snapshots it and a replay
+// automatically restores it — the same property the real Android runtime has.
+const (
+	auxHeapNext     = GCAuxBase      // bump pointer
+	auxAllocSinceGC = GCAuxBase + 8  // bytes allocated since last collection
+	auxGCRuns       = GCAuxBase + 16 // collections so far
+)
+
+// Process is a running application instance: its program, address space, and
+// heap bookkeeping. All mutable runtime state lives inside the address
+// space; the Go-side fields only cache the mapping extent.
+type Process struct {
+	Prog  *dex.Program
+	Space *mem.AddressSpace
+
+	heapMax   mem.Addr // current end of mapped heap
+	heapLimit mem.Addr
+}
+
+// NewProcess maps a fresh process image for prog.
+func NewProcess(prog *dex.Program, cfg Config) *Process {
+	cfg.fill()
+	s := mem.NewAddressSpace()
+	s.MapRegion(mem.Region{Start: BootBase, End: BootBase + mem.Addr(roundUp(cfg.BootImageBytes)), Prot: mem.ProtRead, Name: "boot.art", BootCommon: true})
+	s.MapRegion(mem.Region{Start: CodeBase, End: CodeBase + mem.Addr(roundUp(cfg.CodeBytes)), Prot: mem.ProtRX, Name: prog.Name + ".oat", FileBacked: true})
+	s.MapRegion(mem.Region{Start: GCAuxBase, End: GCAuxBase + mem.Addr(roundUp(cfg.GCAuxBytes)), Prot: mem.ProtRW, Name: "gc-aux", RuntimeAux: true})
+	nglobals := uint64(len(prog.Globals))
+	if nglobals == 0 {
+		nglobals = 1
+	}
+	s.Map(StaticsBase, roundUp(nglobals*8), mem.ProtRW, "statics")
+	p := &Process{
+		Prog:      prog,
+		Space:     s,
+		heapMax:   HeapBase,
+		heapLimit: HeapBase + mem.Addr(cfg.HeapLimit),
+	}
+	p.setAux(auxHeapNext, uint64(HeapBase))
+	p.growHeap(heapChunk)
+	return p
+}
+
+// Attach wraps an address space restored by the replay loader in a Process.
+// Allocator state is read back from the gc-aux pages; the heap extent is
+// recovered from the region map.
+func Attach(prog *dex.Program, s *mem.AddressSpace, cfg Config) *Process {
+	cfg.fill()
+	p := &Process{
+		Prog:      prog,
+		Space:     s,
+		heapMax:   HeapBase,
+		heapLimit: HeapBase + mem.Addr(cfg.HeapLimit),
+	}
+	for _, r := range s.Regions() {
+		if r.Name == "[heap]" && r.End > p.heapMax {
+			p.heapMax = r.End
+		}
+	}
+	return p
+}
+
+func (p *Process) aux(a mem.Addr) uint64 {
+	v, err := p.Space.ReadU64(a)
+	if err != nil {
+		panic("rt: gc-aux region unreadable: " + err.Error())
+	}
+	return v
+}
+
+func (p *Process) setAux(a mem.Addr, v uint64) {
+	if err := p.Space.WriteU64(a, v); err != nil {
+		panic("rt: gc-aux region unwritable: " + err.Error())
+	}
+}
+
+// GCRuns reports the number of simulated collections so far.
+func (p *Process) GCRuns() uint64 { return p.aux(auxGCRuns) }
+
+// AllocClock reports the bytes allocated since the last collection.
+func (p *Process) AllocClock() uint64 { return p.aux(auxAllocSinceGC) }
+
+// ForceGC runs a collection immediately (the runtime exposes explicit GC;
+// the capture scheduler uses it when a capture keeps being postponed by an
+// allocation clock that hovers below the automatic threshold).
+func (p *Process) ForceGC() {
+	p.setAux(auxAllocSinceGC, 0)
+	p.setAux(auxGCRuns, p.aux(auxGCRuns)+1)
+}
+
+func roundUp(n uint64) uint64 {
+	return (n + mem.PageSize - 1) &^ (mem.PageSize - 1)
+}
+
+func (p *Process) growHeap(n uint64) {
+	n = roundUp(n)
+	if n < heapChunk {
+		n = heapChunk
+	}
+	p.Space.Map(p.heapMax, n, mem.ProtRW, "[heap]")
+	p.heapMax += mem.Addr(n)
+}
+
+// HeapUsed returns the number of heap bytes allocated so far.
+func (p *Process) HeapUsed() uint64 { return p.aux(auxHeapNext) - uint64(HeapBase) }
+
+// GCImminent reports whether the next safepoint is likely to trigger a
+// collection; captures are postponed while true (§3.2 step 1).
+func (p *Process) GCImminent() bool { return p.aux(auxAllocSinceGC) > GCThreshold*3/4 }
+
+// Safepoint is the runtime's GC check entry: returns true (and resets the
+// allocation clock) when a simulated collection runs.
+func (p *Process) Safepoint() bool {
+	if p.aux(auxAllocSinceGC) > GCThreshold {
+		p.setAux(auxAllocSinceGC, 0)
+		p.setAux(auxGCRuns, p.aux(auxGCRuns)+1)
+		return true
+	}
+	return false
+}
+
+// alloc reserves n bytes (8-byte aligned) and returns the base address.
+func (p *Process) alloc(n uint64) (mem.Addr, error) {
+	n = (n + 7) &^ 7
+	next := mem.Addr(p.aux(auxHeapNext))
+	if next+mem.Addr(n) > p.heapLimit {
+		return 0, &Trap{Kind: TrapOOM, Addr: next}
+	}
+	for next+mem.Addr(n) > p.heapMax {
+		p.growHeap(n)
+	}
+	p.setAux(auxHeapNext, uint64(next)+n)
+	p.setAux(auxAllocSinceGC, p.aux(auxAllocSinceGC)+n)
+	return next, nil
+}
+
+// NewArray allocates an array of the given element kind and length.
+func (p *Process) NewArray(kind dex.Kind, length int64) (mem.Addr, error) {
+	if length < 0 {
+		return 0, &Trap{Kind: TrapNegSize}
+	}
+	a, err := p.alloc(headerSize + uint64(length)*8)
+	if err != nil {
+		return 0, err
+	}
+	var tag uint64
+	switch kind {
+	case dex.KindInt:
+		tag = tagArrayInt
+	case dex.KindFloat:
+		tag = tagArrayFloat
+	case dex.KindRef:
+		tag = tagArrayRef
+	default:
+		panic("rt: bad array kind")
+	}
+	if err := p.Space.WriteU64(a, tag|uint64(length)<<8); err != nil {
+		return 0, err
+	}
+	return a, nil
+}
+
+// NewObject allocates an instance of class cid with zeroed fields.
+func (p *Process) NewObject(cid dex.ClassID) (mem.Addr, error) {
+	c := p.Prog.Classes[cid]
+	a, err := p.alloc(headerSize + uint64(len(c.Fields))*8)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Space.WriteU64(a, tagObject|uint64(cid)<<8); err != nil {
+		return 0, err
+	}
+	return a, nil
+}
+
+func (p *Process) header(ref mem.Addr) (uint64, error) {
+	if ref == 0 {
+		return 0, &Trap{Kind: TrapNull}
+	}
+	if ref < HeapBase || ref >= p.heapMax {
+		return 0, &Trap{Kind: TrapBadRef, Addr: ref}
+	}
+	return p.Space.ReadU64(ref)
+}
+
+// ArrayLen returns the length of the array at ref.
+func (p *Process) ArrayLen(ref mem.Addr) (int64, error) {
+	h, err := p.header(ref)
+	if err != nil {
+		return 0, err
+	}
+	if t := h & 0xff; t != tagArrayInt && t != tagArrayFloat && t != tagArrayRef {
+		return 0, &Trap{Kind: TrapBadRef, Addr: ref}
+	}
+	return int64(h >> 8), nil
+}
+
+// ArrayElemAddr bounds-checks idx and returns the element address.
+func (p *Process) ArrayElemAddr(ref mem.Addr, idx int64) (mem.Addr, error) {
+	n, err := p.ArrayLen(ref)
+	if err != nil {
+		return 0, err
+	}
+	if idx < 0 || idx >= n {
+		return 0, &Trap{Kind: TrapBounds, Addr: ref}
+	}
+	return ref + headerSize + mem.Addr(idx*8), nil
+}
+
+// ArrayGet loads element idx as raw 64 bits.
+func (p *Process) ArrayGet(ref mem.Addr, idx int64) (uint64, error) {
+	a, err := p.ArrayElemAddr(ref, idx)
+	if err != nil {
+		return 0, err
+	}
+	return p.Space.ReadU64(a)
+}
+
+// ArraySet stores raw 64 bits into element idx.
+func (p *Process) ArraySet(ref mem.Addr, idx int64, v uint64) error {
+	a, err := p.ArrayElemAddr(ref, idx)
+	if err != nil {
+		return err
+	}
+	return p.Space.WriteU64(a, v)
+}
+
+// ObjectClass returns the dynamic class of the object at ref.
+func (p *Process) ObjectClass(ref mem.Addr) (dex.ClassID, error) {
+	h, err := p.header(ref)
+	if err != nil {
+		return 0, err
+	}
+	if h&0xff != tagObject {
+		return 0, &Trap{Kind: TrapBadRef, Addr: ref}
+	}
+	return dex.ClassID(h >> 8), nil
+}
+
+// FieldAddr returns the address of field slot of the object at ref.
+func (p *Process) FieldAddr(ref mem.Addr, slot int64) (mem.Addr, error) {
+	if _, err := p.ObjectClass(ref); err != nil {
+		return 0, err
+	}
+	return ref + headerSize + mem.Addr(slot*8), nil
+}
+
+// FieldGet loads a field as raw 64 bits.
+func (p *Process) FieldGet(ref mem.Addr, slot int64) (uint64, error) {
+	a, err := p.FieldAddr(ref, slot)
+	if err != nil {
+		return 0, err
+	}
+	return p.Space.ReadU64(a)
+}
+
+// FieldSet stores raw 64 bits into a field.
+func (p *Process) FieldSet(ref mem.Addr, slot int64, v uint64) error {
+	a, err := p.FieldAddr(ref, slot)
+	if err != nil {
+		return err
+	}
+	return p.Space.WriteU64(a, v)
+}
+
+// GlobalAddr returns the address of static slot.
+func (p *Process) GlobalAddr(slot int64) mem.Addr { return StaticsBase + mem.Addr(slot*8) }
+
+// GlobalGet loads static slot.
+func (p *Process) GlobalGet(slot int64) (uint64, error) {
+	return p.Space.ReadU64(p.GlobalAddr(slot))
+}
+
+// GlobalSet stores static slot.
+func (p *Process) GlobalSet(slot int64, v uint64) error {
+	return p.Space.WriteU64(p.GlobalAddr(slot), v)
+}
+
+// F2U and U2F convert between float64 values and their raw register bits.
+func F2U(f float64) uint64 { return math.Float64bits(f) }
+
+// U2F converts raw register bits to a float64.
+func U2F(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,224 @@
+package rt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/mem"
+)
+
+func testProg() *dex.Program {
+	p := &dex.Program{
+		Name: "t",
+		Classes: []*dex.Class{
+			{Name: "Point", Super: dex.NoClass, Fields: []dex.Field{
+				{Name: "x", Kind: dex.KindInt},
+				{Name: "y", Kind: dex.KindFloat},
+			}},
+		},
+		Globals: []dex.Global{{Name: "g0", Kind: dex.KindInt}, {Name: "g1", Kind: dex.KindFloat}},
+		Methods: []*dex.Method{{Name: "main", Class: dex.NoClass, NumRegs: 1,
+			Code: []dex.Insn{{Op: dex.OpReturnVoid}}}},
+	}
+	p.BuildIndex()
+	return p
+}
+
+func TestProcessSegments(t *testing.T) {
+	p := NewProcess(testProg(), Config{})
+	var boot, code, gcaux, statics, heap bool
+	for _, r := range p.Space.Regions() {
+		switch r.Name {
+		case "boot.art":
+			boot = r.BootCommon
+		case "t.oat":
+			code = r.FileBacked
+		case "gc-aux":
+			gcaux = r.RuntimeAux
+		case "statics":
+			statics = true
+		case "[heap]":
+			heap = true
+		}
+	}
+	if !boot || !code || !gcaux || !statics || !heap {
+		t.Fatalf("missing or misflagged segments: boot=%v code=%v gcaux=%v statics=%v heap=%v",
+			boot, code, gcaux, statics, heap)
+	}
+}
+
+func TestArrayRoundTripAndBounds(t *testing.T) {
+	p := NewProcess(testProg(), Config{})
+	a, err := p.NewArray(dex.KindInt, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.ArrayLen(a)
+	if err != nil || n != 10 {
+		t.Fatalf("ArrayLen = %d, %v; want 10", n, err)
+	}
+	if err := p.ArraySet(a, 3, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.ArrayGet(a, 3)
+	if err != nil || v != 42 {
+		t.Fatalf("ArrayGet = %d, %v", v, err)
+	}
+	if _, err := p.ArrayGet(a, 10); err == nil {
+		t.Error("out-of-bounds read succeeded")
+	} else if tr, ok := err.(*Trap); !ok || tr.Kind != TrapBounds {
+		t.Errorf("err = %v, want bounds trap", err)
+	}
+	if _, err := p.ArrayGet(a, -1); err == nil {
+		t.Error("negative-index read succeeded")
+	}
+	if _, err := p.NewArray(dex.KindInt, -5); err == nil {
+		t.Error("negative-size allocation succeeded")
+	}
+}
+
+func TestNullAndBadRefTraps(t *testing.T) {
+	p := NewProcess(testProg(), Config{})
+	if _, err := p.ArrayLen(0); err == nil {
+		t.Error("null array length succeeded")
+	} else if tr := err.(*Trap); tr.Kind != TrapNull {
+		t.Errorf("kind = %v, want null", tr.Kind)
+	}
+	if _, err := p.FieldGet(0x123, 0); err == nil {
+		t.Error("bad-ref field read succeeded")
+	}
+}
+
+func TestObjectFieldsAndDynamicClass(t *testing.T) {
+	p := NewProcess(testProg(), Config{})
+	o, err := p.NewObject(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, err := p.ObjectClass(o)
+	if err != nil || cid != 0 {
+		t.Fatalf("ObjectClass = %d, %v", cid, err)
+	}
+	if err := p.FieldSet(o, 1, F2U(3.5)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.FieldGet(o, 1)
+	if err != nil || U2F(v) != 3.5 {
+		t.Fatalf("FieldGet = %v, %v", U2F(v), err)
+	}
+	// Fields start zeroed.
+	v, err = p.FieldGet(o, 0)
+	if err != nil || v != 0 {
+		t.Fatalf("fresh field = %d, %v; want 0", v, err)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	p := NewProcess(testProg(), Config{})
+	if err := p.GlobalSet(1, F2U(2.25)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.GlobalGet(1)
+	if err != nil || U2F(v) != 2.25 {
+		t.Fatalf("GlobalGet = %v, %v", U2F(v), err)
+	}
+}
+
+func TestHeapGrowsOnDemand(t *testing.T) {
+	p := NewProcess(testProg(), Config{HeapLimit: 8 << 20})
+	var last mem.Addr
+	for i := 0; i < 40; i++ {
+		a, err := p.NewArray(dex.KindFloat, 16*1024) // 128 KiB each
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if a <= last {
+			t.Fatal("bump allocator went backwards")
+		}
+		last = a
+	}
+	if p.HeapUsed() < 40*16*1024*8 {
+		t.Errorf("HeapUsed = %d, too small", p.HeapUsed())
+	}
+}
+
+func TestHeapLimitTrapsOOM(t *testing.T) {
+	p := NewProcess(testProg(), Config{HeapLimit: 1 << 20})
+	_, err := p.NewArray(dex.KindInt, 1<<20)
+	if err == nil {
+		t.Fatal("over-limit allocation succeeded")
+	}
+	if tr := err.(*Trap); tr.Kind != TrapOOM {
+		t.Errorf("kind = %v, want OOM", tr.Kind)
+	}
+}
+
+func TestGCPressureAndSafepoint(t *testing.T) {
+	p := NewProcess(testProg(), Config{})
+	if p.GCImminent() {
+		t.Fatal("fresh process already GC-imminent")
+	}
+	for !p.GCImminent() {
+		if _, err := p.NewArray(dex.KindInt, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep allocating past the threshold, then a safepoint must collect.
+	for p.AllocClock() <= GCThreshold {
+		if _, err := p.NewArray(dex.KindInt, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Safepoint() {
+		t.Fatal("safepoint did not collect past threshold")
+	}
+	if p.GCRuns() != 1 || p.GCImminent() {
+		t.Errorf("GCRuns = %d, imminent = %v after collection", p.GCRuns(), p.GCImminent())
+	}
+}
+
+// Property: arrays behave like Go slices under arbitrary in-bounds
+// write/read sequences.
+func TestQuickArraySemantics(t *testing.T) {
+	p := NewProcess(testProg(), Config{})
+	f := func(writes []uint8, vals []uint64) bool {
+		const n = 32
+		ref, err := p.NewArray(dex.KindInt, n)
+		if err != nil {
+			return false
+		}
+		model := make([]uint64, n)
+		for i, w := range writes {
+			if len(vals) == 0 {
+				break
+			}
+			idx := int64(w) % n
+			v := vals[i%len(vals)]
+			model[idx] = v
+			if p.ArraySet(ref, idx, v) != nil {
+				return false
+			}
+		}
+		for i, want := range model {
+			got, err := p.ArrayGet(ref, int64(i))
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		y := U2F(F2U(x))
+		return y == x || (x != x && y != y) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

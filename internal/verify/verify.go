@@ -1,0 +1,113 @@
+// Package verify implements §3.4: an interpreted replay records the hot
+// region's externally visible behavior — every modified heap/static location
+// with its final value, plus the region's return value — into a verification
+// map. Candidate binaries are checked against the map after each replay;
+// mismatches mean the optimization sequence miscompiled the region and the
+// genome is discarded. The same interpreted replay also collects the
+// virtual-call type profile that drives speculative devirtualization.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"replayopt/internal/capture"
+	"replayopt/internal/device"
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/lir"
+	"replayopt/internal/mem"
+	"replayopt/internal/replay"
+)
+
+// Map is the verification map.
+type Map struct {
+	Entries map[mem.Addr]uint64
+	Ret     uint64
+	Void    bool // the region returns nothing; skip the return check
+}
+
+// MismatchError reports a failed verification.
+type MismatchError struct {
+	Addr    mem.Addr // 0 for return-value mismatches
+	Want    uint64
+	Got     uint64
+	IsRet   bool
+	Missing bool
+}
+
+func (e *MismatchError) Error() string {
+	if e.IsRet {
+		return fmt.Sprintf("verify: return value %#x, want %#x", e.Got, e.Want)
+	}
+	if e.Missing {
+		return fmt.Sprintf("verify: location %#x unreadable", uint64(e.Addr))
+	}
+	return fmt.Sprintf("verify: location %#x holds %#x, want %#x", uint64(e.Addr), e.Got, e.Want)
+}
+
+// recorder collects store addresses and virtual dispatches during the
+// interpreted replay.
+type recorder struct {
+	stores map[mem.Addr]bool
+	prof   *lir.Profile
+}
+
+func (r *recorder) Store(a mem.Addr) { r.stores[a] = true }
+func (r *recorder) Dispatch(s interp.CallSite, c dex.ClassID) {
+	r.prof.Record(lir.SiteKey{Method: s.Method, PC: s.PC}, c)
+}
+
+// Build replays snap under the interpreter and constructs the verification
+// map and the type profile.
+func Build(dev *device.Device, store *capture.Store, snap *capture.Snapshot,
+	prog *dex.Program) (*Map, *lir.Profile, error) {
+
+	rec := &recorder{stores: map[mem.Addr]bool{}, prof: lir.NewProfile()}
+	res, err := replay.Run(dev, store, replay.Request{
+		Snapshot: snap,
+		Prog:     prog,
+		Tier:     replay.TierInterp,
+		Recorder: rec,
+		ASLRSeed: 1,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("verify: interpreted replay failed: %w", err)
+	}
+	m := &Map{Entries: make(map[mem.Addr]uint64, len(rec.stores))}
+	addrs := make([]mem.Addr, 0, len(rec.stores))
+	for a := range rec.stores {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		v, err := res.Proc.Space.ReadU64(a)
+		if err != nil {
+			return nil, nil, fmt.Errorf("verify: reading %#x: %w", uint64(a), err)
+		}
+		m.Entries[a] = v
+	}
+	m.Ret = res.Ret
+	m.Void = prog.Methods[snap.Root].Ret == dex.KindVoid
+	return m, rec.prof, nil
+}
+
+// Check compares a candidate replay's observable behavior against the map.
+func (m *Map) Check(res *replay.Result) error {
+	if !m.Void && res.Ret != m.Ret {
+		return &MismatchError{IsRet: true, Got: res.Ret, Want: m.Ret}
+	}
+	for a, want := range m.Entries {
+		got, err := res.Proc.Space.ReadU64(a)
+		if err != nil {
+			return &MismatchError{Addr: a, Want: want, Missing: true}
+		}
+		if got != want {
+			return &MismatchError{Addr: a, Want: want, Got: got}
+		}
+	}
+	return nil
+}
+
+// Size reports the number of tracked locations (documentation/inspection).
+func (m *Map) Size() int { return len(m.Entries) }

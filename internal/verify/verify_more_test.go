@@ -1,0 +1,40 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"replayopt/internal/mem"
+)
+
+func TestMismatchErrorMessages(t *testing.T) {
+	retErr := &MismatchError{IsRet: true, Got: 2, Want: 3}
+	if !strings.Contains(retErr.Error(), "return value") {
+		t.Errorf("ret error: %v", retErr)
+	}
+	locErr := &MismatchError{Addr: mem.Addr(0x5000), Got: 7, Want: 9}
+	msg := locErr.Error()
+	if !strings.Contains(msg, "0x5000") || !strings.Contains(msg, "0x9") {
+		t.Errorf("loc error: %v", msg)
+	}
+	missing := &MismatchError{Addr: mem.Addr(0x6000), Missing: true}
+	if !strings.Contains(missing.Error(), "unreadable") {
+		t.Errorf("missing error: %v", missing)
+	}
+}
+
+func TestMapCheckVoidSkipsReturn(t *testing.T) {
+	m := &Map{Entries: map[mem.Addr]uint64{}, Ret: 42, Void: true}
+	// A void region never fails on the return value; with no entries any
+	// replay result passes.
+	fx := setupFixture(t)
+	res := replayBaseline(t, fx)
+	res.Ret = 7 // wrong vs m.Ret, but the map is void
+	if err := m.Check(res); err != nil {
+		t.Errorf("void map rejected: %v", err)
+	}
+	m.Void = false
+	if err := m.Check(res); err == nil {
+		t.Error("non-void map accepted a wrong return value")
+	}
+}

@@ -1,0 +1,227 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/capture"
+	"replayopt/internal/device"
+	"replayopt/internal/dex"
+	"replayopt/internal/interp"
+	"replayopt/internal/lir"
+	"replayopt/internal/minic"
+	"replayopt/internal/replay"
+	"replayopt/internal/rt"
+)
+
+const appSrc = `
+global int[] results;
+global int calls;
+
+class Step { func f(int x) int { return x + 1; } }
+class Triple extends Step { func f(int x) int { return x * 3; } }
+
+func setup() {
+	results = new int[16];
+}
+
+func hot(int n) int {
+	Step s = new Triple();
+	int acc = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		acc = acc + s.f(i);
+		acc = acc % 65521;
+	}
+	results[calls % 16] = acc;
+	calls = calls + 1;
+	return acc;
+}
+
+func main() int { setup(); return hot(50); }
+`
+
+type fixture struct {
+	prog  *dex.Program
+	dev   *device.Device
+	store *capture.Store
+	snap  *capture.Snapshot
+}
+
+func setupFixture(t *testing.T) *fixture {
+	t.Helper()
+	prog, err := minic.CompileSource("v", appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	env := interp.NewEnv(proc)
+	env.MaxCycles = 1_000_000_000
+	setupID, _ := prog.MethodByName("setup")
+	hotID, _ := prog.MethodByName("hot")
+	if _, err := env.Call(setupID, nil); err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(5)
+	store := capture.NewStore()
+	args := []uint64{200}
+	snap, err := capture.Capture(proc, dev, store, hotID, args, 0, func() error {
+		_, err := env.Call(hotID, args)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{prog: prog, dev: dev, store: store, snap: snap}
+}
+
+func TestBuildProducesMapAndProfile(t *testing.T) {
+	fx := setupFixture(t)
+	m, prof, err := Build(fx.dev, fx.store, fx.snap, fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() == 0 {
+		t.Error("empty verification map despite array/global writes")
+	}
+	if m.Void {
+		t.Error("hot returns int; map marked void")
+	}
+	if len(prof.Virt) == 0 {
+		t.Error("no virtual sites profiled")
+	}
+	// The dominant class at the loop's call site must be Triple.
+	for site := range prof.Virt {
+		cls, share, ok := prof.Dominant(site)
+		if !ok || share != 1.0 {
+			t.Errorf("site %+v: share %v", site, share)
+		}
+		if fx.prog.Classes[cls].Name != "Triple" {
+			t.Errorf("dominant class %s, want Triple", fx.prog.Classes[cls].Name)
+		}
+	}
+}
+
+func TestCorrectBinariesPassVerification(t *testing.T) {
+	fx := setupFixture(t)
+	m, prof, err := Build(fx.dev, fx.store, fx.snap, fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	android, err := aot.Compile(fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []lir.Config{lir.O0(), lir.O2(), lir.O3()}
+	codes := []*replay.Request{
+		{Snapshot: fx.snap, Prog: fx.prog, Tier: replay.TierCompiled, Code: android, ASLRSeed: 9},
+	}
+	for i, cfg := range cfgs {
+		code, err := lir.Compile(fx.prog, nil, cfg, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, &replay.Request{Snapshot: fx.snap, Prog: fx.prog,
+			Tier: replay.TierCompiled, Code: code, ASLRSeed: int64(10 + i)})
+	}
+	// A devirtualized build must also pass.
+	devirtCfg := lir.O2()
+	devirtCfg.Passes = append(devirtCfg.Passes, lir.PassSpec{Name: "devirt"})
+	code, err := lir.Compile(fx.prog, nil, devirtCfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes = append(codes, &replay.Request{Snapshot: fx.snap, Prog: fx.prog,
+		Tier: replay.TierCompiled, Code: code, ASLRSeed: 20})
+
+	for i, req := range codes {
+		res, err := replay.Run(fx.dev, fx.store, *req)
+		if err != nil {
+			t.Fatalf("request %d: replay: %v", i, err)
+		}
+		if err := m.Check(res); err != nil {
+			t.Errorf("request %d: verification failed: %v", i, err)
+		}
+	}
+}
+
+func TestMiscompiledBinaryIsRejected(t *testing.T) {
+	fx := setupFixture(t)
+	m, _, err := Build(fx.dev, fx.store, fx.snap, fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// no-remainder unroll on trip count 200 % 2 == 0... use factor 3 so the
+	// remainder is dropped (200 % 3 = 2 iterations lost).
+	cfg := lir.O1()
+	cfg.Passes = append(cfg.Passes, lir.PassSpec{Name: "unroll",
+		Params: map[string]int{"factor": 3, "no-remainder": 1}})
+	code, err := lir.Compile(fx.prog, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := replay.Run(fx.dev, fx.store, replay.Request{
+		Snapshot: fx.snap, Prog: fx.prog, Tier: replay.TierCompiled, Code: code, ASLRSeed: 30})
+	if err != nil {
+		// A crash is also an acceptable rejection path.
+		return
+	}
+	if err := m.Check(res); err == nil {
+		t.Fatal("verification accepted a miscompiled binary")
+	} else {
+		var mm *MismatchError
+		if !errors.As(err, &mm) {
+			t.Errorf("unexpected error type %T", err)
+		}
+	}
+}
+
+func TestVerificationCatchesSilentStateCorruption(t *testing.T) {
+	fx := setupFixture(t)
+	m, _, err := Build(fx.dev, fx.store, fx.snap, fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alias-blind DSE may delete the externally visible results[] store.
+	cfg := lir.O1()
+	cfg.Passes = append(cfg.Passes, lir.PassSpec{Name: "dse",
+		Params: map[string]int{"alias-blind": 1}})
+	code, err := lir.Compile(fx.prog, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := replay.Run(fx.dev, fx.store, replay.Request{
+		Snapshot: fx.snap, Prog: fx.prog, Tier: replay.TierCompiled, Code: code, ASLRSeed: 31})
+	if err != nil {
+		return // crash = rejected, fine
+	}
+	// Either the binary happens to be correct on this region (acceptable)
+	// or verification must flag it; it must never be accepted with wrong
+	// memory.
+	if err := m.Check(res); err == nil {
+		// Cross-check against a pristine interpreted replay.
+		ref, err2 := replay.Run(fx.dev, fx.store, replay.Request{
+			Snapshot: fx.snap, Prog: fx.prog, Tier: replay.TierInterp, ASLRSeed: 32})
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		if ref.Ret != res.Ret {
+			t.Error("verification accepted a binary with a wrong return value")
+		}
+	}
+}
+
+// replayBaseline runs one baseline compiled replay for a fixture.
+func replayBaseline(t *testing.T, fx *fixture) *replay.Result {
+	t.Helper()
+	android, err := aot.Compile(fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := replay.Run(fx.dev, fx.store, replay.Request{
+		Snapshot: fx.snap, Prog: fx.prog, Tier: replay.TierCompiled, Code: android, ASLRSeed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
