@@ -12,11 +12,16 @@ package replayopt
 // cmd/experiments -scale full.
 
 import (
+	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"replayopt/internal/exp"
+	"replayopt/internal/ga"
 )
 
 func benchScale(b *testing.B) exp.Scale {
@@ -283,4 +288,66 @@ func BenchmarkScheduleTable(b *testing.B) {
 			fmt.Println(t.String())
 		}
 	}
+}
+
+// BenchmarkSearchParallel measures the tentpole of the parallel evaluator:
+// the same seeded GA search at 1 worker vs one per core. The searches must
+// agree genome for genome (the determinism guarantee); only the wall clock
+// may differ. Results land in BENCH_parallel.json so the perf trajectory is
+// recorded run over run.
+func BenchmarkSearchParallel(b *testing.B) {
+	scale := benchScale(b)
+	p, _, err := exp.PrepareApp("FFT", benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := scale.GA
+	opts.BaselineAndroidMs = p.AndroidEval.MeanMs
+	opts.BaselineO3Ms = p.O3Eval.MeanMs
+
+	run := func(parallelism int) (*ga.Result, float64) {
+		o := opts
+		o.Parallelism = parallelism
+		start := time.Now()
+		res := ga.Search(rand.New(rand.NewSource(benchSeed)), p, o)
+		return res, time.Since(start).Seconds() * 1000
+	}
+
+	cpus := runtime.NumCPU()
+	var serialMs, parMs float64
+	var res *ga.Result
+	for i := 0; i < b.N; i++ {
+		serial, sMs := run(1)
+		par, pMs := run(cpus)
+		if serial.Best.String() != par.Best.String() {
+			b.Fatalf("parallel search diverged:\n%s\n%s", serial.Best, par.Best)
+		}
+		serialMs, parMs, res = sMs, pMs, par
+	}
+	speedup := serialMs / parMs
+	b.ReportMetric(serialMs, "serial-ms")
+	b.ReportMetric(parMs, "parallel-ms")
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(res.Stats.CacheHits), "cache-hits")
+
+	artifact, err := json.MarshalIndent(map[string]any{
+		"benchmark":       "SearchParallel",
+		"app":             "FFT",
+		"scale":           scale.Name,
+		"workers":         cpus,
+		"serial_ms":       serialMs,
+		"parallel_ms":     parMs,
+		"speedup":         speedup,
+		"evaluations":     res.Stats.Evaluations,
+		"cache_hits":      res.Stats.CacheHits,
+		"saved_replay_ms": res.Stats.SavedReplayMs,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(artifact, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("search 1 worker: %.0f ms; %d workers: %.0f ms (%.2fx); %d/%d measurements cached\n",
+		serialMs, cpus, parMs, speedup, res.Stats.CacheHits, res.Stats.Considered)
 }

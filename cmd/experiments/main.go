@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-fig all|table1|1|2|3|7|8|9|10|11|schedule|ablations] [-seed N] [-apps a,b,c]
+//	experiments [-scale quick|full] [-fig all|table1|1|2|3|7|8|9|10|11|schedule|ablations] [-seed N] [-apps a,b,c] [-parallel N]
 //
 // The full scale mirrors §4 exactly (11 generations x 50 genomes, 100 random
 // sequences, 10^4 online evaluations) and takes several minutes for the
@@ -24,6 +24,7 @@ func main() {
 	fig := flag.String("fig", "all", "which result to regenerate: all, table1, 1, 2, 3, 7, 8, 9, 10, 11, schedule, ablations")
 	seed := flag.Int64("seed", 1, "seed for every stochastic component")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 21)")
+	parallel := flag.Int("parallel", 0, "worker count for per-app pipelines and candidate evaluation (0 = all cores); results are identical at any value")
 	flag.Parse()
 
 	var scale exp.Scale
@@ -39,6 +40,8 @@ func main() {
 	if *appsFlag != "" {
 		scale.Apps = strings.Split(*appsFlag, ",")
 	}
+	scale.Workers = *parallel
+	scale.GA.Parallelism = *parallel
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	emit := func(t *exp.Table, err error) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	replayopt -app FFT [-seed 1] [-pop 50] [-gens 11] [-crossvalidate 3]
+//	replayopt -app FFT [-seed 1] [-pop 50] [-gens 11] [-parallel N] [-crossvalidate 3]
 //	replayopt -list
 package main
 
@@ -26,6 +26,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for all stochastic components")
 	pop := flag.Int("pop", 50, "GA population size")
 	gens := flag.Int("gens", 11, "GA generations")
+	parallel := flag.Int("parallel", 0,
+		"candidate-evaluation workers (0 = all cores); the search result is identical at any value")
 	crossval := flag.Int("crossvalidate", 0,
 		"also cross-validate the winner on N held-out captured inputs (DESIGN.md §7)")
 	flag.Parse()
@@ -51,6 +53,7 @@ func main() {
 	opts.Seed = *seed
 	opts.GA.Population = *pop
 	opts.GA.Generations = *gens
+	opts.GA.Parallelism = *parallel
 	opt := core.New(opts)
 
 	fmt.Printf("optimizing %s (%s: %s)\n", spec.Name, spec.Type, spec.Desc)
@@ -78,6 +81,8 @@ func main() {
 		float64(rep.Capture.ProgramBytes())/(1<<20), float64(rep.Capture.CommonBytes())/(1<<20))
 	fmt.Printf("verification map: %d locations\n", rep.VerifyMapSize)
 	fmt.Printf("\nsearch: %d genomes evaluated, halt: %s\n", len(rep.Search.Trace), rep.Search.Halt)
+	fmt.Printf("evaluation cache: %d of %d measurements served from cache (%.1f s of replay skipped)\n",
+		rep.SearchStats.CacheHits, rep.SearchStats.Considered, rep.SearchStats.SavedReplayMs/1000)
 	fmt.Printf("best genome: %s\n", rep.Search.Best)
 	fmt.Printf("\nregion replay means: Android %.4f ms | -O3 %.4f ms | GA %.4f ms (%.2fx over Android)\n",
 		rep.AndroidRegionMs, rep.O3RegionMs, rep.GARegionMs, rep.RegionSpeedupGA)

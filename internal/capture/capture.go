@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"replayopt/internal/device"
 	"replayopt/internal/dex"
@@ -74,12 +75,16 @@ type Snapshot struct {
 
 	Stats Stats
 
-	frames map[mem.Addr]*mem.Frame // lazy zero-copy view of Pages
+	framesMu sync.Mutex
+	frames   map[mem.Addr]*mem.Frame // lazy zero-copy view of Pages
 }
 
 // Frames returns a shared-frame view of the captured pages; replays map
-// these without copying (writers Copy-on-Write them).
+// these without copying (writers Copy-on-Write them). Safe for concurrent
+// use: parallel candidate evaluations load the same snapshot at once.
 func (s *Snapshot) Frames() map[mem.Addr]*mem.Frame {
+	s.framesMu.Lock()
+	defer s.framesMu.Unlock()
 	if s.frames == nil {
 		s.frames = make(map[mem.Addr]*mem.Frame, len(s.Pages))
 		for pa, data := range s.Pages {
@@ -94,14 +99,19 @@ type Store struct {
 	BootPages map[mem.Addr][]byte
 	Snapshots []*Snapshot
 
+	bootMu     sync.Mutex
 	bootFrames map[mem.Addr]*mem.Frame
 }
 
 // NewStore returns an empty snapshot store.
 func NewStore() *Store { return &Store{BootPages: map[mem.Addr][]byte{}} }
 
-// BootFrames returns the shared-frame view of the boot-common pages.
+// BootFrames returns the shared-frame view of the boot-common pages. Safe
+// for concurrent use by parallel replays; captures (which grow BootPages)
+// must not run concurrently with replays of the same store.
 func (s *Store) BootFrames() map[mem.Addr]*mem.Frame {
+	s.bootMu.Lock()
+	defer s.bootMu.Unlock()
 	if s.bootFrames == nil || len(s.bootFrames) != len(s.BootPages) {
 		s.bootFrames = make(map[mem.Addr]*mem.Frame, len(s.BootPages))
 		for pa, data := range s.BootPages {

@@ -105,6 +105,9 @@ type Report struct {
 
 	Search *ga.Result
 	Best   lir.Config
+	// SearchStats summarizes the search's evaluation work: evaluations run,
+	// memo-cache hits, and the replay wall-clock the cache saved.
+	SearchStats ga.SearchStats
 
 	// installed is the code image actually installed (the winner, or the
 	// baseline when KeptBaseline); OptimizeMulti cross-validates it.
@@ -259,6 +262,7 @@ func (o *Optimizer) Optimize(app *App) (*Report, error) {
 	gaOpts.BaselineO3Ms = rep.O3RegionMs
 	rng := rand.New(rand.NewSource(o.Opts.Seed*7919 + int64(len(app.Name))))
 	rep.Search = ga.Search(rng, p, gaOpts)
+	rep.SearchStats = rep.Search.Stats
 	rep.Best = rep.Search.Best.Decode()
 	rep.GARegionMs = rep.Search.BestEval.MeanMs
 	if rep.GARegionMs > 0 {
@@ -380,7 +384,6 @@ type replayEvaluator struct {
 	region    profile.Region
 	android   *machine.Program
 	maxCycles uint64
-	seq       int64
 }
 
 type imageEval struct {
@@ -401,8 +404,13 @@ func (ev *replayEvaluator) Evaluate(cfg lir.Config) ga.Evaluation {
 // evaluateImage replays a full code image: two real replays under different
 // ASLR layouts (whose deterministic cycle counts must agree), a verification
 // check, and Replays noisy clock readings for the statistics (§4).
+//
+// The whole measurement is a pure function of the code image: ASLR layouts
+// and timing noise are derived from the image hash, never from shared
+// sequential state. That is what lets ga.Search call Evaluate concurrently
+// and memoize by configuration without changing any result.
 func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
-	ev.seq++
+	imgHash := hashImage(code)
 	run := func(seed int64) (*replay.Result, error) {
 		return replay.Run(ev.o.Dev, ev.o.Store, replay.Request{
 			Snapshot:  ev.snap,
@@ -410,7 +418,7 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
 			Tier:      replay.TierCompiled,
 			Code:      code,
 			MaxCycles: ev.maxCycles,
-			ASLRSeed:  ev.seq*131 + seed,
+			ASLRSeed:  int64(imgHash>>1)*131 + seed,
 		})
 	}
 	res, err := run(1)
@@ -435,8 +443,9 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
 		n = 10
 	}
 	times := make([]float64, n)
+	nrng := rand.New(rand.NewSource(ev.o.Opts.Seed ^ int64(imgHash)))
 	for i := range times {
-		times[i] = ev.o.Dev.ReplayMillis(res.Cycles)
+		times[i] = device.ReplayMillisSeeded(res.Cycles, nrng)
 	}
 	clean := stats.RemoveOutliersMAD(times, 3)
 	return imageEval{
@@ -445,7 +454,7 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
 			TimesMs:    times,
 			MeanMs:     stats.Mean(clean),
 			SizeBytes:  code.Size(),
-			BinaryHash: hashImage(code),
+			BinaryHash: imgHash,
 		},
 		cycles: res.Cycles,
 	}

@@ -60,12 +60,18 @@ func smallOptions() Options {
 
 func runPipeline(t *testing.T, seed int64) *Report {
 	t.Helper()
+	return runPipelineAt(t, seed, 0)
+}
+
+func runPipelineAt(t *testing.T, seed int64, parallelism int) *Report {
+	t.Helper()
 	prog, err := minic.CompileSource("miniapp", appSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := smallOptions()
 	opts.Seed = seed
+	opts.GA.Parallelism = parallelism
 	opt := New(opts)
 	rep, err := opt.Optimize(&App{Name: "miniapp", Prog: prog})
 	if err != nil {
@@ -140,6 +146,41 @@ func TestPipelineDeterministicWithSeed(t *testing.T) {
 	}
 	if a.AndroidOnlineCycles != b.AndroidOnlineCycles {
 		t.Errorf("online cycles differ: %v vs %v", a.AndroidOnlineCycles, b.AndroidOnlineCycles)
+	}
+}
+
+// The replay evaluator must satisfy ga.Evaluator's purity contract: the same
+// seed run through the real pipeline yields the same search — trace record
+// for record — whether candidates are evaluated serially or by four workers.
+func TestPipelineParallelMatchesSerial(t *testing.T) {
+	serial := runPipelineAt(t, 4, 1)
+	par := runPipelineAt(t, 4, 4)
+	if serial.Search.Best.String() != par.Search.Best.String() {
+		t.Errorf("parallelism changed the winner:\n%s\n%s", serial.Search.Best, par.Search.Best)
+	}
+	if serial.GARegionMs != par.GARegionMs {
+		t.Errorf("region time differs: %v vs %v", serial.GARegionMs, par.GARegionMs)
+	}
+	if serial.SearchStats != par.SearchStats {
+		t.Errorf("search stats differ: %+v vs %+v", serial.SearchStats, par.SearchStats)
+	}
+	if len(serial.Search.Trace) != len(par.Search.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(serial.Search.Trace), len(par.Search.Trace))
+	}
+	for i := range serial.Search.Trace {
+		a, b := serial.Search.Trace[i], par.Search.Trace[i]
+		if a.Genome.String() != b.Genome.String() || a.Eval.MeanMs != b.Eval.MeanMs ||
+			a.Eval.Outcome != b.Eval.Outcome || a.Eval.BinaryHash != b.Eval.BinaryHash {
+			t.Fatalf("trace[%d] differs:\n%+v\n%+v", i, a, b)
+		}
+	}
+	// The stats must reconcile with the trace regardless of worker count.
+	st := par.SearchStats
+	if st.Evaluations != len(par.Search.Trace) {
+		t.Errorf("stats count %d evaluations, trace has %d", st.Evaluations, len(par.Search.Trace))
+	}
+	if st.Considered != st.Evaluations+st.CacheHits {
+		t.Errorf("considered %d != evaluations %d + hits %d", st.Considered, st.Evaluations, st.CacheHits)
 	}
 }
 

@@ -44,6 +44,11 @@ type ScheduleReport struct {
 	// FirstNightFraction is TotalMinutes / the first window, when Nights
 	// is 1 — how much of one night the whole search actually used.
 	FirstNightFraction float64
+	// CacheHits counts candidate measurements the search served from its
+	// memo cache — work that never hit the nightly windows at all.
+	CacheHits int
+	// SavedMinutes is the replay plus compile time those hits skipped.
+	SavedMinutes float64
 }
 
 // ScheduleSearch replays a finished search's workload through the
@@ -51,7 +56,11 @@ type ScheduleReport struct {
 // charged and idle for work to proceed (§3.7); window boundaries model the
 // user picking the phone up in the morning.
 func ScheduleSearch(dev *device.Device, res *ga.Result, opts ScheduleOptions) ScheduleReport {
-	rep := ScheduleReport{Evaluations: len(res.Trace)}
+	rep := ScheduleReport{
+		Evaluations:  len(res.Trace),
+		CacheHits:    res.Stats.CacheHits,
+		SavedMinutes: (res.Stats.SavedReplayMs + opts.CompileMsPerEval*float64(res.Stats.CacheHits)) / 60000,
+	}
 	var totalMs, replayMs float64
 	for _, rec := range res.Trace {
 		totalMs += opts.CompileMsPerEval

@@ -5,9 +5,16 @@
 //
 // Everything is driven by a seeded RNG: the same seed reproduces the same
 // "measurement noise", which is what makes the experiments repeatable.
+// Device methods are safe for concurrent use: draws from the device's own
+// noise source are serialized by a mutex. Callers that additionally need
+// order-independent noise (the parallel candidate evaluator) pass their own
+// per-measurement RNG to ReplayMillisSeeded instead.
 package device
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // MaxFreqGHz is the big-core maximum frequency (Snapdragon 855 prime core).
 const MaxFreqGHz = 2.84
@@ -17,6 +24,7 @@ const cyclesPerMs = MaxFreqGHz * 1e6
 
 // Device is one simulated phone.
 type Device struct {
+	mu  sync.Mutex
 	rng *rand.Rand
 
 	// Online DVFS state: the governor's current relative frequency,
@@ -42,11 +50,26 @@ func (d *Device) CanReplay() bool { return d.Charged && d.Idle }
 // replay conditions: all cores pinned to maximum frequency, an otherwise
 // idle system, residual noise well under a percent (§4).
 func (d *Device) ReplayMillis(cycles uint64) float64 {
-	noise := 1 + d.rng.NormFloat64()*0.004
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return float64(cycles) / cyclesPerMs * replayNoise(d.rng)
+}
+
+// ReplayMillisSeeded is ReplayMillis with the noise drawn from the caller's
+// rng instead of the device's shared source. Concurrent evaluators use it so
+// a measurement's noise depends only on what is being measured, never on the
+// order workers happen to finish in — the property that keeps parallel
+// search traces byte-identical at any worker count.
+func ReplayMillisSeeded(cycles uint64, rng *rand.Rand) float64 {
+	return float64(cycles) / cyclesPerMs * replayNoise(rng)
+}
+
+func replayNoise(rng *rand.Rand) float64 {
+	noise := 1 + rng.NormFloat64()*0.004
 	if noise < 0.99 {
 		noise = 0.99
 	}
-	return float64(cycles) / cyclesPerMs * noise
+	return noise
 }
 
 // OnlineMillis converts a cycle count to milliseconds under interactive
@@ -55,6 +78,8 @@ func (d *Device) ReplayMillis(cycles uint64) float64 {
 // This is the noise that makes online optimization evaluation so slow to
 // converge (Fig. 3).
 func (d *Device) OnlineMillis(cycles uint64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	// Governor random walk.
 	d.freqFactor += d.rng.NormFloat64() * 0.06
 	if d.freqFactor < 0.45 {
@@ -95,12 +120,16 @@ const (
 // ForkMillis models fork(2) for a space with the given number of mapped
 // pages, with ±10% noise.
 func (d *Device) ForkMillis(mappedPages int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	t := forkBaseMs + forkPerPageMs*float64(mappedPages)
 	return t * (1 + d.rng.NormFloat64()*0.1)
 }
 
 // PrepMillis models parsing the page map and read-protecting pages.
 func (d *Device) PrepMillis(mapEntries, protectedPages int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	t := prepBaseMs + prepPerEntryMs*float64(mapEntries) + prepPerPageMs*float64(protectedPages)
 	return t * (1 + d.rng.NormFloat64()*0.1)
 }
@@ -108,6 +137,8 @@ func (d *Device) PrepMillis(mapEntries, protectedPages int) float64 {
 // FaultCoWMillis models the in-region overhead: read faults taken plus
 // Copy-on-Write page duplications.
 func (d *Device) FaultCoWMillis(faults, cows int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	t := faultMs*float64(faults) + cowMs*float64(cows)
 	return t * (1 + d.rng.NormFloat64()*0.1)
 }
@@ -116,6 +147,8 @@ func (d *Device) FaultCoWMillis(faults, cows int) float64 {
 // faulted page to a user-space buffer at first touch, whether or not it is
 // ever modified. Used by the CoW ablation benchmark.
 func (d *Device) EagerCopyMillis(faults int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	const eagerPerPageMs = 0.031 // fault + user-space copy + bookkeeping
 	t := eagerPerPageMs * float64(faults)
 	return t * (1 + d.rng.NormFloat64()*0.1)

@@ -130,6 +130,13 @@ func selectedApps(s Scale) []apps.Spec {
 	return out
 }
 
+// PrepareApp builds and prepares one app (pipeline steps 1-4): everything
+// needed to evaluate candidate configurations by replay. The benchmark
+// harness uses it to run searches against a real evaluator directly.
+func PrepareApp(name string, seed int64) (*core.Prepared, *core.Optimizer, error) {
+	return prepareApp(name, seed)
+}
+
 // prepareApp builds and prepares one app (pipeline steps 1-5).
 func prepareApp(name string, seed int64) (*core.Prepared, *core.Optimizer, error) {
 	spec, ok := apps.ByName(name)

@@ -132,6 +132,13 @@ type Evaluation struct {
 
 // Evaluator measures genomes; the replay-based implementation lives in
 // internal/core.
+//
+// Concurrency contract: Search calls Evaluate from up to Options.Parallelism
+// goroutines at once, so implementations must be safe for concurrent use.
+// Determinism contract: the result must be a pure function of cfg — identical
+// configurations must evaluate identically regardless of call order, or the
+// search trace will differ across worker counts (and the memo cache would
+// change results).
 type Evaluator interface {
 	Evaluate(cfg lir.Config) Evaluation
 }
@@ -158,6 +165,10 @@ type Options struct {
 	// SeedPresets injects the -O1/-O2/-O3 genomes into the first
 	// generation, guaranteeing the search never ends below the presets.
 	SeedPresets bool
+	// Parallelism bounds the worker pool that evaluates each generation's
+	// candidates (0 or less = one worker per core). Search decisions stay
+	// serial, so any value yields the same trace for the same seed.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's settings.
@@ -195,6 +206,9 @@ type Result struct {
 	Trace    []EvalRecord
 	// Halt describes why the search stopped.
 	Halt string
+	// Stats counts the evaluation work done and the work the memo cache
+	// saved.
+	Stats SearchStats
 }
 
 // GenomeFromConfig encodes a compiler configuration as a genome (used to
@@ -233,7 +247,9 @@ func RandomGenome(rng *rand.Rand, opts Options) *Genome {
 }
 
 // Search runs the GA. The rng seeds all stochastic decisions, so a fixed
-// seed reproduces the full search.
+// seed reproduces the full search — at any Options.Parallelism, because only
+// candidate evaluation fans out (see pool.go) while every RNG draw stays on
+// this goroutine in a fixed order.
 func Search(rng *rand.Rand, eval Evaluator, opts Options) *Result {
 	s := &searcher{
 		rng:     rng,
@@ -242,6 +258,8 @@ func Search(rng *rand.Rand, eval Evaluator, opts Options) *Result {
 		pool:    lir.OptCatalog(),
 		llcPool: realLlcOptions(),
 		seen:    map[uint64]int{},
+		cache:   map[uint64]Evaluation{},
+		workers: opts.workers(),
 	}
 	return s.run()
 }
@@ -253,7 +271,10 @@ type searcher struct {
 	pool    []lir.CatalogEntry
 	llcPool []lir.LlcOption
 	trace   []EvalRecord
-	seen    map[uint64]int // binary hash -> occurrences
+	seen    map[uint64]int        // binary hash -> occurrences
+	cache   map[uint64]Evaluation // config fingerprint -> memoized evaluation
+	stats   SearchStats
+	workers int
 	gen     int
 
 	identicalRun int
@@ -276,22 +297,6 @@ func realLlcOptions() []lir.LlcOption {
 		}
 	}
 	return out
-}
-
-func (s *searcher) measure(g *Genome) Evaluation {
-	ev := s.eval.Evaluate(g.Decode())
-	s.trace = append(s.trace, EvalRecord{
-		Index: len(s.trace), Generation: s.gen, Genome: g.Clone(), Eval: ev,
-	})
-	if ev.Outcome == OutcomeCorrect {
-		s.seen[ev.BinaryHash]++
-		if s.seen[ev.BinaryHash] > 1 {
-			s.identicalRun++
-		} else {
-			s.identicalRun = 0
-		}
-	}
-	return ev
 }
 
 // better implements the fitness order: correct beats failed; among correct
@@ -342,7 +347,8 @@ func (s *searcher) run() *Result {
 
 	// Final hill climb (§3.6).
 	best = s.hillClimb(best)
-	return &Result{Best: best.genome, BestEval: best.eval, Trace: s.trace, Halt: halt}
+	return &Result{Best: best.genome, BestEval: best.eval, Trace: s.trace, Halt: halt,
+		Stats: s.stats}
 }
 
 func (s *searcher) bestOf(pop []scored) scored {
@@ -356,30 +362,57 @@ func (s *searcher) bestOf(pop []scored) scored {
 }
 
 // firstGeneration is random, with redundant-pass removal and up-to-N
-// replacement of genomes worse than both baselines (§4).
+// replacement of genomes worse than both baselines (§4). The whole
+// generation is drawn serially, measured as one batch, and then refined in
+// up to Gen1Retries replacement rounds: every random genome still worse
+// than both baselines is redrawn (in index order) and the replacements are
+// measured as the next batch.
 func (s *searcher) firstGeneration() []scored {
 	s.gen = 0
-	pop := make([]scored, 0, s.opts.Population)
+	genomes := make([]*Genome, 0, s.opts.Population)
+	presets := 0
 	if s.opts.SeedPresets {
 		for _, preset := range []string{"O1", "O2", "O3"} {
-			if len(pop) >= s.opts.Population-1 {
+			if len(genomes) >= s.opts.Population-1 {
 				break
 			}
 			cfg, _ := lir.Preset(preset)
-			g := GenomeFromConfig(cfg)
-			pop = append(pop, scored{g, s.measure(g)})
+			genomes = append(genomes, GenomeFromConfig(cfg))
+			presets++
 		}
 	}
-	for i := len(pop); i < s.opts.Population; i++ {
+	for len(genomes) < s.opts.Population {
 		g := s.randomGenome()
 		dedupeAdjacent(g)
-		ev := s.measure(g)
-		for try := 0; try < s.opts.Gen1Retries && s.worseThanBaselines(ev); try++ {
-			g = s.randomGenome()
-			dedupeAdjacent(g)
-			ev = s.measure(g)
+		genomes = append(genomes, g)
+	}
+	evs := s.measureBatch(genomes)
+
+	for try := 0; try < s.opts.Gen1Retries; try++ {
+		var redo []int
+		for i := presets; i < len(genomes); i++ {
+			if s.worseThanBaselines(evs[i]) {
+				redo = append(redo, i)
+			}
 		}
-		pop = append(pop, scored{g, ev})
+		if len(redo) == 0 {
+			break
+		}
+		repl := make([]*Genome, len(redo))
+		for j, i := range redo {
+			g := s.randomGenome()
+			dedupeAdjacent(g)
+			repl[j] = g
+			genomes[i] = g
+		}
+		for j, ev := range s.measureBatch(repl) {
+			evs[redo[j]] = ev
+		}
+	}
+
+	pop := make([]scored, len(genomes))
+	for i := range genomes {
+		pop[i] = scored{genomes[i], evs[i]}
 	}
 	return pop
 }
@@ -436,11 +469,14 @@ func dedupeAdjacent(g *Genome) {
 }
 
 // nextGeneration selects mates through the three pipelines, crosses them
-// over, and mutates the offspring.
+// over, and mutates the offspring. Every selection/crossover/mutation draw
+// happens serially first; the resulting brood is then measured as one batch
+// (the identical-binaries stall is checked at generation granularity, in
+// run).
 func (s *searcher) nextGeneration(pop []scored) []scored {
 	sorted := append([]scored(nil), pop...)
 	sort.SliceStable(sorted, func(i, j int) bool { return better(sorted[i].eval, sorted[j].eval) })
-	elite := sorted[:maxInt(1, len(sorted)/10)]
+	elite := sorted[:max(1, len(sorted)/10)]
 
 	next := make([]scored, 0, s.opts.Population)
 	// Elitism: the best genomes survive unchanged (no re-evaluation).
@@ -450,14 +486,15 @@ func (s *searcher) nextGeneration(pop []scored) []scored {
 		}
 		next = append(next, e)
 	}
-	for len(next) < s.opts.Population {
+	var children []*Genome
+	for len(next)+len(children) < s.opts.Population {
 		var a, b *Genome
 		switch s.rng.Intn(3) { // the three mate-selection pipelines
 		case 0: // elites only
 			a = elite[s.rng.Intn(len(elite))].genome
 			b = elite[s.rng.Intn(len(elite))].genome
 		case 1: // fittest only (top half)
-			half := sorted[:maxInt(2, len(sorted)/2)]
+			half := sorted[:max(2, len(sorted)/2)]
 			a = half[s.rng.Intn(len(half))].genome
 			b = half[s.rng.Intn(len(half))].genome
 		default: // tournament selection (7 candidates, p = 0.9)
@@ -469,17 +506,16 @@ func (s *searcher) nextGeneration(pop []scored) []scored {
 			s.mutate(child)
 		}
 		dedupeAdjacent(child)
-		ev := s.measure(child)
-		next = append(next, scored{child, ev})
-		if s.identicalRun >= s.opts.MaxIdentical {
-			break
-		}
+		children = append(children, child)
+	}
+	for i, ev := range s.measureBatch(children) {
+		next = append(next, scored{children[i], ev})
 	}
 	return next
 }
 
 func (s *searcher) tournament(sorted []scored) *Genome {
-	k := minInt(s.opts.TournamentSize, len(sorted))
+	k := min(s.opts.TournamentSize, len(sorted))
 	picks := make([]int, k)
 	for i := range picks {
 		picks[i] = s.rng.Intn(len(sorted))
@@ -606,18 +642,4 @@ func (s *searcher) hillClimb(best scored) scored {
 		}
 	}
 	return best
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -3,6 +3,7 @@ package ga
 import (
 	"hash/fnv"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -11,11 +12,12 @@ import (
 
 // synthEval is a deterministic synthetic fitness landscape: certain passes
 // help (once each), unsafe defaults miscompile, and a mild noise term makes
-// the t-test machinery do real work.
+// the t-test machinery do real work. It honors the Evaluator contract: safe
+// for concurrent use, and a pure function of cfg (noise is seeded from the
+// configuration fingerprint, never drawn from shared state).
 type synthEval struct {
-	rng *rand.Rand
 	// evaluations counts Evaluate calls.
-	evaluations int
+	evaluations atomic.Int64
 }
 
 var helpful = map[string]float64{
@@ -24,7 +26,7 @@ var helpful = map[string]float64{
 }
 
 func (e *synthEval) Evaluate(cfg lir.Config) Evaluation {
-	e.evaluations++
+	e.evaluations.Add(1)
 	base := 100.0
 	seenHelp := map[string]bool{}
 	for _, p := range cfg.Passes {
@@ -56,9 +58,10 @@ func (e *synthEval) Evaluate(cfg lir.Config) Evaluation {
 	if base < 10 {
 		base = 10
 	}
+	nrng := rand.New(rand.NewSource(int64(cfg.Fingerprint())))
 	times := make([]float64, 10)
 	for i := range times {
-		times[i] = base * (1 + e.rng.NormFloat64()*0.01)
+		times[i] = base * (1 + nrng.NormFloat64()*0.01)
 	}
 	h := fnv.New64a()
 	for _, p := range cfg.Passes {
@@ -75,7 +78,7 @@ func (e *synthEval) Evaluate(cfg lir.Config) Evaluation {
 
 func searchOnce(t *testing.T, seed int64) (*Result, *synthEval) {
 	t.Helper()
-	ev := &synthEval{rng: rand.New(rand.NewSource(seed))}
+	ev := &synthEval{}
 	opts := DefaultOptions()
 	opts.Population = 20
 	opts.Generations = 8
@@ -123,8 +126,8 @@ func TestSearchIsDeterministic(t *testing.T) {
 
 func TestTraceRecordsGenerations(t *testing.T) {
 	res, ev := searchOnce(t, 3)
-	if len(res.Trace) != ev.evaluations {
-		t.Errorf("trace has %d records, evaluator saw %d", len(res.Trace), ev.evaluations)
+	if len(res.Trace) != int(ev.evaluations.Load()) {
+		t.Errorf("trace has %d records, evaluator saw %d", len(res.Trace), ev.evaluations.Load())
 	}
 	gens := map[int]int{}
 	for i, r := range res.Trace {
@@ -225,7 +228,7 @@ func TestCloneIsDeep(t *testing.T) {
 func TestPresetSeedingGuaranteesFloor(t *testing.T) {
 	// With preset seeding the best genome can never be worse than O3 on the
 	// synthetic landscape, even with a tiny budget.
-	ev := &synthEval{rng: rand.New(rand.NewSource(2))}
+	ev := &synthEval{}
 	o3 := ev.Evaluate(mustPreset("O3"))
 	opts := DefaultOptions()
 	opts.Population = 6
@@ -269,14 +272,14 @@ func TestGenomeFromConfigRoundTrip(t *testing.T) {
 }
 
 func TestHillClimbOnlyImproves(t *testing.T) {
-	ev := &synthEval{rng: rand.New(rand.NewSource(9))}
+	ev := &synthEval{}
 	opts := DefaultOptions()
 	opts.Population = 10
 	opts.Generations = 3
 	opts.HillClimbBudget = 0
 	noHC := Search(rand.New(rand.NewSource(9)), ev, opts)
 
-	ev2 := &synthEval{rng: rand.New(rand.NewSource(9))}
+	ev2 := &synthEval{}
 	opts.HillClimbBudget = 25
 	withHC := Search(rand.New(rand.NewSource(9)), ev2, opts)
 	if withHC.BestEval.MeanMs > noHC.BestEval.MeanMs*1.0001 {

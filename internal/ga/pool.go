@@ -1,0 +1,141 @@
+// Parallel, memoized candidate evaluation. The GA's search *decisions*
+// (selection, crossover, mutation) stay on one goroutine drawing from one
+// RNG in a fixed order; only candidate *evaluation* — compile + replay, the
+// wall-clock budget of the whole search (§3.7) — fans out. Each generation's
+// candidates are evaluated by a bounded worker pool and gathered in stable
+// population order, so the resulting Result.Trace is byte-identical at any
+// worker count. A genome-fingerprint memo cache sits in front of the
+// evaluator: elites crossed with themselves, duplicate offspring, and
+// revisited hill-climb neighbors skip both the compile and every replay.
+
+package ga
+
+import (
+	"runtime"
+	"sync"
+
+	"replayopt/internal/lir"
+)
+
+// SearchStats counts the evaluation work a search performed and the work
+// the memo cache saved (§3.7 wall-clock accounting).
+type SearchStats struct {
+	// Considered is the number of candidate measurements the search
+	// requested, cache hits included.
+	Considered int
+	// Evaluations is the number of full compile+replay evaluations actually
+	// run — always equal to len(Result.Trace).
+	Evaluations int
+	// CacheHits counts measurements served from the memo cache.
+	CacheHits int
+	// SavedReplayMs estimates the replay wall-clock the cache skipped: the
+	// recorded replay times of each hit's cached evaluation.
+	SavedReplayMs float64
+}
+
+// workers resolves the configured parallelism (0 or less = all cores).
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// measure evaluates a single genome through the memo cache (the serial
+// hill-climb path).
+func (s *searcher) measure(g *Genome) Evaluation {
+	return s.measureBatch([]*Genome{g})[0]
+}
+
+// measureBatch measures every genome, fanning uncached configurations out
+// to the worker pool and serving the rest from the memo cache. Results come
+// back in argument order; the trace gains one record per evaluator call (a
+// configuration measured for the first time), in first-appearance order.
+// All bookkeeping — trace append, cache fill, identical-binary accounting —
+// happens on the caller's goroutine, so a fixed seed produces the same
+// search at any worker count.
+func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
+	n := len(genomes)
+	fps := make([]uint64, n)
+	out := make([]Evaluation, n)
+
+	// Decide, in index order, which configurations actually need the
+	// evaluator: the first appearance of any fingerprint not in the cache.
+	type job struct {
+		idx int // first genome index with this fingerprint
+		cfg lir.Config
+	}
+	var jobs []job
+	owner := map[uint64]int{} // fingerprint -> jobs index
+	for i, g := range genomes {
+		cfg := g.Decode()
+		fp := cfg.Fingerprint()
+		fps[i] = fp
+		if _, cached := s.cache[fp]; cached {
+			continue
+		}
+		if _, queued := owner[fp]; queued {
+			continue
+		}
+		owner[fp] = len(jobs)
+		jobs = append(jobs, job{idx: i, cfg: cfg})
+	}
+
+	// Fan the unique uncached configurations out to the pool.
+	evs := make([]Evaluation, len(jobs))
+	workers := min(s.workers, len(jobs))
+	if workers <= 1 {
+		for j := range jobs {
+			evs[j] = s.eval.Evaluate(jobs[j].cfg)
+		}
+	} else {
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					evs[j] = s.eval.Evaluate(jobs[j].cfg)
+				}
+			}()
+		}
+		for j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	// Gather on the search goroutine, in deterministic order: trace records
+	// for fresh evaluations first (first-appearance order), then per-genome
+	// results and the §4 identical-binaries accounting in index order.
+	for j, jb := range jobs {
+		s.cache[fps[jb.idx]] = evs[j]
+		s.trace = append(s.trace, EvalRecord{
+			Index: len(s.trace), Generation: s.gen, Genome: genomes[jb.idx].Clone(), Eval: evs[j],
+		})
+	}
+	for i := range genomes {
+		ev := s.cache[fps[i]]
+		out[i] = ev
+		s.stats.Considered++
+		if jIdx, fresh := owner[fps[i]]; fresh && jobs[jIdx].idx == i {
+			s.stats.Evaluations++
+		} else {
+			s.stats.CacheHits++
+			for _, t := range ev.TimesMs {
+				s.stats.SavedReplayMs += t
+			}
+		}
+		if ev.Outcome == OutcomeCorrect {
+			s.seen[ev.BinaryHash]++
+			if s.seen[ev.BinaryHash] > 1 {
+				s.identicalRun++
+			} else {
+				s.identicalRun = 0
+			}
+		}
+	}
+	return out
+}

@@ -12,6 +12,7 @@ package mem
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // PageSize is the size of a virtual page in bytes. 4 KiB, as on the paper's
@@ -62,10 +63,21 @@ func (p Prot) String() string {
 }
 
 // page is a physical page frame. Frames are shared between forked address
-// spaces until a write forces a copy (Copy-on-Write).
+// spaces until a write forces a copy (Copy-on-Write). The refcount is
+// atomic because sealed snapshot frames back many replay address spaces at
+// once, each running on its own goroutine: a shared frame (refs > 1) is
+// never written in place — writers duplicate it first — so the count is the
+// only cross-space state that needs synchronization.
 type page struct {
 	data [PageSize]byte
-	refs int // number of address spaces mapping this frame
+	refs atomic.Int64 // number of address spaces mapping this frame
+}
+
+// newPage returns a fresh private page with one reference.
+func newPage() *page {
+	p := &page{}
+	p.refs.Store(1)
+	return p
 }
 
 // mapping is one page-table entry: a frame plus per-space protection.
@@ -179,7 +191,7 @@ func (s *AddressSpace) Map(base Addr, n uint64, prot Prot, name string) Region {
 		if _, ok := s.pages[pa]; ok {
 			panic(fmt.Sprintf("mem: Map overlaps existing page at %#x", uint64(pa)))
 		}
-		s.pages[pa] = &mapping{frame: &page{refs: 1}, prot: prot}
+		s.pages[pa] = &mapping{frame: newPage(), prot: prot}
 		s.counters.PagesMapped++
 	}
 	r := Region{Start: base, End: base + Addr(npages*PageSize), Prot: prot, Name: name}
@@ -218,7 +230,7 @@ func (s *AddressSpace) Unmap(base Addr) {
 	r := s.regions[idx]
 	for pa := r.Start; pa < r.End; pa += PageSize {
 		if m, ok := s.pages[pa]; ok {
-			m.frame.refs--
+			m.frame.refs.Add(-1)
 			delete(s.pages, pa)
 		}
 	}
@@ -318,9 +330,10 @@ func (s *AddressSpace) resolve(a Addr, kind FaultKind, want Prot) (*mapping, err
 // writableFrame returns m's frame, duplicating it first if it is shared
 // (Copy-on-Write).
 func (s *AddressSpace) writableFrame(m *mapping) *page {
-	if m.frame.refs > 1 {
-		dup := &page{data: m.frame.data, refs: 1}
-		m.frame.refs--
+	if m.frame.refs.Load() > 1 {
+		dup := newPage()
+		dup.data = m.frame.data
+		m.frame.refs.Add(-1)
 		m.frame = dup
 		s.counters.CoWCopies++
 	}
@@ -427,7 +440,7 @@ type Frame struct{ p *page }
 // NewFrame seals data (up to PageSize bytes) into a shareable frame. The
 // data is copied once, here; every later mapping is zero-copy.
 func NewFrame(data []byte) *Frame {
-	f := &Frame{p: &page{refs: 1}}
+	f := &Frame{p: newPage()}
 	copy(f.p.data[:], data)
 	return f
 }
@@ -449,9 +462,9 @@ func (s *AddressSpace) MapFrames(r Region, frames []*Frame) Region {
 			panic(fmt.Sprintf("mem: MapFrames overlaps existing page at %#x", uint64(pa)))
 		}
 		if frames[i] == nil {
-			s.pages[pa] = &mapping{frame: &page{refs: 1}, prot: r.Prot}
+			s.pages[pa] = &mapping{frame: newPage(), prot: r.Prot}
 		} else {
-			frames[i].p.refs++
+			frames[i].p.refs.Add(1)
 			s.pages[pa] = &mapping{frame: frames[i].p, prot: r.Prot}
 		}
 		s.counters.PagesMapped++
@@ -468,7 +481,7 @@ func (s *AddressSpace) MapFrames(r Region, frames []*Frame) Region {
 func (s *AddressSpace) Fork() *AddressSpace {
 	child := NewAddressSpace()
 	for pa, m := range s.pages {
-		m.frame.refs++
+		m.frame.refs.Add(1)
 		child.pages[pa] = &mapping{frame: m.frame, prot: m.prot}
 	}
 	child.regions = make([]Region, len(s.regions))
@@ -481,7 +494,7 @@ func (s *AddressSpace) Fork() *AddressSpace {
 func (s *AddressSpace) SharedFrames() int {
 	n := 0
 	for _, m := range s.pages {
-		if m.frame.refs > 1 {
+		if m.frame.refs.Load() > 1 {
 			n++
 		}
 	}

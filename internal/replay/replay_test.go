@@ -1,6 +1,8 @@
 package replay
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"replayopt/internal/aot"
@@ -294,6 +296,54 @@ func BenchmarkReplayCompiled(b *testing.B) {
 		if _, err := Run(dev, store, Request{Snapshot: snap, Prog: prog,
 			Tier: TierCompiled, Code: code, ASLRSeed: int64(i)}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel candidate evaluation replays the same snapshot from many
+// goroutines at once; every replay must stay hermetic — same return value
+// and same deterministic cycle count as a serial run. Run under -race this
+// also audits the shared snapshot/store/device state for data races.
+func TestConcurrentReplaysAreIndependent(t *testing.T) {
+	fx := setupFixture(t)
+	android, err := aot.Compile(fx.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog,
+		Tier: TierCompiled, Code: android, ASLRSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 5
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				seed := int64(w*perWorker + i)
+				res, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog,
+					Tier: TierCompiled, Code: android, ASLRSeed: seed})
+				if err != nil {
+					errs[w] = fmt.Errorf("seed %d: %w", seed, err)
+					return
+				}
+				if res.Ret != ref.Ret || res.Cycles != ref.Cycles {
+					errs[w] = fmt.Errorf("seed %d: ret/cycles %d/%d, want %d/%d",
+						seed, int64(res.Ret), res.Cycles, int64(ref.Ret), ref.Cycles)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
 		}
 	}
 }
