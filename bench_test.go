@@ -22,6 +22,7 @@ import (
 
 	"replayopt/internal/exp"
 	"replayopt/internal/ga"
+	"replayopt/internal/obs"
 )
 
 func benchScale(b *testing.B) exp.Scale {
@@ -305,9 +306,13 @@ func BenchmarkSearchParallel(b *testing.B) {
 	opts.BaselineAndroidMs = p.AndroidEval.MeanMs
 	opts.BaselineO3Ms = p.O3Eval.MeanMs
 
-	run := func(parallelism int) (*ga.Result, float64) {
+	// The parallel run carries an observability scope: the artifact then
+	// records per-generation evaluation latencies alongside the totals. The
+	// searches still must agree — obs never perturbs the trace.
+	run := func(parallelism int, parent *obs.Span) (*ga.Result, float64) {
 		o := opts
 		o.Parallelism = parallelism
+		o.Obs = parent
 		start := time.Now()
 		res := ga.Search(rand.New(rand.NewSource(benchSeed)), p, o)
 		return res, time.Since(start).Seconds() * 1000
@@ -316,9 +321,16 @@ func BenchmarkSearchParallel(b *testing.B) {
 	cpus := runtime.NumCPU()
 	var serialMs, parMs float64
 	var res *ga.Result
+	var col *obs.Collect
+	var reg *obs.Registry
 	for i := 0; i < b.N; i++ {
-		serial, sMs := run(1)
-		par, pMs := run(cpus)
+		col = &obs.Collect{}
+		sc := obs.New(col)
+		reg = sc.Registry()
+		serial, sMs := run(1, nil)
+		root := sc.Start("search")
+		par, pMs := run(cpus, root)
+		root.End()
 		if serial.Best.String() != par.Best.String() {
 			b.Fatalf("parallel search diverged:\n%s\n%s", serial.Best, par.Best)
 		}
@@ -330,7 +342,29 @@ func BenchmarkSearchParallel(b *testing.B) {
 	b.ReportMetric(speedup, "speedup")
 	b.ReportMetric(float64(res.Stats.CacheHits), "cache-hits")
 
+	type genRow struct {
+		Gen       int     `json:"gen"`
+		Evals     int     `json:"evals"`
+		CacheHits int     `json:"cache_hits"`
+		P50Ms     float64 `json:"eval_p50_ms"`
+		P99Ms     float64 `json:"eval_p99_ms"`
+		BestSpeed float64 `json:"best_speedup"`
+	}
+	var gens []genRow
+	for _, sd := range col.ByName("ga.generation") {
+		gens = append(gens, genRow{
+			Gen:       int(obs.Num(sd.Attrs, "gen")),
+			Evals:     int(obs.Num(sd.Attrs, "evals")),
+			CacheHits: int(obs.Num(sd.Attrs, "cache_hits")),
+			P50Ms:     obs.Num(sd.Attrs, "eval_p50_ms"),
+			P99Ms:     obs.Num(sd.Attrs, "eval_p99_ms"),
+			BestSpeed: obs.Num(sd.Attrs, "best_speedup"),
+		})
+	}
+	evalHist := reg.Histogram("ga.eval_ms")
+
 	artifact, err := json.MarshalIndent(map[string]any{
+		"schema_version":  2,
 		"benchmark":       "SearchParallel",
 		"app":             "FFT",
 		"scale":           scale.Name,
@@ -340,7 +374,11 @@ func BenchmarkSearchParallel(b *testing.B) {
 		"speedup":         speedup,
 		"evaluations":     res.Stats.Evaluations,
 		"cache_hits":      res.Stats.CacheHits,
+		"considered":      res.Stats.Considered,
 		"saved_replay_ms": res.Stats.SavedReplayMs,
+		"eval_p50_ms":     evalHist.Quantile(0.50),
+		"eval_p99_ms":     evalHist.Quantile(0.99),
+		"generations":     gens,
 	}, "", "  ")
 	if err != nil {
 		b.Fatal(err)

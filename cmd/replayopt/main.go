@@ -7,7 +7,14 @@
 // Usage:
 //
 //	replayopt -app FFT [-seed 1] [-pop 50] [-gens 11] [-parallel N] [-crossvalidate 3]
+//	replayopt -app FFT -trace out.jsonl -metrics -progress
 //	replayopt -list
+//
+// Observability (README.md "Observability"): -trace writes every pipeline
+// span as one JSON object per line, -metrics dumps the counter/histogram
+// registry after the report, -progress prints a live per-generation line
+// during the search. All three are purely observational — with them off the
+// output and the Report are byte-identical to a build without them.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"replayopt/internal/apps"
 	"replayopt/internal/core"
+	"replayopt/internal/obs"
 	"replayopt/internal/profile"
 )
 
@@ -30,6 +38,9 @@ func main() {
 		"candidate-evaluation workers (0 = all cores); the search result is identical at any value")
 	crossval := flag.Int("crossvalidate", 0,
 		"also cross-validate the winner on N held-out captured inputs (DESIGN.md §7)")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the whole pipeline to this file")
+	metrics := flag.Bool("metrics", false, "dump the metrics registry (counters, gauges, histograms) after the report")
+	progress := flag.Bool("progress", false, "print a live per-generation progress line during the search (stderr)")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +65,29 @@ func main() {
 	opts.GA.Population = *pop
 	opts.GA.Generations = *gens
 	opts.GA.Parallelism = *parallel
+
+	// Build the observability scope only when asked for: with every flag
+	// off opts.Obs stays nil and the run is exactly the uninstrumented one.
+	var scope *obs.Scope
+	var traceJSONL *obs.JSONLWriter
+	var traceFile *os.File
+	if *tracePath != "" || *metrics || *progress {
+		var sinks []obs.SpanSink
+		if *tracePath != "" {
+			traceFile, err = os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			traceJSONL = obs.NewJSONLWriter(traceFile)
+			sinks = append(sinks, traceJSONL)
+		}
+		if *progress {
+			sinks = append(sinks, obs.NewProgress(os.Stderr))
+		}
+		scope = obs.New(sinks...)
+	}
+	opts.Obs = scope
 	opt := core.New(opts)
 
 	fmt.Printf("optimizing %s (%s: %s)\n", spec.Name, spec.Type, spec.Desc)
@@ -94,5 +128,22 @@ func main() {
 	}
 	if rep.KeptBaseline {
 		fmt.Println("note: the baseline binary was kept (the search winner did not qualify)")
+	}
+
+	if *metrics {
+		fmt.Println("\n== metrics ==")
+		scope.Registry().WriteText(os.Stdout)
+	}
+	if traceFile != nil {
+		name := traceFile.Name()
+		if err := traceJSONL.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d spans written to %s\n", traceJSONL.Count(), name)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"replayopt/internal/device"
 	"replayopt/internal/dex"
 	"replayopt/internal/mem"
+	"replayopt/internal/obs"
 	"replayopt/internal/rt"
 )
 
@@ -98,6 +99,12 @@ func (s *Snapshot) Frames() map[mem.Addr]*mem.Frame {
 type Store struct {
 	BootPages map[mem.Addr][]byte
 	Snapshots []*Snapshot
+
+	// Obs, when set, receives capture and replay metrics (fault counts,
+	// pages captured, persisted bytes, replay cycles). The store is the
+	// state shared by every pipeline stage, so the scope rides along with
+	// it. Set it before the first capture or replay; nil disables.
+	Obs *obs.Scope
 
 	bootMu     sync.Mutex
 	bootFrames map[mem.Addr]*mem.Frame
@@ -259,6 +266,17 @@ func Capture(proc *rt.Process, dev *device.Device, store *Store,
 	snap.Stats.FileMapsCount = len(snap.FileMaps)
 
 	store.Snapshots = append(store.Snapshots, snap)
+	if sc := store.Obs; sc != nil {
+		sc.Counter("capture.captures").Add(1)
+		sc.Counter("capture.read_faults").Add(int64(snap.Stats.ReadFaults))
+		sc.Counter("capture.write_faults").Add(int64(snap.Stats.WriteFaults))
+		sc.Counter("capture.cow_copies").Add(int64(snap.Stats.CoWCopies))
+		sc.Counter("capture.pages_stored").Add(int64(snap.Stats.PagesStored + snap.Stats.AlwaysStored))
+		sc.Counter("capture.pages_common").Add(int64(snap.Stats.CommonPages))
+		sc.Counter("capture.bytes_program").Add(int64(snap.Stats.ProgramBytes()))
+		// The Fig. 10 budget: each capture's total online overhead.
+		sc.Histogram("capture.online_ms").Observe(snap.Stats.TotalMs())
+	}
 	return snap, nil
 }
 

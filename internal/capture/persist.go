@@ -4,6 +4,7 @@ import (
 	"compress/gzip"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 
 	"replayopt/internal/mem"
@@ -28,7 +29,8 @@ func (s *Store) Save(path string) error {
 		return fmt.Errorf("capture: save: %w", err)
 	}
 	defer f.Close()
-	zw := gzip.NewWriter(f)
+	cw := &countingWriter{w: f}
+	zw := gzip.NewWriter(cw)
 	disk := storeOnDisk{BootPages: s.BootPages, Snapshots: s.Snapshots}
 	if err := gob.NewEncoder(zw).Encode(&disk); err != nil {
 		return fmt.Errorf("capture: save: %w", err)
@@ -36,7 +38,22 @@ func (s *Store) Save(path string) error {
 	if err := zw.Close(); err != nil {
 		return fmt.Errorf("capture: save: %w", err)
 	}
+	// The Fig. 11 budget: compressed bytes actually hitting device storage.
+	s.Obs.Counter("capture.persisted_bytes").Add(cw.n)
+	s.Obs.Counter("capture.persisted_stores").Add(1)
 	return f.Sync()
+}
+
+// countingWriter counts the compressed bytes spooled to storage.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Load reads a store written by Save.

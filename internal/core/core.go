@@ -27,6 +27,7 @@ import (
 	"replayopt/internal/lir"
 	"replayopt/internal/machine"
 	"replayopt/internal/mem"
+	"replayopt/internal/obs"
 	"replayopt/internal/profile"
 	"replayopt/internal/replay"
 	"replayopt/internal/rt"
@@ -67,6 +68,13 @@ type Options struct {
 	Seed int64
 	// MaxReplayCycles guards candidate binaries; 0 = derived from baseline.
 	MaxReplayCycles uint64
+	// Obs, when set, traces the whole Fig. 6 loop — nested spans for
+	// profile, capture, verify, search, and install plus counters and
+	// histograms in the scope's registry — and is propagated to the capture
+	// store, the replay loader, and the GA. Nil (the default) disables all
+	// of it; observation never changes a Report (tests assert Reports are
+	// identical with and without a scope, at any Parallelism).
+	Obs *obs.Scope
 }
 
 // DefaultOptions mirrors §4.
@@ -121,9 +129,12 @@ type Optimizer struct {
 	Opts  Options
 }
 
-// New returns an optimizer with a seeded device.
+// New returns an optimizer with a seeded device. The observation scope, if
+// any, rides the capture store into every capture and replay.
 func New(opts Options) *Optimizer {
-	return &Optimizer{Dev: device.New(opts.Seed), Store: capture.NewStore(), Opts: opts}
+	store := capture.NewStore()
+	store.Obs = opts.Obs
+	return &Optimizer{Dev: device.New(opts.Seed), Store: store, Opts: opts}
 }
 
 // Prepared bundles the pipeline state after profiling, capture, and
@@ -173,7 +184,21 @@ func (p *Prepared) CompileRegion(cfg lir.Config) (*machine.Program, error) {
 // Prepare runs pipeline steps 1-5: profile, detect, capture, verify, and
 // measure the two baselines.
 func (o *Optimizer) Prepare(app *App) (*Prepared, error) {
-	p := &Prepared{App: app}
+	return o.prepare(app, nil)
+}
+
+// prepare is Prepare with an optional parent span: called under Optimize's
+// pipeline span the stage spans nest below it, standalone they root their
+// own trace.
+func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error) {
+	prep := o.Opts.Obs.StartUnder(parent, "prepare", obs.A("app", app.Name))
+	defer func() {
+		if err != nil {
+			prep.Attr("error", err.Error())
+		}
+		prep.End()
+	}()
+	p = &Prepared{App: app}
 
 	android, err := aot.Compile(app.Prog)
 	if err != nil {
@@ -181,48 +206,69 @@ func (o *Optimizer) Prepare(app *App) (*Prepared, error) {
 	}
 	p.Android = android
 
-	// 1) Online profiling run.
+	// 1) Online profiling run, 2) hot region + breakdown.
+	sp := prep.Start("profile")
 	prof := profile.NewProfile()
 	_, x := app.NewProcessAndExec(android)
 	x.SamplePeriod = profile.SamplePeriodCycles
 	x.Sampler = prof
 	x.MaxCycles = 50_000_000_000
 	if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+		sp.End(obs.A("error", err.Error()))
 		return nil, fmt.Errorf("core: online profiling run: %w", err)
 	}
 	p.Profile = prof
 
-	// 2) Hot region + breakdown.
 	p.Analysis = profile.Analyze(app.Prog)
 	region, ok := profile.HotRegion(app.Prog, p.Analysis, prof)
 	if !ok {
+		sp.End(obs.A("error", "no replayable hot region"))
 		return nil, fmt.Errorf("core: %s has no replayable hot region", app.Name)
 	}
 	p.Region = region
 	p.Breakdown = profile.Classify(app.Prog, p.Analysis, prof, region)
+	sp.End(
+		obs.A("region_root", app.Prog.Methods[region.Root].Name),
+		obs.A("region_methods", len(region.Methods)),
+		obs.A("samples", region.EstimatedSamples),
+	)
 
 	// 3) Capture during a later online run.
+	sp = prep.Start("capture")
 	snap, err := o.captureOnline(app, android, region.Root)
 	if err != nil {
+		sp.End(obs.A("error", err.Error()))
 		return nil, err
 	}
 	p.Snapshot = snap
+	sp.End(
+		obs.A("online_ms", snap.Stats.TotalMs()),
+		obs.A("pages_stored", snap.Stats.PagesStored+snap.Stats.AlwaysStored),
+		obs.A("read_faults", snap.Stats.ReadFaults),
+		obs.A("write_faults", snap.Stats.WriteFaults),
+		obs.A("program_bytes", snap.Stats.ProgramBytes()),
+	)
 
 	// 4) Interpreted replay: verification map + type profile.
+	sp = prep.Start("verify")
 	vmap, typeProf, err := verify.Build(o.Dev, o.Store, snap, app.Prog)
 	if err != nil {
+		sp.End(obs.A("error", err.Error()))
 		return nil, fmt.Errorf("core: verification build: %w", err)
 	}
 	p.VMap = vmap
 	p.TypeProf = typeProf
+	sp.End(obs.A("vmap_size", vmap.Size()))
 
 	// 5) Baselines at region level.
+	sp = prep.Start("baselines")
 	p.ev = &replayEvaluator{
 		o: o, app: app, snap: snap, vmap: vmap, prof: typeProf,
 		region: region, android: android,
 	}
 	andEval := p.ev.evaluateImage(android)
 	if andEval.Outcome.Failed() {
+		sp.End(obs.A("error", "baseline failed its own replay"))
 		return nil, fmt.Errorf("core: baseline failed its own replay: %s", andEval.Outcome)
 	}
 	p.ev.maxCycles = andEval.cycles * 12 // runtime-timeout budget
@@ -231,24 +277,34 @@ func (o *Optimizer) Prepare(app *App) (*Prepared, error) {
 
 	o3Code, err := p.CompileRegion(lir.O3())
 	if err != nil {
+		sp.End(obs.A("error", err.Error()))
 		return nil, fmt.Errorf("core: -O3 compile: %w", err)
 	}
 	o3Eval := p.ev.evaluateImage(o3Code)
 	if o3Eval.Outcome.Failed() {
+		sp.End(obs.A("error", "-O3 failed verification"))
 		return nil, fmt.Errorf("core: -O3 failed verification: %s", o3Eval.Outcome)
 	}
 	p.O3Eval = o3Eval.Evaluation
 	p.O3Cycles = o3Eval.cycles
+	sp.End(obs.A("android_ms", p.AndroidEval.MeanMs), obs.A("o3_ms", p.O3Eval.MeanMs))
 	return p, nil
 }
 
 // Optimize runs the full pipeline for app.
-func (o *Optimizer) Optimize(app *App) (*Report, error) {
-	p, err := o.Prepare(app)
+func (o *Optimizer) Optimize(app *App) (rep *Report, err error) {
+	pipe := o.Opts.Obs.Start("pipeline", obs.A("app", app.Name))
+	defer func() {
+		if err != nil {
+			pipe.Attr("error", err.Error())
+		}
+		pipe.End()
+	}()
+	p, err := o.prepare(app, pipe)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{App: app.Name}
+	rep = &Report{App: app.Name}
 	rep.Region = p.Region
 	rep.Breakdown = p.Breakdown
 	rep.Capture = p.Snapshot.Stats
@@ -257,24 +313,37 @@ func (o *Optimizer) Optimize(app *App) (*Report, error) {
 	rep.O3RegionMs = p.O3Eval.MeanMs
 
 	// 6) GA search.
+	search := pipe.Start("search")
 	gaOpts := o.Opts.GA
 	gaOpts.BaselineAndroidMs = rep.AndroidRegionMs
 	gaOpts.BaselineO3Ms = rep.O3RegionMs
+	gaOpts.Obs = search
+	p.ev.obsParent = search
 	rng := rand.New(rand.NewSource(o.Opts.Seed*7919 + int64(len(app.Name))))
 	rep.Search = ga.Search(rng, p, gaOpts)
+	p.ev.obsParent = nil
 	rep.SearchStats = rep.Search.Stats
 	rep.Best = rep.Search.Best.Decode()
 	rep.GARegionMs = rep.Search.BestEval.MeanMs
 	if rep.GARegionMs > 0 {
 		rep.RegionSpeedupGA = rep.AndroidRegionMs / rep.GARegionMs
 	}
+	search.End(
+		obs.A("evaluations", rep.SearchStats.Evaluations),
+		obs.A("cache_hits", rep.SearchStats.CacheHits),
+		obs.A("halt", rep.Search.Halt),
+		obs.A("best_ms", rep.GARegionMs),
+		obs.A("region_speedup", rep.RegionSpeedupGA),
+	)
 
 	// 7) Install the winner — unless it lost to the out-of-the-box binary,
 	// in which case the system keeps the baseline (§1: the search must have
 	// "no negative impact on the user experience"). Then measure whole-
 	// program speedups outside the replay environment.
+	install := pipe.Start("install")
 	bestCode, err := p.CompileRegion(rep.Best)
 	if err != nil {
+		install.End(obs.A("error", err.Error()))
 		return nil, fmt.Errorf("core: best genome stopped compiling: %w", err)
 	}
 	if rep.GARegionMs > rep.AndroidRegionMs {
@@ -285,6 +354,7 @@ func (o *Optimizer) Optimize(app *App) (*Report, error) {
 	}
 	o3Code, err := p.CompileRegion(lir.O3())
 	if err != nil {
+		install.End(obs.A("error", err.Error()))
 		return nil, err
 	}
 	rep.installed = bestCode
@@ -297,6 +367,11 @@ func (o *Optimizer) Optimize(app *App) (*Report, error) {
 	if rep.O3OnlineCycles > 0 {
 		rep.SpeedupO3 = rep.AndroidOnlineCycles / rep.O3OnlineCycles
 	}
+	install.End(
+		obs.A("kept_baseline", rep.KeptBaseline),
+		obs.A("speedup_ga", rep.SpeedupGA),
+		obs.A("speedup_o3", rep.SpeedupO3),
+	)
 	return rep, nil
 }
 
@@ -384,6 +459,35 @@ type replayEvaluator struct {
 	region    profile.Region
 	android   *machine.Program
 	maxCycles uint64
+	// obsParent, when set (serially, before evaluations fan out), parents
+	// the per-discard audit spans under the search span.
+	obsParent *obs.Span
+}
+
+// discard audits one discarded candidate: the coarse Fig. 1 outcome class
+// keeps its counter, and the underlying error string — which the outcome
+// classification would otherwise collapse away — is attached as a tally
+// label and a span attribute so discard causes stay auditable in the trace.
+func (ev *replayEvaluator) discard(outcome ga.Outcome, cause error) {
+	sc := ev.o.Opts.Obs
+	if sc == nil {
+		return
+	}
+	sc.Tally("core.discards").Inc(outcome.String())
+	detail := "unknown"
+	if cause != nil {
+		detail = cause.Error()
+	}
+	sc.Tally("core.discard_causes").Inc(truncateLabel(detail, 120))
+	sp := sc.StartUnder(ev.obsParent, "eval.discard")
+	sp.End(obs.A("outcome", outcome.String()), obs.A("error", detail))
+}
+
+func truncateLabel(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }
 
 type imageEval struct {
@@ -396,7 +500,9 @@ type imageEval struct {
 func (ev *replayEvaluator) Evaluate(cfg lir.Config) ga.Evaluation {
 	code, err := lir.Compile(ev.app.Prog, ev.region.Methods, cfg, ev.prof)
 	if err != nil {
-		return ga.Evaluation{Outcome: classifyCompileError(err)}
+		outcome := classifyCompileError(err)
+		ev.discard(outcome, err)
+		return ga.Evaluation{Outcome: outcome}
 	}
 	return ev.evaluateImage(overlay(ev.android, code)).Evaluation
 }
@@ -423,9 +529,12 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
 	}
 	res, err := run(1)
 	if err != nil {
-		return imageEval{Evaluation: ga.Evaluation{Outcome: classifyRuntimeError(err)}}
+		outcome := classifyRuntimeError(err)
+		ev.discard(outcome, err)
+		return imageEval{Evaluation: ga.Evaluation{Outcome: outcome}}
 	}
 	if err := ev.vmap.Check(res); err != nil {
+		ev.discard(ga.OutcomeWrongOutput, err)
 		return imageEval{Evaluation: ga.Evaluation{Outcome: ga.OutcomeWrongOutput}}
 	}
 	// Replays under a second ASLR layout must agree cycle-for-cycle;
@@ -435,6 +544,11 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
 		res2, err := run(2)
 		if err != nil || res2.Cycles != res.Cycles {
 			// Nondeterministic candidate: treat as wrong output.
+			if err == nil {
+				err = fmt.Errorf("nondeterministic: %d cycles under the second ASLR layout, %d under the first",
+					res2.Cycles, res.Cycles)
+			}
+			ev.discard(ga.OutcomeWrongOutput, err)
 			return imageEval{Evaluation: ga.Evaluation{Outcome: ga.OutcomeWrongOutput}}
 		}
 	}

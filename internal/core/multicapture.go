@@ -15,6 +15,7 @@ import (
 	"replayopt/internal/capture"
 	"replayopt/internal/dex"
 	"replayopt/internal/machine"
+	"replayopt/internal/obs"
 	"replayopt/internal/replay"
 	"replayopt/internal/verify"
 )
@@ -98,7 +99,9 @@ func (cv *CrossValidation) MinSpeedup() float64 {
 func (o *Optimizer) CrossValidate(app *App, android, candidate *machine.Program,
 	snaps []*capture.Snapshot) (*CrossValidation, error) {
 
+	span := o.Opts.Obs.Start("crossvalidate", obs.A("app", app.Name), obs.A("snapshots", len(snaps)))
 	cv := &CrossValidation{}
+	defer func() { span.End(obs.A("checked", cv.Checked), obs.A("passed", cv.Passed)) }()
 	for i, snap := range snaps {
 		vmap, _, err := verify.Build(o.Dev, o.Store, snap, app.Prog)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"replayopt/internal/device"
 	"replayopt/internal/ga"
+	"replayopt/internal/obs"
 )
 
 // ScheduleOptions parameterizes the §3.7 idle-charging simulation.
@@ -22,6 +23,9 @@ type ScheduleOptions struct {
 	NightlyWindowMinutes func(rng *rand.Rand) float64
 	// Seed drives window variation.
 	Seed int64
+	// Obs, when set, records the schedule simulation as a span plus
+	// counters in the scope's registry.
+	Obs *obs.Scope
 }
 
 // DefaultScheduleOptions: 250 ms compiles, nights of 5.5-8.5 usable hours.
@@ -56,6 +60,7 @@ type ScheduleReport struct {
 // charged and idle for work to proceed (§3.7); window boundaries model the
 // user picking the phone up in the morning.
 func ScheduleSearch(dev *device.Device, res *ga.Result, opts ScheduleOptions) ScheduleReport {
+	span := opts.Obs.Start("schedule")
 	rep := ScheduleReport{
 		Evaluations:  len(res.Trace),
 		CacheHits:    res.Stats.CacheHits,
@@ -101,5 +106,13 @@ func ScheduleSearch(dev *device.Device, res *ga.Result, opts ScheduleOptions) Sc
 	if rep.Nights == 1 && first > 0 {
 		rep.FirstNightFraction = rep.TotalMinutes / first
 	}
+	opts.Obs.Counter("schedule.nights").Add(int64(rep.Nights))
+	span.End(
+		obs.A("evaluations", rep.Evaluations),
+		obs.A("replay_minutes", rep.ReplayMinutes),
+		obs.A("total_minutes", rep.TotalMinutes),
+		obs.A("nights", rep.Nights),
+		obs.A("saved_minutes", rep.SavedMinutes),
+	)
 	return rep
 }

@@ -24,7 +24,7 @@ func AblationCoW(scale Scale, seed int64) (*Table, error) {
 		Header: []string{"app", "CoW capture", "eager copy", "ratio"},
 	}
 	for _, spec := range selectedApps(scale) {
-		p, opt, err := prepareApp(spec.Name, seed)
+		p, opt, err := prepareApp(spec.Name, seed, scale.Obs)
 		if err != nil {
 			return nil, err
 		}
@@ -45,7 +45,7 @@ func AblationFullSnapshot(scale Scale, seed int64) (*Table, error) {
 		Header: []string{"app", "selective", "full space", "ratio"},
 	}
 	for _, spec := range selectedApps(scale) {
-		p, _, err := prepareApp(spec.Name, seed)
+		p, _, err := prepareApp(spec.Name, seed, scale.Obs)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +63,7 @@ func AblationFullSnapshot(scale Scale, seed int64) (*Table, error) {
 // AblationRandomSearch compares the GA against pure random search at the
 // same evaluation budget (§2's motivation for intelligent search).
 func AblationRandomSearch(scale Scale, seed int64, app string) (*Table, error) {
-	p, _, err := prepareApp(app, seed)
+	p, _, err := prepareApp(app, seed, scale.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +100,7 @@ func AblationRandomSearch(scale Scale, seed int64, app string) (*Table, error) {
 // search would have *preferred* over the true winner — the silent-corruption
 // risk §3.4 eliminates.
 func AblationNoVerify(scale Scale, seed int64, app string) (*Table, error) {
-	p, opt, err := prepareApp(app, seed)
+	p, opt, err := prepareApp(app, seed, scale.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +152,7 @@ func AblationNoVerify(scale Scale, seed int64, app string) (*Table, error) {
 // AblationGCCheckElim isolates the paper's custom post-unroll GC-check
 // elimination pass on FFT (§3.5, §5.1).
 func AblationGCCheckElim(seed int64) (*Table, error) {
-	p, _, err := prepareApp("FFT", seed)
+	p, _, err := prepareApp("FFT", seed, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +181,7 @@ func AblationGCCheckElim(seed int64) (*Table, error) {
 // AblationDevirt isolates profile-guided devirtualization on a virtual-call
 // heavy app (§3.4's novel profile source).
 func AblationDevirt(seed int64, app string) (*Table, error) {
-	p, _, err := prepareApp(app, seed)
+	p, _, err := prepareApp(app, seed, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -226,6 +226,7 @@ func AblationCrossValidate(scale Scale, seed int64, appNames ...string) (*Table,
 		opts := core.DefaultOptions()
 		opts.GA = scale.GA
 		opts.Seed = seed
+		opts.Obs = scale.Obs
 		opt := core.New(opts)
 		rep, cv, err := opt.OptimizeMulti(app, 3)
 		if err != nil {
@@ -362,6 +363,7 @@ func ScheduleTable(res *Fig7Result, scale Scale, seed int64, appNames ...string)
 			opts := core.DefaultOptions()
 			opts.GA = scale.GA
 			opts.Seed = seed
+			opts.Obs = scale.Obs
 			opt := core.New(opts)
 			rep, err := opt.Optimize(app)
 			if err != nil {
@@ -372,6 +374,7 @@ func ScheduleTable(res *Fig7Result, scale Scale, seed int64, appNames ...string)
 	}
 	sopts := core.DefaultScheduleOptions()
 	sopts.Seed = seed
+	sopts.Obs = scale.Obs
 	for _, it := range items {
 		sched := core.ScheduleSearch(it.dev, it.search, sopts)
 		share := "-"

@@ -15,6 +15,7 @@ import (
 	"replayopt/internal/apps"
 	"replayopt/internal/core"
 	"replayopt/internal/ga"
+	"replayopt/internal/obs"
 )
 
 // Scale sets the experiment budget.
@@ -33,6 +34,10 @@ type Scale struct {
 	// independently seeded, so results match the sequential run). 0 means
 	// GOMAXPROCS.
 	Workers int
+	// Obs, when set, receives spans and metrics from every pipeline an
+	// experiment runs. Purely observational: tables are identical with or
+	// without it. Safe under Workers > 1 (the scope is concurrency-safe).
+	Obs *obs.Scope
 }
 
 // Full mirrors §4: 11 generations of 50 genomes, 100 random sequences,
@@ -134,11 +139,11 @@ func selectedApps(s Scale) []apps.Spec {
 // needed to evaluate candidate configurations by replay. The benchmark
 // harness uses it to run searches against a real evaluator directly.
 func PrepareApp(name string, seed int64) (*core.Prepared, *core.Optimizer, error) {
-	return prepareApp(name, seed)
+	return prepareApp(name, seed, nil)
 }
 
 // prepareApp builds and prepares one app (pipeline steps 1-5).
-func prepareApp(name string, seed int64) (*core.Prepared, *core.Optimizer, error) {
+func prepareApp(name string, seed int64, sc *obs.Scope) (*core.Prepared, *core.Optimizer, error) {
 	spec, ok := apps.ByName(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("exp: unknown app %q", name)
@@ -149,6 +154,7 @@ func prepareApp(name string, seed int64) (*core.Prepared, *core.Optimizer, error
 	}
 	opts := core.DefaultOptions()
 	opts.Seed = seed
+	opts.Obs = sc
 	opt := core.New(opts)
 	p, err := opt.Prepare(app)
 	if err != nil {

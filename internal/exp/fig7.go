@@ -44,6 +44,7 @@ func Figure7(scale Scale, seed int64) (*Fig7Result, *Table, error) {
 		opts := core.DefaultOptions()
 		opts.Seed = seed
 		opts.GA = scale.GA
+		opts.Obs = scale.Obs
 		opt := core.New(opts)
 		rep, err := opt.Optimize(app)
 		if err != nil {

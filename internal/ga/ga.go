@@ -10,11 +10,13 @@ package ga
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
 
 	"replayopt/internal/lir"
+	"replayopt/internal/obs"
 	"replayopt/internal/stats"
 )
 
@@ -169,6 +171,12 @@ type Options struct {
 	// candidates (0 or less = one worker per core). Search decisions stay
 	// serial, so any value yields the same trace for the same seed.
 	Parallelism int
+	// Obs, when set, nests a span per generation (plus one for the hill
+	// climb) under it and records evaluation metrics — eval-latency
+	// histogram, cache hit/miss counters, worker-occupancy gauge, outcome
+	// tallies — in its scope's registry. Purely observational: a nil Obs
+	// and any attached sink produce byte-identical search traces.
+	Obs *obs.Span
 }
 
 // DefaultOptions returns the paper's settings.
@@ -260,6 +268,7 @@ func Search(rng *rand.Rand, eval Evaluator, opts Options) *Result {
 		seen:    map[uint64]int{},
 		cache:   map[uint64]Evaluation{},
 		workers: opts.workers(),
+		obs:     opts.Obs,
 	}
 	return s.run()
 }
@@ -278,6 +287,14 @@ type searcher struct {
 	gen     int
 
 	identicalRun int
+
+	// Observability (nil obs = disabled): the current phase span — one per
+	// generation, one for the hill climb — and its per-phase tallies.
+	obs        *obs.Span
+	phase      *obs.Span
+	phaseEvals int
+	phaseHits  int
+	phaseLat   []float64 // fresh-evaluation latencies (ms) this phase
 }
 
 type scored struct {
@@ -321,8 +338,11 @@ func better(a, b Evaluation) bool {
 }
 
 func (s *searcher) run() *Result {
+	s.gen = 0
+	s.beginPhase("ga.generation", obs.A("gen", 0))
 	pop := s.firstGeneration()
 	best := s.bestOf(pop)
+	s.endPhase(best)
 	stall := 0
 	halt := "generation budget"
 
@@ -331,24 +351,78 @@ func (s *searcher) run() *Result {
 			halt = "identical-binaries limit"
 			break
 		}
+		s.beginPhase("ga.generation", obs.A("gen", s.gen))
 		pop = s.nextGeneration(pop)
 		genBest := s.bestOf(pop)
-		if better(genBest.eval, best.eval) {
+		improved := better(genBest.eval, best.eval)
+		if improved {
 			best = genBest
 			stall = 0
 		} else {
 			stall++
-			if stall >= s.opts.StallGenerations {
-				halt = "no improvement"
-				break
-			}
+		}
+		s.endPhase(best)
+		if !improved && stall >= s.opts.StallGenerations {
+			halt = "no improvement"
+			break
 		}
 	}
 
 	// Final hill climb (§3.6).
+	s.beginPhase("ga.hillclimb")
 	best = s.hillClimb(best)
+	s.endPhase(best)
 	return &Result{Best: best.genome, BestEval: best.eval, Trace: s.trace, Halt: halt,
 		Stats: s.stats}
+}
+
+// beginPhase opens the observation span covering the next batch of
+// evaluations (one generation, or the hill climb) and resets its tallies.
+// A no-op without an observation scope.
+func (s *searcher) beginPhase(name string, attrs ...obs.Attr) {
+	if s.obs == nil {
+		return
+	}
+	s.phase = s.obs.Start(name, attrs...)
+	s.phaseEvals, s.phaseHits, s.phaseLat = 0, 0, s.phaseLat[:0]
+}
+
+// endPhase closes the current phase span with the phase's evaluation counts,
+// latency quantiles, and the best-so-far fitness.
+func (s *searcher) endPhase(best scored) {
+	if s.phase == nil {
+		return
+	}
+	speedup := 0.0
+	if s.opts.BaselineAndroidMs > 0 && best.eval.MeanMs > 0 {
+		speedup = s.opts.BaselineAndroidMs / best.eval.MeanMs
+	}
+	s.phase.End(
+		obs.A("evals", s.phaseEvals),
+		obs.A("cache_hits", s.phaseHits),
+		obs.A("best_ms", best.eval.MeanMs),
+		obs.A("best_speedup", speedup),
+		obs.A("eval_p50_ms", nearestRank(s.phaseLat, 0.50)),
+		obs.A("eval_p99_ms", nearestRank(s.phaseLat, 0.99)),
+	)
+	s.phase = nil
+}
+
+// nearestRank is the exact q-quantile of vs by the nearest-rank rule.
+func nearestRank(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 func (s *searcher) bestOf(pop []scored) scored {

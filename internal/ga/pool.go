@@ -13,8 +13,10 @@ package ga
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"replayopt/internal/lir"
+	"replayopt/internal/obs"
 )
 
 // SearchStats counts the evaluation work a search performed and the work
@@ -81,12 +83,32 @@ func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
 		jobs = append(jobs, job{idx: i, cfg: cfg})
 	}
 
-	// Fan the unique uncached configurations out to the pool.
+	// Fan the unique uncached configurations out to the pool. With an
+	// observation scope attached, each call is timed (wall clock feeds the
+	// eval-latency histogram only — never a search decision) and the busy
+	// gauge tracks worker occupancy.
 	evs := make([]Evaluation, len(jobs))
+	var lat []float64
+	obsOn := s.obs != nil
+	if obsOn {
+		lat = make([]float64, len(jobs))
+	}
+	busy := s.obs.Scope().Gauge("ga.workers_busy")
+	evalJob := func(j int) {
+		if !obsOn {
+			evs[j] = s.eval.Evaluate(jobs[j].cfg)
+			return
+		}
+		busy.Add(1)
+		t0 := time.Now()
+		evs[j] = s.eval.Evaluate(jobs[j].cfg)
+		lat[j] = float64(time.Since(t0).Microseconds()) / 1000.0
+		busy.Add(-1)
+	}
 	workers := min(s.workers, len(jobs))
 	if workers <= 1 {
 		for j := range jobs {
-			evs[j] = s.eval.Evaluate(jobs[j].cfg)
+			evalJob(j)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -96,7 +118,7 @@ func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
 			go func() {
 				defer wg.Done()
 				for j := range ch {
-					evs[j] = s.eval.Evaluate(jobs[j].cfg)
+					evalJob(j)
 				}
 			}()
 		}
@@ -116,14 +138,29 @@ func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
 			Index: len(s.trace), Generation: s.gen, Genome: genomes[jb.idx].Clone(), Eval: evs[j],
 		})
 	}
+	var sc *obs.Scope
+	if obsOn {
+		sc = s.obs.Scope()
+		h := sc.Histogram("ga.eval_ms")
+		for _, ms := range lat {
+			h.Observe(ms)
+		}
+		s.phaseLat = append(s.phaseLat, lat...)
+		s.phaseEvals += len(jobs)
+		sc.Counter("ga.evaluations").Add(int64(len(jobs)))
+	}
 	for i := range genomes {
 		ev := s.cache[fps[i]]
 		out[i] = ev
 		s.stats.Considered++
+		sc.Counter("ga.considered").Add(1)
 		if jIdx, fresh := owner[fps[i]]; fresh && jobs[jIdx].idx == i {
 			s.stats.Evaluations++
+			sc.Tally("ga.outcomes").Inc(ev.Outcome.String())
 		} else {
 			s.stats.CacheHits++
+			s.phaseHits++
+			sc.Counter("ga.cache_hits").Add(1)
 			for _, t := range ev.TimesMs {
 				s.stats.SavedReplayMs += t
 			}

@@ -1,0 +1,172 @@
+// JSONL trace sink: one JSON object per finished span, in end order, plus
+// the reader half used by tests and cmd/tracelint to validate traces.
+
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONLWriter streams finished spans to w as JSON Lines. Safe for
+// concurrent use; the first write error sticks and silences later writes.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewJSONLWriter returns a sink writing to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: w, enc: json.NewEncoder(w)}
+}
+
+// SpanEnd implements SpanSink.
+func (j *JSONLWriter) SpanEnd(sd SpanData) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(sd); err != nil {
+		j.err = err
+		return
+	}
+	j.n++
+}
+
+// Count reports how many spans were written.
+func (j *JSONLWriter) Count() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err reports the first write error, if any.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJSONL parses a trace written by JSONLWriter. Every line must be a
+// valid span object; line numbers are 1-based in errors.
+func ReadJSONL(r io.Reader) ([]SpanData, error) {
+	var out []SpanData
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var sd SpanData
+		if err := json.Unmarshal(raw, &sd); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if sd.Name == "" {
+			return nil, fmt.Errorf("obs: trace line %d: span without a name", line)
+		}
+		if sd.ID == 0 {
+			return nil, fmt.Errorf("obs: trace line %d: span without an id", line)
+		}
+		out = append(out, sd)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// ValidateTrace checks structural invariants of a parsed trace: unique span
+// ids, parents that exist (spans end before their parents under normal
+// nesting, so a parent id may appear later in the stream), and non-negative
+// durations. It returns the set of span names seen.
+func ValidateTrace(spans []SpanData) (map[string]int, error) {
+	ids := make(map[uint64]bool, len(spans))
+	names := map[string]int{}
+	for _, sd := range spans {
+		if ids[sd.ID] {
+			return nil, fmt.Errorf("obs: duplicate span id %d", sd.ID)
+		}
+		ids[sd.ID] = true
+		if sd.DurUS < 0 {
+			return nil, fmt.Errorf("obs: span %q (id %d) has negative duration", sd.Name, sd.ID)
+		}
+		names[sd.Name]++
+	}
+	for _, sd := range spans {
+		if sd.Parent != 0 && !ids[sd.Parent] {
+			return nil, fmt.Errorf("obs: span %q (id %d) references missing parent %d",
+				sd.Name, sd.ID, sd.Parent)
+		}
+	}
+	return names, nil
+}
+
+// Progress is a sink that turns "ga.generation" spans into a live one-line
+// progress report (gen, best speedup, cache-hit rate, evals/s) — the search
+// is the long pole of the pipeline (§3.7) and runs silently otherwise.
+type Progress struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgress returns a progress sink printing to w.
+func NewProgress(w io.Writer) *Progress { return &Progress{w: w} }
+
+// SpanEnd implements SpanSink.
+func (p *Progress) SpanEnd(sd SpanData) {
+	if sd.Name != "ga.generation" && sd.Name != "ga.hillclimb" {
+		return
+	}
+	evals := Num(sd.Attrs, "evals")
+	hits := Num(sd.Attrs, "cache_hits")
+	rate := 0.0
+	if evals+hits > 0 {
+		rate = hits / (evals + hits) * 100
+	}
+	perSec := 0.0
+	if sd.DurUS > 0 {
+		perSec = evals / (float64(sd.DurUS) / 1e6)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sd.Name == "ga.hillclimb" {
+		fmt.Fprintf(p.w, "hillclimb: best %.2fx | %.0f evals | %.1f evals/s\n",
+			Num(sd.Attrs, "best_speedup"), evals, perSec)
+		return
+	}
+	fmt.Fprintf(p.w, "gen %2.0f: best %.2fx | %.0f evals, cache-hit %.0f%% | %.1f evals/s | eval p50 %.2f ms p99 %.2f ms\n",
+		Num(sd.Attrs, "gen"), Num(sd.Attrs, "best_speedup"),
+		evals, rate, perSec,
+		Num(sd.Attrs, "eval_p50_ms"), Num(sd.Attrs, "eval_p99_ms"))
+}
+
+// Num reads a numeric span attribute whatever concrete type it carries
+// (int/int64/float64 live in-process; everything is float64 after a JSONL
+// round-trip). Missing or non-numeric attributes read as 0.
+func Num(attrs map[string]any, key string) float64 {
+	switch v := attrs[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	case uint64:
+		return float64(v)
+	case json.Number:
+		f, _ := v.Float64()
+		return f
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,237 @@
+// Package obs is the pipeline's observability layer: hierarchical spans,
+// named counters/gauges/histograms, and pluggable sinks. It exists because
+// every claim the system makes is a quantitative budget — capture must stay
+// inside the 5-30 ms online window (Fig. 10), storage near 5 MB per app
+// (Fig. 11), and the GA search must fit idle-time charging windows (§3.7) —
+// and budgets can only be enforced when every stage reports where its time
+// and space went.
+//
+// The layer is dependency-free and deliberately dull:
+//
+//   - A *Scope bundles a metric Registry with zero or more SpanSinks. The
+//     nil *Scope is the no-op implementation: every method on a nil Scope,
+//     Span, Counter, Gauge, Histogram, or Tally is safe and free, so
+//     instrumented code never nil-checks and un-instrumented runs (the
+//     default — tests, library users) pay one pointer compare per site.
+//   - Spans form a tree (Start on a Scope roots one, Start on a Span nests)
+//     and are delivered to every sink at End. Sinks include the JSONL trace
+//     writer (jsonl.go), an in-memory collector (Collect), and a live
+//     per-generation progress printer (Progress).
+//   - Metrics live in the Registry and are exported as a text page or an
+//     expvar-style JSON object (metrics.go).
+//
+// Observability must never perturb the system under observation: nothing in
+// this package feeds back into any pipeline decision, and the search trace
+// is byte-identical with or without a Scope attached (core's tests assert
+// it).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr (keeps call sites short).
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// SpanData is one finished span, as delivered to sinks.
+type SpanData struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"` // 0 = root
+	Name   string `json:"name"`
+	// StartUS/DurUS are microseconds; StartUS is relative to the Scope's
+	// creation so traces are stable run-to-run modulo machine speed.
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanSink receives every finished span. Implementations must be safe for
+// concurrent use: parallel evaluation workers end spans concurrently.
+type SpanSink interface {
+	SpanEnd(sd SpanData)
+}
+
+// Scope is one instrumentation context: a metric registry plus span sinks.
+// A nil *Scope disables everything.
+type Scope struct {
+	mu     sync.Mutex
+	sinks  []SpanSink
+	reg    *Registry
+	nextID atomic.Uint64
+	epoch  time.Time
+}
+
+// New returns a Scope with a fresh Registry and the given sinks (none is
+// fine: metrics-only observation).
+func New(sinks ...SpanSink) *Scope {
+	return &Scope{sinks: sinks, reg: NewRegistry(), epoch: time.Now()}
+}
+
+// AddSink attaches another span sink.
+func (s *Scope) AddSink(sink SpanSink) {
+	if s == nil || sink == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sinks = append(s.sinks, sink)
+	s.mu.Unlock()
+}
+
+// Registry returns the scope's metric registry (nil for a nil scope).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Counter, Gauge, Histogram, and Tally are registry shorthands, nil-safe.
+func (s *Scope) Counter(name string) *Counter     { return s.Registry().Counter(name) }
+func (s *Scope) Gauge(name string) *Gauge         { return s.Registry().Gauge(name) }
+func (s *Scope) Histogram(name string) *Histogram { return s.Registry().Histogram(name) }
+func (s *Scope) Tally(name string) *Tally         { return s.Registry().Tally(name) }
+
+// Start opens a root span.
+func (s *Scope) Start(name string, attrs ...Attr) *Span {
+	return s.StartUnder(nil, name, attrs...)
+}
+
+// StartUnder opens a span nested below parent, or a root span when parent is
+// nil. It is the bridge for code handed a parent span that may not exist.
+func (s *Scope) StartUnder(parent *Span, name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	sp := &Span{scope: s, id: s.nextID.Add(1), name: name, start: time.Now()}
+	if parent != nil {
+		sp.parent = parent.id
+	}
+	if len(attrs) > 0 {
+		sp.attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			sp.attrs[a.Key] = a.Value
+		}
+	}
+	return sp
+}
+
+func (s *Scope) emit(sd SpanData) {
+	s.mu.Lock()
+	sinks := s.sinks
+	s.mu.Unlock()
+	for _, sink := range sinks {
+		sink.SpanEnd(sd)
+	}
+}
+
+// Span is one in-flight region of the trace tree. A nil *Span is a no-op.
+type Span struct {
+	scope  *Scope
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Start opens a child span (nil-safe).
+func (sp *Span) Start(name string, attrs ...Attr) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.scope.StartUnder(sp, name, attrs...)
+}
+
+// Scope returns the owning scope (nil for a nil span).
+func (sp *Span) Scope() *Scope {
+	if sp == nil {
+		return nil
+	}
+	return sp.scope
+}
+
+// Attr records one attribute on the span. Safe from any goroutine until End.
+func (sp *Span) Attr(key string, value any) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.attrs == nil {
+		sp.attrs = map[string]any{}
+	}
+	sp.attrs[key] = value
+	sp.mu.Unlock()
+}
+
+// End closes the span and delivers it to every sink. Extra attributes are
+// merged in first. End is idempotent; only the first call emits.
+func (sp *Span) End(attrs ...Attr) {
+	if sp == nil {
+		return
+	}
+	end := time.Now()
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	if len(attrs) > 0 && sp.attrs == nil {
+		sp.attrs = make(map[string]any, len(attrs))
+	}
+	for _, a := range attrs {
+		sp.attrs[a.Key] = a.Value
+	}
+	sd := SpanData{
+		ID:      sp.id,
+		Parent:  sp.parent,
+		Name:    sp.name,
+		StartUS: sp.start.Sub(sp.scope.epoch).Microseconds(),
+		DurUS:   end.Sub(sp.start).Microseconds(),
+		Attrs:   sp.attrs,
+	}
+	sp.mu.Unlock()
+	sp.scope.emit(sd)
+}
+
+// Collect is an in-memory sink: it keeps every finished span, in end order.
+type Collect struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// SpanEnd implements SpanSink.
+func (c *Collect) SpanEnd(sd SpanData) {
+	c.mu.Lock()
+	c.spans = append(c.spans, sd)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans, in end order.
+func (c *Collect) Spans() []SpanData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanData(nil), c.spans...)
+}
+
+// ByName returns the collected spans carrying name, in end order.
+func (c *Collect) ByName(name string) []SpanData {
+	var out []SpanData
+	for _, sd := range c.Spans() {
+		if sd.Name == name {
+			out = append(out, sd)
+		}
+	}
+	return out
+}

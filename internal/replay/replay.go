@@ -10,6 +10,7 @@ package replay
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"replayopt/internal/capture"
 	"replayopt/internal/device"
@@ -66,6 +67,11 @@ const loaderPages = 24
 func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error) {
 	snap := req.Snapshot
 	rng := rand.New(rand.NewSource(req.ASLRSeed))
+	sc := store.Obs
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
 
 	// 1) The loader starts as its own process: its image lands at an
 	// ASLR-randomized base that may collide with captured pages.
@@ -159,6 +165,11 @@ func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error)
 		}
 	}
 	space.Unmap(stub)
+	if sc != nil {
+		// Restore = load + break-free, the §3.3 fixed cost of every replay.
+		sc.Histogram("replay.restore_ms").Observe(float64(time.Since(t0).Microseconds()) / 1000.0)
+		sc.Counter("replay.collisions").Add(int64(collisions))
+	}
 
 	// 4) Become a partial Android process and execute the chosen version
 	// with the restored architectural state.
@@ -168,6 +179,16 @@ func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error)
 	maxCycles := req.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
+	}
+	record := func(failed bool) {
+		if sc == nil {
+			return
+		}
+		sc.Counter("replay.runs").Add(1)
+		sc.Counter("replay.cycles").Add(int64(res.Cycles))
+		if failed {
+			sc.Counter("replay.failed_runs").Add(1)
+		}
 	}
 	switch req.Tier {
 	case TierInterp:
@@ -180,6 +201,7 @@ func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error)
 		res.Millis = dev.ReplayMillis(env.Cycles)
 		res.Ret = ret
 		if err != nil {
+			record(true)
 			return res, err
 		}
 	case TierCompiled:
@@ -194,11 +216,13 @@ func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error)
 		res.Millis = dev.ReplayMillis(x.Cycles)
 		res.Ret = ret
 		if err != nil {
+			record(true)
 			return res, err
 		}
 	default:
 		return nil, fmt.Errorf("replay: unknown tier %d", req.Tier)
 	}
+	record(false)
 	return res, nil
 }
 
