@@ -20,9 +20,16 @@ import (
 	"testing"
 	"time"
 
+	"replayopt/internal/apps"
+	"replayopt/internal/core"
+	"replayopt/internal/dex"
 	"replayopt/internal/exp"
 	"replayopt/internal/ga"
+	"replayopt/internal/lir"
+	"replayopt/internal/machine"
 	"replayopt/internal/obs"
+	"replayopt/internal/profile"
+	"replayopt/internal/verify"
 )
 
 func benchScale(b *testing.B) exp.Scale {
@@ -289,6 +296,166 @@ func BenchmarkScheduleTable(b *testing.B) {
 			fmt.Println(t.String())
 		}
 	}
+}
+
+// BenchmarkEffectAnalysis measures what the interprocedural effect analysis
+// (internal/sa) buys over the §3.1 boolean blocklist: deep-replayable method
+// coverage, guards the backend no longer emits (GC checks eliminated, virtual
+// calls devirtualized), and the §3.4 verification-map size for a region the
+// analysis proves free of heap writes. Results land in BENCH_sa.json.
+func BenchmarkEffectAnalysis(b *testing.B) {
+	appNames := []string{"FFT", "BubbleSort", "MaterialLife", "DroidFish"}
+
+	type appRow struct {
+		App           string `json:"app"`
+		Methods       int    `json:"methods"`
+		DeepBlocklist int    `json:"deep_replayable_blocklist"`
+		DeepEffects   int    `json:"deep_replayable_effects"`
+		GCChkBaseline int    `json:"gcchk_baseline"`
+		GCChkEffects  int    `json:"gcchk_effects"`
+		CallVBaseline int    `json:"callv_baseline"`
+		CallVEffects  int    `json:"callv_effects"`
+	}
+	type vmapRow struct {
+		App                 string `json:"app"`
+		Region              string `json:"region_root"`
+		RegionEffect        string `json:"region_effect"`
+		EntriesConservative int    `json:"entries_conservative"`
+		EntriesEffects      int    `json:"entries_effects"`
+		StoresSkipped       bool   `json:"stores_skipped"`
+	}
+
+	countOps := func(code *machine.Program) (gcchk, callv int) {
+		for _, fn := range code.Fns {
+			for _, in := range fn.Code {
+				switch in.Op {
+				case machine.GCChk:
+					gcchk++
+				case machine.CallV:
+					callv++
+				}
+			}
+		}
+		return
+	}
+
+	specFor := func(name string) (apps.Spec, bool) {
+		if name == "WitnessFilter" {
+			return apps.WitnessSpec(), true
+		}
+		return apps.ByName(name)
+	}
+
+	var rows []appRow
+	var vmaps []vmapRow
+	for i := 0; i < b.N; i++ {
+		rows, vmaps = nil, nil
+		for _, name := range append(appNames, "WitnessFilter") {
+			spec, ok := specFor(name)
+			if !ok {
+				b.Fatalf("unknown app %s", name)
+			}
+			app, err := apps.Build(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eff := profile.Analyze(app.Prog)
+			block := profile.AnalyzeBlocklist(app.Prog)
+			row := appRow{App: name, Methods: len(app.Prog.Methods)}
+			var compilable []dex.MethodID
+			for id := range app.Prog.Methods {
+				if block.ReplayableDeep[id] {
+					row.DeepBlocklist++
+				}
+				if eff.ReplayableDeep[id] {
+					row.DeepEffects++
+				}
+				if eff.Compilable[id] {
+					compilable = append(compilable, dex.MethodID(id))
+				}
+			}
+			// O2 plus the two guard-bearing custom passes the GA searches
+			// over: with a nil static result both degrade to conservative
+			// behavior, so the delta is exactly what the analysis eliminates.
+			cfg := lir.O2()
+			cfg.Passes = append(cfg.Passes,
+				lir.PassSpec{Name: "gccheckelim"},
+				lir.PassSpec{Name: "devirt"})
+			base, err := lir.Compile(app.Prog, compilable, cfg, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt, err := lir.Compile(app.Prog, compilable, cfg, nil, eff.Effects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row.GCChkBaseline, row.CallVBaseline = countOps(base)
+			row.GCChkEffects, row.CallVEffects = countOps(opt)
+			rows = append(rows, row)
+		}
+
+		// Verification-map size for a region the analysis proves write-free
+		// (the witness app's pure kernel) and a representative escaping-write
+		// region (FFT), each built conservatively and effect-aware.
+		for _, name := range []string{"WitnessFilter", "FFT"} {
+			spec, _ := specFor(name)
+			app, err := apps.Build(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := core.New(core.DefaultOptions())
+			p, err := opt.Prepare(app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cons, _, err := verify.Build(opt.Dev, opt.Store, p.Snapshot, app.Prog, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			effm, _, err := verify.Build(opt.Dev, opt.Store, p.Snapshot, app.Prog, p.Analysis.Effects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vmaps = append(vmaps, vmapRow{
+				App:                 name,
+				Region:              app.Prog.Methods[p.Region.Root].Name,
+				RegionEffect:        p.Analysis.Effects.Summary[p.Region.Root].String(),
+				EntriesConservative: len(cons.Entries),
+				EntriesEffects:      len(effm.Entries),
+				StoresSkipped:       effm.StoresSkipped,
+			})
+		}
+	}
+
+	var deepBlock, deepEff, gcElim, callvElim int
+	for _, r := range rows {
+		deepBlock += r.DeepBlocklist
+		deepEff += r.DeepEffects
+		gcElim += r.GCChkBaseline - r.GCChkEffects
+		callvElim += r.CallVBaseline - r.CallVEffects
+	}
+	b.ReportMetric(float64(deepEff-deepBlock), "deep-replayable-gain")
+	b.ReportMetric(float64(gcElim), "gcchk-eliminated")
+	b.ReportMetric(float64(callvElim), "callv-devirtualized")
+
+	artifact, err := json.MarshalIndent(map[string]any{
+		"schema_version":            2,
+		"benchmark":                 "EffectAnalysis",
+		"apps":                      rows,
+		"vmap":                      vmaps,
+		"deep_replayable_blocklist": deepBlock,
+		"deep_replayable_effects":   deepEff,
+		"gcchk_eliminated":          gcElim,
+		"callv_devirtualized":       callvElim,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sa.json", append(artifact, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("effect analysis: deep-replayable %d -> %d; %d GC checks eliminated, %d virtual calls devirtualized\n",
+		deepBlock, deepEff, gcElim, callvElim)
 }
 
 // BenchmarkSearchParallel measures the tentpole of the parallel evaluator:

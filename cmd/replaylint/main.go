@@ -1,0 +1,150 @@
+// Command replaylint runs the interprocedural effect analysis (internal/sa)
+// over evaluation applications and reports, per method, why it is or is not
+// deep-replayable: the effect summary, the memory-footprint class, and — for
+// every reachable non-replayable method — the shortest witness call chain to
+// the instruction that introduces each hazard.
+//
+// Usage:
+//
+//	replaylint -app DroidFish              # per-method report for one app
+//	replaylint -app DroidFish -method move # detail for methods matching a substring
+//	replaylint -all                        # coverage summary for all 21 apps
+//	replaylint -app DroidFish -json        # machine-readable report
+//	replaylint -all -json -validate        # JSON reports, schema-checked (CI)
+//	replaylint -list                       # list the known applications
+//
+// -validate structurally validates every emitted JSON document against the
+// report schema (sa.ValidateReportJSON) and fails the run on any mismatch.
+// Exit status: 0 on success, 1 on build/analysis/validation failure, 2 on
+// usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"replayopt/internal/apps"
+	"replayopt/internal/sa"
+)
+
+func main() {
+	appName := flag.String("app", "", "application to lint (see -list)")
+	all := flag.Bool("all", false, "lint every Table-1 application")
+	method := flag.String("method", "", "only report methods whose name contains this substring")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (one document per app)")
+	validate := flag.Bool("validate", false, "with -json: schema-check every emitted document")
+	list := flag.Bool("list", false, "list the known applications")
+	flag.Parse()
+
+	if *list {
+		for _, s := range knownSpecs() {
+			fmt.Printf("%-14s %-22s %s\n", s.Type, s.Name, s.Desc)
+		}
+		return
+	}
+	if *validate && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "replaylint: -validate requires -json")
+		os.Exit(2)
+	}
+
+	var specs []apps.Spec
+	switch {
+	case *all:
+		specs = knownSpecs()
+	case *appName != "":
+		spec, ok := byName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "replaylint: unknown app %q (use -list)\n", *appName)
+			os.Exit(2)
+		}
+		specs = []apps.Spec{spec}
+	default:
+		fmt.Fprintln(os.Stderr, "replaylint: need -app NAME or -all (use -list to see apps)")
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, spec := range specs {
+		app, err := apps.Build(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replaylint: %v\n", err)
+			os.Exit(1)
+		}
+		rep := sa.Analyze(app.Prog).Report(spec.Name)
+		if *jsonOut {
+			if *validate {
+				data, err := json.Marshal(rep)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "replaylint: %v\n", err)
+					os.Exit(1)
+				}
+				if err := sa.ValidateReportJSON(data); err != nil {
+					fmt.Fprintf(os.Stderr, "replaylint: %s: %v\n", spec.Name, err)
+					os.Exit(1)
+				}
+			}
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "replaylint: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		printHuman(rep, *method, *all)
+	}
+}
+
+// knownSpecs is Table 1 plus the diagnostic witness app.
+func knownSpecs() []apps.Spec {
+	return append(apps.All(), apps.WitnessSpec())
+}
+
+func byName(name string) (apps.Spec, bool) {
+	for _, s := range knownSpecs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return apps.Spec{}, false
+}
+
+func printHuman(rep *sa.Report, methodFilter string, summaryOnly bool) {
+	c := rep.Coverage
+	fmt.Printf("%s: %d methods, %d replayable (%.1f%%); reachable %d, of those %d replayable\n",
+		rep.App, c.Methods, c.Replayable, c.ReplayablePct, c.Reachable, c.ReachableReplayable)
+	if summaryOnly {
+		return
+	}
+
+	// Witness chains by method, for the verdict column.
+	witness := map[string][]sa.WitnessReport{}
+	for _, w := range rep.Witnesses {
+		witness[w.Method] = append(witness[w.Method], w)
+	}
+	fmt.Printf("  %-28s %-30s %s\n", "METHOD", "EFFECT", "VERDICT")
+	for _, m := range rep.Methods {
+		if methodFilter != "" && !strings.Contains(m.Name, methodFilter) {
+			continue
+		}
+		verdict := "replayable"
+		switch {
+		case !m.Reachable && m.Replayable:
+			verdict = "replayable (unreachable)"
+		case !m.Reachable:
+			verdict = "not replayable (unreachable)"
+		case !m.Replayable:
+			verdict = "not replayable: " + strings.Join(m.Hazards, ",")
+		}
+		fmt.Printf("  %-28s %-30s %s\n", m.Name, m.Effect, verdict)
+		for _, w := range witness[m.Name] {
+			fmt.Printf("      %s via %s", w.Hazard, strings.Join(w.Chain, " -> "))
+			if w.Cause != "" {
+				fmt.Printf(" (%s)", w.Cause)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"replayopt/internal/profile"
 	"replayopt/internal/replay"
 	"replayopt/internal/rt"
+	"replayopt/internal/sa"
 	"replayopt/internal/stats"
 	"replayopt/internal/verify"
 )
@@ -68,6 +69,12 @@ type Options struct {
 	Seed int64
 	// MaxReplayCycles guards candidate binaries; 0 = derived from baseline.
 	MaxReplayCycles uint64
+	// LegacyBlocklist reverts region selection to the boolean native
+	// blocklist (the paper's §3.1 baseline) instead of the interprocedural
+	// effect analysis. The effect analysis accepts a superset of the
+	// blocklist's methods, so this flag can only shrink regions; it exists
+	// for comparison runs and as an escape hatch.
+	LegacyBlocklist bool
 	// Obs, when set, traces the whole Fig. 6 loop — nested spans for
 	// profile, capture, verify, search, and install plus counters and
 	// histograms in the scope's registry — and is propagated to the capture
@@ -174,7 +181,7 @@ func (p *Prepared) EvaluateImage(code *machine.Program) (ga.Evaluation, uint64) 
 // CompileRegion compiles the hot region under cfg (with the type profile)
 // and overlays it onto the baseline image.
 func (p *Prepared) CompileRegion(cfg lir.Config) (*machine.Program, error) {
-	code, err := lir.Compile(p.App.Prog, p.Region.Methods, cfg, p.TypeProf)
+	code, err := lir.Compile(p.App.Prog, p.Region.Methods, cfg, p.TypeProf, p.Analysis.Effects)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +226,11 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 	}
 	p.Profile = prof
 
-	p.Analysis = profile.Analyze(app.Prog)
+	if o.Opts.LegacyBlocklist {
+		p.Analysis = profile.AnalyzeBlocklist(app.Prog)
+	} else {
+		p.Analysis = profile.Analyze(app.Prog)
+	}
 	region, ok := profile.HotRegion(app.Prog, p.Analysis, prof)
 	if !ok {
 		sp.End(obs.A("error", "no replayable hot region"))
@@ -227,11 +238,20 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 	}
 	p.Region = region
 	p.Breakdown = profile.Classify(app.Prog, p.Analysis, prof, region)
-	sp.End(
+	attrs := []obs.Attr{
 		obs.A("region_root", app.Prog.Methods[region.Root].Name),
 		obs.A("region_methods", len(region.Methods)),
 		obs.A("samples", region.EstimatedSamples),
-	)
+	}
+	if eff := p.Analysis.Effects; eff != nil {
+		attrs = append(attrs,
+			obs.A("analysis", "effects"),
+			obs.A("region_effect", eff.Summary[region.Root].String()),
+		)
+	} else {
+		attrs = append(attrs, obs.A("analysis", "blocklist"))
+	}
+	sp.End(attrs...)
 
 	// 3) Capture during a later online run.
 	sp = prep.Start("capture")
@@ -251,20 +271,20 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 
 	// 4) Interpreted replay: verification map + type profile.
 	sp = prep.Start("verify")
-	vmap, typeProf, err := verify.Build(o.Dev, o.Store, snap, app.Prog)
+	vmap, typeProf, err := verify.Build(o.Dev, o.Store, snap, app.Prog, p.Analysis.Effects)
 	if err != nil {
 		sp.End(obs.A("error", err.Error()))
 		return nil, fmt.Errorf("core: verification build: %w", err)
 	}
 	p.VMap = vmap
 	p.TypeProf = typeProf
-	sp.End(obs.A("vmap_size", vmap.Size()))
+	sp.End(obs.A("vmap_size", vmap.Size()), obs.A("stores_skipped", vmap.StoresSkipped))
 
 	// 5) Baselines at region level.
 	sp = prep.Start("baselines")
 	p.ev = &replayEvaluator{
 		o: o, app: app, snap: snap, vmap: vmap, prof: typeProf,
-		region: region, android: android,
+		static: p.Analysis.Effects, region: region, android: android,
 	}
 	andEval := p.ev.evaluateImage(android)
 	if andEval.Outcome.Failed() {
@@ -439,9 +459,11 @@ func (o *Optimizer) onlineCycles(app *App, code *machine.Program) float64 {
 // overlay returns base with the region methods replaced by repl's versions.
 func overlay(base, repl *machine.Program) *machine.Program {
 	out := machine.NewProgram()
+	//detlint:allow map-range — keyed writes into a fresh program; order irrelevant
 	for id, fn := range base.Fns {
 		out.Fns[id] = fn
 	}
+	//detlint:allow map-range — keyed writes into a fresh program; order irrelevant
 	for id, fn := range repl.Fns {
 		out.Fns[id] = fn
 	}
@@ -456,6 +478,7 @@ type replayEvaluator struct {
 	snap      *capture.Snapshot
 	vmap      *verify.Map
 	prof      *lir.Profile
+	static    *sa.Result
 	region    profile.Region
 	android   *machine.Program
 	maxCycles uint64
@@ -498,7 +521,7 @@ type imageEval struct {
 // Evaluate implements ga.Evaluator: compile the region under cfg, replay the
 // capture, verify, and time it.
 func (ev *replayEvaluator) Evaluate(cfg lir.Config) ga.Evaluation {
-	code, err := lir.Compile(ev.app.Prog, ev.region.Methods, cfg, ev.prof)
+	code, err := lir.Compile(ev.app.Prog, ev.region.Methods, cfg, ev.prof, ev.static)
 	if err != nil {
 		outcome := classifyCompileError(err)
 		ev.discard(outcome, err)
@@ -607,6 +630,7 @@ func classifyRuntimeError(err error) ga.Outcome {
 func hashImage(code *machine.Program) uint64 {
 	h := fnv.New64a()
 	ids := make([]int, 0, len(code.Fns))
+	//detlint:allow map-range — ids are sorted before hashing
 	for id := range code.Fns {
 		ids = append(ids, int(id))
 	}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"replayopt/internal/lir"
+	"replayopt/internal/minic"
+)
+
+// The effect analysis may only grow the region the legacy blocklist selects,
+// and both modes must prepare, compile, and verify the same app cleanly.
+func TestLegacyBlocklistParity(t *testing.T) {
+	prog, err := minic.CompileSource("miniapp", appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepWith := func(legacy bool) *Prepared {
+		t.Helper()
+		opts := smallOptions()
+		opts.LegacyBlocklist = legacy
+		p, err := New(opts).Prepare(&App{Name: "miniapp", Prog: prog})
+		if err != nil {
+			t.Fatalf("Prepare(legacy=%v): %v", legacy, err)
+		}
+		return p
+	}
+	legacy := prepWith(true)
+	eff := prepWith(false)
+
+	if legacy.Analysis.Effects != nil {
+		t.Error("legacy mode ran the effect analysis")
+	}
+	if eff.Analysis.Effects == nil {
+		t.Fatal("effect mode did not run the effect analysis")
+	}
+
+	// Sound-precision direction: every method the blocklist deems deep-
+	// replayable must stay deep-replayable under the effect analysis.
+	for id := range prog.Methods {
+		if legacy.Analysis.ReplayableDeep[id] && !eff.Analysis.ReplayableDeep[id] {
+			t.Errorf("%s: blocklist accepts, effect analysis rejects",
+				prog.Methods[id].Name)
+		}
+	}
+	// The selected region may differ in two sound ways only: it can grow
+	// (more methods replayable) or drop methods the RTA call graph proves
+	// unreachable (virtual targets on never-instantiated classes, which the
+	// legacy prog.Callees over-approximation kept).
+	effMethods := map[int]bool{}
+	for _, m := range eff.Region.Methods {
+		effMethods[int(m)] = true
+	}
+	if legacy.Region.Root == eff.Region.Root {
+		for _, m := range legacy.Region.Methods {
+			if !effMethods[int(m)] && eff.Analysis.Effects.Graph.Reachable[m] {
+				t.Errorf("RTA-reachable method %s in legacy region but not effect region",
+					prog.Methods[m].Name)
+			}
+		}
+	}
+
+	// Both modes must evaluate a real configuration to a correct outcome.
+	for _, p := range []*Prepared{legacy, eff} {
+		ev := p.Evaluate(lir.O2())
+		if ev.Outcome.Failed() {
+			t.Errorf("O2 failed under Effects=%v: %s", p.Analysis.Effects != nil, ev.Outcome)
+		}
+	}
+}

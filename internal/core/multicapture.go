@@ -103,7 +103,9 @@ func (o *Optimizer) CrossValidate(app *App, android, candidate *machine.Program,
 	cv := &CrossValidation{}
 	defer func() { span.End(obs.A("checked", cv.Checked), obs.A("passed", cv.Passed)) }()
 	for i, snap := range snaps {
-		vmap, _, err := verify.Build(o.Dev, o.Store, snap, app.Prog)
+		// Cross-validation is a belt-and-braces check on held-out inputs:
+		// build the full conservative map (no effect-analysis shrink).
+		vmap, _, err := verify.Build(o.Dev, o.Store, snap, app.Prog, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: cross-validate snapshot %d: %w", i, err)
 		}

@@ -39,6 +39,11 @@ func StdNatives() []*Native {
 		{Name: "IO.playSound", Params: []Kind{n}, Ret: KindVoid, IO: true},
 		{Name: "IO.readInput", Params: nil, Ret: n, IO: true, NonDet: true},
 		{Name: "Net.send", Params: []Kind{n}, Ret: KindVoid, IO: true},
+
+		// Deterministic but opaque native: no IO, no non-determinism, yet
+		// not intrinsic-replaceable — the pure-JNI bucket of the §3.1
+		// blocklist (and the EffJNI bit of internal/sa).
+		{Name: "Sys.mix", Params: []Kind{n}, Ret: n},
 	}
 }
 

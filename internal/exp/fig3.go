@@ -94,7 +94,7 @@ func fig3Cycles() (o0, o1 map[int]uint64, err error) {
 			return nil, nil, err
 		}
 		for cfgName, cfg := range map[string]lir.Config{"O0": lir.O0(), "O1": lir.O1()} {
-			code, err := lir.Compile(prog, nil, cfg, nil)
+			code, err := lir.Compile(prog, nil, cfg, nil, nil)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -45,6 +45,7 @@ func (g Gene) String() string {
 		return g.Pass.Name
 	}
 	parts := make([]string, 0, len(g.Pass.Params))
+	//detlint:allow map-range — parts are sorted before joining
 	for k, v := range g.Pass.Params {
 		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
 	}
@@ -89,6 +90,7 @@ func (g *Genome) Clone() *Genome {
 	for i := range out.Genes {
 		if out.Genes[i].Pass.Params != nil {
 			p := make(map[string]int, len(out.Genes[i].Pass.Params))
+			//detlint:allow map-range — keyed copy of a param map; insertion order irrelevant
 			for k, v := range out.Genes[i].Pass.Params {
 				p[k] = v
 			}
@@ -227,6 +229,7 @@ func GenomeFromConfig(cfg lir.Config) *Genome {
 		spec := lir.PassSpec{Name: p.Name}
 		if len(p.Params) > 0 {
 			spec.Params = map[string]int{}
+			//detlint:allow map-range — keyed copy of a param map; insertion order irrelevant
 			for k, v := range p.Params {
 				spec.Params[k] = v
 			}
@@ -520,6 +523,7 @@ func (s *searcher) randomGene() Gene {
 	spec := lir.PassSpec{Name: e.Spec.Name}
 	if len(e.Spec.Params) > 0 {
 		spec.Params = map[string]int{}
+		//detlint:allow map-range — keyed copy of a param map; insertion order irrelevant
 		for k, v := range e.Spec.Params {
 			spec.Params[k] = v
 		}

@@ -100,6 +100,7 @@ func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
 			return
 		}
 		busy.Add(1)
+		//detlint:allow time-now — observability-only latency sample, not candidate state
 		t0 := time.Now()
 		evs[j] = s.eval.Evaluate(jobs[j].cfg)
 		lat[j] = float64(time.Since(t0).Microseconds()) / 1000.0

@@ -159,6 +159,16 @@ func stdImpl(n *dex.Native, ns *NativeState) NativeImpl {
 			ns.PacketsSent++
 			return 0, 3000, nil
 		}
+	case "Sys.mix":
+		// Deterministic splitmix-style bit mixer standing in for an opaque
+		// JNI helper: replay-safe in behavior, but the compiler cannot see
+		// through it, so §3.1 still blocklists it (EffJNI in internal/sa).
+		return func(_ *Env, args []uint64) (uint64, uint64, error) {
+			z := args[0] + 0x9e3779b97f4a7c15
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31), 90, nil
+		}
 	}
 	return func(_ *Env, _ []uint64) (uint64, uint64, error) {
 		return 0, 0, fmt.Errorf("interp: no implementation for native %s", n.Name)

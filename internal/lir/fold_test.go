@@ -122,7 +122,7 @@ func main() int {
 	}
 	cfg := O1()
 	cfg.Passes = append(cfg.Passes, foldPipeline()...)
-	code, err := Compile(prog, nil, cfg, nil)
+	code, err := Compile(prog, nil, cfg, nil, nil)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}

@@ -21,7 +21,7 @@ func runIntrinsicProgram(t *testing.T, src string) (uint64, uint64) {
 	}
 	cfg := O1()
 	cfg.Passes = append(cfg.Passes, PassSpec{Name: "intrinsics"})
-	code, err := Compile(prog, nil, cfg, nil)
+	code, err := Compile(prog, nil, cfg, nil, nil)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
@@ -98,7 +98,7 @@ func main() int {
 		if withIntr {
 			cfg.Passes = append(cfg.Passes, PassSpec{Name: "intrinsics"})
 		}
-		code, err := Compile(prog, nil, cfg, nil)
+		code, err := Compile(prog, nil, cfg, nil, nil)
 		if err != nil {
 			t.Fatalf("compile: %v", err)
 		}

@@ -122,7 +122,7 @@ func interpRun(t *testing.T, prog *dex.Program) (uint64, uint64, *rt.Process) {
 
 func mustCompileAll(t *testing.T, prog *dex.Program, cfg Config, prof *Profile) *machine.Program {
 	t.Helper()
-	code, err := Compile(prog, nil, cfg, prof)
+	code, err := Compile(prog, nil, cfg, prof, nil)
 	if err != nil {
 		t.Fatalf("lir compile: %v", err)
 	}
@@ -214,7 +214,7 @@ func TestIndividualSafePassesPreserveSemantics(t *testing.T) {
 			t.Run(name, func(t *testing.T) {
 				cfg := O1()
 				cfg.Passes = append(cfg.Passes, spec, PassSpec{Name: "dce"})
-				code, err := Compile(prog, nil, cfg, nil)
+				code, err := Compile(prog, nil, cfg, nil, nil)
 				if err != nil {
 					t.Fatalf("compile with %s: %v", spec.Name, err)
 				}
@@ -321,7 +321,7 @@ func TestVectorizeCrashesOnLoopsWithCalls(t *testing.T) {
 	}
 	cfg := O0()
 	cfg.Passes = append(cfg.Passes, PassSpec{Name: "vectorize"})
-	_, err = Compile(prog, nil, cfg, nil)
+	_, err = Compile(prog, nil, cfg, nil, nil)
 	if err == nil {
 		t.Fatal("vectorize did not crash on a loop with calls")
 	}
@@ -340,7 +340,7 @@ func TestHugeUnrollTimesOut(t *testing.T) {
 		cfg.Passes = append(cfg.Passes, PassSpec{Name: "unroll",
 			Params: map[string]int{"factor": 16, "innermost-only": 0}})
 	}
-	_, err = Compile(prog, nil, cfg, nil)
+	_, err = Compile(prog, nil, cfg, nil, nil)
 	if err == nil {
 		t.Fatal("repeated 16x unrolling did not blow the growth cap")
 	}
@@ -387,7 +387,7 @@ func TestDevirtWithProfile(t *testing.T) {
 
 	cfg := O1()
 	cfg.Passes = append(cfg.Passes, PassSpec{Name: "devirt"}, PassSpec{Name: "dce"})
-	code, err := Compile(prog, nil, cfg, prof)
+	code, err := Compile(prog, nil, cfg, prof, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +433,7 @@ func BenchmarkCompileO2(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Compile(prog, nil, O2(), nil); err != nil {
+		if _, err := Compile(prog, nil, O2(), nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -444,7 +444,7 @@ func BenchmarkCompiledNestedLoops(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	code, err := Compile(prog, nil, O2(), nil)
+	code, err := Compile(prog, nil, O2(), nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

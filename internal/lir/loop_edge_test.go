@@ -20,7 +20,7 @@ func runWith(t *testing.T, src string, passes ...PassSpec) uint64 {
 	}
 	cfg := O1()
 	cfg.Passes = append(cfg.Passes, passes...)
-	code, err := Compile(prog, nil, cfg, nil)
+	code, err := Compile(prog, nil, cfg, nil, nil)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}

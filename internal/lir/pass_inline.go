@@ -245,7 +245,7 @@ func inlineCall(f *Function, callBlock *Block, call *Value, target dex.MethodID)
 }
 
 func runDevirt(f *Function, ctx *PassContext, params map[string]int) error {
-	if ctx.Profile == nil {
+	if ctx.Profile == nil && ctx.Static == nil {
 		return nil
 	}
 	minShare := float64(params["min-share"])
@@ -268,6 +268,21 @@ func runDevirt(f *Function, ctx *PassContext, params map[string]int) error {
 		}
 	}
 	for _, s := range sites {
+		// RTA mono-target first: when the class hierarchy admits exactly
+		// one implementation for this declared method, the direct call
+		// needs no class guard at all — this is a proof, unlike the
+		// nofallback parameter, which makes the same rewrite on a bet. The
+		// resulting OpCallStatic is also visible to a later inline pass.
+		if ctx.Static != nil {
+			if target, ok := ctx.Static.Graph.MonoTarget(dex.MethodID(s.v.Sym)); ok {
+				s.v.Op = OpCallStatic
+				s.v.Sym = int(target)
+				continue
+			}
+		}
+		if ctx.Profile == nil {
+			continue
+		}
 		key := SiteKey{Method: dex.MethodID(s.v.Slot), PC: int(s.v.Imm)}
 		cls, share, ok := ctx.Profile.Dominant(key)
 		if !ok || share < minShare {

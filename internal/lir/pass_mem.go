@@ -1,6 +1,11 @@
 package lir
 
-import "sort"
+import (
+	"sort"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/sa"
+)
 
 // Memory optimization passes: store-to-load forwarding, dead store
 // elimination (safe local and alias-blind "global" variants), loop-invariant
@@ -56,9 +61,9 @@ func registerMemPasses() {
 	})
 	register(&PassInfo{
 		Name: "gccheckelim",
-		Doc:  "custom pass (§3.5): deduplicate GC safepoint checks within each loop",
-		Run: func(f *Function, _ *PassContext, _ map[string]int) error {
-			runGCCheckElim(f)
+		Doc:  "custom pass (§3.5): deduplicate GC safepoint checks within each loop; with the effect analysis, drop them entirely from allocation-free loops",
+		Run: func(f *Function, ctx *PassContext, _ map[string]int) error {
+			runGCCheckElim(f, ctx)
 			return nil
 		},
 	})
@@ -435,8 +440,13 @@ func stableGlobalSlot(l *Loop, slot int64) bool {
 }
 
 // runGCCheckElim keeps a single GC check per loop (the paper's custom
-// post-unroll optimization) and removes checks outside any loop.
-func runGCCheckElim(f *Function) {
+// post-unroll optimization) and removes checks outside any loop. When the
+// effect analysis is available, a loop whose body — including everything its
+// calls can transitively reach — performs no managed allocation keeps no
+// check at all: the simulated GC triggers only on the allocation clock, so a
+// safepoint in an allocation-free loop can never observe a crossed threshold
+// that was not already crossed on entry.
+func runGCCheckElim(f *Function, ctx *PassContext) {
 	f.Recompute()
 	loops := f.Loops()
 	// Innermost loops claim their checks first so an outer loop never
@@ -454,9 +464,12 @@ func runGCCheckElim(f *Function) {
 			inAnyLoop[b] = true
 		}
 	}
-	// Innermost-first: keep the first check per loop, drop the rest.
+	// Innermost-first: keep the first check per loop, drop the rest. An
+	// allocation-free loop (outer loops of one are never allocation-free,
+	// since their block sets include it) keeps none.
 	kept := map[*Value]bool{}
 	for _, l := range loops {
+		allocFree := ctx != nil && ctx.Static != nil && loopAllocFree(f, l, ctx.Static)
 		var first *Value
 		// Deterministic order: header first, then blocks in f.Blocks order.
 		scan := []*Block{l.Head}
@@ -467,7 +480,11 @@ func runGCCheckElim(f *Function) {
 		}
 		for _, b := range scan {
 			for _, v := range b.Insns {
-				if v.Op != OpGCCheck {
+				if v.Op != OpGCCheck || dead[v] {
+					continue
+				}
+				if allocFree {
+					dead[v] = true
 					continue
 				}
 				if first == nil || kept[v] {
@@ -496,4 +513,30 @@ func runGCCheckElim(f *Function) {
 		}
 	}
 	removeValues(f, dead)
+}
+
+// loopAllocFree reports whether no instruction in l — nor anything reachable
+// through its managed calls, per the effect summaries — allocates. Natives
+// and intrinsics never allocate managed memory in this VM.
+func loopAllocFree(f *Function, l *Loop, static *sa.Result) bool {
+	for b := range l.Blocks {
+		for _, v := range b.Insns {
+			switch v.Op {
+			case OpNewArray, OpNewObject:
+				return false
+			case OpCallStatic:
+				if static.Summary[v.Sym]&sa.EffAlloc != 0 {
+					return false
+				}
+			case OpCallVirtual:
+				// The dispatch may reach any instantiated implementation.
+				for _, t := range static.Graph.ImplsOf(dex.MethodID(v.Sym)) {
+					if static.Summary[t]&sa.EffAlloc != 0 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
 }

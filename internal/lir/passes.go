@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"replayopt/internal/dex"
+	"replayopt/internal/sa"
 )
 
 // CrashError is a compiler crash — one of the Fig. 1 "compiler error"
@@ -79,6 +80,13 @@ func (p *Profile) Dominant(site SiteKey) (cls dex.ClassID, share float64, ok boo
 // PassContext carries pass inputs and global limits.
 type PassContext struct {
 	Profile *Profile
+	// Static is the interprocedural effect analysis (internal/sa), when the
+	// caller ran it: devirt uses its RTA call graph to rewrite
+	// single-implementation virtual calls with no class guard, and
+	// gccheckelim uses its allocation summaries to drop safepoint checks
+	// from allocation-free loops. Nil degrades both passes to their
+	// profile-only/conservative behavior.
+	Static *sa.Result
 	// MaxValues caps IR growth; exceeding it is a compiler timeout
 	// (runaway unrolling/inlining). 0 means the default of 60000.
 	MaxValues int

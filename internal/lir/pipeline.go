@@ -5,6 +5,7 @@ import (
 
 	"replayopt/internal/dex"
 	"replayopt/internal/machine"
+	"replayopt/internal/sa"
 )
 
 // PassSpec selects one pass application with explicit parameters (defaults
@@ -46,10 +47,13 @@ func resolveParams(info *PassInfo, explicit map[string]int) map[string]int {
 	return out
 }
 
-// CompileMethod builds, optimizes, and lowers one method under cfg.
-// Compiler crashes (pass panics and explicit CrashErrors) and timeouts are
-// returned as their typed errors; the caller classifies outcomes (Fig. 1).
-func CompileMethod(prog *dex.Program, id dex.MethodID, cfg Config, prof *Profile) (fn *machine.Fn, err error) {
+// CompileMethod builds, optimizes, and lowers one method under cfg. prof is
+// the interpreted-replay type profile (§3.4) and static the interprocedural
+// effect analysis (internal/sa); either may be nil, degrading the passes that
+// consume them. Compiler crashes (pass panics and explicit CrashErrors) and
+// timeouts are returned as their typed errors; the caller classifies
+// outcomes (Fig. 1).
+func CompileMethod(prog *dex.Program, id dex.MethodID, cfg Config, prof *Profile, static *sa.Result) (fn *machine.Fn, err error) {
 	m := prog.Methods[id]
 	if m.Uncompilable {
 		return nil, &CrashError{Pass: "frontend", Msg: "method " + m.Name + " is not compilable"}
@@ -67,7 +71,7 @@ func CompileMethod(prog *dex.Program, id dex.MethodID, cfg Config, prof *Profile
 	if err != nil {
 		return nil, err
 	}
-	ctx := &PassContext{Profile: prof}
+	ctx := &PassContext{Profile: prof, Static: static}
 	for _, spec := range cfg.Passes {
 		info, ok := PassByName(spec.Name)
 		if !ok {
@@ -91,7 +95,7 @@ func CompileMethod(prog *dex.Program, id dex.MethodID, cfg Config, prof *Profile
 // Compile compiles the given methods under cfg into one code image. Methods
 // is typically the hot region's method set (§3.1); pass nil to compile every
 // compilable method.
-func Compile(prog *dex.Program, methods []dex.MethodID, cfg Config, prof *Profile) (*machine.Program, error) {
+func Compile(prog *dex.Program, methods []dex.MethodID, cfg Config, prof *Profile, static *sa.Result) (*machine.Program, error) {
 	if methods == nil {
 		for i := range prog.Methods {
 			if !prog.Methods[i].Uncompilable {
@@ -101,7 +105,7 @@ func Compile(prog *dex.Program, methods []dex.MethodID, cfg Config, prof *Profil
 	}
 	out := machine.NewProgram()
 	for _, id := range methods {
-		fn, err := CompileMethod(prog, id, cfg, prof)
+		fn, err := CompileMethod(prog, id, cfg, prof, static)
 		if err != nil {
 			return nil, fmt.Errorf("compiling %s: %w", prog.Methods[id].Name, err)
 		}

@@ -30,7 +30,7 @@ func TestUnswitchPreservesSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Compile(prog, nil, O1(), nil)
+	base, err := Compile(prog, nil, O1(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestUnswitchPreservesSemantics(t *testing.T) {
 
 	cfg := O1()
 	cfg.Passes = append(cfg.Passes, PassSpec{Name: "unswitch"}, PassSpec{Name: "gccheckelim"}, PassSpec{Name: "dce"}, PassSpec{Name: "simplifycfg"})
-	code, err := Compile(prog, nil, cfg, nil)
+	code, err := Compile(prog, nil, cfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

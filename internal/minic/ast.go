@@ -313,6 +313,7 @@ var Builtins = map[string]string{
 	"print_int": "IO.printInt", "print_float": "IO.printFloat",
 	"draw_frame": "IO.drawFrame", "play_sound": "IO.playSound",
 	"read_input": "IO.readInput", "net_send": "Net.send",
+	"jni_mix": "Sys.mix",
 }
 
 // isBuiltinName reports whether name is any builtin, including the

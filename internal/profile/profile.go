@@ -7,6 +7,7 @@ package profile
 import (
 	"replayopt/internal/dex"
 	"replayopt/internal/interp"
+	"replayopt/internal/sa"
 )
 
 // SamplePeriodCycles approximates the paper's 1 ms sampling period at the
@@ -52,10 +53,41 @@ type Analysis struct {
 	ReplayableDeep []bool
 	// Compilable mirrors the Android compiler's pathological-case check.
 	Compilable []bool
+	// Effects is the interprocedural effect analysis backing the verdicts,
+	// or nil when the legacy §3.1 boolean blocklist produced them
+	// (AnalyzeBlocklist). Consumers use it for witness chains, the precise
+	// call graph, and per-region effect summaries.
+	Effects *sa.Result
 }
 
-// Analyze classifies all methods of prog.
+// Analyze classifies all methods of prog using the interprocedural effect
+// analysis (internal/sa): a method is deep-replayable iff its whole-call-tree
+// effect summary over the CHA/RTA call graph carries no hazard bit. Every
+// method the boolean blocklist accepts is accepted here too (the effect call
+// graph is a subset of the blocklist's and the hazard classification is
+// identical); methods the blocklist loses to vtable-slot over-approximation
+// are recovered.
 func Analyze(prog *dex.Program) *Analysis {
+	n := len(prog.Methods)
+	a := &Analysis{
+		Prog:            prog,
+		ReplayableLocal: make([]bool, n),
+		ReplayableDeep:  make([]bool, n),
+		Compilable:      make([]bool, n),
+		Effects:         sa.Analyze(prog),
+	}
+	for i, m := range prog.Methods {
+		a.ReplayableLocal[i] = a.Effects.Local[i].Replayable()
+		a.ReplayableDeep[i] = a.Effects.Summary[i].Replayable()
+		a.Compilable[i] = !m.Uncompilable
+	}
+	return a
+}
+
+// AnalyzeBlocklist classifies all methods of prog with the paper's literal
+// §3.1 boolean blocklist over the conservative Program.Callees graph. Kept
+// for differential testing and the core.Options.LegacyBlocklist mode.
+func AnalyzeBlocklist(prog *dex.Program) *Analysis {
 	n := len(prog.Methods)
 	a := &Analysis{
 		Prog:            prog,
@@ -69,24 +101,35 @@ func Analyze(prog *dex.Program) *Analysis {
 	}
 	// Deep replayability: a method is deep-replayable iff it is locally
 	// replayable and every transitively reachable callee (including
-	// overrides at virtual sites) is too. Computed as a fixpoint over the
-	// negation (unreplayability propagates to callers).
-	for i := range a.ReplayableDeep {
-		a.ReplayableDeep[i] = a.ReplayableLocal[i]
+	// overrides at virtual sites) is too. One pass over the SCC
+	// condensation in reverse topological order replaces the old quadratic
+	// iterate-to-fixpoint: when a component is visited its external callees
+	// are final, and within a component every member reaches every other,
+	// so one unreplayable member (or callee component) decides them all.
+	callees := make([][]dex.MethodID, n)
+	for i, m := range prog.Methods {
+		callees[i] = prog.Callees(m)
 	}
-	for changed := true; changed; {
-		changed = false
-		for i, m := range prog.Methods {
-			if !a.ReplayableDeep[i] {
-				continue
+	comp, comps := sa.Condense(n, func(v dex.MethodID) []dex.MethodID { return callees[v] })
+	for _, c := range comps {
+		ok := true
+		for _, m := range c {
+			if !a.ReplayableLocal[m] {
+				ok = false
+				break
 			}
-			for _, c := range prog.Callees(m) {
-				if !a.ReplayableDeep[c] {
-					a.ReplayableDeep[i] = false
-					changed = true
+			for _, callee := range callees[m] {
+				if comp[callee] != comp[m] && !a.ReplayableDeep[callee] {
+					ok = false
 					break
 				}
 			}
+			if !ok {
+				break
+			}
+		}
+		for _, m := range c {
+			a.ReplayableDeep[m] = ok
 		}
 	}
 	return a
@@ -120,12 +163,20 @@ type Region struct {
 	EstimatedSamples uint64
 }
 
-// reachable returns the managed methods reachable from root (including it).
-func reachable(prog *dex.Program, root dex.MethodID) []dex.MethodID {
+// reachable returns the managed methods reachable from root (including it),
+// over the precise effect call graph when available and the conservative
+// Program.Callees graph in legacy mode.
+func reachable(a *Analysis, root dex.MethodID) []dex.MethodID {
+	callees := func(id dex.MethodID) []dex.MethodID {
+		if a.Effects != nil {
+			return a.Effects.Graph.Callees[id]
+		}
+		return a.Prog.Callees(a.Prog.Methods[id])
+	}
 	seen := map[dex.MethodID]bool{root: true}
 	order := []dex.MethodID{root}
 	for i := 0; i < len(order); i++ {
-		for _, c := range prog.Callees(prog.Methods[order[i]]) {
+		for _, c := range callees(order[i]) {
 			if !seen[c] {
 				seen[c] = true
 				order = append(order, c)
@@ -153,7 +204,7 @@ func HotRegion(prog *dex.Program, a *Analysis, p *Profile) (Region, bool) {
 		}
 		var methods []dex.MethodID
 		var score uint64
-		for _, m := range reachable(prog, id) {
+		for _, m := range reachable(a, id) {
 			if !a.Compilable[m] {
 				continue
 			}

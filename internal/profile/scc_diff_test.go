@@ -1,0 +1,76 @@
+package profile_test
+
+import (
+	"testing"
+
+	"replayopt/internal/apps"
+	"replayopt/internal/dex"
+	"replayopt/internal/profile"
+)
+
+// quadraticDeep is the replaced iterate-to-fixpoint propagation, kept verbatim
+// as the reference implementation for the differential test below.
+func quadraticDeep(prog *dex.Program, local []bool) []bool {
+	deep := append([]bool(nil), local...)
+	for changed := true; changed; {
+		changed = false
+		for i, m := range prog.Methods {
+			if !deep[i] {
+				continue
+			}
+			for _, c := range prog.Callees(m) {
+				if !deep[c] {
+					deep[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return deep
+}
+
+// The SCC-condensed propagation in AnalyzeBlocklist must produce verdicts
+// identical to the old quadratic fixpoint on every evaluation application.
+func TestBlocklistSCCMatchesQuadratic(t *testing.T) {
+	for _, spec := range apps.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			app, err := apps.Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := profile.AnalyzeBlocklist(app.Prog)
+			want := quadraticDeep(app.Prog, a.ReplayableLocal)
+			for id := range app.Prog.Methods {
+				if a.ReplayableDeep[id] != want[id] {
+					t.Errorf("%s: SCC=%v quadratic=%v",
+						app.Prog.Methods[id].Name, a.ReplayableDeep[id], want[id])
+				}
+			}
+		})
+	}
+}
+
+// The effect analysis must accept every method the boolean blocklist accepts,
+// on every evaluation application (the sound-precision direction of the
+// upgrade: strictly more methods may become replayable, never fewer).
+func TestEffectAnalysisAcceptsBlocklistSuperset(t *testing.T) {
+	for _, spec := range apps.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			app, err := apps.Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bl := profile.AnalyzeBlocklist(app.Prog)
+			eff := profile.Analyze(app.Prog)
+			for id := range app.Prog.Methods {
+				if bl.ReplayableDeep[id] && !eff.ReplayableDeep[id] {
+					t.Errorf("%s: blocklist accepts, effect analysis rejects (%v)",
+						app.Prog.Methods[id].Name, eff.Effects.Summary[id])
+				}
+			}
+		})
+	}
+}

@@ -27,7 +27,7 @@ func TestFuzzExtended(t *testing.T) {
 			t.Fatal(err)
 		}
 		p0 := rt.NewProcess(prog, rt.Config{})
-		base, err := lir.Compile(prog, nil, lir.O0(), nil)
+		base, err := lir.Compile(prog, nil, lir.O0(), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,7 +48,7 @@ func TestFuzzExtended(t *testing.T) {
 			for i := 0; i < nn; i++ {
 				cfg.Passes = append(cfg.Passes, safe[rng.Intn(len(safe))].Spec)
 			}
-			code, err := lir.Compile(prog, nil, cfg, nil)
+			code, err := lir.Compile(prog, nil, cfg, nil, nil)
 			if err != nil {
 				continue
 			}

@@ -71,7 +71,7 @@ func TestDifferentialAcrossTiers(t *testing.T) {
 		}
 		for _, preset := range []string{"O0", "O1", "O2", "O3"} {
 			cfg, _ := lir.Preset(preset)
-			code, err := lir.Compile(prog, nil, cfg, nil)
+			code, err := lir.Compile(prog, nil, cfg, nil, nil)
 			if err != nil {
 				t.Fatalf("seed %d: %s: %v", seed, preset, err)
 			}
@@ -105,7 +105,7 @@ func TestDifferentialRandomSafePipelines(t *testing.T) {
 			for i := 0; i < n; i++ {
 				cfg.Passes = append(cfg.Passes, safe[rng.Intn(len(safe))].Spec)
 			}
-			code, err := lir.Compile(prog, nil, cfg, nil)
+			code, err := lir.Compile(prog, nil, cfg, nil, nil)
 			if err != nil {
 				// Compile-time rejection (e.g. growth cap) is acceptable.
 				continue

@@ -23,7 +23,7 @@ func TestStressPipelines(t *testing.T) {
 			t.Fatal(err)
 		}
 		p0 := rt.NewProcess(prog, rt.Config{})
-		base, err := lir.Compile(prog, nil, lir.O0(), nil)
+		base, err := lir.Compile(prog, nil, lir.O0(), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func TestStressPipelines(t *testing.T) {
 			for i := 0; i < n; i++ {
 				cfg.Passes = append(cfg.Passes, safe[rng.Intn(len(safe))].Spec)
 			}
-			code, err := lir.Compile(prog, nil, cfg, nil)
+			code, err := lir.Compile(prog, nil, cfg, nil, nil)
 			if err != nil {
 				continue
 			}

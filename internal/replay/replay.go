@@ -70,6 +70,7 @@ func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error)
 	sc := store.Obs
 	var t0 time.Time
 	if sc != nil {
+		//detlint:allow time-now — observability-only replay timing, not replayed state
 		t0 = time.Now()
 	}
 

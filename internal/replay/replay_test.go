@@ -169,7 +169,7 @@ func TestReplayCompiledTiersAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	llvm, err := lir.Compile(fx.prog, nil, lir.O2(), nil)
+	llvm, err := lir.Compile(fx.prog, nil, lir.O2(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,303 @@
+package sa
+
+import (
+	"fmt"
+
+	"replayopt/internal/dex"
+)
+
+// Result holds the interprocedural effect analysis of one program.
+type Result struct {
+	Prog  *dex.Program
+	Graph *CallGraph
+
+	// Local[m] is m's intraprocedural effect set: what its own instructions
+	// do, with managed calls excluded (those are the interprocedural part).
+	Local []Effect
+	// Summary[m] is the interprocedural join: Local[m] ∪ the summaries of
+	// everything m can transitively call over the precise call graph.
+	Summary []Effect
+
+	// comp/comps is the SCC condensation of the call graph (comps in
+	// reverse topological order, see Condense).
+	comp  []int
+	comps [][]dex.MethodID
+
+	// witness[h][m] is the next hop from m along a shortest call chain to a
+	// method whose Local effects include hazard h (m itself when m is a
+	// local source, NoWitness when m cannot reach one).
+	witness map[Effect][]dex.MethodID
+}
+
+// NoWitness marks the absence of a witness next-hop.
+const NoWitness dex.MethodID = -1
+
+// Analyze runs the whole analysis: call graph, per-method local effects,
+// SCC-condensed summary fixpoint, and hazard witness chains. It is a pure
+// function of prog and deterministic (all iteration is over sorted slices).
+func Analyze(prog *dex.Program) *Result {
+	r := &Result{Prog: prog, Graph: BuildGraph(prog)}
+	n := len(prog.Methods)
+	r.Local = make([]Effect, n)
+	for i, m := range prog.Methods {
+		r.Local[i] = localEffects(prog, m)
+	}
+	r.comp, r.comps = Condense(n, func(v dex.MethodID) []dex.MethodID {
+		return r.Graph.Callees[v]
+	})
+
+	// Summary fixpoint in one pass: comps is in reverse topological order,
+	// so every callee outside the current SCC already has its final
+	// summary, and within an SCC all members share the joined effect set
+	// (each can reach every other).
+	r.Summary = make([]Effect, n)
+	for _, c := range r.comps {
+		var e Effect
+		for _, m := range c {
+			e = e.Join(r.Local[m])
+			for _, callee := range r.Graph.Callees[m] {
+				if r.comp[callee] != r.comp[m] {
+					e = e.Join(r.Summary[callee])
+				}
+			}
+		}
+		for _, m := range c {
+			r.Summary[m] = e
+		}
+	}
+
+	// Witness next-hops: per hazard, a multi-source BFS from the local
+	// sources over the reverse call graph reaches exactly the methods whose
+	// summary carries the hazard, labelling each with its next hop along a
+	// shortest chain. First assignment wins; queue order and the sorted
+	// Callers lists make the choice deterministic.
+	r.witness = make(map[Effect][]dex.MethodID, len(hazardOrder))
+	for _, h := range hazardOrder {
+		next := make([]dex.MethodID, n)
+		var queue []dex.MethodID
+		for i := range next {
+			if r.Local[i]&h != 0 {
+				next[i] = dex.MethodID(i)
+				queue = append(queue, dex.MethodID(i))
+			} else {
+				next[i] = NoWitness
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, caller := range r.Graph.Callers[v] {
+				if next[caller] == NoWitness {
+					next[caller] = v
+					queue = append(queue, caller)
+				}
+			}
+		}
+		r.witness[h] = next
+	}
+	return r
+}
+
+// Replayable reports whether method id's whole call tree is free of §3.1
+// hazards under the precise call graph.
+func (r *Result) Replayable(id dex.MethodID) bool { return r.Summary[id].Replayable() }
+
+// Witness returns a shortest call chain from id to a method whose own
+// instructions introduce hazard (the chain ends at the source; a local source
+// is its own one-element chain). Nil when id's summary does not carry hazard.
+func (r *Result) Witness(id dex.MethodID, hazard Effect) []dex.MethodID {
+	next, ok := r.witness[hazard]
+	if !ok || r.Summary[id]&hazard == 0 || next[id] == NoWitness {
+		return nil
+	}
+	chain := []dex.MethodID{id}
+	for cur := id; r.Local[cur]&hazard == 0 && len(chain) <= len(next); {
+		cur = next[cur]
+		chain = append(chain, cur)
+	}
+	return chain
+}
+
+// LocalCause names the instruction that introduces hazard in method id's own
+// body, e.g. `calls native "IO.drawFrame"` or "throw at pc 12". Empty when id
+// is not a local source of hazard.
+func (r *Result) LocalCause(id dex.MethodID, hazard Effect) string {
+	if r.Local[id]&hazard == 0 {
+		return ""
+	}
+	m := r.Prog.Methods[id]
+	for pc, in := range m.Code {
+		switch in.Op {
+		case dex.OpInvokeNative:
+			nt := r.Prog.Natives[in.Sym]
+			if nativeEffect(nt)&hazard != 0 {
+				return fmt.Sprintf("calls native %q", nt.Name)
+			}
+		case dex.OpThrow:
+			if hazard == EffMayThrow {
+				return fmt.Sprintf("throw at pc %d", pc)
+			}
+		}
+	}
+	if hazard == EffMayThrow && m.HasThrow {
+		return "marked HasThrow"
+	}
+	return ""
+}
+
+// nativeEffect classifies a native exactly as the §3.1 blocklist does: I/O
+// and clock/PRNG natives keep their own bits, any other non-intrinsic native
+// is JNI, and intrinsic-replaceable math is pure.
+func nativeEffect(nt *dex.Native) Effect {
+	switch {
+	case nt.IO:
+		return EffIO
+	case nt.NonDet:
+		return EffNonDet
+	case nt.Intrinsic == dex.IntrinsicNone:
+		return EffJNI
+	}
+	return EffPure
+}
+
+// localEffects computes the intraprocedural effect set of m: loads, stores
+// (split local/escaping by the freshness dataflow below), allocations,
+// throws, and native hazards. Managed calls contribute nothing here. Hazards
+// are counted syntactically (even in unreachable code), matching the §3.1
+// blocklist exactly so no blocklist-accepted method can turn hazardous here.
+func localEffects(prog *dex.Program, m *dex.Method) Effect {
+	fresh := freshSets(prog, m)
+	var e Effect
+	for pc, in := range m.Code {
+		switch in.Op {
+		case dex.OpALoadInt, dex.OpALoadFloat, dex.OpALoadRef,
+			dex.OpFLoadInt, dex.OpFLoadFloat, dex.OpFLoadRef,
+			dex.OpSLoadInt, dex.OpSLoadFloat, dex.OpSLoadRef,
+			dex.OpArrayLen:
+			e |= EffReadHeap
+		case dex.OpNewInstance, dex.OpNewArrayInt, dex.OpNewArrayFloat, dex.OpNewArrayRef:
+			e |= EffAlloc
+		case dex.OpAStoreInt, dex.OpAStoreFloat, dex.OpAStoreRef,
+			dex.OpFStoreInt, dex.OpFStoreFloat, dex.OpFStoreRef:
+			// Base register is B for both array and field stores. An
+			// unreachable store (fresh[pc] == nil) never executes, so it
+			// contributes no write at all.
+			switch {
+			case fresh[pc] == nil:
+			case fresh[pc][in.B]:
+				e |= EffWriteLocal
+			default:
+				e |= EffWriteEscaping
+			}
+		case dex.OpSStoreInt, dex.OpSStoreFloat, dex.OpSStoreRef:
+			e |= EffWriteEscaping
+		case dex.OpThrow:
+			e |= EffMayThrow
+		case dex.OpInvokeNative:
+			e |= nativeEffect(prog.Natives[in.Sym])
+		}
+	}
+	if m.HasThrow {
+		e |= EffMayThrow
+	}
+	return e
+}
+
+// freshSets runs a forward must-dataflow over m's instruction CFG computing,
+// for every pc, the registers that *definitely* hold a reference to an
+// object allocated in this invocation that has not escaped on any path to
+// pc. Writes through such a base touch memory unobservable after m returns —
+// the EffWriteLocal classification.
+//
+// Invariant: every register aliasing a tracked-fresh object carries the bit
+// (OpMove copies it; the only other way to duplicate a reference goes
+// through memory, and storing a fresh reference is an escape event). An
+// escape — a fresh register passed to any call, returned, thrown, or stored
+// as a ref value — therefore conservatively clears the whole set, since the
+// escaped object's aliases are no longer tracked individually. The join at
+// control-flow merges is set intersection; nil means the pc is unreachable.
+func freshSets(prog *dex.Program, m *dex.Method) [][]bool {
+	n := len(m.Code)
+	in := make([][]bool, n)
+	in[0] = make([]bool, m.NumRegs) // entry: nothing fresh (params never are)
+	work := []int{0}
+	out := make([]bool, m.NumRegs)
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		ins := m.Code[pc]
+		copy(out, in[pc])
+		clearAll := func(r int) {
+			if out[r] {
+				for i := range out {
+					out[i] = false
+				}
+			}
+		}
+		switch ins.Op {
+		case dex.OpNewInstance, dex.OpNewArrayInt, dex.OpNewArrayFloat, dex.OpNewArrayRef:
+			out[ins.A] = true
+		case dex.OpMove:
+			out[ins.A] = out[ins.B]
+		case dex.OpReturn, dex.OpThrow:
+			clearAll(ins.A)
+		case dex.OpAStoreRef, dex.OpFStoreRef, dex.OpSStoreRef:
+			clearAll(ins.A) // the stored value escapes into the heap
+		case dex.OpInvokeStatic, dex.OpInvokeVirtual, dex.OpInvokeNative:
+			for _, r := range ins.Args {
+				clearAll(r)
+			}
+			// A is meaningful only for value-returning calls; killing it
+			// unconditionally would clobber an unrelated register on void
+			// calls (A defaults to 0 there).
+			ret := dex.KindVoid
+			if ins.Op == dex.OpInvokeNative {
+				ret = prog.Natives[ins.Sym].Ret
+			} else {
+				ret = prog.Methods[ins.Sym].Ret
+			}
+			if ret != dex.KindVoid {
+				out[ins.A] = false
+			}
+		case dex.OpConstInt, dex.OpConstFloat,
+			dex.OpAddInt, dex.OpSubInt, dex.OpMulInt, dex.OpDivInt, dex.OpRemInt,
+			dex.OpAndInt, dex.OpOrInt, dex.OpXorInt, dex.OpShlInt, dex.OpShrInt,
+			dex.OpNegInt, dex.OpAddFloat, dex.OpSubFloat, dex.OpMulFloat,
+			dex.OpDivFloat, dex.OpNegFloat, dex.OpIntToFloat, dex.OpFloatToInt,
+			dex.OpCmpFloat, dex.OpArrayLen,
+			dex.OpALoadInt, dex.OpALoadFloat, dex.OpALoadRef,
+			dex.OpFLoadInt, dex.OpFLoadFloat, dex.OpFLoadRef,
+			dex.OpSLoadInt, dex.OpSLoadFloat, dex.OpSLoadRef:
+			out[ins.A] = false
+		}
+		// Propagate out to the successors, intersecting at merges.
+		prop := func(succ int) {
+			if in[succ] == nil {
+				in[succ] = append([]bool(nil), out...)
+				work = append(work, succ)
+				return
+			}
+			changed := false
+			for i := range in[succ] {
+				if in[succ][i] && !out[i] {
+					in[succ][i] = false
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+		switch {
+		case ins.Op == dex.OpGoto:
+			prop(int(ins.Imm))
+		case ins.Op.IsBranch():
+			prop(pc + 1)
+			prop(int(ins.Imm))
+		case ins.Op == dex.OpReturn, ins.Op == dex.OpReturnVoid, ins.Op == dex.OpThrow:
+		default:
+			prop(pc + 1)
+		}
+	}
+	return in
+}

@@ -1,0 +1,162 @@
+package sa
+
+import "replayopt/internal/dex"
+
+// CallGraph is the precise managed call graph. Virtual calls resolve to the
+// vtable entries of *instantiated subclasses of the declaring class* (CHA
+// restricted by RTA's instantiation set), not — as the §3.1 blocklist's
+// Program.Callees over-approximation does — to every class that happens to
+// populate the same vtable slot.
+type CallGraph struct {
+	Prog *dex.Program
+
+	// Callees[m] are the managed methods m can invoke, deduplicated and
+	// sorted by id.
+	Callees [][]dex.MethodID
+	// Callers is the reverse graph of Callees.
+	Callers [][]dex.MethodID
+
+	// Instantiated[c] reports that class c is allocated (OpNewInstance)
+	// anywhere in the program. Only instantiated classes can be dispatch
+	// receivers, so uninstantiated overrides never contribute targets.
+	Instantiated []bool
+	// Reachable[m] reports that m is RTA-reachable from the entry point.
+	Reachable []bool
+
+	// subclasses[c] lists c and every transitive subclass of c.
+	subclasses [][]dex.ClassID
+}
+
+// BuildGraph constructs the call graph for prog.
+func BuildGraph(prog *dex.Program) *CallGraph {
+	g := &CallGraph{Prog: prog}
+	g.buildHierarchy()
+	g.buildInstantiated()
+	g.buildEdges()
+	g.buildReachable()
+	return g
+}
+
+// buildHierarchy precomputes the subclass closure of every class.
+func (g *CallGraph) buildHierarchy() {
+	n := len(g.Prog.Classes)
+	g.subclasses = make([][]dex.ClassID, n)
+	for i := range g.subclasses {
+		g.subclasses[i] = []dex.ClassID{dex.ClassID(i)}
+	}
+	// Walk each class's super chain once: c is a subclass of every
+	// ancestor.
+	for i, c := range g.Prog.Classes {
+		for s := c.Super; s != dex.NoClass; s = g.Prog.Classes[s].Super {
+			g.subclasses[s] = append(g.subclasses[s], dex.ClassID(i))
+		}
+	}
+}
+
+// buildInstantiated scans every method body for OpNewInstance. Instantiation
+// anywhere counts (classic RTA restricts to reachable allocations; scanning
+// the whole program is the sound, simpler variant — an object can only exist
+// if some code path allocated it).
+func (g *CallGraph) buildInstantiated() {
+	g.Instantiated = make([]bool, len(g.Prog.Classes))
+	for _, m := range g.Prog.Methods {
+		for _, in := range m.Code {
+			if in.Op == dex.OpNewInstance {
+				g.Instantiated[in.Sym] = true
+			}
+		}
+	}
+}
+
+// ImplsOf returns the possible runtime targets of a call to declared method
+// decl: the method itself for static dispatch, or the vtable entries of the
+// instantiated subclasses of the declaring class, deduplicated and sorted.
+func (g *CallGraph) ImplsOf(decl dex.MethodID) []dex.MethodID {
+	m := g.Prog.Methods[decl]
+	if !m.Virtual || m.Class == dex.NoClass {
+		return []dex.MethodID{decl}
+	}
+	seen := map[dex.MethodID]bool{}
+	var out []dex.MethodID
+	for _, c := range g.subclasses[m.Class] {
+		if !g.Instantiated[c] {
+			continue
+		}
+		vt := g.Prog.Classes[c].VTable
+		if m.VSlot >= len(vt) {
+			continue
+		}
+		t := vt[m.VSlot]
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sortMethods(out)
+	return out
+}
+
+// buildEdges fills Callees/Callers from every invoke site.
+func (g *CallGraph) buildEdges() {
+	n := len(g.Prog.Methods)
+	g.Callees = make([][]dex.MethodID, n)
+	g.Callers = make([][]dex.MethodID, n)
+	for i, m := range g.Prog.Methods {
+		seen := map[dex.MethodID]bool{}
+		var out []dex.MethodID
+		add := func(id dex.MethodID) {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		for _, in := range m.Code {
+			switch in.Op {
+			case dex.OpInvokeStatic:
+				add(dex.MethodID(in.Sym))
+			case dex.OpInvokeVirtual:
+				for _, t := range g.ImplsOf(dex.MethodID(in.Sym)) {
+					add(t)
+				}
+			}
+		}
+		sortMethods(out)
+		g.Callees[i] = out
+	}
+	for i, outs := range g.Callees {
+		for _, c := range outs {
+			g.Callers[c] = append(g.Callers[c], dex.MethodID(i))
+		}
+	}
+	for i := range g.Callers {
+		sortMethods(g.Callers[i])
+	}
+}
+
+// buildReachable marks the methods RTA-reachable from the entry point.
+func (g *CallGraph) buildReachable() {
+	g.Reachable = make([]bool, len(g.Prog.Methods))
+	stack := []dex.MethodID{g.Prog.Entry}
+	g.Reachable[g.Prog.Entry] = true
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.Callees[m] {
+			if !g.Reachable[c] {
+				g.Reachable[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+// MonoTarget reports the single possible runtime target of a call to
+// declared method decl, if there is exactly one — the guard-free
+// devirtualization condition internal/lir consults.
+func (g *CallGraph) MonoTarget(decl dex.MethodID) (dex.MethodID, bool) {
+	impls := g.ImplsOf(decl)
+	if len(impls) == 1 {
+		return impls[0], true
+	}
+	return 0, false
+}

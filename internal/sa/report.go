@@ -1,0 +1,240 @@
+package sa
+
+// Machine-readable reporting for cmd/replaylint: per-method verdict rows,
+// coverage totals, and witness chains for every reachable non-replayable
+// method, plus a hand-rolled structural validator for the JSON encoding so
+// CI can assert the schema without a JSON-Schema dependency.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"replayopt/internal/dex"
+)
+
+// ReportSchemaVersion is bumped whenever the JSON layout changes shape.
+const ReportSchemaVersion = 1
+
+// Report is the replaylint output for one program.
+type Report struct {
+	SchemaVersion int             `json:"schema_version"`
+	App           string          `json:"app"`
+	Methods       []MethodReport  `json:"methods"`
+	Coverage      Coverage        `json:"coverage"`
+	Witnesses     []WitnessReport `json:"witnesses"`
+}
+
+// MethodReport is one per-method verdict row.
+type MethodReport struct {
+	Name string `json:"name"`
+	// Effect is the interprocedural summary, Local the method's own
+	// instructions only.
+	Effect     string   `json:"effect"`
+	Local      string   `json:"local_effect"`
+	Class      string   `json:"class"`
+	Hazards    []string `json:"hazards"`
+	Replayable bool     `json:"replayable"`
+	// Reachable under the RTA call graph from the program entry.
+	Reachable bool `json:"reachable"`
+}
+
+// Coverage aggregates the verdicts.
+type Coverage struct {
+	Methods             int     `json:"methods"`
+	Replayable          int     `json:"replayable"`
+	ReplayablePct       float64 `json:"replayable_pct"`
+	Reachable           int     `json:"reachable"`
+	ReachableReplayable int     `json:"reachable_replayable"`
+}
+
+// WitnessReport explains one hazard of one reachable method: the shortest
+// call chain to the instruction-level source.
+type WitnessReport struct {
+	Method string   `json:"method"`
+	Hazard string   `json:"hazard"`
+	Chain  []string `json:"chain"`
+	Cause  string   `json:"cause"`
+}
+
+// Report builds the replaylint report from an analysis result.
+func (r *Result) Report(app string) *Report {
+	rep := &Report{SchemaVersion: ReportSchemaVersion, App: app}
+	name := func(id dex.MethodID) string { return r.Prog.Methods[id].Name }
+	for id := range r.Prog.Methods {
+		sum := r.Summary[id]
+		mr := MethodReport{
+			Name:       r.Prog.Methods[id].Name,
+			Effect:     sum.String(),
+			Local:      r.Local[id].String(),
+			Class:      sum.Class().String(),
+			Hazards:    []string{},
+			Replayable: sum.Replayable(),
+			Reachable:  r.Graph.Reachable[id],
+		}
+		for _, h := range sum.Hazards() {
+			mr.Hazards = append(mr.Hazards, h.BitName())
+		}
+		rep.Methods = append(rep.Methods, mr)
+
+		rep.Coverage.Methods++
+		if mr.Replayable {
+			rep.Coverage.Replayable++
+		}
+		if mr.Reachable {
+			rep.Coverage.Reachable++
+			if mr.Replayable {
+				rep.Coverage.ReachableReplayable++
+			}
+		}
+		if mr.Reachable && !mr.Replayable {
+			for _, h := range sum.Hazards() {
+				w := WitnessReport{Method: mr.Name, Hazard: h.BitName()}
+				for _, hop := range r.Witness(dex.MethodID(id), h) {
+					w.Chain = append(w.Chain, name(hop))
+				}
+				if len(w.Chain) > 0 {
+					w.Cause = r.LocalCause(r.witnessEnd(dex.MethodID(id), h), h)
+				}
+				rep.Witnesses = append(rep.Witnesses, w)
+			}
+		}
+	}
+	if rep.Coverage.Methods > 0 {
+		rep.Coverage.ReplayablePct =
+			100 * float64(rep.Coverage.Replayable) / float64(rep.Coverage.Methods)
+	}
+	return rep
+}
+
+// witnessEnd returns the final method of id's witness chain for hazard (the
+// local source), or id itself when there is no chain.
+func (r *Result) witnessEnd(id dex.MethodID, hazard Effect) dex.MethodID {
+	chain := r.Witness(id, hazard)
+	if len(chain) == 0 {
+		return id
+	}
+	return chain[len(chain)-1]
+}
+
+// ValidateReportJSON structurally validates a JSON-encoded Report: required
+// keys, their types, and the cross-field invariants the schema promises
+// (coverage totals reconcile with the rows; every witness chain starts at its
+// method and is non-empty). It is what CI's replaylint -validate runs.
+func ValidateReportJSON(data []byte) error {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("replaylint report: not JSON: %w", err)
+	}
+	num := func(key string) (float64, error) {
+		v, ok := raw[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("replaylint report: %q missing or not a number", key)
+		}
+		return v, nil
+	}
+	ver, err := num("schema_version")
+	if err != nil {
+		return err
+	}
+	if int(ver) != ReportSchemaVersion {
+		return fmt.Errorf("replaylint report: schema_version %v, want %d", ver, ReportSchemaVersion)
+	}
+	if s, ok := raw["app"].(string); !ok || s == "" {
+		return fmt.Errorf("replaylint report: %q missing or empty", "app")
+	}
+
+	methods, ok := raw["methods"].([]any)
+	if !ok {
+		return fmt.Errorf("replaylint report: %q missing or not an array", "methods")
+	}
+	replayable, reachable, reachRep := 0, 0, 0
+	for i, m := range methods {
+		obj, ok := m.(map[string]any)
+		if !ok {
+			return fmt.Errorf("replaylint report: methods[%d] not an object", i)
+		}
+		for _, key := range []string{"name", "effect", "local_effect", "class"} {
+			if s, ok := obj[key].(string); !ok || s == "" {
+				return fmt.Errorf("replaylint report: methods[%d].%s missing or empty", i, key)
+			}
+		}
+		if _, ok := obj["hazards"].([]any); !ok {
+			return fmt.Errorf("replaylint report: methods[%d].hazards missing or not an array", i)
+		}
+		rep, ok := obj["replayable"].(bool)
+		if !ok {
+			return fmt.Errorf("replaylint report: methods[%d].replayable missing or not a bool", i)
+		}
+		reach, ok := obj["reachable"].(bool)
+		if !ok {
+			return fmt.Errorf("replaylint report: methods[%d].reachable missing or not a bool", i)
+		}
+		if rep && len(obj["hazards"].([]any)) > 0 {
+			return fmt.Errorf("replaylint report: methods[%d] replayable yet lists hazards", i)
+		}
+		if rep {
+			replayable++
+		}
+		if reach {
+			reachable++
+			if rep {
+				reachRep++
+			}
+		}
+	}
+
+	cov, ok := raw["coverage"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("replaylint report: %q missing or not an object", "coverage")
+	}
+	covInt := func(key string) (int, error) {
+		v, ok := cov[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("replaylint report: coverage.%s missing or not a number", key)
+		}
+		return int(v), nil
+	}
+	checks := []struct {
+		key  string
+		want int
+	}{
+		{"methods", len(methods)},
+		{"replayable", replayable},
+		{"reachable", reachable},
+		{"reachable_replayable", reachRep},
+	}
+	for _, c := range checks {
+		got, err := covInt(c.key)
+		if err != nil {
+			return err
+		}
+		if got != c.want {
+			return fmt.Errorf("replaylint report: coverage.%s = %d, rows say %d", c.key, got, c.want)
+		}
+	}
+	wits, ok := raw["witnesses"].([]any)
+	if !ok && raw["witnesses"] != nil {
+		return fmt.Errorf("replaylint report: %q not an array", "witnesses")
+	}
+	for i, w := range wits {
+		obj, ok := w.(map[string]any)
+		if !ok {
+			return fmt.Errorf("replaylint report: witnesses[%d] not an object", i)
+		}
+		method, _ := obj["method"].(string)
+		if method == "" {
+			return fmt.Errorf("replaylint report: witnesses[%d].method missing", i)
+		}
+		if s, ok := obj["hazard"].(string); !ok || s == "" {
+			return fmt.Errorf("replaylint report: witnesses[%d].hazard missing", i)
+		}
+		chain, ok := obj["chain"].([]any)
+		if !ok || len(chain) == 0 {
+			return fmt.Errorf("replaylint report: witnesses[%d].chain missing or empty", i)
+		}
+		if first, _ := chain[0].(string); first != method {
+			return fmt.Errorf("replaylint report: witnesses[%d].chain starts at %q, not %q", i, chain[0], method)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package sa_test
+
+import (
+	"reflect"
+	"testing"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/minic"
+	"replayopt/internal/profile"
+	"replayopt/internal/sa"
+)
+
+func compile(t *testing.T, src string) *dex.Program {
+	t.Helper()
+	prog, err := minic.CompileSource("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func mid(t *testing.T, prog *dex.Program, name string) dex.MethodID {
+	t.Helper()
+	id, ok := prog.MethodByName(name)
+	if !ok {
+		t.Fatalf("no method %q", name)
+	}
+	return id
+}
+
+func TestEffectLattice(t *testing.T) {
+	if sa.EffPure.Class() != sa.ClassPure || !sa.EffPure.Replayable() {
+		t.Fatal("bottom is not Pure/replayable")
+	}
+	e := sa.EffReadHeap.Join(sa.EffWriteLocal)
+	if e.Class() != sa.ClassLocalWrite {
+		t.Fatalf("ReadHeap|WriteLocal class = %v", e.Class())
+	}
+	if !sa.EffReadHeap.Leq(e) || e.Leq(sa.EffReadHeap) {
+		t.Fatal("Leq is not bit inclusion")
+	}
+	if (e | sa.EffWriteEscaping).Class() != sa.ClassEscapingWrite {
+		t.Fatal("EscapingWrite does not dominate")
+	}
+	if !e.Replayable() {
+		t.Fatal("writes must not disqualify replay")
+	}
+	for _, h := range []sa.Effect{sa.EffIO, sa.EffNonDet, sa.EffJNI, sa.EffMayThrow} {
+		if (e | h).Replayable() {
+			t.Fatalf("hazard %v not detected", h)
+		}
+	}
+	got := (sa.EffWriteEscaping | sa.EffAlloc | sa.EffIO | sa.EffNonDet).String()
+	if got != "EscapingWrite+Alloc|IO,NonDet" {
+		t.Fatalf("String() = %q", got)
+	}
+	if sa.EffPure.String() != "Pure" {
+		t.Fatalf("Pure String() = %q", sa.EffPure.String())
+	}
+}
+
+// Mutually recursive methods form one SCC and share a joined summary; the
+// fixpoint must converge in a single condensation pass.
+const mutualSrc = `
+func even(int n) int { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(int n) int { if (n == 0) { return 0; } return even(n - 1); }
+func hazard(int n) int { print_int(n); return n; }
+func driver(int n) int { if (n > 5) { return hazard(n); } return even(n); }
+func main() int { return driver(4); }
+`
+
+func TestMutualRecursionSCC(t *testing.T) {
+	prog := compile(t, mutualSrc)
+	r := sa.Analyze(prog)
+	even, odd := mid(t, prog, "even"), mid(t, prog, "odd")
+	if r.Summary[even] != r.Summary[odd] {
+		t.Fatalf("SCC members disagree: even=%v odd=%v", r.Summary[even], r.Summary[odd])
+	}
+	if !r.Replayable(even) || r.Summary[even].Class() != sa.ClassPure {
+		t.Fatalf("even/odd should be pure, got %v", r.Summary[even])
+	}
+	driver := mid(t, prog, "driver")
+	if r.Replayable(driver) {
+		t.Fatal("driver reaches print_int and must not be replayable")
+	}
+	if r.Summary[driver]&sa.EffIO == 0 {
+		t.Fatalf("driver summary %v lacks IO", r.Summary[driver])
+	}
+}
+
+func TestWitnessChain(t *testing.T) {
+	prog := compile(t, mutualSrc)
+	r := sa.Analyze(prog)
+	driver, hazard := mid(t, prog, "driver"), mid(t, prog, "hazard")
+	chain := r.Witness(driver, sa.EffIO)
+	want := []dex.MethodID{driver, hazard}
+	if !reflect.DeepEqual(chain, want) {
+		t.Fatalf("witness = %v, want %v", chain, want)
+	}
+	if cause := r.LocalCause(hazard, sa.EffIO); cause != `calls native "IO.printInt"` {
+		t.Fatalf("cause = %q", cause)
+	}
+	// main -> driver -> hazard: shortest chain has three hops.
+	if chain := r.Witness(prog.Entry, sa.EffIO); len(chain) != 3 {
+		t.Fatalf("entry witness = %v", chain)
+	}
+	// A replayable method has no witness.
+	if chain := r.Witness(mid(t, prog, "even"), sa.EffIO); chain != nil {
+		t.Fatalf("even witness = %v", chain)
+	}
+}
+
+const dispatchSrc = `
+class Shape { func area(int s) int { return s * s; } }
+class Circle extends Shape { func area(int s) int { return s * s * 3; } }
+func poly(Shape sh, int s) int { return sh.area(s); }
+func main() int {
+	Shape a = new Circle();
+	return poly(a, 3);
+}
+`
+
+const dispatchBothSrc = `
+class Shape { func area(int s) int { return s * s; } }
+class Circle extends Shape { func area(int s) int { return s * s * 3; } }
+func poly(Shape sh, int s) int { return sh.area(s); }
+func main() int {
+	Shape a = new Circle();
+	Shape b = new Shape();
+	return poly(a, 3) + poly(b, 2);
+}
+`
+
+func TestVirtualDispatchTargets(t *testing.T) {
+	// Only Circle is instantiated: the virtual call has exactly one
+	// reachable target and qualifies for guard-free devirtualization.
+	prog := compile(t, dispatchSrc)
+	r := sa.Analyze(prog)
+	decl := mid(t, prog, "Shape.area")
+	target, ok := r.Graph.MonoTarget(decl)
+	if !ok || target != mid(t, prog, "Circle.area") {
+		t.Fatalf("MonoTarget = %v, %v; want Circle.area", target, ok)
+	}
+
+	// Both classes instantiated: two targets, no guard-free rewrite.
+	prog2 := compile(t, dispatchBothSrc)
+	r2 := sa.Analyze(prog2)
+	decl2 := mid(t, prog2, "Shape.area")
+	impls := r2.Graph.ImplsOf(decl2)
+	if len(impls) != 2 {
+		t.Fatalf("ImplsOf = %v, want 2 targets", impls)
+	}
+	if _, ok := r2.Graph.MonoTarget(decl2); ok {
+		t.Fatal("MonoTarget must fail with two instantiated overrides")
+	}
+}
+
+// Two unrelated class hierarchies whose virtual methods land on the same
+// vtable slot. The legacy blocklist call graph (dex.Program.Callees) resolves
+// a virtual call through slot N of *every* class, so kernel appears to reach
+// Hud.flush's IO; the CHA/RTA graph restricts dispatch to Blend's subtree.
+const slotCollisionSrc = `
+class Blend { func apply(int v) int { return v + 1; } }
+class Hud { func flush(int v) int { print_int(v); return 0; } }
+func kernel(Blend b, int v) int { return b.apply(v); }
+func frame(Hud h, int v) int { return h.flush(v); }
+func main() int {
+	Blend b = new Blend();
+	Hud h = new Hud();
+	return kernel(b, 5) + frame(h, 1);
+}
+`
+
+func TestPrecisionOverBlocklist(t *testing.T) {
+	prog := compile(t, slotCollisionSrc)
+	kernel := mid(t, prog, "kernel")
+	blendApply := mid(t, prog, "Blend.apply")
+	hudFlush := mid(t, prog, "Hud.flush")
+
+	// Sanity: the slot collision actually occurs and the blocklist rejects.
+	if prog.Methods[blendApply].VSlot != prog.Methods[hudFlush].VSlot {
+		t.Skip("vtable layout changed; slot collision gone")
+	}
+	bl := profile.AnalyzeBlocklist(prog)
+	if bl.ReplayableDeep[kernel] {
+		t.Fatal("expected the blocklist to reject kernel via the slot collision")
+	}
+
+	r := sa.Analyze(prog)
+	if !r.Replayable(kernel) {
+		t.Fatalf("effect analysis rejects kernel: %v", r.Summary[kernel])
+	}
+	for _, c := range r.Graph.Callees[kernel] {
+		if c == hudFlush {
+			t.Fatal("CHA graph leaked the unrelated hierarchy")
+		}
+	}
+	if !r.Replayable(blendApply) {
+		t.Fatalf("Blend.apply not replayable: %v", r.Summary[blendApply])
+	}
+}
+
+// Differential soundness on every precision case: each method the blocklist
+// accepts must stay accepted by the effect analysis.
+func TestBlocklistSubset(t *testing.T) {
+	for _, src := range []string{mutualSrc, dispatchSrc, dispatchBothSrc, slotCollisionSrc, freshSrc, jniSrc} {
+		prog := compile(t, src)
+		bl := profile.AnalyzeBlocklist(prog)
+		r := sa.Analyze(prog)
+		for id := range prog.Methods {
+			if bl.ReplayableDeep[id] && !r.Replayable(dex.MethodID(id)) {
+				t.Errorf("%s: blocklist accepts %s, effects reject (%v)",
+					prog.Name, prog.Methods[id].Name, r.Summary[id])
+			}
+		}
+	}
+}
+
+const freshSrc = `
+global int[] buf;
+func scratch(int n) int {
+	int[] tmp = new int[n];
+	for (int i = 0; i < n; i = i + 1) { tmp[i] = i * i; }
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + tmp[i]; }
+	return s;
+}
+func globalWrite(int n) int { buf[0] = n; return buf[0]; }
+func paramWrite(int[] a, int n) int { a[0] = n; return a[0]; }
+func main() int {
+	buf = new int[4];
+	int[] x = new int[4];
+	return scratch(8) + globalWrite(2) + paramWrite(x, 1);
+}
+`
+
+func TestFreshnessClassification(t *testing.T) {
+	prog := compile(t, freshSrc)
+	r := sa.Analyze(prog)
+	cases := []struct {
+		name string
+		want sa.Class
+	}{
+		// tmp never escapes scratch: its writes stay local.
+		{"scratch", sa.ClassLocalWrite},
+		// a store through a global is visible after return.
+		{"globalWrite", sa.ClassEscapingWrite},
+		// a store through a parameter is visible to the caller.
+		{"paramWrite", sa.ClassEscapingWrite},
+	}
+	for _, c := range cases {
+		id := mid(t, prog, c.name)
+		if got := r.Local[id].Class(); got != c.want {
+			t.Errorf("%s: class %v, want %v (local=%v)", c.name, got, c.want, r.Local[id])
+		}
+		if !r.Replayable(id) {
+			t.Errorf("%s: not replayable: %v", c.name, r.Summary[id])
+		}
+	}
+	if e := r.Local[mid(t, prog, "scratch")]; e&sa.EffAlloc == 0 || e&sa.EffWriteEscaping != 0 {
+		t.Errorf("scratch local effects = %v", e)
+	}
+}
+
+const jniSrc = `
+func opaque(int v) int { return jni_mix(v); }
+func pure(int v) int { return mini(v, 7); }
+func main() int { return opaque(3) + pure(9); }
+`
+
+func TestJNIClassification(t *testing.T) {
+	prog := compile(t, jniSrc)
+	r := sa.Analyze(prog)
+	opaque := mid(t, prog, "opaque")
+	if r.Replayable(opaque) || r.Summary[opaque]&sa.EffJNI == 0 {
+		t.Fatalf("opaque summary = %v, want JNI hazard", r.Summary[opaque])
+	}
+	if cause := r.LocalCause(opaque, sa.EffJNI); cause != `calls native "Sys.mix"` {
+		t.Fatalf("cause = %q", cause)
+	}
+	// Intrinsic-replaceable math natives are effect-free.
+	pure := mid(t, prog, "pure")
+	if r.Summary[pure] != sa.EffPure {
+		t.Fatalf("pure summary = %v", r.Summary[pure])
+	}
+}
+
+func TestCondenseOrder(t *testing.T) {
+	prog := compile(t, mutualSrc)
+	r := sa.Analyze(prog)
+	comp, comps := sa.Condense(len(prog.Methods), func(v dex.MethodID) []dex.MethodID {
+		return r.Graph.Callees[v]
+	})
+	even, odd := mid(t, prog, "even"), mid(t, prog, "odd")
+	if comp[even] != comp[odd] {
+		t.Fatal("mutual recursion split across components")
+	}
+	// Reverse topological order: every callee's component index is <= the
+	// caller's (equal within an SCC).
+	for id := range prog.Methods {
+		for _, c := range r.Graph.Callees[id] {
+			if comp[c] > comp[id] {
+				t.Fatalf("callee %d's component after caller %d's", c, id)
+			}
+		}
+	}
+	// Components partition the methods.
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != len(prog.Methods) {
+		t.Fatalf("components cover %d of %d methods", total, len(prog.Methods))
+	}
+}
+
+// The analysis is a pure function of the program: two runs agree exactly.
+func TestAnalyzeDeterministic(t *testing.T) {
+	prog := compile(t, slotCollisionSrc)
+	a, b := sa.Analyze(prog), sa.Analyze(prog)
+	if !reflect.DeepEqual(a.Summary, b.Summary) || !reflect.DeepEqual(a.Local, b.Local) {
+		t.Fatal("effect sets differ across runs")
+	}
+	for id := range prog.Methods {
+		for _, h := range []sa.Effect{sa.EffIO, sa.EffNonDet, sa.EffJNI, sa.EffMayThrow} {
+			ca := a.Witness(dex.MethodID(id), h)
+			cb := b.Witness(dex.MethodID(id), h)
+			if !reflect.DeepEqual(ca, cb) {
+				t.Fatalf("witness differs for method %d hazard %v", id, h)
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.Graph.Callees, b.Graph.Callees) {
+		t.Fatal("call graphs differ across runs")
+	}
+}

@@ -1,0 +1,85 @@
+package sa
+
+import "replayopt/internal/dex"
+
+// Condense computes the strongly connected components of a directed graph
+// over n method ids with successor function succ. It returns comp — the
+// component index of every node — and comps, the components in reverse
+// topological order of the condensation DAG: every component appears after
+// the components it can reach, so a single forward pass over comps sees each
+// component's callees fully resolved before the component itself. Members of
+// each component are sorted by id.
+//
+// The implementation is Tarjan's algorithm with an explicit frame stack so
+// deep call chains (the quadratic-fixpoint pathology this package exists to
+// fix) cannot overflow the goroutine stack.
+func Condense(n int, succ func(dex.MethodID) []dex.MethodID) (comp []int, comps [][]dex.MethodID) {
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n) // 0 = unvisited, else discovery index + 1
+	low := make([]int, n)
+	onstack := make([]bool, n)
+	var stack []dex.MethodID
+	counter := 0
+
+	type frame struct {
+		v    dex.MethodID
+		succ []dex.MethodID
+		next int
+	}
+	var frames []frame
+
+	visit := func(v dex.MethodID) {
+		counter++
+		index[v] = counter
+		low[v] = counter
+		stack = append(stack, v)
+		onstack[v] = true
+		frames = append(frames, frame{v: v, succ: succ(v)})
+	}
+
+	for start := 0; start < n; start++ {
+		if index[start] != 0 {
+			continue
+		}
+		visit(dex.MethodID(start))
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			if fr.next < len(fr.succ) {
+				w := fr.succ[fr.next]
+				fr.next++
+				if index[w] == 0 {
+					visit(w)
+				} else if onstack[w] && index[w] < low[fr.v] {
+					low[fr.v] = index[w]
+				}
+				continue
+			}
+			v := fr.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := frames[len(frames)-1].v; low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var c []dex.MethodID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onstack[w] = false
+					comp[w] = len(comps)
+					c = append(c, w)
+					if w == v {
+						break
+					}
+				}
+				sortMethods(c)
+				comps = append(comps, c)
+			}
+		}
+	}
+	return comp, comps
+}

@@ -1,0 +1,99 @@
+package sa_test
+
+import (
+	"strings"
+	"testing"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/apps"
+	"replayopt/internal/profile"
+	"replayopt/internal/sa"
+)
+
+// The witness app is the acceptance check for the blocklist→effect upgrade at
+// application scale: the effect analysis must deep-accept strictly more
+// methods than the blocklist (the slot-collision kernel flips), while never
+// rejecting a method the blocklist accepts.
+func TestWitnessAppStrictIncrease(t *testing.T) {
+	app, err := apps.Build(apps.WitnessSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := app.Prog
+
+	kernel := mid(t, prog, "kernel")
+	blendApply := mid(t, prog, "Blend.apply")
+	hudFlush := mid(t, prog, "Hud.flush")
+	if prog.Methods[blendApply].VSlot != prog.Methods[hudFlush].VSlot {
+		t.Skip("vtable layout changed; slot collision gone")
+	}
+
+	bl := profile.AnalyzeBlocklist(prog)
+	eff := profile.Analyze(prog)
+	blCount, effCount := 0, 0
+	for id := range prog.Methods {
+		if bl.ReplayableDeep[id] {
+			blCount++
+		}
+		if eff.ReplayableDeep[id] {
+			effCount++
+		}
+		if bl.ReplayableDeep[id] && !eff.ReplayableDeep[id] {
+			t.Errorf("%s: blocklist accepts, effect analysis rejects",
+				prog.Methods[id].Name)
+		}
+	}
+	if bl.ReplayableDeep[kernel] {
+		t.Error("blocklist unexpectedly accepts kernel — the collision is gone")
+	}
+	if !eff.ReplayableDeep[kernel] {
+		t.Errorf("effect analysis rejects kernel: %v", eff.Effects.Summary[kernel])
+	}
+	if effCount <= blCount {
+		t.Errorf("deep-replayable count: effect %d, blocklist %d — want a strict increase",
+			effCount, blCount)
+	}
+
+	// The app must actually run: a diagnostic example that traps teaches the
+	// wrong lesson.
+	code, err := aot.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, x := app.NewProcessAndExec(code)
+	if _, err := x.Call(prog.Entry, nil); err != nil {
+		t.Fatalf("witness app failed to run: %v", err)
+	}
+}
+
+// Golden witness chain: the shortest call path explaining why the frame
+// driver is unreplayable, ending at the method that invokes the IO native.
+func TestWitnessChainGolden(t *testing.T) {
+	app, err := apps.Build(apps.WitnessSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := app.Prog
+	r := sa.Analyze(prog)
+
+	run := mid(t, prog, "run")
+	chain := r.Witness(run, sa.EffIO)
+	var names []string
+	for _, id := range chain {
+		names = append(names, prog.Methods[id].Name)
+	}
+	want := "run -> present -> Hud.flush"
+	if got := strings.Join(names, " -> "); got != want {
+		t.Fatalf("witness chain %q, want %q", got, want)
+	}
+	cause := r.LocalCause(chain[len(chain)-1], sa.EffIO)
+	if !strings.Contains(cause, "IO.drawFrame") {
+		t.Errorf("local cause %q does not name the IO native", cause)
+	}
+
+	// The pure kernel has no witness for any hazard.
+	kernel := mid(t, prog, "kernel")
+	if w := r.Witness(kernel, sa.EffIO); w != nil {
+		t.Errorf("kernel has an IO witness: %v", w)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"replayopt/internal/lir"
 	"replayopt/internal/mem"
 	"replayopt/internal/replay"
+	"replayopt/internal/sa"
 )
 
 // Map is the verification map.
@@ -25,6 +26,11 @@ type Map struct {
 	Entries map[mem.Addr]uint64
 	Ret     uint64
 	Void    bool // the region returns nothing; skip the return check
+	// StoresSkipped means the effect analysis proved the region root's
+	// summary free of heap writes (Pure or ReadOnly), so store recording was
+	// skipped entirely: the region's only externally visible behavior is its
+	// return value.
+	StoresSkipped bool
 }
 
 // MismatchError reports a failed verification.
@@ -51,19 +57,35 @@ func (e *MismatchError) Error() string {
 type recorder struct {
 	stores map[mem.Addr]bool
 	prof   *lir.Profile
+	// skipStores drops store recording (the effect analysis proved the
+	// region write-free); dispatches are still recorded for the type profile.
+	skipStores bool
 }
 
-func (r *recorder) Store(a mem.Addr) { r.stores[a] = true }
+func (r *recorder) Store(a mem.Addr) {
+	if r.skipStores {
+		return
+	}
+	r.stores[a] = true
+}
 func (r *recorder) Dispatch(s interp.CallSite, c dex.ClassID) {
 	r.prof.Record(lir.SiteKey{Method: s.Method, PC: s.PC}, c)
 }
 
 // Build replays snap under the interpreter and constructs the verification
-// map and the type profile.
+// map and the type profile. eff, when non-nil, is the interprocedural effect
+// analysis for prog: if it proves the region root's transitive summary free
+// of heap writes (Pure or ReadOnly), store recording is skipped and the map
+// checks only the return value — a statically justified shrink of the §3.4
+// verification map. A nil eff keeps the full conservative recording.
 func Build(dev *device.Device, store *capture.Store, snap *capture.Snapshot,
-	prog *dex.Program) (*Map, *lir.Profile, error) {
+	prog *dex.Program, eff *sa.Result) (*Map, *lir.Profile, error) {
 
 	rec := &recorder{stores: map[mem.Addr]bool{}, prof: lir.NewProfile()}
+	if eff != nil {
+		sum := eff.Summary[snap.Root]
+		rec.skipStores = sum&(sa.EffWriteLocal|sa.EffWriteEscaping) == 0
+	}
 	res, err := replay.Run(dev, store, replay.Request{
 		Snapshot: snap,
 		Prog:     prog,
@@ -89,6 +111,7 @@ func Build(dev *device.Device, store *capture.Store, snap *capture.Snapshot,
 	}
 	m.Ret = res.Ret
 	m.Void = prog.Methods[snap.Root].Ret == dex.KindVoid
+	m.StoresSkipped = rec.skipStores
 	return m, rec.prof, nil
 }
 

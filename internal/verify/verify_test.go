@@ -77,7 +77,7 @@ func setupFixture(t *testing.T) *fixture {
 
 func TestBuildProducesMapAndProfile(t *testing.T) {
 	fx := setupFixture(t)
-	m, prof, err := Build(fx.dev, fx.store, fx.snap, fx.prog)
+	m, prof, err := Build(fx.dev, fx.store, fx.snap, fx.prog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestBuildProducesMapAndProfile(t *testing.T) {
 
 func TestCorrectBinariesPassVerification(t *testing.T) {
 	fx := setupFixture(t)
-	m, prof, err := Build(fx.dev, fx.store, fx.snap, fx.prog)
+	m, prof, err := Build(fx.dev, fx.store, fx.snap, fx.prog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestCorrectBinariesPassVerification(t *testing.T) {
 		{Snapshot: fx.snap, Prog: fx.prog, Tier: replay.TierCompiled, Code: android, ASLRSeed: 9},
 	}
 	for i, cfg := range cfgs {
-		code, err := lir.Compile(fx.prog, nil, cfg, prof)
+		code, err := lir.Compile(fx.prog, nil, cfg, prof, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestCorrectBinariesPassVerification(t *testing.T) {
 	// A devirtualized build must also pass.
 	devirtCfg := lir.O2()
 	devirtCfg.Passes = append(devirtCfg.Passes, lir.PassSpec{Name: "devirt"})
-	code, err := lir.Compile(fx.prog, nil, devirtCfg, prof)
+	code, err := lir.Compile(fx.prog, nil, devirtCfg, prof, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestCorrectBinariesPassVerification(t *testing.T) {
 
 func TestMiscompiledBinaryIsRejected(t *testing.T) {
 	fx := setupFixture(t)
-	m, _, err := Build(fx.dev, fx.store, fx.snap, fx.prog)
+	m, _, err := Build(fx.dev, fx.store, fx.snap, fx.prog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestMiscompiledBinaryIsRejected(t *testing.T) {
 	cfg := lir.O1()
 	cfg.Passes = append(cfg.Passes, lir.PassSpec{Name: "unroll",
 		Params: map[string]int{"factor": 3, "no-remainder": 1}})
-	code, err := lir.Compile(fx.prog, nil, cfg, nil)
+	code, err := lir.Compile(fx.prog, nil, cfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestMiscompiledBinaryIsRejected(t *testing.T) {
 
 func TestVerificationCatchesSilentStateCorruption(t *testing.T) {
 	fx := setupFixture(t)
-	m, _, err := Build(fx.dev, fx.store, fx.snap, fx.prog)
+	m, _, err := Build(fx.dev, fx.store, fx.snap, fx.prog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestVerificationCatchesSilentStateCorruption(t *testing.T) {
 	cfg := lir.O1()
 	cfg.Passes = append(cfg.Passes, lir.PassSpec{Name: "dse",
 		Params: map[string]int{"alias-blind": 1}})
-	code, err := lir.Compile(fx.prog, nil, cfg, nil)
+	code, err := lir.Compile(fx.prog, nil, cfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
