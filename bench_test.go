@@ -26,7 +26,9 @@ import (
 	"replayopt/internal/exp"
 	"replayopt/internal/ga"
 	"replayopt/internal/lir"
+	"replayopt/internal/lir/tv"
 	"replayopt/internal/machine"
+	"replayopt/internal/minic"
 	"replayopt/internal/obs"
 	"replayopt/internal/profile"
 	"replayopt/internal/verify"
@@ -456,6 +458,165 @@ func BenchmarkEffectAnalysis(b *testing.B) {
 	}
 	fmt.Printf("effect analysis: deep-replayable %d -> %d; %d GC checks eliminated, %d virtual calls devirtualized\n",
 		deepBlock, deepEff, gcElim, callvElim)
+}
+
+// tvBenchSrc is the miniature app the early-discard benchmark searches over
+// (a hot kernel with array traffic, a virtual call, and global stores —
+// enough surface for tvbreak to corrupt).
+const tvBenchSrc = `
+global float[] board;
+global int ticks;
+
+class Rule { func weight(int i) int { return i % 7; } }
+class Fancy extends Rule { func weight(int i) int { return (i * 3) % 11; } }
+
+func setup(int n) {
+	board = new float[n];
+	for (int i = 0; i < n; i = i + 1) { board[i] = itof(i % 13) * 0.5; }
+}
+
+func simulate(int rounds) int {
+	Rule r = new Fancy();
+	float acc = 0.0;
+	for (int k = 0; k < rounds; k = k + 1) {
+		for (int i = 0; i < len(board); i = i + 1) {
+			acc = acc + board[i] * itof(r.weight(i));
+		}
+	}
+	ticks = ticks + 1;
+	return ftoi(acc);
+}
+
+func main() int {
+	setup(400);
+	int total = 0;
+	for (int f = 0; f < 5; f = f + 1) {
+		total = total + simulate(3);
+		draw_frame(f);
+	}
+	print_int(total);
+	return total;
+}
+`
+
+// BenchmarkTranslationValidation measures the per-pass validator: compile
+// overhead with the checker attached, verdict composition at each preset,
+// and — with the deliberately miscompiling tvbreak pass dropped into the
+// catalog — how many candidates a validated search discards statically and
+// how many replay evaluations that saves. Results land in BENCH_tv.json.
+func BenchmarkTranslationValidation(b *testing.B) {
+	appNames := []string{"FFT", "BubbleSort", "MaterialLife", "DroidFish"}
+
+	type presetRow struct {
+		App        string  `json:"app"`
+		Preset     string  `json:"preset"`
+		PlainMs    float64 `json:"compile_ms"`
+		CheckedMs  float64 `json:"compile_checked_ms"`
+		PerPassUs  float64 `json:"validate_per_pass_us"`
+		Verified   int     `json:"verified"`
+		Unverified int     `json:"unverified"`
+		Rejected   int     `json:"rejected"`
+	}
+
+	var rows []presetRow
+	var tvRejects, savedReplays int
+	for i := 0; i < b.N; i++ {
+		rows = nil
+		for _, name := range appNames {
+			spec, ok := apps.ByName(name)
+			if !ok {
+				b.Fatalf("unknown app %s", name)
+			}
+			app, err := apps.Build(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, preset := range []string{"O1", "O2", "O3"} {
+				cfg, _ := lir.Preset(preset)
+				start := time.Now()
+				if _, err := lir.Compile(app.Prog, nil, cfg, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+				plainMs := time.Since(start).Seconds() * 1000
+				chk := tv.NewChecker(tv.Options{Strict: true})
+				cfg.Check = chk
+				cfg.CheckEach = true
+				start = time.Now()
+				if _, err := lir.Compile(app.Prog, nil, cfg, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+				checkedMs := time.Since(start).Seconds() * 1000
+				row := presetRow{App: name, Preset: preset, PlainMs: plainMs, CheckedMs: checkedMs}
+				row.Verified, row.Unverified, row.Rejected = chk.Counts()
+				if n := len(chk.Verdicts); n > 0 {
+					row.PerPassUs = (checkedMs - plainMs) * 1000 / float64(n)
+				}
+				if row.Rejected > 0 {
+					b.Fatalf("%s %s: %d passes rejected on the stock pipeline", name, preset, row.Rejected)
+				}
+				rows = append(rows, row)
+			}
+		}
+
+		// The early-discard claim, end to end: with tvbreak in the catalog a
+		// validated search must stop the miscompiled candidates at compile
+		// time, saving their replay evaluations.
+		cleanup := lir.RegisterForTesting(tv.MiscompilePass())
+		prog, err := minic.CompileSource("miniapp", tvBenchSrc)
+		if err != nil {
+			cleanup()
+			b.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.GA.Population = 8
+		opts.GA.Generations = 3
+		opts.GA.HillClimbBudget = 6
+		opts.OnlineRuns = 3
+		opts.Seed = 10
+		opts.TVCheck = true
+		rep, err := core.New(opts).Optimize(&core.App{Name: "miniapp", Prog: prog})
+		cleanup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tvRejects = rep.SearchStats.TVRejects
+		savedReplays = rep.SearchStats.TVSavedReplayEvals
+		if savedReplays < 1 {
+			b.Fatal("validated search saved no replay evaluations")
+		}
+	}
+
+	var plain, checked float64
+	var verified, unverified int
+	for _, r := range rows {
+		plain += r.PlainMs
+		checked += r.CheckedMs
+		verified += r.Verified
+		unverified += r.Unverified
+	}
+	b.ReportMetric((checked-plain)/plain*100, "%compile-overhead")
+	b.ReportMetric(float64(tvRejects), "tv-rejects")
+	b.ReportMetric(float64(savedReplays), "replay-evals-saved")
+
+	artifact, err := json.MarshalIndent(map[string]any{
+		"schema_version":     1,
+		"benchmark":          "TranslationValidation",
+		"presets":            rows,
+		"compile_ms":         plain,
+		"compile_checked_ms": checked,
+		"verified":           verified,
+		"unverified":         unverified,
+		"tv_rejects":         tvRejects,
+		"replay_evals_saved": savedReplays,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_tv.json", append(artifact, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("translation validation: %.0f%% compile overhead; %d/%d passes verified; %d candidates rejected statically, %d replays saved\n",
+		(checked-plain)/plain*100, verified, verified+unverified, tvRejects, savedReplays)
 }
 
 // BenchmarkSearchParallel measures the tentpole of the parallel evaluator:

@@ -35,6 +35,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL span trace of every pipeline run to this file")
 	metrics := flag.Bool("metrics", false, "dump the full metrics registry after all figures")
 	progress := flag.Bool("progress", false, "print live per-generation GA progress lines (stderr)")
+	tvcheck := flag.Bool("tvcheck", false,
+		"validate every pass application during candidate compiles; provable miscompiles become tv-reject discards before any replay")
 	flag.Parse()
 
 	var scale exp.Scale
@@ -52,6 +54,7 @@ func main() {
 	}
 	scale.Workers = *parallel
 	scale.GA.Parallelism = *parallel
+	scale.TVCheck = *tvcheck
 
 	// The experiments always carry a scope so the per-figure work summary
 	// has real counters; sinks are attached only on request. Results are

@@ -41,6 +41,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the whole pipeline to this file")
 	metrics := flag.Bool("metrics", false, "dump the metrics registry (counters, gauges, histograms) after the report")
 	progress := flag.Bool("progress", false, "print a live per-generation progress line during the search (stderr)")
+	tvcheck := flag.Bool("tvcheck", false,
+		"validate every pass application during candidate compiles; provable miscompiles are discarded before any replay")
 	flag.Parse()
 
 	if *list {
@@ -65,6 +67,7 @@ func main() {
 	opts.GA.Population = *pop
 	opts.GA.Generations = *gens
 	opts.GA.Parallelism = *parallel
+	opts.TVCheck = *tvcheck
 
 	// Build the observability scope only when asked for: with every flag
 	// off opts.Obs stays nil and the run is exactly the uninstrumented one.
@@ -117,6 +120,10 @@ func main() {
 	fmt.Printf("\nsearch: %d genomes evaluated, halt: %s\n", len(rep.Search.Trace), rep.Search.Halt)
 	fmt.Printf("evaluation cache: %d of %d measurements served from cache (%.1f s of replay skipped)\n",
 		rep.SearchStats.CacheHits, rep.SearchStats.Considered, rep.SearchStats.SavedReplayMs/1000)
+	if *tvcheck {
+		fmt.Printf("translation validation: %d candidates rejected statically, %d replay evaluations saved\n",
+			rep.SearchStats.TVRejects, rep.SearchStats.TVSavedReplayEvals)
+	}
 	fmt.Printf("best genome: %s\n", rep.Search.Best)
 	fmt.Printf("\nregion replay means: Android %.4f ms | -O3 %.4f ms | GA %.4f ms (%.2fx over Android)\n",
 		rep.AndroidRegionMs, rep.O3RegionMs, rep.GARegionMs, rep.RegionSpeedupGA)

@@ -25,6 +25,7 @@ import (
 	"replayopt/internal/ga"
 	"replayopt/internal/interp"
 	"replayopt/internal/lir"
+	"replayopt/internal/lir/tv"
 	"replayopt/internal/machine"
 	"replayopt/internal/mem"
 	"replayopt/internal/obs"
@@ -69,6 +70,12 @@ type Options struct {
 	Seed int64
 	// MaxReplayCycles guards candidate binaries; 0 = derived from baseline.
 	MaxReplayCycles uint64
+	// TVCheck attaches the translation validator to every candidate compile:
+	// each pass application is strict-verified and equivalence-checked
+	// against its input, and a provable miscompile aborts the compile with a
+	// tv-reject outcome before any replay runs. The search sees only the
+	// failed bit, so traces are byte-identical with the flag on or off.
+	TVCheck bool
 	// LegacyBlocklist reverts region selection to the boolean native
 	// blocklist (the paper's §3.1 baseline) instead of the interprocedural
 	// effect analysis. The effect analysis accepts a superset of the
@@ -285,6 +292,7 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 	p.ev = &replayEvaluator{
 		o: o, app: app, snap: snap, vmap: vmap, prof: typeProf,
 		static: p.Analysis.Effects, region: region, android: android,
+		tvcheck: o.Opts.TVCheck,
 	}
 	andEval := p.ev.evaluateImage(android)
 	if andEval.Outcome.Failed() {
@@ -482,28 +490,65 @@ type replayEvaluator struct {
 	region    profile.Region
 	android   *machine.Program
 	maxCycles uint64
+	// tvcheck attaches a fresh translation-validation checker to every
+	// candidate compile (Options.TVCheck).
+	tvcheck bool
 	// obsParent, when set (serially, before evaluations fan out), parents
 	// the per-discard audit spans under the search span.
 	obsParent *obs.Span
 }
 
 // discard audits one discarded candidate: the coarse Fig. 1 outcome class
-// keeps its counter, and the underlying error string — which the outcome
-// classification would otherwise collapse away — is attached as a tally
-// label and a span attribute so discard causes stay auditable in the trace.
-func (ev *replayEvaluator) discard(outcome ga.Outcome, cause error) {
+// keeps its counter, the stable cause label feeds the core.discard_causes
+// tally (stable strings so dashboards and the §3.7 schedule report can key
+// on them across runs), and the raw error text — which classification would
+// otherwise collapse away — rides the eval.discard span for auditing.
+func (ev *replayEvaluator) discard(outcome ga.Outcome, cause string, err error) {
 	sc := ev.o.Opts.Obs
 	if sc == nil {
 		return
 	}
 	sc.Tally("core.discards").Inc(outcome.String())
+	sc.Tally("core.discard_causes").Inc(cause)
 	detail := "unknown"
-	if cause != nil {
-		detail = cause.Error()
+	if err != nil {
+		detail = err.Error()
 	}
-	sc.Tally("core.discard_causes").Inc(truncateLabel(detail, 120))
 	sp := sc.StartUnder(ev.obsParent, "eval.discard")
-	sp.End(obs.A("outcome", outcome.String()), obs.A("error", detail))
+	sp.End(obs.A("outcome", outcome.String()), obs.A("cause", cause), obs.A("error", truncateLabel(detail, 200)))
+}
+
+// DiscardCause maps an evaluation error to its stable cause label. Distinct
+// failure mechanisms that share a Fig. 1 outcome class keep distinct labels:
+// a compiler crash, a compiler timeout, a lowering failure, and a
+// translation-validation rejection are all different facts about a pass
+// pipeline even though the GA treats each as "failed".
+func DiscardCause(err error) string {
+	var rej *tv.RejectError
+	var crash *lir.CrashError
+	var timeout *lir.TimeoutError
+	var mcerr *machine.CompileError
+	var trap *rt.Trap
+	var access *mem.AccessError
+	var thrown *interp.ThrownError
+	switch {
+	case errors.As(err, &rej):
+		return "tv-reject"
+	case errors.As(err, &timeout):
+		return "compile-timeout"
+	case errors.As(err, &crash):
+		return "compile-crash"
+	case errors.As(err, &mcerr):
+		return "lower-error"
+	case errors.Is(err, machine.ErrTimeout), errors.Is(err, interp.ErrTimeout):
+		return "runtime-timeout"
+	case errors.Is(err, machine.ErrStackOverflow), errors.Is(err, interp.ErrStackOverflow):
+		return "runtime-stack-overflow"
+	case errors.As(err, &trap), errors.As(err, &access), errors.As(err, &thrown):
+		return "runtime-crash"
+	default:
+		return "other"
+	}
 }
 
 func truncateLabel(s string, n int) string {
@@ -521,10 +566,16 @@ type imageEval struct {
 // Evaluate implements ga.Evaluator: compile the region under cfg, replay the
 // capture, verify, and time it.
 func (ev *replayEvaluator) Evaluate(cfg lir.Config) ga.Evaluation {
+	if ev.tvcheck {
+		// A fresh checker per evaluation: Evaluate runs concurrently and a
+		// Checker serves one compile. cfg is a value copy and Fingerprint
+		// ignores harness settings, so the memo cache is unaffected.
+		cfg.Check = tv.NewChecker(tv.Options{Reject: true, Strict: true})
+	}
 	code, err := lir.Compile(ev.app.Prog, ev.region.Methods, cfg, ev.prof, ev.static)
 	if err != nil {
 		outcome := classifyCompileError(err)
-		ev.discard(outcome, err)
+		ev.discard(outcome, DiscardCause(err), err)
 		return ga.Evaluation{Outcome: outcome}
 	}
 	return ev.evaluateImage(overlay(ev.android, code)).Evaluation
@@ -553,11 +604,11 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
 	res, err := run(1)
 	if err != nil {
 		outcome := classifyRuntimeError(err)
-		ev.discard(outcome, err)
+		ev.discard(outcome, DiscardCause(err), err)
 		return imageEval{Evaluation: ga.Evaluation{Outcome: outcome}}
 	}
 	if err := ev.vmap.Check(res); err != nil {
-		ev.discard(ga.OutcomeWrongOutput, err)
+		ev.discard(ga.OutcomeWrongOutput, "verify-mismatch", err)
 		return imageEval{Evaluation: ga.Evaluation{Outcome: ga.OutcomeWrongOutput}}
 	}
 	// Replays under a second ASLR layout must agree cycle-for-cycle;
@@ -571,7 +622,7 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
 				err = fmt.Errorf("nondeterministic: %d cycles under the second ASLR layout, %d under the first",
 					res2.Cycles, res.Cycles)
 			}
-			ev.discard(ga.OutcomeWrongOutput, err)
+			ev.discard(ga.OutcomeWrongOutput, "nondeterministic", err)
 			return imageEval{Evaluation: ga.Evaluation{Outcome: ga.OutcomeWrongOutput}}
 		}
 	}
@@ -598,10 +649,13 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
 }
 
 func classifyCompileError(err error) ga.Outcome {
+	var rej *tv.RejectError
 	var crash *lir.CrashError
 	var timeout *lir.TimeoutError
 	var mcerr *machine.CompileError
 	switch {
+	case errors.As(err, &rej):
+		return ga.OutcomeTVReject
 	case errors.As(err, &timeout):
 		return ga.OutcomeCompilerTimeout
 	case errors.As(err, &crash), errors.As(err, &mcerr):

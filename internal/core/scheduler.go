@@ -53,6 +53,10 @@ type ScheduleReport struct {
 	CacheHits int
 	// SavedMinutes is the replay plus compile time those hits skipped.
 	SavedMinutes float64
+	// Discards tallies failed evaluations by outcome. tv-reject entries are
+	// the candidates translation validation stopped at compile time — they
+	// charge CompileMsPerEval but never a replay.
+	Discards map[string]int
 }
 
 // ScheduleSearch replays a finished search's workload through the
@@ -69,6 +73,12 @@ func ScheduleSearch(dev *device.Device, res *ga.Result, opts ScheduleOptions) Sc
 	var totalMs, replayMs float64
 	for _, rec := range res.Trace {
 		totalMs += opts.CompileMsPerEval
+		if rec.Eval.Outcome.Failed() {
+			if rep.Discards == nil {
+				rep.Discards = map[string]int{}
+			}
+			rep.Discards[rec.Eval.Outcome.String()]++
+		}
 		if rec.Eval.Outcome == ga.OutcomeCorrect || rec.Eval.Outcome == ga.OutcomeWrongOutput {
 			// The binary ran: every recorded replay plus the verification
 			// compare (charged at one extra replay's cost).

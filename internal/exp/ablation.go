@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"replayopt/internal/apps"
 	"replayopt/internal/core"
@@ -24,7 +26,7 @@ func AblationCoW(scale Scale, seed int64) (*Table, error) {
 		Header: []string{"app", "CoW capture", "eager copy", "ratio"},
 	}
 	for _, spec := range selectedApps(scale) {
-		p, opt, err := prepareApp(spec.Name, seed, scale.Obs)
+		p, opt, err := prepareApp(spec.Name, seed, scale.Obs, scale.TVCheck)
 		if err != nil {
 			return nil, err
 		}
@@ -45,7 +47,7 @@ func AblationFullSnapshot(scale Scale, seed int64) (*Table, error) {
 		Header: []string{"app", "selective", "full space", "ratio"},
 	}
 	for _, spec := range selectedApps(scale) {
-		p, _, err := prepareApp(spec.Name, seed, scale.Obs)
+		p, _, err := prepareApp(spec.Name, seed, scale.Obs, scale.TVCheck)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +65,7 @@ func AblationFullSnapshot(scale Scale, seed int64) (*Table, error) {
 // AblationRandomSearch compares the GA against pure random search at the
 // same evaluation budget (§2's motivation for intelligent search).
 func AblationRandomSearch(scale Scale, seed int64, app string) (*Table, error) {
-	p, _, err := prepareApp(app, seed, scale.Obs)
+	p, _, err := prepareApp(app, seed, scale.Obs, scale.TVCheck)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +102,7 @@ func AblationRandomSearch(scale Scale, seed int64, app string) (*Table, error) {
 // search would have *preferred* over the true winner — the silent-corruption
 // risk §3.4 eliminates.
 func AblationNoVerify(scale Scale, seed int64, app string) (*Table, error) {
-	p, opt, err := prepareApp(app, seed, scale.Obs)
+	p, opt, err := prepareApp(app, seed, scale.Obs, scale.TVCheck)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +154,7 @@ func AblationNoVerify(scale Scale, seed int64, app string) (*Table, error) {
 // AblationGCCheckElim isolates the paper's custom post-unroll GC-check
 // elimination pass on FFT (§3.5, §5.1).
 func AblationGCCheckElim(seed int64) (*Table, error) {
-	p, _, err := prepareApp("FFT", seed, nil)
+	p, _, err := prepareApp("FFT", seed, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +183,7 @@ func AblationGCCheckElim(seed int64) (*Table, error) {
 // AblationDevirt isolates profile-guided devirtualization on a virtual-call
 // heavy app (§3.4's novel profile source).
 func AblationDevirt(seed int64, app string) (*Table, error) {
-	p, _, err := prepareApp(app, seed, nil)
+	p, _, err := prepareApp(app, seed, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +229,7 @@ func AblationCrossValidate(scale Scale, seed int64, appNames ...string) (*Table,
 		opts.GA = scale.GA
 		opts.Seed = seed
 		opts.Obs = scale.Obs
+		opts.TVCheck = scale.TVCheck
 		opt := core.New(opts)
 		rep, cv, err := opt.OptimizeMulti(app, 3)
 		if err != nil {
@@ -327,6 +330,24 @@ func AblationTTestFitness(seed int64) (*Table, error) {
 	return t, nil
 }
 
+// discardSummary renders a Discards tally as stable "outcome:count" pairs.
+func discardSummary(d map[string]int) string {
+	if len(d) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(d))
+	//detlint:allow map-range — keys are sorted before rendering
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, d[k])
+	}
+	return strings.Join(parts, " ")
+}
+
 // ScheduleTable quantifies the §3.7 policy from real search traces: per
 // app, the total offline work the full search performed and how it fits in
 // idle-charging windows. Pass a Fig7Result to reuse its searches, or nil to
@@ -335,7 +356,7 @@ func ScheduleTable(res *Fig7Result, scale Scale, seed int64, appNames ...string)
 	t := &Table{
 		Title: "Replay scheduling under the idle-charging policy (§3.7)",
 		Header: []string{"app", "evaluations", "cache hits", "replay min",
-			"total offline min", "saved min", "nights", "share of first night"},
+			"total offline min", "saved min", "nights", "share of first night", "discards"},
 	}
 	type item struct {
 		name   string
@@ -364,6 +385,7 @@ func ScheduleTable(res *Fig7Result, scale Scale, seed int64, appNames ...string)
 			opts.GA = scale.GA
 			opts.Seed = seed
 			opts.Obs = scale.Obs
+			opts.TVCheck = scale.TVCheck
 			opt := core.New(opts)
 			rep, err := opt.Optimize(app)
 			if err != nil {
@@ -390,11 +412,13 @@ func ScheduleTable(res *Fig7Result, scale Scale, seed int64, appNames ...string)
 			f2(sched.SavedMinutes),
 			fmt.Sprint(sched.Nights),
 			share,
+			discardSummary(sched.Discards),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"work proceeds only while the device is idle and charging; mornings interrupt it (§3.7)",
 		"totals charge per-genome compiles (250 ms), every replay actually run, and the verification compare",
-		"cache hits are candidate measurements the memo cache served; saved min is the replay+compile time they skipped")
+		"cache hits are candidate measurements the memo cache served; saved min is the replay+compile time they skipped",
+		"discards lists failed evaluations by outcome; tv-reject ones were stopped statically and charged compile time only")
 	return t, nil
 }

@@ -38,6 +38,10 @@ type Scale struct {
 	// experiment runs. Purely observational: tables are identical with or
 	// without it. Safe under Workers > 1 (the scope is concurrency-safe).
 	Obs *obs.Scope
+	// TVCheck turns on translation validation inside every candidate
+	// compile: provable miscompiles become tv-reject discards before any
+	// replay runs. Search traces are unaffected (core.Options.TVCheck).
+	TVCheck bool
 }
 
 // Full mirrors §4: 11 generations of 50 genomes, 100 random sequences,
@@ -139,11 +143,11 @@ func selectedApps(s Scale) []apps.Spec {
 // needed to evaluate candidate configurations by replay. The benchmark
 // harness uses it to run searches against a real evaluator directly.
 func PrepareApp(name string, seed int64) (*core.Prepared, *core.Optimizer, error) {
-	return prepareApp(name, seed, nil)
+	return prepareApp(name, seed, nil, false)
 }
 
 // prepareApp builds and prepares one app (pipeline steps 1-5).
-func prepareApp(name string, seed int64, sc *obs.Scope) (*core.Prepared, *core.Optimizer, error) {
+func prepareApp(name string, seed int64, sc *obs.Scope, tvcheck bool) (*core.Prepared, *core.Optimizer, error) {
 	spec, ok := apps.ByName(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("exp: unknown app %q", name)
@@ -155,6 +159,7 @@ func prepareApp(name string, seed int64, sc *obs.Scope) (*core.Prepared, *core.O
 	opts := core.DefaultOptions()
 	opts.Seed = seed
 	opts.Obs = sc
+	opts.TVCheck = tvcheck
 	opt := core.New(opts)
 	p, err := opt.Prepare(app)
 	if err != nil {

@@ -37,7 +37,7 @@ func (r *Fig1Result) RuntimeFailFraction() float64 {
 
 // Figure1 evaluates random optimization sequences on FFT's hot region.
 func Figure1(scale Scale, seed int64) (*Fig1Result, *Table, error) {
-	p, _, err := prepareApp("FFT", seed, scale.Obs)
+	p, _, err := prepareApp("FFT", seed, scale.Obs, scale.TVCheck)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -76,7 +76,7 @@ type Fig2Result struct {
 
 // Figure2 generates random correct binaries and reports their speedups.
 func Figure2(scale Scale, seed int64) (*Fig2Result, *Table, error) {
-	p, _, err := prepareApp("FFT", seed, scale.Obs)
+	p, _, err := prepareApp("FFT", seed, scale.Obs, scale.TVCheck)
 	if err != nil {
 		return nil, nil, err
 	}

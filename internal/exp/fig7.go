@@ -45,6 +45,7 @@ func Figure7(scale Scale, seed int64) (*Fig7Result, *Table, error) {
 		opts.Seed = seed
 		opts.GA = scale.GA
 		opts.Obs = scale.Obs
+		opts.TVCheck = scale.TVCheck
 		opt := core.New(opts)
 		rep, err := opt.Optimize(app)
 		if err != nil {

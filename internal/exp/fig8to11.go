@@ -28,7 +28,7 @@ func Figure8(scale Scale, seed int64) ([]Fig8Row, *Table, error) {
 	specs := selectedApps(scale)
 	rows = make([]Fig8Row, len(specs))
 	if err := forEachApp(scale, func(i int, spec apps.Spec) error {
-		p, _, err := prepareApp(spec.Name, seed, scale.Obs)
+		p, _, err := prepareApp(spec.Name, seed, scale.Obs, scale.TVCheck)
 		if err != nil {
 			return err
 		}
@@ -74,7 +74,7 @@ func Figure10(scale Scale, seed int64) ([]Fig10Row, *Table, error) {
 	specs := selectedApps(scale)
 	rows = make([]Fig10Row, len(specs))
 	if err := forEachApp(scale, func(i int, spec apps.Spec) error {
-		p, _, err := prepareApp(spec.Name, seed, scale.Obs)
+		p, _, err := prepareApp(spec.Name, seed, scale.Obs, scale.TVCheck)
 		if err != nil {
 			return err
 		}
@@ -119,7 +119,7 @@ func Figure11(scale Scale, seed int64) ([]Fig11Row, *Table, error) {
 	specs := selectedApps(scale)
 	rows = make([]Fig11Row, len(specs))
 	if err := forEachApp(scale, func(i int, spec apps.Spec) error {
-		p, _, err := prepareApp(spec.Name, seed, scale.Obs)
+		p, _, err := prepareApp(spec.Name, seed, scale.Obs, scale.TVCheck)
 		if err != nil {
 			return err
 		}

@@ -111,11 +111,14 @@ const (
 	OutcomeRuntimeCrash
 	OutcomeRuntimeTimeout
 	OutcomeWrongOutput
+	// OutcomeTVReject: the translation validator proved a pass miscompiled
+	// the candidate, so it was discarded statically — before any replay ran.
+	OutcomeTVReject
 )
 
 func (o Outcome) String() string {
 	return [...]string{"correct", "compiler-error", "compiler-timeout",
-		"runtime-crash", "runtime-timeout", "wrong-output"}[o]
+		"runtime-crash", "runtime-timeout", "wrong-output", "tv-reject"}[o]
 }
 
 // Failed reports whether the genome must be discarded.
@@ -219,6 +222,24 @@ type Result struct {
 	// Stats counts the evaluation work done and the work the memo cache
 	// saved.
 	Stats SearchStats
+}
+
+// DecisionTrace renders every input the search decisions read — trace order,
+// genomes, failed bits, timings, sizes, binary hashes, and the halt reason —
+// while deliberately excluding the failure *cause*. A statically tv-rejected
+// candidate and the same candidate discarded by dynamic replay must steer the
+// search identically (better() consumes only the failed bit), so a fixed seed
+// must produce byte-equal decision traces with validation on and off; tests
+// assert exactly that.
+func (r *Result) DecisionTrace() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "halt=%s best=%s\n", r.Halt, r.Best)
+	for _, rec := range r.Trace {
+		fmt.Fprintf(&b, "%d g%d [%s] failed=%v times=%v mean=%.6f size=%d bin=%016x\n",
+			rec.Index, rec.Generation, rec.Genome, rec.Eval.Outcome.Failed(),
+			rec.Eval.TimesMs, rec.Eval.MeanMs, rec.Eval.SizeBytes, rec.Eval.BinaryHash)
+	}
+	return b.String()
 }
 
 // GenomeFromConfig encodes a compiler configuration as a genome (used to

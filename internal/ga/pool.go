@@ -33,6 +33,13 @@ type SearchStats struct {
 	// SavedReplayMs estimates the replay wall-clock the cache skipped: the
 	// recorded replay times of each hit's cached evaluation.
 	SavedReplayMs float64
+	// TVRejects counts fresh evaluations the translation validator discarded
+	// statically (outcome tv-reject) — candidates that never reached replay.
+	TVRejects int
+	// TVSavedReplayEvals counts the replay evaluations validation made
+	// unnecessary: every measurement (fresh or cache-served) whose outcome is
+	// tv-reject stopped at compile time instead of running the interpreter.
+	TVSavedReplayEvals int
 }
 
 // workers resolves the configured parallelism (0 or less = all cores).
@@ -155,8 +162,14 @@ func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
 		out[i] = ev
 		s.stats.Considered++
 		sc.Counter("ga.considered").Add(1)
+		if ev.Outcome == OutcomeTVReject {
+			s.stats.TVSavedReplayEvals++
+		}
 		if jIdx, fresh := owner[fps[i]]; fresh && jobs[jIdx].idx == i {
 			s.stats.Evaluations++
+			if ev.Outcome == OutcomeTVReject {
+				s.stats.TVRejects++
+			}
 			sc.Tally("ga.outcomes").Inc(ev.Outcome.String())
 		} else {
 			s.stats.CacheHits++

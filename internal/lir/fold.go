@@ -1,0 +1,104 @@
+package lir
+
+import "math"
+
+// Constant evaluation shared by constfold (pass_scalar.go) and the
+// translation validator (internal/lir/tv). The validator must fold with
+// exactly the pass's semantics — wrapping int64 arithmetic, 6-bit shift
+// masking, division traps preserved — or a correct constfold application
+// would look like a provable miscompile.
+
+// FoldInt evaluates an integer operation over constant operands. Unary ops
+// (OpNeg) read a only. Division and remainder by zero do not fold (the
+// runtime trap must be preserved). ok=false for non-foldable ops.
+func FoldInt(op Op, a, b int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpAnd:
+		return a & b, true
+	case OpOr:
+		return a | b, true
+	case OpXor:
+		return a ^ b, true
+	case OpShl:
+		return a << (uint64(b) & 63), true
+	case OpShr:
+		return a >> (uint64(b) & 63), true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case OpNeg:
+		return -a, true
+	}
+	return 0, false
+}
+
+// FoldFloat evaluates a float operation over constant operands (OpFNeg reads
+// a only). ok=false for non-foldable ops.
+func FoldFloat(op Op, a, b float64) (float64, bool) {
+	switch op {
+	case OpFAdd:
+		return a + b, true
+	case OpFSub:
+		return a - b, true
+	case OpFMul:
+		return a * b, true
+	case OpFDiv:
+		return a / b, true
+	case OpFNeg:
+		return -a, true
+	}
+	return 0, false
+}
+
+// FoldF2I converts a constant float to int with the conversion's partiality:
+// NaN and out-of-range values do not fold.
+func FoldF2I(a float64) (int64, bool) {
+	if math.IsNaN(a) || a < math.MinInt64 || a > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(a), true
+}
+
+// FoldFCmp is the three-way float compare (-1/0/1; NaN compares as "less").
+func FoldFCmp(a, b float64) int64 {
+	switch {
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// EvalCond evaluates a branch condition over constant integers.
+func EvalCond(c Cond, a, b int64) bool {
+	switch c {
+	case CondEq:
+		return a == b
+	case CondNe:
+		return a != b
+	case CondLt:
+		return a < b
+	case CondLe:
+		return a <= b
+	case CondGt:
+		return a > b
+	case CondGe:
+		return a >= b
+	}
+	return false
+}

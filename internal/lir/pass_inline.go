@@ -18,7 +18,8 @@ func registerInlinePasses() {
 			// Rounds of re-inlining newly exposed calls.
 			{Name: "rounds", Default: 1, Min: 1, Max: 6},
 		},
-		Run: runInline,
+		Run:    runInline,
+		Traits: Traits{CFG: true, Mem: true},
 	})
 	register(&PassInfo{
 		Name: "devirt",
@@ -31,7 +32,8 @@ func registerInlinePasses() {
 			// receiver type shows up.
 			{Name: "nofallback", Default: 0, Min: 0, Max: 1, Unsafe: true},
 		},
-		Run: runDevirt,
+		Run:    runDevirt,
+		Traits: Traits{CFG: true, Mem: true},
 	})
 	register(&PassInfo{
 		Name: "intrinsics",
@@ -40,6 +42,7 @@ func registerInlinePasses() {
 			runIntrinsics(f)
 			return nil
 		},
+		Traits: Traits{Mem: true}, // rewrites native calls into intrinsics
 	})
 }
 

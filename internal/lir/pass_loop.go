@@ -21,7 +21,8 @@ func registerLoopPasses() {
 			// whenever the trip count is not a multiple of the factor.
 			{Name: "no-remainder", Default: 0, Min: 0, Max: 1, Unsafe: true},
 		},
-		Run: runUnroll,
+		Run:    runUnroll,
+		Traits: Traits{CFG: true, Mem: true},
 	})
 	register(&PassInfo{
 		Name: "peel",
@@ -29,12 +30,14 @@ func registerLoopPasses() {
 		Params: []ParamSpec{
 			{Name: "count", Default: 1, Min: 1, Max: 4},
 		},
-		Run: runPeel,
+		Run:    runPeel,
+		Traits: Traits{CFG: true, Mem: true},
 	})
 	register(&PassInfo{
-		Name: "vectorize",
-		Doc:  "widen call-free counted loops by 4; crashes on loops with calls",
-		Run:  runVectorize,
+		Name:   "vectorize",
+		Doc:    "widen call-free counted loops by 4; crashes on loops with calls",
+		Run:    runVectorize,
+		Traits: Traits{CFG: true, Mem: true},
 	})
 }
 

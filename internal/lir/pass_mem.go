@@ -23,6 +23,7 @@ func registerMemPasses() {
 			runDCE(f)
 			return nil
 		},
+		Traits: Traits{Mem: true},
 	})
 	register(&PassInfo{
 		Name: "dse",
@@ -33,7 +34,8 @@ func registerMemPasses() {
 			// still reads (a deliberate Fig. 1 wrong-output source).
 			{Name: "alias-blind", Default: 0, Min: 0, Max: 1, Unsafe: true},
 		},
-		Run: runDSE,
+		Run:    runDSE,
+		Traits: Traits{Mem: true},
 	})
 	register(&PassInfo{
 		Name: "licm",
@@ -47,7 +49,8 @@ func registerMemPasses() {
 			// reading stale values.
 			{Name: "unsafe", Default: 0, Min: 0, Max: 1, Unsafe: true},
 		},
-		Run: runLICM,
+		Run:    runLICM,
+		Traits: Traits{CFG: true, Mem: true}, // inserts preheaders, moves loads
 	})
 	register(&PassInfo{
 		Name: "bce",
@@ -57,7 +60,8 @@ func registerMemPasses() {
 			// program to be in-bounds (silent corruption if it is not).
 			{Name: "aggressive", Default: 0, Min: 0, Max: 1, Unsafe: true},
 		},
-		Run: runBCE,
+		Run:    runBCE,
+		Traits: Traits{CFG: true, Mem: true}, // calls Recompute, removes bounds checks
 	})
 	register(&PassInfo{
 		Name: "gccheckelim",
@@ -66,6 +70,7 @@ func registerMemPasses() {
 			runGCCheckElim(f, ctx)
 			return nil
 		},
+		Traits: Traits{CFG: true, Mem: true}, // calls Recompute, removes safepoints
 	})
 }
 

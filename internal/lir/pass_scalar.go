@@ -1,7 +1,5 @@
 package lir
 
-import "math"
-
 // Scalar optimization passes: constant folding, instruction combining,
 // reassociation, dead code elimination, global value numbering, CFG
 // simplification.
@@ -13,6 +11,7 @@ func registerScalarPasses() {
 		Name: "constfold",
 		Doc:  "fold operations on constant operands; propagate iteratively",
 		Run:  runConstFold,
+		// Traits: pure local rewrites, no CFG or memory changes.
 	})
 	register(&PassInfo{
 		Name: "instcombine",
@@ -44,9 +43,10 @@ func registerScalarPasses() {
 		},
 	})
 	register(&PassInfo{
-		Name: "gvn",
-		Doc:  "dominator-scoped value numbering of pure values, lengths, and checks",
-		Run:  runGVN,
+		Name:   "gvn",
+		Doc:    "dominator-scoped value numbering of pure values, lengths, and checks",
+		Run:    runGVN,
+		Traits: Traits{CFG: true}, // calls Recompute (may prune unreachable blocks)
 	})
 	register(&PassInfo{
 		Name: "simplifycfg",
@@ -55,6 +55,7 @@ func registerScalarPasses() {
 			runSimplifyCFG(f)
 			return nil
 		},
+		Traits: Traits{CFG: true},
 	})
 	register(&PassInfo{
 		Name: "phisimplify",
@@ -71,6 +72,7 @@ func registerScalarPasses() {
 			runSink(f)
 			return nil
 		},
+		Traits: Traits{CFG: true}, // calls Recompute (may prune unreachable blocks)
 	})
 }
 
@@ -102,51 +104,26 @@ func runConstFold(f *Function, _ *PassContext, _ map[string]int) error {
 	return nil
 }
 
-// foldValue folds v in place if its operands are constants.
+// foldValue folds v in place if its operands are constants. The arithmetic
+// lives in fold.go, shared with the translation validator.
 func foldValue(v *Value) bool {
 	switch v.Op {
-	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr:
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpDiv, OpRem:
 		a, aok := isConstInt(v.Args[0])
 		b, bok := isConstInt(v.Args[1])
 		if !aok || !bok {
 			return false
 		}
-		var r int64
-		switch v.Op {
-		case OpAdd:
-			r = a + b
-		case OpSub:
-			r = a - b
-		case OpMul:
-			r = a * b
-		case OpAnd:
-			r = a & b
-		case OpOr:
-			r = a | b
-		case OpXor:
-			r = a ^ b
-		case OpShl:
-			r = a << (uint64(b) & 63)
-		case OpShr:
-			r = a >> (uint64(b) & 63)
+		r, ok := FoldInt(v.Op, a, b) // div/rem by zero preserve the trap
+		if !ok {
+			return false
 		}
 		replaceWithConstInt(v, r)
 		return true
-	case OpDiv, OpRem:
-		a, aok := isConstInt(v.Args[0])
-		b, bok := isConstInt(v.Args[1])
-		if !aok || !bok || b == 0 { // preserve the runtime trap
-			return false
-		}
-		if v.Op == OpDiv {
-			replaceWithConstInt(v, a/b)
-		} else {
-			replaceWithConstInt(v, a%b)
-		}
-		return true
 	case OpNeg:
 		if a, ok := isConstInt(v.Args[0]); ok {
-			replaceWithConstInt(v, -a)
+			r, _ := FoldInt(OpNeg, a, 0)
+			replaceWithConstInt(v, r)
 			return true
 		}
 	case OpFAdd, OpFSub, OpFMul, OpFDiv:
@@ -155,22 +132,13 @@ func foldValue(v *Value) bool {
 		if !aok || !bok {
 			return false
 		}
-		var r float64
-		switch v.Op {
-		case OpFAdd:
-			r = a + b
-		case OpFSub:
-			r = a - b
-		case OpFMul:
-			r = a * b
-		case OpFDiv:
-			r = a / b
-		}
+		r, _ := FoldFloat(v.Op, a, b)
 		replaceWithConstFloat(v, r)
 		return true
 	case OpFNeg:
 		if a, ok := isConstFloat(v.Args[0]); ok {
-			replaceWithConstFloat(v, -a)
+			r, _ := FoldFloat(OpFNeg, a, 0)
+			replaceWithConstFloat(v, r)
 			return true
 		}
 	case OpI2F:
@@ -179,10 +147,11 @@ func foldValue(v *Value) bool {
 			return true
 		}
 	case OpF2I:
-		if a, ok := isConstFloat(v.Args[0]); ok && !math.IsNaN(a) &&
-			a >= math.MinInt64 && a <= math.MaxInt64 {
-			replaceWithConstInt(v, int64(a))
-			return true
+		if a, ok := isConstFloat(v.Args[0]); ok {
+			if r, rok := FoldF2I(a); rok {
+				replaceWithConstInt(v, r)
+				return true
+			}
 		}
 	case OpFCmp:
 		a, aok := isConstFloat(v.Args[0])
@@ -190,14 +159,7 @@ func foldValue(v *Value) bool {
 		if !aok || !bok {
 			return false
 		}
-		switch {
-		case a > b:
-			replaceWithConstInt(v, 1)
-		case a == b:
-			replaceWithConstInt(v, 0)
-		default:
-			replaceWithConstInt(v, -1)
-		}
+		replaceWithConstInt(v, FoldFCmp(a, b))
 		return true
 	}
 	return false
@@ -531,7 +493,7 @@ func runSimplifyCFG(f *Function) {
 				a, aok := isConstInt(t.Args[0])
 				c, cok := isConstInt(t.Args[1])
 				if aok && cok {
-					take := evalCond(t.Cond, a, c)
+					take := EvalCond(t.Cond, a, c)
 					var live, dead *Block
 					if take {
 						live, dead = b.Succs[0], b.Succs[1]
@@ -579,24 +541,6 @@ func runSimplifyCFG(f *Function) {
 			f.Recompute()
 		}
 	}
-}
-
-func evalCond(c Cond, a, b int64) bool {
-	switch c {
-	case CondEq:
-		return a == b
-	case CondNe:
-		return a != b
-	case CondLt:
-		return a < b
-	case CondLe:
-		return a <= b
-	case CondGt:
-		return a > b
-	case CondGe:
-		return a >= b
-	}
-	return false
 }
 
 // removeOnePred deletes the last occurrence of p from b.Preds along with the

@@ -7,9 +7,10 @@ package lir
 
 func init() {
 	register(&PassInfo{
-		Name: "unswitch",
-		Doc:  "hoist loop-invariant branches by duplicating the loop per branch side",
-		Run:  runUnswitch,
+		Name:   "unswitch",
+		Doc:    "hoist loop-invariant branches by duplicating the loop per branch side",
+		Run:    runUnswitch,
+		Traits: Traits{CFG: true, Mem: true},
 	})
 }
 

@@ -120,6 +120,19 @@ type ParamSpec struct {
 	Unsafe bool
 }
 
+// Traits declare the kinds of change a pass may make at any parameter
+// setting. The translation validator (internal/lir/tv) reads them to choose
+// its equivalence strategy and to flag anomalies: a pass that reshapes the
+// CFG despite declaring CFG=false is itself suspect.
+type Traits struct {
+	// CFG: the pass may add, remove, merge, or reorder basic blocks (or call
+	// Recompute, which prunes unreachable blocks).
+	CFG bool
+	// Mem: the pass may add, remove, or reorder memory operations, calls,
+	// allocations, bounds checks, or safepoints.
+	Mem bool
+}
+
 // PassInfo is one registry entry.
 type PassInfo struct {
 	Name   string
@@ -128,12 +141,27 @@ type PassInfo struct {
 	Run    PassFunc
 	// Unsafe passes can miscompile even at default parameters.
 	Unsafe bool
+	// Traits bound what the pass is allowed to change (see Traits).
+	Traits Traits
 }
 
 // registry of all transformation passes, filled by registerPasses.
 var registry = map[string]*PassInfo{}
 
 func register(p *PassInfo) { registry[p.Name] = p }
+
+// RegisterForTesting registers an extra pass for the duration of a test and
+// returns the cleanup that removes it again. Tests use it to drop a
+// deliberately miscompiling pass into the catalog (the validator drills).
+// Registering a pass deterministically shifts OptCatalog's composition, so
+// the hook must never be called outside tests or benches.
+func RegisterForTesting(p *PassInfo) func() {
+	if _, exists := registry[p.Name]; exists {
+		panic("lir: RegisterForTesting: pass " + p.Name + " already registered")
+	}
+	registry[p.Name] = p
+	return func() { delete(registry, p.Name) }
+}
 
 // PassByName looks up a pass.
 func PassByName(name string) (*PassInfo, bool) {

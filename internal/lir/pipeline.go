@@ -15,12 +15,29 @@ type PassSpec struct {
 	Params map[string]int
 }
 
+// PipelineCheck observes the pipeline between passes. BeforePass sees the
+// function immediately before a pass runs; AfterPass sees the result and may
+// veto it by returning an error, which aborts the compile with that error.
+// internal/lir/tv implements this with a translation validator. The interface
+// lives here (not in tv) so lir does not import its own checker.
+type PipelineCheck interface {
+	BeforePass(f *Function, pass string, info *PassInfo)
+	AfterPass(f *Function, pass string, info *PassInfo) error
+}
+
 // Config is one point in the toolchain's optimization space: the opt-style
 // pass sequence plus the llc-style lowering options. GA genomes decode to
-// Configs.
+// Configs. Check and CheckEach are evaluation-harness settings, deliberately
+// excluded from Fingerprint: they must not change which configs the GA
+// considers identical.
 type Config struct {
 	Passes []PassSpec
 	Lower  LowerOpts
+	// Check, when non-nil, is called around every pass application.
+	Check PipelineCheck
+	// CheckEach runs VerifyIR after every pass; a violation is reported as a
+	// CrashError attributed to the offending pass.
+	CheckEach bool
 }
 
 // maxPipelineLength bounds genome-supplied pass sequences; longer pipelines
@@ -77,11 +94,24 @@ func CompileMethod(prog *dex.Program, id dex.MethodID, cfg Config, prof *Profile
 		if !ok {
 			return nil, &CrashError{Pass: spec.Name, Msg: "unknown pass"}
 		}
+		if cfg.Check != nil {
+			cfg.Check.BeforePass(f, spec.Name, info)
+		}
 		if err := info.Run(f, ctx, resolveParams(info, spec.Params)); err != nil {
 			return nil, err
 		}
 		if err := ctx.checkGrowth(f, spec.Name); err != nil {
 			return nil, err
+		}
+		if cfg.CheckEach {
+			if verr := VerifyIR(f); verr != nil {
+				return nil, &CrashError{Pass: spec.Name, Msg: verr.Error()}
+			}
+		}
+		if cfg.Check != nil {
+			if cerr := cfg.Check.AfterPass(f, spec.Name, info); cerr != nil {
+				return nil, cerr
+			}
 		}
 	}
 	mfn, err := Lower(f, cfg.Lower)

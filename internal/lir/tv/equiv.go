@@ -1,0 +1,991 @@
+package tv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"replayopt/internal/lir"
+)
+
+// Validate proves (or fails to prove) that after is behaviorally equivalent
+// to before, where after = pass(before). The proof strategy:
+//
+//   - Pair the two CFGs by lockstep traversal from the entries (a
+//     bisimulation over successor positions). Passes that restructure the
+//     CFG break the pairing and land on Unverified — honest, since following
+//     them needs a per-pass cutpoint mapping this validator does not have.
+//   - Hash every value into a canonical symbolic expression: constants fold
+//     through the same lir.FoldInt/FoldFloat the passes use, associative and
+//     commutative integer chains flatten into sorted multisets, identities
+//     (x+0, x*1, x^0, ...) normalize away, and loads take memory-state
+//     tokens positioned by the observable prefix of their block (with exact
+//     same-location store-to-load forwarding, invalidated by any other store
+//     or call).
+//   - Per block pair, the observable sequences (stores, calls, allocations)
+//     must match op-for-op and argument-hash-for-argument-hash, terminator
+//     arguments must match, non-trivial phis must match positionally with
+//     per-predecessor argument equality, and the function-wide sets of
+//     trap-risky operations (non-constant division, bounds checks) must be
+//     preserved exactly.
+//
+// Any check the validator cannot discharge yields Unverified. Rejected is
+// reserved for proof of difference: two paired observable (or returned)
+// values that reduce to distinct integer constants, or differ by a nonzero
+// additive constant, in blocks that dominate every function exit — code that
+// runs on every terminating execution. Floats are never disproved (NaN and
+// rounding make "different bits" an unsound argument).
+func Validate(before, after *lir.Function, traits lir.Traits) (Verdict, string) {
+	e := &equiv{before: newSide(before), after: newSide(after), traits: traits}
+	return e.run()
+}
+
+// side is one function plus its hashing state.
+type side struct {
+	fn *lir.Function
+	// pairID[b] is the index of b's block pair, set during pairing.
+	pairID map[*lir.Block]int
+	// memtok positions loads in their block's observable prefix.
+	memtok map[*lir.Value]string
+	// forward maps a load to the value a same-block same-location store
+	// provably wrote.
+	forward map[*lir.Value]*lir.Value
+	// phitok names non-trivial phis positionally within their pair.
+	phitok map[*lir.Value]string
+	// live marks values whose hashes can enter a comparison; dead phis are
+	// excluded from positional pairing (dce deletes them on one side only).
+	live map[*lir.Value]bool
+	// hashes memoizes canonical expression strings.
+	hashes map[*lir.Value]string
+	// busy guards against cycles through phis during hashing.
+	busy map[*lir.Value]bool
+	// flat records the flattened form of associative chains for the
+	// disprover.
+	flat map[*lir.Value]flatExpr
+}
+
+// flatExpr is a flattened associative/commutative integer chain.
+type flatExpr struct {
+	op     lir.Op
+	cnst   int64
+	leaves []string // sorted
+}
+
+func newSide(f *lir.Function) *side {
+	return &side{
+		fn:      f,
+		pairID:  map[*lir.Block]int{},
+		memtok:  map[*lir.Value]string{},
+		forward: map[*lir.Value]*lir.Value{},
+		phitok:  map[*lir.Value]string{},
+		hashes:  map[*lir.Value]string{},
+		busy:    map[*lir.Value]bool{},
+		flat:    map[*lir.Value]flatExpr{},
+	}
+}
+
+type blockPair struct {
+	b, a *lir.Block
+}
+
+type equiv struct {
+	before, after *side
+	traits        lir.Traits
+	pairs         []blockPair
+}
+
+// unverified wraps a reason, flagging the anomaly of a pass that reshaped
+// the CFG without declaring the CFG trait.
+func (e *equiv) unverified(cfgChange bool, format string, args ...any) (Verdict, string) {
+	reason := fmt.Sprintf(format, args...)
+	if cfgChange && !e.traits.CFG {
+		reason = "anomaly: undeclared CFG change: " + reason
+	}
+	return Unverified, reason
+}
+
+func (e *equiv) run() (Verdict, string) {
+	if len(e.before.fn.Blocks) == 0 || len(e.after.fn.Blocks) == 0 {
+		return Unverified, "empty function"
+	}
+	if v, reason, ok := e.pair(); !ok {
+		return v, reason
+	}
+	e.before.indexMemory()
+	e.after.indexMemory()
+	e.before.computeLive()
+	e.after.computeLive()
+	// Phi tokens: start by assuming every phi is non-trivial, then collapse
+	// phis whose (non-self) arguments all hash alike, re-assign positional
+	// tokens, and iterate to a fixpoint. This mirrors prunePhis, so a side
+	// that kept a trivial phi and a side that removed it still line up.
+	for round := 0; ; round++ {
+		e.before.assignPhiTokens()
+		e.after.assignPhiTokens()
+		changedB := e.before.collapsePhis()
+		changedA := e.after.collapsePhis()
+		if (!changedB && !changedA) || round > 8 {
+			break
+		}
+		e.before.resetHashes()
+		e.after.resetHashes()
+	}
+	e.before.assignPhiTokens()
+	e.after.assignPhiTokens()
+	e.before.resetHashes()
+	e.after.resetHashes()
+
+	// Structural checks first; value mismatches are collected for the
+	// disprover only if everything structural lines up.
+	type mismatch struct {
+		pair   int
+		what   string
+		vb, va *lir.Value // the differing argument values
+	}
+	var diffs []mismatch
+	for pid, p := range e.pairs {
+		// Non-trivial phis must correspond positionally with
+		// per-predecessor argument equality.
+		pb, pa := nontrivialPhis(e.before, p.b), nontrivialPhis(e.after, p.a)
+		if len(pb) != len(pa) {
+			return e.unverified(false, "pair %d: %d vs %d non-trivial phis", pid, len(pb), len(pa))
+		}
+		for k := range pb {
+			if v, reason, ok := e.checkPhiArgs(pid, p, pb[k], pa[k]); !ok {
+				return v, reason
+			}
+		}
+		// Observable sequences.
+		ob, oa := observables(p.b), observables(p.a)
+		if len(ob) != len(oa) {
+			return e.unverified(false, "pair %d: %d vs %d observable ops", pid, len(ob), len(oa))
+		}
+		for k := range ob {
+			vb, va := ob[k], oa[k]
+			if vb.Op != va.Op || vb.Slot != va.Slot || vb.Sym != va.Sym {
+				return e.unverified(false, "pair %d observable %d: %s/slot%d vs %s/slot%d",
+					pid, k, vb.Op, vb.Slot, va.Op, va.Slot)
+			}
+			if len(vb.Args) != len(va.Args) {
+				return e.unverified(false, "pair %d observable %d: arg count %d vs %d", pid, k, len(vb.Args), len(va.Args))
+			}
+			for i := range vb.Args {
+				if e.before.hash(vb.Args[i]) != e.after.hash(va.Args[i]) {
+					diffs = append(diffs, mismatch{pid, fmt.Sprintf("%s arg %d", vb.Op, i), vb.Args[i], va.Args[i]})
+				}
+			}
+		}
+		// Terminator arguments. Branch condition divergence only redirects
+		// control flow — unprovable either way — so it is never disproved.
+		tb, ta := p.b.Term(), p.a.Term()
+		if len(tb.Args) != len(ta.Args) {
+			return e.unverified(false, "pair %d: terminator arg count %d vs %d", pid, len(tb.Args), len(ta.Args))
+		}
+		for i := range tb.Args {
+			if e.before.hash(tb.Args[i]) != e.after.hash(ta.Args[i]) {
+				if tb.Op == lir.OpBranch {
+					return e.unverified(false, "pair %d: branch argument %d diverges", pid, i)
+				}
+				diffs = append(diffs, mismatch{pid, fmt.Sprintf("%s arg %d", tb.Op, i), tb.Args[i], ta.Args[i]})
+			}
+		}
+	}
+	// Trap preservation: the multiset of potentially-trapping operations
+	// (as canonical hashes, function-wide sets so code motion and GVN-style
+	// dedup pass) must be identical — removing a check that might have
+	// fired, or adding a new trap, both change behavior unprovably.
+	trapB, trapA := e.before.trapSet(), e.after.trapSet()
+	if !sameStringSet(trapB, trapA) {
+		return e.unverified(false, "trap-risky op set changed (%d vs %d distinct)", len(trapB), len(trapA))
+	}
+
+	if len(diffs) == 0 {
+		return Verified, ""
+	}
+	// Disprover: a paired value difference is a proven miscompile only when
+	// the values are provably unequal and the block pair dominates every
+	// exit on both sides (the difference manifests on every terminating
+	// run).
+	domB := dominatorsOf(e.before.fn)
+	domA := dominatorsOf(e.after.fn)
+	for _, d := range diffs {
+		p := e.pairs[d.pair]
+		if !dominatesAllExits(e.before.fn, domB, p.b) || !dominatesAllExits(e.after.fn, domA, p.a) {
+			continue
+		}
+		if why, ok := e.disprove(d.vb, d.va); ok {
+			return Rejected, fmt.Sprintf("pair %d %s: %s", d.pair, d.what, why)
+		}
+	}
+	return Unverified, fmt.Sprintf("%d paired value(s) could not be proven equal (first: pair %d %s)",
+		len(diffs), diffs[0].pair, diffs[0].what)
+}
+
+// pair builds the lockstep CFG bisimulation.
+func (e *equiv) pair() (Verdict, string, bool) {
+	fwd := map[*lir.Block]*lir.Block{}
+	bwd := map[*lir.Block]*lir.Block{}
+	var queue []blockPair
+	push := func(b, a *lir.Block) (Verdict, string, bool) {
+		if fb, ok := fwd[b]; ok {
+			if fb != a {
+				v, r := e.unverified(true, "block b%d pairs with both b%d and b%d", b.ID, fb.ID, a.ID)
+				return v, r, false
+			}
+			return 0, "", true
+		}
+		if ba, ok := bwd[a]; ok && ba != b {
+			v, r := e.unverified(true, "block b%d pairs with both b%d and b%d", a.ID, ba.ID, b.ID)
+			return v, r, false
+		}
+		fwd[b], bwd[a] = a, b
+		e.before.pairID[b] = len(e.pairs)
+		e.after.pairID[a] = len(e.pairs)
+		pr := blockPair{b, a}
+		e.pairs = append(e.pairs, pr)
+		queue = append(queue, pr)
+		return 0, "", true
+	}
+	if v, r, ok := push(e.before.fn.Blocks[0], e.after.fn.Blocks[0]); !ok {
+		return v, r, false
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		tb, ta := p.b.Term(), p.a.Term()
+		if tb == nil || ta == nil {
+			v, r := e.unverified(false, "block b%d/b%d missing terminator", p.b.ID, p.a.ID)
+			return v, r, false
+		}
+		if tb.Op != ta.Op {
+			v, r := e.unverified(true, "terminator %s vs %s at b%d/b%d", tb.Op, ta.Op, p.b.ID, p.a.ID)
+			return v, r, false
+		}
+		if tb.Op == lir.OpBranch && tb.Cond != ta.Cond {
+			v, r := e.unverified(false, "branch condition %s vs %s at b%d/b%d", tb.Cond, ta.Cond, p.b.ID, p.a.ID)
+			return v, r, false
+		}
+		if len(p.b.Succs) != len(p.a.Succs) {
+			v, r := e.unverified(true, "successor count %d vs %d at b%d/b%d", len(p.b.Succs), len(p.a.Succs), p.b.ID, p.a.ID)
+			return v, r, false
+		}
+		for i := range p.b.Succs {
+			if v, r, ok := push(p.b.Succs[i], p.a.Succs[i]); !ok {
+				return v, r, false
+			}
+		}
+	}
+	return 0, "", true
+}
+
+// checkPhiArgs verifies one paired phi predecessor-wise. Predecessor pairing
+// follows the block pairing; when a predecessor appears several times in
+// Preds, the k-th occurrence on one side pairs with the k-th on the other —
+// if the k-th occurrences disagree hash-wise the result is Unverified (the
+// positional assumption cannot be trusted for a proof either way).
+func (e *equiv) checkPhiArgs(pid int, p blockPair, phiB, phiA *lir.Value) (Verdict, string, bool) {
+	// Occurrence-indexed args per paired predecessor.
+	argsAt := func(s *side, b *lir.Block, phi *lir.Value) map[int][]string {
+		m := map[int][]string{}
+		for i, pred := range b.Preds {
+			ppid, ok := s.pairID[pred]
+			if !ok {
+				continue // unreachable or unpaired pred: ignore
+			}
+			if i < len(phi.Args) {
+				m[ppid] = append(m[ppid], s.hash(phi.Args[i]))
+			}
+		}
+		return m
+	}
+	mb := argsAt(e.before, p.b, phiB)
+	ma := argsAt(e.after, p.a, phiA)
+	if len(mb) != len(ma) {
+		v, r := e.unverified(false, "pair %d phi: predecessor sets differ", pid)
+		return v, r, false
+	}
+	for ppid, hb := range mb {
+		ha, ok := ma[ppid]
+		if !ok || len(ha) != len(hb) {
+			v, r := e.unverified(false, "pair %d phi: predecessor pair %d occurrence mismatch", pid, ppid)
+			return v, r, false
+		}
+		for k := range hb {
+			if hb[k] != ha[k] {
+				v, r := e.unverified(false, "pair %d phi: argument from predecessor pair %d differs", pid, ppid)
+				return v, r, false
+			}
+		}
+	}
+	return 0, "", true
+}
+
+// disprove reports a proof that vb (before) and va (after) compute different
+// values: distinct integer constants, or flattened add/xor chains over
+// identical leaves with different constant parts (x+c1 != x+c2 and
+// x^c1 != x^c2 for c1 != c2 in two's complement).
+func (e *equiv) disprove(vb, va *lir.Value) (string, bool) {
+	hb, ha := e.before.hash(vb), e.after.hash(va)
+	cb, okB := constOf(hb)
+	ca, okA := constOf(ha)
+	if okB && okA && cb != ca {
+		return fmt.Sprintf("constant %d became %d", cb, ca), true
+	}
+	fb, fbok := e.before.flat[vb]
+	fa, faok := e.after.flat[va]
+	if fbok && faok && fb.op == fa.op && (fb.op == lir.OpAdd || fb.op == lir.OpXor) &&
+		fb.cnst != fa.cnst && sameStrings(fb.leaves, fa.leaves) {
+		return fmt.Sprintf("%s chain constant %d became %d over identical operands", fb.op, fb.cnst, fa.cnst), true
+	}
+	// x vs x+c (c != 0): one side is a flattened chain whose leaves are
+	// exactly {other side's hash} with a nonzero constant.
+	if faok && fa.op == lir.OpAdd && fa.cnst != 0 && len(fa.leaves) == 1 && fa.leaves[0] == hb {
+		return fmt.Sprintf("value was offset by %d", fa.cnst), true
+	}
+	if fbok && fb.op == lir.OpAdd && fb.cnst != 0 && len(fb.leaves) == 1 && fb.leaves[0] == ha {
+		return fmt.Sprintf("value was offset by %d", -fb.cnst), true
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------------
+// Per-side hashing
+
+// observableOp reports ops whose execution is externally visible (§3.4
+// verification map): memory writes, calls, allocations (their addresses feed
+// later observables). GCCheck and BoundsCheck are excluded — gccheckelim and
+// bce legitimately remove them; the trap set covers bounds checks.
+func observableOp(op lir.Op) bool {
+	switch op {
+	case lir.OpArrStore, lir.OpFieldStore, lir.OpStaticStore,
+		lir.OpCallStatic, lir.OpCallVirtual, lir.OpCallNative,
+		lir.OpNewArray, lir.OpNewObject:
+		return true
+	}
+	return false
+}
+
+func observables(b *lir.Block) []*lir.Value {
+	var out []*lir.Value
+	for _, v := range b.Insns {
+		if observableOp(v.Op) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// nontrivialPhis returns the live phis that did not collapse to an argument:
+// the ones whose hash is still a positional token. Dead phis never enter a
+// comparison, so a pass deleting them must not shift the pairing.
+func nontrivialPhis(s *side, b *lir.Block) []*lir.Value {
+	var out []*lir.Value
+	for _, p := range b.Phis {
+		if s.live[p] && strings.HasPrefix(s.hash(p), "phi:") {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// computeLive marks every value whose hash can enter a comparison: the
+// arguments of observables and terminators, the trap-risky operations, and
+// everything reachable from those through arguments.
+func (s *side) computeLive() {
+	s.live = map[*lir.Value]bool{}
+	var mark func(v *lir.Value)
+	mark = func(v *lir.Value) {
+		if s.live[v] {
+			return
+		}
+		s.live[v] = true
+		for _, a := range v.Args {
+			mark(a)
+		}
+	}
+	for _, b := range s.fn.Blocks {
+		for _, v := range b.Insns {
+			if observableOp(v.Op) || v.IsTerminator() ||
+				v.Op == lir.OpDiv || v.Op == lir.OpRem || v.Op == lir.OpBoundsCheck {
+				mark(v)
+			}
+		}
+	}
+}
+
+// indexMemory walks each block once, assigning observable indices (memory
+// state tokens) to loads and recording exact-location store-to-load
+// forwarding. Forwarding matches on the store kind, slot, and the *identical*
+// SSA base/index values; any other store or any call invalidates everything.
+func (s *side) indexMemory() {
+	type loc struct {
+		op        lir.Op
+		slot      int64
+		base, idx *lir.Value
+	}
+	for _, b := range s.fn.Blocks {
+		avail := map[loc]*lir.Value{}
+		obs := 0
+		pid, paired := s.pairID[b]
+		if !paired {
+			pid = -(b.ID + 1) // unique, never matches a paired token
+		}
+		for _, v := range b.Insns {
+			switch v.Op {
+			case lir.OpArrLoad:
+				if st, ok := avail[loc{lir.OpArrStore, 0, v.Args[0], v.Args[1]}]; ok {
+					s.forward[v] = st
+				} else {
+					s.memtok[v] = fmt.Sprintf("m:%d:%d", pid, obs)
+				}
+			case lir.OpFieldLoad:
+				if st, ok := avail[loc{lir.OpFieldStore, v.Slot, v.Args[0], nil}]; ok {
+					s.forward[v] = st
+				} else {
+					s.memtok[v] = fmt.Sprintf("m:%d:%d", pid, obs)
+				}
+			case lir.OpStaticLoad:
+				if st, ok := avail[loc{lir.OpStaticStore, v.Slot, nil, nil}]; ok {
+					s.forward[v] = st
+				} else {
+					s.memtok[v] = fmt.Sprintf("m:%d:%d", pid, obs)
+				}
+			case lir.OpArrStore:
+				avail = map[loc]*lir.Value{{lir.OpArrStore, 0, v.Args[0], v.Args[1]}: v.Args[2]}
+			case lir.OpFieldStore:
+				avail = map[loc]*lir.Value{{lir.OpFieldStore, v.Slot, v.Args[0], nil}: v.Args[1]}
+			case lir.OpStaticStore:
+				avail = map[loc]*lir.Value{{lir.OpStaticStore, v.Slot, nil, nil}: v.Args[0]}
+			case lir.OpCallStatic, lir.OpCallVirtual, lir.OpCallNative:
+				avail = map[loc]*lir.Value{}
+			}
+			if observableOp(v.Op) {
+				obs++
+			}
+		}
+	}
+}
+
+// assignPhiTokens names each currently-non-trivial phi by its pair and its
+// position among its block's non-trivial phis.
+func (s *side) assignPhiTokens() {
+	for _, b := range s.fn.Blocks {
+		pid, paired := s.pairID[b]
+		if !paired {
+			pid = -(b.ID + 1)
+		}
+		k := 0
+		for _, p := range b.Phis {
+			if !s.live[p] {
+				continue // dead: excluded from positional pairing
+			}
+			if h, ok := s.hashes[p]; ok && !strings.HasPrefix(h, "phi:") {
+				continue // collapsed to its unique argument
+			}
+			s.phitok[p] = fmt.Sprintf("phi:%d:%d", pid, k)
+			k++
+		}
+	}
+}
+
+// collapsePhis rewrites the memoized hash of any phi whose non-self
+// arguments all share one hash to that hash (the prunePhis criterion).
+// Reports whether anything collapsed this round.
+func (s *side) collapsePhis() bool {
+	changed := false
+	for _, b := range s.fn.Blocks {
+		for _, p := range b.Phis {
+			if !s.live[p] {
+				continue
+			}
+			if h, ok := s.hashes[p]; ok && !strings.HasPrefix(h, "phi:") {
+				continue // already collapsed
+			}
+			if to := s.trivialTo(p); to != "" {
+				s.hashes[p] = to
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// trivialTo returns the single shared argument hash of a trivial phi, or "".
+func (s *side) trivialTo(p *lir.Value) string {
+	shared := ""
+	for _, a := range p.Args {
+		if a == p {
+			continue
+		}
+		h := s.hash(a)
+		if shared == "" {
+			shared = h
+		} else if shared != h {
+			return ""
+		}
+	}
+	return shared
+}
+
+// resetHashes drops memoized hashes between phi-collapse rounds, keeping
+// collapsed phi hashes (they seed the next round).
+func (s *side) resetHashes() {
+	kept := map[*lir.Value]string{}
+	for v, h := range s.hashes {
+		if v.Op == lir.OpPhi && !strings.HasPrefix(h, "phi:") {
+			kept[v] = h
+		}
+	}
+	s.hashes = kept
+	s.flat = map[*lir.Value]flatExpr{}
+}
+
+// flattenable ops: fully associative and commutative over int64.
+func flattenable(op lir.Op) bool {
+	switch op {
+	case lir.OpAdd, lir.OpMul, lir.OpAnd, lir.OpOr, lir.OpXor:
+		return true
+	}
+	return false
+}
+
+// hash returns the canonical expression string for v.
+func (s *side) hash(v *lir.Value) string {
+	if h, ok := s.hashes[v]; ok {
+		return h
+	}
+	if s.busy[v] {
+		// A cycle not broken by a phi token: opaque, unique per side so it
+		// never spuriously matches.
+		return fmt.Sprintf("cyc:%p", v)
+	}
+	s.busy[v] = true
+	h := s.compute(v)
+	delete(s.busy, v)
+	s.hashes[v] = h
+	return h
+}
+
+func (s *side) compute(v *lir.Value) string {
+	switch v.Op {
+	case lir.OpConstInt:
+		return fmt.Sprintf("ci:%d", v.Imm)
+	case lir.OpConstFloat:
+		return fmt.Sprintf("cf:%016x", math.Float64bits(v.F))
+	case lir.OpParam:
+		return fmt.Sprintf("p:%d", v.Slot)
+	case lir.OpPhi:
+		// Trivial-phi collapse happens in collapsePhis rounds; here a phi
+		// always answers with its positional token, so hashing its own
+		// arguments (loop-carried values) stays cycle-free.
+		if t, ok := s.phitok[v]; ok {
+			return t
+		}
+		return fmt.Sprintf("phi?:%p", v)
+	case lir.OpArrLoad, lir.OpFieldLoad, lir.OpStaticLoad:
+		if st, ok := s.forward[v]; ok {
+			return s.hash(st)
+		}
+		parts := []string{"ld", v.Op.String(), fmt.Sprint(v.Slot), s.memtok[v]}
+		for _, a := range v.Args {
+			parts = append(parts, s.hash(a))
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	case lir.OpArrLen:
+		return "(arrlen " + s.hash(v.Args[0]) + ")"
+	}
+	if observableOp(v.Op) {
+		// An observable's value (call result, allocation address) is named
+		// by its position: pair plus observable index.
+		pid, paired := s.pairID[v.Block]
+		if !paired {
+			return fmt.Sprintf("obs?:%p", v)
+		}
+		return fmt.Sprintf("obs:%d:%d", pid, s.obsIndex(v))
+	}
+	if flattenable(v.Op) {
+		return s.hashFlat(v)
+	}
+	// Identity normalizations for the remaining shapes.
+	switch v.Op {
+	case lir.OpSub, lir.OpShr:
+		a, b := s.hash(v.Args[0]), s.hash(v.Args[1])
+		if ca, aok := constOf(a); aok {
+			if cb, bok := constOf(b); bok {
+				if r, ok := lir.FoldInt(v.Op, ca, cb); ok {
+					return fmt.Sprintf("ci:%d", r)
+				}
+			}
+		}
+		if cb, bok := constOf(b); bok && cb == 0 {
+			return a // x-0, x>>0
+		}
+		return "(" + v.Op.String() + " " + a + " " + b + ")"
+	case lir.OpShl:
+		a, b := s.hash(v.Args[0]), s.hash(v.Args[1])
+		if ca, aok := constOf(a); aok {
+			if cb, bok := constOf(b); bok {
+				if r, ok := lir.FoldInt(v.Op, ca, cb); ok {
+					return fmt.Sprintf("ci:%d", r)
+				}
+			}
+		}
+		if cb, bok := constOf(b); bok {
+			// x << c is x * 2^c in wrapping two's complement (the shift count
+			// is masked to 6 bits, FoldInt's rule), so a strength-reduced
+			// shift hashes identically to the multiply it came from.
+			return s.hashFlatAs(v, lir.OpMul, int64(1)<<(uint64(cb)&63), v.Args[:1])
+		}
+		return "(shl " + a + " " + b + ")"
+	case lir.OpNeg:
+		a := s.hash(v.Args[0])
+		if ca, ok := constOf(a); ok {
+			return fmt.Sprintf("ci:%d", -ca)
+		}
+		return "(neg " + a + ")"
+	case lir.OpDiv, lir.OpRem:
+		a, b := s.hash(v.Args[0]), s.hash(v.Args[1])
+		if ca, aok := constOf(a); aok {
+			if cb, bok := constOf(b); bok {
+				if r, ok := lir.FoldInt(v.Op, ca, cb); ok {
+					return fmt.Sprintf("ci:%d", r)
+				}
+			}
+		}
+		if cb, bok := constOf(b); bok && cb == 1 && v.Op == lir.OpDiv {
+			return a
+		}
+		return "(" + v.Op.String() + " " + a + " " + b + ")"
+	case lir.OpFAdd, lir.OpFSub, lir.OpFMul, lir.OpFDiv:
+		a, b := s.hash(v.Args[0]), s.hash(v.Args[1])
+		if fa, aok := floatOf(a); aok {
+			if fb, bok := floatOf(b); bok {
+				if r, ok := lir.FoldFloat(v.Op, fa, fb); ok {
+					return fmt.Sprintf("cf:%016x", math.Float64bits(r))
+				}
+			}
+		}
+		return "(" + v.Op.String() + " " + a + " " + b + ")"
+	case lir.OpFNeg:
+		a := s.hash(v.Args[0])
+		if fa, ok := floatOf(a); ok {
+			r, _ := lir.FoldFloat(lir.OpFNeg, fa, 0)
+			return fmt.Sprintf("cf:%016x", math.Float64bits(r))
+		}
+		return "(fneg " + a + ")"
+	case lir.OpI2F:
+		a := s.hash(v.Args[0])
+		if ca, ok := constOf(a); ok {
+			return fmt.Sprintf("cf:%016x", math.Float64bits(float64(ca)))
+		}
+		return "(i2f " + a + ")"
+	case lir.OpF2I:
+		a := s.hash(v.Args[0])
+		if fa, ok := floatOf(a); ok {
+			if r, rok := lir.FoldF2I(fa); rok {
+				return fmt.Sprintf("ci:%d", r)
+			}
+		}
+		return "(f2i " + a + ")"
+	case lir.OpFCmp:
+		a, b := s.hash(v.Args[0]), s.hash(v.Args[1])
+		if fa, aok := floatOf(a); aok {
+			if fb, bok := floatOf(b); bok {
+				return fmt.Sprintf("ci:%d", lir.FoldFCmp(fa, fb))
+			}
+		}
+		return "(fcmp " + a + " " + b + ")"
+	case lir.OpClassOf, lir.OpIntrinsic:
+		parts := []string{v.Op.String(), fmt.Sprint(v.Sym)}
+		for _, a := range v.Args {
+			parts = append(parts, s.hash(a))
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	}
+	// Anything else (void checks, terminators asked for directly) hashes
+	// structurally.
+	parts := []string{v.Op.String(), fmt.Sprint(v.Slot), fmt.Sprint(v.Sym)}
+	for _, a := range v.Args {
+		parts = append(parts, s.hash(a))
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// hashFlat flattens an associative-commutative chain: same-op children merge,
+// constants fold into one, identities drop out, leaves sort.
+func (s *side) hashFlat(v *lir.Value) string {
+	op := v.Op
+	var cnst int64
+	switch op {
+	case lir.OpAdd, lir.OpOr, lir.OpXor:
+		cnst = 0
+	case lir.OpMul:
+		cnst = 1
+	case lir.OpAnd:
+		cnst = -1
+	}
+	return s.hashFlatAs(v, op, cnst, v.Args)
+}
+
+// hashFlatAs flattens args as an op-chain seeded with the constant cnst; the
+// result is memoized under v. OpShl's strength-reduction alias enters here
+// with op=OpMul and cnst=2^shift.
+func (s *side) hashFlatAs(v *lir.Value, op lir.Op, cnst int64, args []*lir.Value) string {
+	var leaves []string
+	var walk func(a *lir.Value)
+	walk = func(a *lir.Value) {
+		if a.Op == op && !s.busy[a] {
+			// Flatten through same-op children by their own args; mark busy
+			// to keep phi cycles finite.
+			s.busy[a] = true
+			for _, c := range a.Args {
+				walk(c)
+			}
+			delete(s.busy, a)
+			return
+		}
+		if op == lir.OpMul && a.Op == lir.OpShl && !s.busy[a] {
+			// A constant shift inside a multiply chain folds as its power of
+			// two, mirroring the OpShl case in compute.
+			if c, ok := constOf(s.hash(a.Args[1])); ok {
+				cnst, _ = lir.FoldInt(lir.OpMul, cnst, int64(1)<<(uint64(c)&63))
+				s.busy[a] = true
+				walk(a.Args[0])
+				delete(s.busy, a)
+				return
+			}
+		}
+		h := s.hash(a)
+		if c, ok := constOf(h); ok {
+			cnst, _ = lir.FoldInt(op, cnst, c)
+			return
+		}
+		leaves = append(leaves, h)
+	}
+	for _, a := range args {
+		walk(a)
+	}
+	sort.Strings(leaves)
+	// Annihilators and identities.
+	if (op == lir.OpMul && cnst == 0) || (op == lir.OpAnd && cnst == 0) {
+		s.flat[v] = flatExpr{op: op, cnst: cnst}
+		return "ci:0"
+	}
+	identity := (op == lir.OpAdd && cnst == 0) || (op == lir.OpOr && cnst == 0) ||
+		(op == lir.OpXor && cnst == 0) || (op == lir.OpMul && cnst == 1) || (op == lir.OpAnd && cnst == -1)
+	if len(leaves) == 0 {
+		s.flat[v] = flatExpr{op: op, cnst: cnst}
+		return fmt.Sprintf("ci:%d", cnst)
+	}
+	if len(leaves) == 1 && identity {
+		s.flat[v] = flatExpr{op: op, cnst: cnst, leaves: leaves}
+		return leaves[0]
+	}
+	s.flat[v] = flatExpr{op: op, cnst: cnst, leaves: leaves}
+	parts := []string{op.String()}
+	if !identity {
+		parts = append(parts, fmt.Sprintf("ci:%d", cnst))
+	}
+	parts = append(parts, leaves...)
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+func (s *side) obsIndex(v *lir.Value) int {
+	k := 0
+	for _, x := range v.Block.Insns {
+		if x == v {
+			return k
+		}
+		if observableOp(x.Op) {
+			k++
+		}
+	}
+	return -1
+}
+
+// trapSet collects the function-wide set of potentially-trapping operation
+// hashes: division/remainder by a non-constant (or provably-zero) divisor,
+// and bounds checks. Hashes are positionless sets on purpose: array lengths
+// are immutable in this IR, so a check's outcome is a pure function of its
+// (array, index) values, and GVN deleting a dominated duplicate check leaves
+// the set — and the trap behavior — unchanged.
+func (s *side) trapSet() map[string]bool {
+	out := map[string]bool{}
+	for _, b := range s.fn.Blocks {
+		if _, paired := s.pairID[b]; !paired {
+			continue // unreachable or unpaired: never executes
+		}
+		for _, v := range b.Insns {
+			switch v.Op {
+			case lir.OpDiv, lir.OpRem:
+				db := s.hash(v.Args[1])
+				if c, ok := constOf(db); ok && c != 0 {
+					break // constant nonzero divisor: no trap possible
+				}
+				out[fmt.Sprintf("trap:%s:%s:%s", v.Op, s.hash(v.Args[0]), db)] = true
+			case lir.OpBoundsCheck:
+				out[fmt.Sprintf("trap:bc:%s:%s", s.hash(v.Args[0]), s.hash(v.Args[1]))] = true
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+
+func constOf(h string) (int64, bool) {
+	if !strings.HasPrefix(h, "ci:") {
+		return 0, false
+	}
+	var n int64
+	if _, err := fmt.Sscanf(h[3:], "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func floatOf(h string) (float64, bool) {
+	if !strings.HasPrefix(h, "cf:") {
+		return 0, false
+	}
+	var bits uint64
+	if _, err := fmt.Sscanf(h[3:], "%x", &bits); err != nil {
+		return 0, false
+	}
+	return math.Float64frombits(bits), true
+}
+
+func sameStringSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominatorsOf is a local, non-mutating dominator computation (the lir one
+// in Recompute reorders blocks and prunes the CFG, which the validator must
+// not do to evidence).
+type domTree struct {
+	reach map[*lir.Block]bool
+	idom  map[*lir.Block]*lir.Block
+	rpo   map[*lir.Block]int
+}
+
+func dominatorsOf(f *lir.Function) *domTree {
+	d := &domTree{reach: map[*lir.Block]bool{}, idom: map[*lir.Block]*lir.Block{}, rpo: map[*lir.Block]int{}}
+	if len(f.Blocks) == 0 {
+		return d
+	}
+	entry := f.Blocks[0]
+	var post []*lir.Block
+	var dfs func(*lir.Block)
+	dfs = func(b *lir.Block) {
+		if d.reach[b] {
+			return
+		}
+		d.reach[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	order := make([]*lir.Block, len(post))
+	for i := range post {
+		order[i] = post[len(post)-1-i]
+	}
+	for i, b := range order {
+		d.rpo[b] = i
+	}
+	d.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order[1:] {
+			var nd *lir.Block
+			for _, p := range b.Preds {
+				if d.idom[p] == nil {
+					continue
+				}
+				if nd == nil {
+					nd = p
+				} else {
+					nd = d.intersect(p, nd)
+				}
+			}
+			if nd != nil && d.idom[b] != nd {
+				d.idom[b] = nd
+				changed = true
+			}
+		}
+	}
+	d.idom[entry] = nil
+	return d
+}
+
+func (d *domTree) intersect(a, b *lir.Block) *lir.Block {
+	for a != b {
+		for d.rpo[a] > d.rpo[b] {
+			if d.idom[a] == nil {
+				return b
+			}
+			a = d.idom[a]
+		}
+		for d.rpo[b] > d.rpo[a] {
+			if d.idom[b] == nil {
+				return a
+			}
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+func (d *domTree) dominates(a, b *lir.Block) bool {
+	for x := b; x != nil; x = d.idom[x] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatesAllExits reports whether b dominates every reachable exit block
+// (return or throw) — i.e. runs on every terminating execution. A function
+// with no reachable exit never terminates normally; nothing dominates "all
+// exits" vacuously usefully, so that returns false.
+func dominatesAllExits(f *lir.Function, d *domTree, b *lir.Block) bool {
+	exits := 0
+	for _, x := range f.Blocks {
+		if !d.reach[x] {
+			continue
+		}
+		t := x.Term()
+		if t == nil || (t.Op != lir.OpReturn && t.Op != lir.OpThrow) {
+			continue
+		}
+		exits++
+		if !d.dominates(b, x) {
+			return false
+		}
+	}
+	return exits > 0
+}

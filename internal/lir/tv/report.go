@@ -1,0 +1,133 @@
+package tv
+
+// Machine-readable reporting for cmd/tvlint, with a hand-rolled structural
+// validator (the internal/sa/report.go pattern) so CI can assert the schema
+// without a JSON-Schema dependency.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ReportSchemaVersion is bumped whenever the JSON layout changes shape.
+const ReportSchemaVersion = 1
+
+// Report is the tvlint output.
+type Report struct {
+	SchemaVersion int            `json:"schema_version"`
+	Presets       []PresetReport `json:"presets"`
+	Fuzz          []DiffFailure  `json:"fuzz"`
+}
+
+// PresetReport is one (app, preset) audit: every per-pass verdict plus the
+// tallies.
+type PresetReport struct {
+	App        string       `json:"app"`
+	Preset     string       `json:"preset"`
+	Verdicts   []VerdictRow `json:"verdicts"`
+	Verified   int          `json:"verified"`
+	Unverified int          `json:"unverified"`
+	Rejected   int          `json:"rejected"`
+}
+
+// VerdictRow is one pass application on one function.
+type VerdictRow struct {
+	Fn      string `json:"fn"`
+	Pass    string `json:"pass"`
+	Verdict string `json:"verdict"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// PresetFromChecker builds a PresetReport from a finished checker.
+func PresetFromChecker(app, preset string, c *Checker) PresetReport {
+	pr := PresetReport{App: app, Preset: preset, Verdicts: []VerdictRow{}}
+	for _, pv := range c.Verdicts {
+		pr.Verdicts = append(pr.Verdicts, VerdictRow{
+			Fn: pv.Fn, Pass: pv.Pass, Verdict: pv.Verdict.String(), Reason: pv.Reason,
+		})
+	}
+	pr.Verified, pr.Unverified, pr.Rejected = c.Counts()
+	return pr
+}
+
+// ValidateReportJSON structurally validates a JSON-encoded Report: required
+// keys, their types, legal verdict strings, and tallies that reconcile with
+// the rows. It is what CI's tvlint -validate runs.
+func ValidateReportJSON(data []byte) error {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("tvlint report: not JSON: %w", err)
+	}
+	ver, ok := raw["schema_version"].(float64)
+	if !ok {
+		return fmt.Errorf("tvlint report: %q missing or not a number", "schema_version")
+	}
+	if int(ver) != ReportSchemaVersion {
+		return fmt.Errorf("tvlint report: schema_version %v, want %d", ver, ReportSchemaVersion)
+	}
+	presets, ok := raw["presets"].([]any)
+	if !ok {
+		return fmt.Errorf("tvlint report: %q missing or not an array", "presets")
+	}
+	legal := map[string]bool{"verified": true, "unverified": true, "rejected": true}
+	for i, p := range presets {
+		obj, ok := p.(map[string]any)
+		if !ok {
+			return fmt.Errorf("tvlint report: presets[%d] not an object", i)
+		}
+		for _, key := range []string{"app", "preset"} {
+			if s, ok := obj[key].(string); !ok || s == "" {
+				return fmt.Errorf("tvlint report: presets[%d].%s missing or empty", i, key)
+			}
+		}
+		rows, ok := obj["verdicts"].([]any)
+		if !ok {
+			return fmt.Errorf("tvlint report: presets[%d].verdicts missing or not an array", i)
+		}
+		counts := map[string]int{}
+		for j, r := range rows {
+			row, ok := r.(map[string]any)
+			if !ok {
+				return fmt.Errorf("tvlint report: presets[%d].verdicts[%d] not an object", i, j)
+			}
+			for _, key := range []string{"fn", "pass", "verdict"} {
+				if s, ok := row[key].(string); !ok || s == "" {
+					return fmt.Errorf("tvlint report: presets[%d].verdicts[%d].%s missing or empty", i, j, key)
+				}
+			}
+			v := row["verdict"].(string)
+			if !legal[v] {
+				return fmt.Errorf("tvlint report: presets[%d].verdicts[%d] has unknown verdict %q", i, j, v)
+			}
+			counts[v]++
+		}
+		for _, c := range []struct {
+			key  string
+			want int
+		}{{"verified", counts["verified"]}, {"unverified", counts["unverified"]}, {"rejected", counts["rejected"]}} {
+			got, ok := obj[c.key].(float64)
+			if !ok {
+				return fmt.Errorf("tvlint report: presets[%d].%s missing or not a number", i, c.key)
+			}
+			if int(got) != c.want {
+				return fmt.Errorf("tvlint report: presets[%d].%s = %d, rows say %d", i, c.key, int(got), c.want)
+			}
+		}
+	}
+	fuzz, ok := raw["fuzz"].([]any)
+	if !ok && raw["fuzz"] != nil {
+		return fmt.Errorf("tvlint report: %q not an array", "fuzz")
+	}
+	for i, f := range fuzz {
+		obj, ok := f.(map[string]any)
+		if !ok {
+			return fmt.Errorf("tvlint report: fuzz[%d] not an object", i)
+		}
+		for _, key := range []string{"pass", "kind"} {
+			if s, ok := obj[key].(string); !ok || s == "" {
+				return fmt.Errorf("tvlint report: fuzz[%d].%s missing or empty", i, key)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package tv
+
+import (
+	"fmt"
+
+	"replayopt/internal/lir"
+)
+
+// VerifyStrict runs lir.VerifyIR (structure, edge symmetry, dominance) and
+// then enforces per-Op typing and memory-op legality. One tolerated
+// irregularity, inherited from BuildSSA: an integer-constant zero is the
+// placeholder for values on never-taken paths, so an OpConstInt argument is
+// accepted where a float or reference is otherwise required.
+func VerifyStrict(f *lir.Function) error {
+	if err := lir.VerifyIR(f); err != nil {
+		return err
+	}
+	for _, b := range f.Blocks {
+		for _, p := range b.Phis {
+			if err := checkPhi(p, b); err != nil {
+				return err
+			}
+		}
+		for _, v := range b.Insns {
+			if v.Block != b {
+				return fmt.Errorf("tv-strict: v%d (%s) in b%d has Block pointer b%d",
+					v.ID, v.Op, b.ID, blockID(v.Block))
+			}
+			if err := checkValue(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func blockID(b *lir.Block) int {
+	if b == nil {
+		return -1
+	}
+	return b.ID
+}
+
+// loose reports whether a may stand where t is required: exact type match or
+// the BuildSSA constant-zero placeholder.
+func loose(a *lir.Value, t lir.Type) bool {
+	return a.Type == t || placeholderish(a, map[*lir.Value]bool{})
+}
+
+// placeholderish reports whether a value is BuildSSA's never-taken-path
+// placeholder (an integer constant) or a phi merging only placeholders —
+// the builder threads the zero placeholder through join points, so the
+// tolerance must follow phi chains. A phi cycle with no other input can only
+// carry the placeholder, so cycles count as placeholders too.
+func placeholderish(v *lir.Value, seen map[*lir.Value]bool) bool {
+	if v.Op == lir.OpConstInt {
+		return true
+	}
+	if v.Op != lir.OpPhi || v.Type != lir.TInt {
+		return false
+	}
+	if seen[v] {
+		return true
+	}
+	seen[v] = true
+	for _, a := range v.Args {
+		if !placeholderish(a, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkPhi enforces only voidness on phi arguments, not types: dex registers
+// are untyped and BuildSSA types a phi by its dominant use, so a merge point
+// legitimately mixes types when one path's value is never consumed (the
+// never-taken placeholder, a dead-path call result). Type discipline is
+// enforced where values are used, per checkValue.
+func checkPhi(p *lir.Value, b *lir.Block) error {
+	if p.Type == lir.TVoid {
+		return fmt.Errorf("tv-strict: phi v%d in b%d is void", p.ID, b.ID)
+	}
+	for i, a := range p.Args {
+		if a.Type == lir.TVoid {
+			return fmt.Errorf("tv-strict: phi v%d arg %d is the void value v%d (%s)", p.ID, i, a.ID, a.Op)
+		}
+	}
+	return nil
+}
+
+// sig describes an op's typing: expected arg types (TVoid in want = any
+// non-void) and the required result type (res=TVoid means void-only;
+// anyRes ops skip the result check).
+type sig struct {
+	want   []lir.Type
+	res    lir.Type
+	anyRes bool
+}
+
+var sigs = map[lir.Op]sig{
+	lir.OpConstInt:    {want: []lir.Type{}, res: lir.TInt},
+	lir.OpConstFloat:  {want: []lir.Type{}, res: lir.TFloat},
+	lir.OpAdd:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpSub:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpMul:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpDiv:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpRem:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpAnd:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpOr:          {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpXor:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpShl:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpShr:         {want: []lir.Type{lir.TInt, lir.TInt}, res: lir.TInt},
+	lir.OpNeg:         {want: []lir.Type{lir.TInt}, res: lir.TInt},
+	lir.OpFAdd:        {want: []lir.Type{lir.TFloat, lir.TFloat}, res: lir.TFloat},
+	lir.OpFSub:        {want: []lir.Type{lir.TFloat, lir.TFloat}, res: lir.TFloat},
+	lir.OpFMul:        {want: []lir.Type{lir.TFloat, lir.TFloat}, res: lir.TFloat},
+	lir.OpFDiv:        {want: []lir.Type{lir.TFloat, lir.TFloat}, res: lir.TFloat},
+	lir.OpFNeg:        {want: []lir.Type{lir.TFloat}, res: lir.TFloat},
+	lir.OpI2F:         {want: []lir.Type{lir.TInt}, res: lir.TFloat},
+	lir.OpF2I:         {want: []lir.Type{lir.TFloat}, res: lir.TInt},
+	lir.OpFCmp:        {want: []lir.Type{lir.TFloat, lir.TFloat}, res: lir.TInt},
+	lir.OpArrLen:      {want: []lir.Type{lir.TRef}, res: lir.TInt},
+	lir.OpBoundsCheck: {want: []lir.Type{lir.TRef, lir.TInt}, res: lir.TVoid},
+	lir.OpArrLoad:     {want: []lir.Type{lir.TRef, lir.TInt}, anyRes: true},
+	lir.OpArrStore:    {want: []lir.Type{lir.TRef, lir.TInt, lir.TVoid}, res: lir.TVoid},
+	lir.OpFieldLoad:   {want: []lir.Type{lir.TRef}, anyRes: true},
+	lir.OpFieldStore:  {want: []lir.Type{lir.TRef, lir.TVoid}, res: lir.TVoid},
+	lir.OpStaticLoad:  {want: []lir.Type{}, anyRes: true},
+	lir.OpStaticStore: {want: []lir.Type{lir.TVoid}, res: lir.TVoid},
+	lir.OpNewArray:    {want: []lir.Type{lir.TInt}, res: lir.TRef},
+	lir.OpNewObject:   {want: []lir.Type{}, res: lir.TRef},
+	lir.OpClassOf:     {want: []lir.Type{lir.TRef}, res: lir.TInt},
+	lir.OpGCCheck:     {want: []lir.Type{}, res: lir.TVoid},
+	lir.OpJump:        {want: []lir.Type{}, res: lir.TVoid},
+}
+
+func checkValue(v *lir.Value) error {
+	// Ops with variable arity or fully dynamic typing.
+	switch v.Op {
+	case lir.OpParam:
+		if v.Type == lir.TVoid {
+			return fmt.Errorf("tv-strict: v%d param is void", v.ID)
+		}
+		return checkArity(v, 0)
+	case lir.OpCallStatic, lir.OpCallNative, lir.OpIntrinsic:
+		return checkNonVoidArgs(v)
+	case lir.OpCallVirtual:
+		if len(v.Args) == 0 {
+			return fmt.Errorf("tv-strict: v%d callvirt has no receiver", v.ID)
+		}
+		if !loose(v.Args[0], lir.TRef) {
+			return fmt.Errorf("tv-strict: v%d callvirt receiver has type %s", v.ID, v.Args[0].Type)
+		}
+		return checkNonVoidArgs(v)
+	case lir.OpBranch:
+		if err := checkArity(v, 2); err != nil {
+			return err
+		}
+		if v.Type != lir.TVoid {
+			return fmt.Errorf("tv-strict: v%d branch is non-void", v.ID)
+		}
+		return checkNonVoidArgs(v)
+	case lir.OpReturn:
+		if len(v.Args) > 1 {
+			return fmt.Errorf("tv-strict: v%d return has %d args", v.ID, len(v.Args))
+		}
+		return checkNonVoidArgs(v)
+	case lir.OpThrow:
+		if err := checkArity(v, 1); err != nil {
+			return err
+		}
+		return checkNonVoidArgs(v)
+	}
+	s, ok := sigs[v.Op]
+	if !ok {
+		return fmt.Errorf("tv-strict: v%d has unknown op %s", v.ID, v.Op)
+	}
+	if err := checkArity(v, len(s.want)); err != nil {
+		return err
+	}
+	for i, t := range s.want {
+		a := v.Args[i]
+		if a.Type == lir.TVoid {
+			return fmt.Errorf("tv-strict: v%d (%s) arg %d is the void value v%d (%s)", v.ID, v.Op, i, a.ID, a.Op)
+		}
+		if t == lir.TVoid {
+			continue // any non-void (store payloads, load results)
+		}
+		if !loose(a, t) {
+			return fmt.Errorf("tv-strict: v%d (%s) arg %d has type %s, want %s", v.ID, v.Op, i, a.Type, t)
+		}
+	}
+	if !s.anyRes && v.Type != s.res {
+		return fmt.Errorf("tv-strict: v%d (%s) has result type %s, want %s", v.ID, v.Op, v.Type, s.res)
+	}
+	if s.anyRes && v.Type == lir.TVoid {
+		return fmt.Errorf("tv-strict: v%d (%s) has void result", v.ID, v.Op)
+	}
+	return nil
+}
+
+func checkArity(v *lir.Value, n int) error {
+	if len(v.Args) != n {
+		return fmt.Errorf("tv-strict: v%d (%s) has %d args, want %d", v.ID, v.Op, len(v.Args), n)
+	}
+	return nil
+}
+
+func checkNonVoidArgs(v *lir.Value) error {
+	for i, a := range v.Args {
+		if a.Type == lir.TVoid {
+			return fmt.Errorf("tv-strict: v%d (%s) arg %d is the void value v%d (%s)", v.ID, v.Op, i, a.ID, a.Op)
+		}
+	}
+	return nil
+}
