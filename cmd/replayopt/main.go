@@ -8,7 +8,14 @@
 //
 //	replayopt -app FFT [-seed 1] [-pop 50] [-gens 11] [-parallel N] [-crossvalidate 3]
 //	replayopt -app FFT -trace out.jsonl -metrics -progress
+//	replayopt -app FFT -store captures.cas
 //	replayopt -list
+//
+// -store persists the capture store to the given file after the run (the
+// content-addressed, deduplicated format of DESIGN.md §10; inspect it with
+// storelint). If the file already holds captures from earlier runs, only
+// unseen pages are appended and the earlier captures stay live alongside
+// this run's.
 //
 // Observability (README.md "Observability"): -trace writes every pipeline
 // span as one JSON object per line, -metrics dumps the counter/histogram
@@ -43,6 +50,8 @@ func main() {
 	progress := flag.Bool("progress", false, "print a live per-generation progress line during the search (stderr)")
 	tvcheck := flag.Bool("tvcheck", false,
 		"validate every pass application during candidate compiles; provable miscompiles are discarded before any replay")
+	storePath := flag.String("store", "",
+		"persist the capture store to this file after the run (content-addressed; appends only unseen pages)")
 	flag.Parse()
 
 	if *list {
@@ -135,6 +144,16 @@ func main() {
 	}
 	if rep.KeptBaseline {
 		fmt.Println("note: the baseline binary was kept (the search winner did not qualify)")
+	}
+
+	if *storePath != "" {
+		st, err := opt.PersistStore(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nstore: %d bytes appended to %s (%d chunks new, %d reused; %.2fx dedup)\n",
+			st.AppendedBytes, *storePath, st.ChunksWritten, st.ChunksReused, st.DedupRatio())
 	}
 
 	if *metrics {

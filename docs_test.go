@@ -1,0 +1,74 @@
+package replayopt
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// anchorRE matches a reference into the paper: a section sign, a figure, a
+// table, or an algorithm. CONTRIBUTING.md requires every internal package's
+// doc comment to carry at least one such anchor, so the mapping from code to
+// paper stays discoverable from godoc alone.
+var anchorRE = regexp.MustCompile(`§|Fig\.|Table|Algorithm`)
+
+// TestPackageDocsCitePaper walks every package under internal/ and fails on
+// any whose package comment is missing or does not reference the paper.
+func TestPackageDocsCitePaper(t *testing.T) {
+	fset := token.NewFileSet()
+	var checked int
+	err := filepath.WalkDir("internal", func(dir string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		if base := filepath.Base(dir); strings.HasPrefix(base, ".") || base == "testdata" {
+			return filepath.SkipDir
+		}
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for name, pkg := range pkgs {
+			checked++
+			comment := packageComment(pkg)
+			switch {
+			case comment == "":
+				t.Errorf("%s: package %s has no package doc comment", dir, name)
+			case !anchorRE.MatchString(comment):
+				t.Errorf("%s: package %s doc comment cites no paper anchor (§, Fig., Table, or Algorithm)", dir, name)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("walked internal/ but found no packages to check")
+	}
+	t.Logf("checked %d package doc comments", checked)
+}
+
+// packageComment returns the package doc comment, preferring the file godoc
+// would pick (via go/doc) and falling back to any file that carries one.
+func packageComment(pkg *ast.Package) string {
+	d := doc.New(pkg, "", doc.AllDecls)
+	if d.Doc != "" {
+		return d.Doc
+	}
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			return f.Doc.Text()
+		}
+	}
+	return ""
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"replayopt/internal/capture/castore"
 	"replayopt/internal/device"
 	"replayopt/internal/dex"
 	"replayopt/internal/mem"
@@ -78,14 +79,59 @@ type Snapshot struct {
 
 	framesMu sync.Mutex
 	frames   map[mem.Addr]*mem.Frame // lazy zero-copy view of Pages
+	// refs/fetch back a snapshot loaded lazily from a castore file: Pages
+	// stays nil until the first access materializes the referenced chunks
+	// (replay's lazy page loads, §3.3).
+	refs  []castore.PageRef
+	fetch func([]castore.PageRef) (map[uint64][]byte, error)
+}
+
+// EnsurePages materializes a lazily loaded snapshot's page contents from
+// its backing store file. It is a no-op (and nil error) for snapshots
+// captured in this process or already materialized. Safe for concurrent
+// use.
+func (s *Snapshot) EnsurePages() error {
+	s.framesMu.Lock()
+	defer s.framesMu.Unlock()
+	return s.ensurePagesLocked()
+}
+
+func (s *Snapshot) ensurePagesLocked() error {
+	if s.fetch == nil || s.Pages != nil {
+		return nil
+	}
+	raw, err := s.fetch(s.refs)
+	if err != nil {
+		return fmt.Errorf("capture: materializing snapshot pages: %w", err)
+	}
+	pages := make(map[mem.Addr][]byte, len(raw))
+	for a, data := range raw {
+		pages[mem.Addr(a)] = data
+	}
+	s.Pages = pages
+	s.fetch = nil
+	return nil
+}
+
+// Lazy reports whether the snapshot's pages are still unmaterialized on
+// disk.
+func (s *Snapshot) Lazy() bool {
+	s.framesMu.Lock()
+	defer s.framesMu.Unlock()
+	return s.fetch != nil && s.Pages == nil
 }
 
 // Frames returns a shared-frame view of the captured pages; replays map
 // these without copying (writers Copy-on-Write them). Safe for concurrent
 // use: parallel candidate evaluations load the same snapshot at once.
+// Lazily loaded snapshots are materialized first; callers that need the
+// error should call EnsurePages beforehand (replay does).
 func (s *Snapshot) Frames() map[mem.Addr]*mem.Frame {
 	s.framesMu.Lock()
 	defer s.framesMu.Unlock()
+	if err := s.ensurePagesLocked(); err != nil {
+		return map[mem.Addr]*mem.Frame{}
+	}
 	if s.frames == nil {
 		s.frames = make(map[mem.Addr]*mem.Frame, len(s.Pages))
 		for pa, data := range s.Pages {
@@ -108,17 +154,59 @@ type Store struct {
 
 	bootMu     sync.Mutex
 	bootFrames map[mem.Addr]*mem.Frame
+	// bootRefs/bootFetch back the boot-common pages of a lazily loaded
+	// store; EnsureBoot materializes them into BootPages on first use.
+	bootRefs  []castore.PageRef
+	bootFetch func([]castore.PageRef) (map[uint64][]byte, error)
+
+	// ownManifests tracks the manifest digests this store has loaded or
+	// committed itself. On save, a prior index entry it owns but no longer
+	// holds is a discard and stays dropped; one it never owned belongs to
+	// another session persisting into the same file and is preserved.
+	ownManifests map[castore.Key]bool
 }
 
 // NewStore returns an empty snapshot store.
 func NewStore() *Store { return &Store{BootPages: map[mem.Addr][]byte{}} }
 
+// EnsureBoot materializes lazily loaded boot-common pages into BootPages.
+// No-op for stores captured in this process or already materialized. Safe
+// for concurrent use.
+func (s *Store) EnsureBoot() error {
+	s.bootMu.Lock()
+	defer s.bootMu.Unlock()
+	return s.ensureBootLocked()
+}
+
+func (s *Store) ensureBootLocked() error {
+	if s.bootFetch == nil {
+		return nil
+	}
+	raw, err := s.bootFetch(s.bootRefs)
+	if err != nil {
+		return fmt.Errorf("capture: materializing boot pages: %w", err)
+	}
+	if s.BootPages == nil {
+		s.BootPages = make(map[mem.Addr][]byte, len(raw))
+	}
+	for a, data := range raw {
+		s.BootPages[mem.Addr(a)] = data
+	}
+	s.bootFetch = nil
+	return nil
+}
+
 // BootFrames returns the shared-frame view of the boot-common pages. Safe
 // for concurrent use by parallel replays; captures (which grow BootPages)
-// must not run concurrently with replays of the same store.
+// must not run concurrently with replays of the same store. Lazily loaded
+// boot pages are materialized first; callers that need the error should
+// call EnsureBoot beforehand (replay does).
 func (s *Store) BootFrames() map[mem.Addr]*mem.Frame {
 	s.bootMu.Lock()
 	defer s.bootMu.Unlock()
+	if err := s.ensureBootLocked(); err != nil {
+		return map[mem.Addr]*mem.Frame{}
+	}
 	if s.bootFrames == nil || len(s.bootFrames) != len(s.BootPages) {
 		s.bootFrames = make(map[mem.Addr]*mem.Frame, len(s.BootPages))
 		for pa, data := range s.BootPages {
@@ -248,7 +336,12 @@ func Capture(proc *rt.Process, dev *device.Device, store *Store,
 			}
 		}
 	}
-	// Boot-common pages: record contents once per boot in the store.
+	// Boot-common pages: record contents once per boot in the store. A
+	// store reloaded from disk materializes its boot set first so the
+	// once-per-boot dedup check sees it.
+	if err := store.EnsureBoot(); err != nil {
+		return nil, err
+	}
 	for _, r := range layout {
 		if !r.BootCommon {
 			continue

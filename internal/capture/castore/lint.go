@@ -1,0 +1,322 @@
+package castore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReportSchemaVersion versions the storelint JSON report.
+const ReportSchemaVersion = 1
+
+// SnapshotReport is one snapshot row of the storelint report.
+type SnapshotReport struct {
+	Digest        string  `json:"digest"`
+	App           string  `json:"app"`
+	Pages         int     `json:"pages"`
+	RawMB         float64 `json:"raw_mb"`
+	Complete      bool    `json:"complete"`
+	MissingChunks int     `json:"missing_chunks"`
+}
+
+// Report is the machine-readable output of cmd/storelint, schema-validated
+// in CI like the replaylint and tvlint reports.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Path          string `json:"path"`
+	FileBytes     int64  `json:"file_bytes"`
+
+	Records   int `json:"records"`
+	Chunks    int `json:"chunks"`
+	Manifests int `json:"manifests"`
+	Indexes   int `json:"indexes"`
+
+	Damaged            int   `json:"damaged_records"`
+	TruncatedTailBytes int64 `json:"truncated_tail_bytes"`
+	NoIndex            bool  `json:"no_index"`
+	SkippedSnapshots   int   `json:"skipped_snapshots"`
+
+	// Dedup accounting: raw bytes every live snapshot (plus the boot table)
+	// references vs the unique chunk bytes actually stored.
+	ReferencedRawBytes int64   `json:"referenced_raw_bytes"`
+	UniqueRawBytes     int64   `json:"unique_raw_bytes"`
+	StoredChunkBytes   int64   `json:"stored_chunk_bytes"`
+	DedupRatio         float64 `json:"dedup_ratio"`
+
+	Snapshots []SnapshotReport `json:"snapshots"`
+}
+
+// Healthy reports whether the store needs no attention: no damage, no torn
+// tail, an intact index, and every live snapshot complete.
+func (r *Report) Healthy() bool {
+	return r.Damaged == 0 && r.TruncatedTailBytes == 0 && !r.NoIndex && r.SkippedSnapshots == 0
+}
+
+// BuildReport assembles the storelint report for a scanned file. appOf, when
+// non-nil, labels each snapshot from its opaque metadata (the capture layer
+// knows how to decode it; castore does not).
+func BuildReport(f *File, appOf func(meta []byte) string) *Report {
+	rep := &Report{
+		SchemaVersion:      ReportSchemaVersion,
+		Path:               f.Path,
+		FileBytes:          f.Scan.FileBytes,
+		Records:            f.Scan.Records,
+		Chunks:             f.Scan.Chunks,
+		Manifests:          f.Scan.Manifests,
+		Indexes:            f.Scan.Indexes,
+		Damaged:            f.Scan.DamagedRecords,
+		TruncatedTailBytes: f.Scan.TruncatedTailBytes,
+		NoIndex:            f.NoIndex,
+		SkippedSnapshots:   f.SkippedSnapshots,
+		UniqueRawBytes:     f.Scan.ChunkRawBytes,
+		StoredChunkBytes:   f.Scan.ChunkStoredBytes,
+		Snapshots:          []SnapshotReport{},
+	}
+	seen := map[Key]bool{}
+	countRefs := func(refs []PageRef) {
+		for _, ref := range refs {
+			if loc, ok := f.chunks[ref.Key]; ok {
+				rep.ReferencedRawBytes += int64(loc.rawLen)
+				seen[ref.Key] = true
+			}
+		}
+	}
+	for _, s := range f.Snapshots() {
+		app := ""
+		if appOf != nil {
+			app = appOf(s.Meta)
+		}
+		rep.Snapshots = append(rep.Snapshots, SnapshotReport{
+			Digest:        s.Digest.Short(),
+			App:           app,
+			Pages:         len(s.Pages),
+			RawMB:         float64(s.RawBytes(f)) / (1 << 20),
+			Complete:      s.Complete,
+			MissingChunks: s.MissingChunks,
+		})
+		countRefs(s.Pages)
+	}
+	countRefs(f.Boot())
+	// Dedup ratio over what the live set references: raw referenced bytes
+	// vs the unique raw bytes backing them.
+	var uniqueRef int64
+	for k := range seen {
+		uniqueRef += int64(f.chunks[k].rawLen)
+	}
+	if uniqueRef > 0 {
+		rep.DedupRatio = float64(rep.ReferencedRawBytes) / float64(uniqueRef)
+	}
+	return rep
+}
+
+// ValidateReportJSON structurally validates a JSON-encoded Report: required
+// keys, their types, and internally consistent counts. It is what CI's
+// storelint -validate runs.
+func ValidateReportJSON(data []byte) error {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("storelint report: not JSON: %w", err)
+	}
+	num := func(key string) (float64, error) {
+		v, ok := raw[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("storelint report: %q missing or not a number", key)
+		}
+		return v, nil
+	}
+	ver, err := num("schema_version")
+	if err != nil {
+		return err
+	}
+	if int(ver) != ReportSchemaVersion {
+		return fmt.Errorf("storelint report: schema_version %v, want %d", ver, ReportSchemaVersion)
+	}
+	if s, ok := raw["path"].(string); !ok || s == "" {
+		return fmt.Errorf("storelint report: %q missing or empty", "path")
+	}
+	for _, key := range []string{"file_bytes", "records", "chunks", "manifests", "indexes",
+		"damaged_records", "truncated_tail_bytes", "skipped_snapshots",
+		"referenced_raw_bytes", "unique_raw_bytes", "stored_chunk_bytes", "dedup_ratio"} {
+		if _, err := num(key); err != nil {
+			return err
+		}
+	}
+	if _, ok := raw["no_index"].(bool); !ok {
+		return fmt.Errorf("storelint report: %q missing or not a bool", "no_index")
+	}
+	snaps, ok := raw["snapshots"].([]any)
+	if !ok {
+		return fmt.Errorf("storelint report: %q missing or not an array", "snapshots")
+	}
+	incomplete := 0
+	for i, s := range snaps {
+		obj, ok := s.(map[string]any)
+		if !ok {
+			return fmt.Errorf("storelint report: snapshots[%d] not an object", i)
+		}
+		if d, ok := obj["digest"].(string); !ok || d == "" {
+			return fmt.Errorf("storelint report: snapshots[%d].digest missing or empty", i)
+		}
+		for _, key := range []string{"pages", "raw_mb", "missing_chunks"} {
+			if _, ok := obj[key].(float64); !ok {
+				return fmt.Errorf("storelint report: snapshots[%d].%s missing or not a number", i, key)
+			}
+		}
+		c, ok := obj["complete"].(bool)
+		if !ok {
+			return fmt.Errorf("storelint report: snapshots[%d].complete missing or not a bool", i)
+		}
+		if !c {
+			incomplete++
+		}
+	}
+	skipped, _ := num("skipped_snapshots")
+	if incomplete > int(skipped) {
+		return fmt.Errorf("storelint report: %d incomplete snapshots but skipped_snapshots=%d", incomplete, int(skipped))
+	}
+	return nil
+}
+
+// RepairStats summarizes one repair pass.
+type RepairStats struct {
+	SnapshotsKept    int
+	SnapshotsDropped int
+	BootPagesKept    int
+	BootPagesDropped int
+	BytesBefore      int64
+	BytesAfter       int64
+}
+
+// Repair rewrites the store at path keeping only what is recoverable: every
+// complete live snapshot (re-chunked, so orphaned and damaged records are
+// dropped) and every boot page whose chunk survived. The rewrite lands in a
+// temp file first and replaces the original atomically.
+func Repair(path string) (RepairStats, error) {
+	var rs RepairStats
+	f, err := Open(path)
+	if err != nil {
+		return rs, err
+	}
+	rs.BytesBefore = f.Scan.FileBytes
+	tmp := path + ".repair"
+	w, err := OpenWriter(tmp)
+	if err != nil {
+		return rs, err
+	}
+	fail := func(err error) (RepairStats, error) {
+		w.Close()
+		os.Remove(tmp)
+		return rs, err
+	}
+	var digests []Key
+	for _, s := range f.Snapshots() {
+		if !s.Complete {
+			rs.SnapshotsDropped++
+			continue
+		}
+		refs := make([]PageRef, 0, len(s.Pages))
+		ok := true
+		for _, ref := range s.Pages {
+			data, err := f.ReadChunk(ref.Key)
+			if err != nil {
+				// The chunk rotted between scan and read: drop the snapshot.
+				ok = false
+				break
+			}
+			k, _, err := w.PutChunk(data)
+			if err != nil {
+				return fail(err)
+			}
+			refs = append(refs, PageRef{Addr: ref.Addr, Key: k})
+		}
+		if !ok {
+			rs.SnapshotsDropped++
+			continue
+		}
+		d, _, err := w.PutManifest(s.Meta, refs)
+		if err != nil {
+			return fail(err)
+		}
+		digests = append(digests, d)
+		rs.SnapshotsKept++
+	}
+	var boot []PageRef
+	for _, ref := range f.Boot() {
+		data, err := f.ReadChunk(ref.Key)
+		if err != nil {
+			rs.BootPagesDropped++
+			continue
+		}
+		k, _, err := w.PutChunk(data)
+		if err != nil {
+			return fail(err)
+		}
+		boot = append(boot, PageRef{Addr: ref.Addr, Key: k})
+		rs.BootPagesKept++
+	}
+	if err := w.PutIndex(digests, boot); err != nil {
+		return fail(err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return rs, err
+	}
+	st, err := os.Stat(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return rs, err
+	}
+	rs.BytesAfter = st.Size()
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return rs, fmt.Errorf("castore: repair rename: %w", err)
+	}
+	return rs, nil
+}
+
+// BenchSchemaVersion versions the BENCH_store.json artifact.
+const BenchSchemaVersion = 1
+
+// ValidateBenchJSON structurally validates the BENCH_store.json artifact
+// emitted by BenchmarkSnapshotStore (CI's bench-schema check).
+func ValidateBenchJSON(data []byte) error {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("BENCH_store.json: not JSON: %w", err)
+	}
+	if v, ok := raw["schema_version"].(float64); !ok || int(v) != BenchSchemaVersion {
+		return fmt.Errorf("BENCH_store.json: schema_version missing or != %d", BenchSchemaVersion)
+	}
+	if s, ok := raw["benchmark"].(string); !ok || s != "SnapshotStore" {
+		return fmt.Errorf("BENCH_store.json: benchmark missing or not %q", "SnapshotStore")
+	}
+	num := func(key string) (float64, error) {
+		v, ok := raw[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("BENCH_store.json: %q missing or not a number", key)
+		}
+		return v, nil
+	}
+	for _, key := range []string{"captures", "raw_page_bytes", "legacy_bytes", "castore_bytes",
+		"dedup_ratio", "chunks_unique", "chunks_reused", "save_ms", "load_ms", "materialize_ms",
+		"corruption_trials", "recovery_rate"} {
+		if _, err := num(key); err != nil {
+			return err
+		}
+	}
+	if v, _ := num("recovery_rate"); v < 0 || v > 1 {
+		return fmt.Errorf("BENCH_store.json: recovery_rate %v outside [0,1]", v)
+	}
+	if v, _ := num("castore_bytes"); v <= 0 {
+		return fmt.Errorf("BENCH_store.json: castore_bytes %v not positive", v)
+	}
+	legacy, _ := num("legacy_bytes")
+	cas, _ := num("castore_bytes")
+	if legacy > 0 && cas >= legacy {
+		return fmt.Errorf("BENCH_store.json: castore store (%v B) not smaller than the legacy blob (%v B)", cas, legacy)
+	}
+	if _, ok := raw["torn_tail_recovered"].(bool); !ok {
+		return fmt.Errorf("BENCH_store.json: %q missing or not a bool", "torn_tail_recovered")
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package castore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Snapshot is the read-side view of one manifest: opaque metadata, the page
+// table, and whether every referenced chunk is present and intact.
+type Snapshot struct {
+	Digest Key
+	Meta   []byte
+	Pages  []PageRef
+	// Complete is true when every page chunk survived the scan; incomplete
+	// snapshots are recoverable only partially and loaders skip them.
+	Complete      bool
+	MissingChunks int
+}
+
+// RawBytes is the uncompressed size of the snapshot's program-specific
+// pages.
+func (s *Snapshot) RawBytes(f *File) int64 {
+	var n int64
+	for _, ref := range s.Pages {
+		if loc, ok := f.chunks[ref.Key]; ok {
+			n += int64(loc.rawLen)
+		}
+	}
+	return n
+}
+
+// File is a scanned store file. The scan verifies every record's CRC and
+// indexes intact chunks by content address; chunk bodies are not inflated
+// until ReadChunks — loads stay lazy. File holds no open descriptor:
+// ReadChunks reopens the path per batch.
+type File struct {
+	Path string
+	Scan ScanStats
+
+	chunks    map[Key]chunkLoc
+	snapshots []*Snapshot
+	boot      []PageRef
+	// SkippedSnapshots counts index entries whose manifest or chunks were
+	// damaged or missing.
+	SkippedSnapshots int
+	// NoIndex is true when no intact index record survived; snapshots then
+	// fall back to every intact manifest in record order, and the boot page
+	// table is unavailable.
+	NoIndex bool
+}
+
+// Open scans path, verifying every record. Damaged records are counted and
+// skipped, a torn tail is measured, and the snapshot list is resolved from
+// the last intact index record. Open fails only on I/O errors or when the
+// file is not a castore file at all.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("castore: open: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("castore: open: %w", err)
+	}
+	if err := readHeader(f); err != nil {
+		return nil, err
+	}
+	res, err := scan(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("castore: scan: %w", err)
+	}
+	out := &File{Path: path, Scan: res.stats, chunks: res.chunks}
+
+	// Resolve the live snapshot set: the last intact index is the commit
+	// record; without one, fall back to every intact manifest in order.
+	var digests []Key
+	if res.index != nil {
+		digests = res.index.Manifests
+		out.boot = res.index.Boot
+	} else {
+		digests = res.order
+		out.NoIndex = true
+	}
+	for _, d := range digests {
+		m, ok := res.manifests[d]
+		if !ok {
+			out.SkippedSnapshots++
+			continue
+		}
+		snap := &Snapshot{Digest: d, Meta: m.Meta, Pages: m.Pages, Complete: true}
+		for _, ref := range m.Pages {
+			if _, ok := res.chunks[ref.Key]; !ok {
+				snap.Complete = false
+				snap.MissingChunks++
+			}
+		}
+		if !snap.Complete {
+			out.SkippedSnapshots++
+		}
+		out.snapshots = append(out.snapshots, snap)
+	}
+	return out, nil
+}
+
+// Snapshots returns the live snapshots (complete and incomplete; loaders
+// filter on Complete).
+func (f *File) Snapshots() []*Snapshot { return f.snapshots }
+
+// Boot returns the boot-common page table from the commit index.
+func (f *File) Boot() []PageRef { return f.boot }
+
+// HasChunk reports whether an intact chunk with the given key is indexed.
+func (f *File) HasChunk(k Key) bool {
+	_, ok := f.chunks[k]
+	return ok
+}
+
+// ChunkSpan returns the file span [off, off+len) of the chunk's record, for
+// tooling and fault-injection tests.
+func (f *File) ChunkSpan(k Key) (off, length int64, ok bool) {
+	loc, ok := f.chunks[k]
+	if !ok {
+		return 0, 0, false
+	}
+	return loc.off, loc.recLen, true
+}
+
+// ReadChunks materializes the raw contents of every referenced page in one
+// pass: the file is opened once, each chunk record is re-verified (CRC and
+// content address) and inflated. The result maps page address to raw bytes.
+func (f *File) ReadChunks(refs []PageRef) (map[uint64][]byte, error) {
+	if len(refs) == 0 {
+		return map[uint64][]byte{}, nil
+	}
+	r, err := os.Open(f.Path)
+	if err != nil {
+		return nil, fmt.Errorf("castore: read chunks: %w", err)
+	}
+	defer r.Close()
+	out := make(map[uint64][]byte, len(refs))
+	cache := map[Key][]byte{} // several addrs may share one chunk
+	for _, ref := range refs {
+		if data, ok := cache[ref.Key]; ok {
+			out[ref.Addr] = data
+			continue
+		}
+		data, err := f.readChunkFrom(r, ref.Key)
+		if err != nil {
+			return nil, err
+		}
+		cache[ref.Key] = data
+		out[ref.Addr] = data
+	}
+	return out, nil
+}
+
+// ReadChunk materializes one chunk by key.
+func (f *File) ReadChunk(k Key) ([]byte, error) {
+	r, err := os.Open(f.Path)
+	if err != nil {
+		return nil, fmt.Errorf("castore: read chunk: %w", err)
+	}
+	defer r.Close()
+	return f.readChunkFrom(r, k)
+}
+
+func (f *File) readChunkFrom(r *os.File, k Key) ([]byte, error) {
+	loc, ok := f.chunks[k]
+	if !ok {
+		return nil, fmt.Errorf("castore: chunk %s not present", k.Short())
+	}
+	rec := make([]byte, loc.recLen)
+	if _, err := r.ReadAt(rec, loc.off); err != nil {
+		return nil, fmt.Errorf("castore: read chunk %s: %w", k.Short(), err)
+	}
+	// Re-verify: the file may have been modified since the scan.
+	payload := rec[5 : loc.recLen-4]
+	crc := crc32.Update(crc32.Checksum(rec[:5], crcTable), crcTable, payload)
+	if binary.LittleEndian.Uint32(rec[loc.recLen-4:]) != crc {
+		return nil, fmt.Errorf("castore: chunk %s corrupted since scan", k.Short())
+	}
+	raw, err := decompress(payload[chunkHeaderLen:], loc.rawLen)
+	if err != nil {
+		return nil, fmt.Errorf("castore: chunk %s: %w", k.Short(), err)
+	}
+	if got := sha256.Sum256(raw); !bytes.Equal(got[:], k[:]) {
+		return nil, fmt.Errorf("castore: chunk %s content does not match its address", k.Short())
+	}
+	return raw, nil
+}

@@ -1,0 +1,242 @@
+package castore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// SaveStats accounts one save session: what was appended vs deduplicated.
+type SaveStats struct {
+	// AppendedBytes is what this save actually added to the file — the
+	// Fig. 11 budget of bytes hitting device storage.
+	AppendedBytes int64
+	// ChunksWritten / ChunkBytesWritten cover chunks new to the file
+	// (ChunkBytesWritten is compressed, on-disk bytes).
+	ChunksWritten     int
+	ChunkBytesWritten int64
+	// ChunksReused / BytesReused cover references resolved by chunks the
+	// file already held (BytesReused is raw, uncompressed page bytes — the
+	// storage the dedup avoided before compression).
+	ChunksReused int
+	BytesReused  int64
+	// ManifestsWritten / ManifestsReused count snapshot manifests.
+	ManifestsWritten int
+	ManifestsReused  int
+
+	// rawWritten is the uncompressed size of the chunks written this
+	// session (ChunkBytesWritten is their compressed, on-disk size).
+	rawWritten int64
+}
+
+// DedupRatio is raw referenced bytes over raw unique bytes written this
+// session: how much the content addressing shrank the page stream before
+// compression. 1.0 means nothing was shared; 0 means nothing was referenced.
+func (s SaveStats) DedupRatio() float64 {
+	total := s.BytesReused + s.rawWritten
+	if total == 0 {
+		return 0
+	}
+	if s.rawWritten == 0 {
+		return float64(total) // everything reused; cap the "infinite" ratio
+	}
+	return float64(total) / float64(s.rawWritten)
+}
+
+// Writer appends records to a store file. Opening scans the existing
+// records (tolerantly) so chunk and manifest dedup extends across sessions,
+// and truncates any torn tail before the first append.
+type Writer struct {
+	f         *os.File
+	path      string
+	chunks    map[Key]chunkLoc
+	manifests map[Key]bool
+	prior     *indexRec // the file's last intact index, nil for a fresh file
+	stats     SaveStats
+}
+
+// OpenWriter opens path for appending, creating it with a fresh header when
+// absent or empty. An existing file must be a castore file (ErrNotCastore
+// otherwise); its intact records seed the dedup index and a torn final
+// record is truncated away.
+func OpenWriter(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("castore: open: %w", err)
+	}
+	w := &Writer{f: f, path: path, chunks: map[Key]chunkLoc{}, manifests: map[Key]bool{}}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("castore: open: %w", err)
+	}
+	if st.Size() == 0 {
+		hdr := append([]byte(Magic), Version)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("castore: write header: %w", err)
+		}
+		return w, nil
+	}
+	if err := readHeader(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	res, err := scan(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("castore: scan: %w", err)
+	}
+	w.chunks = res.chunks
+	w.prior = res.index
+	for d := range res.manifests {
+		w.manifests[d] = true
+	}
+	// Truncate the torn tail (if any) so appends start at a record boundary.
+	if res.tailOff < st.Size() {
+		if err := f.Truncate(res.tailOff); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("castore: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(res.tailOff, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// HasChunk reports whether the file already stores the chunk.
+func (w *Writer) HasChunk(k Key) bool {
+	_, ok := w.chunks[k]
+	return ok
+}
+
+// HasManifest reports whether the file already holds an intact manifest with
+// this digest.
+func (w *Writer) HasManifest(d Key) bool { return w.manifests[d] }
+
+// PriorManifests returns the manifest digests the file's last intact index
+// committed before this session's appends (nil for a fresh or crashed-empty
+// file). A writer that wants snapshots persisted by other sessions to stay
+// live must carry them into the index it commits.
+func (w *Writer) PriorManifests() []Key {
+	if w.prior == nil {
+		return nil
+	}
+	return w.prior.Manifests
+}
+
+// PriorBoot returns the boot page table the file's last intact index
+// committed (nil for a fresh file).
+func (w *Writer) PriorBoot() []PageRef {
+	if w.prior == nil {
+		return nil
+	}
+	return w.prior.Boot
+}
+
+// PutChunk stores data once: if a chunk with the same content address is
+// already in the file it is reused, otherwise a new record is appended.
+// The returned bool is true when a record was written.
+func (w *Writer) PutChunk(data []byte) (Key, bool, error) {
+	k := KeyOf(data)
+	if _, ok := w.chunks[k]; ok {
+		w.stats.ChunksReused++
+		w.stats.BytesReused += int64(len(data))
+		return k, false, nil
+	}
+	comp, err := compress(data)
+	if err != nil {
+		return k, false, fmt.Errorf("castore: compress chunk: %w", err)
+	}
+	payload := make([]byte, 0, chunkHeaderLen+len(comp))
+	payload = append(payload, k[:]...)
+	var lenb [4]byte
+	putU32(lenb[:], uint32(len(data)))
+	payload = append(payload, lenb[:]...)
+	payload = append(payload, comp...)
+	off, err := w.f.Seek(0, 2)
+	if err != nil {
+		return k, false, err
+	}
+	n, err := appendRecord(w.f, recChunk, payload)
+	if err != nil {
+		return k, false, fmt.Errorf("castore: append chunk: %w", err)
+	}
+	w.chunks[k] = chunkLoc{off: off, recLen: n, rawLen: uint32(len(data)), stored: uint32(len(comp))}
+	w.stats.AppendedBytes += n
+	w.stats.ChunksWritten++
+	w.stats.ChunkBytesWritten += int64(len(comp))
+	w.stats.rawWritten += int64(len(data))
+	return k, true, nil
+}
+
+// PutManifest appends a snapshot manifest (opaque metadata plus the page
+// table) unless an identical one is already present. It returns the
+// manifest digest used by index records.
+func (w *Writer) PutManifest(meta []byte, pages []PageRef) (Key, bool, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&manifestRec{Meta: meta, Pages: pages}); err != nil {
+		return Key{}, false, fmt.Errorf("castore: encode manifest: %w", err)
+	}
+	payload, err := packMeta(buf.Bytes())
+	if err != nil {
+		return Key{}, false, fmt.Errorf("castore: pack manifest: %w", err)
+	}
+	// The digest covers the stored payload (deflate is deterministic, so
+	// identical manifests pack to identical bytes and dedup across sessions).
+	d := KeyOf(payload)
+	if w.manifests[d] {
+		w.stats.ManifestsReused++
+		return d, false, nil
+	}
+	n, err := appendRecord(w.f, recManifest, payload)
+	if err != nil {
+		return d, false, fmt.Errorf("castore: append manifest: %w", err)
+	}
+	w.manifests[d] = true
+	w.stats.AppendedBytes += n
+	w.stats.ManifestsWritten++
+	return d, true, nil
+}
+
+// PutIndex appends the commit record: the ordered set of live snapshot
+// manifests and the boot-common page table. A load obeys the last intact
+// index, so a save is not visible until its index lands.
+func (w *Writer) PutIndex(manifests []Key, boot []PageRef) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&indexRec{Manifests: manifests, Boot: boot}); err != nil {
+		return fmt.Errorf("castore: encode index: %w", err)
+	}
+	payload, err := packMeta(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("castore: pack index: %w", err)
+	}
+	n, err := appendRecord(w.f, recIndex, payload)
+	if err != nil {
+		return fmt.Errorf("castore: append index: %w", err)
+	}
+	w.stats.AppendedBytes += n
+	return nil
+}
+
+// Stats returns this session's save accounting.
+func (w *Writer) Stats() SaveStats { return w.stats }
+
+// Close syncs and closes the file.
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("castore: sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

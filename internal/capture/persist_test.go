@@ -1,17 +1,40 @@
 package capture
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
+	"replayopt/internal/capture/castore"
 	"replayopt/internal/device"
 	"replayopt/internal/dex"
 	"replayopt/internal/interp"
 	"replayopt/internal/minic"
+	"replayopt/internal/obs"
 	"replayopt/internal/rt"
 )
 
 func captureOne(t *testing.T) (*Store, *Snapshot, *dex.Program) {
+	t.Helper()
+	store, snaps, prog := captureN(t, 1)
+	return store, snaps[0], prog
+}
+
+// captureN captures n snapshots of the same hot region with different args
+// into one store — the multi-capture shape where content-addressed dedup
+// pays off (the hot region touches mostly the same pages every time).
+func captureN(t *testing.T, n int) (*Store, []*Snapshot, *dex.Program) {
+	t.Helper()
+	args := make([]uint64, n)
+	for i := range args {
+		args[i] = uint64(500 + i)
+	}
+	return captureArgs(t, args)
+}
+
+// captureArgs is captureN with explicit hot-region arguments, so tests can
+// make two independent stores whose snapshots do (or do not) coincide.
+func captureArgs(t *testing.T, args []uint64) (*Store, []*Snapshot, *dex.Program) {
 	t.Helper()
 	prog, err := minic.CompileSource("p", `
 global int[] data;
@@ -35,19 +58,24 @@ func main() int { setup(); return hot(100); }`)
 		t.Fatal(err)
 	}
 	store := NewStore()
-	snap, err := Capture(proc, device.New(1), store, hotID, []uint64{500}, 0, func() error {
-		_, err := env.Call(hotID, []uint64{500})
-		return err
-	})
-	if err != nil {
-		t.Fatal(err)
+	var snaps []*Snapshot
+	for _, arg := range args {
+		arg := arg
+		snap, err := Capture(proc, device.New(1), store, hotID, []uint64{arg}, 0, func() error {
+			_, err := env.Call(hotID, []uint64{arg})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
 	}
-	return store, snap, prog
+	return store, snaps, prog
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	store, snap, _ := captureOne(t)
-	path := filepath.Join(t.TempDir(), "captures.gob.gz")
+	path := filepath.Join(t.TempDir(), "captures.cas")
 	if err := store.Save(path); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +83,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil || sz == 0 {
 		t.Fatalf("DiskSize = %d, %v", sz, err)
 	}
-	loaded, err := Load(path)
+	loaded, err := Load(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,6 +91,16 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("%d snapshots after load", len(loaded.Snapshots))
 	}
 	got := loaded.Snapshots[0]
+	// Loads are lazy: page contents stay on disk until first access.
+	if !got.Lazy() {
+		t.Error("loaded snapshot not lazy")
+	}
+	if err := got.EnsurePages(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Lazy() {
+		t.Error("snapshot still lazy after EnsurePages")
+	}
 	if got.Root != snap.Root || len(got.Pages) != len(snap.Pages) || len(got.Args) != len(snap.Args) {
 		t.Errorf("snapshot fields diverged: %d pages vs %d", len(got.Pages), len(snap.Pages))
 	}
@@ -77,6 +115,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			}
 		}
 	}
+	if err := loaded.EnsureBoot(); err != nil {
+		t.Fatal(err)
+	}
 	if len(loaded.BootPages) != len(store.BootPages) {
 		t.Errorf("boot pages: %d vs %d", len(loaded.BootPages), len(store.BootPages))
 	}
@@ -86,9 +127,70 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadThreadsObsScope is the regression test for Load dropping the Obs
+// scope: a store reloaded from disk must keep counting capture and replay
+// metrics, including the lazy page loads its snapshots trigger.
+func TestLoadThreadsObsScope(t *testing.T) {
+	store, _, _ := captureOne(t)
+	path := filepath.Join(t.TempDir(), "captures.cas")
+	if err := store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	sc := obs.New()
+	loaded, err := Load(path, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Obs != sc {
+		t.Fatal("Load dropped the obs scope")
+	}
+	snap := loaded.Snapshots[0]
+	if err := snap.EnsurePages(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Counter("capture.store_loads").Value(); got != 1 {
+		t.Errorf("store_loads = %d", got)
+	}
+	if got := sc.Counter("capture.lazy_pages_loaded").Value(); got != int64(len(snap.Pages)) {
+		t.Errorf("lazy_pages_loaded = %d, want %d", got, len(snap.Pages))
+	}
+}
+
+func TestPersistDedupsAcrossCaptures(t *testing.T) {
+	store, snaps, _ := captureN(t, 3)
+	path := filepath.Join(t.TempDir(), "captures.cas")
+	st, err := store.Persist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three captures of the same region touch mostly the same pages: the
+	// writer must reuse chunks rather than store three copies.
+	if st.ChunksReused == 0 {
+		t.Errorf("no chunks reused across %d captures: %+v", len(snaps), st)
+	}
+	if st.DedupRatio() <= 1.0 {
+		t.Errorf("dedup ratio %.3f for overlapping captures", st.DedupRatio())
+	}
+	// Re-persisting the identical store appends only bookkeeping records.
+	st2, err := store.Persist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ChunksWritten != 0 {
+		t.Errorf("re-persist wrote %d chunks", st2.ChunksWritten)
+	}
+	loaded, err := Load(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Snapshots) != len(snaps) {
+		t.Fatalf("%d snapshots after load, want %d", len(loaded.Snapshots), len(snaps))
+	}
+}
+
 func TestCompressionIsEffective(t *testing.T) {
 	store, snap, _ := captureOne(t)
-	path := filepath.Join(t.TempDir(), "c.gob.gz")
+	path := filepath.Join(t.TempDir(), "c.cas")
 	if err := store.Save(path); err != nil {
 		t.Fatal(err)
 	}
@@ -96,6 +198,181 @@ func TestCompressionIsEffective(t *testing.T) {
 	raw := int64(snap.Stats.ProgramBytes() + snap.Stats.CommonBytes())
 	if sz >= raw {
 		t.Errorf("compressed store (%d B) not smaller than raw pages (%d B)", sz, raw)
+	}
+}
+
+// TestLegacyFormatStillLoads pins the migration path: version-1 gob+gzip
+// blobs written by older builds must keep loading, and a Save over one
+// rewrites it in the current format.
+func TestLegacyFormatStillLoads(t *testing.T) {
+	store, snap, _ := captureOne(t)
+	path := filepath.Join(t.TempDir(), "captures.gob.gz")
+	if err := store.SaveLegacy(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, info, err := LoadWithInfo(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Legacy {
+		t.Error("legacy blob not flagged as legacy")
+	}
+	if len(loaded.Snapshots) != 1 || len(loaded.Snapshots[0].Pages) != len(snap.Pages) {
+		t.Fatal("legacy load lost snapshot data")
+	}
+	// Saving over the legacy blob migrates it.
+	if err := loaded.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	again, info2, err := LoadWithInfo(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Legacy {
+		t.Error("store still legacy after Save")
+	}
+	if len(again.Snapshots) != 1 {
+		t.Fatalf("%d snapshots after migration", len(again.Snapshots))
+	}
+}
+
+func TestLoadRejectsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty, nil); err == nil {
+		t.Error("Load accepted an empty file")
+	}
+	badver := filepath.Join(dir, "badver")
+	os.WriteFile(badver, append([]byte(castore.Magic), 0x7f), 0o644)
+	if _, err := Load(badver, nil); err == nil {
+		t.Error("Load accepted an unsupported version byte")
+	}
+	if _, err := Load(filepath.Join(dir, "missing"), nil); err == nil {
+		t.Error("Load accepted a missing file")
+	}
+}
+
+// TestLoadSurvivesBitFlip drives per-record corruption recovery end to end
+// at the capture layer: one damaged chunk costs one snapshot; the rest of
+// the store loads and materializes.
+func TestLoadSurvivesBitFlip(t *testing.T) {
+	store, _, _ := captureN(t, 2)
+	// Make snapshot 2 reference a page snapshot 1 does not, so a chunk
+	// exists that only it references: scribble on a fresh page is not
+	// guaranteed here, so instead corrupt a chunk from the second
+	// snapshot's exclusive set if any, else accept both being skipped.
+	path := filepath.Join(t.TempDir(), "captures.cas")
+	if err := store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := castore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a chunk referenced by exactly one snapshot.
+	refCount := map[castore.Key]int{}
+	for _, s := range f.Snapshots() {
+		seen := map[castore.Key]bool{}
+		for _, ref := range s.Pages {
+			if !seen[ref.Key] {
+				refCount[ref.Key]++
+				seen[ref.Key] = true
+			}
+		}
+	}
+	var victim castore.Key
+	found := false
+	for _, ref := range f.Snapshots()[1].Pages {
+		if refCount[ref.Key] == 1 {
+			victim, found = ref.Key, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no exclusively referenced chunk in this fixture")
+	}
+	off, length, ok := f.ChunkSpan(victim)
+	if !ok {
+		t.Fatal("victim chunk not indexed")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off+length/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := obs.New()
+	loaded, info, err := LoadWithInfo(path, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DamagedRecords != 1 || info.SkippedSnapshots != 1 {
+		t.Errorf("damaged=%d skipped=%d, want 1/1", info.DamagedRecords, info.SkippedSnapshots)
+	}
+	if len(loaded.Snapshots) != 1 {
+		t.Fatalf("%d snapshots survived", len(loaded.Snapshots))
+	}
+	if err := loaded.Snapshots[0].EnsurePages(); err != nil {
+		t.Errorf("surviving snapshot failed to materialize: %v", err)
+	}
+	if got := sc.Counter("capture.store_damaged_records").Value(); got != 1 {
+		t.Errorf("store_damaged_records = %d", got)
+	}
+}
+
+// TestLoadSurvivesTornTail simulates a crash mid-save: the torn append rolls
+// back to the last committed index and a retried save completes.
+func TestLoadSurvivesTornTail(t *testing.T) {
+	store, _, _ := captureOne(t)
+	path := filepath.Join(t.TempDir(), "captures.cas")
+	if err := store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second save session (same content appends an index record); cut it
+	// mid-record.
+	if err := store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown) <= len(committed) {
+		t.Fatal("second save appended nothing to tear")
+	}
+	if err := os.WriteFile(path, grown[:len(grown)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, info, err := LoadWithInfo(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TruncatedTailBytes == 0 && info.DamagedRecords == 0 {
+		t.Error("torn tail went unnoticed")
+	}
+	if len(loaded.Snapshots) != 1 {
+		t.Fatalf("%d snapshots after torn save", len(loaded.Snapshots))
+	}
+	// The next save truncates the torn tail and commits cleanly.
+	if err := loaded.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	_, info2, err := LoadWithInfo(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.TruncatedTailBytes != 0 || info2.DamagedRecords != 0 {
+		t.Errorf("retried save left damage: %+v", info2)
 	}
 }
 
@@ -114,6 +391,34 @@ func TestDiscardReleasesStorage(t *testing.T) {
 	}
 }
 
+// TestDiscardSurvivesSave pins the append-only/discard interaction: the
+// index is the commit record, so a discarded snapshot must stay gone after
+// a re-save even though its chunks remain in the file.
+func TestDiscardSurvivesSave(t *testing.T) {
+	store, snaps, _ := captureN(t, 2)
+	path := filepath.Join(t.TempDir(), "captures.cas")
+	if err := store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	store.Discard(snaps[0])
+	if err := store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Snapshots) != 1 {
+		t.Fatalf("%d snapshots after discard+save, want 1", len(loaded.Snapshots))
+	}
+	if err := loaded.Snapshots[0].EnsurePages(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Snapshots[0].Args[0] != snaps[1].Args[0] {
+		t.Error("wrong snapshot survived the discard")
+	}
+}
+
 func TestDiscardApp(t *testing.T) {
 	store, _, prog := captureOne(t)
 	if n := store.DiscardApp(prog.Name); n != 1 {
@@ -121,5 +426,64 @@ func TestDiscardApp(t *testing.T) {
 	}
 	if n := store.DiscardApp("nonexistent"); n != 0 {
 		t.Errorf("discarded %d snapshots of a missing app", n)
+	}
+}
+
+// Two sessions persisting into the same file must accumulate: the second
+// save's index has to carry the first session's snapshots forward, or
+// sharing a store file across runs silently orphans earlier captures.
+func TestPersistPreservesOtherSessionsSnapshots(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.cas")
+	first, _, _ := captureArgs(t, []uint64{500})
+	if _, err := first.Persist(path); err != nil {
+		t.Fatal(err)
+	}
+	second, _, _ := captureArgs(t, []uint64{900, 901})
+	st, err := second.Persist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksReused == 0 {
+		t.Error("second session reused no chunks despite sharing most pages")
+	}
+
+	loaded, err := Load(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Snapshots) != 3 {
+		t.Fatalf("loaded %d snapshots, want 3 (1 preserved + 2 new)", len(loaded.Snapshots))
+	}
+	var args []uint64
+	for _, sn := range loaded.Snapshots {
+		if err := sn.EnsurePages(); err != nil {
+			t.Fatalf("materializing preserved store: %v", err)
+		}
+		args = append(args, sn.Args[0])
+	}
+	if err := loaded.EnsureBoot(); err != nil {
+		t.Fatalf("materializing boot pages: %v", err)
+	}
+	want := map[uint64]bool{500: true, 900: true, 901: true}
+	for _, a := range args {
+		if !want[a] {
+			t.Fatalf("unexpected snapshot args %v", args)
+		}
+		delete(want, a)
+	}
+
+	// A loaded store owns everything it read: discarding one of its own
+	// snapshots and re-saving must stick, while a foreign save in between
+	// would still be preserved.
+	loaded.Discard(loaded.Snapshots[0])
+	if err := loaded.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reloaded.Snapshots) != 2 {
+		t.Fatalf("%d snapshots after discard+save, want 2", len(reloaded.Snapshots))
 	}
 }

@@ -1,5 +1,5 @@
 // Package dex defines the register-based managed bytecode the system
-// optimizes — the analogue of Dalvik bytecode in the paper. Programs consist
+// optimizes — the analogue of Dalvik bytecode in the paper (§2). Programs consist
 // of classes with virtual dispatch, static functions, typed globals, arrays,
 // and native (JNI-analogue) calls.
 //

@@ -1,5 +1,6 @@
 // Package hgraph builds the control-flow graph IR the baseline compiler and
-// the LLVM-analogue backend both start from — the analogue of ART's HGraph.
+// the LLVM-analogue backend both start from — the analogue of ART's HGraph
+// in the paper's §2 compilation pipeline.
 // It provides basic blocks over dex instructions, reverse postorder,
 // dominator trees, and natural-loop detection.
 package hgraph

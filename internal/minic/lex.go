@@ -1,7 +1,8 @@
 // Package minic implements the small Java-like language the evaluation
 // applications are written in, compiled to dex bytecode. It plays the role
-// of javac+d8 in the paper's toolchain: the system under study never sees
-// source, only bytecode.
+// of javac+d8 in the paper's toolchain (§2): the system under study never
+// sees source, only bytecode — the §4 evaluation applications (Table 1's
+// analogues in internal/apps) are all written in it.
 //
 // The language has int/float/bool scalars, jagged arrays, classes with
 // single inheritance and virtual methods, global variables, and a builtin

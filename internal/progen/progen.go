@@ -1,7 +1,9 @@
 // Package progen generates random — but always terminating and trap-free —
 // minic programs for differential testing: every generated program must
 // compute the same result interpreted and compiled under any safe
-// optimization pipeline. The generator is the compiler stack's fuzzer.
+// optimization pipeline. The generator is the compiler stack's fuzzer:
+// any interpreter/compiler divergence it finds is a Fig. 1 wrong-output
+// outcome caught without spending a replay.
 package progen
 
 import (

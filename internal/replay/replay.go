@@ -84,7 +84,16 @@ func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error)
 	// 2) Load the captured state zero-copy: each region is mapped onto the
 	// snapshot's shared frames (boot-common pages come from the store;
 	// file-backed code is re-mapped; untouched pages are fresh zeroed
-	// pages). Writers Copy-on-Write, so snapshots stay pristine.
+	// pages). Writers Copy-on-Write, so snapshots stay pristine. Snapshots
+	// loaded lazily from a store file materialize here, on first access —
+	// and must surface I/O or integrity errors rather than silently mapping
+	// fresh zero pages where captured contents belong.
+	if err := snap.EnsurePages(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if err := store.EnsureBoot(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
 	frames := snap.Frames()
 	boot := store.BootFrames()
 	collisions := 0

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -240,16 +241,19 @@ func TestReplayHandlesLoaderCollisions(t *testing.T) {
 // sessions in §3.7 work from stored captures.
 func TestReplayFromPersistedStore(t *testing.T) {
 	fx := setupFixture(t)
-	path := t.TempDir() + "/store.gob.gz"
+	path := t.TempDir() + "/store.cas"
 	if err := fx.store.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := capture.Load(path)
+	loaded, err := capture.Load(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(loaded.Snapshots) != 1 {
 		t.Fatalf("%d snapshots in loaded store", len(loaded.Snapshots))
+	}
+	if !loaded.Snapshots[0].Lazy() {
+		t.Error("loaded snapshot already materialized; lazy load broken")
 	}
 	orig, err := Run(fx.dev, fx.store, Request{Snapshot: fx.snap, Prog: fx.prog, Tier: TierInterp, ASLRSeed: 77})
 	if err != nil {
@@ -262,6 +266,31 @@ func TestReplayFromPersistedStore(t *testing.T) {
 	if orig.Ret != rest.Ret || orig.Cycles != rest.Cycles {
 		t.Errorf("persisted replay diverged: ret %d/%d cycles %d/%d",
 			int64(orig.Ret), int64(rest.Ret), orig.Cycles, rest.Cycles)
+	}
+}
+
+// A replay from a store whose backing file was damaged after the load scan
+// must fail loudly, not silently map zero pages where captured contents
+// belong (a zero page replays as "uncaptured", which would corrupt the
+// candidate evaluation rather than abort it).
+func TestReplayFromDamagedStoreFailsLoudly(t *testing.T) {
+	fx := setupFixture(t)
+	path := t.TempDir() + "/store.cas"
+	if err := fx.store.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := capture.Load(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the file between load and first replay: the lazy materialize
+	// re-verifies checksums and must refuse.
+	if err := os.Truncate(path, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(fx.dev, loaded, Request{Snapshot: loaded.Snapshots[0],
+		Prog: fx.prog, Tier: TierInterp, ASLRSeed: 5}); err == nil {
+		t.Fatal("replay from a damaged store succeeded silently")
 	}
 }
 
