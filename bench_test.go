@@ -624,14 +624,23 @@ func BenchmarkTranslationValidation(b *testing.B) {
 		(checked-plain)/plain*100, verified, verified+unverified, tvRejects, savedReplays)
 }
 
-// BenchmarkSearchParallel measures the tentpole of the parallel evaluator:
-// the same seeded GA search at 1 worker vs one per core. The searches must
-// agree genome for genome (the determinism guarantee); only the wall clock
-// may differ. Results land in BENCH_parallel.json so the perf trajectory is
-// recorded run over run.
+// BenchmarkSearchParallel measures the replay throughput engine: the same
+// seeded GA search swept across worker counts with warm replay workers on
+// and off. Every cell of the sweep must produce a byte-identical decision
+// trace (the determinism guarantee); only the wall clock may differ. Rows
+// with evals/sec per cell land in BENCH_parallel.json (schema v3, validated
+// and regression-checked by cmd/benchlint), alongside the restore/clone/
+// reset histograms that show the warm path's amortization.
+//
+// The subject is Fibonacci.recv — a restore-bound region (short replay over
+// a small heap), the shape the warm path targets. Exec-dominated apps
+// (MonteCarlo, 4inaRow) spend their eval budget inside the region itself,
+// so amortizing restore moves them far less; see README "Replay throughput".
+const searchParallelApp = "Fibonacci.recv"
+
 func BenchmarkSearchParallel(b *testing.B) {
 	scale := benchScale(b)
-	p, _, err := exp.PrepareApp("FFT", benchSeed)
+	p, opt, err := exp.PrepareApp(searchParallelApp, benchSeed)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -639,10 +648,8 @@ func BenchmarkSearchParallel(b *testing.B) {
 	opts.BaselineAndroidMs = p.AndroidEval.MeanMs
 	opts.BaselineO3Ms = p.O3Eval.MeanMs
 
-	// The parallel run carries an observability scope: the artifact then
-	// records per-generation evaluation latencies alongside the totals. The
-	// searches still must agree — obs never perturbs the trace.
-	run := func(parallelism int, parent *obs.Span) (*ga.Result, float64) {
+	run := func(parallelism int, warm bool, parent *obs.Span) (*ga.Result, float64) {
+		p.SetWarm(warm)
 		o := opts
 		o.Parallelism = parallelism
 		o.Obs = parent
@@ -652,7 +659,19 @@ func BenchmarkSearchParallel(b *testing.B) {
 	}
 
 	cpus := runtime.NumCPU()
-	var serialMs, parMs float64
+	sweep := []int{1, 2, 4}
+	if cpus > 4 {
+		sweep = append(sweep, cpus)
+	}
+
+	type sweepRow struct {
+		Workers     int     `json:"workers"`
+		Warm        bool    `json:"warm"`
+		Ms          float64 `json:"ms"`
+		Evaluations int     `json:"evaluations"`
+		EvalsPerSec float64 `json:"evals_per_sec"`
+	}
+	var rows []sweepRow
 	var res *ga.Result
 	var col *obs.Collect
 	var reg *obs.Registry
@@ -660,20 +679,60 @@ func BenchmarkSearchParallel(b *testing.B) {
 		col = &obs.Collect{}
 		sc := obs.New(col)
 		reg = sc.Registry()
-		serial, sMs := run(1, nil)
-		root := sc.Start("search")
-		par, pMs := run(cpus, root)
-		root.End()
-		if serial.Best.String() != par.Best.String() {
-			b.Fatalf("parallel search diverged:\n%s\n%s", serial.Best, par.Best)
+		// The replay scope records restore/clone/reset histograms for the
+		// whole sweep; the last (warm, all-cores) run also carries the span
+		// scope so the artifact keeps its per-generation latency rows.
+		opt.Store.Obs = sc
+		rows = rows[:0]
+		refTrace := ""
+		for _, warm := range []bool{false, true} {
+			for _, w := range sweep {
+				var parent *obs.Span
+				instrumented := warm && w == sweep[len(sweep)-1]
+				if instrumented {
+					parent = sc.Start("search")
+				}
+				r, ms := run(w, warm, parent)
+				if parent != nil {
+					parent.End()
+				}
+				trace := r.DecisionTrace()
+				if refTrace == "" {
+					refTrace = trace
+				} else if trace != refTrace {
+					b.Fatalf("search diverged at workers=%d warm=%v", w, warm)
+				}
+				rows = append(rows, sweepRow{
+					Workers:     w,
+					Warm:        warm,
+					Ms:          ms,
+					Evaluations: r.Stats.Evaluations,
+					EvalsPerSec: float64(r.Stats.Evaluations) / (ms / 1000),
+				})
+				if instrumented {
+					res = r
+				}
+			}
 		}
-		serialMs, parMs, res = sMs, pMs, par
+		opt.Store.Obs = nil
 	}
-	speedup := serialMs / parMs
-	b.ReportMetric(serialMs, "serial-ms")
-	b.ReportMetric(parMs, "parallel-ms")
-	b.ReportMetric(speedup, "speedup")
-	b.ReportMetric(float64(res.Stats.CacheHits), "cache-hits")
+	cell := func(workers int, warm bool) sweepRow {
+		for _, r := range rows {
+			if r.Workers == workers && r.Warm == warm {
+				return r
+			}
+		}
+		b.Fatalf("missing sweep cell workers=%d warm=%v", workers, warm)
+		return sweepRow{}
+	}
+	maxW := sweep[len(sweep)-1]
+	coldPar, warmPar := cell(maxW, false), cell(maxW, true)
+	warmSpeedup := coldPar.Ms / warmPar.Ms
+	b.ReportMetric(cell(1, false).Ms, "cold-serial-ms")
+	b.ReportMetric(coldPar.Ms, "cold-parallel-ms")
+	b.ReportMetric(warmPar.Ms, "warm-parallel-ms")
+	b.ReportMetric(warmSpeedup, "warm-speedup")
+	b.ReportMetric(warmPar.EvalsPerSec, "evals/sec")
 
 	type genRow struct {
 		Gen       int     `json:"gen"`
@@ -695,22 +754,29 @@ func BenchmarkSearchParallel(b *testing.B) {
 		})
 	}
 	evalHist := reg.Histogram("ga.eval_ms")
+	restoreHist := reg.Histogram("replay.restore_ms")
+	cloneHist := reg.Histogram("replay.clone_ms")
+	resetHist := reg.Histogram("replay.reset_ms")
 
 	artifact, err := json.MarshalIndent(map[string]any{
-		"schema_version":  2,
+		"schema_version":  3,
 		"benchmark":       "SearchParallel",
-		"app":             "FFT",
+		"app":             searchParallelApp,
 		"scale":           scale.Name,
-		"workers":         cpus,
-		"serial_ms":       serialMs,
-		"parallel_ms":     parMs,
-		"speedup":         speedup,
+		"max_workers":     maxW,
+		"rows":            rows,
+		"warm_speedup":    warmSpeedup,
 		"evaluations":     res.Stats.Evaluations,
 		"cache_hits":      res.Stats.CacheHits,
 		"considered":      res.Stats.Considered,
 		"saved_replay_ms": res.Stats.SavedReplayMs,
 		"eval_p50_ms":     evalHist.Quantile(0.50),
 		"eval_p99_ms":     evalHist.Quantile(0.99),
+		"restore_p50_ms":  restoreHist.Quantile(0.50),
+		"clone_p50_ms":    cloneHist.Quantile(0.50),
+		"reset_p50_ms":    resetHist.Quantile(0.50),
+		"template_builds": reg.Counter("replay.template_builds").Value(),
+		"warm_runs":       reg.Counter("replay.warm_runs").Value(),
 		"generations":     gens,
 	}, "", "  ")
 	if err != nil {
@@ -719,8 +785,12 @@ func BenchmarkSearchParallel(b *testing.B) {
 	if err := os.WriteFile("BENCH_parallel.json", append(artifact, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
-	fmt.Printf("search 1 worker: %.0f ms; %d workers: %.0f ms (%.2fx); %d/%d measurements cached\n",
-		serialMs, cpus, parMs, speedup, res.Stats.CacheHits, res.Stats.Considered)
+	fmt.Printf("search sweep (workers × warm):\n")
+	for _, r := range rows {
+		fmt.Printf("  workers=%-2d warm=%-5v %8.0f ms  %6.1f evals/sec\n", r.Workers, r.Warm, r.Ms, r.EvalsPerSec)
+	}
+	fmt.Printf("warm speedup at %d workers: %.2fx; restore p50 %.3f ms vs clone p50 %.3f ms, reset p50 %.3f ms\n",
+		maxW, warmSpeedup, restoreHist.Quantile(0.5), cloneHist.Quantile(0.5), resetHist.Quantile(0.5))
 }
 
 // BenchmarkSnapshotStore measures the content-addressed snapshot store

@@ -1,0 +1,222 @@
+// Command benchlint validates and regression-checks the BENCH_parallel.json
+// artifact emitted by BenchmarkSearchParallel (the worker-count × warm sweep
+// of DESIGN.md §11).
+//
+// Usage:
+//
+//	benchlint BENCH_parallel.json                    # stat: table + schema check
+//	benchlint -validate < BENCH_parallel.json        # schema check from stdin
+//	benchlint -compare base.json [-tolerance 0.2] BENCH_parallel.json
+//
+// -compare reads a baseline artifact and fails (exit 1) when any sweep cell's
+// evals/sec in the new artifact regresses by more than the tolerance against
+// the matching (workers, warm) cell of the baseline — the CI smoke gate. Cells
+// present in the baseline must still exist in the new artifact; new cells
+// (e.g. a wider sweep on a bigger runner) are allowed. -compare-normalized
+// divides every cell by the cold serial cell first, so machine-speed
+// differences cancel and only warm/parallel efficiency is compared.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+type sweepRow struct {
+	Workers     int     `json:"workers"`
+	Warm        bool    `json:"warm"`
+	Ms          float64 `json:"ms"`
+	Evaluations int     `json:"evaluations"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+}
+
+type artifact struct {
+	SchemaVersion  int        `json:"schema_version"`
+	Benchmark      string     `json:"benchmark"`
+	App            string     `json:"app"`
+	Scale          string     `json:"scale"`
+	MaxWorkers     int        `json:"max_workers"`
+	Rows           []sweepRow `json:"rows"`
+	WarmSpeedup    float64    `json:"warm_speedup"`
+	Evaluations    int        `json:"evaluations"`
+	RestoreP50Ms   float64    `json:"restore_p50_ms"`
+	CloneP50Ms     float64    `json:"clone_p50_ms"`
+	ResetP50Ms     float64    `json:"reset_p50_ms"`
+	TemplateBuilds float64    `json:"template_builds"`
+	WarmRuns       float64    `json:"warm_runs"`
+}
+
+func parse(data []byte) (*artifact, error) {
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return &a, validate(&a)
+}
+
+func validate(a *artifact) error {
+	if a.SchemaVersion != 3 {
+		return fmt.Errorf("schema_version %d, want 3", a.SchemaVersion)
+	}
+	if a.Benchmark != "SearchParallel" {
+		return fmt.Errorf("benchmark %q, want SearchParallel", a.Benchmark)
+	}
+	if a.App == "" {
+		return fmt.Errorf("missing app")
+	}
+	if a.MaxWorkers < 1 {
+		return fmt.Errorf("max_workers %d", a.MaxWorkers)
+	}
+	if len(a.Rows) == 0 {
+		return fmt.Errorf("no sweep rows")
+	}
+	seen := map[[2]int]bool{}
+	for i, r := range a.Rows {
+		if r.Workers < 1 || r.Ms <= 0 || r.Evaluations <= 0 || r.EvalsPerSec <= 0 {
+			return fmt.Errorf("row %d (workers=%d warm=%v): non-positive field", i, r.Workers, r.Warm)
+		}
+		k := cellKey(r.Workers, r.Warm)
+		if seen[k] {
+			return fmt.Errorf("duplicate cell workers=%d warm=%v", r.Workers, r.Warm)
+		}
+		seen[k] = true
+	}
+	for _, warm := range []bool{false, true} {
+		if !seen[cellKey(1, warm)] {
+			return fmt.Errorf("missing serial cell warm=%v", warm)
+		}
+		if !seen[cellKey(a.MaxWorkers, warm)] {
+			return fmt.Errorf("missing max_workers=%d cell warm=%v", a.MaxWorkers, warm)
+		}
+	}
+	if a.WarmSpeedup <= 0 {
+		return fmt.Errorf("warm_speedup %.3f", a.WarmSpeedup)
+	}
+	if a.WarmRuns < 1 {
+		return fmt.Errorf("warm_runs %.0f: warm cells ran but no warm replay was recorded", a.WarmRuns)
+	}
+	if a.TemplateBuilds < 1 {
+		return fmt.Errorf("template_builds %.0f", a.TemplateBuilds)
+	}
+	return nil
+}
+
+func cellKey(workers int, warm bool) [2]int {
+	w := 0
+	if warm {
+		w = 1
+	}
+	return [2]int{workers, w}
+}
+
+func cells(a *artifact) map[[2]int]sweepRow {
+	m := make(map[[2]int]sweepRow, len(a.Rows))
+	for _, r := range a.Rows {
+		m[cellKey(r.Workers, r.Warm)] = r
+	}
+	return m
+}
+
+// compare gates the new artifact on the baseline: every baseline cell must
+// still exist and hold at least (1 - tolerance) of its evals/sec. With
+// normalize set, both sides are divided by their own cold serial cell first.
+func compare(base, next *artifact, tolerance float64, normalize bool) error {
+	bc, nc := cells(base), cells(next)
+	baseUnit, nextUnit := 1.0, 1.0
+	if normalize {
+		baseUnit = bc[cellKey(1, false)].EvalsPerSec
+		nextUnit = nc[cellKey(1, false)].EvalsPerSec
+	}
+	var failed bool
+	for _, br := range base.Rows {
+		nr, ok := nc[cellKey(br.Workers, br.Warm)]
+		if !ok {
+			fmt.Printf("MISSING workers=%-2d warm=%-5v (baseline %.1f evals/sec)\n",
+				br.Workers, br.Warm, br.EvalsPerSec)
+			failed = true
+			continue
+		}
+		got, want := nr.EvalsPerSec/nextUnit, br.EvalsPerSec/baseUnit
+		delta := got/want - 1
+		status := "ok"
+		if got < want*(1-tolerance) {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s workers=%-2d warm=%-5v %8.1f -> %8.1f evals/sec (%+.1f%%)\n",
+			status, br.Workers, br.Warm, br.EvalsPerSec, nr.EvalsPerSec, delta*100)
+	}
+	if failed {
+		return fmt.Errorf("evals/sec regressed beyond %.0f%% tolerance", tolerance*100)
+	}
+	return nil
+}
+
+func load(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+func main() {
+	validateStdin := flag.Bool("validate", false, "read the artifact from stdin and validate its structure")
+	baseline := flag.String("compare", "", "baseline artifact to regression-check the argument against")
+	tolerance := flag.Float64("tolerance", 0.2, "allowed fractional evals/sec regression in -compare")
+	normalized := flag.Bool("compare-normalized", false, "compare cells relative to each run's cold serial cell")
+	flag.Parse()
+
+	if *validateStdin {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := parse(data); err != nil {
+			fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("artifact ok")
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchlint [-validate|-compare base.json] BENCH_parallel.json")
+		os.Exit(2)
+	}
+	next, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
+			os.Exit(1)
+		}
+		if err := compare(base, next, *tolerance, *normalized); err != nil {
+			fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("no regression beyond %.0f%% tolerance\n", *tolerance*100)
+		return
+	}
+
+	fmt.Printf("%s: %s on %s (%s scale), warm speedup %.2fx at %d workers\n",
+		flag.Arg(0), next.Benchmark, next.App, next.Scale, next.WarmSpeedup, next.MaxWorkers)
+	fmt.Printf("restore p50 %.3f ms, clone p50 %.3f ms, reset p50 %.3f ms; %.0f template builds, %.0f warm runs\n",
+		next.RestoreP50Ms, next.CloneP50Ms, next.ResetP50Ms, next.TemplateBuilds, next.WarmRuns)
+	for _, r := range next.Rows {
+		fmt.Printf("  workers=%-2d warm=%-5v %8.0f ms  %8.1f evals/sec\n", r.Workers, r.Warm, r.Ms, r.EvalsPerSec)
+	}
+}

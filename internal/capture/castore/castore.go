@@ -93,10 +93,10 @@ type indexRec struct {
 
 // chunkLoc locates one intact chunk record in the file.
 type chunkLoc struct {
-	off     int64 // offset of the record's type byte
-	recLen  int64 // full record length including header and CRC
-	rawLen  uint32
-	stored  uint32 // compressed payload bytes (payload minus key and rawLen)
+	off    int64 // offset of the record's type byte
+	recLen int64 // full record length including header and CRC
+	rawLen uint32
+	stored uint32 // compressed payload bytes (payload minus key and rawLen)
 }
 
 // chunkHeaderLen is the fixed prefix of a chunk payload: key + raw length.

@@ -14,9 +14,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"replayopt/internal/aot"
 	"replayopt/internal/capture"
@@ -82,6 +82,12 @@ type Options struct {
 	// blocklist's methods, so this flag can only shrink regions; it exists
 	// for comparison runs and as an escape hatch.
 	LegacyBlocklist bool
+	// Warm evaluates GA candidates on warm replay workers: the post-restore
+	// address space is built once per snapshot (template), cloned CoW per
+	// worker, and reset between genomes instead of re-restored. Replay cycle
+	// counts are ASLR-layout-independent, so results — traces, reports — are
+	// byte-identical warm or cold; the flag is the escape hatch (-warm=off).
+	Warm bool
 	// Obs, when set, traces the whole Fig. 6 loop — nested spans for
 	// profile, capture, verify, search, and install plus counters and
 	// histograms in the scope's registry — and is propagated to the capture
@@ -91,9 +97,10 @@ type Options struct {
 	Obs *obs.Scope
 }
 
-// DefaultOptions mirrors §4.
+// DefaultOptions mirrors §4. Warm workers are on by default; Options.Warm
+// documents why that cannot change results.
 func DefaultOptions() Options {
-	return Options{GA: ga.DefaultOptions(), Replays: 10, OnlineRuns: 10, Seed: 1}
+	return Options{GA: ga.DefaultOptions(), Replays: 10, OnlineRuns: 10, Seed: 1, Warm: true}
 }
 
 // Report is the pipeline outcome for one app.
@@ -179,9 +186,22 @@ type Prepared struct {
 // Evaluate measures one configuration by replay (ga.Evaluator).
 func (p *Prepared) Evaluate(cfg lir.Config) ga.Evaluation { return p.ev.Evaluate(cfg) }
 
+// BindWorker implements ga.WorkerBinder: with warm replay enabled it hands
+// each search worker goroutine a workerSet holding warm template clones;
+// otherwise it returns the shared cold evaluator.
+func (p *Prepared) BindWorker() ga.Evaluator { return p.ev.bindWorker() }
+
+// ReleaseWorker returns a bound workerSet to the idle pool so later
+// generations (and the hill climb) reuse its warm spaces.
+func (p *Prepared) ReleaseWorker(e ga.Evaluator) { p.ev.releaseWorker(e) }
+
+// SetWarm toggles warm replay workers after preparation (benchmarks sweep
+// it). Results are identical either way; only throughput changes.
+func (p *Prepared) SetWarm(on bool) { p.ev.warm = on }
+
 // EvaluateImage measures a complete code image by replay.
 func (p *Prepared) EvaluateImage(code *machine.Program) (ga.Evaluation, uint64) {
-	ie := p.ev.evaluateImage(code)
+	ie := p.ev.evaluateImage(code, nil)
 	return ie.Evaluation, ie.cycles
 }
 
@@ -293,8 +313,9 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 		o: o, app: app, snap: snap, vmap: vmap, prof: typeProf,
 		static: p.Analysis.Effects, region: region, android: android,
 		tvcheck: o.Opts.TVCheck,
+		warm:    o.Opts.Warm, templates: replay.NewTemplateCache(),
 	}
-	andEval := p.ev.evaluateImage(android)
+	andEval := p.ev.evaluateImage(android, nil)
 	if andEval.Outcome.Failed() {
 		sp.End(obs.A("error", "baseline failed its own replay"))
 		return nil, fmt.Errorf("core: baseline failed its own replay: %s", andEval.Outcome)
@@ -308,7 +329,7 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 		sp.End(obs.A("error", err.Error()))
 		return nil, fmt.Errorf("core: -O3 compile: %w", err)
 	}
-	o3Eval := p.ev.evaluateImage(o3Code)
+	o3Eval := p.ev.evaluateImage(o3Code, nil)
 	if o3Eval.Outcome.Failed() {
 		sp.End(obs.A("error", "-O3 failed verification"))
 		return nil, fmt.Errorf("core: -O3 failed verification: %s", o3Eval.Outcome)
@@ -466,7 +487,7 @@ func (o *Optimizer) onlineCycles(app *App, code *machine.Program) float64 {
 
 // overlay returns base with the region methods replaced by repl's versions.
 func overlay(base, repl *machine.Program) *machine.Program {
-	out := machine.NewProgram()
+	out := &machine.Program{Fns: make(map[dex.MethodID]*machine.Fn, len(base.Fns)+len(repl.Fns))}
 	//detlint:allow map-range — keyed writes into a fresh program; order irrelevant
 	for id, fn := range base.Fns {
 		out.Fns[id] = fn
@@ -496,6 +517,62 @@ type replayEvaluator struct {
 	// obsParent, when set (serially, before evaluations fan out), parents
 	// the per-discard audit spans under the search span.
 	obsParent *obs.Span
+	// warm switches candidate replays to warm template clones; templates
+	// caches the restored spaces and idle holds released workerSets for
+	// reuse across evaluation batches.
+	warm      bool
+	templates *replay.TemplateCache
+	mu        sync.Mutex
+	idle      []*workerSet
+}
+
+// workerSet is the per-goroutine warm evaluation context: one replay.Worker
+// per canonical ASLR seed, lazily cloned from the shared template cache. It
+// is owned by a single search worker between bind and release.
+type workerSet struct {
+	ev *replayEvaluator
+	w  map[int64]*replay.Worker
+}
+
+// Evaluate implements ga.Evaluator on the bound worker.
+func (ws *workerSet) Evaluate(cfg lir.Config) ga.Evaluation { return ws.ev.evaluate(cfg, ws) }
+
+// worker returns the set's warm worker for one canonical ASLR seed.
+func (ws *workerSet) worker(seed int64) (*replay.Worker, error) {
+	if w, ok := ws.w[seed]; ok {
+		return w, nil
+	}
+	t, err := ws.ev.templates.Get(ws.ev.o.Store, ws.ev.snap, seed)
+	if err != nil {
+		return nil, err
+	}
+	w := t.NewWorker()
+	ws.w[seed] = w
+	return w, nil
+}
+
+func (ev *replayEvaluator) bindWorker() ga.Evaluator {
+	if !ev.warm {
+		return ev
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if n := len(ev.idle); n > 0 {
+		ws := ev.idle[n-1]
+		ev.idle = ev.idle[:n-1]
+		return ws
+	}
+	return &workerSet{ev: ev, w: map[int64]*replay.Worker{}}
+}
+
+func (ev *replayEvaluator) releaseWorker(e ga.Evaluator) {
+	ws, ok := e.(*workerSet)
+	if !ok {
+		return
+	}
+	ev.mu.Lock()
+	ev.idle = append(ev.idle, ws)
+	ev.mu.Unlock()
 }
 
 // discard audits one discarded candidate: the coarse Fig. 1 outcome class
@@ -564,8 +641,14 @@ type imageEval struct {
 }
 
 // Evaluate implements ga.Evaluator: compile the region under cfg, replay the
-// capture, verify, and time it.
+// capture, verify, and time it (always on the cold restore path).
 func (ev *replayEvaluator) Evaluate(cfg lir.Config) ga.Evaluation {
+	return ev.evaluate(cfg, nil)
+}
+
+// evaluate is the shared candidate measurement; a non-nil ws replays against
+// its warm workers instead of restoring from scratch.
+func (ev *replayEvaluator) evaluate(cfg lir.Config, ws *workerSet) ga.Evaluation {
 	if ev.tvcheck {
 		// A fresh checker per evaluation: Evaluate runs concurrently and a
 		// Checker serves one compile. cfg is a value copy and Fingerprint
@@ -578,7 +661,7 @@ func (ev *replayEvaluator) Evaluate(cfg lir.Config) ga.Evaluation {
 		ev.discard(outcome, DiscardCause(err), err)
 		return ga.Evaluation{Outcome: outcome}
 	}
-	return ev.evaluateImage(overlay(ev.android, code)).Evaluation
+	return ev.evaluateImage(overlay(ev.android, code), ws).Evaluation
 }
 
 // evaluateImage replays a full code image: two real replays under different
@@ -589,17 +672,33 @@ func (ev *replayEvaluator) Evaluate(cfg lir.Config) ga.Evaluation {
 // and timing noise are derived from the image hash, never from shared
 // sequential state. That is what lets ga.Search call Evaluate concurrently
 // and memoize by configuration without changing any result.
-func (ev *replayEvaluator) evaluateImage(code *machine.Program) imageEval {
+//
+// With a warm workerSet the two replays run against template clones built
+// under canonical ASLR seeds instead of image-hash-derived ones. Replay
+// cycle counts are layout-independent (the replay package's determinism
+// test), and every Evaluation field derives from cycles and the image hash
+// only, so warm and cold measurements are identical byte for byte.
+func (ev *replayEvaluator) evaluateImage(code *machine.Program, ws *workerSet) imageEval {
 	imgHash := hashImage(code)
 	run := func(seed int64) (*replay.Result, error) {
-		return replay.Run(ev.o.Dev, ev.o.Store, replay.Request{
+		req := replay.Request{
 			Snapshot:  ev.snap,
 			Prog:      ev.app.Prog,
 			Tier:      replay.TierCompiled,
 			Code:      code,
 			MaxCycles: ev.maxCycles,
-			ASLRSeed:  int64(imgHash>>1)*131 + seed,
-		})
+		}
+		if ws != nil {
+			w, err := ws.worker(seed)
+			if err == nil {
+				req.Worker = w
+				return replay.Run(ev.o.Dev, ev.o.Store, req)
+			}
+			// Template build failed: fall back to the cold path (the same
+			// failure would surface deterministically there too).
+		}
+		req.ASLRSeed = int64(imgHash>>1)*131 + seed
+		return replay.Run(ev.o.Dev, ev.o.Store, req)
 	}
 	res, err := run(1)
 	if err != nil {
@@ -680,44 +779,55 @@ func classifyRuntimeError(err error) ga.Outcome {
 	}
 }
 
+// fnv1a64 constants (FNV-1a, 64 bit) — the hash is computed inline below so
+// the per-field loop stays call-free; the digest is bit-identical to feeding
+// the same little-endian words through hash/fnv.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWord folds one little-endian 64-bit word into an FNV-1a state.
+func fnvWord(h uint64, v int64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ uint64(byte(v>>i))) * fnvPrime64
+	}
+	return h
+}
+
 // hashImage fingerprints generated code for the identical-binaries halt.
+// Runs once per candidate evaluation, so it is kept allocation- and
+// call-free in the per-instruction loop.
 func hashImage(code *machine.Program) uint64 {
-	h := fnv.New64a()
 	ids := make([]int, 0, len(code.Fns))
 	//detlint:allow map-range — ids are sorted before hashing
 	for id := range code.Fns {
 		ids = append(ids, int(id))
 	}
 	sortInts(ids)
-	var buf [8]byte
-	w := func(v int64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
+	h := uint64(fnvOffset64)
 	for _, id := range ids {
 		fn := code.Fns[dex.MethodID(id)]
-		w(int64(id))
+		h = fnvWord(h, int64(id))
 		for i := range fn.Code {
 			in := &fn.Code[i]
-			w(int64(in.Op))
-			w(int64(in.A))
-			w(int64(in.B))
-			w(int64(in.C))
-			w(int64(in.D))
-			w(in.Imm)
-			w(int64(math.Float64bits(in.F)))
-			w(int64(in.Sym))
-			w(in.Disp)
-			w(int64(in.Cond))
-			w(int64(in.Hint))
+			h = fnvWord(h, int64(in.Op))
+			h = fnvWord(h, int64(in.A))
+			h = fnvWord(h, int64(in.B))
+			h = fnvWord(h, int64(in.C))
+			h = fnvWord(h, int64(in.D))
+			h = fnvWord(h, in.Imm)
+			h = fnvWord(h, int64(math.Float64bits(in.F)))
+			h = fnvWord(h, int64(in.Sym))
+			h = fnvWord(h, in.Disp)
+			h = fnvWord(h, int64(in.Cond))
+			h = fnvWord(h, int64(in.Hint))
 			for _, a := range in.Args {
-				w(int64(a))
+				h = fnvWord(h, int64(a))
 			}
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 func sortInts(xs []int) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"replayopt/internal/ga"
@@ -65,6 +66,11 @@ func runPipeline(t *testing.T, seed int64) *Report {
 
 func runPipelineAt(t *testing.T, seed int64, parallelism int) *Report {
 	t.Helper()
+	return runPipelineWarm(t, seed, parallelism, true)
+}
+
+func runPipelineWarm(t *testing.T, seed int64, parallelism int, warm bool) *Report {
+	t.Helper()
 	prog, err := minic.CompileSource("miniapp", appSrc)
 	if err != nil {
 		t.Fatal(err)
@@ -72,6 +78,7 @@ func runPipelineAt(t *testing.T, seed int64, parallelism int) *Report {
 	opts := smallOptions()
 	opts.Seed = seed
 	opts.GA.Parallelism = parallelism
+	opts.Warm = warm
 	opt := New(opts)
 	rep, err := opt.Optimize(&App{Name: "miniapp", Prog: prog})
 	if err != nil {
@@ -181,6 +188,46 @@ func TestPipelineParallelMatchesSerial(t *testing.T) {
 	}
 	if st.Considered != st.Evaluations+st.CacheHits {
 		t.Errorf("considered %d != evaluations %d + hits %d", st.Considered, st.Evaluations, st.CacheHits)
+	}
+}
+
+// Warm replay workers are a pure throughput change: the full decision trace
+// and every report field must be byte-identical with warm workers on or off,
+// at every tested worker count. This is the issue's determinism guarantee —
+// `-warm=off` is an escape hatch, never a different search.
+func TestPipelineWarmMatchesColdAcrossParallelism(t *testing.T) {
+	ref := runPipelineWarm(t, 4, 1, false)
+	refTrace := ref.Search.DecisionTrace()
+	for _, par := range []int{1, 4, 8} {
+		for _, warm := range []bool{false, true} {
+			if par == 1 && !warm {
+				continue // that is ref itself
+			}
+			got := runPipelineWarm(t, 4, par, warm)
+			label := fmt.Sprintf("parallelism=%d warm=%v", par, warm)
+			if tr := got.Search.DecisionTrace(); tr != refTrace {
+				t.Errorf("%s: decision trace differs from cold serial run:\n--- got\n%s\n--- want\n%s",
+					label, tr, refTrace)
+			}
+			if got.Best.Fingerprint() != ref.Best.Fingerprint() {
+				t.Errorf("%s: best config differs", label)
+			}
+			if got.GARegionMs != ref.GARegionMs || got.AndroidRegionMs != ref.AndroidRegionMs ||
+				got.O3RegionMs != ref.O3RegionMs {
+				t.Errorf("%s: region timings differ: %+v vs %+v", label, got, ref)
+			}
+			if got.AndroidOnlineCycles != ref.AndroidOnlineCycles ||
+				got.GAOnlineCycles != ref.GAOnlineCycles ||
+				got.SpeedupGA != ref.SpeedupGA || got.RegionSpeedupGA != ref.RegionSpeedupGA {
+				t.Errorf("%s: online measurements differ", label)
+			}
+			if got.SearchStats != ref.SearchStats {
+				t.Errorf("%s: search stats differ: %+v vs %+v", label, got.SearchStats, ref.SearchStats)
+			}
+			if got.KeptBaseline != ref.KeptBaseline {
+				t.Errorf("%s: KeptBaseline differs", label)
+			}
+		}
 	}
 }
 

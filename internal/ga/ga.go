@@ -150,6 +150,25 @@ type Evaluator interface {
 	Evaluate(cfg lir.Config) Evaluation
 }
 
+// WorkerBinder is an optional Evaluator extension for evaluators that hold
+// per-worker warm state (e.g. a cloned replay address space reset between
+// genomes). When the evaluator implements it, Search binds one Evaluator per
+// worker goroutine for the lifetime of each evaluation batch and releases it
+// afterwards, so bound state is never shared across goroutines.
+//
+// Determinism contract: a bound Evaluator must satisfy the same purity
+// contract as the parent — Evaluate(cfg) must return the same Evaluation no
+// matter which worker evaluates it, how many workers exist, or how often the
+// worker was reused.
+type WorkerBinder interface {
+	Evaluator
+	// BindWorker returns an Evaluator owned by a single goroutine until
+	// released. It must be safe to call concurrently.
+	BindWorker() Evaluator
+	// ReleaseWorker returns a bound Evaluator to the pool for reuse.
+	ReleaseWorker(Evaluator)
+}
+
 // Options are the §4 search hyperparameters (defaults mirror the paper).
 type Options struct {
 	Generations      int     // 11 total, first random

@@ -11,6 +11,7 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"replayopt/internal/dex"
 	"replayopt/internal/mem"
@@ -147,14 +148,31 @@ func (e *Env) Call(id dex.MethodID, args []uint64) (uint64, error) {
 		}
 	}
 
+	// Dispatch fast path: with no sampler attached (every replay evaluation),
+	// the per-op charge inlines against a hoisted budget instead of going
+	// through charge()'s sampler bookkeeping. MaxCycles == 0 becomes an
+	// unreachable ceiling so the loop keeps a single comparison per op.
+	sampling := e.SamplePeriod > 0 && e.Sampler != nil
+	limit := e.MaxCycles
+	if limit == 0 {
+		limit = math.MaxUint64
+	}
+
 	pc := 0
 	for {
 		if pc < 0 || pc >= len(m.Code) {
 			return 0, fmt.Errorf("interp: pc %d out of range in %s", pc, m.Name)
 		}
 		in := &m.Code[pc]
-		if err := e.charge(dispatchCost + opCost[in.Op]); err != nil {
-			return 0, err
+		if sampling {
+			if err := e.charge(dispatchCost + opCost[in.Op]); err != nil {
+				return 0, err
+			}
+		} else {
+			e.Cycles += dispatchCost + opCost[in.Op]
+			if e.Cycles > limit {
+				return 0, ErrTimeout
+			}
 		}
 
 		switch in.Op {
@@ -266,7 +284,7 @@ func (e *Env) Call(id dex.MethodID, args []uint64) (uint64, error) {
 				kind = dex.KindRef
 			}
 			n := int64(regs[in.B])
-			if err := e.charge(costAllocBase + costAllocPerWord*uint64(max64(n, 0))); err != nil {
+			if err := e.charge(costAllocBase + costAllocPerWord*uint64(max(n, 0))); err != nil {
 				return 0, err
 			}
 			ref, err := e.Proc.NewArray(kind, n)
@@ -411,11 +429,4 @@ func (e *Env) Call(id dex.MethodID, args []uint64) (uint64, error) {
 // Run executes the program's entry point.
 func (e *Env) Run() (uint64, error) {
 	return e.Call(e.Proc.Prog.Entry, nil)
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

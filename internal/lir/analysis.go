@@ -15,14 +15,18 @@ func (f *Function) pruneUnreachable() {
 	if len(f.Blocks) == 0 {
 		return
 	}
-	var post []*Block
-	seen := map[*Block]bool{}
+	// Every block a pass creates lands in f.Blocks, so clearing the scratch
+	// marks here lets the DFS avoid a per-Recompute visited map.
+	for _, b := range f.Blocks {
+		b.visited = false
+	}
+	post := make([]*Block, 0, len(f.Blocks))
 	var dfs func(*Block)
 	dfs = func(b *Block) {
-		if seen[b] {
+		if b.visited {
 			return
 		}
-		seen[b] = true
+		b.visited = true
 		for _, s := range b.Succs {
 			dfs(s)
 		}
@@ -34,7 +38,7 @@ func (f *Function) pruneUnreachable() {
 		kept := b.Preds[:0]
 		removed := make([]int, 0, 2)
 		for i, p := range b.Preds {
-			if seen[p] {
+			if p.visited {
 				kept = append(kept, p)
 			} else {
 				removed = append(removed, i)

@@ -224,6 +224,7 @@ type Block struct {
 	IDom      *Block
 	LoopDepth int
 	rpo       int
+	visited   bool // scratch mark for pruneUnreachable's DFS
 }
 
 // Term returns the block terminator.
@@ -358,18 +359,19 @@ func (f *Function) ReplaceUses(old, new *Value) {
 	}
 }
 
-// UseCounts computes how many times each value is used as an argument.
-func (f *Function) UseCounts() map[*Value]int {
-	uses := map[*Value]int{}
+// UseCounts computes how many times each value is used as an argument,
+// indexed by Value.ID (dense per function).
+func (f *Function) UseCounts() []int32 {
+	uses := make([]int32, f.nextValueID)
 	for _, b := range f.Blocks {
 		for _, v := range b.Phis {
 			for _, a := range v.Args {
-				uses[a]++
+				uses[a.ID]++
 			}
 		}
 		for _, v := range b.Insns {
 			for _, a := range v.Args {
-				uses[a]++
+				uses[a.ID]++
 			}
 		}
 	}

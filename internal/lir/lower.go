@@ -192,7 +192,7 @@ func (lo *ssaLowerer) coalescePhis() {
 			}
 			preg := lo.reg(phi)
 			for i, a := range phi.Args {
-				if a.Op == OpPhi || a.Op == OpParam || uses[a] != 1 {
+				if a.Op == OpPhi || a.Op == OpParam || uses[a.ID] != 1 {
 					continue
 				}
 				if _, assigned := lo.vreg[a]; assigned {

@@ -278,7 +278,7 @@ func runReassoc(f *Function, _ *PassContext, params map[string]int) error {
 			// (a + c1) + c2 -> a + (c1+c2); same for Mul.
 			if v.Op == OpAdd || v.Op == OpMul {
 				inner := v.Args[0]
-				if c2, ok := isConstInt(v.Args[1]); ok && inner.Op == v.Op && uses[inner] == 1 {
+				if c2, ok := isConstInt(v.Args[1]); ok && inner.Op == v.Op && uses[inner.ID] == 1 {
 					if c1, ok := isConstInt(inner.Args[1]); ok {
 						v.Args[0] = inner.Args[0]
 						nc := f.NewValue(OpConstInt, TInt)
@@ -296,7 +296,7 @@ func runReassoc(f *Function, _ *PassContext, params map[string]int) error {
 			// (a + b) + c  ->  a + (b + c).
 			if fast && (v.Op == OpFAdd || v.Op == OpFMul) {
 				inner := v.Args[0]
-				if inner.Op == v.Op && uses[inner] == 1 && inner.Block == b {
+				if inner.Op == v.Op && uses[inner.ID] == 1 && inner.Block == b {
 					a, bb, c := inner.Args[0], inner.Args[1], v.Args[1]
 					nv := f.NewValue(v.Op, TFloat, bb, c)
 					insertBefore(b, v, nv)
@@ -363,12 +363,12 @@ func runDCE(f *Function) {
 		dead := map[*Value]bool{}
 		for _, b := range f.Blocks {
 			for _, v := range b.Phis {
-				if uses[v] == 0 {
+				if uses[v.ID] == 0 {
 					dead[v] = true
 				}
 			}
 			for _, v := range b.Insns {
-				if v.IsPure() && v.Op != OpParam && uses[v] == 0 {
+				if v.IsPure() && v.Op != OpParam && uses[v.ID] == 0 {
 					dead[v] = true
 				}
 			}

@@ -8,6 +8,7 @@ import (
 	"replayopt/internal/dex"
 	"replayopt/internal/interp"
 	"replayopt/internal/mem"
+	"replayopt/internal/obs"
 	"replayopt/internal/rt"
 )
 
@@ -57,8 +58,38 @@ type Exec struct {
 	// Trace, when set, observes every executed instruction (debugging).
 	Trace func(m dex.MethodID, pc int)
 
+	// NoFuse disables superinstruction dispatch (the escape hatch for
+	// cycle-identity tests and debugging); fused and unfused execution
+	// produce identical results and identical success cycle counts.
+	NoFuse bool
+	// PairTally, when set, counts executed fallthrough opcode pairs
+	// ("mul>add") — the measurement that selects the fusible op set. It
+	// forces the instrumented slow path, so it is for profiling runs only.
+	PairTally *obs.Tally
+
 	stack         []dex.MethodID
 	currentNative dex.NativeID
+
+	// argStack is a stack-discipline arena for marshalling managed call
+	// arguments: a callee copies its args into fresh registers on entry, so
+	// the marshalled slice is dead the moment the nested Call begins and can
+	// be reused by the next sibling call instead of allocating. Disabled
+	// while a capture hook is installed — the hook's Wrap may retain its
+	// args beyond the call.
+	argStack []uint64
+
+	// frameStack is the same idea applied to frame-local state: each run()
+	// frame carves its register file and spill slots out of one growable
+	// arena instead of allocating per call. A frame's slices stay valid even
+	// if a nested call grows the arena (they keep pointing into the old
+	// backing array), and the wrapper truncates back to the frame's base on
+	// return, so reuse follows call-stack discipline exactly.
+	frameStack []uint64
+
+	// fns is the dense method-dispatch table derived from Code.Fns: method
+	// IDs index Prog.Methods, so a slice answers the per-call "is this
+	// method compiled?" question without a map probe.
+	fns []*Fn
 
 	depth int
 }
@@ -66,7 +97,14 @@ type Exec struct {
 // NewExec wires an executor with an interpreter fallback over the same
 // process and native state.
 func NewExec(proc *rt.Process, code *Program) *Exec {
-	return &Exec{Proc: proc, Code: code, Fallback: interp.NewEnv(proc), currentNative: -1}
+	fns := make([]*Fn, len(proc.Prog.Methods))
+	//detlint:allow map-range — keyed writes into a dense table; order irrelevant
+	for id, fn := range code.Fns {
+		if int(id) < len(fns) {
+			fns[id] = fn
+		}
+	}
+	return &Exec{Proc: proc, Code: code, Fallback: interp.NewEnv(proc), currentNative: -1, fns: fns}
 }
 
 func (x *Exec) charge(c uint64) error {
@@ -93,8 +131,13 @@ func (x *Exec) Call(id dex.MethodID, args []uint64) (uint64, error) {
 }
 
 func (x *Exec) callNoHook(id dex.MethodID, args []uint64) (uint64, error) {
-	fn, ok := x.Code.Fns[id]
-	if !ok {
+	var fn *Fn
+	if int(id) < len(x.fns) {
+		fn = x.fns[id]
+	} else {
+		fn = x.Code.Fns[id]
+	}
+	if fn == nil {
 		// Interpreter bridge: synchronize cycle clocks across the
 		// transition so mixed-mode time adds up.
 		if err := x.charge(costInterpBridge); err != nil {
@@ -121,24 +164,39 @@ func (x *Exec) callNoHook(id dex.MethodID, args []uint64) (uint64, error) {
 }
 
 func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
+	// Push/pop without defer: nothing in the machine recovers runtime
+	// panics (they are fatal), so the explicit pop around runFrame is
+	// equivalent and keeps defer machinery out of the per-call path.
 	if x.depth >= maxDepth {
 		return 0, ErrStackOverflow
 	}
 	x.depth++
 	x.stack = append(x.stack, fn.Method)
-	defer func() {
-		x.depth--
-		x.stack = x.stack[:len(x.stack)-1]
-	}()
+	frameBase := len(x.frameStack)
+	v, err := x.runFrame(fn, args)
+	x.frameStack = x.frameStack[:frameBase]
+	x.depth--
+	x.stack = x.stack[:len(x.stack)-1]
+	return v, err
+}
+
+func (x *Exec) runFrame(fn *Fn, args []uint64) (uint64, error) {
 	if err := x.charge(costFrame); err != nil {
 		return 0, err
 	}
 
-	regs := make([]uint64, fn.NumRegs)
+	// Carve this frame's registers and spill slots out of the arena; the
+	// append-of-make form extends in place (zeroing only the new tail)
+	// without allocating a temporary.
+	frameBase := len(x.frameStack)
+	need := fn.NumRegs + fn.NumSpills
+	x.frameStack = append(x.frameStack, make([]uint64, need)...)
+	frame := x.frameStack[frameBase:]
+	regs := frame[:fn.NumRegs:fn.NumRegs]
 	copy(regs, args)
 	var spills []uint64
 	if fn.NumSpills > 0 {
-		spills = make([]uint64, fn.NumSpills)
+		spills = frame[fn.NumRegs:need:need]
 	}
 	prog := x.Proc.Prog
 	space := x.Proc.Space
@@ -147,46 +205,104 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 	var prevLatency uint64
 	var readBuf [8]int
 
+	// Fast dispatch: with no sampler, tracer, or pair tally attached, the
+	// per-op budget check inlines against a hoisted limit (MaxCycles == 0
+	// becomes an unreachable ceiling) and fusible adjacent op pairs execute
+	// as superinstructions from the Fn's fuse table. Both transformations
+	// preserve the cycle model exactly on successful runs; only the Cycles
+	// value of a run that times out mid-pair can differ, and failed runs
+	// never contribute a measurement.
+	sampling := x.SamplePeriod > 0 && x.Sampler != nil
+	fast := !sampling && x.Trace == nil && x.PairTally == nil
+	limit := x.MaxCycles
+	if limit == 0 {
+		limit = math.MaxUint64
+	}
+	fuse, raw := fn.tables()
+	if !fast || x.NoFuse {
+		fuse = nil
+	}
+	lastOp := Nop
+	fellThrough := false
+
 	pc := 0
 	for {
 		if pc < 0 || pc >= len(fn.Code) {
 			return 0, fmt.Errorf("machine: pc %d out of range in %s", pc, prog.Methods[fn.Method].Name)
 		}
 		in := &fn.Code[pc]
-		if x.Trace != nil {
-			x.Trace(fn.Method, pc)
+		if fast {
+			if fuse != nil && fuse[pc] != 0 {
+				// Superinstruction: charge both ops at once (the table holds
+				// the second op's cost plus its static stall against the
+				// first), then evaluate back to back.
+				cost := opCost[in.Op] + uint64(fuse[pc])
+				if prevDest >= 0 && prevLatency > 0 {
+					if prevDest < 63 {
+						if raw[pc]&(1<<uint(prevDest)) != 0 {
+							cost += prevLatency
+						}
+					} else if raw[pc]&rawOverflow != 0 {
+						for _, r := range in.reads(readBuf[:]) {
+							if r == prevDest {
+								cost += prevLatency
+								break
+							}
+						}
+					}
+				}
+				x.Cycles += cost
+				if x.Cycles > limit {
+					return 0, ErrTimeout
+				}
+				in2 := &fn.Code[pc+1]
+				evalSimple(in, regs)
+				evalSimple(in2, regs)
+				prevDest = in2.writes()
+				prevLatency = opLatency[in2.Op]
+				pc += 2
+				continue
+			}
+		} else {
+			if x.Trace != nil {
+				x.Trace(fn.Method, pc)
+			}
+			if x.PairTally != nil {
+				if fellThrough {
+					x.PairTally.Inc(lastOp.String() + ">" + in.Op.String())
+				}
+				lastOp = in.Op
+			}
 		}
 		cost := opCost[in.Op]
 
-		// Read-after-write stall against the previous instruction.
+		// Read-after-write stall against the previous instruction, answered
+		// from the precomputed read-set mask (reads() only for the rare
+		// instruction touching registers past the mask width).
 		if prevDest >= 0 && prevLatency > 0 {
-			for _, r := range in.reads(readBuf[:]) {
-				if r == prevDest {
+			if prevDest < 63 {
+				if raw[pc]&(1<<uint(prevDest)) != 0 {
 					cost += prevLatency
-					break
+				}
+			} else if raw[pc]&rawOverflow != 0 {
+				for _, r := range in.reads(readBuf[:]) {
+					if r == prevDest {
+						cost += prevLatency
+						break
+					}
 				}
 			}
 		}
-		if err := x.charge(cost); err != nil {
+		if fast {
+			x.Cycles += cost
+			if x.Cycles > limit {
+				return 0, ErrTimeout
+			}
+		} else if err := x.charge(cost); err != nil {
 			return 0, err
 		}
 		prevDest = in.writes()
 		prevLatency = opLatency[in.Op]
-
-		opB := func() int64 { return int64(regs[in.B]) }
-		opC := func() int64 {
-			if in.C < 0 {
-				return in.Disp
-			}
-			return int64(regs[in.C])
-		}
-		fB := func() float64 { return rt.U2F(regs[in.B]) }
-		fC := func() float64 {
-			if in.C < 0 {
-				return in.F
-			}
-			return rt.U2F(regs[in.C])
-		}
 
 		switch in.Op {
 		case Nop:
@@ -198,46 +314,46 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 			regs[in.A] = regs[in.B]
 
 		case Add:
-			regs[in.A] = uint64(opB() + opC())
+			regs[in.A] = uint64(ib(in, regs) + ic(in, regs))
 		case Sub:
-			regs[in.A] = uint64(opB() - opC())
+			regs[in.A] = uint64(ib(in, regs) - ic(in, regs))
 		case Mul:
-			regs[in.A] = uint64(opB() * opC())
+			regs[in.A] = uint64(ib(in, regs) * ic(in, regs))
 		case Div:
-			c := opC()
+			c := ic(in, regs)
 			if c == 0 {
 				return 0, &rt.Trap{Kind: rt.TrapDivZero}
 			}
-			regs[in.A] = uint64(opB() / c)
+			regs[in.A] = uint64(ib(in, regs) / c)
 		case Rem:
-			c := opC()
+			c := ic(in, regs)
 			if c == 0 {
 				return 0, &rt.Trap{Kind: rt.TrapDivZero}
 			}
-			regs[in.A] = uint64(opB() % c)
+			regs[in.A] = uint64(ib(in, regs) % c)
 		case And:
-			regs[in.A] = uint64(opB() & opC())
+			regs[in.A] = uint64(ib(in, regs) & ic(in, regs))
 		case Or:
-			regs[in.A] = uint64(opB() | opC())
+			regs[in.A] = uint64(ib(in, regs) | ic(in, regs))
 		case Xor:
-			regs[in.A] = uint64(opB() ^ opC())
+			regs[in.A] = uint64(ib(in, regs) ^ ic(in, regs))
 		case Shl:
-			regs[in.A] = uint64(opB() << (uint64(opC()) & 63))
+			regs[in.A] = uint64(ib(in, regs) << (uint64(ic(in, regs)) & 63))
 		case Shr:
-			regs[in.A] = uint64(opB() >> (uint64(opC()) & 63))
+			regs[in.A] = uint64(ib(in, regs) >> (uint64(ic(in, regs)) & 63))
 		case Neg:
-			regs[in.A] = uint64(-opB())
+			regs[in.A] = uint64(-ib(in, regs))
 
 		case FAdd:
-			regs[in.A] = rt.F2U(fB() + fC())
+			regs[in.A] = rt.F2U(flb(in, regs) + flc(in, regs))
 		case FSub:
-			regs[in.A] = rt.F2U(fB() - fC())
+			regs[in.A] = rt.F2U(flb(in, regs) - flc(in, regs))
 		case FMul:
-			regs[in.A] = rt.F2U(fB() * fC())
+			regs[in.A] = rt.F2U(flb(in, regs) * flc(in, regs))
 		case FDiv:
-			regs[in.A] = rt.F2U(fB() / fC())
+			regs[in.A] = rt.F2U(flb(in, regs) / flc(in, regs))
 		case FNeg:
-			regs[in.A] = rt.F2U(-fB())
+			regs[in.A] = rt.F2U(-flb(in, regs))
 
 		case Madd:
 			regs[in.A] = uint64(int64(regs[in.B])*int64(regs[in.C]) + int64(regs[in.D]))
@@ -246,11 +362,11 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 			regs[in.A] = rt.F2U(math.FMA(rt.U2F(regs[in.B]), rt.U2F(regs[in.C]), rt.U2F(regs[in.D])))
 
 		case I2F:
-			regs[in.A] = rt.F2U(float64(opB()))
+			regs[in.A] = rt.F2U(float64(ib(in, regs)))
 		case F2I:
-			regs[in.A] = uint64(int64(fB()))
+			regs[in.A] = uint64(int64(flb(in, regs)))
 		case FCmp:
-			a, b := fB(), fC()
+			a, b := flb(in, regs), flc(in, regs)
 			switch {
 			case a > b:
 				regs[in.A] = 1
@@ -265,18 +381,24 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 			if in.C >= 0 {
 				addr += mem.Addr(int64(regs[in.C]) * 8)
 			}
-			v, err := space.ReadU64(addr)
-			if err != nil {
-				return 0, err
+			if v, ok := space.TryReadU64(addr); ok {
+				regs[in.A] = v
+			} else {
+				v, err := space.ReadU64(addr)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.A] = v
 			}
-			regs[in.A] = v
 		case Store:
 			addr := mem.Addr(regs[in.B]) + mem.Addr(in.Disp)
 			if in.C >= 0 {
 				addr += mem.Addr(int64(regs[in.C]) * 8)
 			}
-			if err := space.WriteU64(addr, regs[in.A]); err != nil {
-				return 0, err
+			if !space.TryWriteU64(addr, regs[in.A]) {
+				if err := space.WriteU64(addr, regs[in.A]); err != nil {
+					return 0, err
+				}
 			}
 
 		case ArrLen:
@@ -301,7 +423,7 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 
 		case NewArr:
 			n := int64(regs[in.B])
-			if err := x.charge(costAllocBase + costAllocPerWord*uint64(maxI64(n, 0))); err != nil {
+			if err := x.charge(costAllocBase + costAllocPerWord*uint64(max(n, 0))); err != nil {
 				return 0, err
 			}
 			ref, err := x.Proc.NewArray(dex.Kind(in.Sym), n)
@@ -321,7 +443,7 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 			regs[in.A] = uint64(ref)
 
 		case Br:
-			b, c := opB(), opC()
+			b, c := ib(in, regs), ic(in, regs)
 			var take bool
 			switch in.Cond {
 			case CondEq:
@@ -359,11 +481,13 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 			if take {
 				pc = int(in.Imm)
 				prevDest = -1
+				fellThrough = false
 				continue
 			}
 		case Jmp:
 			pc = int(in.Imm)
 			prevDest = -1
+			fellThrough = false
 			continue
 
 		case Call, CallV:
@@ -375,9 +499,19 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 					return 0, err
 				}
 			}
-			callArgs := make([]uint64, len(in.Args))
-			for i, r := range in.Args {
-				callArgs[i] = regs[r]
+			var callArgs []uint64
+			argOff := -1
+			if x.Hook == nil {
+				argOff = len(x.argStack)
+				for _, r := range in.Args {
+					x.argStack = append(x.argStack, regs[r])
+				}
+				callArgs = x.argStack[argOff:]
+			} else {
+				callArgs = make([]uint64, len(in.Args))
+				for i, r := range in.Args {
+					callArgs[i] = regs[r]
+				}
 			}
 			target := dex.MethodID(in.Sym)
 			if in.Op == CallV {
@@ -391,6 +525,9 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 				target = prog.Resolve(target, cls)
 			}
 			ret, err := x.Call(target, callArgs)
+			if argOff >= 0 {
+				x.argStack = x.argStack[:argOff]
+			}
 			if err != nil {
 				return 0, err
 			}
@@ -456,6 +593,7 @@ func (x *Exec) run(fn *Fn, args []uint64) (uint64, error) {
 		default:
 			return 0, fmt.Errorf("machine: unimplemented opcode %s", in.Op)
 		}
+		fellThrough = true
 		pc++
 	}
 }
@@ -503,9 +641,80 @@ func (x *Exec) intrinsic(kind dex.IntrinsicKind, args []int, regs []uint64) (uin
 	return 0, 0, fmt.Errorf("machine: unknown intrinsic %d", kind)
 }
 
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
+// Inlinable operand readers (the B/C/immediate forms shared by the ALU
+// arms); kept as free functions so both the main switch and evalSimple use
+// the same definitions.
+func ib(in *Insn, regs []uint64) int64 { return int64(regs[in.B]) }
+
+func ic(in *Insn, regs []uint64) int64 {
+	if in.C < 0 {
+		return in.Disp
 	}
-	return b
+	return int64(regs[in.C])
+}
+
+func flb(in *Insn, regs []uint64) float64 { return rt.U2F(regs[in.B]) }
+
+func flc(in *Insn, regs []uint64) float64 {
+	if in.C < 0 {
+		return in.F
+	}
+	return rt.U2F(regs[in.C])
+}
+
+// evalSimple executes one fusible op. Each arm mirrors the corresponding
+// main-switch arm exactly; fusible() guarantees no other op reaches here.
+func evalSimple(in *Insn, regs []uint64) {
+	switch in.Op {
+	case Ldi:
+		regs[in.A] = uint64(in.Imm)
+	case Ldf:
+		regs[in.A] = rt.F2U(in.F)
+	case Mov:
+		regs[in.A] = regs[in.B]
+	case Add:
+		regs[in.A] = uint64(ib(in, regs) + ic(in, regs))
+	case Sub:
+		regs[in.A] = uint64(ib(in, regs) - ic(in, regs))
+	case Mul:
+		regs[in.A] = uint64(ib(in, regs) * ic(in, regs))
+	case And:
+		regs[in.A] = uint64(ib(in, regs) & ic(in, regs))
+	case Or:
+		regs[in.A] = uint64(ib(in, regs) | ic(in, regs))
+	case Xor:
+		regs[in.A] = uint64(ib(in, regs) ^ ic(in, regs))
+	case Shl:
+		regs[in.A] = uint64(ib(in, regs) << (uint64(ic(in, regs)) & 63))
+	case Shr:
+		regs[in.A] = uint64(ib(in, regs) >> (uint64(ic(in, regs)) & 63))
+	case Neg:
+		regs[in.A] = uint64(-ib(in, regs))
+	case FAdd:
+		regs[in.A] = rt.F2U(flb(in, regs) + flc(in, regs))
+	case FSub:
+		regs[in.A] = rt.F2U(flb(in, regs) - flc(in, regs))
+	case FMul:
+		regs[in.A] = rt.F2U(flb(in, regs) * flc(in, regs))
+	case FNeg:
+		regs[in.A] = rt.F2U(-flb(in, regs))
+	case Madd:
+		regs[in.A] = uint64(int64(regs[in.B])*int64(regs[in.C]) + int64(regs[in.D]))
+	case FMadd:
+		regs[in.A] = rt.F2U(math.FMA(rt.U2F(regs[in.B]), rt.U2F(regs[in.C]), rt.U2F(regs[in.D])))
+	case I2F:
+		regs[in.A] = rt.F2U(float64(ib(in, regs)))
+	case F2I:
+		regs[in.A] = uint64(int64(flb(in, regs)))
+	case FCmp:
+		a, b := flb(in, regs), flc(in, regs)
+		switch {
+		case a > b:
+			regs[in.A] = 1
+		case a == b:
+			regs[in.A] = 0
+		default:
+			regs[in.A] = ^uint64(0)
+		}
+	}
 }

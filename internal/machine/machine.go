@@ -9,6 +9,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"replayopt/internal/dex"
 )
@@ -181,6 +182,95 @@ type Fn struct {
 	NumRegs   int
 	NumSpills int
 	Code      []Insn
+
+	// fuse is the lazily built superinstruction table: fuse[pc] != 0 means
+	// Code[pc] and Code[pc+1] are both fusible ALU/move ops and the executor
+	// may dispatch them as one superinstruction, charging fuse[pc] extra
+	// cycles (the second op's cost plus its static read-after-write stall
+	// against the first). Built once per Fn on first execution; a branch
+	// into pc+1 simply executes the second op unfused.
+	//
+	// raw is the read-set mask table built alongside it: raw[pc] has bit r
+	// set iff Code[pc] reads register r (r < 63); bit 63 marks an
+	// instruction with a read of register 63 or higher, which the executor
+	// resolves by calling reads() — the read-after-write stall check is per
+	// dispatch, and the mask answers it without re-deriving the read set.
+	tabOnce sync.Once
+	fuse    []uint32
+	raw     []uint64
+}
+
+// rawOverflow flags an instruction whose read set reaches past the mask's
+// 63 exactly-representable registers.
+const rawOverflow = uint64(1) << 63
+
+// fusible reports whether an op may be the first or second half of a
+// superinstruction: plain register-to-register work with no traps, no
+// memory, no control flow, and no side effects. Div/Rem (trap) and
+// FDiv (kept conservative with them) stay out.
+func fusible(op Op) bool {
+	switch op {
+	case Ldi, Ldf, Mov, Add, Sub, Mul, And, Or, Xor, Shl, Shr, Neg,
+		FAdd, FSub, FMul, FNeg, Madd, FMadd, I2F, F2I, FCmp:
+		return true
+	}
+	return false
+}
+
+// fuseTable returns the Fn's superinstruction table (nil when the function
+// has no fusible pairs).
+func (f *Fn) fuseTable() []uint32 {
+	fuse, _ := f.tables()
+	return fuse
+}
+
+// tables returns the Fn's superinstruction and read-mask tables, building
+// both on first use. They depend only on the immutable Code slice, so one
+// build serves every concurrent executor.
+func (f *Fn) tables() (fuse []uint32, raw []uint64) {
+	f.tabOnce.Do(func() {
+		var readBuf [8]int
+		masks := make([]uint64, len(f.Code))
+		for pc := range f.Code {
+			var m uint64
+			for _, r := range f.Code[pc].reads(readBuf[:]) {
+				if r < 63 {
+					m |= 1 << uint(r)
+				} else {
+					m |= rawOverflow
+				}
+			}
+			masks[pc] = m
+		}
+		f.raw = masks
+		table := make([]uint32, len(f.Code))
+		n := 0
+		for pc := 0; pc+1 < len(f.Code); pc++ {
+			in1, in2 := &f.Code[pc], &f.Code[pc+1]
+			if !fusible(in1.Op) || !fusible(in2.Op) {
+				continue
+			}
+			// The pair executes as one dispatch: the second op's base cost
+			// plus its read-after-write stall against the first, resolved
+			// statically — the registers are fixed at compile time, so this
+			// equals exactly what the unfused loop would charge dynamically.
+			cost := opCost[in2.Op]
+			if d := in1.writes(); d >= 0 && opLatency[in1.Op] > 0 {
+				for _, r := range in2.reads(readBuf[:]) {
+					if r == d {
+						cost += opLatency[in1.Op]
+						break
+					}
+				}
+			}
+			table[pc] = uint32(cost)
+			n++
+		}
+		if n > 0 {
+			f.fuse = table
+		}
+	})
+	return f.fuse, f.raw
 }
 
 // Size returns the modeled binary size in bytes (the GA's tiebreak metric).

@@ -54,28 +54,46 @@ func Finalize(fn *Fn, numArgs int, opts LowerOpts) error {
 
 // blockStarts returns the set of pcs that begin basic blocks.
 func blockStarts(code []Insn) []int {
-	isStart := make(map[int]bool)
+	isStart := make([]bool, len(code)+1)
 	isStart[0] = true
 	for pc := range code {
 		in := &code[pc]
 		if in.Op == Br || in.Op == Jmp {
-			isStart[int(in.Imm)] = true
+			isStart[in.Imm] = true
 		}
 		if in.isTerminator() && pc+1 < len(code) {
 			isStart[pc+1] = true
 		}
 	}
-	starts := make([]int, 0, len(isStart))
-	for pc := range isStart {
-		starts = append(starts, pc)
+	starts := make([]int, 0, 16)
+	for pc := range code {
+		if isStart[pc] {
+			starts = append(starts, pc)
+		}
 	}
-	sort.Ints(starts)
 	return starts
 }
 
+// maxReg returns one past the highest register index referenced by code.
+func maxReg(code []Insn) int {
+	n := 0
+	var buf [8]int
+	for pc := range code {
+		for _, r := range code[pc].reads(buf[:]) {
+			if r >= n {
+				n = r + 1
+			}
+		}
+		if d := code[pc].writes(); d >= n {
+			n = d + 1
+		}
+	}
+	return n
+}
+
 // useCounts returns, per register, how many instructions read it.
-func useCounts(code []Insn) map[int]int {
-	uses := make(map[int]int)
+func useCounts(code []Insn, nreg int) []int32 {
+	uses := make([]int32, nreg)
 	var buf [8]int
 	for pc := range code {
 		for _, r := range code[pc].reads(buf[:]) {
@@ -85,6 +103,125 @@ func useCounts(code []Insn) map[int]int {
 	return uses
 }
 
+// regSet is a dense register bitset; the liveness fixpoints run over these
+// instead of map[int]bool sets (registers are small dense indices, and the
+// per-genome compile is on the GA's critical path).
+type regSet []uint64
+
+func newRegSets(n, nreg int) []regSet {
+	words := (nreg + 63) / 64
+	backing := make([]uint64, n*words)
+	sets := make([]regSet, n)
+	for i := range sets {
+		sets[i] = backing[i*words : (i+1)*words]
+	}
+	return sets
+}
+
+func (s regSet) has(r int) bool { return s[r>>6]&(1<<(uint(r)&63)) != 0 }
+func (s regSet) add(r int)      { s[r>>6] |= 1 << (uint(r) & 63) }
+
+// orInto ors o into s, reporting whether s changed.
+func (s regSet) orInto(o regSet) bool {
+	changed := false
+	for i, w := range o {
+		if nw := s[i] | w; nw != s[i] {
+			s[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// blockSuccs returns each block's successor blocks over linear code.
+func blockSuccs(code []Insn, starts, blockOf []int) [][]int {
+	succs := make([][]int, len(starts))
+	for bi, s := range starts {
+		end := len(code)
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		_ = s
+		last := &code[end-1]
+		switch {
+		case last.Op == Br:
+			succs[bi] = append(succs[bi], blockOf[last.Imm])
+			if end < len(code) {
+				succs[bi] = append(succs[bi], bi+1)
+			}
+		case last.Op == Jmp:
+			succs[bi] = append(succs[bi], blockOf[last.Imm])
+		case !last.isTerminator() && end < len(code):
+			succs[bi] = append(succs[bi], bi+1)
+		}
+	}
+	return succs
+}
+
+// liveness computes per-block live-in and live-out register sets over linear
+// code via the standard backward fixpoint.
+func liveness(code []Insn, starts, blockOf []int, nreg int) (liveIn, liveOut []regSet) {
+	nblocks := len(starts)
+	succs := blockSuccs(code, starts, blockOf)
+	use := newRegSets(nblocks, nreg)
+	def := newRegSets(nblocks, nreg)
+	var buf [8]int
+	for bi, s := range starts {
+		end := len(code)
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		u, d := use[bi], def[bi]
+		for pc := s; pc < end; pc++ {
+			in := &code[pc]
+			for _, r := range in.reads(buf[:]) {
+				if !d.has(r) {
+					u.add(r)
+				}
+			}
+			if w := in.writes(); w >= 0 {
+				d.add(w)
+			}
+		}
+	}
+	liveIn = newRegSets(nblocks, nreg)
+	liveOut = newRegSets(nblocks, nreg)
+	for changed := true; changed; {
+		changed = false
+		for bi := nblocks - 1; bi >= 0; bi-- {
+			out := liveOut[bi]
+			for _, sb := range succs[bi] {
+				if out.orInto(liveIn[sb]) {
+					changed = true
+				}
+			}
+			in := liveIn[bi]
+			for i, w := range out {
+				if nw := in[i] | (w &^ def[bi][i]) | use[bi][i]; nw != in[i] {
+					in[i] = nw
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn, liveOut
+}
+
+// blockIndex returns, per pc, the index of the block containing it.
+func blockIndex(code []Insn, starts []int) []int {
+	blockOf := make([]int, len(code))
+	for bi, s := range starts {
+		end := len(code)
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		for pc := s; pc < end; pc++ {
+			blockOf[pc] = bi
+		}
+	}
+	return blockOf
+}
+
 // foldMoves folds a definition into an immediately following move of its
 // result (`op X, ...; mov Y, X` becomes `op Y, ...`) when X is provably dead
 // afterwards — the move coalescing every register allocator performs, which
@@ -92,18 +229,11 @@ func useCounts(code []Insn) map[int]int {
 func foldMoves(fn *Fn) {
 	code := fn.Code
 	starts := blockStarts(code)
-	liveOut := blockLiveOut(code, starts)
-	startSet := make(map[int]bool, len(starts))
-	blockIdx := make([]int, len(code))
-	for bi, s := range starts {
+	blockIdx := blockIndex(code, starts)
+	_, liveOut := liveness(code, starts, blockIdx, maxReg(code))
+	startSet := make([]bool, len(code)+1)
+	for _, s := range starts {
 		startSet[s] = true
-		end := len(code)
-		if bi+1 < len(starts) {
-			end = starts[bi+1]
-		}
-		for pc := s; pc < end; pc++ {
-			blockIdx[pc] = bi
-		}
 	}
 	var buf [8]int
 	// deadAfter reports whether reg X is dead immediately after pc (within
@@ -124,7 +254,7 @@ func foldMoves(fn *Fn) {
 				return true // redefined before any read
 			}
 		}
-		return !liveOut[bi][x]
+		return !liveOut[bi].has(x)
 	}
 	remap := make([]int, len(code)+1)
 	out := code[:0]
@@ -155,94 +285,12 @@ func foldMoves(fn *Fn) {
 	retarget(fn.Code, remap)
 }
 
-// blockLiveOut computes per-block live-out register sets over linear code.
-func blockLiveOut(code []Insn, starts []int) []map[int]bool {
-	nblocks := len(starts)
-	blockOf := make([]int, len(code))
-	for bi, s := range starts {
-		end := len(code)
-		if bi+1 < len(starts) {
-			end = starts[bi+1]
-		}
-		for pc := s; pc < end; pc++ {
-			blockOf[pc] = bi
-		}
-	}
-	succs := make([][]int, nblocks)
-	use := make([]map[int]bool, nblocks)
-	def := make([]map[int]bool, nblocks)
-	var buf [8]int
-	for bi, s := range starts {
-		end := len(code)
-		if bi+1 < len(starts) {
-			end = starts[bi+1]
-		}
-		u, d := map[int]bool{}, map[int]bool{}
-		for pc := s; pc < end; pc++ {
-			in := &code[pc]
-			for _, r := range in.reads(buf[:]) {
-				if !d[r] {
-					u[r] = true
-				}
-			}
-			if w := in.writes(); w >= 0 {
-				d[w] = true
-			}
-		}
-		use[bi], def[bi] = u, d
-		last := &code[end-1]
-		switch {
-		case last.Op == Br:
-			succs[bi] = append(succs[bi], blockOf[last.Imm])
-			if end < len(code) {
-				succs[bi] = append(succs[bi], bi+1)
-			}
-		case last.Op == Jmp:
-			succs[bi] = append(succs[bi], blockOf[last.Imm])
-		case !last.isTerminator() && end < len(code):
-			succs[bi] = append(succs[bi], bi+1)
-		}
-	}
-	liveIn := make([]map[int]bool, nblocks)
-	liveOut := make([]map[int]bool, nblocks)
-	for i := range liveIn {
-		liveIn[i] = map[int]bool{}
-		liveOut[i] = map[int]bool{}
-	}
-	for changed := true; changed; {
-		changed = false
-		for bi := nblocks - 1; bi >= 0; bi-- {
-			outSet := map[int]bool{}
-			for _, sb := range succs[bi] {
-				for r := range liveIn[sb] {
-					outSet[r] = true
-				}
-			}
-			inSet := map[int]bool{}
-			for r := range outSet {
-				if !def[bi][r] {
-					inSet[r] = true
-				}
-			}
-			for r := range use[bi] {
-				inSet[r] = true
-			}
-			if len(inSet) != len(liveIn[bi]) || len(outSet) != len(liveOut[bi]) {
-				liveIn[bi] = inSet
-				liveOut[bi] = outSet
-				changed = true
-			}
-		}
-	}
-	return liveOut
-}
-
 // fuseLiterals folds single-use Ldi constants into the immediate form of
 // integer ALU ops and branches, then drops dead Ldis.
 func fuseLiterals(fn *Fn) {
 	code := fn.Code
 	starts := blockStarts(code)
-	startSet := make(map[int]bool, len(starts))
+	startSet := make([]bool, len(code)+1)
 	for _, s := range starts {
 		startSet[s] = true
 	}
@@ -250,7 +298,7 @@ func fuseLiterals(fn *Fn) {
 	consts := map[int]int64{}
 	for pc := range code {
 		if startSet[pc] {
-			consts = map[int]int64{}
+			clear(consts)
 		}
 		in := &code[pc]
 		// Fold a known constant used as the C operand.
@@ -271,7 +319,7 @@ func fuseLiterals(fn *Fn) {
 		}
 	}
 	// Drop Ldis whose register is no longer read anywhere.
-	uses := useCounts(code)
+	uses := useCounts(code, maxReg(code))
 	out := code[:0]
 	remap := make([]int, len(code)+1)
 	kept := 0
@@ -304,9 +352,9 @@ func retarget(code []Insn, remap []int) {
 // intermediate is used exactly once.
 func fuseMadd(fn *Fn, doInt, doFloat bool) {
 	code := fn.Code
-	uses := useCounts(code)
+	uses := useCounts(code, maxReg(code))
 	starts := blockStarts(code)
-	startSet := make(map[int]bool, len(starts))
+	startSet := make([]bool, len(code)+1)
 	for _, s := range starts {
 		startSet[s] = true
 	}
@@ -338,7 +386,7 @@ func fuseMadd(fn *Fn, doInt, doFloat bool) {
 	retarget(fn.Code, remap)
 }
 
-func tryFuse(mul, add Insn, uses map[int]int, doInt, doFloat bool) (bool, Insn) {
+func tryFuse(mul, add Insn, uses []int32, doInt, doFloat bool) (bool, Insn) {
 	intPair := doInt && mul.Op == Mul && add.Op == Add
 	floatPair := doFloat && mul.Op == FMul && add.Op == FAdd
 	if !intPair && !floatPair {
@@ -509,18 +557,24 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 	// branch whose target block has the register live-in (loop-carried
 	// values). Without the liveness refinement, everything inside an
 	// unrolled loop body would appear simultaneously live and spill.
-	type interval struct{ start, end int }
-	iv := map[int]*interval{}
+	nreg := maxReg(code)
+	if numArgs > nreg {
+		nreg = numArgs
+	}
+	ivStart := make([]int, nreg)
+	ivEnd := make([]int, nreg)
+	ivSet := make([]bool, nreg)
 	touch := func(r, pc int) {
-		if v, ok := iv[r]; ok {
-			if pc < v.start {
-				v.start = pc
+		if ivSet[r] {
+			if pc < ivStart[r] {
+				ivStart[r] = pc
 			}
-			if pc > v.end {
-				v.end = pc
+			if pc > ivEnd[r] {
+				ivEnd[r] = pc
 			}
 		} else {
-			iv[r] = &interval{pc, pc}
+			ivSet[r] = true
+			ivStart[r], ivEnd[r] = pc, pc
 		}
 	}
 	var buf [8]int
@@ -539,78 +593,8 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 
 	// Per-block liveness.
 	starts := blockStarts(code)
-	blockOf := make([]int, len(code))
-	for bi, s := range starts {
-		end := len(code)
-		if bi+1 < len(starts) {
-			end = starts[bi+1]
-		}
-		for pc := s; pc < end; pc++ {
-			blockOf[pc] = bi
-		}
-	}
-	nblocks := len(starts)
-	succs := make([][]int, nblocks)
-	use := make([]map[int]bool, nblocks)
-	def := make([]map[int]bool, nblocks)
-	for bi, s := range starts {
-		end := len(code)
-		if bi+1 < len(starts) {
-			end = starts[bi+1]
-		}
-		u, d := map[int]bool{}, map[int]bool{}
-		for pc := s; pc < end; pc++ {
-			in := &code[pc]
-			for _, r := range in.reads(buf[:]) {
-				if !d[r] {
-					u[r] = true
-				}
-			}
-			if w := in.writes(); w >= 0 {
-				d[w] = true
-			}
-		}
-		use[bi], def[bi] = u, d
-		last := &code[end-1]
-		if last.Op == Br {
-			succs[bi] = append(succs[bi], blockOf[last.Imm])
-			if end < len(code) {
-				succs[bi] = append(succs[bi], bi+1)
-			}
-		} else if last.Op == Jmp {
-			succs[bi] = append(succs[bi], blockOf[last.Imm])
-		} else if !last.isTerminator() && end < len(code) {
-			succs[bi] = append(succs[bi], bi+1)
-		}
-	}
-	liveIn := make([]map[int]bool, nblocks)
-	for i := range liveIn {
-		liveIn[i] = map[int]bool{}
-	}
-	for changed := true; changed; {
-		changed = false
-		for bi := nblocks - 1; bi >= 0; bi-- {
-			out := map[int]bool{}
-			for _, sb := range succs[bi] {
-				for r := range liveIn[sb] {
-					out[r] = true
-				}
-			}
-			in := map[int]bool{}
-			for r := range out {
-				if !def[bi][r] {
-					in[r] = true
-				}
-			}
-			for r := range use[bi] {
-				in[r] = true
-			}
-			if len(in) != len(liveIn[bi]) {
-				liveIn[bi] = in
-				changed = true
-			}
-		}
-	}
+	blockOf := blockIndex(code, starts)
+	liveIn, _ := liveness(code, starts, blockOf, nreg)
 	// Extend intervals over backward branches for live-in registers of the
 	// branch target.
 	for changed := true; changed; {
@@ -621,20 +605,19 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 				continue
 			}
 			target := blockOf[in.Imm]
-			for r := range liveIn[target] {
-				v, ok := iv[r]
-				if !ok {
+			for r := 0; r < nreg; r++ {
+				if !liveIn[target].has(r) || !ivSet[r] {
 					continue
 				}
 				// The register is live around the loop [target start, pc].
 				lo, hi := starts[target], pc
-				if v.start <= hi && v.end >= lo {
-					if v.end < hi {
-						v.end = hi
+				if ivStart[r] <= hi && ivEnd[r] >= lo {
+					if ivEnd[r] < hi {
+						ivEnd[r] = hi
 						changed = true
 					}
-					if v.start > lo {
-						v.start = lo
+					if ivStart[r] > lo {
+						ivStart[r] = lo
 						changed = true
 					}
 				}
@@ -644,20 +627,24 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 
 	// Linear scan. Physical registers [0, numArgs) are the pinned args;
 	// [numRegs-scratch, numRegs) are spill scratches; the pool is the rest.
-	phys := map[int]int{}
+	phys := make([]int, nreg)
+	spillSlot := make([]int, nreg)
+	for r := range phys {
+		phys[r], spillSlot[r] = -1, -1
+	}
+	nspills := 0
 	for a := 0; a < numArgs; a++ {
 		phys[a] = a
 	}
-	spillSlot := map[int]int{}
 	var vregs []int
-	for r := range iv {
-		if r >= numArgs {
+	for r := numArgs; r < nreg; r++ {
+		if ivSet[r] {
 			vregs = append(vregs, r)
 		}
 	}
 	sort.Slice(vregs, func(i, j int) bool {
-		if iv[vregs[i]].start != iv[vregs[j]].start {
-			return iv[vregs[i]].start < iv[vregs[j]].start
+		if ivStart[vregs[i]] != ivStart[vregs[j]] {
+			return ivStart[vregs[i]] < ivStart[vregs[j]]
 		}
 		return vregs[i] < vregs[j]
 	})
@@ -681,14 +668,14 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 		act = out
 	}
 	for _, r := range vregs {
-		v := iv[r]
-		expire(v.start)
+		start, end := ivStart[r], ivEnd[r]
+		expire(start)
 		if len(pool) > 0 {
 			sort.Ints(pool)
 			p := pool[0]
 			pool = pool[1:]
 			phys[r] = p
-			act = append(act, active{r, p, v.end})
+			act = append(act, active{r, p, end})
 			continue
 		}
 		// Spill the interval with the furthest end.
@@ -698,14 +685,16 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 				far = i
 			}
 		}
-		if far >= 0 && act[far].end > v.end {
+		if far >= 0 && act[far].end > end {
 			victim := act[far]
-			spillSlot[victim.vreg] = len(spillSlot)
-			delete(phys, victim.vreg)
+			spillSlot[victim.vreg] = nspills
+			nspills++
+			phys[victim.vreg] = -1
 			phys[r] = victim.phys
-			act[far] = active{r, victim.phys, v.end}
+			act[far] = active{r, victim.phys, end}
 		} else {
-			spillSlot[r] = len(spillSlot)
+			spillSlot[r] = nspills
+			nspills++
 		}
 	}
 
@@ -728,11 +717,11 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 		}
 		// Rewrite reads.
 		mapRead := func(r int) int {
-			if p, ok := phys[r]; ok {
+			if p := phys[r]; p >= 0 {
 				return p
 			}
-			slot, ok := spillSlot[r]
-			if !ok {
+			slot := spillSlot[r]
+			if slot < 0 {
 				return r // untouched (should not happen)
 			}
 			s := takeScratch()
@@ -767,17 +756,13 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 			// Each spilled call argument needs its own scratch register.
 			spilled := 0
 			for _, r := range in.Args {
-				if _, ok := phys[r]; !ok {
-					if _, sp := spillSlot[r]; sp {
-						spilled++
-					}
+				if phys[r] < 0 && spillSlot[r] >= 0 {
+					spilled++
 				}
 			}
 			avail := scratch
-			if dst >= 0 {
-				if _, destSpilled := spillSlot[dst]; destSpilled {
-					avail-- // one scratch is reserved for the result
-				}
+			if dst >= 0 && spillSlot[dst] >= 0 {
+				avail-- // one scratch is reserved for the result
 			}
 			if spilled > avail {
 				return &CompileError{Msg: fmt.Sprintf(
@@ -785,9 +770,9 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 			}
 			newArgs := make([]int, len(in.Args))
 			for i, r := range in.Args {
-				if p, ok := phys[r]; ok {
+				if p := phys[r]; p >= 0 {
 					newArgs[i] = p
-				} else if slot, ok := spillSlot[r]; ok {
+				} else if slot := spillSlot[r]; slot >= 0 {
 					s := takeScratch()
 					out = append(out, Insn{Op: SpillLd, A: s, Imm: int64(slot)})
 					newArgs[i] = s
@@ -803,10 +788,10 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 		}
 		// Rewrite the write.
 		if dst >= 0 {
-			if p, ok := phys[dst]; ok {
+			if p := phys[dst]; p >= 0 {
 				setDest(&in, p)
 				out = append(out, in)
-			} else if slot, ok := spillSlot[dst]; ok {
+			} else if slot := spillSlot[dst]; slot >= 0 {
 				s := takeScratch()
 				setDest(&in, s)
 				out = append(out, in)
@@ -822,7 +807,7 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 	retarget(out, remap)
 	fn.Code = out
 	fn.NumRegs = numRegs
-	fn.NumSpills = len(spillSlot)
+	fn.NumSpills = nspills
 	return nil
 }
 

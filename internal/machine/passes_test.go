@@ -102,7 +102,7 @@ func TestBlockLiveOutLoopCarried(t *testing.T) {
 		{Op: Ret, A: 1},                            // 4
 	}
 	starts := blockStarts(code)
-	liveOut := blockLiveOut(code, starts)
+	_, liveOut := liveness(code, starts, blockIndex(code, starts), maxReg(code))
 	// The block containing pc2-3 must have r1 live-out (read next iter).
 	var bodyIdx = -1
 	for i, s := range starts {
@@ -113,7 +113,7 @@ func TestBlockLiveOutLoopCarried(t *testing.T) {
 	if bodyIdx < 0 {
 		t.Fatalf("blocks: %v", starts)
 	}
-	if !liveOut[bodyIdx][1] {
+	if !liveOut[bodyIdx].has(1) {
 		t.Error("loop-carried register not live-out of the body")
 	}
 }

@@ -10,6 +10,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -158,11 +159,58 @@ type Counters struct {
 }
 
 // AddressSpace is one process's page table plus its region map.
+//
+// A space can additionally serve as a *template*: after Seal it becomes
+// immutable and Clone produces lightweight copies that share its page table.
+// A clone resolves pages through an overlay — its own map holds only the
+// pages it has written (or mapped) itself; everything else falls through to
+// the sealed base. That makes Clone O(regions) and Reset O(dirty pages),
+// which is what lets the replay loader restore a snapshot once and reuse it
+// for every run (§3.3 amortized).
 type AddressSpace struct {
 	pages    map[Addr]*mapping
 	regions  []Region
 	handler  FaultHandler
 	counters Counters
+
+	// tlb is a small direct-mapped cache over lookup: executor inner loops
+	// resolve every load and store through the page table, and for clones
+	// each miss costs two map probes (overlay, then base). Entries are
+	// per-space and only written while the space is unsealed, so sealed
+	// templates stay safe to read from many goroutines.
+	tlb [tlbSize]tlbEntry
+
+	// base, when non-nil, is the sealed template this space is a clone of;
+	// pages missing from the overlay resolve against it.
+	base *AddressSpace
+	// sealed marks a template: every mutation panics. Sealed spaces are read
+	// concurrently by clones on many goroutines, which is safe exactly
+	// because nothing may write them.
+	sealed bool
+}
+
+// tlbSize is the number of direct-mapped translation-cache entries, indexed
+// by the low bits of the page number. Power of two; 256 entries cover a
+// 1 MiB working set, enough that replay inner loops rarely fall back to the
+// page-table maps.
+const tlbSize = 256
+
+type tlbEntry struct {
+	pa    Addr
+	m     *mapping
+	owned bool
+}
+
+// tlbFlush drops every cached translation (after Unmap or Reset, where
+// mappings disappear wholesale).
+func (s *AddressSpace) tlbFlush() {
+	s.tlb = [tlbSize]tlbEntry{}
+}
+
+// tlbPut records pa's translation, replacing any entry that shadowed it
+// (materializing an overlay page changes which mapping owns pa).
+func (s *AddressSpace) tlbPut(pa Addr, m *mapping, owned bool) {
+	s.tlb[(uint64(pa)>>PageShift)&(tlbSize-1)] = tlbEntry{pa: pa, m: m, owned: owned}
 }
 
 // NewAddressSpace returns an empty address space.
@@ -173,6 +221,105 @@ func NewAddressSpace() *AddressSpace {
 // SetFaultHandler installs h as the space's fault handler; nil uninstalls.
 func (s *AddressSpace) SetFaultHandler(h FaultHandler) { s.handler = h }
 
+// Seal freezes the space as a template: every later mutation panics, and
+// Clone becomes legal. Sealing is irreversible.
+func (s *AddressSpace) Seal() {
+	if s.base != nil {
+		panic("mem: Seal of a clone")
+	}
+	s.sealed = true
+	// Drop cached translations: the U64 fast paths trust TLB entries without
+	// re-checking sealedness, so a sealed space must present an empty cache
+	// (and lookup never refills it once sealed).
+	s.tlbFlush()
+}
+
+// Sealed reports whether the space has been sealed as a template.
+func (s *AddressSpace) Sealed() bool { return s.sealed }
+
+// mutable panics if the space is sealed; every mutating entry point calls it.
+func (s *AddressSpace) mutable(op string) {
+	if s.sealed {
+		panic("mem: " + op + " of a sealed template space")
+	}
+}
+
+// Clone returns a new space backed by this sealed template. The clone starts
+// with an empty overlay page table and a copy of the region map, so the call
+// is O(regions), not O(pages): reads resolve through the template's frames,
+// and the first write to any template page materializes a private overlay
+// copy (Copy-on-Write). The template itself is never modified.
+func (s *AddressSpace) Clone() *AddressSpace {
+	if !s.sealed {
+		panic("mem: Clone of an unsealed space (Seal it first)")
+	}
+	c := NewAddressSpace()
+	c.base = s
+	c.regions = make([]Region, len(s.regions), len(s.regions)+4)
+	copy(c.regions, s.regions)
+	return c
+}
+
+// Reset returns a clone to its template's state: every overlay page is
+// dropped (releasing its frame reference) and the region map is restored
+// from the template. Cost is O(dirty pages + regions) — the §3.3 restore
+// collapses to this between replay runs.
+func (s *AddressSpace) Reset() {
+	if s.base == nil {
+		panic("mem: Reset of a non-clone")
+	}
+	for _, m := range s.pages {
+		m.frame.refs.Add(-1)
+	}
+	clear(s.pages)
+	s.tlbFlush()
+	s.regions = append(s.regions[:0], s.base.regions...)
+	s.counters = Counters{}
+}
+
+// IsClone reports whether the space is a template clone.
+func (s *AddressSpace) IsClone() bool { return s.base != nil }
+
+// lookup resolves the mapping for page pa, falling through to the template
+// for clones. owned reports whether the mapping lives in s's own table (and
+// may therefore be mutated). Hits in the translation cache skip the map
+// probes entirely; the cache is only filled while the space is unsealed, so
+// lookups against a sealed template never write shared state.
+func (s *AddressSpace) lookup(pa Addr) (m *mapping, owned bool) {
+	e := &s.tlb[(uint64(pa)>>PageShift)&(tlbSize-1)]
+	if e.m != nil && e.pa == pa {
+		return e.m, e.owned
+	}
+	m, owned = s.lookupSlow(pa)
+	if m != nil && !s.sealed {
+		e.pa, e.m, e.owned = pa, m, owned
+	}
+	return m, owned
+}
+
+func (s *AddressSpace) lookupSlow(pa Addr) (m *mapping, owned bool) {
+	if m, ok := s.pages[pa]; ok {
+		return m, true
+	}
+	if s.base != nil {
+		if m, ok := s.base.pages[pa]; ok {
+			return m, false
+		}
+	}
+	return nil, false
+}
+
+// materialize installs an overlay mapping for template page pa in a clone,
+// sharing the template's frame (the frame gains a reference; a later write
+// still Copy-on-Writes it). Returns the overlay mapping.
+func (s *AddressSpace) materialize(pa Addr, tm *mapping) *mapping {
+	tm.frame.refs.Add(1)
+	m := &mapping{frame: tm.frame, prot: tm.prot}
+	s.pages[pa] = m
+	s.tlbPut(pa, m, true)
+	return m
+}
+
 // Counters returns a snapshot of the space's event counters.
 func (s *AddressSpace) Counters() Counters { return s.counters }
 
@@ -182,13 +329,14 @@ func (s *AddressSpace) ResetCounters() { s.counters = Counters{} }
 // Map creates a region of n bytes (rounded up to whole pages) at base with
 // the given protection, allocating zeroed frames.
 func (s *AddressSpace) Map(base Addr, n uint64, prot Prot, name string) Region {
+	s.mutable("Map")
 	if base.PageOffset() != 0 {
 		panic(fmt.Sprintf("mem: unaligned Map base %#x", uint64(base)))
 	}
 	npages := (n + PageSize - 1) / PageSize
 	for i := uint64(0); i < npages; i++ {
 		pa := base + Addr(i*PageSize)
-		if _, ok := s.pages[pa]; ok {
+		if m, _ := s.lookup(pa); m != nil {
 			panic(fmt.Sprintf("mem: Map overlaps existing page at %#x", uint64(pa)))
 		}
 		s.pages[pa] = &mapping{frame: newPage(), prot: prot}
@@ -217,6 +365,17 @@ func (s *AddressSpace) MapRegion(r Region) Region {
 // Unmap removes every page of the region starting at base. It is the inverse
 // of Map; unmapping an address that is not a region start panics.
 func (s *AddressSpace) Unmap(base Addr) {
+	s.mutable("Unmap")
+	if s.base != nil {
+		// A clone may only unmap regions it mapped itself (heap growth); the
+		// template's regions must stay resolvable for every other clone and
+		// for the next Reset.
+		for _, br := range s.base.regions {
+			if br.Start == base {
+				panic(fmt.Sprintf("mem: Unmap of template region %#x from a clone", uint64(base)))
+			}
+		}
+	}
 	idx := -1
 	for i, r := range s.regions {
 		if r.Start == base {
@@ -234,6 +393,7 @@ func (s *AddressSpace) Unmap(base Addr) {
 			delete(s.pages, pa)
 		}
 	}
+	s.tlbFlush()
 	s.regions = append(s.regions[:idx], s.regions[idx+1:]...)
 }
 
@@ -257,12 +417,23 @@ func (s *AddressSpace) RegionFor(a Addr) (Region, bool) {
 
 // Mapped reports whether the page containing a is mapped.
 func (s *AddressSpace) Mapped(a Addr) bool {
-	_, ok := s.pages[a.PageBase()]
-	return ok
+	m, _ := s.lookup(a.PageBase())
+	return m != nil
 }
 
 // PageCount returns the number of mapped pages.
-func (s *AddressSpace) PageCount() int { return len(s.pages) }
+func (s *AddressSpace) PageCount() int {
+	if s.base == nil {
+		return len(s.pages)
+	}
+	n := len(s.base.pages)
+	for pa := range s.pages {
+		if _, ok := s.base.pages[pa]; !ok {
+			n++
+		}
+	}
+	return n
+}
 
 // MappedPages returns the page-aligned addresses of every mapped page,
 // sorted.
@@ -271,15 +442,28 @@ func (s *AddressSpace) MappedPages() []Addr {
 	for pa := range s.pages {
 		out = append(out, pa)
 	}
+	if s.base != nil {
+		for pa := range s.base.pages {
+			if _, ok := s.pages[pa]; !ok {
+				out = append(out, pa)
+			}
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Protect sets the protection of the page containing a.
+// Protect sets the protection of the page containing a. On a clone, a
+// template page gains an overlay mapping (sharing the frame) so the
+// template's own protection is untouched.
 func (s *AddressSpace) Protect(a Addr, prot Prot) error {
-	m, ok := s.pages[a.PageBase()]
-	if !ok {
+	s.mutable("Protect")
+	m, owned := s.lookup(a.PageBase())
+	if m == nil {
 		return &AccessError{Addr: a, Kind: FaultRead, Mapped: false}
+	}
+	if !owned {
+		m = s.materialize(a.PageBase(), m)
 	}
 	m.prot = prot
 	return nil
@@ -297,23 +481,26 @@ func (s *AddressSpace) ProtectRange(start, end Addr, prot Prot) error {
 
 // ProtOf returns the current protection of the page containing a.
 func (s *AddressSpace) ProtOf(a Addr) (Prot, bool) {
-	m, ok := s.pages[a.PageBase()]
-	if !ok {
+	m, _ := s.lookup(a.PageBase())
+	if m == nil {
 		return 0, false
 	}
 	return m.prot, true
 }
 
 // resolve returns the mapping for an access, running the fault handler as
-// needed. want is the protection bit the access requires.
-func (s *AddressSpace) resolve(a Addr, kind FaultKind, want Prot) (*mapping, error) {
+// needed. want is the protection bit the access requires. owned reports
+// whether the mapping belongs to s itself (false: a template mapping a clone
+// is reading through — writers must go via writableFrame, which materializes
+// an overlay copy instead of touching the template).
+func (s *AddressSpace) resolve(a Addr, kind FaultKind, want Prot) (m *mapping, owned bool, err error) {
 	for attempt := 0; ; attempt++ {
-		m, ok := s.pages[a.PageBase()]
-		if !ok {
-			return nil, &AccessError{Addr: a, Kind: kind, Mapped: false}
+		m, owned = s.lookup(a.PageBase())
+		if m == nil {
+			return nil, false, &AccessError{Addr: a, Kind: kind, Mapped: false}
 		}
 		if m.prot&want != 0 {
-			return m, nil
+			return m, owned, nil
 		}
 		switch kind {
 		case FaultRead:
@@ -322,14 +509,28 @@ func (s *AddressSpace) resolve(a Addr, kind FaultKind, want Prot) (*mapping, err
 			s.counters.WriteFaults++
 		}
 		if s.handler == nil || attempt > 0 || !s.handler(s, a, kind) {
-			return nil, &AccessError{Addr: a, Kind: kind, Mapped: true}
+			return nil, false, &AccessError{Addr: a, Kind: kind, Mapped: true}
 		}
 	}
 }
 
-// writableFrame returns m's frame, duplicating it first if it is shared
-// (Copy-on-Write).
-func (s *AddressSpace) writableFrame(m *mapping) *page {
+// writableFrame returns a frame that may be written for the page containing
+// a. An unowned (template) mapping first materializes a private overlay copy
+// in the clone; a shared owned frame is duplicated (Copy-on-Write). Either
+// way the returned frame is exclusively this space's.
+func (s *AddressSpace) writableFrame(a Addr, m *mapping, owned bool) *page {
+	s.mutable("write")
+	if !owned {
+		// First write to a template page: copy it into the overlay. The
+		// template mapping and its frame are never touched.
+		dup := newPage()
+		dup.data = m.frame.data
+		om := &mapping{frame: dup, prot: m.prot}
+		s.pages[a.PageBase()] = om
+		s.tlbPut(a.PageBase(), om, true)
+		s.counters.CoWCopies++
+		return dup
+	}
 	if m.frame.refs.Load() > 1 {
 		dup := newPage()
 		dup.data = m.frame.data
@@ -344,7 +545,7 @@ func (s *AddressSpace) writableFrame(m *mapping) *page {
 // access may span pages.
 func (s *AddressSpace) ReadAt(p []byte, a Addr) error {
 	for len(p) > 0 {
-		m, err := s.resolve(a, FaultRead, ProtRead)
+		m, _, err := s.resolve(a, FaultRead, ProtRead)
 		if err != nil {
 			return err
 		}
@@ -360,11 +561,11 @@ func (s *AddressSpace) ReadAt(p []byte, a Addr) error {
 // performing Copy-on-Write duplication of shared frames.
 func (s *AddressSpace) WriteAt(p []byte, a Addr) error {
 	for len(p) > 0 {
-		m, err := s.resolve(a, FaultWrite, ProtWrite)
+		m, owned, err := s.resolve(a, FaultWrite, ProtWrite)
 		if err != nil {
 			return err
 		}
-		f := s.writableFrame(m)
+		f := s.writableFrame(a, m, owned)
 		off := a.PageOffset()
 		n := copy(f.data[off:], p)
 		p = p[n:]
@@ -373,10 +574,51 @@ func (s *AddressSpace) WriteAt(p []byte, a Addr) error {
 	return nil
 }
 
+// TryReadU64 answers an aligned in-page 64-bit read from the translation
+// cache alone: ok=false means "no cached readable translation", and the
+// caller must take the full ReadU64 path. Small enough for the compiler to
+// inline into executor dispatch loops (binary.LittleEndian decodes with a
+// single recognized load, unlike the open-coded leU64).
+func (s *AddressSpace) TryReadU64(a Addr) (v uint64, ok bool) {
+	e := &s.tlb[(uint64(a)>>PageShift)&(tlbSize-1)]
+	off := a & (PageSize - 1)
+	if e.m == nil || e.pa != a-off || e.m.prot&ProtRead == 0 || off > PageSize-8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(e.m.frame.data[off:]), true
+}
+
+// TryWriteU64 is TryReadU64's store twin: it only writes through a cached
+// translation that is owned, writable, and exclusively referenced (so no
+// Copy-on-Write decision is being skipped); any other case reports ok=false
+// and the caller must take the full WriteU64 path.
+func (s *AddressSpace) TryWriteU64(a Addr, v uint64) (ok bool) {
+	e := &s.tlb[(uint64(a)>>PageShift)&(tlbSize-1)]
+	off := a & (PageSize - 1)
+	if e.m == nil || e.pa != a-off || !e.owned || e.m.prot&ProtWrite == 0 ||
+		off > PageSize-8 || e.m.frame.refs.Load() != 1 {
+		return false
+	}
+	binary.LittleEndian.PutUint64(e.m.frame.data[off:], v)
+	return true
+}
+
 // ReadU64 reads a little-endian 64-bit word at a. Words are 8-byte aligned
 // throughout the runtime, so a word never spans pages.
+//
+// The TLB hit path is open-coded: executor Load ops funnel through here, and
+// a cached readable translation answers without the resolve/lookup call
+// chain. Entries are only ever installed on unsealed spaces (and Seal
+// flushes), so trusting one cannot bypass the sealed-template write guard.
 func (s *AddressSpace) ReadU64(a Addr) (uint64, error) {
-	m, err := s.resolve(a, FaultRead, ProtRead)
+	pa := a.PageBase()
+	e := &s.tlb[(uint64(pa)>>PageShift)&(tlbSize-1)]
+	if e.m != nil && e.pa == pa && e.m.prot&ProtRead != 0 {
+		if off := a.PageOffset(); off+8 <= PageSize {
+			return leU64(e.m.frame.data[off : off+8]), nil
+		}
+	}
+	m, _, err := s.resolve(a, FaultRead, ProtRead)
 	if err != nil {
 		return 0, err
 	}
@@ -392,12 +634,27 @@ func (s *AddressSpace) ReadU64(a Addr) (uint64, error) {
 }
 
 // WriteU64 writes a little-endian 64-bit word at a.
+//
+// Like ReadU64, the hot case is open-coded: a cached translation that is
+// owned by this space, writable, and exclusively referenced takes no CoW
+// decision and skips resolve/writableFrame entirely. Shared or template
+// frames (refs > 1, or owned=false) always fall through to the slow path,
+// which duplicates before writing.
 func (s *AddressSpace) WriteU64(a Addr, v uint64) error {
-	m, err := s.resolve(a, FaultWrite, ProtWrite)
+	pa := a.PageBase()
+	e := &s.tlb[(uint64(pa)>>PageShift)&(tlbSize-1)]
+	if e.m != nil && e.pa == pa && e.owned && e.m.prot&ProtWrite != 0 &&
+		e.m.frame.refs.Load() == 1 {
+		if off := a.PageOffset(); off+8 <= PageSize {
+			putLeU64(e.m.frame.data[off:off+8], v)
+			return nil
+		}
+	}
+	m, owned, err := s.resolve(a, FaultWrite, ProtWrite)
 	if err != nil {
 		return err
 	}
-	f := s.writableFrame(m)
+	f := s.writableFrame(a, m, owned)
 	off := a.PageOffset()
 	if off+8 > PageSize {
 		var buf [8]byte
@@ -411,8 +668,8 @@ func (s *AddressSpace) WriteU64(a Addr, v uint64) error {
 // PageData returns a copy of the page containing a, bypassing protection
 // (the kernel-side view used when spooling captured pages).
 func (s *AddressSpace) PageData(a Addr) ([]byte, bool) {
-	m, ok := s.pages[a.PageBase()]
-	if !ok {
+	m, _ := s.lookup(a.PageBase())
+	if m == nil {
 		return nil, false
 	}
 	out := make([]byte, PageSize)
@@ -423,11 +680,11 @@ func (s *AddressSpace) PageData(a Addr) ([]byte, bool) {
 // SetPageData overwrites the page containing a, bypassing protection (loader
 // use only). The page must be mapped.
 func (s *AddressSpace) SetPageData(a Addr, data []byte) error {
-	m, ok := s.pages[a.PageBase()]
-	if !ok {
+	m, owned := s.lookup(a.PageBase())
+	if m == nil {
 		return &AccessError{Addr: a, Kind: FaultWrite, Mapped: false}
 	}
-	f := s.writableFrame(m)
+	f := s.writableFrame(a, m, owned)
 	copy(f.data[:], data)
 	return nil
 }
@@ -449,6 +706,7 @@ func NewFrame(data []byte) *Frame {
 // entries get fresh zeroed private pages. Writers trigger Copy-on-Write, so
 // the frames themselves are never modified.
 func (s *AddressSpace) MapFrames(r Region, frames []*Frame) Region {
+	s.mutable("MapFrames")
 	if r.Start.PageOffset() != 0 {
 		panic(fmt.Sprintf("mem: unaligned MapFrames base %#x", uint64(r.Start)))
 	}
@@ -458,7 +716,7 @@ func (s *AddressSpace) MapFrames(r Region, frames []*Frame) Region {
 	}
 	for i := 0; i < npages; i++ {
 		pa := r.Start + Addr(i*PageSize)
-		if _, ok := s.pages[pa]; ok {
+		if m, _ := s.lookup(pa); m != nil {
 			panic(fmt.Sprintf("mem: MapFrames overlaps existing page at %#x", uint64(pa)))
 		}
 		if frames[i] == nil {
@@ -479,6 +737,11 @@ func (s *AddressSpace) MapFrames(r Region, frames []*Frame) Region {
 // child's pages keep their current protections; the child inherits no fault
 // handler.
 func (s *AddressSpace) Fork() *AddressSpace {
+	if s.base != nil {
+		// Capture never runs against a replayed process; supporting this
+		// would mean flattening the overlay for no caller.
+		panic("mem: Fork of a template clone")
+	}
 	child := NewAddressSpace()
 	for pa, m := range s.pages {
 		m.frame.refs.Add(1)
@@ -496,6 +759,16 @@ func (s *AddressSpace) SharedFrames() int {
 	for _, m := range s.pages {
 		if m.frame.refs.Load() > 1 {
 			n++
+		}
+	}
+	if s.base != nil {
+		for pa, m := range s.base.pages {
+			if _, ok := s.pages[pa]; ok {
+				continue // shadowed by an overlay page
+			}
+			if m.frame.refs.Load() > 1 {
+				n++
+			}
 		}
 	}
 	return n

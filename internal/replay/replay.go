@@ -37,7 +37,7 @@ type Request struct {
 	Tier     Tier
 	Code     *machine.Program // required for TierCompiled
 	// MaxCycles guards against runaway candidate binaries (runtime
-	// timeout); 0 applies a default of 100x no budget.
+	// timeout); 0 applies DefaultMaxCycles.
 	MaxCycles uint64
 	// Recorder observes the interpreted replay (verification map + type
 	// profile construction, §3.4).
@@ -45,7 +45,18 @@ type Request struct {
 	// ASLRSeed randomizes the loader placement; the same seed reproduces
 	// the same layout.
 	ASLRSeed int64
+	// Worker, when set, replays against the worker's warm template clone
+	// instead of restoring the snapshot from scratch: the cold load/break-free
+	// path is skipped entirely and ASLRSeed is ignored (the layout is the
+	// template's). The worker is reset lazily before its next run, so the
+	// caller may still inspect Result.Proc after Run returns.
+	Worker *Worker
 }
+
+// DefaultMaxCycles is the runtime timeout applied when Request.MaxCycles is
+// zero: two billion simulated cycles, several orders of magnitude beyond any
+// legitimate hot-region replay, so only genuinely runaway candidates hit it.
+const DefaultMaxCycles = 2_000_000_000
 
 // Result is one replay's outcome.
 type Result struct {
@@ -66,119 +77,26 @@ const loaderPages = 24
 // to Fig. 1 outcome classes.
 func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error) {
 	snap := req.Snapshot
-	rng := rand.New(rand.NewSource(req.ASLRSeed))
 	sc := store.Obs
-	var t0 time.Time
-	if sc != nil {
-		//detlint:allow time-now — observability-only replay timing, not replayed state
-		t0 = time.Now()
-	}
 
-	// 1) The loader starts as its own process: its image lands at an
-	// ASLR-randomized base that may collide with captured pages.
-	space := mem.NewAddressSpace()
-	loaderBase := pickLoaderBase(rng, snap)
-	space.Map(loaderBase, loaderPages*mem.PageSize, mem.ProtRW, "loader")
-	loaderEnd := loaderBase + loaderPages*mem.PageSize
-
-	// 2) Load the captured state zero-copy: each region is mapped onto the
-	// snapshot's shared frames (boot-common pages come from the store;
-	// file-backed code is re-mapped; untouched pages are fresh zeroed
-	// pages). Writers Copy-on-Write, so snapshots stay pristine. Snapshots
-	// loaded lazily from a store file materialize here, on first access —
-	// and must surface I/O or integrity errors rather than silently mapping
-	// fresh zero pages where captured contents belong.
-	if err := snap.EnsurePages(); err != nil {
-		return nil, fmt.Errorf("replay: %w", err)
-	}
-	if err := store.EnsureBoot(); err != nil {
-		return nil, fmt.Errorf("replay: %w", err)
-	}
-	frames := snap.Frames()
-	boot := store.BootFrames()
-	collisions := 0
-	frameAt := func(pa mem.Addr, r mem.Region) (*mem.Frame, error) {
-		if f, ok := frames[pa]; ok {
-			return f, nil
+	var space *mem.AddressSpace
+	var collisions int
+	if w := req.Worker; w != nil {
+		if w.tmpl.snap != snap {
+			return nil, fmt.Errorf("replay: worker bound to a different snapshot")
 		}
-		if r.BootCommon {
-			f, ok := boot[pa]
-			if !ok {
-				return nil, fmt.Errorf("replay: boot-common page %#x missing from store", uint64(pa))
-			}
-			return f, nil
+		space = w.begin(sc)
+		collisions = w.tmpl.Collisions
+		if sc != nil {
+			sc.Counter("replay.warm_runs").Add(1)
+			sc.Gauge("replay.worker_reuse").Set(w.runs)
 		}
-		return nil, nil
-	}
-	mapRegion := func(r mem.Region) error {
-		if r.Size() == 0 {
-			return nil
-		}
-		fs := make([]*mem.Frame, r.Size()/mem.PageSize)
-		for i := range fs {
-			f, err := frameAt(r.Start+mem.Addr(i*mem.PageSize), r)
-			if err != nil {
-				return err
-			}
-			fs[i] = f
-		}
-		space.MapFrames(r, fs)
-		return nil
-	}
-	var holes []mem.Region // loader-displaced parts, mapped after break-free
-	for _, r := range snap.Layout {
-		if loaderEnd <= r.Start || loaderBase >= r.End {
-			if err := mapRegion(r); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		// The region overlaps the loader: map the parts around it now and
-		// queue the displaced hole for after the loader releases itself.
-		if r.Start < loaderBase {
-			sub := r
-			sub.End = loaderBase
-			if err := mapRegion(sub); err != nil {
-				return nil, err
-			}
-		}
-		if r.End > loaderEnd {
-			sub := r
-			sub.Start = loaderEnd
-			if err := mapRegion(sub); err != nil {
-				return nil, err
-			}
-		}
-		hole := r
-		if hole.Start < loaderBase {
-			hole.Start = loaderBase
-		}
-		if hole.End > loaderEnd {
-			hole.End = loaderEnd
-		}
-		holes = append(holes, hole)
-		for pa := hole.Start; pa < hole.End; pa += mem.PageSize {
-			if _, captured := frames[pa]; captured {
-				collisions++
-			}
-		}
-	}
-
-	// 3) break-free: duplicate the relocation stub to a non-colliding page,
-	// release the loader image, and move the displaced pages home.
-	stub := pickFreePage(space, rng)
-	space.Map(stub, mem.PageSize, mem.ProtRX, "break-free")
-	space.Unmap(loaderBase)
-	for _, h := range holes {
-		if err := mapRegion(h); err != nil {
+	} else {
+		var err error
+		space, collisions, err = restore(store, snap, req.ASLRSeed)
+		if err != nil {
 			return nil, err
 		}
-	}
-	space.Unmap(stub)
-	if sc != nil {
-		// Restore = load + break-free, the §3.3 fixed cost of every replay.
-		sc.Histogram("replay.restore_ms").Observe(float64(time.Since(t0).Microseconds()) / 1000.0)
-		sc.Counter("replay.collisions").Add(int64(collisions))
 	}
 
 	// 4) Become a partial Android process and execute the chosen version
@@ -188,7 +106,7 @@ func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error)
 
 	maxCycles := req.MaxCycles
 	if maxCycles == 0 {
-		maxCycles = 2_000_000_000
+		maxCycles = DefaultMaxCycles
 	}
 	record := func(failed bool) {
 		if sc == nil {
@@ -236,6 +154,131 @@ func Run(dev *device.Device, store *capture.Store, req Request) (*Result, error)
 	return res, nil
 }
 
+// restore performs the cold §3.3 load/break-free sequence (steps 1–3),
+// building a fresh address space holding the captured state. It is the
+// per-run fixed cost the warm worker path amortizes away.
+func restore(store *capture.Store, snap *capture.Snapshot, aslrSeed int64) (*mem.AddressSpace, int, error) {
+	rng := rand.New(rand.NewSource(aslrSeed))
+	sc := store.Obs
+	var t0 time.Time
+	if sc != nil {
+		//detlint:allow time-now — observability-only replay timing, not replayed state
+		t0 = time.Now()
+	}
+
+	// 1) The loader starts as its own process: its image lands at an
+	// ASLR-randomized base that may collide with captured pages.
+	space := mem.NewAddressSpace()
+	loaderBase := pickLoaderBase(rng, snap)
+	space.Map(loaderBase, loaderPages*mem.PageSize, mem.ProtRW, "loader")
+	loaderEnd := loaderBase + loaderPages*mem.PageSize
+
+	// 2) Load the captured state zero-copy: each region is mapped onto the
+	// snapshot's shared frames (boot-common pages come from the store;
+	// file-backed code is re-mapped; untouched pages are fresh zeroed
+	// pages). Writers Copy-on-Write, so snapshots stay pristine. Snapshots
+	// loaded lazily from a store file materialize here, on first access —
+	// and must surface I/O or integrity errors rather than silently mapping
+	// fresh zero pages where captured contents belong.
+	if err := snap.EnsurePages(); err != nil {
+		return nil, 0, fmt.Errorf("replay: %w", err)
+	}
+	if err := store.EnsureBoot(); err != nil {
+		return nil, 0, fmt.Errorf("replay: %w", err)
+	}
+	frames := snap.Frames()
+	boot := store.BootFrames()
+	collisions := 0
+	frameAt := func(pa mem.Addr, r mem.Region) (*mem.Frame, error) {
+		if f, ok := frames[pa]; ok {
+			return f, nil
+		}
+		if r.BootCommon {
+			f, ok := boot[pa]
+			if !ok {
+				return nil, fmt.Errorf("replay: boot-common page %#x missing from store", uint64(pa))
+			}
+			return f, nil
+		}
+		return nil, nil
+	}
+	mapRegion := func(r mem.Region) error {
+		if r.Size() == 0 {
+			return nil
+		}
+		fs := make([]*mem.Frame, r.Size()/mem.PageSize)
+		for i := range fs {
+			f, err := frameAt(r.Start+mem.Addr(i*mem.PageSize), r)
+			if err != nil {
+				return err
+			}
+			fs[i] = f
+		}
+		space.MapFrames(r, fs)
+		return nil
+	}
+	var holes []mem.Region // loader-displaced parts, mapped after break-free
+	for _, r := range snap.Layout {
+		if loaderEnd <= r.Start || loaderBase >= r.End {
+			if err := mapRegion(r); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		// The region overlaps the loader: map the parts around it now and
+		// queue the displaced hole for after the loader releases itself.
+		if r.Start < loaderBase {
+			sub := r
+			sub.End = loaderBase
+			if err := mapRegion(sub); err != nil {
+				return nil, 0, err
+			}
+		}
+		if r.End > loaderEnd {
+			sub := r
+			sub.Start = loaderEnd
+			if err := mapRegion(sub); err != nil {
+				return nil, 0, err
+			}
+		}
+		hole := r
+		if hole.Start < loaderBase {
+			hole.Start = loaderBase
+		}
+		if hole.End > loaderEnd {
+			hole.End = loaderEnd
+		}
+		holes = append(holes, hole)
+		for pa := hole.Start; pa < hole.End; pa += mem.PageSize {
+			if _, captured := frames[pa]; captured {
+				collisions++
+			}
+		}
+	}
+
+	// 3) break-free: duplicate the relocation stub to a non-colliding page,
+	// release the loader image, and move the displaced pages home.
+	stub, err := pickFreePage(space, rng, stubArenaPages)
+	if err != nil {
+		return nil, 0, err
+	}
+	space.Map(stub, mem.PageSize, mem.ProtRX, "break-free")
+	space.Unmap(loaderBase)
+	for _, h := range holes {
+		if err := mapRegion(h); err != nil {
+			return nil, 0, err
+		}
+	}
+	space.Unmap(stub)
+	if sc != nil {
+		// Restore = load + break-free, the §3.3 fixed cost of every replay.
+		sc.Histogram("replay.restore_ms").Observe(float64(time.Since(t0).Microseconds()) / 1000.0)
+		sc.Counter("replay.collisions").Add(int64(collisions))
+	}
+
+	return space, collisions, nil
+}
+
 // pickLoaderBase picks an ASLR base. With probability ~1/3 it lands inside
 // the captured statics/heap range to exercise collision handling, otherwise
 // in a free area.
@@ -251,13 +294,25 @@ func pickLoaderBase(rng *rand.Rand, snap *capture.Snapshot) mem.Addr {
 	return mem.Addr(0x7f0000000000 + uint64(rng.Intn(1<<16))*mem.PageSize)
 }
 
-// pickFreePage finds a page-aligned address not currently mapped and not
-// part of the captured layout.
-func pickFreePage(space *mem.AddressSpace, rng *rand.Rand) mem.Addr {
-	for {
-		a := mem.Addr(0x7e0000000000 + uint64(rng.Intn(1<<20))*mem.PageSize)
+// stubArenaPages sizes the high arena probed for break-free stub pages.
+const stubArenaPages = 1 << 20
+
+// pickFreePageAttempts bounds the random probing below: the stub arena would
+// have to be essentially full for this many misses, so hitting the budget
+// means the arena is exhausted (or the space is pathological) and the replay
+// should fail rather than hang its worker.
+const pickFreePageAttempts = 1 << 16
+
+// pickFreePage finds a page-aligned address in the arena's first arenaPages
+// pages that is not currently mapped, or errors once the attempt budget is
+// spent. Callers pass stubArenaPages; tests shrink the arena to force
+// exhaustion cheaply.
+func pickFreePage(space *mem.AddressSpace, rng *rand.Rand, arenaPages int) (mem.Addr, error) {
+	for i := 0; i < pickFreePageAttempts; i++ {
+		a := mem.Addr(0x7e0000000000 + uint64(rng.Intn(arenaPages))*mem.PageSize)
 		if !space.Mapped(a) {
-			return a
+			return a, nil
 		}
 	}
+	return 0, fmt.Errorf("replay: stub arena exhausted after %d probes", pickFreePageAttempts)
 }

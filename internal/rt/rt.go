@@ -296,6 +296,11 @@ func (p *Process) header(ref mem.Addr) (uint64, error) {
 	if ref < HeapBase || ref >= p.heapMax {
 		return 0, &Trap{Kind: TrapBadRef, Addr: ref}
 	}
+	// Every ArrLen/Bound/field access funnels through here; answer from the
+	// space's translation cache when possible.
+	if v, ok := p.Space.TryReadU64(ref); ok {
+		return v, nil
+	}
 	return p.Space.ReadU64(ref)
 }
 
