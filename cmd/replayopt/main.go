@@ -8,8 +8,18 @@
 //
 //	replayopt -app FFT [-seed 1] [-pop 50] [-gens 11] [-parallel N] [-warm on|off] [-crossvalidate 3]
 //	replayopt -app FFT -trace out.jsonl -metrics -progress
+//	replayopt -app FFT -rtrace rewrites.jsonl -lock FFT.lock.json
+//	replayopt -app FFT -replay-lock FFT.lock.json
 //	replayopt -app FFT -store captures.cas
 //	replayopt -list
+//
+// -rtrace records the winning genome's rewrite trace — one JSONL entry per
+// pass application with hashes, params, notes, and diffs — replayable and
+// bisectable with cmd/rtrace. -lock persists the winner's policy lock (the
+// pinned decision sequence). -replay-lock skips the GA search entirely:
+// it loads a saved lock, audits it for drift against the current compiler,
+// compiles the region under the locked configuration, and measures it by
+// replay — the ShareJIT-style reuse path.
 //
 // -store persists the capture store to the given file after the run (the
 // content-addressed, deduplicated format of DESIGN.md §10; inspect it with
@@ -31,9 +41,61 @@ import (
 
 	"replayopt/internal/apps"
 	"replayopt/internal/core"
+	"replayopt/internal/lir/rtrace"
 	"replayopt/internal/obs"
 	"replayopt/internal/profile"
 )
+
+// replayLockedPolicy is the -replay-lock path: no search, just apply a saved
+// winning decision sequence. Static drift (the locked config no longer
+// rebuilds) is fatal; dynamic drift (a decision no longer fires, the image
+// changed) is reported but the measurement still runs so the user sees what
+// the drifted policy is worth today.
+func replayLockedPolicy(opt *core.Optimizer, app *core.App, appName, path string) {
+	l, err := rtrace.ReadLockFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if l.App != "" && l.App != appName {
+		fmt.Fprintf(os.Stderr, "warning: lock was cut for app %q, applying to %q\n", l.App, appName)
+	}
+	if drifts := rtrace.CheckLock(l); len(drifts) > 0 {
+		for _, d := range drifts {
+			fmt.Fprintf(os.Stderr, "lock drift [%s]: %s\n", d.Kind, d.Detail)
+		}
+		fmt.Fprintln(os.Stderr, "the locked configuration no longer rebuilds against this compiler")
+		os.Exit(1)
+	}
+	cfg, err := l.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("replaying locked policy %s on %s (%d passes, %d firing at lock time)\n",
+		path, appName, len(l.Passes), len(l.Fired))
+	p, err := opt.Prepare(app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range rtrace.CheckLockDynamic(l, app.Prog, p.Region.Methods, p.TypeProf, p.Analysis.Effects) {
+		fmt.Printf("lock drift [%s]: %s\n", d.Kind, d.Detail)
+	}
+	code, err := p.CompileRegion(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locked configuration stopped compiling: %v\n", err)
+		os.Exit(1)
+	}
+	ev, _ := p.EvaluateImage(code)
+	if ev.Outcome.Failed() {
+		fmt.Fprintf(os.Stderr, "locked configuration failed replay: %s\n", ev.Outcome)
+		os.Exit(1)
+	}
+	fmt.Printf("region replay means: Android %.4f ms | -O3 %.4f ms | locked %.4f ms (%.2fx over Android)\n",
+		p.AndroidEval.MeanMs, p.O3Eval.MeanMs, ev.MeanMs, p.AndroidEval.MeanMs/ev.MeanMs)
+}
 
 func main() {
 	appName := flag.String("app", "", "application to optimize (see -list)")
@@ -54,6 +116,12 @@ func main() {
 		"warm replay workers: 'on' amortizes snapshot restore across the search via CoW template clones, 'off' restores per run (escape hatch; results are identical either way)")
 	storePath := flag.String("store", "",
 		"persist the capture store to this file after the run (content-addressed; appends only unseen pages)")
+	rtracePath := flag.String("rtrace", "",
+		"write the winning genome's rewrite trace (JSONL; replay/bisect it with cmd/rtrace) to this file")
+	lockPath := flag.String("lock", "",
+		"write the winner's policy lock (JSON; audit it with cmd/rtrace lock-check) to this file")
+	replayLock := flag.String("replay-lock", "",
+		"skip the search: load this policy lock, audit it for drift, and measure the locked configuration by replay")
 	flag.Parse()
 
 	if *list {
@@ -111,7 +179,24 @@ func main() {
 		scope = obs.New(sinks...)
 	}
 	opts.Obs = scope
+
+	var rtraceJSONL *obs.JSONLWriter
+	var rtraceFile *os.File
+	if *rtracePath != "" {
+		rtraceFile, err = os.Create(*rtracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rtraceJSONL = obs.NewJSONLWriter(rtraceFile)
+		opts.RTrace = rtraceJSONL
+	}
 	opt := core.New(opts)
+
+	if *replayLock != "" {
+		replayLockedPolicy(opt, app, spec.Name, *replayLock)
+		return
+	}
 
 	fmt.Printf("optimizing %s (%s: %s)\n", spec.Name, spec.Type, spec.Desc)
 	var rep *core.Report
@@ -155,6 +240,27 @@ func main() {
 	}
 	if rep.KeptBaseline {
 		fmt.Println("note: the baseline binary was kept (the search winner did not qualify)")
+	}
+
+	if rtraceFile != nil {
+		name := rtraceFile.Name()
+		if err := rtraceJSONL.Err(); err == nil {
+			err = rtraceFile.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrewrite trace: %d records written to %s (replay with: rtrace replay %s)\n",
+			rtraceJSONL.Count(), name, name)
+	}
+	if *lockPath != "" {
+		if err := rtrace.WriteLockFile(*lockPath, rep.Lock); err != nil {
+			fmt.Fprintf(os.Stderr, "lock: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("policy lock: %d passes (%d firing) pinned to %s\n",
+			len(rep.Lock.Passes), len(rep.Lock.Fired), *lockPath)
 	}
 
 	if *storePath != "" {

@@ -5,11 +5,18 @@
 // to prove a pipeline run really went profile → capture → verify → search →
 // install.
 //
+// Rewrite-trace records (the "kind"-discriminated lines of
+// internal/lir/rtrace, written by replayopt -rtrace) may share the file with
+// span records; tracelint validates them with the same structural validator
+// as cmd/rtrace -validate, so the two tools can never disagree about what a
+// well-formed artifact is.
+//
 // Usage:
 //
 //	tracelint [-require pipeline,profile,capture,verify,search,install] trace.jsonl
 //
-// Exits 0 on a valid trace, 1 otherwise, and prints per-span-name counts.
+// Exits 0 on a valid trace, 1 otherwise, and prints per-span-name counts
+// plus rewrite-record counts when present.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"replayopt/internal/lir/rtrace"
 	"replayopt/internal/obs"
 )
 
@@ -49,6 +57,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Second pass with the shared rtrace validator: span lines are only
+	// JSON-checked again, but every "kind"-bearing rewrite/header/trailer/
+	// lock record must satisfy the rtrace schema.
+	rst, err := rtrace.ValidateFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+		os.Exit(1)
+	}
+
 	if !*quiet {
 		names := make([]string, 0, len(counts))
 		for name := range counts {
@@ -73,6 +90,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracelint: %s: required spans missing: %s\n",
 			path, strings.Join(missing, ", "))
 		os.Exit(1)
+	}
+	if rst.Rewrites > 0 || rst.Locks > 0 {
+		fmt.Printf("ok: %d spans, %d distinct names; %d rewrite entries (%d passes fired), %d locks\n",
+			len(spans), len(counts), rst.Rewrites, len(rst.Fired), rst.Locks)
+		return
 	}
 	fmt.Printf("ok: %d spans, %d distinct names\n", len(spans), len(counts))
 }

@@ -14,8 +14,10 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
+	"io"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 
 	"replayopt/internal/aot"
@@ -25,6 +27,7 @@ import (
 	"replayopt/internal/ga"
 	"replayopt/internal/interp"
 	"replayopt/internal/lir"
+	"replayopt/internal/lir/rtrace"
 	"replayopt/internal/lir/tv"
 	"replayopt/internal/machine"
 	"replayopt/internal/mem"
@@ -95,6 +98,13 @@ type Options struct {
 	// of it; observation never changes a Report (tests assert Reports are
 	// identical with and without a scope, at any Parallelism).
 	Obs *obs.Scope
+	// RTrace, when set, receives the winning genome's rewrite trace: a
+	// header, one entry per pass application of the winner's recompile, and
+	// the image trailer (internal/lir/rtrace). Like Obs it is observation
+	// only — the policy lock embedded in the Report is computed identically
+	// whether or not a trace destination is configured, so reports stay
+	// byte-identical with tracing on or off.
+	RTrace *obs.JSONLWriter
 }
 
 // DefaultOptions mirrors §4. Warm workers are on by default; Options.Warm
@@ -137,6 +147,12 @@ type Report struct {
 	// SearchStats summarizes the search's evaluation work: evaluations run,
 	// memo-cache hits, and the replay wall-clock the cache saved.
 	SearchStats ga.SearchStats
+
+	// Lock pins the winning decision sequence as a policy-lock artifact: the
+	// configuration (fingerprint-preserving), the region image fingerprint it
+	// produced, and which passes actually fired. cmd/rtrace lock-check audits
+	// it against a later compiler for drift.
+	Lock *rtrace.Lock
 
 	// installed is the code image actually installed (the winner, or the
 	// baseline when KeptBaseline); OptimizeMulti cross-validates it.
@@ -201,7 +217,7 @@ func (p *Prepared) SetWarm(on bool) { p.ev.warm = on }
 
 // EvaluateImage measures a complete code image by replay.
 func (p *Prepared) EvaluateImage(code *machine.Program) (ga.Evaluation, uint64) {
-	ie := p.ev.evaluateImage(code, nil)
+	ie := p.ev.evaluateImage(code, nil, "")
 	return ie.Evaluation, ie.cycles
 }
 
@@ -213,6 +229,46 @@ func (p *Prepared) CompileRegion(cfg lir.Config) (*machine.Program, error) {
 		return nil, err
 	}
 	return overlay(p.Android, code), nil
+}
+
+// TraceRegion recompiles the hot region under cfg with the rewrite-trace
+// recorder attached and cuts the policy lock pinning cfg's decision sequence
+// (internal/lir/rtrace). When w is nil the entries go nowhere, but the lock —
+// fired counts plus the region image fingerprint — is still computed from the
+// same deterministic recompile, so Optimize embeds it in every Report and
+// reports stay byte-identical whether or not a trace destination is set. The
+// recorded image hash covers the region compile alone (not the overlaid
+// baseline): that is exactly what a replaying consumer can rebuild from the
+// trace header.
+func (p *Prepared) TraceRegion(seed int64, cfg lir.Config, w *obs.JSONLWriter) (*rtrace.Lock, error) {
+	opts := rtrace.RecorderOptions{}
+	if w == nil {
+		w = obs.NewJSONLWriter(io.Discard)
+	} else {
+		opts.DiffLines = rtrace.DefaultDiffLines
+	}
+	if p.ev.tvcheck {
+		chk := tv.NewChecker(tv.Options{Reject: true, Strict: true})
+		cfg.Check = chk
+		opts.Checker = chk
+	}
+	rec := rtrace.NewRecorder(w, opts)
+	if err := rec.WriteHeader(p.App.Name, seed, cfg, p.Region.Methods); err != nil {
+		return nil, err
+	}
+	cfg.Trace = rec
+	code, err := lir.Compile(p.App.Prog, p.Region.Methods, cfg, p.TypeProf, p.Analysis.Effects)
+	if err != nil {
+		return nil, fmt.Errorf("core: traced recompile: %w", err)
+	}
+	img := machine.HashProgram(code)
+	if err := rec.Finish(img); err != nil {
+		return nil, err
+	}
+	if err := rec.Err(); err != nil {
+		return nil, err
+	}
+	return rtrace.BuildLock(p.App.Name, cfg, img, rec.Fired()), nil
 }
 
 // Prepare runs pipeline steps 1-5: profile, detect, capture, verify, and
@@ -315,7 +371,7 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 		tvcheck: o.Opts.TVCheck,
 		warm:    o.Opts.Warm, templates: replay.NewTemplateCache(),
 	}
-	andEval := p.ev.evaluateImage(android, nil)
+	andEval := p.ev.evaluateImage(android, nil, "")
 	if andEval.Outcome.Failed() {
 		sp.End(obs.A("error", "baseline failed its own replay"))
 		return nil, fmt.Errorf("core: baseline failed its own replay: %s", andEval.Outcome)
@@ -329,7 +385,7 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 		sp.End(obs.A("error", err.Error()))
 		return nil, fmt.Errorf("core: -O3 compile: %w", err)
 	}
-	o3Eval := p.ev.evaluateImage(o3Code, nil)
+	o3Eval := p.ev.evaluateImage(o3Code, nil, "")
 	if o3Eval.Outcome.Failed() {
 		sp.End(obs.A("error", "-O3 failed verification"))
 		return nil, fmt.Errorf("core: -O3 failed verification: %s", o3Eval.Outcome)
@@ -384,6 +440,20 @@ func (o *Optimizer) Optimize(app *App) (rep *Report, err error) {
 		obs.A("best_ms", rep.GARegionMs),
 		obs.A("region_speedup", rep.RegionSpeedupGA),
 	)
+
+	// 6b) Pin the winning decision sequence: one traced recompile of the
+	// winner cuts the policy lock embedded in the report and, when Options
+	// configure a trace destination, the full rewrite trace. The recompile is
+	// deterministic, so the lock — and therefore the Report — does not depend
+	// on whether tracing was on.
+	rts := pipe.Start("rtrace", obs.A("traced", o.Opts.RTrace != nil))
+	lock, err := p.TraceRegion(o.Opts.Seed, rep.Best, o.Opts.RTrace)
+	if err != nil {
+		rts.End(obs.A("error", err.Error()))
+		return nil, fmt.Errorf("core: winner trace: %w", err)
+	}
+	rep.Lock = lock
+	rts.End(obs.A("fired_passes", len(lock.Fired)))
 
 	// 7) Install the winner — unless it lost to the out-of-the-box binary,
 	// in which case the system keeps the baseline (§1: the search must have
@@ -579,8 +649,11 @@ func (ev *replayEvaluator) releaseWorker(e ga.Evaluator) {
 // keeps its counter, the stable cause label feeds the core.discard_causes
 // tally (stable strings so dashboards and the §3.7 schedule report can key
 // on them across runs), and the raw error text — which classification would
-// otherwise collapse away — rides the eval.discard span for auditing.
-func (ev *replayEvaluator) discard(outcome ga.Outcome, cause string, err error) {
+// otherwise collapse away — rides the eval.discard span for auditing. passes
+// is the bounded pass-pipeline label of the discarded candidate (empty for
+// whole-image measurements, which have no pass pipeline of their own), so a
+// discard is attributable to its decision sequence without a full trace.
+func (ev *replayEvaluator) discard(outcome ga.Outcome, cause string, err error, passes string) {
 	sc := ev.o.Opts.Obs
 	if sc == nil {
 		return
@@ -591,8 +664,50 @@ func (ev *replayEvaluator) discard(outcome ga.Outcome, cause string, err error) 
 	if err != nil {
 		detail = err.Error()
 	}
+	attrs := []obs.Attr{
+		obs.A("outcome", outcome.String()),
+		obs.A("cause", cause),
+		obs.A("error", truncateLabel(detail, 200)),
+	}
+	if passes != "" {
+		attrs = append(attrs, obs.A("passes", passes))
+	}
 	sp := sc.StartUnder(ev.obsParent, "eval.discard")
-	sp.End(obs.A("outcome", outcome.String()), obs.A("cause", cause), obs.A("error", truncateLabel(detail, 200)))
+	sp.End(attrs...)
+}
+
+// passesLabel renders a candidate's pass pipeline as a bounded span label:
+// pass names in genome order with their explicit parameters inline, truncated
+// past 200 bytes. Cheap enough for the discard path; never computed when
+// observation is off.
+func passesLabel(specs []lir.PassSpec) string {
+	var b strings.Builder
+	for i, s := range specs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Name)
+		if len(s.Params) > 0 {
+			names := make([]string, 0, len(s.Params))
+			//detlint:allow map-range — names are sorted before rendering
+			for name := range s.Params {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			b.WriteByte('{')
+			for j, name := range names {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%s:%d", name, s.Params[name])
+			}
+			b.WriteByte('}')
+		}
+		if b.Len() > 200 {
+			break
+		}
+	}
+	return truncateLabel(b.String(), 200)
 }
 
 // DiscardCause maps an evaluation error to its stable cause label. Distinct
@@ -655,13 +770,21 @@ func (ev *replayEvaluator) evaluate(cfg lir.Config, ws *workerSet) ga.Evaluation
 		// ignores harness settings, so the memo cache is unaffected.
 		cfg.Check = tv.NewChecker(tv.Options{Reject: true, Strict: true})
 	}
+	var passes string
+	if ev.o.Opts.Obs != nil {
+		passes = passesLabel(cfg.Passes)
+		// Nest the candidate's per-pass compile spans and latency histograms
+		// under the search span; like every obs hook this never feeds back
+		// into the measurement.
+		cfg.Obs = ev.obsParent
+	}
 	code, err := lir.Compile(ev.app.Prog, ev.region.Methods, cfg, ev.prof, ev.static)
 	if err != nil {
 		outcome := classifyCompileError(err)
-		ev.discard(outcome, DiscardCause(err), err)
+		ev.discard(outcome, DiscardCause(err), err, passes)
 		return ga.Evaluation{Outcome: outcome}
 	}
-	return ev.evaluateImage(overlay(ev.android, code), ws).Evaluation
+	return ev.evaluateImage(overlay(ev.android, code), ws, passes).Evaluation
 }
 
 // evaluateImage replays a full code image: two real replays under different
@@ -678,7 +801,7 @@ func (ev *replayEvaluator) evaluate(cfg lir.Config, ws *workerSet) ga.Evaluation
 // cycle counts are layout-independent (the replay package's determinism
 // test), and every Evaluation field derives from cycles and the image hash
 // only, so warm and cold measurements are identical byte for byte.
-func (ev *replayEvaluator) evaluateImage(code *machine.Program, ws *workerSet) imageEval {
+func (ev *replayEvaluator) evaluateImage(code *machine.Program, ws *workerSet, passes string) imageEval {
 	imgHash := hashImage(code)
 	run := func(seed int64) (*replay.Result, error) {
 		req := replay.Request{
@@ -703,11 +826,11 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program, ws *workerSet) i
 	res, err := run(1)
 	if err != nil {
 		outcome := classifyRuntimeError(err)
-		ev.discard(outcome, DiscardCause(err), err)
+		ev.discard(outcome, DiscardCause(err), err, passes)
 		return imageEval{Evaluation: ga.Evaluation{Outcome: outcome}}
 	}
 	if err := ev.vmap.Check(res); err != nil {
-		ev.discard(ga.OutcomeWrongOutput, "verify-mismatch", err)
+		ev.discard(ga.OutcomeWrongOutput, "verify-mismatch", err, passes)
 		return imageEval{Evaluation: ga.Evaluation{Outcome: ga.OutcomeWrongOutput}}
 	}
 	// Replays under a second ASLR layout must agree cycle-for-cycle;
@@ -721,7 +844,7 @@ func (ev *replayEvaluator) evaluateImage(code *machine.Program, ws *workerSet) i
 				err = fmt.Errorf("nondeterministic: %d cycles under the second ASLR layout, %d under the first",
 					res2.Cycles, res.Cycles)
 			}
-			ev.discard(ga.OutcomeWrongOutput, "nondeterministic", err)
+			ev.discard(ga.OutcomeWrongOutput, "nondeterministic", err, passes)
 			return imageEval{Evaluation: ga.Evaluation{Outcome: ga.OutcomeWrongOutput}}
 		}
 	}
@@ -779,61 +902,7 @@ func classifyRuntimeError(err error) ga.Outcome {
 	}
 }
 
-// fnv1a64 constants (FNV-1a, 64 bit) — the hash is computed inline below so
-// the per-field loop stays call-free; the digest is bit-identical to feeding
-// the same little-endian words through hash/fnv.
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
-// fnvWord folds one little-endian 64-bit word into an FNV-1a state.
-func fnvWord(h uint64, v int64) uint64 {
-	for i := 0; i < 64; i += 8 {
-		h = (h ^ uint64(byte(v>>i))) * fnvPrime64
-	}
-	return h
-}
-
-// hashImage fingerprints generated code for the identical-binaries halt.
-// Runs once per candidate evaluation, so it is kept allocation- and
-// call-free in the per-instruction loop.
-func hashImage(code *machine.Program) uint64 {
-	ids := make([]int, 0, len(code.Fns))
-	//detlint:allow map-range — ids are sorted before hashing
-	for id := range code.Fns {
-		ids = append(ids, int(id))
-	}
-	sortInts(ids)
-	h := uint64(fnvOffset64)
-	for _, id := range ids {
-		fn := code.Fns[dex.MethodID(id)]
-		h = fnvWord(h, int64(id))
-		for i := range fn.Code {
-			in := &fn.Code[i]
-			h = fnvWord(h, int64(in.Op))
-			h = fnvWord(h, int64(in.A))
-			h = fnvWord(h, int64(in.B))
-			h = fnvWord(h, int64(in.C))
-			h = fnvWord(h, int64(in.D))
-			h = fnvWord(h, in.Imm)
-			h = fnvWord(h, int64(math.Float64bits(in.F)))
-			h = fnvWord(h, int64(in.Sym))
-			h = fnvWord(h, in.Disp)
-			h = fnvWord(h, int64(in.Cond))
-			h = fnvWord(h, int64(in.Hint))
-			for _, a := range in.Args {
-				h = fnvWord(h, int64(a))
-			}
-		}
-	}
-	return h
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
+// hashImage fingerprints generated code for the identical-binaries halt; the
+// digest is machine.HashProgram's, shared with the rtrace replayer's
+// fingerprint-identity proof.
+func hashImage(code *machine.Program) uint64 { return machine.HashProgram(code) }

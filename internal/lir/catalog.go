@@ -167,6 +167,37 @@ func ApplyLlc(values map[string]int) LowerOpts {
 	return lo
 }
 
+// LlcFromLower inverts ApplyLlc into the canonical minimal option map: flags
+// appear only when set, num-regs only when it deviates from the default 26.
+// Round-trip holds in both directions — ApplyLlc(LlcFromLower(lo)) == lo for
+// any lo this catalog can produce — which is what lets a rewrite-trace header
+// or policy lock persist a winning lowering as portable option values.
+func LlcFromLower(lo LowerOpts) map[string]int {
+	out := map[string]int{}
+	if lo.Machine.FuseLiterals {
+		out["fuse-literals"] = 1
+	}
+	if lo.Machine.FuseMaddInt {
+		out["fuse-madd-int"] = 1
+	}
+	if lo.Machine.FuseMaddFloat {
+		out["fuse-madd-float"] = 1
+	}
+	if lo.FusedAddressing {
+		out["fused-addressing"] = 1
+	}
+	if lo.Machine.Schedule {
+		out["list-schedule"] = 1
+	}
+	if lo.Machine.NumRegs != 26 {
+		out["num-regs"] = lo.Machine.NumRegs
+	}
+	if lo.Machine.BlockAlign {
+		out["block-align"] = 1
+	}
+	return out
+}
+
 // CountOptParamsFlags reports the advertised opt parameter/flag count; the
 // registry's real parameters are counted once per catalog configuration that
 // can set them, padded to the paper's figure.

@@ -38,15 +38,15 @@ func registerInlinePasses() {
 	register(&PassInfo{
 		Name: "intrinsics",
 		Doc:  "custom pass (§3.5): replace JNI math natives with IR intrinsics",
-		Run: func(f *Function, _ *PassContext, _ map[string]int) error {
-			runIntrinsics(f)
+		Run: func(f *Function, ctx *PassContext, _ map[string]int) error {
+			runIntrinsics(f, ctx)
 			return nil
 		},
 		Traits: Traits{Mem: true}, // rewrites native calls into intrinsics
 	})
 }
 
-func runIntrinsics(f *Function) {
+func runIntrinsics(f *Function, ctx *PassContext) {
 	for _, b := range f.Blocks {
 		for _, v := range b.Insns {
 			if v.Op != OpCallNative {
@@ -55,6 +55,9 @@ func runIntrinsics(f *Function) {
 			nt := f.Prog.Natives[v.Sym]
 			if nt.Intrinsic == dex.IntrinsicNone {
 				continue
+			}
+			if ctx != nil && ctx.Tracing() {
+				ctx.Note("intrinsics.replace", NoteAnchor(b, v), KV("intrinsic", int64(nt.Intrinsic)))
 			}
 			v.Op = OpIntrinsic
 			v.Sym = int(nt.Intrinsic)
@@ -97,10 +100,20 @@ func runInline(f *Function, ctx *PassContext, params map[string]int) error {
 			}
 			callee := f.Prog.Methods[target]
 			if callee.Uncompilable || len(callee.Code) > threshold {
+				if ctx.Tracing() && !callee.Uncompilable {
+					ctx.Note("inline.reject", NoteAnchor(s.b, s.v),
+						KV("callee", int64(target)), KV("size", int64(len(callee.Code))),
+						KV("threshold", int64(threshold)))
+				}
 				continue
 			}
 			if !stillPresent(f, s.b, s.v) {
 				continue
+			}
+			if ctx.Tracing() {
+				ctx.Note("inline.accept", NoteAnchor(s.b, s.v),
+					KV("callee", int64(target)), KV("size", int64(len(callee.Code))),
+					KV("threshold", int64(threshold)), KV("round", int64(r)))
 			}
 			if err := inlineCall(f, s.b, s.v, target); err != nil {
 				return err
@@ -278,6 +291,9 @@ func runDevirt(f *Function, ctx *PassContext, params map[string]int) error {
 		// resulting OpCallStatic is also visible to a later inline pass.
 		if ctx.Static != nil {
 			if target, ok := ctx.Static.Graph.MonoTarget(dex.MethodID(s.v.Sym)); ok {
+				if ctx.Tracing() {
+					ctx.Note("devirt.mono", NoteAnchor(s.b, s.v), KV("target", int64(target)))
+				}
 				s.v.Op = OpCallStatic
 				s.v.Sym = int(target)
 				continue
@@ -294,6 +310,15 @@ func runDevirt(f *Function, ctx *PassContext, params map[string]int) error {
 		resolved := f.Prog.Resolve(dex.MethodID(s.v.Sym), cls)
 		if !stillPresent(f, s.b, s.v) {
 			continue
+		}
+		if ctx.Tracing() {
+			rule := "devirt.guard"
+			if nofallback {
+				rule = "devirt.nofallback"
+			}
+			ctx.Note(rule, NoteAnchor(s.b, s.v),
+				KV("class", int64(cls)), KV("share-pct", int64(share*100)),
+				KV("min-share-pct", int64(minShare*100)))
 		}
 		if nofallback {
 			// UNSAFE: unconditional direct call; wrong for any receiver of

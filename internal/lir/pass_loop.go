@@ -318,6 +318,15 @@ func runUnroll(f *Function, ctx *PassContext, params map[string]int) error {
 		if target == nil {
 			return nil
 		}
+		if ctx.Tracing() {
+			trip := int64(-1)
+			if c, isC := isConstInt(target.limit); isC {
+				trip = c
+			}
+			ctx.Note("unroll.widen", NoteAnchor(target.head, nil),
+				KV("factor", int64(factor)), KV("step", target.step),
+				KV("const-limit", trip), KV("no-remainder", b2i(noRemainder)))
+		}
 		mainHead := unrollOne(f, target, factor, noRemainder)
 		// Neither the new main loop nor the remainder loop is unrolled
 		// again by this invocation.
@@ -452,6 +461,10 @@ func runPeel(f *Function, ctx *PassContext, params map[string]int) error {
 			if !ok {
 				continue
 			}
+			if ctx.Tracing() {
+				ctx.Note("peel.iteration", NoteAnchor(cl.head, nil),
+					KV("iteration", int64(n)), KV("step", cl.step))
+			}
 			peelOne(f, cl)
 			if err := ctx.checkGrowth(f, "peel"); err != nil {
 				return err
@@ -538,6 +551,10 @@ func runVectorize(f *Function, ctx *PassContext, _ map[string]int) error {
 		}
 		if target == nil {
 			return nil
+		}
+		if ctx.Tracing() {
+			ctx.Note("vectorize.widen", NoteAnchor(target.head, nil),
+				KV("width", 4), KV("step", target.step))
 		}
 		mainHead := unrollOne(f, target, 4, false)
 		processed[mainHead] = true

@@ -18,8 +18,8 @@ func registerMemPasses() {
 	register(&PassInfo{
 		Name: "storeforward",
 		Doc:  "forward stored values to later loads of the same location (per block)",
-		Run: func(f *Function, _ *PassContext, _ map[string]int) error {
-			runStoreForward(f)
+		Run: func(f *Function, ctx *PassContext, _ map[string]int) error {
+			runStoreForward(f, ctx)
 			runDCE(f)
 			return nil
 		},
@@ -117,7 +117,7 @@ func isCall(v *Value) bool {
 // runStoreForward forwards stored (or previously loaded) values to later
 // loads of the same location within a block, conservatively invalidating on
 // calls and on stores to potentially-aliasing locations.
-func runStoreForward(f *Function) {
+func runStoreForward(f *Function, ctx *PassContext) {
 	for _, b := range f.Blocks {
 		avail := map[locKey]*Value{}
 		dead := map[*Value]bool{}
@@ -139,6 +139,9 @@ func runStoreForward(f *Function) {
 			}
 			if k, ok := loadKey(v); ok {
 				if prev, hit := avail[k]; hit && prev.Type == v.Type {
+					if ctx != nil && ctx.Tracing() {
+						ctx.Note("storeforward.forward", NoteAnchor(b, v), KV("from", int64(prev.ID)))
+					}
 					f.ReplaceUses(v, prev)
 					dead[v] = true
 				} else {
@@ -154,7 +157,7 @@ func runStoreForward(f *Function) {
 // overwrites it with no intervening read. The alias-blind variant matches by
 // shape only (ignoring base identity) and skips the read check for loads
 // whose index differs syntactically — both unsound.
-func runDSE(f *Function, _ *PassContext, params map[string]int) error {
+func runDSE(f *Function, ctx *PassContext, params map[string]int) error {
 	aliasBlind := params["alias-blind"] == 1
 	for _, b := range f.Blocks {
 		dead := map[*Value]bool{}
@@ -199,6 +202,9 @@ func runDSE(f *Function, _ *PassContext, params map[string]int) error {
 				if w.IsTerminator() {
 					break scan
 				}
+			}
+			if dead[insns[i]] && ctx != nil && ctx.Tracing() {
+				ctx.Note("dse.remove", NoteAnchor(b, insns[i]), KV("alias-blind", b2i(aliasBlind)))
 			}
 		}
 		removeValues(f, dead)
@@ -245,7 +251,7 @@ func ensurePreheader(f *Function, l *Loop) *Block {
 	return ph
 }
 
-func runLICM(f *Function, _ *PassContext, params map[string]int) error {
+func runLICM(f *Function, ctx *PassContext, params map[string]int) error {
 	hoistLoads := params["loads"] == 1
 	unsafe := params["unsafe"] == 1
 	f.Recompute()
@@ -298,6 +304,12 @@ func runLICM(f *Function, _ *PassContext, params map[string]int) error {
 					}
 				}
 				if len(moved) > 0 {
+					if ctx != nil && ctx.Tracing() {
+						for _, v := range moved {
+							ctx.Note("licm.hoist", NoteAnchor(b, v),
+								KV("to", int64(ph.ID)), KV("depth", int64(l.Depth)))
+						}
+					}
 					dead := map[*Value]bool{}
 					for _, v := range moved {
 						dead[v] = true
@@ -318,13 +330,16 @@ func runLICM(f *Function, _ *PassContext, params map[string]int) error {
 // (GVN-style) or guarded by the canonical loop pattern
 // `for i = 0; i < arr.length; i++`; the aggressive variant removes all of
 // them.
-func runBCE(f *Function, _ *PassContext, params map[string]int) error {
+func runBCE(f *Function, ctx *PassContext, params map[string]int) error {
 	f.Recompute()
 	if params["aggressive"] == 1 {
 		dead := map[*Value]bool{}
 		for _, b := range f.Blocks {
 			for _, v := range b.Insns {
 				if v.Op == OpBoundsCheck {
+					if ctx != nil && ctx.Tracing() {
+						ctx.Note("bce.aggressive", NoteAnchor(b, v))
+					}
 					dead[v] = true
 				}
 			}
@@ -382,6 +397,9 @@ func runBCE(f *Function, _ *PassContext, params map[string]int) error {
 		for b := range l.Blocks {
 			for _, v := range b.Insns {
 				if v.Op == OpBoundsCheck && v.Args[1] == iv && sameArrayIn(l, v.Args[0], arr) {
+					if ctx != nil && ctx.Tracing() {
+						ctx.Note("bce.induction", NoteAnchor(b, v), KV("iv", int64(iv.ID)))
+					}
 					dead[v] = true
 				}
 			}
@@ -402,6 +420,9 @@ func runBCE(f *Function, _ *PassContext, params map[string]int) error {
 			}
 			c, cok := isConstInt(idx)
 			if nok && cok && c >= 0 && c < n {
+				if ctx != nil && ctx.Tracing() {
+					ctx.Note("bce.const", NoteAnchor(b, v), KV("index", c), KV("length", n))
+				}
 				dead[v] = true
 			}
 		}
@@ -475,6 +496,9 @@ func runGCCheckElim(f *Function, ctx *PassContext) {
 	kept := map[*Value]bool{}
 	for _, l := range loops {
 		allocFree := ctx != nil && ctx.Static != nil && loopAllocFree(f, l, ctx.Static)
+		if allocFree && ctx.Tracing() {
+			ctx.Note("gccheckelim.allocfree", NoteAnchor(l.Head, nil), KV("depth", int64(l.Depth)))
+		}
 		var first *Value
 		// Deterministic order: header first, then blocks in f.Blocks order.
 		scan := []*Block{l.Head}

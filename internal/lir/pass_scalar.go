@@ -51,8 +51,11 @@ func registerScalarPasses() {
 	register(&PassInfo{
 		Name: "simplifycfg",
 		Doc:  "fold constant branches, merge straight-line blocks, drop unreachable code",
-		Run: func(f *Function, _ *PassContext, _ map[string]int) error {
-			runSimplifyCFG(f)
+		Run: func(f *Function, ctx *PassContext, _ map[string]int) error {
+			folded, merged := runSimplifyCFG(f)
+			if (folded > 0 || merged > 0) && ctx.Tracing() {
+				ctx.Note("simplifycfg.summary", "", KV("branches-folded", folded), KV("blocks-merged", merged))
+			}
 			return nil
 		},
 		Traits: Traits{CFG: true},
@@ -90,16 +93,23 @@ func isConstFloat(v *Value) (float64, bool) {
 	return 0, false
 }
 
-func runConstFold(f *Function, _ *PassContext, _ map[string]int) error {
+func runConstFold(f *Function, ctx *PassContext, _ map[string]int) error {
+	folds := int64(0)
 	for changed := true; changed; {
 		changed = false
 		for _, b := range f.Blocks {
 			for _, v := range b.Insns {
 				if foldValue(v) {
+					folds++
 					changed = true
 				}
 			}
 		}
+	}
+	// One summary note: per-value notes would hit the cap on any constant-rich
+	// method without adding information.
+	if folds > 0 && ctx.Tracing() {
+		ctx.Note("constfold.summary", "", KV("folds", folds))
 	}
 	return nil
 }
@@ -176,7 +186,7 @@ func isPowerOfTwo(x int64) (shift int64, ok bool) {
 	return shift, true
 }
 
-func runInstCombine(f *Function, _ *PassContext, params map[string]int) error {
+func runInstCombine(f *Function, ctx *PassContext, params map[string]int) error {
 	divToShr := params["div-to-shr"] == 1
 	for _, b := range f.Blocks {
 		for _, v := range b.Insns {
@@ -224,6 +234,9 @@ func runInstCombine(f *Function, _ *PassContext, params map[string]int) error {
 						f.ReplaceUses(v, v.Args[0])
 					} else if sh, pow2 := isPowerOfTwo(c); pow2 && divToShr {
 						// UNSAFE: wrong for negative dividends.
+						if ctx.Tracing() {
+							ctx.Note("instcombine.div-to-shr", NoteAnchor(b, v), KV("shift", sh))
+						}
 						v.Op = OpShr
 						cst := f.NewValue(OpConstInt, TInt)
 						cst.Imm = sh
@@ -270,7 +283,7 @@ func insertBefore(b *Block, anchor, nv *Value) {
 	b.Append(nv)
 }
 
-func runReassoc(f *Function, _ *PassContext, params map[string]int) error {
+func runReassoc(f *Function, ctx *PassContext, params map[string]int) error {
 	fast := params["fast"] == 1
 	uses := f.UseCounts()
 	for _, b := range f.Blocks {
@@ -297,6 +310,9 @@ func runReassoc(f *Function, _ *PassContext, params map[string]int) error {
 			if fast && (v.Op == OpFAdd || v.Op == OpFMul) {
 				inner := v.Args[0]
 				if inner.Op == v.Op && uses[inner.ID] == 1 && inner.Block == b {
+					if ctx.Tracing() {
+						ctx.Note("reassoc.fast-float", NoteAnchor(b, v))
+					}
 					a, bb, c := inner.Args[0], inner.Args[1], v.Args[1]
 					nv := f.NewValue(v.Op, TFloat, bb, c)
 					insertBefore(b, v, nv)
@@ -415,8 +431,9 @@ func gvnEligible(v *Value) bool {
 	return v.Op == OpArrLen || v.Op == OpBoundsCheck
 }
 
-func runGVN(f *Function, _ *PassContext, _ map[string]int) error {
+func runGVN(f *Function, ctx *PassContext, _ map[string]int) error {
 	f.Recompute()
+	replaced := int64(0)
 	kids := f.domChildren()
 	type scope map[gvnKey]*Value
 	var dfs func(b *Block, env scope)
@@ -441,6 +458,7 @@ func runGVN(f *Function, _ *PassContext, _ map[string]int) error {
 				if v.Type != TVoid {
 					f.ReplaceUses(v, prev)
 				}
+				replaced++
 				dead[v] = true
 				continue
 			}
@@ -462,14 +480,17 @@ func runGVN(f *Function, _ *PassContext, _ map[string]int) error {
 	if len(f.Blocks) > 0 {
 		dfs(f.Blocks[0], scope{})
 	}
+	if replaced > 0 && ctx.Tracing() {
+		ctx.Note("gvn.summary", "", KV("replaced", replaced))
+	}
 	runDCE(f)
 	return nil
 }
 
 // runSimplifyCFG folds constant branches, removes branches with identical
 // successors, merges straight-line block pairs, and prunes unreachable
-// blocks.
-func runSimplifyCFG(f *Function) {
+// blocks. It reports how many branches were folded and blocks merged.
+func runSimplifyCFG(f *Function) (folded, merged int64) {
 	for changed := true; changed; {
 		changed = false
 		for _, b := range f.Blocks {
@@ -486,6 +507,7 @@ func runSimplifyCFG(f *Function) {
 					t.Op = OpJump
 					t.Args = nil
 					b.Succs = []*Block{s}
+					folded++
 					changed = true
 					continue
 				}
@@ -504,6 +526,7 @@ func runSimplifyCFG(f *Function) {
 					t.Op = OpJump
 					t.Args = nil
 					b.Succs = []*Block{live}
+					folded++
 					changed = true
 					continue
 				}
@@ -532,6 +555,7 @@ func runSimplifyCFG(f *Function) {
 					s.Succs = nil
 					s.Preds = nil
 					s.Insns = nil
+					merged++
 					changed = true
 					break
 				}
@@ -541,6 +565,7 @@ func runSimplifyCFG(f *Function) {
 			f.Recompute()
 		}
 	}
+	return folded, merged
 }
 
 // removeOnePred deletes the last occurrence of p from b.Preds along with the

@@ -24,6 +24,9 @@ func runUnswitch(f *Function, ctx *PassContext, _ map[string]int) error {
 				continue
 			}
 			if unswitchOne(f, l) {
+				if ctx.Tracing() {
+					ctx.Note("unswitch.duplicate", NoteAnchor(l.Head, nil), KV("depth", int64(l.Depth)))
+				}
 				done[l.Head] = true
 				applied = true
 				if err := ctx.checkGrowth(f, "unswitch"); err != nil {

@@ -77,6 +77,42 @@ func (p *Profile) Dominant(site SiteKey) (cls dex.ClassID, share float64, ok boo
 	return bestCls, float64(best) / float64(total), true
 }
 
+// RewriteNote is one pass-internal decision record: which sub-rule fired,
+// where, and the (bounded) cost-model inputs that drove it. Passes emit
+// notes through PassContext.Note; the pipeline drains them into the rewrite
+// trace after each pass application. Notes are pure observation — nothing
+// reads them back into a compile decision.
+type RewriteNote struct {
+	// Rule names the decision point within the pass, e.g. "inline.accept".
+	Rule string `json:"rule"`
+	// Anchor locates the decision, e.g. "b3:v17" or "loop@b5".
+	Anchor string `json:"anchor,omitempty"`
+	// Detail carries cost-model inputs/outputs as ordered key/value pairs.
+	Detail []NoteKV `json:"detail,omitempty"`
+}
+
+// NoteKV is one rationale key/value pair (ordered, so traces are stable).
+type NoteKV struct {
+	K string `json:"k"`
+	V int64  `json:"v"`
+}
+
+// KV builds a NoteKV (keeps Note call sites short).
+func KV(k string, v int64) NoteKV { return NoteKV{K: k, V: v} }
+
+// b2i encodes a boolean note detail (0/1).
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// maxNotesPerPass bounds rationale collection per pass application so
+// value-at-a-time passes (constfold, gvn) cannot balloon the trace; overflow
+// is counted and reported on the trace entry.
+const maxNotesPerPass = 32
+
 // PassContext carries pass inputs and global limits.
 type PassContext struct {
 	Profile *Profile
@@ -90,6 +126,46 @@ type PassContext struct {
 	// MaxValues caps IR growth; exceeding it is a compiler timeout
 	// (runaway unrolling/inlining). 0 means the default of 60000.
 	MaxValues int
+
+	// traceNotes enables Note collection; the pipeline sets it when a
+	// RewriteTracer is attached and drains notes after every pass.
+	traceNotes   bool
+	notes        []RewriteNote
+	notesDropped int
+}
+
+// Tracing reports whether decision notes are being collected. Passes guard
+// anchor formatting behind it so an untraced compile pays nothing.
+func (ctx *PassContext) Tracing() bool { return ctx.traceNotes }
+
+// Note records one decision rationale when tracing is on (bounded per pass
+// application; overflow increments the dropped count instead).
+func (ctx *PassContext) Note(rule, anchor string, detail ...NoteKV) {
+	if !ctx.traceNotes {
+		return
+	}
+	if len(ctx.notes) >= maxNotesPerPass {
+		ctx.notesDropped++
+		return
+	}
+	ctx.notes = append(ctx.notes, RewriteNote{Rule: rule, Anchor: anchor, Detail: detail})
+}
+
+// NoteAnchor formats the standard "b<block>:v<value>" decision anchor.
+// Callers guard the call behind Tracing() so untraced compiles never format.
+func NoteAnchor(b *Block, v *Value) string {
+	if v == nil {
+		return fmt.Sprintf("b%d", b.ID)
+	}
+	return fmt.Sprintf("b%d:v%d", b.ID, v.ID)
+}
+
+// drainNotes hands the collected notes (and overflow count) to the pipeline
+// and resets for the next pass application.
+func (ctx *PassContext) drainNotes() (notes []RewriteNote, dropped int) {
+	notes, dropped = ctx.notes, ctx.notesDropped
+	ctx.notes, ctx.notesDropped = nil, 0
+	return notes, dropped
 }
 
 func (ctx *PassContext) cap() int {
@@ -152,9 +228,11 @@ func register(p *PassInfo) { registry[p.Name] = p }
 
 // RegisterForTesting registers an extra pass for the duration of a test and
 // returns the cleanup that removes it again. Tests use it to drop a
-// deliberately miscompiling pass into the catalog (the validator drills).
+// deliberately miscompiling pass into the catalog (the validator drills), and
+// cmd/rtrace's bisection drill seeds tv.MiscompilePass through it.
 // Registering a pass deterministically shifts OptCatalog's composition, so
-// the hook must never be called outside tests or benches.
+// the hook must never be live while a catalog-driven search runs — tests,
+// benches, and explicit CLI drills that bypass the GA are the only callers.
 func RegisterForTesting(p *PassInfo) func() {
 	if _, exists := registry[p.Name]; exists {
 		panic("lir: RegisterForTesting: pass " + p.Name + " already registered")

@@ -2,9 +2,11 @@ package lir
 
 import (
 	"fmt"
+	"time"
 
 	"replayopt/internal/dex"
 	"replayopt/internal/machine"
+	"replayopt/internal/obs"
 	"replayopt/internal/sa"
 )
 
@@ -25,11 +27,29 @@ type PipelineCheck interface {
 	AfterPass(f *Function, pass string, info *PassInfo) error
 }
 
+// RewriteTracer observes every pass application with its resolved
+// parameters — the rewrite-trace seam (internal/lir/rtrace implements it; the
+// interface lives here for the same reason PipelineCheck does). BeforePass
+// may also *veto* an application by returning false: the rtrace bisector
+// replays a trace prefix mechanically by enabling exactly the applications
+// under test. A vetoed pass is skipped entirely (no Run, no PipelineCheck),
+// and AfterPass is still delivered with ran=false so sequence numbers stay
+// aligned with the recorded trace.
+type RewriteTracer interface {
+	// BeforePass sees the function before the pass would run; returning
+	// false skips the application.
+	BeforePass(f *Function, spec PassSpec, info *PassInfo, resolved map[string]int) bool
+	// AfterPass sees the function after the pass (and any PipelineCheck
+	// verdict), the decision notes the pass emitted (with the overflow
+	// count), and the error that is about to abort the compile, if any.
+	AfterPass(f *Function, spec PassSpec, info *PassInfo, ran bool, notes []RewriteNote, dropped int, err error)
+}
+
 // Config is one point in the toolchain's optimization space: the opt-style
 // pass sequence plus the llc-style lowering options. GA genomes decode to
-// Configs. Check and CheckEach are evaluation-harness settings, deliberately
-// excluded from Fingerprint: they must not change which configs the GA
-// considers identical.
+// Configs. Check, CheckEach, Trace, and Obs are evaluation-harness settings,
+// deliberately excluded from Fingerprint: they must not change which configs
+// the GA considers identical.
 type Config struct {
 	Passes []PassSpec
 	Lower  LowerOpts
@@ -38,6 +58,15 @@ type Config struct {
 	// CheckEach runs VerifyIR after every pass; a violation is reported as a
 	// CrashError attributed to the offending pass.
 	CheckEach bool
+	// Trace, when non-nil, observes (and may veto) every pass application —
+	// the rewrite-trace seam. Purely a harness setting: recording a trace
+	// never changes what the compile produces.
+	Trace RewriteTracer
+	// Obs, when non-nil, parents a per-compile span and receives per-pass
+	// latency histograms (lir.pass_ms.<pass>) and fired/no-op tallies
+	// (lir.pass_fired / lir.pass_noop) in its scope's registry. Purely
+	// observational.
+	Obs *obs.Span
 }
 
 // maxPipelineLength bounds genome-supplied pass sequences; longer pipelines
@@ -88,30 +117,61 @@ func CompileMethod(prog *dex.Program, id dex.MethodID, cfg Config, prof *Profile
 	if err != nil {
 		return nil, err
 	}
-	ctx := &PassContext{Profile: prof, Static: static}
+	ctx := &PassContext{Profile: prof, Static: static, traceNotes: cfg.Trace != nil}
+	scope := cfg.Obs.Scope()
 	for _, spec := range cfg.Passes {
 		info, ok := PassByName(spec.Name)
 		if !ok {
 			return nil, &CrashError{Pass: spec.Name, Msg: "unknown pass"}
 		}
-		if cfg.Check != nil {
-			cfg.Check.BeforePass(f, spec.Name, info)
+		resolved := resolveParams(info, spec.Params)
+		run := true
+		if cfg.Trace != nil {
+			run = cfg.Trace.BeforePass(f, spec, info, resolved)
 		}
-		if err := info.Run(f, ctx, resolveParams(info, spec.Params)); err != nil {
-			return nil, err
-		}
-		if err := ctx.checkGrowth(f, spec.Name); err != nil {
-			return nil, err
-		}
-		if cfg.CheckEach {
-			if verr := VerifyIR(f); verr != nil {
-				return nil, &CrashError{Pass: spec.Name, Msg: verr.Error()}
+		var perr error
+		if run {
+			if cfg.Check != nil {
+				cfg.Check.BeforePass(f, spec.Name, info)
+			}
+			var before uint64
+			if scope != nil {
+				before = HashFunction(f)
+			}
+			start := time.Now()
+			perr = info.Run(f, ctx, resolved)
+			if scope != nil {
+				scope.Histogram("lir.pass_ms." + spec.Name).Observe(float64(time.Since(start).Microseconds()) / 1000)
+				if perr == nil {
+					if HashFunction(f) != before {
+						scope.Tally("lir.pass_fired").Inc(spec.Name)
+					} else {
+						scope.Tally("lir.pass_noop").Inc(spec.Name)
+					}
+				}
+			}
+			if perr == nil {
+				perr = ctx.checkGrowth(f, spec.Name)
+			}
+			if perr == nil && cfg.CheckEach {
+				if verr := VerifyIR(f); verr != nil {
+					perr = &CrashError{Pass: spec.Name, Msg: verr.Error()}
+				}
+			}
+			if perr == nil && cfg.Check != nil {
+				perr = cfg.Check.AfterPass(f, spec.Name, info)
 			}
 		}
-		if cfg.Check != nil {
-			if cerr := cfg.Check.AfterPass(f, spec.Name, info); cerr != nil {
-				return nil, cerr
-			}
+		// The tracer sees every application — including the one that is
+		// about to abort the compile (a tv rejection lands in the trace as
+		// the entry that ends it) — and runs after Check so it can read the
+		// verdict the checker just recorded.
+		if cfg.Trace != nil {
+			notes, dropped := ctx.drainNotes()
+			cfg.Trace.AfterPass(f, spec, info, run, notes, dropped, perr)
+		}
+		if perr != nil {
+			return nil, perr
 		}
 	}
 	mfn, err := Lower(f, cfg.Lower)
@@ -133,14 +193,17 @@ func Compile(prog *dex.Program, methods []dex.MethodID, cfg Config, prof *Profil
 			}
 		}
 	}
+	sp := cfg.Obs.Start("lir.compile", obs.A("methods", len(methods)), obs.A("passes", len(cfg.Passes)))
 	out := machine.NewProgram()
 	for _, id := range methods {
 		fn, err := CompileMethod(prog, id, cfg, prof, static)
 		if err != nil {
+			sp.End(obs.A("error", err.Error()))
 			return nil, fmt.Errorf("compiling %s: %w", prog.Methods[id].Name, err)
 		}
 		out.Fns[id] = fn
 	}
+	sp.End()
 	return out, nil
 }
 

@@ -1,0 +1,382 @@
+package rtrace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/lir"
+	"replayopt/internal/lir/tv"
+	"replayopt/internal/machine"
+	"replayopt/internal/minic"
+	"replayopt/internal/obs"
+)
+
+// A fixture with loops, arrays, calls, and an always-executed global int
+// store (the store tvbreak skews), so most catalog passes have something to
+// do and the seeded miscompile always finds a target.
+const fixtureSrc = `
+global int ticks;
+
+func sq(int x) int { return x * x; }
+
+func kernel(int n) int {
+	int[] a = new int[n];
+	for (int i = 0; i < len(a); i = i + 1) { a[i] = sq(i) % 29; }
+	int s = 0;
+	for (int i = 0; i < len(a); i = i + 1) { s = s + a[i] * 3; }
+	return s;
+}
+
+func main() int {
+	int total = 0;
+	for (int r = 0; r < 4; r = r + 1) { total = total + kernel(60 + r); }
+	ticks = ticks + 1;
+	return total;
+}
+`
+
+func fixture(t *testing.T) (*dex.Program, []dex.MethodID) {
+	t.Helper()
+	prog, err := minic.CompileSource("fixture", fixtureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var methods []dex.MethodID
+	for i := range prog.Methods {
+		if !prog.Methods[i].Uncompilable {
+			methods = append(methods, dex.MethodID(i))
+		}
+	}
+	return prog, methods
+}
+
+// record compiles prog under cfg with a fresh Recorder and returns the raw
+// trace bytes alongside the compiled image hash.
+func record(t *testing.T, prog *dex.Program, methods []dex.MethodID, cfg lir.Config) ([]byte, uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(obs.NewJSONLWriter(&buf), RecorderOptions{DiffLines: DefaultDiffLines})
+	if err := rec.WriteHeader("fixture", 1, cfg, methods); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = rec
+	code, err := lir.Compile(prog, methods, cfg, nil, nil)
+	if err != nil {
+		t.Fatalf("traced compile: %v", err)
+	}
+	img := machine.HashProgram(code)
+	if err := rec.Finish(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), img
+}
+
+// TestGoldenTrace: the same preset over the same program yields a
+// byte-identical trace — entries carry no timestamps and all map keys
+// marshal sorted, so recording is deterministic down to the bytes.
+func TestGoldenTrace(t *testing.T) {
+	prog, methods := fixture(t)
+	a, _ := record(t, prog, methods, lir.O3())
+	b, _ := record(t, prog, methods, lir.O3())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two recordings of the same compile differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	st, err := ValidateReader(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("golden trace does not validate: %v", err)
+	}
+	if st.Headers != 1 || st.Trailers != 1 || st.Rewrites == 0 {
+		t.Fatalf("unexpected trace shape: %+v", st)
+	}
+	if len(st.Fired) == 0 {
+		t.Error("O3 over the loop fixture fired no pass at all")
+	}
+}
+
+// TestReplayPresets proves the mechanical-replay contract for every preset:
+// re-executing the trace reproduces the recorded image fingerprint.
+func TestReplayPresets(t *testing.T) {
+	prog, methods := fixture(t)
+	for _, tc := range []struct {
+		name string
+		cfg  lir.Config
+	}{
+		{"O0", lir.O0()}, {"O1", lir.O1()}, {"O2", lir.O2()}, {"O3", lir.O3()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, img := record(t, prog, methods, tc.cfg)
+			tr, err := ReadTrace(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Replay(prog, tr, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Match {
+				t.Fatalf("replay did not reproduce the image: %+v", res.Divergence)
+			}
+			if res.ImageHash != HashString(img) {
+				t.Errorf("replay image %s != recorded %s", res.ImageHash, HashString(img))
+			}
+			if res.Entries != len(tr.Entries) {
+				t.Errorf("replay saw %d applications, trace has %d", res.Entries, len(tr.Entries))
+			}
+		})
+	}
+}
+
+// TestReplayDetectsTampering: a trace whose recorded hashes no longer match
+// the live compile pins the first divergence instead of matching.
+func TestReplayDetectsTampering(t *testing.T) {
+	prog, methods := fixture(t)
+	raw, _ := record(t, prog, methods, lir.O2())
+	tr, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) < 2 {
+		t.Fatal("fixture trace too short to tamper with")
+	}
+	// Corrupt one mid-trace after-hash.
+	k := len(tr.Entries) / 2
+	tr.Entries[k].After = HashString(0xdeadbeef)
+	res, err := Replay(prog, tr, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Match || res.Divergence == nil {
+		t.Fatal("tampered trace replayed clean")
+	}
+	// The corrupted entry is either the pinned divergence itself or breaks
+	// the next entry's before-hash; both must point at seq k or k+1.
+	if res.Divergence.Seq != k && res.Divergence.Seq != k+1 {
+		t.Errorf("divergence at seq %d, corrupted seq %d", res.Divergence.Seq, k)
+	}
+}
+
+// TestBisectPinsMiscompile seeds the deliberately broken tvbreak pass into a
+// real pipeline, records the trace, and checks bisection lands exactly on
+// tvbreak's first firing application within the logarithmic step budget.
+func TestBisectPinsMiscompile(t *testing.T) {
+	cleanup := lir.RegisterForTesting(tv.MiscompilePass())
+	defer cleanup()
+
+	prog, methods := fixture(t)
+	cfg := lir.O2()
+	// Bury the miscompile mid-pipeline so the bisector has work to do.
+	passes := append([]lir.PassSpec(nil), cfg.Passes[:4]...)
+	passes = append(passes, lir.PassSpec{Name: tv.MiscompilePassName})
+	cfg.Passes = append(passes, cfg.Passes[4:]...)
+
+	raw, _ := record(t, prog, methods, cfg)
+	tr, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Entries)
+	wantSeq := -1
+	for _, e := range tr.Entries {
+		if e.Pass == tv.MiscompilePassName && e.Fired {
+			wantSeq = e.Seq
+			break
+		}
+	}
+	if wantSeq < 0 {
+		t.Fatal("tvbreak never fired in the recorded trace")
+	}
+
+	// The oracle: compile with only the admitted applications enabled and a
+	// fresh strict validator; "bad" means the validator proves a miscompile.
+	bad := func(enabled func(seq int) bool) bool {
+		probe := cfg
+		probe.Check = tv.NewChecker(tv.Options{Reject: true, Strict: true})
+		_, _, err := CompileMasked(prog, methods, probe, nil, nil, enabled)
+		var rej *tv.RejectError
+		return errors.As(err, &rej)
+	}
+	res, err := Bisect(n, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BadSeq != wantSeq {
+		t.Errorf("bisection pinned seq %d (%s), tvbreak first fired at seq %d",
+			res.BadSeq, tr.Entries[res.BadSeq].Pass, wantSeq)
+	}
+	if budget := int(math.Ceil(math.Log2(float64(n)))); res.Steps > budget {
+		t.Errorf("bisection took %d steps over %d applications, budget ⌈log2⌉ = %d",
+			res.Steps, n, budget)
+	}
+	found := false
+	for _, seq := range res.Minimal {
+		if seq == res.BadSeq {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("minimal set %v does not contain the pinned application %d", res.Minimal, res.BadSeq)
+	}
+	if len(res.Minimal) > n {
+		t.Errorf("minimal set grew: %d applications from a trace of %d", len(res.Minimal), n)
+	}
+}
+
+// TestLockRoundTripAndDrift covers the policy-lock lifecycle: cut, persist,
+// reload, audit clean, then every drift class when the world changes.
+func TestLockRoundTripAndDrift(t *testing.T) {
+	prog, methods := fixture(t)
+	cfg := lir.O3()
+	var buf bytes.Buffer
+	rec := NewRecorder(obs.NewJSONLWriter(&buf), RecorderOptions{})
+	if err := rec.WriteHeader("fixture", 1, cfg, methods); err != nil {
+		t.Fatal(err)
+	}
+	tcfg := cfg
+	tcfg.Trace = rec
+	code, err := lir.Compile(prog, methods, tcfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := machine.HashProgram(code)
+	lock := BuildLock("fixture", cfg, img, rec.Fired())
+
+	if drifts := CheckLock(lock); len(drifts) != 0 {
+		t.Fatalf("fresh lock drifts against its own compiler: %+v", drifts)
+	}
+	if drifts := CheckLockDynamic(lock, prog, methods, nil, nil); len(drifts) != 0 {
+		t.Fatalf("fresh lock drifts dynamically: %+v", drifts)
+	}
+
+	path := filepath.Join(t.TempDir(), "fixture.lock.json")
+	if err := WriteLockFile(path, lock); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLockFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ConfigFingerprint != lock.ConfigFingerprint || len(back.Passes) != len(lock.Passes) {
+		t.Fatalf("lock did not round-trip: %+v vs %+v", back, lock)
+	}
+	if cfg2, err := back.Config(); err != nil {
+		t.Fatalf("reloaded lock does not rebuild its config: %v", err)
+	} else if HashString(cfg2.Fingerprint()) != lock.ConfigFingerprint {
+		t.Error("rebuilt config fingerprint drifted through the file round-trip")
+	}
+
+	drifted := func(l *Lock, kind string) bool {
+		for _, d := range CheckLock(l) {
+			if d.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	renamed := *lock
+	renamed.Passes = append([]TracedPass(nil), lock.Passes...)
+	renamed.Passes[0].Name = "no-such-pass"
+	if !drifted(&renamed, "missing-pass") {
+		t.Error("renamed pass not reported as missing-pass")
+	}
+	clamped := *lock
+	clamped.Passes = append([]TracedPass(nil), lock.Passes...)
+	clamped.Passes[0] = TracedPass{Name: "inline", Params: map[string]int{"threshold": 1 << 20}}
+	if !drifted(&clamped, "param-clamped") {
+		t.Error("out-of-range locked param not reported as param-clamped")
+	}
+	gone := *lock
+	gone.Passes = append([]TracedPass(nil), lock.Passes...)
+	gone.Passes[0] = TracedPass{Name: "inline", Params: map[string]int{"no-such-param": 1}}
+	if !drifted(&gone, "missing-param") {
+		t.Error("vanished locked param not reported as missing-param")
+	}
+	llc := *lock
+	llc.Llc = map[string]int{"no-such-option": 1}
+	if !drifted(&llc, "llc-drift") {
+		t.Error("unknown locked llc option not reported as llc-drift")
+	}
+
+	// Dynamic drift: claim a fired count for a pass that is a no-op on this
+	// program, and an image hash the recompile cannot reproduce.
+	quiet := ""
+	for _, p := range lock.Passes {
+		if lock.Fired[p.Name] == 0 {
+			quiet = p.Name
+			break
+		}
+	}
+	if quiet != "" {
+		nofire := *lock
+		nofire.Fired = map[string]int{quiet: 3}
+		found := false
+		for _, d := range CheckLockDynamic(&nofire, prog, methods, nil, nil) {
+			if d.Kind == "no-longer-fires" && d.Pass == quiet {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("claimed firing of no-op pass %q not reported as no-longer-fires", quiet)
+		}
+	}
+	imgdrift := *lock
+	imgdrift.ImageHash = HashString(img ^ 1)
+	found := false
+	for _, d := range CheckLockDynamic(&imgdrift, prog, methods, nil, nil) {
+		if d.Kind == "image-drift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("wrong locked image hash not reported as image-drift")
+	}
+}
+
+// TestValidateRejectsCorruption: the shared validator catches structural
+// damage a JSON parser alone would accept.
+func TestValidateRejectsCorruption(t *testing.T) {
+	prog, methods := fixture(t)
+	raw, _ := record(t, prog, methods, lir.O2())
+	if _, err := ValidateReader(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("clean trace rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		old  []byte
+		new  []byte
+	}{
+		{"seq-gap", []byte(`"kind":"rewrite","seq":1,`), []byte(`"kind":"rewrite","seq":7,`)},
+		{"unknown-kind", []byte(`"kind":"rtrace-image"`), []byte(`"kind":"rtrace-imago"`)},
+		{"bad-hash", []byte(`"before":"`), []byte(`"before":"zz`)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := bytes.Replace(raw, tc.old, tc.new, 1)
+			if bytes.Equal(bad, raw) {
+				t.Fatalf("corruption pattern %q not found in trace", tc.old)
+			}
+			if _, err := ValidateReader(bytes.NewReader(bad)); err == nil {
+				t.Error("corrupted trace validated clean")
+			}
+		})
+	}
+}
+
+// TestRecordingIsObservationOnly: the compiled image is bit-identical with
+// and without a recorder attached.
+func TestRecordingIsObservationOnly(t *testing.T) {
+	prog, methods := fixture(t)
+	plain, err := lir.Compile(prog, methods, lir.O3(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, img := record(t, prog, methods, lir.O3())
+	if got := machine.HashProgram(plain); got != img {
+		t.Fatalf("recording changed the image: %016x plain, %016x traced", got, img)
+	}
+}

@@ -124,14 +124,21 @@ func execute(prog *dex.Program, code *machine.Program, maxCycles int64) (uint64,
 	return x.Call(prog.Entry, nil)
 }
 
-// shrink greedily deletes source spans while the same failure kind persists:
-// whole brace-balanced blocks first (an `if (...) {` line cannot go without
-// its closing brace), then single lines.
+// shrink minimizes a differential failure: the oracle is "the same failure
+// kind persists".
 func shrink(src, pass string, maxCycles int64, kind string) string {
-	reproduces := func(s string) bool {
+	return ShrinkLines(src, func(s string) bool {
 		f := checkOne(s, pass, maxCycles)
 		return f != nil && f.Kind == kind
-	}
+	})
+}
+
+// ShrinkLines greedily deletes source spans while reproduces keeps returning
+// true: whole brace-balanced blocks first (an `if (...) {` line cannot go
+// without its closing brace), then single lines. It is the shared minimizer
+// behind the differential fuzzer's reproducers and cmd/rtrace's bisection
+// reproducers; reproduces must be deterministic or the result is arbitrary.
+func ShrinkLines(src string, reproduces func(string) bool) string {
 	lines := strings.Split(src, "\n")
 	// closingBrace returns the line index closing the block opened at i,
 	// or -1 when line i opens no block.

@@ -1,0 +1,71 @@
+// Image fingerprinting. The hash identifies generated code images for the
+// GA's identical-binaries halt (§3.6) and anchors rewrite-trace replay: the
+// rtrace replayer proves a mechanically re-executed trace reproduces the
+// exact image the original compile produced (ROADMAP item 4).
+
+package machine
+
+import (
+	"math"
+
+	"replayopt/internal/dex"
+)
+
+// fnv1a64 constants (FNV-1a, 64 bit) — the hash is computed inline below so
+// the per-field loop stays call-free; the digest is bit-identical to feeding
+// the same little-endian words through hash/fnv.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWord folds one little-endian 64-bit word into an FNV-1a state.
+func fnvWord(h uint64, v int64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ uint64(byte(v>>i))) * fnvPrime64
+	}
+	return h
+}
+
+// HashProgram fingerprints a code image: every function in method-id order,
+// every instruction field. Runs once per candidate evaluation, so it is kept
+// allocation- and call-free in the per-instruction loop.
+func HashProgram(code *Program) uint64 {
+	ids := make([]int, 0, len(code.Fns))
+	//detlint:allow map-range — ids are sorted before hashing
+	for id := range code.Fns {
+		ids = append(ids, int(id))
+	}
+	sortInts(ids)
+	h := uint64(fnvOffset64)
+	for _, id := range ids {
+		fn := code.Fns[dex.MethodID(id)]
+		h = fnvWord(h, int64(id))
+		for i := range fn.Code {
+			in := &fn.Code[i]
+			h = fnvWord(h, int64(in.Op))
+			h = fnvWord(h, int64(in.A))
+			h = fnvWord(h, int64(in.B))
+			h = fnvWord(h, int64(in.C))
+			h = fnvWord(h, int64(in.D))
+			h = fnvWord(h, in.Imm)
+			h = fnvWord(h, int64(math.Float64bits(in.F)))
+			h = fnvWord(h, int64(in.Sym))
+			h = fnvWord(h, in.Disp)
+			h = fnvWord(h, int64(in.Cond))
+			h = fnvWord(h, int64(in.Hint))
+			for _, a := range in.Args {
+				h = fnvWord(h, int64(a))
+			}
+		}
+	}
+	return h
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

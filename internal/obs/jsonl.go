@@ -27,17 +27,25 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 }
 
 // SpanEnd implements SpanSink.
-func (j *JSONLWriter) SpanEnd(sd SpanData) {
+func (j *JSONLWriter) SpanEnd(sd SpanData) { j.Write(sd) }
+
+// Write encodes one arbitrary record as a JSON line under the writer's lock
+// and sticky-error discipline. Non-span record kinds (the rewrite-trace
+// entries of internal/lir/rtrace) go through here, so one file can carry
+// span and rewrite records side by side; readers discriminate on the "kind"
+// field, which span records never set.
+func (j *JSONLWriter) Write(v any) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
-		return
+		return j.err
 	}
-	if err := j.enc.Encode(sd); err != nil {
+	if err := j.enc.Encode(v); err != nil {
 		j.err = err
-		return
+		return err
 	}
 	j.n++
+	return nil
 }
 
 // Count reports how many spans were written.
@@ -54,8 +62,11 @@ func (j *JSONLWriter) Err() error {
 	return j.err
 }
 
-// ReadJSONL parses a trace written by JSONLWriter. Every line must be a
-// valid span object; line numbers are 1-based in errors.
+// ReadJSONL parses the span records of a trace written by JSONLWriter.
+// Every line must be valid JSON; lines carrying a "kind" field are non-span
+// records (rewrite-trace entries and their header/trailer, validated by
+// internal/lir/rtrace) and are skipped here. Line numbers are 1-based in
+// errors.
 func ReadJSONL(r io.Reader) ([]SpanData, error) {
 	var out []SpanData
 	sc := bufio.NewScanner(r)
@@ -65,6 +76,15 @@ func ReadJSONL(r io.Reader) ([]SpanData, error) {
 		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
+			continue
+		}
+		var kinded struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kinded); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if kinded.Kind != "" {
 			continue
 		}
 		var sd SpanData
