@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"replayopt/internal/aot"
 	"replayopt/internal/apps"
 	"replayopt/internal/capture"
 	"replayopt/internal/capture/castore"
@@ -36,6 +37,7 @@ import (
 	"replayopt/internal/obs"
 	"replayopt/internal/profile"
 	"replayopt/internal/rt"
+	"replayopt/internal/sa/vra"
 	"replayopt/internal/verify"
 )
 
@@ -463,6 +465,214 @@ func BenchmarkEffectAnalysis(b *testing.B) {
 	}
 	fmt.Printf("effect analysis: deep-replayable %d -> %d; %d GC checks eliminated, %d virtual calls devirtualized\n",
 		deepBlock, deepEff, gcElim, callvElim)
+}
+
+// BenchmarkRangeAnalysis measures the interprocedural value-range analysis
+// (internal/sa/vra) and its three consumer passes: per app, the machine-level
+// bounds checks rangecheckelim discharges from the hot region (gated at >= 50%
+// on the kernel subjects where index flow is range-provable), the unguarded
+// divides rangestrength/rangecheckelim select, the whole-program exec-cycle
+// delta, and the analysis wall-clock. It also proves the two safety
+// properties the passes claim: a validated compile produces zero tv
+// rejections, and a GA search with the range passes excluded from the pool
+// yields a byte-identical decision trace whether summaries are attached or
+// not. Results land in BENCH_range.json (schema checked by cmd/benchlint).
+func BenchmarkRangeAnalysis(b *testing.B) {
+	// Kernel subjects: hot regions whose index expressions the analysis can
+	// relate to array lengths (direct len() loop bounds). The others are
+	// reported but not gated — their loop bounds arrive through parameters
+	// the range lattice cannot tie to a specific array.
+	kernelApps := map[string]bool{"SOR": true, "SelectionSort": true}
+	appNames := []string{"SOR", "SelectionSort", "FFT", "LU", "BubbleSort", "MaterialLife"}
+	const minKernelDischargePct = 50.0
+
+	type appRow struct {
+		App           string  `json:"app"`
+		Kernel        bool    `json:"kernel"`
+		BoundsBase    int     `json:"bounds_base"`
+		BoundsOpt     int     `json:"bounds_opt"`
+		DischargePct  float64 `json:"discharge_pct"`
+		UnguardedDivs int     `json:"unguarded_divs"`
+		CyclesBase    uint64  `json:"cycles_base"`
+		CyclesOpt     uint64  `json:"cycles_opt"`
+		CycleDeltaPct float64 `json:"cycle_delta_pct"`
+		AnalysisMs    float64 `json:"analysis_ms"`
+	}
+
+	countOps := func(code *machine.Program) (bound, divu int) {
+		for _, fn := range code.Fns {
+			for _, in := range fn.Code {
+				switch in.Op {
+				case machine.Bound:
+					bound++
+				case machine.DivU, machine.RemU:
+					divu++
+				}
+			}
+		}
+		return
+	}
+	runProgram := func(app *core.App, code *machine.Program) (uint64, error) {
+		_, x := app.NewProcessAndExec(code)
+		x.MaxCycles = 50_000_000_000
+		if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+			return 0, err
+		}
+		return x.Cycles, nil
+	}
+	rangeSpecs := []lir.PassSpec{
+		{Name: "rangecheckelim"},
+		{Name: "rangebranch"},
+		{Name: "rangestrength"},
+		{Name: "simplifycfg"},
+		{Name: "dce"},
+	}
+
+	var rows []appRow
+	var tvRejected int
+	traceParity := false
+	for i := 0; i < b.N; i++ {
+		rows = nil
+		tvRejected = 0
+		for _, name := range appNames {
+			spec, ok := apps.ByName(name)
+			if !ok {
+				b.Fatalf("unknown app %s", name)
+			}
+			app, err := apps.Build(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Locate the hot region exactly as the optimizer's prepare
+			// stage does, then attach interprocedural summaries.
+			android, err := aot.Compile(app.Prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prof := profile.NewProfile()
+			_, x := app.NewProcessAndExec(android)
+			x.SamplePeriod = profile.SamplePeriodCycles
+			x.Sampler = prof
+			x.MaxCycles = 50_000_000_000
+			if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+				b.Fatal(err)
+			}
+			analysis := profile.Analyze(app.Prog)
+			region, ok := profile.HotRegion(app.Prog, analysis, prof)
+			if !ok {
+				b.Fatalf("%s: no replayable hot region", name)
+			}
+			start := time.Now()
+			vra.Attach(analysis.Effects)
+			analysisMs := time.Since(start).Seconds() * 1000
+
+			// Hot-region discharge at O1 (no bce in the base pipeline, so
+			// the delta is the range passes' own contribution).
+			base, _ := lir.Preset("O1")
+			opt := base
+			opt.Passes = append(append([]lir.PassSpec{}, base.Passes...), rangeSpecs...)
+			baseRegion, err := lir.Compile(app.Prog, region.Methods, base, nil, analysis.Effects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chk := tv.NewChecker(tv.Options{Strict: true})
+			optChecked := opt
+			optChecked.Check = chk
+			optChecked.CheckEach = true
+			optRegion, err := lir.Compile(app.Prog, region.Methods, optChecked, nil, analysis.Effects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _, rejected := chk.Counts()
+			tvRejected += rejected
+
+			row := appRow{App: name, Kernel: kernelApps[name], AnalysisMs: analysisMs}
+			row.BoundsBase, _ = countOps(baseRegion)
+			row.BoundsOpt, row.UnguardedDivs = countOps(optRegion)
+			if row.BoundsBase > 0 {
+				row.DischargePct = 100 * float64(row.BoundsBase-row.BoundsOpt) / float64(row.BoundsBase)
+			}
+
+			// Whole-program exec-cycle delta with the range passes on.
+			baseAll, err := lir.Compile(app.Prog, nil, base, nil, analysis.Effects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			optAll, err := lir.Compile(app.Prog, nil, opt, nil, analysis.Effects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if row.CyclesBase, err = runProgram(app, baseAll); err != nil {
+				b.Fatal(err)
+			}
+			if row.CyclesOpt, err = runProgram(app, optAll); err != nil {
+				b.Fatal(err)
+			}
+			row.CycleDeltaPct = (float64(row.CyclesOpt)/float64(row.CyclesBase) - 1) * 100
+
+			if row.Kernel && row.DischargePct < minKernelDischargePct {
+				b.Fatalf("%s: rangecheckelim discharged %.0f%% of hot-region bounds checks, want >= %.0f%%",
+					name, row.DischargePct, minKernelDischargePct)
+			}
+			rows = append(rows, row)
+		}
+		if tvRejected > 0 {
+			b.Fatalf("%d tv rejections on range-pass pipelines (passes must never be Rejected)", tvRejected)
+		}
+
+		// Trace parity: with the range passes excluded from the search pool,
+		// attached summaries must be invisible to the GA — byte-identical
+		// decision traces with and without them.
+		p, _, err := exp.PrepareApp("Fibonacci.recv", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := benchScale(b).GA
+		opts.BaselineAndroidMs = p.AndroidEval.MeanMs
+		opts.BaselineO3Ms = p.O3Eval.MeanMs
+		opts.ExcludePasses = []string{"rangecheckelim", "rangebranch", "rangestrength"}
+		withRanges := ga.Search(rand.New(rand.NewSource(benchSeed)), p, opts).DecisionTrace()
+		p.Analysis.Effects.Ranges = nil
+		withoutRanges := ga.Search(rand.New(rand.NewSource(benchSeed)), p, opts).DecisionTrace()
+		traceParity = withRanges == withoutRanges
+		if !traceParity {
+			b.Fatal("decision trace changed when range summaries were attached but the passes were unselected")
+		}
+	}
+
+	var discharged, totalBase int
+	var analysisMs float64
+	for _, r := range rows {
+		discharged += r.BoundsBase - r.BoundsOpt
+		totalBase += r.BoundsBase
+		analysisMs += r.AnalysisMs
+	}
+	b.ReportMetric(float64(discharged), "bounds-discharged")
+	b.ReportMetric(float64(discharged)/float64(totalBase)*100, "%discharged")
+	b.ReportMetric(analysisMs/float64(len(rows)), "analysis-ms/app")
+
+	artifact, err := json.MarshalIndent(map[string]any{
+		"schema_version":           1,
+		"benchmark":                "RangeAnalysis",
+		"apps":                     rows,
+		"kernel_min_discharge_pct": minKernelDischargePct,
+		"bounds_discharged":        discharged,
+		"tv_rejected":              tvRejected,
+		"trace_parity":             traceParity,
+		"trace_app":                "Fibonacci.recv",
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_range.json", append(artifact, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("range analysis: %d/%d hot-region bounds checks discharged; tv rejects %d; trace parity %v\n",
+		discharged, totalBase, tvRejected, traceParity)
+	for _, r := range rows {
+		fmt.Printf("  %-14s kernel=%-5v bound %3d -> %3d (%4.0f%%) divu %d  cycles %+.2f%%  analysis %.1f ms\n",
+			r.App, r.Kernel, r.BoundsBase, r.BoundsOpt, r.DischargePct, r.UnguardedDivs, r.CycleDeltaPct, r.AnalysisMs)
+	}
 }
 
 // tvBenchSrc is the miniature app the early-discard benchmark searches over

@@ -1,10 +1,13 @@
-// Command benchlint validates and regression-checks the BENCH_parallel.json
-// artifact emitted by BenchmarkSearchParallel (the worker-count × warm sweep
-// of DESIGN.md §11).
+// Command benchlint validates and regression-checks BENCH_*.json artifacts.
+// It dispatches on the document's "benchmark" field: SearchParallel (the
+// worker-count × warm sweep of DESIGN.md §11, with -compare regression
+// gating) and RangeAnalysis (the value-range discharge artifact of
+// BenchmarkRangeAnalysis).
 //
 // Usage:
 //
 //	benchlint BENCH_parallel.json                    # stat: table + schema check
+//	benchlint BENCH_range.json                       # stat for a range artifact
 //	benchlint -validate < BENCH_parallel.json        # schema check from stdin
 //	benchlint -compare base.json [-tolerance 0.2] BENCH_parallel.json
 //
@@ -49,12 +52,104 @@ type artifact struct {
 	WarmRuns       float64    `json:"warm_runs"`
 }
 
-func parse(data []byte) (*artifact, error) {
-	var a artifact
-	if err := json.Unmarshal(data, &a); err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+// rangeRow is one app of the RangeAnalysis artifact.
+type rangeRow struct {
+	App           string  `json:"app"`
+	Kernel        bool    `json:"kernel"`
+	BoundsBase    int     `json:"bounds_base"`
+	BoundsOpt     int     `json:"bounds_opt"`
+	DischargePct  float64 `json:"discharge_pct"`
+	UnguardedDivs int     `json:"unguarded_divs"`
+	CyclesBase    uint64  `json:"cycles_base"`
+	CyclesOpt     uint64  `json:"cycles_opt"`
+	AnalysisMs    float64 `json:"analysis_ms"`
+}
+
+type rangeArtifact struct {
+	SchemaVersion int        `json:"schema_version"`
+	Benchmark     string     `json:"benchmark"`
+	Apps          []rangeRow `json:"apps"`
+	KernelMinPct  float64    `json:"kernel_min_discharge_pct"`
+	Discharged    int        `json:"bounds_discharged"`
+	TVRejected    int        `json:"tv_rejected"`
+	TraceParity   bool       `json:"trace_parity"`
+	TraceApp      string     `json:"trace_app"`
+}
+
+func validateRange(a *rangeArtifact) error {
+	if a.SchemaVersion != 1 {
+		return fmt.Errorf("schema_version %d, want 1", a.SchemaVersion)
 	}
-	return &a, validate(&a)
+	if len(a.Apps) == 0 {
+		return fmt.Errorf("no app rows")
+	}
+	kernels, discharged := 0, 0
+	for i, r := range a.Apps {
+		if r.App == "" {
+			return fmt.Errorf("apps[%d]: missing app name", i)
+		}
+		if r.BoundsOpt > r.BoundsBase {
+			return fmt.Errorf("%s: bounds_opt %d exceeds bounds_base %d (unsound count)", r.App, r.BoundsOpt, r.BoundsBase)
+		}
+		if r.CyclesBase == 0 || r.CyclesOpt == 0 {
+			return fmt.Errorf("%s: zero exec cycles", r.App)
+		}
+		if r.Kernel {
+			kernels++
+			if r.DischargePct < a.KernelMinPct {
+				return fmt.Errorf("%s: kernel subject discharged %.0f%%, floor is %.0f%%", r.App, r.DischargePct, a.KernelMinPct)
+			}
+		}
+		discharged += r.BoundsBase - r.BoundsOpt
+	}
+	if kernels == 0 {
+		return fmt.Errorf("no kernel subjects gated")
+	}
+	if discharged != a.Discharged {
+		return fmt.Errorf("bounds_discharged %d but rows sum to %d", a.Discharged, discharged)
+	}
+	if a.TVRejected != 0 {
+		return fmt.Errorf("tv_rejected %d: range passes must never be Rejected", a.TVRejected)
+	}
+	if !a.TraceParity {
+		return fmt.Errorf("trace_parity false: attached summaries perturbed an excluded-pass search")
+	}
+	if a.TraceApp == "" {
+		return fmt.Errorf("missing trace_app")
+	}
+	return nil
+}
+
+// parsed is one validated artifact of either supported benchmark (exactly one
+// field is non-nil).
+type parsed struct {
+	parallel *artifact
+	ranged   *rangeArtifact
+}
+
+func parse(data []byte) (parsed, error) {
+	var probe struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return parsed{}, fmt.Errorf("parse: %w", err)
+	}
+	switch probe.Benchmark {
+	case "SearchParallel":
+		var a artifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return parsed{}, fmt.Errorf("parse: %w", err)
+		}
+		return parsed{parallel: &a}, validate(&a)
+	case "RangeAnalysis":
+		var a rangeArtifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return parsed{}, fmt.Errorf("parse: %w", err)
+		}
+		return parsed{ranged: &a}, validateRange(&a)
+	default:
+		return parsed{}, fmt.Errorf("unknown benchmark %q", probe.Benchmark)
+	}
 }
 
 func validate(a *artifact) error {
@@ -155,14 +250,14 @@ func compare(base, next *artifact, tolerance float64, normalize bool) error {
 	return nil
 }
 
-func load(path string) (*artifact, error) {
+func load(path string) (parsed, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return parsed{}, err
 	}
 	a, err := parse(data)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return parsed{}, fmt.Errorf("%s: %w", path, err)
 	}
 	return a, nil
 }
@@ -189,22 +284,26 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchlint [-validate|-compare base.json] BENCH_parallel.json")
+		fmt.Fprintln(os.Stderr, "usage: benchlint [-validate|-compare base.json] BENCH_file.json")
 		os.Exit(2)
 	}
-	next, err := load(flag.Arg(0))
+	doc, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
 		os.Exit(1)
 	}
 
 	if *baseline != "" {
-		base, err := load(*baseline)
+		baseDoc, err := load(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
 			os.Exit(1)
 		}
-		if err := compare(base, next, *tolerance, *normalized); err != nil {
+		if baseDoc.parallel == nil || doc.parallel == nil {
+			fmt.Fprintln(os.Stderr, "benchlint: -compare supports SearchParallel artifacts only")
+			os.Exit(2)
+		}
+		if err := compare(baseDoc.parallel, doc.parallel, *tolerance, *normalized); err != nil {
 			fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
 			os.Exit(1)
 		}
@@ -212,6 +311,16 @@ func main() {
 		return
 	}
 
+	if rng := doc.ranged; rng != nil {
+		fmt.Printf("%s: %s, %d bounds checks discharged; tv rejects %d; trace parity %v (%s)\n",
+			flag.Arg(0), rng.Benchmark, rng.Discharged, rng.TVRejected, rng.TraceParity, rng.TraceApp)
+		for _, r := range rng.Apps {
+			fmt.Printf("  %-14s kernel=%-5v bound %3d -> %3d (%4.0f%%) divu %d  analysis %.1f ms\n",
+				r.App, r.Kernel, r.BoundsBase, r.BoundsOpt, r.DischargePct, r.UnguardedDivs, r.AnalysisMs)
+		}
+		return
+	}
+	next := doc.parallel
 	fmt.Printf("%s: %s on %s (%s scale), warm speedup %.2fx at %d workers\n",
 		flag.Arg(0), next.Benchmark, next.App, next.Scale, next.WarmSpeedup, next.MaxWorkers)
 	fmt.Printf("restore p50 %.3f ms, clone p50 %.3f ms, reset p50 %.3f ms; %.0f template builds, %.0f warm runs\n",

@@ -1,0 +1,171 @@
+// Command rangelint audits the value-range analysis (internal/sa/vra and the
+// lir range passes) over evaluation applications: per method, how many of the
+// frontend's bounds checks and divide trap guards the analysis proves
+// redundant, and — for every unproven check inside the app's hot region — a
+// witness expression showing the obligation the proof missed.
+//
+// Usage:
+//
+//	rangelint -app FFT                # per-method report for one app
+//	rangelint -app FFT -method kernel # detail for methods matching a substring
+//	rangelint -all                    # discharge summary for all 21 apps
+//	rangelint -app FFT -json          # machine-readable report
+//	rangelint -all -json -validate    # JSON reports, schema-checked (CI)
+//	rangelint -list                   # list the known applications
+//
+// The hot region comes from the same online profiling run the optimizer's
+// prepare stage performs, so "hot" here means exactly the code the search
+// would compile. -validate structurally validates every emitted JSON document
+// (vra.ValidateReportJSON) and fails the run on any mismatch. Exit status: 0
+// on success, 1 on build/analysis/validation failure, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/apps"
+	"replayopt/internal/dex"
+	"replayopt/internal/profile"
+	"replayopt/internal/sa/vra"
+)
+
+func main() {
+	appName := flag.String("app", "", "application to lint (see -list)")
+	all := flag.Bool("all", false, "lint every Table-1 application")
+	method := flag.String("method", "", "only report methods whose name contains this substring")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (one document per app)")
+	validate := flag.Bool("validate", false, "with -json: schema-check every emitted document")
+	list := flag.Bool("list", false, "list the known applications")
+	flag.Parse()
+
+	if *list {
+		for _, s := range knownSpecs() {
+			fmt.Printf("%-14s %-22s %s\n", s.Type, s.Name, s.Desc)
+		}
+		return
+	}
+	if *validate && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "rangelint: -validate requires -json")
+		os.Exit(2)
+	}
+
+	var specs []apps.Spec
+	switch {
+	case *all:
+		specs = knownSpecs()
+	case *appName != "":
+		spec, ok := byName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rangelint: unknown app %q (use -list)\n", *appName)
+			os.Exit(2)
+		}
+		specs = []apps.Spec{spec}
+	default:
+		fmt.Fprintln(os.Stderr, "rangelint: need -app NAME or -all (use -list to see apps)")
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, spec := range specs {
+		rep, err := lintApp(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangelint: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if *validate {
+				data, err := json.Marshal(rep)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rangelint: %v\n", err)
+					os.Exit(1)
+				}
+				if err := vra.ValidateReportJSON(data); err != nil {
+					fmt.Fprintf(os.Stderr, "rangelint: %s: %v\n", spec.Name, err)
+					os.Exit(1)
+				}
+			}
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "rangelint: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		printHuman(rep, *method, *all)
+	}
+}
+
+// lintApp builds the app, profiles one online run to locate the hot region,
+// attaches interprocedural range summaries, and audits every method.
+func lintApp(spec apps.Spec) (*vra.Report, error) {
+	app, err := apps.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	android, err := aot.Compile(app.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("%s: baseline compile: %w", spec.Name, err)
+	}
+	prof := profile.NewProfile()
+	_, x := app.NewProcessAndExec(android)
+	x.SamplePeriod = profile.SamplePeriodCycles
+	x.Sampler = prof
+	x.MaxCycles = 50_000_000_000
+	if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+		return nil, fmt.Errorf("%s: profiling run: %w", spec.Name, err)
+	}
+	analysis := profile.Analyze(app.Prog)
+	var hot []dex.MethodID
+	if region, ok := profile.HotRegion(app.Prog, analysis, prof); ok {
+		hot = region.Methods
+	}
+	vra.Attach(analysis.Effects)
+	return vra.BuildReport(spec.Name, analysis.Effects, hot), nil
+}
+
+// knownSpecs is Table 1 plus the diagnostic witness app.
+func knownSpecs() []apps.Spec {
+	return append(apps.All(), apps.WitnessSpec())
+}
+
+func byName(name string) (apps.Spec, bool) {
+	for _, s := range knownSpecs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return apps.Spec{}, false
+}
+
+func printHuman(rep *vra.Report, methodFilter string, summaryOnly bool) {
+	t := rep.Totals
+	pct := 0.0
+	if t.Checks > 0 {
+		pct = 100 * float64(t.Proven) / float64(t.Checks)
+	}
+	fmt.Printf("%s: %d/%d bounds checks proven (%.1f%%), %d/%d divide guards; %d params, %d returns narrowed\n",
+		rep.App, t.Proven, t.Checks, pct, t.DivProven, t.DivSites, t.ParamsNarrowed, t.RetsNarrowed)
+	if summaryOnly {
+		return
+	}
+	fmt.Printf("  %-28s %-5s %-14s %s\n", "METHOD", "HOT", "CHECKS", "DIVS")
+	for _, m := range rep.Methods {
+		if methodFilter != "" && !strings.Contains(m.Method, methodFilter) {
+			continue
+		}
+		hot := ""
+		if m.Hot {
+			hot = "hot"
+		}
+		fmt.Printf("  %-28s %-5s %3d/%-3d proven %3d/%-3d proven\n",
+			m.Method, hot, m.Proven, m.Checks, m.DivProven, m.DivSites)
+		for _, w := range m.Witnesses {
+			fmt.Printf("      unproven at %s: %s\n", w.Block, w.Expr)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rtrace [-json] replay [-app NAME] trace.jsonl
-//	rtrace [-json] bisect -app NAME [-base O2] [-at 4] [-seed 1]
+//	rtrace [-json] bisect -app NAME [-base O2|catalog] [-at 4] [-seed 1]
 //	rtrace [-json] lock-check [-static] [-app NAME] [-seed 1] lock.json
 //	rtrace [-json] -validate trace.jsonl [more.jsonl ...]
 //
@@ -86,7 +86,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rtrace [-json] replay [-app NAME] trace.jsonl
-  rtrace [-json] bisect -app NAME [-base O2] [-at 4] [-seed 1]
+  rtrace [-json] bisect -app NAME [-base O2|catalog] [-at 4] [-seed 1]
   rtrace [-json] lock-check [-static] [-app NAME] [-seed 1] lock.json
   rtrace [-json] -validate trace.jsonl [more.jsonl ...]`)
 }
@@ -193,6 +193,35 @@ func runReplay(args []string, jsonOut bool) {
 	}
 }
 
+// basePipeline resolves the bisect -base argument. Preset names go through
+// lir.Preset so the accepted set tracks the pipeline presets instead of a
+// hand-maintained switch here; "catalog" derives the drill pipeline from the
+// pass catalog itself — every safe entry's default spec, in catalog order,
+// deduplicated by pass name (the catalog pads with repeat-position and
+// parameter-sweep variants of the same pass).
+func basePipeline(name string) (lir.Config, error) {
+	if cfg, ok := lir.Preset(name); ok {
+		return cfg, nil
+	}
+	if name != "catalog" {
+		return lir.Config{}, fmt.Errorf("-base must be a preset (O1|O2|O3) or \"catalog\", got %q", name)
+	}
+	cfg := lir.O1() // keep O1's lowering options; the pass list is replaced
+	cfg.Passes = nil
+	// vectorize models a real vectorizer's not-implemented crash path (it
+	// errors on loops containing calls); the drill pipeline must compile
+	// every app, so it stays out.
+	seen := map[string]bool{"vectorize": true}
+	for _, e := range lir.SafeOptCatalog() {
+		if seen[e.Spec.Name] {
+			continue
+		}
+		seen[e.Spec.Name] = true
+		cfg.Passes = append(cfg.Passes, e.Spec)
+	}
+	return cfg, nil
+}
+
 // bisectReport is the bisect subcommand's JSON shape.
 type bisectReport struct {
 	App        string               `json:"app"`
@@ -208,7 +237,7 @@ type bisectReport struct {
 func runBisect(args []string, jsonOut bool) {
 	fs := flag.NewFlagSet("bisect", flag.ExitOnError)
 	appName := fs.String("app", "", "evaluation app to drill on (required)")
-	base := fs.String("base", "O2", "preset pipeline to seed the miscompile into (O1|O2|O3)")
+	base := fs.String("base", "O2", "pipeline to seed the miscompile into (O1|O2|O3, or \"catalog\" for every safe catalog pass)")
 	at := fs.Int("at", 4, "pipeline position the drill pass is inserted at")
 	seed := fs.Int64("seed", 1, "prepare seed (only used with -region)")
 	region := fs.Bool("region", false,
@@ -218,16 +247,9 @@ func runBisect(args []string, jsonOut bool) {
 		usage()
 		os.Exit(2)
 	}
-	var cfg lir.Config
-	switch *base {
-	case "O1":
-		cfg = lir.O1()
-	case "O2":
-		cfg = lir.O2()
-	case "O3":
-		cfg = lir.O3()
-	default:
-		die(fmt.Errorf("-base must be O1, O2, or O3, got %q", *base))
+	cfg, err := basePipeline(*base)
+	if err != nil {
+		die(err)
 	}
 	cleanup := lir.RegisterForTesting(tv.MiscompilePass())
 	defer cleanup()

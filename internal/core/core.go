@@ -36,6 +36,7 @@ import (
 	"replayopt/internal/replay"
 	"replayopt/internal/rt"
 	"replayopt/internal/sa"
+	"replayopt/internal/sa/vra"
 	"replayopt/internal/stats"
 	"replayopt/internal/verify"
 )
@@ -314,6 +315,12 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 	} else {
 		p.Analysis = profile.Analyze(app.Prog)
 	}
+	if eff := p.Analysis.Effects; eff != nil {
+		// Interprocedural value-range summaries for the lir range passes.
+		// A pure function of the program, so attaching them never perturbs
+		// config fingerprints or search traces.
+		vra.Attach(eff)
+	}
 	region, ok := profile.HotRegion(app.Prog, p.Analysis, prof)
 	if !ok {
 		sp.End(obs.A("error", "no replayable hot region"))
@@ -327,9 +334,12 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 		obs.A("samples", region.EstimatedSamples),
 	}
 	if eff := p.Analysis.Effects; eff != nil {
+		rparams, rrets := vra.Narrowed(eff.Ranges)
 		attrs = append(attrs,
 			obs.A("analysis", "effects"),
 			obs.A("region_effect", eff.Summary[region.Root].String()),
+			obs.A("range_params_narrowed", rparams),
+			obs.A("range_rets_narrowed", rrets),
 		)
 	} else {
 		attrs = append(attrs, obs.A("analysis", "blocklist"))

@@ -195,6 +195,12 @@ type Options struct {
 	// candidates (0 or less = one worker per core). Search decisions stay
 	// serial, so any value yields the same trace for the same seed.
 	Parallelism int
+	// ExcludePasses removes the named opt passes from the catalog pool
+	// before the search starts. Ablation harnesses use it to compare
+	// searches over spaces with and without a pass family; the filter is
+	// deterministic, so two searches with the same seed and the same
+	// exclusion list produce byte-identical decision traces.
+	ExcludePasses []string
 	// Obs, when set, nests a span per generation (plus one for the hill
 	// climb) under it and records evaluation metrics — eval-latency
 	// histogram, cache hit/miss counters, worker-occupancy gauge, outcome
@@ -291,7 +297,7 @@ func GenomeFromConfig(cfg lir.Config) *Genome {
 // RandomGenome draws one genome from the same distribution the GA's first
 // generation uses (Figs. 1 and 2 sample the space this way).
 func RandomGenome(rng *rand.Rand, opts Options) *Genome {
-	s := &searcher{rng: rng, opts: opts, pool: lir.OptCatalog(), llcPool: realLlcOptions()}
+	s := &searcher{rng: rng, opts: opts, pool: optPool(opts), llcPool: realLlcOptions()}
 	g := s.randomGenome()
 	dedupeAdjacent(g)
 	return g
@@ -306,7 +312,7 @@ func Search(rng *rand.Rand, eval Evaluator, opts Options) *Result {
 		rng:     rng,
 		eval:    eval,
 		opts:    opts,
-		pool:    lir.OptCatalog(),
+		pool:    optPool(opts),
 		llcPool: realLlcOptions(),
 		seen:    map[uint64]int{},
 		cache:   map[uint64]Evaluation{},
@@ -343,6 +349,25 @@ type searcher struct {
 type scored struct {
 	genome *Genome
 	eval   Evaluation
+}
+
+// optPool is the opt catalog minus Options.ExcludePasses, in catalog order.
+func optPool(opts Options) []lir.CatalogEntry {
+	pool := lir.OptCatalog()
+	if len(opts.ExcludePasses) == 0 {
+		return pool
+	}
+	drop := map[string]bool{}
+	for _, n := range opts.ExcludePasses {
+		drop[n] = true
+	}
+	out := pool[:0]
+	for _, e := range pool {
+		if !drop[e.Spec.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // realLlcOptions filters the llc catalog to the options that actually steer

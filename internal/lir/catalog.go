@@ -63,6 +63,8 @@ func OptCatalog() []CatalogEntry {
 		"alias-blind":     {1},
 		"fast":            {1},
 		"div-to-shr":      {1},
+		"divs":            {0},
+		"rem":             {0},
 		"no-remainder":    {1},
 		"nofallback":      {1},
 		"innermost-only":  {0},
@@ -97,7 +99,8 @@ func OptCatalog() []CatalogEntry {
 	// a later pipeline position is a distinct configuration).
 	cleanups := []string{"dce", "gvn", "simplifycfg", "constfold", "instcombine",
 		"phisimplify", "sink", "storeforward", "licm", "bce", "gccheckelim",
-		"reassoc", "dse", "intrinsics", "peel", "unroll", "inline", "devirt", "vectorize"}
+		"reassoc", "dse", "intrinsics", "peel", "unroll", "inline", "devirt", "vectorize",
+		"rangecheckelim", "rangebranch", "rangestrength"}
 	for i := 0; len(out) < NumOptPassConfigs; i++ {
 		n := cleanups[i%len(cleanups)]
 		add(PassSpec{Name: n, Params: map[string]int{"": i/len(cleanups) + 1}}, registry[n].Unsafe)

@@ -134,6 +134,57 @@ func main() int {
 	}
 }
 
+// TestRangePassesPreserveDivTrap: with the range passes in the pipeline, a
+// divide whose divisor is NOT provably nonzero must keep its zero-trap guard
+// (ir.go's trap-semantics contract). The range analysis sees z ∈ [0, 0] here,
+// so rangecheckelim must refuse the NoTrap mark and the runtime trap survives
+// the full fold pipeline.
+func TestRangePassesPreserveDivTrap(t *testing.T) {
+	src := `
+func main() int {
+	int z = 0;
+	if (1 == 2) { z = 3; }
+	return 10 / z;
+}`
+	prog, err := minic.CompileSource("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := O1()
+	cfg.Passes = append(cfg.Passes,
+		PassSpec{Name: "rangecheckelim"},
+		PassSpec{Name: "rangebranch"},
+		PassSpec{Name: "rangestrength"})
+	cfg.Passes = append(cfg.Passes, foldPipeline()...)
+	code, err := Compile(prog, nil, cfg, nil, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	proc := rt.NewProcess(prog, rt.Config{})
+	x := machine.NewExec(proc, code)
+	x.MaxCycles = 10_000_000
+	if _, err := x.Call(prog.Entry, nil); err == nil {
+		t.Fatal("range passes lost the divide-by-zero trap")
+	}
+
+	// The flip side: a provably nonzero divisor lowers to the unguarded
+	// divide and must still compute the exact same quotients.
+	ok := `
+func main() int {
+	int acc = 0;
+	for (int i = 1; i < 50; i = i + 1) { acc = acc + 10000 / i + 10000 % i; }
+	return acc;
+}`
+	want := interpGround(t, ok)
+	got := runWith(t, ok,
+		PassSpec{Name: "rangecheckelim"},
+		PassSpec{Name: "rangebranch"},
+		PassSpec{Name: "rangestrength"})
+	if got != want {
+		t.Errorf("unguarded divide changed the result: %d, interp %d", int64(got), int64(want))
+	}
+}
+
 func TestFoldConversionEdges(t *testing.T) {
 	cases := []string{
 		`func main() int { return ftoi(itof(123456789)); }`,

@@ -6,9 +6,9 @@ import "math"
 // pass application is bracketed by before/after fragment hashes so a trace
 // consumer can tell exactly which transforms fired and a mechanical replay
 // can prove it reproduced the same IR at every step. The hash is structural,
-// not textual: ops, types, immediates, symbols, argument value IDs, phi
-// wiring, and CFG edges all contribute, while analysis caches (IDom,
-// LoopDepth) do not — two functions hash equal iff a pass left no observable
+// not textual: ops, types, immediates, symbols, lowering hints (NoTrap),
+// argument value IDs, phi wiring, and CFG edges all contribute, while
+// analysis caches (IDom, LoopDepth) do not — two functions hash equal iff a pass left no observable
 // IR difference.
 
 // HashFunction returns a stable 64-bit structural digest of f. It is a pure
@@ -63,6 +63,9 @@ func fnvHashValue(h uint64, v *Value) uint64 {
 	h = fnvHashWord(h, v.Slot)
 	h = fnvHashWord(h, int64(v.Cond))
 	h = fnvHashWord(h, int64(v.Hint))
+	if v.NoTrap {
+		h = fnvHashWord(h, 1)
+	}
 	h = fnvHashWord(h, int64(len(v.Args)))
 	for _, a := range v.Args {
 		h = fnvHashWord(h, int64(a.ID))

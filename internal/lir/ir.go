@@ -65,6 +65,22 @@ const (
 
 	// Memory. Bounds checks are explicit and separable so BCE is a real
 	// transformation with real risk.
+	//
+	// Trap semantics. OpBoundsCheck traps (aborts the execution with an
+	// error, observable exactly at that program point) when idx < 0 or
+	// idx >= arrlen(arr); OpDiv and OpRem trap when the divisor is zero; and
+	// OpThrow always terminates with its code. A trap is an observable
+	// behavior: passes may only remove or reorder a trapping op when they can
+	// prove it never fires, which is why none of them are IsPure and why the
+	// translation validator tracks a function-wide trap-risky op set
+	// (tv/equiv.go). The outcome of a check is a pure function of its
+	// argument values — array lengths are immutable in this IR — so GVN may
+	// dedup an OpBoundsCheck dominated by an identical one (gvnEligible), bce
+	// and rangecheckelim may delete checks they prove redundant, and
+	// rangecheckelim may mark a Div/Rem NoTrap when the divisor is proven
+	// nonzero, but no pass may fold away a possibly-trapping Div/Rem (see
+	// FoldInt, which refuses division by zero) or speculate one onto a path
+	// that did not execute it.
 	OpArrLen      // args: arr
 	OpBoundsCheck // args: arr, idx (void)
 	OpArrLoad     // args: arr, idx
@@ -161,6 +177,12 @@ type Value struct {
 	Slot int64
 	Cond Cond
 	Hint Hint
+
+	// NoTrap marks a Div/Rem whose divisor rangecheckelim proved nonzero;
+	// lowering emits the unguarded machine divide for it. Meaningless on
+	// other ops. The mark is sound to keep on the value: no pass hoists
+	// impure ops, and argument rewrites substitute equal values.
+	NoTrap bool
 }
 
 func (v *Value) String() string {

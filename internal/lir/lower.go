@@ -298,7 +298,18 @@ func (lo *ssaLowerer) lowerValue(b *Block, blockIdx int, v *Value) error {
 
 	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
 		OpFAdd, OpFSub, OpFMul, OpFDiv:
-		lo.emit(machine.Insn{Op: mALU[v.Op], A: A(), B: arg(0), C: arg(1)})
+		mop := mALU[v.Op]
+		if v.NoTrap {
+			// rangecheckelim proved the divisor nonzero: select the
+			// unguarded machine divide.
+			switch v.Op {
+			case OpDiv:
+				mop = machine.DivU
+			case OpRem:
+				mop = machine.RemU
+			}
+		}
+		lo.emit(machine.Insn{Op: mop, A: A(), B: arg(0), C: arg(1)})
 	case OpNeg:
 		lo.emit(machine.Insn{Op: machine.Neg, A: A(), B: arg(0)})
 	case OpFNeg:

@@ -216,7 +216,7 @@ func cloneStage(f *Function, cl *countedLoop, M map[*Value]*Value) *stage {
 				continue // the per-stage check is dropped
 			}
 			c := f.NewValue(v.Op, v.Type)
-			c.Imm, c.F, c.Sym, c.Slot, c.Cond, c.Hint = v.Imm, v.F, v.Sym, v.Slot, v.Cond, v.Hint
+			c.Imm, c.F, c.Sym, c.Slot, c.Cond, c.Hint, c.NoTrap = v.Imm, v.F, v.Sym, v.Slot, v.Cond, v.Hint, v.NoTrap
 			c.Args = make([]*Value, len(v.Args))
 			for i, a := range v.Args {
 				c.Args[i] = mapped(a)

@@ -142,6 +142,7 @@ func Clone(f *lir.Function) *lir.Function {
 		nv := &lir.Value{
 			ID: v.ID, Op: v.Op, Type: v.Type, Block: nb,
 			Imm: v.Imm, F: v.F, Sym: v.Sym, Slot: v.Slot, Cond: v.Cond, Hint: v.Hint,
+			NoTrap: v.NoTrap,
 		}
 		vmap[v] = nv
 		return nv

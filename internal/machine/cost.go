@@ -20,12 +20,13 @@ var opCost = [opCount]uint64{
 	Call: 0, CallV: 0, CallN: 0, Intr: 0, // priced at call sites
 	GCChk: 2, Ret: 2, RetVoid: 2, Throw: 10,
 	SpillSt: 3, SpillLd: 3,
+	DivU: 10, RemU: 10, // no zero check: two cycles cheaper than Div/Rem
 }
 
 // opLatency is the result latency beyond the base cost: a consumer in the
 // very next slot stalls for this many extra cycles.
 var opLatency = [opCount]uint64{
-	Mul: 2, Div: 4, FAdd: 2, FSub: 2, FMul: 3, FDiv: 6,
+	Mul: 2, Div: 4, DivU: 4, FAdd: 2, FSub: 2, FMul: 3, FDiv: 6,
 	Madd: 2, FMadd: 2, Load: 2, SpillLd: 2, ArrLen: 2, FCmp: 1,
 }
 

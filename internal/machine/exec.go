@@ -331,6 +331,19 @@ func (x *Exec) runFrame(fn *Fn, args []uint64) (uint64, error) {
 				return 0, &rt.Trap{Kind: rt.TrapDivZero}
 			}
 			regs[in.A] = uint64(ib(in, regs) % c)
+		case DivU, RemU:
+			// Unguarded forms: the compiler proved the divisor nonzero. A
+			// zero here means an unsound range discharge; trap defensively
+			// (identical outcome to the guarded op) instead of faulting.
+			c := ic(in, regs)
+			if c == 0 {
+				return 0, &rt.Trap{Kind: rt.TrapDivZero}
+			}
+			if in.Op == DivU {
+				regs[in.A] = uint64(ib(in, regs) / c)
+			} else {
+				regs[in.A] = uint64(ib(in, regs) % c)
+			}
 		case And:
 			regs[in.A] = uint64(ib(in, regs) & ic(in, regs))
 		case Or:

@@ -81,6 +81,14 @@ const (
 	SpillSt // spill slot Imm <- rB
 	SpillLd // A <- spill slot Imm
 
+	// Unguarded divide/remainder: the compiler proved the divisor nonzero
+	// (lir rangecheckelim sets Value.NoTrap), so the hardware's zero check is
+	// skipped and the op is cheaper than Div/Rem. The executor still traps
+	// defensively on a zero divisor — that can only mean an unsound range
+	// discharge, and trapping matches what the guarded op would have done.
+	DivU
+	RemU
+
 	opCount
 )
 
@@ -98,6 +106,7 @@ var opNames = [...]string{
 	Call: "call", CallV: "callv", CallN: "calln", Intr: "intr",
 	GCChk: "gcchk", Ret: "ret", RetVoid: "retvoid", Throw: "throw",
 	SpillSt: "spillst", SpillLd: "spillld",
+	DivU: "divu", RemU: "remu",
 }
 
 func (o Op) String() string {
@@ -310,7 +319,7 @@ func (in *Insn) reads(buf []int) []int {
 	case Nop, Ldi, Ldf, Jmp, GCChk, RetVoid, NewObj, SpillLd:
 	case Mov, Neg, FNeg, I2F, F2I, ArrLen, NullChk, NewArr:
 		buf = append(buf, in.B)
-	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+	case Add, Sub, Mul, Div, Rem, DivU, RemU, And, Or, Xor, Shl, Shr,
 		FAdd, FSub, FMul, FDiv, FCmp:
 		buf = append(buf, in.B)
 		if in.C >= 0 {
@@ -348,7 +357,7 @@ func (in *Insn) reads(buf []int) []int {
 // writes returns the register an instruction defines, or -1.
 func (in *Insn) writes() int {
 	switch in.Op {
-	case Ldi, Ldf, Mov, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Neg,
+	case Ldi, Ldf, Mov, Add, Sub, Mul, Div, Rem, DivU, RemU, And, Or, Xor, Shl, Shr, Neg,
 		FAdd, FSub, FMul, FDiv, FNeg, Madd, FMadd, I2F, F2I, FCmp,
 		Load, ArrLen, NewArr, NewObj, SpillLd:
 		return in.A
@@ -375,7 +384,7 @@ func (in *Insn) hasSideEffects() bool {
 	switch in.Op {
 	case Load, Store, Call, CallV, CallN, GCChk, NewArr, NewObj,
 		Bound, NullChk, ArrLen, Br, Jmp, Ret, RetVoid, Div, Rem,
-		SpillSt, SpillLd:
+		DivU, RemU, SpillSt, SpillLd:
 		return true
 	}
 	return false

@@ -733,7 +733,7 @@ func regalloc(fn *Fn, numArgs, numRegs int) error {
 		case Nop, Ldi, Ldf, Jmp, GCChk, RetVoid, NewObj, SpillLd:
 		case Mov, Neg, FNeg, I2F, F2I, ArrLen, NullChk, NewArr:
 			in.B = mapRead(in.B)
-		case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+		case Add, Sub, Mul, Div, Rem, DivU, RemU, And, Or, Xor, Shl, Shr,
 			FAdd, FSub, FMul, FDiv, FCmp, Load, Br:
 			in.B = mapRead(in.B)
 			if in.C >= 0 {

@@ -18,6 +18,13 @@ type Result struct {
 	// everything m can transitively call over the precise call graph.
 	Summary []Effect
 
+	// Ranges, when non-nil, holds per-method value-range summaries indexed
+	// by method id. The analysis that fills it lives in internal/sa/vra
+	// (which imports lir to walk SSA; this package must not) and attaches it
+	// via vra.Attach. The lir range passes consume it through
+	// PassContext.Static, degrading to intraprocedural-only facts when nil.
+	Ranges []RangeSummary
+
 	// comp/comps is the SCC condensation of the call graph (comps in
 	// reverse topological order, see Condense).
 	comp  []int

@@ -1,0 +1,156 @@
+package sa
+
+import "math"
+
+// Value-range lattice shared by the intraprocedural analysis in internal/lir
+// (AnalyzeRanges) and the interprocedural summary driver in internal/sa/vra.
+// The element is an interval over int64 plus a known-nonzero bit; the paper's
+// pass-selection search (§3.5, Fig. 6) consumes it through the range passes
+// (rangecheckelim, rangebranch, rangestrength), which discharge the bounds
+// checks and trap guards the HGraph frontend inserts. The types live here —
+// not in vra — because lir already imports sa and must not import vra.
+
+// ValRange is one lattice element: the value is known to lie in [Lo, Hi],
+// and when NonZero is set it is additionally known to differ from zero.
+// Lo > Hi encodes bottom (no feasible value — an unreachable fact); the full
+// interval with NonZero unset is top.
+type ValRange struct {
+	Lo, Hi  int64
+	NonZero bool
+}
+
+// TopRange is the unconstrained element.
+func TopRange() ValRange { return ValRange{Lo: math.MinInt64, Hi: math.MaxInt64} }
+
+// BottomRange is the infeasible element (identity of Join).
+func BottomRange() ValRange { return ValRange{Lo: math.MaxInt64, Hi: math.MinInt64} }
+
+// ConstRange is the singleton interval.
+func ConstRange(c int64) ValRange { return ValRange{Lo: c, Hi: c, NonZero: c != 0} }
+
+// IsTop reports a fully unconstrained element.
+func (r ValRange) IsTop() bool {
+	return r.Lo == math.MinInt64 && r.Hi == math.MaxInt64 && !r.NonZero
+}
+
+// Empty reports bottom (an infeasible fact).
+func (r ValRange) Empty() bool { return r.Lo > r.Hi }
+
+// Norm folds the interval into the NonZero bit: an interval that excludes
+// zero is nonzero whether or not a branch proved it.
+func (r ValRange) Norm() ValRange {
+	if !r.Empty() && (r.Lo > 0 || r.Hi < 0) {
+		r.NonZero = true
+	}
+	return r
+}
+
+// NonNeg reports a proven-nonnegative value.
+func (r ValRange) NonNeg() bool { return !r.Empty() && r.Lo >= 0 }
+
+// Join is the lattice union (control-flow merge).
+func (r ValRange) Join(o ValRange) ValRange {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	out := ValRange{Lo: min(r.Lo, o.Lo), Hi: max(r.Hi, o.Hi), NonZero: r.NonZero && o.NonZero}
+	return out.Norm()
+}
+
+// Meet is the lattice intersection (applying a branch refinement).
+func (r ValRange) Meet(o ValRange) ValRange {
+	if r.Empty() {
+		return r
+	}
+	if o.Empty() {
+		return o
+	}
+	out := ValRange{Lo: max(r.Lo, o.Lo), Hi: min(r.Hi, o.Hi), NonZero: r.NonZero || o.NonZero}
+	return out.Norm()
+}
+
+// Widen returns r widened against its previous iterate: any bound that moved
+// is pushed to infinity so loop-carried chains converge in O(1) rounds.
+func (r ValRange) Widen(prev ValRange) ValRange {
+	if prev.Empty() {
+		return r
+	}
+	if r.Lo < prev.Lo {
+		r.Lo = math.MinInt64
+	}
+	if r.Hi > prev.Hi {
+		r.Hi = math.MaxInt64
+	}
+	return r.Norm()
+}
+
+// String renders the element for witnesses and rtrace notes.
+func (r ValRange) String() string {
+	if r.Empty() {
+		return "⊥"
+	}
+	s := "["
+	if r.Lo == math.MinInt64 {
+		s += "-inf, "
+	} else {
+		s += itoa(r.Lo) + ", "
+	}
+	if r.Hi == math.MaxInt64 {
+		s += "+inf]"
+	} else {
+		s += itoa(r.Hi) + "]"
+	}
+	if r.NonZero && r.Lo <= 0 && r.Hi >= 0 {
+		s += "≠0"
+	}
+	return s
+}
+
+// itoa avoids pulling strconv into the hot analysis path's import graph for
+// one formatting helper.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [21]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = -u
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// RangeSummary is one method's interprocedural contract: the joined ranges of
+// every argument the analyzed call sites pass for each parameter slot, and
+// the joined range of every value the method can return. Non-integer slots
+// are top. A parameter summary is only narrower than top when every caller is
+// statically known and analyzable (vra falls back to top otherwise), so the
+// summaries over-approximate any replayed invocation — region roots replay
+// with arguments captured from in-program calls.
+type RangeSummary struct {
+	Params []ValRange
+	Ret    ValRange
+}
+
+// ParamRange returns the summary for parameter slot i, top when the summary
+// carries no information for it.
+func (s RangeSummary) ParamRange(i int) ValRange {
+	if i < 0 || i >= len(s.Params) {
+		return TopRange()
+	}
+	return s.Params[i]
+}

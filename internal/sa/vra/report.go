@@ -1,0 +1,218 @@
+package vra
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"replayopt/internal/dex"
+	"replayopt/internal/lir"
+	"replayopt/internal/sa"
+)
+
+// ReportSchemaVersion identifies the rangelint JSON layout. Bump on any
+// incompatible change.
+const ReportSchemaVersion = 1
+
+// Report is the rangelint audit of one app: per method, how many of the
+// frontend's bounds checks and divide trap guards the range analysis proves
+// redundant, with a witness expression for every hot-region check it cannot.
+type Report struct {
+	SchemaVersion int            `json:"schema_version"`
+	App           string         `json:"app"`
+	Methods       []MethodReport `json:"methods"`
+	Totals        Totals         `json:"totals"`
+}
+
+// MethodReport covers one analyzable method that contains at least one
+// bounds check or divide site.
+type MethodReport struct {
+	Method string `json:"method"`
+	// Hot marks membership in the app's replayable hot region — the code
+	// the search actually compiles, where an undischarged check costs
+	// cycles on every replay.
+	Hot    bool `json:"hot"`
+	Checks int  `json:"checks"`
+	Proven int  `json:"proven"`
+	// DivSites counts Div/Rem instructions, DivProven the subset whose
+	// divisor the analysis proves nonzero (guard removable).
+	DivSites  int       `json:"div_sites"`
+	DivProven int       `json:"div_proven"`
+	Witnesses []Witness `json:"witnesses,omitempty"`
+}
+
+// Witness names one unproven hot-region bounds check with the facts the
+// analysis did establish, so a reader can see what is missing for the proof.
+type Witness struct {
+	Block string `json:"block"`
+	// Expr is the failed obligation, e.g. "v7 ∈ [0, +inf] !< arrlen(v3)".
+	Expr string `json:"expr"`
+}
+
+// Totals aggregates the per-method rows plus the interprocedural summary
+// counts (parameter/return slots narrower than top).
+type Totals struct {
+	Methods        int `json:"methods"`
+	HotMethods     int `json:"hot_methods"`
+	Checks         int `json:"checks"`
+	Proven         int `json:"proven"`
+	DivSites       int `json:"div_sites"`
+	DivProven      int `json:"div_proven"`
+	ParamsNarrowed int `json:"params_narrowed"`
+	RetsNarrowed   int `json:"rets_narrowed"`
+}
+
+// BuildReport audits static.Prog under the summaries already attached to
+// static (call Attach first). hot lists the method ids of the app's hot
+// region (nil when the app has none). Deterministic: methods by id, sites in
+// program order.
+func BuildReport(app string, static *sa.Result, hot []dex.MethodID) *Report {
+	rep := &Report{SchemaVersion: ReportSchemaVersion, App: app}
+	inHot := map[dex.MethodID]bool{}
+	for _, id := range hot {
+		inHot[id] = true
+	}
+	for i, m := range static.Prog.Methods {
+		if m.Uncompilable {
+			continue
+		}
+		f, err := lir.BuildSSA(static.Prog, dex.MethodID(i))
+		if err != nil {
+			continue
+		}
+		ra := lir.AnalyzeRanges(f, static)
+		mr := MethodReport{Method: m.Name, Hot: inHot[dex.MethodID(i)]}
+		for _, b := range f.Blocks {
+			for _, v := range b.Insns {
+				switch v.Op {
+				case lir.OpBoundsCheck:
+					mr.Checks++
+					if _, ok := ra.ProvenInBounds(v); ok {
+						mr.Proven++
+					} else if mr.Hot {
+						mr.Witnesses = append(mr.Witnesses, Witness{
+							Block: fmt.Sprintf("b%d", b.ID),
+							Expr:  witnessExpr(ra, b, v),
+						})
+					}
+				case lir.OpDiv, lir.OpRem:
+					mr.DivSites++
+					if _, ok := ra.NonZeroAt(b, v.Args[1]); ok {
+						mr.DivProven++
+					}
+				}
+			}
+		}
+		if mr.Checks == 0 && mr.DivSites == 0 {
+			continue
+		}
+		rep.Methods = append(rep.Methods, mr)
+		rep.Totals.Methods++
+		if mr.Hot {
+			rep.Totals.HotMethods++
+		}
+		rep.Totals.Checks += mr.Checks
+		rep.Totals.Proven += mr.Proven
+		rep.Totals.DivSites += mr.DivSites
+		rep.Totals.DivProven += mr.DivProven
+	}
+	rep.Totals.ParamsNarrowed, rep.Totals.RetsNarrowed = Narrowed(static.Ranges)
+	return rep
+}
+
+// witnessExpr renders the unmet obligation of one bounds check: the index
+// range the analysis derived against what it knows about the array length.
+func witnessExpr(ra *lir.RangeFacts, b *lir.Block, check *lir.Value) string {
+	arr, idx := check.Args[0], check.Args[1]
+	length := fmt.Sprintf("arrlen(v%d)", arr.ID)
+	if arr.Op == lir.OpNewArray && len(arr.Args) > 0 && arr.Args[0].Op == lir.OpConstInt {
+		length = fmt.Sprintf("%d", arr.Args[0].Imm)
+	}
+	return fmt.Sprintf("v%d ∈ %s !< %s", idx.ID, ra.At(b, idx), length)
+}
+
+// ValidateReportJSON checks that data is a structurally valid rangelint
+// report: schema version, required keys with the right JSON types, and the
+// cross-field invariants (totals reconcile with the rows, proven counts never
+// exceed site counts). Mirrors sa.ValidateReportJSON for replaylint.
+func ValidateReportJSON(data []byte) error {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("rangelint report: %w", err)
+	}
+	num := func(m map[string]any, key string) (int, error) {
+		v, ok := m[key]
+		if !ok {
+			return 0, fmt.Errorf("rangelint report: missing %q", key)
+		}
+		f, ok := v.(float64)
+		if !ok || f != float64(int(f)) || f < 0 {
+			return 0, fmt.Errorf("rangelint report: %q is not a nonnegative integer", key)
+		}
+		return int(f), nil
+	}
+	sv, err := num(raw, "schema_version")
+	if err != nil {
+		return err
+	}
+	if sv != ReportSchemaVersion {
+		return fmt.Errorf("rangelint report: schema_version %d, want %d", sv, ReportSchemaVersion)
+	}
+	if _, ok := raw["app"].(string); !ok {
+		return fmt.Errorf("rangelint report: missing or non-string %q", "app")
+	}
+	tot, ok := raw["totals"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("rangelint report: missing %q object", "totals")
+	}
+	want := map[string]int{}
+	for _, key := range []string{"methods", "hot_methods", "checks", "proven",
+		"div_sites", "div_proven", "params_narrowed", "rets_narrowed"} {
+		n, err := num(tot, key)
+		if err != nil {
+			return err
+		}
+		want[key] = n
+	}
+	methods, ok := raw["methods"].([]any)
+	if !ok && raw["methods"] != nil {
+		return fmt.Errorf("rangelint report: %q is not an array", "methods")
+	}
+	got := map[string]int{}
+	for i, el := range methods {
+		m, ok := el.(map[string]any)
+		if !ok {
+			return fmt.Errorf("rangelint report: methods[%d] is not an object", i)
+		}
+		if _, ok := m["method"].(string); !ok {
+			return fmt.Errorf("rangelint report: methods[%d] missing %q", i, "method")
+		}
+		hot, ok := m["hot"].(bool)
+		if !ok {
+			return fmt.Errorf("rangelint report: methods[%d] missing boolean %q", i, "hot")
+		}
+		row := map[string]int{}
+		for _, key := range []string{"checks", "proven", "div_sites", "div_proven"} {
+			n, err := num(m, key)
+			if err != nil {
+				return fmt.Errorf("methods[%d]: %w", i, err)
+			}
+			row[key] = n
+		}
+		if row["proven"] > row["checks"] || row["div_proven"] > row["div_sites"] {
+			return fmt.Errorf("rangelint report: methods[%d] proves more sites than it has", i)
+		}
+		got["methods"]++
+		if hot {
+			got["hot_methods"]++
+		}
+		for _, key := range []string{"checks", "proven", "div_sites", "div_proven"} {
+			got[key] += row[key]
+		}
+	}
+	for _, key := range []string{"methods", "hot_methods", "checks", "proven", "div_sites", "div_proven"} {
+		if got[key] != want[key] {
+			return fmt.Errorf("rangelint report: totals.%s = %d but rows sum to %d", key, want[key], got[key])
+		}
+	}
+	return nil
+}
