@@ -37,6 +37,7 @@ import (
 	"replayopt/internal/obs"
 	"replayopt/internal/profile"
 	"replayopt/internal/rt"
+	"replayopt/internal/sa/pts"
 	"replayopt/internal/sa/vra"
 	"replayopt/internal/verify"
 )
@@ -672,6 +673,271 @@ func BenchmarkRangeAnalysis(b *testing.B) {
 	for _, r := range rows {
 		fmt.Printf("  %-14s kernel=%-5v bound %3d -> %3d (%4.0f%%) divu %d  cycles %+.2f%%  analysis %.1f ms\n",
 			r.App, r.Kernel, r.BoundsBase, r.BoundsOpt, r.DischargePct, r.UnguardedDivs, r.CycleDeltaPct, r.AnalysisMs)
+	}
+}
+
+// BenchmarkAliasAnalysis measures the interprocedural points-to analysis
+// (internal/sa/pts) and its four consumer passes: per app, how many of the
+// same-kind access pairs the alias-blind passes must assume conflicting the
+// analysis proves apart (gated at >= 30% on the kernel subjects whose hot
+// loops mix provably distinct locations), the whole-program exec-cycle delta
+// with the alias-aware memory pipeline on, and the verification-map shrink
+// from eliding stores into provably non-escaping allocations. It also proves
+// the two safety properties the passes claim: a validated compile produces
+// zero tv rejections, and a GA search with the alias-consuming passes
+// excluded from the pool yields a byte-identical decision trace whether
+// summaries are attached or not. Results land in BENCH_alias.json (schema
+// checked by cmd/benchlint).
+func BenchmarkAliasAnalysis(b *testing.B) {
+	// Kernel subjects: hot regions over several distinct arrays or fields,
+	// where base/slot separation is provable. FFT and SOR are reported but
+	// not gated — their kernels index one shared array with loop-carried
+	// expressions no flow-insensitive analysis can separate.
+	kernelApps := map[string]bool{"Sparse matmult": true, "Linpack": true, "Dhrystone": true}
+	appNames := []string{"Sparse matmult", "Linpack", "Dhrystone", "FFT", "SOR", "MaterialLife"}
+	const minKernelDisambiguationPct = 30.0
+
+	type appRow struct {
+		App               string  `json:"app"`
+		Kernel            bool    `json:"kernel"`
+		Pairs             int     `json:"pairs"`
+		Proven            int     `json:"proven"`
+		DisambiguationPct float64 `json:"disambiguation_pct"`
+		Sites             int     `json:"sites"`
+		NonEscaping       int     `json:"non_escaping"`
+		CyclesBase        uint64  `json:"cycles_base"`
+		CyclesOpt         uint64  `json:"cycles_opt"`
+		CycleDeltaPct     float64 `json:"cycle_delta_pct"`
+		AnalysisMs        float64 `json:"analysis_ms"`
+	}
+	type vmapRow struct {
+		App          string `json:"app"`
+		Region       string `json:"region"`
+		EntriesBlind int    `json:"entries_blind"`
+		EntriesAlias int    `json:"entries_alias"`
+		StoresElided int    `json:"stores_elided"`
+	}
+
+	runProgram := func(app *core.App, code *machine.Program) (uint64, error) {
+		_, x := app.NewProcessAndExec(code)
+		x.MaxCycles = 50_000_000_000
+		if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+			return 0, err
+		}
+		return x.Cycles, nil
+	}
+	specFor := func(name string) (apps.Spec, bool) {
+		if name == "ScratchFilter" {
+			return apps.ScratchSpec(), true
+		}
+		return apps.ByName(name)
+	}
+	aliasSpecs := []lir.PassSpec{
+		{Name: "storeforward"},
+		{Name: "dse"},
+		{Name: "licm", Params: map[string]int{"loads": 1}},
+		{Name: "stackalloc"},
+		{Name: "simplifycfg"},
+		{Name: "dce"},
+	}
+
+	var rows []appRow
+	var vmaps []vmapRow
+	var tvRejected int
+	traceParity := false
+	for i := 0; i < b.N; i++ {
+		rows, vmaps = nil, nil
+		tvRejected = 0
+		for _, name := range appNames {
+			spec, ok := apps.ByName(name)
+			if !ok {
+				b.Fatalf("unknown app %s", name)
+			}
+			app, err := apps.Build(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			android, err := aot.Compile(app.Prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prof := profile.NewProfile()
+			_, x := app.NewProcessAndExec(android)
+			x.SamplePeriod = profile.SamplePeriodCycles
+			x.Sampler = prof
+			x.MaxCycles = 50_000_000_000
+			if _, err := x.Call(app.Prog.Entry, nil); err != nil {
+				b.Fatal(err)
+			}
+			analysis := profile.Analyze(app.Prog)
+			region, ok := profile.HotRegion(app.Prog, analysis, prof)
+			if !ok {
+				b.Fatalf("%s: no replayable hot region", name)
+			}
+			start := time.Now()
+			pts.Attach(analysis.Effects)
+			analysisMs := time.Since(start).Seconds() * 1000
+
+			rep := pts.BuildReport(name, analysis.Effects, region.Methods)
+			row := appRow{
+				App: name, Kernel: kernelApps[name], AnalysisMs: analysisMs,
+				Pairs: rep.Totals.Pairs, Proven: rep.Totals.Proven,
+				Sites: rep.Totals.Sites, NonEscaping: rep.Totals.NonEscaping,
+			}
+			if row.Pairs > 0 {
+				row.DisambiguationPct = 100 * float64(row.Proven) / float64(row.Pairs)
+			}
+
+			// Hot-region compile at O1 + the alias-aware memory pipeline,
+			// strict-validated: these passes must never earn a Rejected.
+			base, _ := lir.Preset("O1")
+			opt := base
+			opt.Passes = append(append([]lir.PassSpec{}, base.Passes...), aliasSpecs...)
+			chk := tv.NewChecker(tv.Options{Strict: true})
+			optChecked := opt
+			optChecked.Check = chk
+			optChecked.CheckEach = true
+			if _, err := lir.Compile(app.Prog, region.Methods, optChecked, nil, analysis.Effects); err != nil {
+				b.Fatal(err)
+			}
+			_, _, rejected := chk.Counts()
+			tvRejected += rejected
+
+			// Whole-program exec-cycle delta with the memory passes on.
+			baseAll, err := lir.Compile(app.Prog, nil, base, nil, analysis.Effects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			optAll, err := lir.Compile(app.Prog, nil, opt, nil, analysis.Effects)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if row.CyclesBase, err = runProgram(app, baseAll); err != nil {
+				b.Fatal(err)
+			}
+			if row.CyclesOpt, err = runProgram(app, optAll); err != nil {
+				b.Fatal(err)
+			}
+			row.CycleDeltaPct = (float64(row.CyclesOpt)/float64(row.CyclesBase) - 1) * 100
+
+			if row.Kernel && row.DisambiguationPct < minKernelDisambiguationPct {
+				b.Fatalf("%s: alias analysis disambiguated %.0f%% of same-kind pairs, want >= %.0f%%",
+					name, row.DisambiguationPct, minKernelDisambiguationPct)
+			}
+			rows = append(rows, row)
+		}
+		if tvRejected > 0 {
+			b.Fatalf("%d tv rejections on alias-pass pipelines (passes must never be Rejected)", tvRejected)
+		}
+
+		// Verification-map shrink: regions whose hot code allocates scratch
+		// objects the analysis proves non-escaping, built with summaries
+		// nulled (blind) and attached.
+		for _, name := range []string{"ScratchFilter", "MaterialLife"} {
+			spec, _ := specFor(name)
+			app, err := apps.Build(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := core.New(core.DefaultOptions())
+			p, err := opt.Prepare(app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eff := p.Analysis.Effects
+			al := eff.Alias
+			eff.Alias = nil
+			blind, _, err := verify.Build(opt.Dev, opt.Store, p.Snapshot, app.Prog, eff)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eff.Alias = al
+			aware, _, err := verify.Build(opt.Dev, opt.Store, p.Snapshot, app.Prog, eff)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(aware.Entries) > len(blind.Entries) {
+				b.Fatalf("%s: alias-aware vmap grew (%d -> %d entries)", name, len(blind.Entries), len(aware.Entries))
+			}
+			vmaps = append(vmaps, vmapRow{
+				App:          name,
+				Region:       app.Prog.Methods[p.Region.Root].Name,
+				EntriesBlind: len(blind.Entries),
+				EntriesAlias: len(aware.Entries),
+				StoresElided: aware.StoresElided,
+			})
+		}
+		shrunk := 0
+		for _, v := range vmaps {
+			shrunk += v.EntriesBlind - v.EntriesAlias
+		}
+		if shrunk <= 0 {
+			b.Fatal("alias-aware verification maps show no size win over the blind maps")
+		}
+
+		// Trace parity: with the alias-consuming passes excluded from the
+		// search pool, attached summaries must be invisible to the GA —
+		// byte-identical decision traces with and without them.
+		p, _, err := exp.PrepareApp("Fibonacci.recv", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := benchScale(b).GA
+		opts.BaselineAndroidMs = p.AndroidEval.MeanMs
+		opts.BaselineO3Ms = p.O3Eval.MeanMs
+		opts.ExcludePasses = []string{"storeforward", "dse", "licm", "stackalloc"}
+		withAlias := ga.Search(rand.New(rand.NewSource(benchSeed)), p, opts).DecisionTrace()
+		p.Analysis.Effects.Alias = nil
+		withoutAlias := ga.Search(rand.New(rand.NewSource(benchSeed)), p, opts).DecisionTrace()
+		traceParity = withAlias == withoutAlias
+		if !traceParity {
+			b.Fatal("decision trace changed when alias summaries were attached but the passes were unselected")
+		}
+	}
+
+	var proven, pairs, elided int
+	var analysisMs float64
+	for _, r := range rows {
+		proven += r.Proven
+		pairs += r.Pairs
+		analysisMs += r.AnalysisMs
+	}
+	for _, v := range vmaps {
+		elided += v.StoresElided
+	}
+	b.ReportMetric(float64(proven), "pairs-disambiguated")
+	b.ReportMetric(float64(proven)/float64(pairs)*100, "%disambiguated")
+	b.ReportMetric(float64(elided), "stores-elided")
+	b.ReportMetric(analysisMs/float64(len(rows)), "analysis-ms/app")
+
+	artifact, err := json.MarshalIndent(map[string]any{
+		"schema_version":                1,
+		"benchmark":                     "AliasAnalysis",
+		"apps":                          rows,
+		"vmap":                          vmaps,
+		"kernel_min_disambiguation_pct": minKernelDisambiguationPct,
+		"pairs_proven":                  proven,
+		"pairs_total":                   pairs,
+		"stores_elided":                 elided,
+		"tv_rejected":                   tvRejected,
+		"trace_parity":                  traceParity,
+		"trace_app":                     "Fibonacci.recv",
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_alias.json", append(artifact, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("alias analysis: %d/%d same-kind pairs disambiguated; %d vmap stores elided; tv rejects %d; trace parity %v\n",
+		proven, pairs, elided, tvRejected, traceParity)
+	for _, r := range rows {
+		fmt.Printf("  %-14s kernel=%-5v pairs %3d/%-3d (%4.0f%%) sites %d/%d local  cycles %+.2f%%  analysis %.1f ms\n",
+			r.App, r.Kernel, r.Proven, r.Pairs, r.DisambiguationPct, r.NonEscaping, r.Sites, r.CycleDeltaPct, r.AnalysisMs)
+	}
+	for _, v := range vmaps {
+		fmt.Printf("  vmap %-14s region=%s entries %d -> %d (elided %d)\n",
+			v.App, v.Region, v.EntriesBlind, v.EntriesAlias, v.StoresElided)
 	}
 }
 

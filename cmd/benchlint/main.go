@@ -1,23 +1,30 @@
 // Command benchlint validates and regression-checks BENCH_*.json artifacts.
 // It dispatches on the document's "benchmark" field: SearchParallel (the
 // worker-count × warm sweep of DESIGN.md §11, with -compare regression
-// gating) and RangeAnalysis (the value-range discharge artifact of
-// BenchmarkRangeAnalysis).
+// gating), RangeAnalysis (the value-range discharge artifact of
+// BenchmarkRangeAnalysis), and AliasAnalysis (the points-to disambiguation
+// artifact of BenchmarkAliasAnalysis, also -compare gated).
 //
 // Usage:
 //
 //	benchlint BENCH_parallel.json                    # stat: table + schema check
 //	benchlint BENCH_range.json                       # stat for a range artifact
+//	benchlint BENCH_alias.json                       # stat for an alias artifact
 //	benchlint -validate < BENCH_parallel.json        # schema check from stdin
 //	benchlint -compare base.json [-tolerance 0.2] BENCH_parallel.json
+//	benchlint -compare base_alias.json BENCH_alias.json
 //
-// -compare reads a baseline artifact and fails (exit 1) when any sweep cell's
-// evals/sec in the new artifact regresses by more than the tolerance against
-// the matching (workers, warm) cell of the baseline — the CI smoke gate. Cells
-// present in the baseline must still exist in the new artifact; new cells
+// -compare reads a baseline artifact and fails (exit 1) when the new artifact
+// regresses beyond the tolerance. For SearchParallel the gated quantity is
+// each sweep cell's evals/sec against the matching (workers, warm) cell; cells
+// present in the baseline must still exist in the new artifact, and new cells
 // (e.g. a wider sweep on a bigger runner) are allowed. -compare-normalized
 // divides every cell by the cold serial cell first, so machine-speed
-// differences cancel and only warm/parallel efficiency is compared.
+// differences cancel and only warm/parallel efficiency is compared. For
+// AliasAnalysis the gated quantities are machine-independent, so no
+// normalization applies: each baseline app's disambiguation rate and each
+// vmap subject's entry shrink must hold, and tv rejections and trace parity
+// must stay clean.
 package main
 
 import (
@@ -120,11 +127,165 @@ func validateRange(a *rangeArtifact) error {
 	return nil
 }
 
-// parsed is one validated artifact of either supported benchmark (exactly one
+// aliasRow is one app of the AliasAnalysis artifact.
+type aliasRow struct {
+	App               string  `json:"app"`
+	Kernel            bool    `json:"kernel"`
+	Pairs             int     `json:"pairs"`
+	Proven            int     `json:"proven"`
+	DisambiguationPct float64 `json:"disambiguation_pct"`
+	Sites             int     `json:"sites"`
+	NonEscaping       int     `json:"non_escaping"`
+	CyclesBase        uint64  `json:"cycles_base"`
+	CyclesOpt         uint64  `json:"cycles_opt"`
+	AnalysisMs        float64 `json:"analysis_ms"`
+}
+
+// aliasVmapRow is one verification-map subject of the AliasAnalysis artifact.
+type aliasVmapRow struct {
+	App          string `json:"app"`
+	Region       string `json:"region"`
+	EntriesBlind int    `json:"entries_blind"`
+	EntriesAlias int    `json:"entries_alias"`
+	StoresElided int    `json:"stores_elided"`
+}
+
+type aliasArtifact struct {
+	SchemaVersion int            `json:"schema_version"`
+	Benchmark     string         `json:"benchmark"`
+	Apps          []aliasRow     `json:"apps"`
+	Vmap          []aliasVmapRow `json:"vmap"`
+	KernelMinPct  float64        `json:"kernel_min_disambiguation_pct"`
+	PairsProven   int            `json:"pairs_proven"`
+	PairsTotal    int            `json:"pairs_total"`
+	StoresElided  int            `json:"stores_elided"`
+	TVRejected    int            `json:"tv_rejected"`
+	TraceParity   bool           `json:"trace_parity"`
+	TraceApp      string         `json:"trace_app"`
+}
+
+func validateAlias(a *aliasArtifact) error {
+	if a.SchemaVersion != 1 {
+		return fmt.Errorf("schema_version %d, want 1", a.SchemaVersion)
+	}
+	if len(a.Apps) == 0 {
+		return fmt.Errorf("no app rows")
+	}
+	kernels, proven, pairs := 0, 0, 0
+	for i, r := range a.Apps {
+		if r.App == "" {
+			return fmt.Errorf("apps[%d]: missing app name", i)
+		}
+		if r.Proven > r.Pairs {
+			return fmt.Errorf("%s: proven %d exceeds pairs %d (unsound count)", r.App, r.Proven, r.Pairs)
+		}
+		if r.NonEscaping > r.Sites {
+			return fmt.Errorf("%s: non_escaping %d exceeds sites %d", r.App, r.NonEscaping, r.Sites)
+		}
+		if r.CyclesBase == 0 || r.CyclesOpt == 0 {
+			return fmt.Errorf("%s: zero exec cycles", r.App)
+		}
+		if r.Kernel {
+			kernels++
+			if r.DisambiguationPct < a.KernelMinPct {
+				return fmt.Errorf("%s: kernel subject disambiguated %.0f%%, floor is %.0f%%", r.App, r.DisambiguationPct, a.KernelMinPct)
+			}
+		}
+		proven += r.Proven
+		pairs += r.Pairs
+	}
+	if kernels == 0 {
+		return fmt.Errorf("no kernel subjects gated")
+	}
+	if proven != a.PairsProven || pairs != a.PairsTotal {
+		return fmt.Errorf("pairs_proven/pairs_total %d/%d but rows sum to %d/%d", a.PairsProven, a.PairsTotal, proven, pairs)
+	}
+	elided, shrunk := 0, 0
+	for i, v := range a.Vmap {
+		if v.App == "" {
+			return fmt.Errorf("vmap[%d]: missing app name", i)
+		}
+		if v.EntriesAlias > v.EntriesBlind {
+			return fmt.Errorf("%s: alias-aware vmap grew (%d -> %d entries)", v.App, v.EntriesBlind, v.EntriesAlias)
+		}
+		elided += v.StoresElided
+		shrunk += v.EntriesBlind - v.EntriesAlias
+	}
+	if elided != a.StoresElided {
+		return fmt.Errorf("stores_elided %d but vmap rows sum to %d", a.StoresElided, elided)
+	}
+	if shrunk <= 0 {
+		return fmt.Errorf("no vmap size win over the blind maps")
+	}
+	if a.TVRejected != 0 {
+		return fmt.Errorf("tv_rejected %d: alias passes must never be Rejected", a.TVRejected)
+	}
+	if !a.TraceParity {
+		return fmt.Errorf("trace_parity false: attached summaries perturbed an excluded-pass search")
+	}
+	if a.TraceApp == "" {
+		return fmt.Errorf("missing trace_app")
+	}
+	return nil
+}
+
+// compareAlias gates a new AliasAnalysis artifact on a baseline: every
+// baseline app must keep its disambiguation rate and every baseline vmap
+// subject its entry shrink, within the tolerance. The quantities are counts
+// of static proofs, not timings, so cross-machine runs compare directly.
+func compareAlias(base, next *aliasArtifact, tolerance float64) error {
+	nextApp := map[string]aliasRow{}
+	for _, r := range next.Apps {
+		nextApp[r.App] = r
+	}
+	nextVmap := map[string]aliasVmapRow{}
+	for _, v := range next.Vmap {
+		nextVmap[v.App] = v
+	}
+	var failed bool
+	for _, br := range base.Apps {
+		nr, ok := nextApp[br.App]
+		if !ok {
+			fmt.Printf("MISSING   %-14s (baseline %.0f%% disambiguated)\n", br.App, br.DisambiguationPct)
+			failed = true
+			continue
+		}
+		status := "ok"
+		if nr.DisambiguationPct < br.DisambiguationPct*(1-tolerance) {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s %-14s %5.1f%% -> %5.1f%% disambiguated\n",
+			status, br.App, br.DisambiguationPct, nr.DisambiguationPct)
+	}
+	for _, bv := range base.Vmap {
+		nv, ok := nextVmap[bv.App]
+		if !ok {
+			fmt.Printf("MISSING   vmap %-14s (baseline shrink %d)\n", bv.App, bv.EntriesBlind-bv.EntriesAlias)
+			failed = true
+			continue
+		}
+		baseShrink := bv.EntriesBlind - bv.EntriesAlias
+		nextShrink := nv.EntriesBlind - nv.EntriesAlias
+		status := "ok"
+		if float64(nextShrink) < float64(baseShrink)*(1-tolerance) {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s vmap %-14s shrink %4d -> %4d entries\n", status, bv.App, baseShrink, nextShrink)
+	}
+	if failed {
+		return fmt.Errorf("alias artifact regressed beyond %.0f%% tolerance", tolerance*100)
+	}
+	return nil
+}
+
+// parsed is one validated artifact of any supported benchmark (exactly one
 // field is non-nil).
 type parsed struct {
 	parallel *artifact
 	ranged   *rangeArtifact
+	alias    *aliasArtifact
 }
 
 func parse(data []byte) (parsed, error) {
@@ -147,6 +308,12 @@ func parse(data []byte) (parsed, error) {
 			return parsed{}, fmt.Errorf("parse: %w", err)
 		}
 		return parsed{ranged: &a}, validateRange(&a)
+	case "AliasAnalysis":
+		var a aliasArtifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return parsed{}, fmt.Errorf("parse: %w", err)
+		}
+		return parsed{alias: &a}, validateAlias(&a)
 	default:
 		return parsed{}, fmt.Errorf("unknown benchmark %q", probe.Benchmark)
 	}
@@ -299,18 +466,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
 			os.Exit(1)
 		}
-		if baseDoc.parallel == nil || doc.parallel == nil {
-			fmt.Fprintln(os.Stderr, "benchlint: -compare supports SearchParallel artifacts only")
+		switch {
+		case baseDoc.parallel != nil && doc.parallel != nil:
+			if err := compare(baseDoc.parallel, doc.parallel, *tolerance, *normalized); err != nil {
+				fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
+				os.Exit(1)
+			}
+		case baseDoc.alias != nil && doc.alias != nil:
+			if err := compareAlias(baseDoc.alias, doc.alias, *tolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "benchlint: -compare needs two SearchParallel or two AliasAnalysis artifacts")
 			os.Exit(2)
-		}
-		if err := compare(baseDoc.parallel, doc.parallel, *tolerance, *normalized); err != nil {
-			fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
-			os.Exit(1)
 		}
 		fmt.Printf("no regression beyond %.0f%% tolerance\n", *tolerance*100)
 		return
 	}
 
+	if al := doc.alias; al != nil {
+		fmt.Printf("%s: %s, %d/%d same-kind pairs disambiguated; %d vmap stores elided; tv rejects %d; trace parity %v (%s)\n",
+			flag.Arg(0), al.Benchmark, al.PairsProven, al.PairsTotal, al.StoresElided, al.TVRejected, al.TraceParity, al.TraceApp)
+		for _, r := range al.Apps {
+			fmt.Printf("  %-14s kernel=%-5v pairs %3d/%-3d (%4.0f%%) sites %d/%d local  analysis %.1f ms\n",
+				r.App, r.Kernel, r.Proven, r.Pairs, r.DisambiguationPct, r.NonEscaping, r.Sites, r.AnalysisMs)
+		}
+		for _, v := range al.Vmap {
+			fmt.Printf("  vmap %-14s region=%s entries %d -> %d (elided %d)\n",
+				v.App, v.Region, v.EntriesBlind, v.EntriesAlias, v.StoresElided)
+		}
+		return
+	}
 	if rng := doc.ranged; rng != nil {
 		fmt.Printf("%s: %s, %d bounds checks discharged; tv rejects %d; trace parity %v (%s)\n",
 			flag.Arg(0), rng.Benchmark, rng.Discharged, rng.TVRejected, rng.TraceParity, rng.TraceApp)

@@ -1,0 +1,61 @@
+package apps
+
+// ScratchSpec returns the diagnostic application used by the alias-analysis
+// tests and benchmarks. Like WitnessSpec it is deliberately NOT part of
+// All() — Table 1 has exactly 21 applications — but Build accepts it like any
+// other spec.
+//
+// The app is engineered so the boolean effect summary and the points-to
+// analysis disagree about the verification map: its hot kernel allocates a
+// per-round scratch histogram, so the region is a heap writer (the §3.4
+// write-free shortcut cannot fire) — yet almost every store lands in an
+// allocation the escape analysis proves local. The blind map records every
+// scratch slot of every round (the bump allocator gives each round fresh
+// addresses); the alias-aware map elides them and keeps only the escaping
+// output writes and statics.
+func ScratchSpec() Spec {
+	return Spec{
+		Name:   "ScratchFilter",
+		Type:   Interactive,
+		Desc:   "Diagnostic histogram app for alias-analysis store elision",
+		HeapMB: 8,
+		Seed:   311,
+		Source: scratchSrc,
+	}
+}
+
+const scratchSrc = `
+global float[] img;
+global float[] out;
+global int rounds_done;
+
+func setup(int n) {
+	img = new float[n];
+	out = new float[8];
+	for (int i = 0; i < n; i = i + 1) { img[i] = itof(i % 97) * 0.125; }
+}
+
+func kernel(int rounds) int {
+	int acc = 0;
+	for (int r = 0; r < rounds; r = r + 1) {
+		int[] hist = new int[64];
+		for (int i = 0; i < len(img); i = i + 1) {
+			int b = (ftoi(img[i] * 4.0) + r) % 64;
+			hist[b] = hist[b] + 1;
+		}
+		for (int k = 0; k < 64; k = k + 1) {
+			acc = acc + hist[k] * k;
+		}
+		out[r % 8] = itof(acc % 997);
+		rounds_done = rounds_done + 1;
+	}
+	return acc;
+}
+
+func main() int {
+	setup(4096);
+	int total = kernel(6);
+	print_int(total);
+	return total;
+}
+`

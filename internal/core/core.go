@@ -36,6 +36,7 @@ import (
 	"replayopt/internal/replay"
 	"replayopt/internal/rt"
 	"replayopt/internal/sa"
+	"replayopt/internal/sa/pts"
 	"replayopt/internal/sa/vra"
 	"replayopt/internal/stats"
 	"replayopt/internal/verify"
@@ -316,10 +317,12 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 		p.Analysis = profile.Analyze(app.Prog)
 	}
 	if eff := p.Analysis.Effects; eff != nil {
-		// Interprocedural value-range summaries for the lir range passes.
-		// A pure function of the program, so attaching them never perturbs
-		// config fingerprints or search traces.
+		// Interprocedural value-range and points-to summaries for the lir
+		// range and memory passes. Both are pure functions of the program,
+		// so attaching them never perturbs config fingerprints or search
+		// traces.
 		vra.Attach(eff)
+		pts.Attach(eff)
 	}
 	region, ok := profile.HotRegion(app.Prog, p.Analysis, prof)
 	if !ok {
@@ -335,11 +338,15 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 	}
 	if eff := p.Analysis.Effects; eff != nil {
 		rparams, rrets := vra.Narrowed(eff.Ranges)
+		sites, nonEsc, bounded := pts.Stats(eff.Alias)
 		attrs = append(attrs,
 			obs.A("analysis", "effects"),
 			obs.A("region_effect", eff.Summary[region.Root].String()),
 			obs.A("range_params_narrowed", rparams),
 			obs.A("range_rets_narrowed", rrets),
+			obs.A("alias_sites", sites),
+			obs.A("alias_non_escaping", nonEsc),
+			obs.A("alias_bounded_methods", bounded),
 		)
 	} else {
 		attrs = append(attrs, obs.A("analysis", "blocklist"))
@@ -371,7 +378,8 @@ func (o *Optimizer) prepare(app *App, parent *obs.Span) (p *Prepared, err error)
 	}
 	p.VMap = vmap
 	p.TypeProf = typeProf
-	sp.End(obs.A("vmap_size", vmap.Size()), obs.A("stores_skipped", vmap.StoresSkipped))
+	sp.End(obs.A("vmap_size", vmap.Size()), obs.A("stores_skipped", vmap.StoresSkipped),
+		obs.A("stores_elided", vmap.StoresElided))
 
 	// 5) Baselines at region level.
 	sp = prep.Start("baselines")

@@ -26,7 +26,9 @@ func TestTVCheckSearchParity(t *testing.T) {
 			t.Fatal(err)
 		}
 		opts := smallOptions()
-		opts.Seed = 10
+		// Seed chosen so the search samples tvbreak under the current
+		// catalog size; re-pick if the catalog grows.
+		opts.Seed = 5
 		opts.TVCheck = tvcheck
 		opt := New(opts)
 		rep, err := opt.Optimize(&App{Name: "miniapp", Prog: prog})
@@ -81,7 +83,7 @@ func TestTVCheckScheduleChargesCompileOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := smallOptions()
-	opts.Seed = 10
+	opts.Seed = 5 // must sample tvbreak; see TestTVCheckSearchParity
 	opts.TVCheck = true
 	opt := New(opts)
 	rep, err := opt.Optimize(&App{Name: "miniapp", Prog: prog})

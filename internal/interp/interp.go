@@ -63,6 +63,16 @@ type Recorder interface {
 	Dispatch(site CallSite, cls dex.ClassID)
 }
 
+// AllocRecorder is an optional extension of Recorder: implementations also
+// observe every allocation with its (method, pc) site — the same key the
+// points-to analysis uses for escape verdicts — and the allocated extent
+// [base, base+size). verify.Build uses it to elide stores into allocations
+// the analysis proves non-escaping.
+type AllocRecorder interface {
+	Recorder
+	Alloc(site CallSite, base mem.Addr, size int64)
+}
+
 // Env is one interpreter activation: a process plus execution policy.
 type Env struct {
 	Proc    *rt.Process
@@ -147,6 +157,7 @@ func (e *Env) Call(id dex.MethodID, args []uint64) (uint64, error) {
 			e.Recorder.Store(a)
 		}
 	}
+	allocRec, _ := e.Recorder.(AllocRecorder)
 
 	// Dispatch fast path: with no sampler attached (every replay evaluation),
 	// the per-op charge inlines against a hoisted budget instead of going
@@ -291,6 +302,9 @@ func (e *Env) Call(id dex.MethodID, args []uint64) (uint64, error) {
 			if err != nil {
 				return 0, err
 			}
+			if allocRec != nil {
+				allocRec.Alloc(CallSite{Method: id, PC: pc}, mem.Addr(ref), 8+8*max(n, 0))
+			}
 			regs[in.A] = uint64(ref)
 
 		case dex.OpArrayLen:
@@ -324,6 +338,9 @@ func (e *Env) Call(id dex.MethodID, args []uint64) (uint64, error) {
 			ref, err := e.Proc.NewObject(dex.ClassID(in.Sym))
 			if err != nil {
 				return 0, err
+			}
+			if allocRec != nil {
+				allocRec.Alloc(CallSite{Method: id, PC: pc}, mem.Addr(ref), 8+8*int64(len(cls.Fields)))
 			}
 			regs[in.A] = uint64(ref)
 

@@ -315,6 +315,10 @@ func (tr *translator) translateBlock(lb *Block, env map[int]*Value) error {
 			}
 			v := emit(f.NewValue(OpNewArray, TRef, env[in.B]))
 			v.Sym = int(kind)
+			// Allocation-site key, stable across inlining: the declaring
+			// method and original bytecode pc (same keying as call sites).
+			v.Imm = int64(hb.StartPC + i)
+			v.Slot = int64(tr.f.Method)
 			env[in.A] = v
 		case dex.OpArrayLen:
 			env[in.A] = emit(f.NewValue(OpArrLen, TInt, env[in.B]))
@@ -335,6 +339,8 @@ func (tr *translator) translateBlock(lb *Block, env map[int]*Value) error {
 		case dex.OpNewInstance:
 			v := emit(f.NewValue(OpNewObject, TRef))
 			v.Sym = in.Sym
+			v.Imm = int64(hb.StartPC + i)
+			v.Slot = int64(tr.f.Method)
 			env[in.A] = v
 		case dex.OpFLoadInt, dex.OpFLoadFloat, dex.OpFLoadRef:
 			t := TInt

@@ -8,9 +8,14 @@ import (
 )
 
 // Memory optimization passes: store-to-load forwarding, dead store
-// elimination (safe local and alias-blind "global" variants), loop-invariant
-// code motion, bounds-check elimination, and the paper's custom post-loop
-// GC-check elimination (§3.5).
+// elimination, loop-invariant code motion, bounds-check elimination, and the
+// paper's custom post-loop GC-check elimination (§3.5). The safe variants are
+// alias-aware: they consult the Andersen points-to facts (alias.go) and the
+// interprocedural mod/ref summaries (internal/sa/pts, read through
+// PassContext.Static) to look past accesses and calls that provably touch
+// disjoint memory, degrading to kind/slot matching when facts are missing.
+// The deliberately unsound alias-blind dse variant — a Fig. 1 wrong-output
+// source the verify stage must catch — is kept intact, facts or not.
 
 func init() { registerMemPasses() }
 
@@ -27,7 +32,7 @@ func registerMemPasses() {
 	})
 	register(&PassInfo{
 		Name: "dse",
-		Doc:  "remove stores overwritten before any possible read",
+		Doc:  "remove stores overwritten before any possible read (alias-aware: only may-alias loads and calls whose ref set covers the location block removal)",
 		Params: []ParamSpec{
 			// alias-blind=1 matches stores by slot/shape only, ignoring
 			// whether the base objects alias — removes stores other code
@@ -41,9 +46,11 @@ func registerMemPasses() {
 		Name: "licm",
 		Doc:  "hoist loop-invariant computation to the preheader",
 		Params: []ParamSpec{
-			// loads=1 also hoists memory loads when the loop contains no
-			// stores or calls (aggressive: may introduce a trap for
-			// zero-trip loops).
+			// loads=1 also hoists memory loads past loop stores that provably
+			// never alias the loaded location and calls whose interprocedural
+			// mod set misses it; without alias facts this degrades to loops
+			// containing no stores or calls at all. Aggressive either way:
+			// hoisting may introduce a trap for zero-trip loops.
 			{Name: "loads", Default: 0, Min: 0, Max: 1},
 			// unsafe=1 hoists loads ignoring stores and calls in the loop,
 			// reading stale values.
@@ -114,23 +121,82 @@ func isCall(v *Value) bool {
 	return false
 }
 
+// passStatic unwraps the interprocedural analysis a pass context carries.
+func passStatic(ctx *PassContext) *sa.Result {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Static
+}
+
+// keyLoc abstracts a locKey to the interprocedural location vocabulary.
+func keyLoc(k locKey) sa.MemLoc {
+	switch k.kind {
+	case OpFieldStore:
+		return sa.MemLoc{Kind: sa.LocField, Slot: k.slot}
+	case OpStaticStore:
+		return sa.MemLoc{Kind: sa.LocGlobal, Slot: k.slot}
+	}
+	return sa.MemLoc{Kind: sa.LocElem}
+}
+
+// keysMayAlias reports whether two abstract locations can overlap, using the
+// points-to facts to separate bases and constant indices. Conservative
+// without converged facts (beyond kind/slot/base identity).
+func keysMayAlias(fx *AliasFacts, a, b locKey) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case OpStaticStore:
+		return a.slot == b.slot
+	case OpFieldStore:
+		if a.slot != b.slot {
+			return false
+		}
+	default: // OpArrStore
+		if a.base == b.base && a.idx != nil && b.idx != nil &&
+			a.idx.Op == OpConstInt && b.idx.Op == OpConstInt && a.idx.Imm != b.idx.Imm {
+			return false
+		}
+	}
+	if a.base == b.base {
+		return true
+	}
+	if fx == nil || !fx.Converged() {
+		return true
+	}
+	return fx.overlap(fx.pts(a.base), fx.pts(b.base))
+}
+
 // runStoreForward forwards stored (or previously loaded) values to later
-// loads of the same location within a block, conservatively invalidating on
-// calls and on stores to potentially-aliasing locations.
+// loads of the same location within a block, invalidating on stores to
+// may-aliasing locations and on calls whose interprocedural mod set covers an
+// available location (every call, when summaries are missing).
 func runStoreForward(f *Function, ctx *PassContext) {
+	fx := AnalyzeAlias(f, passStatic(ctx))
 	for _, b := range f.Blocks {
 		avail := map[locKey]*Value{}
 		dead := map[*Value]bool{}
 		for _, v := range b.Insns {
 			if isCall(v) {
-				avail = map[locKey]*Value{} // a callee may write anything
+				mod := fx.ModifiedBy(v)
+				if mod.Top {
+					avail = map[locKey]*Value{} // the callee may write anything
+				} else {
+					for ek := range avail {
+						if mod.Contains(keyLoc(ek)) {
+							delete(avail, ek)
+						}
+					}
+				}
 				continue
 			}
 			if k, val, ok := storeKey(v); ok {
-				// Any store may alias same-kind locations with a different
-				// base or index; keep only the exact location.
+				// A store invalidates exactly the locations it may alias;
+				// the stored location itself becomes available.
 				for ek := range avail {
-					if ek.kind == k.kind && ek != k {
+					if ek != k && keysMayAlias(fx, ek, k) {
 						delete(avail, ek)
 					}
 				}
@@ -154,11 +220,14 @@ func runStoreForward(f *Function, ctx *PassContext) {
 }
 
 // runDSE removes a store when a later store in the same block definitely
-// overwrites it with no intervening read. The alias-blind variant matches by
-// shape only (ignoring base identity) and skips the read check for loads
-// whose index differs syntactically — both unsound.
+// overwrites it with no intervening read: a may-alias load, or a call whose
+// interprocedural ref set covers the location (every call, when summaries are
+// missing). The alias-blind variant matches by shape only (ignoring base
+// identity) and skips the read check for loads whose index differs
+// syntactically — both unsound.
 func runDSE(f *Function, ctx *PassContext, params map[string]int) error {
 	aliasBlind := params["alias-blind"] == 1
+	fx := AnalyzeAlias(f, passStatic(ctx))
 	for _, b := range f.Blocks {
 		dead := map[*Value]bool{}
 		insns := b.Insns
@@ -171,7 +240,11 @@ func runDSE(f *Function, ctx *PassContext, params map[string]int) error {
 			for j := i + 1; j < len(insns); j++ {
 				w := insns[j]
 				if isCall(w) {
-					break // callee may read the location
+					ref := fx.ReadBy(w)
+					if ref.Top || ref.Contains(keyLoc(k)) {
+						break // the callee may read the location
+					}
+					continue
 				}
 				if lk, isLoad := loadKey(w); isLoad {
 					if aliasBlind {
@@ -181,8 +254,8 @@ func runDSE(f *Function, ctx *PassContext, params map[string]int) error {
 						}
 						continue
 					}
-					// Safe: any same-kind load may read it.
-					if lk.kind == k.kind {
+					// Safe: a load the facts cannot separate may read it.
+					if keysMayAlias(fx, lk, k) {
 						break scan
 					}
 					continue
@@ -255,22 +328,52 @@ func runLICM(f *Function, ctx *PassContext, params map[string]int) error {
 	hoistLoads := params["loads"] == 1
 	unsafe := params["unsafe"] == 1
 	f.Recompute()
+	fx := AnalyzeAlias(f, passStatic(ctx))
 	for _, l := range f.Loops() {
 		ph := ensurePreheader(f, l)
 		if ph == nil {
 			continue
 		}
-		// Loop summary for load hoisting.
-		hasStores, hasCalls := false, false
-		for b := range l.Blocks {
+		// Loop memory summary for load hoisting: every store and call the
+		// loop (including nested loops) can execute, in program order.
+		var loopStores, loopCalls []*Value
+		for _, b := range f.Blocks {
+			if !l.Blocks[b] {
+				continue
+			}
 			for _, v := range b.Insns {
 				if _, _, ok := storeKey(v); ok {
-					hasStores = true
+					loopStores = append(loopStores, v)
 				}
 				if isCall(v) {
-					hasCalls = true
+					loopCalls = append(loopCalls, v)
 				}
 			}
+		}
+		// loadStable reports that no loop store may alias the load and no
+		// loop call's interprocedural mod set covers its location, so the
+		// loaded value is invariant across iterations. OpArrLen reads only
+		// the immutable length header — stores cannot change it.
+		loadStable := func(v *Value) bool {
+			if v.Op == OpArrLen {
+				return true
+			}
+			loc, ok := fx.Loc(v)
+			if !ok {
+				return false
+			}
+			for _, s := range loopStores {
+				if fx.MayAlias(v, s) {
+					return false
+				}
+			}
+			for _, c := range loopCalls {
+				mod := fx.ModifiedBy(c)
+				if mod.Top || mod.Contains(loc) {
+					return false
+				}
+			}
+			return true
 		}
 		inLoop := func(v *Value) bool {
 			return v.Block != nil && l.Blocks[v.Block]
@@ -296,7 +399,7 @@ func runLICM(f *Function, ctx *PassContext, params map[string]int) error {
 					if !hoistable && (hoistLoads || unsafe) {
 						switch v.Op {
 						case OpArrLoad, OpFieldLoad, OpStaticLoad, OpArrLen:
-							hoistable = unsafe || (!hasStores && !hasCalls)
+							hoistable = unsafe || loadStable(v)
 						}
 					}
 					if hoistable && invariant(v) {

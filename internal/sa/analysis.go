@@ -25,6 +25,14 @@ type Result struct {
 	// PassContext.Static, degrading to intraprocedural-only facts when nil.
 	Ranges []RangeSummary
 
+	// Alias, when non-nil, holds the program-wide points-to result: per-method
+	// mod/ref location summaries, parameter-escape bits, and per-allocation-
+	// site escape verdicts. The analysis that fills it lives in
+	// internal/sa/pts (which imports lir to walk SSA; this package must not)
+	// and attaches it via pts.Attach. The alias-aware memory passes consume it
+	// through PassContext.Static, degrading to kind-matching when nil.
+	Alias *AliasSummaries
+
 	// comp/comps is the SCC condensation of the call graph (comps in
 	// reverse topological order, see Condense).
 	comp  []int

@@ -31,6 +31,14 @@ type Map struct {
 	// skipped entirely: the region's only externally visible behavior is its
 	// return value.
 	StoresSkipped bool
+	// StoresElided counts stores dropped by the finer-grained points-to
+	// shrink: writes that landed inside an allocation whose site the alias
+	// analysis proves non-escaping. Such memory is unreachable once the
+	// region returns (the bump allocator never reuses addresses), so its
+	// contents are not externally visible behavior — and candidates that
+	// optimize those allocations away (stackalloc) are not penalized for the
+	// missing writes.
+	StoresElided int
 }
 
 // MismatchError reports a failed verification.
@@ -60,16 +68,55 @@ type recorder struct {
 	// skipStores drops store recording (the effect analysis proved the
 	// region write-free); dispatches are still recorded for the type profile.
 	skipStores bool
+	// alias, when non-nil, enables the per-allocation shrink: extents of
+	// allocations whose site is proven non-escaping, kept sorted by base
+	// (the bump allocator hands out monotonically increasing addresses, so
+	// appends stay sorted). Stores landing inside one are elided.
+	alias   *sa.AliasSummaries
+	extents []extent
+	elided  int
 }
+
+type extent struct{ lo, hi mem.Addr } // [lo, hi)
 
 func (r *recorder) Store(a mem.Addr) {
 	if r.skipStores {
 		return
 	}
+	if n := len(r.extents); n > 0 {
+		i := sort.Search(n, func(i int) bool { return r.extents[i].lo > a })
+		if i > 0 && a < r.extents[i-1].hi {
+			r.elided++
+			return
+		}
+	}
 	r.stores[a] = true
 }
 func (r *recorder) Dispatch(s interp.CallSite, c dex.ClassID) {
 	r.prof.Record(lir.SiteKey{Method: s.Method, PC: s.PC}, c)
+}
+
+// Alloc implements interp.AllocRecorder: remember the extents of allocations
+// the points-to analysis proves non-escaping.
+func (r *recorder) Alloc(s interp.CallSite, base mem.Addr, size int64) {
+	if r.alias == nil || r.skipStores || size <= 0 {
+		return
+	}
+	site := sa.AllocSite{Method: s.Method, PC: s.PC}
+	if !r.alias.SiteKnown(site) || r.alias.SiteEscapes(site) {
+		return
+	}
+	e := extent{lo: base, hi: base + mem.Addr(size)}
+	if n := len(r.extents); n == 0 || r.extents[n-1].hi <= e.lo {
+		r.extents = append(r.extents, e)
+		return
+	}
+	// Defensive: keep the slice sorted even if the allocator ever stops
+	// being monotone.
+	i := sort.Search(len(r.extents), func(i int) bool { return r.extents[i].lo >= e.lo })
+	r.extents = append(r.extents, extent{})
+	copy(r.extents[i+1:], r.extents[i:])
+	r.extents[i] = e
 }
 
 // Build replays snap under the interpreter and constructs the verification
@@ -85,6 +132,7 @@ func Build(dev *device.Device, store *capture.Store, snap *capture.Snapshot,
 	if eff != nil {
 		sum := eff.Summary[snap.Root]
 		rec.skipStores = sum&(sa.EffWriteLocal|sa.EffWriteEscaping) == 0
+		rec.alias = eff.Alias
 	}
 	res, err := replay.Run(dev, store, replay.Request{
 		Snapshot: snap,
@@ -112,6 +160,7 @@ func Build(dev *device.Device, store *capture.Store, snap *capture.Snapshot,
 	m.Ret = res.Ret
 	m.Void = prog.Methods[snap.Root].Ret == dex.KindVoid
 	m.StoresSkipped = rec.skipStores
+	m.StoresElided = rec.elided
 	return m, rec.prof, nil
 }
 
