@@ -2,17 +2,21 @@
 // It dispatches on the document's "benchmark" field: SearchParallel (the
 // worker-count × warm sweep of DESIGN.md §11, with -compare regression
 // gating), RangeAnalysis (the value-range discharge artifact of
-// BenchmarkRangeAnalysis), and AliasAnalysis (the points-to disambiguation
-// artifact of BenchmarkAliasAnalysis, also -compare gated).
+// BenchmarkRangeAnalysis), AliasAnalysis (the points-to disambiguation
+// artifact of BenchmarkAliasAnalysis, also -compare gated), and Fleet (the
+// fleetload coordinator sweep of DESIGN.md §15, -compare gated on cache hit
+// ratio and uploads/sec).
 //
 // Usage:
 //
 //	benchlint BENCH_parallel.json                    # stat: table + schema check
 //	benchlint BENCH_range.json                       # stat for a range artifact
 //	benchlint BENCH_alias.json                       # stat for an alias artifact
+//	benchlint BENCH_fleet.json                       # stat for a fleet artifact
 //	benchlint -validate < BENCH_parallel.json        # schema check from stdin
 //	benchlint -compare base.json [-tolerance 0.2] BENCH_parallel.json
 //	benchlint -compare base_alias.json BENCH_alias.json
+//	benchlint -compare base_fleet.json BENCH_fleet.json
 //
 // -compare reads a baseline artifact and fails (exit 1) when the new artifact
 // regresses beyond the tolerance. For SearchParallel the gated quantity is
@@ -280,12 +284,117 @@ func compareAlias(base, next *aliasArtifact, tolerance float64) error {
 	return nil
 }
 
+// fleetSweepRow is one concurrency level of the Fleet artifact's upload sweep.
+type fleetSweepRow struct {
+	Concurrency   int     `json:"concurrency"`
+	Uploads       int     `json:"uploads"`
+	UploadsPerSec float64 `json:"uploads_per_sec"`
+}
+
+// fleetArtifact mirrors fleet.Bench (BENCH_fleet.json), the fleetload
+// coordinator load-test artifact.
+type fleetArtifact struct {
+	SchemaVersion    int             `json:"schema_version"`
+	Benchmark        string          `json:"benchmark"`
+	Devices          int             `json:"devices"`
+	Apps             int             `json:"apps"`
+	DeviceClasses    int             `json:"device_classes"`
+	Uploads          int             `json:"uploads"`
+	UploadsPerSec    float64         `json:"uploads_per_sec"`
+	UploadBytes      int64           `json:"upload_bytes"`
+	DedupFactor      float64         `json:"dedup_factor"`
+	SearchesRun      int             `json:"searches_run"`
+	SearchesPerHr    float64         `json:"searches_per_hour"`
+	ResumedEvals     int             `json:"resumed_evals"`
+	DroppedJobs      int             `json:"dropped_jobs"`
+	FailedJobs       int             `json:"failed_jobs"`
+	ArtifactRequests int             `json:"artifact_requests"`
+	ArtifactHits     int             `json:"artifact_hits"`
+	CacheHitRatio    float64         `json:"cache_hit_ratio"`
+	Sweep            []fleetSweepRow `json:"sweep"`
+	WallMs           float64         `json:"wall_ms"`
+}
+
+func validateFleet(a *fleetArtifact) error {
+	if a.SchemaVersion != 1 {
+		return fmt.Errorf("schema_version %d, want 1", a.SchemaVersion)
+	}
+	if a.Devices < 1 || a.Apps < 1 || a.DeviceClasses < 1 {
+		return fmt.Errorf("devices/apps/device_classes %d/%d/%d: non-positive", a.Devices, a.Apps, a.DeviceClasses)
+	}
+	if a.Uploads < 1 || a.UploadsPerSec <= 0 {
+		return fmt.Errorf("uploads %d at %.1f/sec: load did not run", a.Uploads, a.UploadsPerSec)
+	}
+	if a.Uploads > a.Devices {
+		return fmt.Errorf("uploads %d exceed devices %d", a.Uploads, a.Devices)
+	}
+	if a.DedupFactor < 1 {
+		return fmt.Errorf("dedup_factor %.2f below 1: shard merge lost bytes", a.DedupFactor)
+	}
+	if a.DroppedJobs != 0 {
+		return fmt.Errorf("dropped_jobs %d: the coordinator lost work", a.DroppedJobs)
+	}
+	if a.SearchesRun < 1 {
+		return fmt.Errorf("searches_run %d: uploads enqueued no searches", a.SearchesRun)
+	}
+	if a.SearchesRun+a.FailedJobs > a.Apps*a.DeviceClasses {
+		return fmt.Errorf("searches_run+failed %d exceed the app×class universe %d (dedup broke)",
+			a.SearchesRun+a.FailedJobs, a.Apps*a.DeviceClasses)
+	}
+	if a.ArtifactRequests < 1 {
+		return fmt.Errorf("artifact_requests %d: no fetch phase ran", a.ArtifactRequests)
+	}
+	if a.ArtifactHits > a.ArtifactRequests {
+		return fmt.Errorf("artifact_hits %d exceed requests %d", a.ArtifactHits, a.ArtifactRequests)
+	}
+	if a.CacheHitRatio <= 0 || a.CacheHitRatio > 1 {
+		return fmt.Errorf("cache_hit_ratio %.3f outside (0, 1]", a.CacheHitRatio)
+	}
+	if len(a.Sweep) == 0 {
+		return fmt.Errorf("no sweep rows")
+	}
+	total := 0
+	for i, r := range a.Sweep {
+		if r.Concurrency < 1 || r.Uploads < 1 || r.UploadsPerSec <= 0 {
+			return fmt.Errorf("sweep[%d] (concurrency=%d): non-positive field", i, r.Concurrency)
+		}
+		total += r.Uploads
+	}
+	if total != a.Uploads {
+		return fmt.Errorf("uploads %d but sweep rows sum to %d", a.Uploads, total)
+	}
+	return nil
+}
+
+// compareFleet gates a new Fleet artifact on a baseline: the cache hit ratio
+// and overall uploads/sec must each hold at least (1 - tolerance) of the
+// baseline. Hit ratio is machine-independent; uploads/sec is a same-machine
+// gate like the SearchParallel cells.
+func compareFleet(base, next *fleetArtifact, tolerance float64) error {
+	var failed bool
+	check := func(name string, b, n float64) {
+		status := "ok"
+		if n < b*(1-tolerance) {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s %-16s %10.3f -> %10.3f\n", status, name, b, n)
+	}
+	check("cache_hit_ratio", base.CacheHitRatio, next.CacheHitRatio)
+	check("uploads_per_sec", base.UploadsPerSec, next.UploadsPerSec)
+	if failed {
+		return fmt.Errorf("fleet artifact regressed beyond %.0f%% tolerance", tolerance*100)
+	}
+	return nil
+}
+
 // parsed is one validated artifact of any supported benchmark (exactly one
 // field is non-nil).
 type parsed struct {
 	parallel *artifact
 	ranged   *rangeArtifact
 	alias    *aliasArtifact
+	fleet    *fleetArtifact
 }
 
 func parse(data []byte) (parsed, error) {
@@ -314,6 +423,12 @@ func parse(data []byte) (parsed, error) {
 			return parsed{}, fmt.Errorf("parse: %w", err)
 		}
 		return parsed{alias: &a}, validateAlias(&a)
+	case "Fleet":
+		var a fleetArtifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return parsed{}, fmt.Errorf("parse: %w", err)
+		}
+		return parsed{fleet: &a}, validateFleet(&a)
 	default:
 		return parsed{}, fmt.Errorf("unknown benchmark %q", probe.Benchmark)
 	}
@@ -477,14 +592,29 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
 				os.Exit(1)
 			}
+		case baseDoc.fleet != nil && doc.fleet != nil:
+			if err := compareFleet(baseDoc.fleet, doc.fleet, *tolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
+				os.Exit(1)
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "benchlint: -compare needs two SearchParallel or two AliasAnalysis artifacts")
+			fmt.Fprintln(os.Stderr, "benchlint: -compare needs two artifacts of the same benchmark (SearchParallel, AliasAnalysis, or Fleet)")
 			os.Exit(2)
 		}
 		fmt.Printf("no regression beyond %.0f%% tolerance\n", *tolerance*100)
 		return
 	}
 
+	if fl := doc.fleet; fl != nil {
+		fmt.Printf("%s: %s, %d devices over %d apps × %d classes: %d uploads (%.1f/sec, dedup %.1fx), %d searches (%.1f/hour, %d resumed evals), cache hit ratio %.3f\n",
+			flag.Arg(0), fl.Benchmark, fl.Devices, fl.Apps, fl.DeviceClasses,
+			fl.Uploads, fl.UploadsPerSec, fl.DedupFactor,
+			fl.SearchesRun, fl.SearchesPerHr, fl.ResumedEvals, fl.CacheHitRatio)
+		for _, r := range fl.Sweep {
+			fmt.Printf("  concurrency=%-3d uploads=%-5d %8.1f uploads/sec\n", r.Concurrency, r.Uploads, r.UploadsPerSec)
+		}
+		return
+	}
 	if al := doc.alias; al != nil {
 		fmt.Printf("%s: %s, %d/%d same-kind pairs disambiguated; %d vmap stores elided; tv rejects %d; trace parity %v (%s)\n",
 			flag.Arg(0), al.Benchmark, al.PairsProven, al.PairsTotal, al.StoresElided, al.TVRejected, al.TraceParity, al.TraceApp)

@@ -35,6 +35,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,41 +61,28 @@ func replayLockedPolicy(opt *core.Optimizer, app *core.App, appName, path string
 	if l.App != "" && l.App != appName {
 		fmt.Fprintf(os.Stderr, "warning: lock was cut for app %q, applying to %q\n", l.App, appName)
 	}
-	if drifts := rtrace.CheckLock(l); len(drifts) > 0 {
-		for _, d := range drifts {
-			fmt.Fprintf(os.Stderr, "lock drift [%s]: %s\n", d.Kind, d.Detail)
-		}
-		fmt.Fprintln(os.Stderr, "the locked configuration no longer rebuilds against this compiler")
-		os.Exit(1)
-	}
-	cfg, err := l.Config()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
 	fmt.Printf("replaying locked policy %s on %s (%d passes, %d firing at lock time)\n",
 		path, appName, len(l.Passes), len(l.Fired))
-	p, err := opt.Prepare(app)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	rep, err := opt.InstallLocked(app, l)
+	for _, d := range rep.StaticDrift {
+		fmt.Fprintf(os.Stderr, "lock drift [%s]: %s\n", d.Kind, d.Detail)
 	}
-	for _, d := range rtrace.CheckLockDynamic(l, app.Prog, p.Region.Methods, p.TypeProf, p.Analysis.Effects) {
+	for _, d := range rep.DynamicDrift {
 		fmt.Printf("lock drift [%s]: %s\n", d.Kind, d.Detail)
 	}
-	code, err := p.CompileRegion(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "locked configuration stopped compiling: %v\n", err)
-		os.Exit(1)
-	}
-	ev, _ := p.EvaluateImage(code)
-	if ev.Outcome.Failed() {
-		fmt.Fprintf(os.Stderr, "locked configuration failed replay: %s\n", ev.Outcome)
+		switch {
+		case errors.Is(err, core.ErrLockDrift):
+			fmt.Fprintln(os.Stderr, "the locked configuration no longer rebuilds against this compiler")
+		case errors.Is(err, core.ErrLockFailedReplay):
+			fmt.Fprintf(os.Stderr, "locked configuration failed replay: %s\n", rep.Eval.Outcome)
+		default:
+			fmt.Fprintln(os.Stderr, err)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("region replay means: Android %.4f ms | -O3 %.4f ms | locked %.4f ms (%.2fx over Android)\n",
-		p.AndroidEval.MeanMs, p.O3Eval.MeanMs, ev.MeanMs, p.AndroidEval.MeanMs/ev.MeanMs)
+		rep.AndroidMeanMs, rep.O3MeanMs, rep.Eval.MeanMs, rep.Speedup())
 }
 
 func main() {

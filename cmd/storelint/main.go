@@ -63,7 +63,7 @@ func main() {
 	path := flag.Arg(0)
 
 	if *repair {
-		rs, err := castore.Repair(path)
+		rs, err := castore.Repair(path, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "storelint: repair: %v\n", err)
 			os.Exit(1)

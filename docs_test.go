@@ -24,6 +24,14 @@ var anchorRE = regexp.MustCompile(`§|Fig\.|Table|Algorithm`)
 func TestPackageDocsCitePaper(t *testing.T) {
 	fset := token.NewFileSet()
 	var checked int
+	// Load-bearing subsystems the walk must actually visit: a directory
+	// rename or an overeager skip would otherwise let their docs rot
+	// without failing this test.
+	required := map[string]bool{
+		filepath.Join("internal", "ga"):    false,
+		filepath.Join("internal", "core"):  false,
+		filepath.Join("internal", "fleet"): false,
+	}
 	err := filepath.WalkDir("internal", func(dir string, d fs.DirEntry, err error) error {
 		if err != nil || !d.IsDir() {
 			return err
@@ -39,6 +47,9 @@ func TestPackageDocsCitePaper(t *testing.T) {
 		}
 		for name, pkg := range pkgs {
 			checked++
+			if _, ok := required[dir]; ok {
+				required[dir] = true
+			}
 			comment := packageComment(pkg)
 			switch {
 			case comment == "":
@@ -54,6 +65,11 @@ func TestPackageDocsCitePaper(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("walked internal/ but found no packages to check")
+	}
+	for dir, seen := range required { //detlint:allow map-range — error reporting only
+		if !seen {
+			t.Errorf("required package %s was not visited by the walk", dir)
+		}
 	}
 	t.Logf("checked %d package doc comments", checked)
 }

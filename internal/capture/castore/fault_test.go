@@ -7,6 +7,8 @@ package castore
 import (
 	"os"
 	"testing"
+
+	"replayopt/internal/obs"
 )
 
 // corruptAt flips one bit of the file at off.
@@ -216,12 +218,19 @@ func TestRepairDropsDamageAndRestoresHealth(t *testing.T) {
 	off, length, _ := f.ChunkSpan(victim)
 	corruptAt(t, path, off+length/2)
 
-	rs, err := Repair(path)
+	sc := obs.New()
+	rs, err := Repair(path, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rs.SnapshotsKept != 1 || rs.SnapshotsDropped != 1 {
 		t.Errorf("kept=%d dropped=%d", rs.SnapshotsKept, rs.SnapshotsDropped)
+	}
+	if got := sc.Counter("castore.repairs").Value(); got != 1 {
+		t.Errorf("castore.repairs = %d, want 1", got)
+	}
+	if got := sc.Counter("castore.repair_snapshots_dropped").Value(); got != 1 {
+		t.Errorf("castore.repair_snapshots_dropped = %d, want 1", got)
 	}
 	if rs.BootPagesKept != 1 {
 		t.Errorf("boot pages kept = %d", rs.BootPagesKept)

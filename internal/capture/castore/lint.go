@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"replayopt/internal/obs"
 )
 
 // ReportSchemaVersion versions the storelint JSON report.
@@ -190,9 +192,27 @@ type RepairStats struct {
 // Repair rewrites the store at path keeping only what is recoverable: every
 // complete live snapshot (re-chunked, so orphaned and damaged records are
 // dropped) and every boot page whose chunk survived. The rewrite lands in a
-// temp file first and replaces the original atomically.
-func Repair(path string) (RepairStats, error) {
-	var rs RepairStats
+// temp file first and replaces the original atomically. The scope (nil is
+// fine) records a castore.repair span plus drop/reclaim counters, so Save
+// and Load are no longer the only observed store operations — a fleet server
+// repairing a shard shows the work in its metrics.
+func Repair(path string, sc *obs.Scope) (rs RepairStats, err error) {
+	sp := sc.Start("castore.repair", obs.A("path", path))
+	defer func() {
+		if sc != nil {
+			sc.Counter("castore.repairs").Add(1)
+			sc.Counter("castore.repair_snapshots_dropped").Add(int64(rs.SnapshotsDropped))
+			sc.Counter("castore.repair_boot_pages_dropped").Add(int64(rs.BootPagesDropped))
+			sc.Counter("castore.repair_bytes_reclaimed").Add(rs.BytesBefore - rs.BytesAfter)
+		}
+		sp.End(
+			obs.A("snapshots_kept", rs.SnapshotsKept),
+			obs.A("snapshots_dropped", rs.SnapshotsDropped),
+			obs.A("bytes_before", rs.BytesBefore),
+			obs.A("bytes_after", rs.BytesAfter),
+			obs.A("ok", err == nil),
+		)
+	}()
 	f, err := Open(path)
 	if err != nil {
 		return rs, err

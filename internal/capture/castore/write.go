@@ -25,23 +25,26 @@ type SaveStats struct {
 	ManifestsWritten int
 	ManifestsReused  int
 
-	// rawWritten is the uncompressed size of the chunks written this
-	// session (ChunkBytesWritten is their compressed, on-disk size).
-	rawWritten int64
+	// RawChunkBytesWritten is the uncompressed size of the chunks written
+	// this session (ChunkBytesWritten is their compressed, on-disk size).
+	// BytesReused + RawChunkBytesWritten is the raw page stream the session
+	// referenced, so fleet-side accounting can sum both across uploads to
+	// report a cumulative dedup factor.
+	RawChunkBytesWritten int64
 }
 
 // DedupRatio is raw referenced bytes over raw unique bytes written this
 // session: how much the content addressing shrank the page stream before
 // compression. 1.0 means nothing was shared; 0 means nothing was referenced.
 func (s SaveStats) DedupRatio() float64 {
-	total := s.BytesReused + s.rawWritten
+	total := s.BytesReused + s.RawChunkBytesWritten
 	if total == 0 {
 		return 0
 	}
-	if s.rawWritten == 0 {
+	if s.RawChunkBytesWritten == 0 {
 		return float64(total) // everything reused; cap the "infinite" ratio
 	}
-	return float64(total) / float64(s.rawWritten)
+	return float64(total) / float64(s.RawChunkBytesWritten)
 }
 
 // Writer appends records to a store file. Opening scans the existing
@@ -169,7 +172,7 @@ func (w *Writer) PutChunk(data []byte) (Key, bool, error) {
 	w.stats.AppendedBytes += n
 	w.stats.ChunksWritten++
 	w.stats.ChunkBytesWritten += int64(len(comp))
-	w.stats.rawWritten += int64(len(data))
+	w.stats.RawChunkBytesWritten += int64(len(data))
 	return k, true, nil
 }
 
@@ -224,6 +227,25 @@ func (w *Writer) PutIndex(manifests []Key, boot []PageRef) error {
 
 // Stats returns this session's save accounting.
 func (w *Writer) Stats() SaveStats { return w.stats }
+
+// TakeStats returns the accounting accumulated since the last take and
+// resets it, so a long-lived writer (a fleet shard held open across many
+// merges) can report per-merge numbers without reopening the file.
+func (w *Writer) TakeStats() SaveStats {
+	s := w.stats
+	w.stats = SaveStats{}
+	return s
+}
+
+// Sync flushes appended records to stable storage without closing. A
+// long-lived writer calls it after each PutIndex: the commit is then
+// durable, and readers opening the path see the new index.
+func (w *Writer) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("castore: sync: %w", err)
+	}
+	return nil
+}
 
 // Close syncs and closes the file.
 func (w *Writer) Close() error {

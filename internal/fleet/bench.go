@@ -1,0 +1,54 @@
+// The BENCH_fleet.json artifact: what a fleetload sweep measured against a
+// coordinator. Emitted by cmd/fleetload, schema-checked by cmd/benchlint's
+// Fleet validator, regression-gated in CI on cache-hit ratio and uploads/sec.
+
+package fleet
+
+// BenchSchemaVersion versions BENCH_fleet.json. Bump on any field change
+// (the CONTRIBUTING.md artifact-versioning rule).
+const BenchSchemaVersion = 1
+
+// BenchSweepRow is one concurrency step of the saturation sweep: offered
+// load (concurrent uploading devices) vs achieved throughput. Reading the
+// knee — the first row where uploads/sec stops scaling with concurrency —
+// is how an operator sizes a coordinator (EXPERIMENTS.md).
+type BenchSweepRow struct {
+	Concurrency   int     `json:"concurrency"`
+	Uploads       int     `json:"uploads"`
+	UploadsPerSec float64 `json:"uploads_per_sec"`
+}
+
+// Bench is the BENCH_fleet.json document.
+type Bench struct {
+	SchemaVersion int    `json:"schema_version"`
+	Benchmark     string `json:"benchmark"` // always "Fleet"
+
+	Devices       int `json:"devices"`
+	Apps          int `json:"apps"`
+	DeviceClasses int `json:"device_classes"`
+	Workers       int `json:"workers"`
+
+	// Upload-side results.
+	Uploads       int     `json:"uploads"`
+	UploadsPerSec float64 `json:"uploads_per_sec"`
+	UploadBytes   int64   `json:"upload_bytes"`
+	// DedupFactor is raw referenced bytes over raw bytes actually written
+	// across every merge: the fleet-scale Fig. 11 dedup quotient. With N
+	// devices sharing an app's pages it approaches N for the shared set.
+	DedupFactor float64 `json:"dedup_factor"`
+
+	// Search-side results.
+	SearchesRun   int     `json:"searches_run"`
+	SearchesPerHr float64 `json:"searches_per_hour"`
+	ResumedEvals  int     `json:"resumed_evals"`
+	DroppedJobs   int     `json:"dropped_jobs"`
+	FailedJobs    int     `json:"failed_jobs"`
+
+	// Artifact-side results.
+	ArtifactRequests int     `json:"artifact_requests"`
+	ArtifactHits     int     `json:"artifact_hits"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+
+	Sweep  []BenchSweepRow `json:"sweep"`
+	WallMs float64         `json:"wall_ms"`
+}

@@ -1,0 +1,121 @@
+// The shared artifact cache: finished winners, keyed by (app, code-image
+// fingerprint, device class), written atomically and validated on every
+// fetch. The key scheme is the safety argument for cross-device sharing —
+// an artifact applies only to the exact code image its search optimized
+// (ImageFP), on the hardware class it was measured on (DeviceClass). The
+// lock-validation-on-fetch rule closes the remaining hole: if the compiler
+// drifted since the artifact was cut (a pass renamed, a parameter clamped),
+// rtrace.CheckLock catches it at fetch time and the cache refuses, so a
+// stale winner is re-searched instead of silently miscompiling on device.
+
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"replayopt/internal/aot"
+	"replayopt/internal/core"
+	"replayopt/internal/lir/rtrace"
+	"replayopt/internal/machine"
+)
+
+// ErrArtifactNotFound marks a cache miss: no finished search for this key.
+var ErrArtifactNotFound = errors.New("fleet: artifact not found")
+
+// ErrArtifactDrifted marks a cached artifact whose policy lock no longer
+// audits clean against the current compiler: the fetch is refused.
+var ErrArtifactDrifted = errors.New("fleet: cached artifact refused: policy lock drifted")
+
+// ImageFP fingerprints an app's code image: the hash of its baseline AOT
+// compile. Server and device compute it independently from the same
+// program, so a device on a different app version misses the cache instead
+// of fetching a lock cut for code it does not run.
+func ImageFP(app *core.App) (string, error) {
+	code, err := aot.Compile(app.Prog)
+	if err != nil {
+		return "", fmt.Errorf("fleet: image fingerprint: %w", err)
+	}
+	return fmt.Sprintf("%016x", machine.HashProgram(code)), nil
+}
+
+// ArtifactCache stores one JSON file per finished (app, image, class) key.
+type ArtifactCache struct {
+	dir string
+}
+
+// NewArtifactCache roots the cache at dir (created if needed).
+func NewArtifactCache(dir string) (*ArtifactCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: artifact dir: %w", err)
+	}
+	return &ArtifactCache{dir: dir}, nil
+}
+
+func (c *ArtifactCache) path(app, imageFP, deviceClass string) string {
+	// App and class names are registry-controlled (apps.ByName gates them at
+	// the API boundary), so they are filesystem-safe by construction.
+	return filepath.Join(c.dir, fmt.Sprintf("%s-%s-%s.json", app, deviceClass, imageFP))
+}
+
+// Put stores an artifact atomically: temp file, sync, rename. A coordinator
+// killed mid-Put leaves either the old artifact or the new one, never a
+// torn file.
+func (c *ArtifactCache) Put(a *ArtifactResponse) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	final := c.path(a.App, a.ImageFP, a.DeviceClass)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fleet: artifact write: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: artifact write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: artifact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: artifact rename: %w", err)
+	}
+	return nil
+}
+
+// Get fetches and validates an artifact. A missing key returns
+// ErrArtifactNotFound; a present artifact whose lock shows static drift
+// returns ErrArtifactDrifted along with the drift records — the caller
+// refuses the fetch and (typically) re-enqueues the search.
+func (c *ArtifactCache) Get(app, imageFP, deviceClass string) (*ArtifactResponse, []rtrace.Drift, error) {
+	data, err := os.ReadFile(c.path(app, imageFP, deviceClass))
+	if os.IsNotExist(err) {
+		return nil, nil, ErrArtifactNotFound
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: artifact read: %w", err)
+	}
+	var a ArtifactResponse
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, nil, fmt.Errorf("fleet: artifact corrupt: %w", err)
+	}
+	if a.Lock != nil {
+		if drifts := rtrace.CheckLock(a.Lock); len(drifts) > 0 {
+			return nil, drifts, ErrArtifactDrifted
+		}
+	}
+	return &a, nil, nil
+}

@@ -1,0 +1,184 @@
+// The device side of the wire: a small HTTP client with request timeouts
+// and bounded retry. Transport failures and 5xx responses retry with
+// exponential backoff; 4xx responses are the server saying no and are never
+// retried. When the budget is exhausted the client gives up with an error
+// that says exactly what it tried — attempts, last status, last error — so
+// an operator reading one log line knows whether to blame the network or
+// the coordinator.
+
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// ErrGaveUp wraps every client error that exhausted its retry budget.
+var ErrGaveUp = errors.New("fleet: gave up")
+
+// ErrNotReady marks an artifact fetch whose search has not finished: the
+// caller polls, it does not retry-with-backoff (the 404 is an answer, not
+// a failure).
+var ErrNotReady = errors.New("fleet: artifact not ready")
+
+// ErrRefused marks an artifact fetch the server refused (drifted lock or
+// image mismatch): retrying cannot help until a re-search finishes.
+var ErrRefused = errors.New("fleet: artifact refused")
+
+// Client talks to one coordinator.
+type Client struct {
+	// Base is the coordinator root, e.g. "http://127.0.0.1:8347".
+	Base string
+	// HTTP is the underlying client; nil uses a 30 s-timeout default.
+	HTTP *http.Client
+	// Attempts bounds tries per request (min 1). Zero means 4.
+	Attempts int
+	// Backoff is the first retry delay, doubling per retry. Zero means
+	// 50 ms.
+	Backoff time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return 4
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// do runs one request with the retry budget. The request body is re-built
+// per attempt from body (may be nil for GET).
+func (c *Client) do(method, path string, body []byte, out any) error {
+	var lastErr error
+	lastStatus := 0
+	delay := c.backoff()
+	attempts := c.attempts()
+	for try := 1; try <= attempts; try++ {
+		if try > 1 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.Base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxUploadBytes))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastStatus = resp.StatusCode
+			lastErr = fmt.Errorf("server error: %s", firstLine(data))
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			var e ErrorResponse
+			msg := firstLine(data)
+			if json.Unmarshal(data, &e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+			switch resp.StatusCode {
+			case http.StatusNotFound:
+				return fmt.Errorf("%w: %s", ErrNotReady, msg)
+			case http.StatusConflict:
+				return fmt.Errorf("%w: %s", ErrRefused, msg)
+			}
+			return fmt.Errorf("fleet: %s %s: HTTP %d: %s", method, path, resp.StatusCode, msg)
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("fleet: %s %s: bad response: %w", method, path, err)
+			}
+		}
+		return nil
+	}
+	if lastStatus != 0 {
+		return fmt.Errorf("%w: %s %s after %d attempts, last: HTTP %d, %v",
+			ErrGaveUp, method, path, attempts, lastStatus, lastErr)
+	}
+	return fmt.Errorf("%w: %s %s after %d attempts, last: %v",
+		ErrGaveUp, method, path, attempts, lastErr)
+}
+
+func firstLine(data []byte) string {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		data = data[:i]
+	}
+	if len(data) > 200 {
+		data = data[:200]
+	}
+	return string(data)
+}
+
+// Upload POSTs one capture store.
+func (c *Client) Upload(req UploadRequest) (*UploadResponse, error) {
+	req.APIVersion = APIVersion
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp UploadResponse
+	if err := c.do(http.MethodPost, "/v1/capture", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Artifact fetches the finished winner for (app, deviceClass). imageFP may
+// be empty (the server then serves whatever matches its own registry);
+// devices that know their image fingerprint send it so a version-skewed
+// fetch is refused instead of mis-served. A pending search returns
+// ErrNotReady; a drift refusal returns ErrRefused.
+func (c *Client) Artifact(app, deviceClass, imageFP string) (*ArtifactResponse, error) {
+	q := url.Values{"app": {app}, "class": {deviceClass}}
+	if imageFP != "" {
+		q.Set("image_fp", imageFP)
+	}
+	var resp ArtifactResponse
+	if err := c.do(http.MethodGet, "/v1/artifact?"+q.Encode(), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Status fetches the coordinator summary.
+func (c *Client) Status() (*StatusResponse, error) {
+	var resp StatusResponse
+	if err := c.do(http.MethodGet, "/v1/status", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

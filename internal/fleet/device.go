@@ -1,0 +1,103 @@
+// Synthetic devices for load generation. A simulated device produces a
+// capture store with the statistical shape of a real one (DESIGN.md §10,
+// Fig. 11): boot-common pages identical across every device, app-common
+// pages identical across devices running the same app, and a small
+// device-unique tail (its own heap state). That shape is what makes the
+// fleet's chunk-level shard merge worth measuring — a thousand uploads of
+// the same app should cost roughly one store plus a thousand tails.
+
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"replayopt/internal/capture/castore"
+)
+
+const (
+	devicePageBytes  = 4096
+	deviceBootPages  = 4
+	deviceAppPages   = 8
+	deviceUniquePags = 2
+)
+
+// synthPage fills one deterministic page from a label: pseudo-random enough
+// that compression does not collapse it, deterministic so every device
+// agrees on shared content.
+func synthPage(label string) []byte {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	state := h.Sum64()
+	page := make([]byte, devicePageBytes)
+	for off := 0; off < devicePageBytes; off += 8 {
+		state = state*6364136223846793005 + 1442695040888963407
+		binary.LittleEndian.PutUint64(page[off:], state)
+	}
+	return page
+}
+
+// BuildDeviceStore writes the synthetic capture store one device would
+// upload for app and returns its raw bytes. scratchDir holds the transient
+// file (castore writers are file-backed); it is removed before returning.
+func BuildDeviceStore(scratchDir, app, deviceID string) ([]byte, error) {
+	path := filepath.Join(scratchDir, fmt.Sprintf("dev-%s-%s.cas", ShardID(app)[:8], deviceID))
+	w, err := castore.OpenWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(path)
+	fail := func(err error) ([]byte, error) {
+		w.Close()
+		return nil, err
+	}
+	var pages []castore.PageRef
+	addr := uint64(0x10000)
+	put := func(label string) error {
+		k, _, err := w.PutChunk(synthPage(label))
+		if err != nil {
+			return err
+		}
+		pages = append(pages, castore.PageRef{Addr: addr, Key: k})
+		addr += devicePageBytes
+		return nil
+	}
+	// App-common pages: every device running this app captures these.
+	for i := 0; i < deviceAppPages; i++ {
+		if err := put(fmt.Sprintf("app/%s/%d", app, i)); err != nil {
+			return fail(err)
+		}
+	}
+	// Device-unique tail: this device's own heap state.
+	for i := 0; i < deviceUniquePags; i++ {
+		if err := put(fmt.Sprintf("dev/%s/%s/%d", app, deviceID, i)); err != nil {
+			return fail(err)
+		}
+	}
+	meta := []byte(fmt.Sprintf(`{"app":%q,"device":%q}`, app, deviceID))
+	d, _, err := w.PutManifest(meta, pages)
+	if err != nil {
+		return fail(err)
+	}
+	// Boot-common pages: identical across all devices and all apps.
+	var boot []castore.PageRef
+	bootAddr := uint64(0x1000)
+	for i := 0; i < deviceBootPages; i++ {
+		k, _, err := w.PutChunk(synthPage(fmt.Sprintf("boot/%d", i)))
+		if err != nil {
+			return fail(err)
+		}
+		boot = append(boot, castore.PageRef{Addr: bootAddr, Key: k})
+		bootAddr += devicePageBytes
+	}
+	if err := w.PutIndex([]castore.Key{d}, boot); err != nil {
+		return fail(err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}

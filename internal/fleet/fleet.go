@@ -1,0 +1,163 @@
+// Package fleet is the crowd-scale deployment of the paper's Fig. 6 loop:
+// the coordinator that makes one device's offline GA search pay for every
+// device's install. The paper's model — many devices capture hot-region
+// state online, an offline search evaluates candidates by replay, and the
+// winning binary is reinstalled transparently (§2, Fig. 6) — is combined
+// here with the crowdsourced iterative compilation of Mpeis et al. 2015 and
+// ShareJIT-style cross-process artifact sharing, applied to AOT artifacts.
+//
+// The coordinator has three halves:
+//
+//   - Capture intake: devices POST their content-addressed capture stores;
+//     uploads are merged chunk-level into a sharded multi-tenant castore
+//     (one shard per app fingerprint, per-shard locking), so a thousand
+//     devices uploading the same app's boot pages store them once
+//     (DESIGN.md §10 dedup at fleet scale, Fig. 11's budget).
+//   - Search queue: one resumable GA search job per (app × device class),
+//     checkpointed through the deterministic decision trace (§3.6, §3.7):
+//     a killed coordinator resumes mid-search without re-running finished
+//     evaluations, and the resumed trace is byte-identical.
+//   - Artifact cache: finished winners are served keyed by (app, code-image
+//     fingerprint, device class), each carrying its rtrace policy lock; a
+//     fetch validates the lock against the current compiler and refuses on
+//     static drift rather than shipping a binary that would miscompile.
+//
+// Everything speaks versioned HTTP/JSON: APIVersion rides every message,
+// servers and clients decode tolerantly (unknown fields ignored), and any
+// wire schema change requires a version bump (CONTRIBUTING.md).
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"replayopt/internal/ga"
+	"replayopt/internal/lir/rtrace"
+)
+
+// APIVersion is the fleet wire-protocol version. Bump on any schema change;
+// decoding stays tolerant so mixed-version fleets degrade readably instead
+// of corrupting state.
+const APIVersion = 1
+
+// UploadRequest is a device's capture upload: the raw bytes of its local
+// content-addressed store (internal/capture/castore format). The server
+// merges it chunk-level into the app's shard, so repeated pages across
+// devices are stored once.
+type UploadRequest struct {
+	APIVersion  int    `json:"api_version"`
+	App         string `json:"app"`
+	DeviceID    string `json:"device_id"`
+	DeviceClass string `json:"device_class"`
+	Store       []byte `json:"store"`
+}
+
+// UploadResponse acknowledges a merged upload with its dedup accounting and
+// the state of the (app, device class) search job the upload feeds.
+type UploadResponse struct {
+	APIVersion int    `json:"api_version"`
+	Shard      string `json:"shard"`
+
+	Snapshots     int   `json:"snapshots"`
+	ChunksWritten int   `json:"chunks_written"`
+	ChunksReused  int   `json:"chunks_reused"`
+	BytesReused   int64 `json:"bytes_reused"`
+	RawWritten    int64 `json:"raw_written"`
+
+	JobID    string `json:"job_id"`
+	JobState string `json:"job_state"`
+}
+
+// ArtifactResponse is a served winner: the locked policy, its provenance,
+// and its measured worth. A device applies it with the core lock-validated
+// install path instead of searching itself.
+type ArtifactResponse struct {
+	APIVersion  int    `json:"api_version"`
+	App         string `json:"app"`
+	DeviceClass string `json:"device_class"`
+	// ImageFP fingerprints the code image the lock was cut against; a
+	// device whose app binary hashes differently must not apply the lock.
+	ImageFP string       `json:"image_fp"`
+	Lock    *rtrace.Lock `json:"lock"`
+
+	// Search provenance: the decision-trace hash and evaluation count prove
+	// which search produced this artifact (kill-and-resume reproduces both).
+	TraceHash   string `json:"trace_hash"`
+	Evaluations int    `json:"evaluations"`
+
+	MeanMs        float64 `json:"mean_ms"`
+	AndroidMeanMs float64 `json:"android_mean_ms"`
+	Speedup       float64 `json:"speedup"`
+
+	// KeptBaseline marks a search that never beat the out-of-the-box
+	// binary; the artifact then carries no lock and devices keep what they
+	// have.
+	KeptBaseline bool `json:"kept_baseline,omitempty"`
+}
+
+// StatusJob is one job row of the status endpoint.
+type StatusJob struct {
+	ID          string `json:"id"`
+	App         string `json:"app"`
+	DeviceClass string `json:"device_class"`
+	State       string `json:"state"`
+	Attempts    int    `json:"attempts"`
+	Error       string `json:"error,omitempty"`
+	// Resumed is the journal-served evaluation count of the last run — >0
+	// means a kill or drain was recovered without repeating work.
+	Resumed int `json:"resumed,omitempty"`
+}
+
+// StatusResponse summarizes the coordinator.
+type StatusResponse struct {
+	APIVersion int         `json:"api_version"`
+	Draining   bool        `json:"draining"`
+	QueueDepth int         `json:"queue_depth"`
+	Workers    int         `json:"workers"`
+	Jobs       []StatusJob `json:"jobs"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	APIVersion int    `json:"api_version"`
+	Error      string `json:"error"`
+}
+
+// ShardID maps an app to its shard: the fleet is multi-tenant by app, and
+// hashing the name (FNV-1a, hex) keeps shard names filesystem-safe and
+// stable across restarts. Uploads for different apps land in different
+// shards and never contend on a lock.
+func ShardID(app string) string {
+	h := fnv.New64a()
+	h.Write([]byte(app))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// JobID names the one search job for an (app, device class) pair — the
+// dedup unit: a thousand devices of the same class requesting the same app
+// share a single search.
+func JobID(app, deviceClass string) string {
+	return app + "@" + deviceClass
+}
+
+// ClassSeed derives the deterministic search seed for an (app, device
+// class) pair. Different classes search with different seeds (their
+// hardware differs, so their winners may too); the same pair always
+// searches identically, which is what makes kill-and-resume and the
+// trace-hash provenance checkable.
+func ClassSeed(app, deviceClass string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(app))
+	h.Write([]byte{0})
+	h.Write([]byte(deviceClass))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// TraceHash condenses a search's decision trace to a comparable hex digest
+// (FNV-1a over the DecisionTrace text). Two searches with equal hashes made
+// the same decisions in the same order.
+func TraceHash(res *ga.Result) string {
+	h := fnv.New64a()
+	h.Write([]byte(res.DecisionTrace()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

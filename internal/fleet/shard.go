@@ -1,0 +1,260 @@
+// Sharded capture intake. Each app's uploads merge into one shard file —
+// a plain castore — under <dir>/shards/<ShardID>.cas. Sharding by app
+// fingerprint means tenants never share a lock: a thousand devices
+// uploading app A contend only with each other, never with app B. Within a
+// shard the merge is chunk-level, so the cross-device dedup of DESIGN.md
+// §10 extends across the whole fleet: boot-common and app-common pages are
+// stored once no matter how many devices upload them.
+//
+// Each shard keeps its castore writer open for the store's lifetime.
+// Opening a castore writer rescans the whole file to rebuild the dedup
+// index, so an open-per-merge shard costs O(shard size) per upload —
+// quadratic over a fleet intake. The persistent writer pays that scan once
+// (on the first merge after boot) and every later merge is O(upload):
+// PutIndex + Sync after each merge keeps the commit durable and visible to
+// readers without a close.
+
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"replayopt/internal/capture/castore"
+	"replayopt/internal/obs"
+)
+
+// MergeStats accounts one upload merged into a shard.
+type MergeStats struct {
+	Shard     string
+	Snapshots int
+	castore.SaveStats
+}
+
+// ShardedStore is the multi-tenant capture store: per-app shard files with
+// per-shard locking and per-shard long-lived writers.
+type ShardedStore struct {
+	dir string
+	sc  *obs.Scope
+
+	mu     sync.Mutex // guards the shard map, never held during I/O
+	shards map[string]*shard
+}
+
+type shard struct {
+	mu   sync.Mutex // serializes appends to this shard's file
+	path string
+
+	// Writer state carried across merges (guarded by mu). digests is the
+	// live snapshot set committed by the last index; bootRefs/bootSeen the
+	// union boot page table. Nil w means the writer opens lazily on the
+	// next merge (first use, or after a Repair reset it).
+	w        *castore.Writer
+	digests  []castore.Key
+	have     map[castore.Key]bool
+	bootRefs []castore.PageRef
+	bootSeen map[uint64]bool
+}
+
+// open (re)opens the shard writer and loads the carried index state. Caller
+// holds sh.mu.
+func (sh *shard) open() error {
+	w, err := castore.OpenWriter(sh.path)
+	if err != nil {
+		return fmt.Errorf("fleet: open shard: %w", err)
+	}
+	sh.w = w
+	sh.digests = append([]castore.Key(nil), w.PriorManifests()...)
+	sh.have = make(map[castore.Key]bool, len(sh.digests))
+	for _, d := range sh.digests {
+		sh.have[d] = true
+	}
+	sh.bootRefs = append([]castore.PageRef(nil), w.PriorBoot()...)
+	sh.bootSeen = make(map[uint64]bool, len(sh.bootRefs))
+	for _, ref := range sh.bootRefs {
+		sh.bootSeen[ref.Addr] = true
+	}
+	return nil
+}
+
+// closeLocked closes the shard writer and drops the carried state. Caller
+// holds sh.mu.
+func (sh *shard) closeLocked() error {
+	if sh.w == nil {
+		return nil
+	}
+	err := sh.w.Close()
+	sh.w = nil
+	sh.digests, sh.have = nil, nil
+	sh.bootRefs, sh.bootSeen = nil, nil
+	return err
+}
+
+// NewShardedStore roots a sharded store at dir (created if needed).
+func NewShardedStore(dir string, sc *obs.Scope) (*ShardedStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "shards"), 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: shard dir: %w", err)
+	}
+	return &ShardedStore{dir: dir, sc: sc, shards: map[string]*shard{}}, nil
+}
+
+func (s *ShardedStore) shardFor(app string) *shard {
+	id := ShardID(app)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shards[id]
+	if !ok {
+		sh = &shard{path: filepath.Join(s.dir, "shards", id+".cas")}
+		s.shards[id] = sh
+	}
+	return sh
+}
+
+// ShardPath returns the on-disk file backing an app's shard.
+func (s *ShardedStore) ShardPath(app string) string { return s.shardFor(app).path }
+
+// Close closes every open shard writer. The store is unusable afterwards;
+// call on coordinator drain.
+func (s *ShardedStore) Close() error {
+	s.mu.Lock()
+	shards := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, sh) //detlint:allow map-range
+	}
+	s.mu.Unlock()
+	var first error
+	for _, sh := range shards {
+		sh.mu.Lock()
+		if err := sh.closeLocked(); err != nil && first == nil {
+			first = err
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// Merge folds an uploaded store (raw castore bytes) into the app's shard:
+// every complete snapshot is re-chunked into the shard (duplicate chunks
+// and manifests dedup against everything the shard already holds), boot
+// pages union in, and prior snapshots are carried forward into the new
+// commit index. Incomplete snapshots in the upload are skipped, not fatal —
+// a device that tore its own store still contributes what survived.
+func (s *ShardedStore) Merge(app string, store []byte) (MergeStats, error) {
+	sh := s.shardFor(app)
+	var ms MergeStats
+	ms.Shard = ShardID(app)
+
+	sp := s.sc.Start("fleet.merge", obs.A("app", app), obs.A("shard", ms.Shard),
+		obs.A("upload_bytes", len(store)))
+	defer func() { sp.End(obs.A("snapshots", ms.Snapshots)) }()
+
+	// Land the upload in a scratch file so castore's tolerant scanner can
+	// index it; damaged uploads surface here, before the shard is touched.
+	tmp, err := os.CreateTemp(s.dir, "upload-*.cas")
+	if err != nil {
+		return ms, fmt.Errorf("fleet: upload scratch: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(store); err != nil {
+		tmp.Close()
+		return ms, fmt.Errorf("fleet: upload scratch: %w", err)
+	}
+	tmp.Close()
+	up, err := castore.Open(tmp.Name())
+	if err != nil {
+		return ms, fmt.Errorf("fleet: upload not a capture store: %w", err)
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.w == nil {
+		if err := sh.open(); err != nil {
+			return ms, err
+		}
+	}
+	w := sh.w
+	// A failed merge leaves the shard file with appended-but-uncommitted
+	// records; dropping the writer forces a rescan (and torn-tail cleanup)
+	// before the next merge, so the carried in-memory index never drifts
+	// from the commit on disk.
+	fail := func(err error) (MergeStats, error) {
+		sh.closeLocked()
+		return ms, err
+	}
+	for _, snap := range up.Snapshots() {
+		if !snap.Complete {
+			continue
+		}
+		refs := make([]castore.PageRef, 0, len(snap.Pages))
+		for _, ref := range snap.Pages {
+			data, err := up.ReadChunk(ref.Key)
+			if err != nil {
+				return fail(fmt.Errorf("fleet: upload chunk: %w", err))
+			}
+			k, _, err := w.PutChunk(data)
+			if err != nil {
+				return fail(err)
+			}
+			refs = append(refs, castore.PageRef{Addr: ref.Addr, Key: k})
+		}
+		// A manifest the shard already holds dedups, so re-uploads don't
+		// multiply the live snapshot set.
+		d, _, err := w.PutManifest(snap.Meta, refs)
+		if err != nil {
+			return fail(err)
+		}
+		if !sh.have[d] {
+			sh.have[d] = true
+			sh.digests = append(sh.digests, d)
+		}
+		ms.Snapshots++
+	}
+	// Union the boot page table: first writer for an address wins (boot
+	// pages are content-stable per app, so later devices only confirm it).
+	for _, ref := range up.Boot() {
+		if sh.bootSeen[ref.Addr] {
+			continue
+		}
+		data, err := up.ReadChunk(ref.Key)
+		if err != nil {
+			continue // damaged boot page: the shard keeps its own table
+		}
+		k, _, err := w.PutChunk(data)
+		if err != nil {
+			return fail(err)
+		}
+		sh.bootRefs = append(sh.bootRefs, castore.PageRef{Addr: ref.Addr, Key: k})
+		sh.bootSeen[ref.Addr] = true
+	}
+	if err := w.PutIndex(sh.digests, sh.bootRefs); err != nil {
+		return fail(err)
+	}
+	if err := w.Sync(); err != nil {
+		return fail(err)
+	}
+	ms.SaveStats = w.TakeStats()
+	if s.sc != nil {
+		s.sc.Counter("fleet.uploads_merged").Add(1)
+		s.sc.Counter("fleet.upload_chunks_written").Add(int64(ms.ChunksWritten))
+		s.sc.Counter("fleet.upload_chunks_reused").Add(int64(ms.ChunksReused))
+		s.sc.Counter("fleet.upload_bytes_reused").Add(ms.BytesReused)
+		s.sc.Counter("fleet.upload_raw_written").Add(ms.RawChunkBytesWritten)
+	}
+	return ms, nil
+}
+
+// Repair runs castore.Repair on an app's shard under the shard lock — the
+// fleet-side recovery path for a shard damaged on disk. The open writer is
+// closed first (Repair rewrites the file) and reopens lazily on the next
+// merge. The server's scope rides in, so repairs show in /v1/metrics.
+func (s *ShardedStore) Repair(app string) (castore.RepairStats, error) {
+	sh := s.shardFor(app)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.closeLocked(); err != nil {
+		return castore.RepairStats{}, err
+	}
+	return castore.Repair(sh.path, s.sc)
+}

@@ -207,6 +207,21 @@ type Options struct {
 	// tallies — in its scope's registry. Purely observational: a nil Obs
 	// and any attached sink produce byte-identical search traces.
 	Obs *obs.Span
+	// Journal, when set, checkpoints the search: every fresh evaluation is
+	// served from the journal when already recorded (so a resumed search
+	// replays its finished prefix without compiling or replaying anything)
+	// and recorded otherwise. Because search decisions are a pure function
+	// of (seed, evaluation results), a search resumed against the journal of
+	// a killed run produces a byte-identical Result.Trace and re-runs none of
+	// the finished work. See the Journal contract in journal.go.
+	Journal Journal
+	// Interrupt, when set, is polled at every evaluation-batch boundary on
+	// the search goroutine; returning true abandons the search by unwinding
+	// with an interruptPanic (SearchInterruptible converts it to
+	// ErrInterrupted, other callers use RecoverInterrupt). Evaluations that
+	// already finished have reached the Journal, so interruption never loses
+	// work — it only defers it to the resuming run.
+	Interrupt func() bool
 }
 
 // DefaultOptions returns the paper's settings.

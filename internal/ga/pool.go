@@ -64,6 +64,12 @@ func (s *searcher) measure(g *Genome) Evaluation {
 // happens on the caller's goroutine, so a fixed seed produces the same
 // search at any worker count.
 func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
+	// Drain requests are honored only here, between batches on the search
+	// goroutine: no worker is in flight, every finished evaluation has been
+	// journaled, and the resuming run will replay the exact prefix.
+	if s.opts.Interrupt != nil && s.opts.Interrupt() {
+		panic(interruptPanic{})
+	}
 	n := len(genomes)
 	fps := make([]uint64, n)
 	out := make([]Evaluation, n)
@@ -102,6 +108,15 @@ func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
 	}
 	busy := s.obs.Scope().Gauge("ga.workers_busy")
 	evalJob := func(j int, ev Evaluator) {
+		// A journaled configuration skips compile and replay entirely: the
+		// recorded Evaluation is what this run would have measured (the
+		// evaluator purity contract), so serving it preserves the trace.
+		if s.opts.Journal != nil {
+			if past, ok := s.opts.Journal.Lookup(fps[jobs[j].idx]); ok {
+				evs[j] = past
+				return
+			}
+		}
 		if !obsOn {
 			evs[j] = ev.Evaluate(jobs[j].cfg)
 			return
@@ -161,6 +176,12 @@ func (s *searcher) measureBatch(genomes []*Genome) []Evaluation {
 	// results and the §4 identical-binaries accounting in index order.
 	for j, jb := range jobs {
 		s.cache[fps[jb.idx]] = evs[j]
+		if s.opts.Journal != nil {
+			// Record in trace order on this goroutine; implementations dedup
+			// fingerprints they already hold, so replayed prefixes are not
+			// re-appended by the resuming run.
+			s.opts.Journal.Record(fps[jb.idx], evs[j])
+		}
 		s.trace = append(s.trace, EvalRecord{
 			Index: len(s.trace), Generation: s.gen, Genome: genomes[jb.idx].Clone(), Eval: evs[j],
 		})
